@@ -1,0 +1,104 @@
+package xgrammar
+
+import "testing"
+
+// TestBranchIndependence: branches evolve independently from a shared
+// prefix, the §3.3 tree-generation use case.
+func TestBranchIndependence(t *testing.T) {
+	cg := mustCompileJSON(t)
+	root := NewMatcher(cg)
+	if err := root.AcceptString(`{"answer": `); err != nil {
+		t.Fatal(err)
+	}
+	b1 := root.Branch()
+	b2 := root.Branch()
+	if err := b1.AcceptString(`true`); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.AcceptString(`[1, 2`); err != nil {
+		t.Fatal(err)
+	}
+	// The root must be untouched: it still needs a value.
+	if root.CanTerminate() {
+		t.Fatal("root corrupted by branches")
+	}
+	if err := b1.AcceptString(`}`); err != nil {
+		t.Fatal(err)
+	}
+	if !b1.CanTerminate() {
+		t.Fatal("b1 should be complete")
+	}
+	if b2.CanTerminate() {
+		t.Fatal("b2 should be mid-array")
+	}
+	if err := b2.AcceptString(`]}`); err != nil {
+		t.Fatal(err)
+	}
+	if !b2.CanTerminate() {
+		t.Fatal("b2 should be complete")
+	}
+	// Root can still take its own path.
+	if err := root.AcceptString(`"third branch"}`); err != nil {
+		t.Fatal(err)
+	}
+	if !root.CanTerminate() {
+		t.Fatal("root path broken")
+	}
+}
+
+func TestBranchMaskEqualsOriginal(t *testing.T) {
+	cg := mustCompileJSON(t)
+	m := NewMatcher(cg)
+	if err := m.AcceptString(`[1, `); err != nil {
+		t.Fatal(err)
+	}
+	b := m.Branch()
+	m1 := make([]uint64, cg.MaskWords())
+	m2 := make([]uint64, cg.MaskWords())
+	m.FillNextTokenBitmask(m1)
+	b.FillNextTokenBitmask(m2)
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatal("branch mask differs from original")
+		}
+	}
+}
+
+func TestBranchOfTerminated(t *testing.T) {
+	cg := mustCompileJSON(t)
+	m := NewMatcher(cg)
+	if err := m.AcceptString(`7`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AcceptToken(cg.TokenizerInfo().EOSTokenID()); err != nil {
+		t.Fatal(err)
+	}
+	b := m.Branch()
+	if !b.IsTerminated() {
+		t.Fatal("branch lost termination state")
+	}
+}
+
+func TestDiscardManyBranches(t *testing.T) {
+	cg := mustCompileJSON(t)
+	m := NewMatcher(cg)
+	if err := m.AcceptString(`{"k": [`); err != nil {
+		t.Fatal(err)
+	}
+	// Spawn and discard many speculative branches; the shared tree must not
+	// leak (exercised via internal accounting in matcher tests; here we just
+	// require no panic and root integrity).
+	for i := 0; i < 100; i++ {
+		b := m.Branch()
+		if err := b.AcceptString(`1, 2, 3`); err != nil {
+			t.Fatal(err)
+		}
+		b.Discard()
+	}
+	if err := m.AcceptString(`"still fine"]}`); err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanTerminate() {
+		t.Fatal("root broken after branch churn")
+	}
+}

@@ -1,0 +1,109 @@
+// Command xgrun compiles a grammar and validates or interactively inspects
+// inputs against it.
+//
+// Usage:
+//
+//	xgrun -grammar json -input '{"a": 1}'        # validate against builtin
+//	xgrun -ebnf grammar.ebnf -input 'text'       # custom EBNF grammar
+//	xgrun -schema schema.json -input '{"x": 2}'  # JSON Schema
+//	xgrun -grammar json -input '[1,' -explain    # show PDA state and next bytes
+//	xgrun -grammar json -mask -input '{"a"'      # mask statistics at each step
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xgrammar"
+)
+
+func main() {
+	grammarName := flag.String("grammar", "", "builtin grammar: json, xml, python")
+	ebnfPath := flag.String("ebnf", "", "path to an EBNF grammar file")
+	schemaPath := flag.String("schema", "", "path to a JSON Schema file")
+	input := flag.String("input", "", "input text to validate")
+	vocab := flag.Int("vocab", 4000, "tokenizer vocabulary size")
+	explain := flag.Bool("explain", false, "print matcher state after input")
+	maskInfo := flag.Bool("mask", false, "print mask statistics at each token step")
+	flag.Parse()
+
+	info := xgrammar.DefaultTokenizer(*vocab)
+	compiler := xgrammar.NewCompiler(info)
+
+	var cg *xgrammar.CompiledGrammar
+	var err error
+	switch {
+	case *ebnfPath != "":
+		src, rerr := os.ReadFile(*ebnfPath)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		cg, err = compiler.CompileGrammar(string(src))
+	case *schemaPath != "":
+		src, rerr := os.ReadFile(*schemaPath)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		cg, err = compiler.CompileJSONSchema(src, xgrammar.SchemaOptions{})
+	case *grammarName == "json":
+		cg, err = compiler.CompileBuiltinJSON()
+	case *grammarName == "xml":
+		cg, err = compiler.CompileBuiltinXML()
+	case *grammarName == "python":
+		cg, err = compiler.CompileBuiltinPythonDSL()
+	default:
+		fmt.Fprintln(os.Stderr, "xgrun: specify -grammar {json,xml,python}, -ebnf FILE, or -schema FILE")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	st := cg.Stats()
+	fmt.Printf("compiled: %d PDA nodes, %d edges; mask cache: %d ctx-dependent tokens, %.1f KB adaptive storage\n",
+		st.PDANodes, st.PDAEdges, st.ContextDependent, float64(st.AdaptiveBytes)/1024)
+
+	if *input == "" {
+		return
+	}
+	m := xgrammar.NewMatcher(cg)
+	if *maskInfo {
+		ids := info.Encode(*input)
+		mask := make([]uint64, cg.MaskWords())
+		for i, id := range ids {
+			fs := m.FillNextTokenBitmask(mask)
+			allowed := 0
+			for _, w := range mask {
+				for ; w != 0; w &= w - 1 {
+					allowed++
+				}
+			}
+			fmt.Printf("step %2d: %5d allowed tokens, %d ctx checks; next token %q\n",
+				i, allowed, fs.CtxChecked, info.TokenBytes(id))
+			if err := m.AcceptToken(id); err != nil {
+				fatal(err)
+			}
+		}
+	} else if err := m.AcceptString(*input); err != nil {
+		fmt.Printf("REJECTED: %v\n", err)
+		os.Exit(1)
+	}
+	switch {
+	case m.CanTerminate():
+		fmt.Println("ACCEPTED (complete)")
+	default:
+		fmt.Println("ACCEPTED (prefix; grammar expects more input)")
+	}
+	if *explain {
+		fmt.Printf("parallel stacks: %d\n", m.NumParallelStacks())
+		if jf := m.FindJumpForwardString(); jf != "" {
+			fmt.Printf("forced continuation: %q\n", jf)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xgrun:", err)
+	os.Exit(1)
+}

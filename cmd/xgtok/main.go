@@ -1,0 +1,73 @@
+// Command xgtok trains and inspects the byte-level BPE tokenizer substrate.
+//
+// Usage:
+//
+//	xgtok -vocab 32000 -stats            # train and print statistics
+//	xgtok -vocab 8000 -encode "hello"    # tokenize a string
+//	xgtok -vocab 8000 -boundary          # list grammar-boundary-crossing tokens
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"xgrammar"
+)
+
+func main() {
+	vocab := flag.Int("vocab", 8000, "vocabulary size")
+	stats := flag.Bool("stats", false, "print vocabulary statistics")
+	encode := flag.String("encode", "", "string to tokenize")
+	boundary := flag.Bool("boundary", false, "list tokens containing JSON structural bytes")
+	flag.Parse()
+
+	info := xgrammar.DefaultTokenizer(*vocab)
+	if *stats || (!*boundary && *encode == "") {
+		fmt.Printf("vocab size: %d\n", info.VocabSize())
+		lens := map[int]int{}
+		maxLen := 0
+		for id := int32(0); id < int32(info.VocabSize()); id++ {
+			if info.IsSpecial(id) {
+				continue
+			}
+			l := len(info.TokenBytes(id))
+			lens[l]++
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		for l := 1; l <= maxLen; l++ {
+			if lens[l] > 0 {
+				fmt.Printf("  len %2d: %6d tokens\n", l, lens[l])
+			}
+		}
+	}
+	if *encode != "" {
+		ids := info.Encode(*encode)
+		fmt.Printf("%d tokens:", len(ids))
+		for _, id := range ids {
+			fmt.Printf(" %d:%q", id, info.TokenBytes(id))
+		}
+		fmt.Println()
+		if info.Decode(ids) != *encode {
+			fmt.Fprintln(os.Stderr, "xgtok: round-trip mismatch")
+			os.Exit(1)
+		}
+	}
+	if *boundary {
+		n := 0
+		for id := int32(0); id < int32(info.VocabSize()); id++ {
+			if info.IsSpecial(id) {
+				continue
+			}
+			b := info.TokenBytes(id)
+			if len(b) >= 2 && bytes.ContainsAny(b, `{}[],:"`) {
+				fmt.Printf("%q ", b)
+				n++
+			}
+		}
+		fmt.Printf("\n%d boundary-crossing tokens\n", n)
+	}
+}

@@ -1,0 +1,134 @@
+// Function calling: constrain an (emulated) LLM to a JSON Schema so its
+// output can be parsed directly as a tool call — the paper's Table 4 task.
+//
+// The emulated model is sloppy: it wants to wrap the JSON in helpful prose.
+// Unconstrained, that breaks downstream parsing; with the grammar mask, the
+// prose tokens are blocked and the model's probability mass falls back to
+// schema-conforming tokens.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"xgrammar"
+)
+
+const weatherSchema = `{
+	"type": "object",
+	"properties": {
+		"name": {"const": "get_weather"},
+		"arguments": {
+			"type": "object",
+			"properties": {
+				"city": {"type": "string"},
+				"unit": {"enum": ["celsius", "fahrenheit"]},
+				"days": {"type": "integer", "minimum": 1, "maximum": 14}
+			},
+			"required": ["city", "unit", "days"]
+		}
+	},
+	"required": ["name", "arguments"]
+}`
+
+// sloppyModel proposes tokens for a desired payload but prefers to start
+// with prose, the way instruction-tuned models pad tool calls.
+type sloppyModel struct {
+	info     *xgrammar.TokenizerInfo
+	payload  string
+	emitted  int
+	prose    []int32
+	prosePos int
+}
+
+func newSloppyModel(info *xgrammar.TokenizerInfo, payload string) *sloppyModel {
+	return &sloppyModel{
+		info:    info,
+		payload: payload,
+		prose:   info.Encode("Sure! Here is the function call you asked for: "),
+	}
+}
+
+// propose returns the model's preferred next token: prose first, then the
+// payload.
+func (m *sloppyModel) propose() int32 {
+	if m.prosePos < len(m.prose) {
+		return m.prose[m.prosePos]
+	}
+	if m.emitted >= len(m.payload) {
+		return m.info.EOSTokenID()
+	}
+	return m.info.Encode(m.payload[m.emitted:])[0]
+}
+
+// fallback returns the best schema-conforming token (the payload token).
+func (m *sloppyModel) fallback() int32 {
+	if m.emitted >= len(m.payload) {
+		return m.info.EOSTokenID()
+	}
+	return m.info.Encode(m.payload[m.emitted:])[0]
+}
+
+func (m *sloppyModel) accept(id int32) {
+	if m.prosePos < len(m.prose) && id == m.prose[m.prosePos] {
+		m.prosePos++
+		return
+	}
+	m.prosePos = len(m.prose) // constraint rejected the prose; abandon it
+	if id != m.info.EOSTokenID() {
+		m.emitted += len(m.info.TokenBytes(id))
+	}
+}
+
+func main() {
+	info := xgrammar.DefaultTokenizer(4000)
+	cg, err := xgrammar.NewCompiler(info).CompileJSONSchema([]byte(weatherSchema), xgrammar.SchemaOptions{})
+	if err != nil {
+		panic(err)
+	}
+	payload := `{"name": "get_weather", "arguments": {"city": "tokyo", "unit": "celsius", "days": 3}}`
+
+	// Unconstrained: the model happily emits prose + payload.
+	un := newSloppyModel(info, payload)
+	var unOut []byte
+	for {
+		t := un.propose()
+		if t == info.EOSTokenID() {
+			break
+		}
+		unOut = append(unOut, info.TokenBytes(t)...)
+		un.accept(t)
+	}
+	fmt.Printf("unconstrained output:\n  %s\n", unOut)
+	var v interface{}
+	if err := json.Unmarshal(unOut, &v); err != nil {
+		fmt.Printf("  -> downstream json.Unmarshal FAILS: %v\n\n", err)
+	}
+
+	// Constrained: same model, masked decoding.
+	con := newSloppyModel(info, payload)
+	m := xgrammar.NewMatcher(cg)
+	mask := make([]uint64, cg.MaskWords())
+	var conOut []byte
+	blocked := 0
+	for !m.IsTerminated() {
+		m.FillNextTokenBitmask(mask)
+		t := con.propose()
+		if mask[t>>6]&(1<<uint(t&63)) == 0 {
+			blocked++
+			t = con.fallback()
+		}
+		if err := m.AcceptToken(t); err != nil {
+			panic(err)
+		}
+		con.accept(t)
+		if t != info.EOSTokenID() {
+			conOut = append(conOut, info.TokenBytes(t)...)
+		}
+	}
+	fmt.Printf("constrained output (%d proposals blocked by the mask):\n  %s\n", blocked, conOut)
+	if err := json.Unmarshal(conOut, &v); err != nil {
+		panic(err)
+	}
+	fmt.Println("  -> downstream json.Unmarshal succeeds")
+}

@@ -1,0 +1,60 @@
+// Jump-forward decoding (Appendix B): when the grammar admits exactly one
+// continuation, the engine appends it directly instead of running the LLM —
+// on schema-constrained output the fixed key skeleton is free.
+package main
+
+import (
+	"fmt"
+
+	"xgrammar"
+)
+
+const invoiceSchema = `{
+	"type": "object",
+	"properties": {
+		"invoice_id": {"type": "integer", "minimum": 1000, "maximum": 9999},
+		"currency": {"enum": ["USD", "EUR"]},
+		"total": {"type": "number"},
+		"paid": {"type": "boolean"}
+	},
+	"required": ["invoice_id", "currency", "total", "paid"]
+}`
+
+func main() {
+	info := xgrammar.DefaultTokenizer(4000)
+	cg, err := xgrammar.NewCompiler(info).CompileJSONSchema([]byte(invoiceSchema), xgrammar.SchemaOptions{})
+	if err != nil {
+		panic(err)
+	}
+	target := `{"invoice_id": 4521, "currency": "EUR", "total": 129.99, "paid": true}`
+
+	m := xgrammar.NewMatcher(cg)
+	emitted := 0
+	llmTokens, freeTokens := 0, 0
+	for emitted < len(target) {
+		// Jump forward over every forced span.
+		if jf := m.FindJumpForwardString(); jf != "" {
+			if target[emitted:emitted+len(jf)] != jf {
+				panic("forced continuation disagrees with a valid target")
+			}
+			if err := m.AcceptString(jf); err != nil {
+				panic(err)
+			}
+			fmt.Printf("jump-forward: %q\n", jf)
+			emitted += len(jf)
+			freeTokens += len(info.Encode(jf))
+			continue
+		}
+		// Otherwise one (emulated) LLM step.
+		next := info.Encode(target[emitted:])[0]
+		if err := m.AcceptToken(next); err != nil {
+			panic(err)
+		}
+		fmt.Printf("llm token:    %q\n", info.TokenBytes(next))
+		emitted += len(info.TokenBytes(next))
+		llmTokens++
+	}
+	fmt.Printf("\noutput: %s\n", target)
+	fmt.Printf("LLM decode steps: %d, jump-forward tokens: %d (%.0f%% of output for free)\n",
+		llmTokens, freeTokens, 100*float64(freeTokens)/float64(freeTokens+llmTokens))
+}

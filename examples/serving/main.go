@@ -1,0 +1,97 @@
+// Serving: overlap mask generation with (simulated) GPU execution using
+// goroutines — the co-design of §3.5 of the paper, demonstrated with real
+// concurrency rather than the analytic model used by the benchmark harness.
+//
+// Each decode step launches the "GPU" (a sleep standing in for the forward
+// pass) and the grammar mask computation concurrently, synchronizing before
+// sampling, exactly as in Figure 8. The serial engine runs them back to
+// back. With a fast grammar engine the overlapped TPOT approaches the pure
+// GPU time.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"xgrammar"
+)
+
+const gpuStepTime = 5 * time.Millisecond
+
+// gpuStep stands in for the forward pass. The GPU is an external device, so
+// it is modelled with a runtime timer: the CPU stays free for grammar work,
+// which is exactly what the §3.5 co-design exploits. The timer is armed
+// before the grammar work starts, like a real asynchronous kernel launch.
+func gpuStep() <-chan time.Time {
+	return time.After(gpuStepTime)
+}
+
+// decodeOnce runs one constrained generation over target and returns the
+// wall time and token count.
+func decode(cg *xgrammar.CompiledGrammar, info *xgrammar.TokenizerInfo, target string, overlap bool) (time.Duration, int) {
+	m := xgrammar.NewMatcher(cg)
+	mask := make([]uint64, cg.MaskWords())
+	emitted := 0
+	tokens := 0
+	start := time.Now()
+	for {
+		var next int32
+		if emitted >= len(target) {
+			next = info.EOSTokenID()
+		} else {
+			next = info.Encode(target[emitted:])[0]
+		}
+		if overlap {
+			// Launch the GPU step, compute the mask while it runs, then
+			// synchronize before sampling (Figure 8).
+			gpuDone := gpuStep()
+			m.FillNextTokenBitmask(mask)
+			<-gpuDone
+		} else {
+			<-gpuStep()
+			m.FillNextTokenBitmask(mask)
+		}
+		if mask[next>>6]&(1<<uint(next&63)) == 0 {
+			panic("target token masked out")
+		}
+		if err := m.AcceptToken(next); err != nil {
+			panic(err)
+		}
+		if next == info.EOSTokenID() {
+			break
+		}
+		emitted += len(info.TokenBytes(next))
+		tokens++
+	}
+	return time.Since(start), tokens
+}
+
+func main() {
+	info := xgrammar.DefaultTokenizer(4000)
+	fast, err := xgrammar.NewCompiler(info).CompileBuiltinJSON()
+	if err != nil {
+		panic(err)
+	}
+	// The same grammar with the mask cache disabled: every step scans the
+	// vocabulary, like pre-XGrammar engines.
+	slow, err := xgrammar.NewCompiler(info, xgrammar.WithoutMaskCache()).CompileBuiltinJSON()
+	if err != nil {
+		panic(err)
+	}
+	target := `{"user": {"name": "ada", "scores": [98, 87, 91]}, "active": true, "tags": ["alpha", "beta"]}`
+
+	var n int
+	report := func(name string, cg *xgrammar.CompiledGrammar) {
+		var serial, overlapped time.Duration
+		serial, n = decode(cg, info, target, false)
+		overlapped, _ = decode(cg, info, target, true)
+		fmt.Printf("%-28s serial %7v/token   overlapped %7v/token\n",
+			name, serial/time.Duration(n), overlapped/time.Duration(n))
+	}
+	fmt.Printf("decoding %d bytes of structured output; GPU step %v\n\n", len(target), gpuStepTime)
+	report("full-scan grammar engine:", slow)
+	report("XGrammar (mask cache):", fast)
+	fmt.Printf("\npure GPU floor: %v/token\n", gpuStepTime)
+	fmt.Println("overlap hides grammar CPU behind the GPU step (§3.5); with the mask")
+	fmt.Println("cache the grammar fits entirely under the GPU time, reaching the floor")
+}

@@ -1,0 +1,226 @@
+// Package bitset provides fixed-size bitsets used as token masks.
+//
+// A token mask is a bitset with one bit per vocabulary entry; bit i set
+// means token i is allowed at the next decoding step. Masks are stored as
+// []uint64 words so they can be handed directly to a sampler and combined
+// with cheap word-wise boolean algebra.
+package bitset
+
+import "math/bits"
+
+// WordsFor returns the number of uint64 words needed to hold n bits.
+func WordsFor(n int) int {
+	return (n + 63) / 64
+}
+
+// Bitset is a fixed-capacity bitset. The zero value is an empty bitset of
+// capacity zero; use New to allocate one with a given number of bits.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Bitset with capacity for n bits, all clear.
+func New(n int) *Bitset {
+	return &Bitset{words: make([]uint64, WordsFor(n)), n: n}
+}
+
+// FromWords wraps an existing word slice as a Bitset of n bits.
+// The slice is used directly, not copied.
+func FromWords(words []uint64, n int) *Bitset {
+	return &Bitset{words: words, n: n}
+}
+
+// Len returns the capacity in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Words returns the underlying word slice.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << uint(i&63) }
+
+// Get reports whether bit i is set.
+func (b *Bitset) Get(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// SetAll sets every bit in [0, Len).
+func (b *Bitset) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trimTail()
+}
+
+// ClearAll clears every bit.
+func (b *Bitset) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// trimTail zeroes the bits above n in the last word so Count stays exact.
+func (b *Bitset) trimTail() {
+	if b.n%64 != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(b.n%64)) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Or sets b to b | other. The two bitsets must have equal capacity.
+func (b *Bitset) Or(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// And sets b to b & other. The two bitsets must have equal capacity.
+func (b *Bitset) And(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] &= w
+	}
+}
+
+// AndNot sets b to b &^ other. The two bitsets must have equal capacity.
+func (b *Bitset) AndNot(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] &^= w
+	}
+}
+
+// CopyFrom copies other into b. The two bitsets must have equal capacity.
+func (b *Bitset) CopyFrom(other *Bitset) {
+	copy(b.words, other.words)
+}
+
+// Clone returns a deep copy of b.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n}
+}
+
+// SetList sets every bit listed in ids.
+func (b *Bitset) SetList(ids []int32) {
+	for _, id := range ids {
+		b.Set(int(id))
+	}
+}
+
+// ClearList clears every bit listed in ids.
+func (b *Bitset) ClearList(ids []int32) {
+	for _, id := range ids {
+		b.Clear(int(id))
+	}
+}
+
+// ToList appends the indices of all set bits to dst and returns it.
+func (b *Bitset) ToList(dst []int32) []int32 {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			dst = append(dst, int32(wi*64+bit))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// NextSet returns the index of the first set bit at or after i,
+// or -1 if there is none.
+func (b *Bitset) NextSet(i int) int {
+	if i >= b.n {
+		return -1
+	}
+	wi := i >> 6
+	w := b.words[wi] >> uint(i&63)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			return wi*64 + bits.TrailingZeros64(b.words[wi])
+		}
+	}
+	return -1
+}
+
+// Equal reports whether b and other contain the same bits.
+func (b *Bitset) Equal(other *Bitset) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectSorted returns the intersection of two sorted int32 slices.
+// Both inputs must be strictly increasing. The result is appended to dst.
+func IntersectSorted(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// UnionSorted returns the union of two sorted int32 slices.
+// Both inputs must be strictly increasing. The result is appended to dst.
+func UnionSorted(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// DiffSorted returns a \ b for two sorted int32 slices, appended to dst.
+func DiffSorted(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) {
+		for j < len(b) && b[j] < a[i] {
+			j++
+		}
+		if j >= len(b) || b[j] != a[i] {
+			dst = append(dst, a[i])
+		}
+		i++
+	}
+	return dst
+}

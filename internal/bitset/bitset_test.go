@@ -1,0 +1,241 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSetGetClear(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+}
+
+func TestSetAllRespectsLen(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128} {
+		b := New(n)
+		b.SetAll()
+		if got := b.Count(); got != n {
+			t.Errorf("n=%d: Count after SetAll = %d", n, got)
+		}
+	}
+}
+
+func TestClearAll(t *testing.T) {
+	b := New(200)
+	b.SetAll()
+	b.ClearAll()
+	if b.Count() != 0 {
+		t.Fatal("ClearAll left bits set")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	a.Set(1)
+	a.Set(70)
+	b.Set(70)
+	b.Set(99)
+
+	u := a.Clone()
+	u.Or(b)
+	for _, i := range []int{1, 70, 99} {
+		if !u.Get(i) {
+			t.Errorf("Or: bit %d missing", i)
+		}
+	}
+	if u.Count() != 3 {
+		t.Errorf("Or count = %d", u.Count())
+	}
+
+	in := a.Clone()
+	in.And(b)
+	if in.Count() != 1 || !in.Get(70) {
+		t.Errorf("And wrong: count=%d", in.Count())
+	}
+
+	d := a.Clone()
+	d.AndNot(b)
+	if d.Count() != 1 || !d.Get(1) {
+		t.Errorf("AndNot wrong: count=%d", d.Count())
+	}
+}
+
+func TestToListAndSetList(t *testing.T) {
+	b := New(300)
+	ids := []int32{0, 5, 64, 200, 299}
+	b.SetList(ids)
+	got := b.ToList(nil)
+	if len(got) != len(ids) {
+		t.Fatalf("ToList len = %d, want %d", len(got), len(ids))
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Errorf("ToList[%d] = %d, want %d", i, got[i], ids[i])
+		}
+	}
+	b.ClearList(ids[:2])
+	if b.Count() != 3 {
+		t.Fatalf("Count after ClearList = %d", b.Count())
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	b := New(200)
+	b.Set(3)
+	b.Set(64)
+	b.Set(199)
+	cases := []struct{ from, want int }{
+		{0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 199}, {199, 199}, {200, -1},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	empty := New(10)
+	if empty.NextSet(0) != -1 {
+		t.Error("NextSet on empty should be -1")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(100), New(100)
+	if !a.Equal(b) {
+		t.Fatal("fresh bitsets not equal")
+	}
+	a.Set(42)
+	if a.Equal(b) {
+		t.Fatal("differing bitsets reported equal")
+	}
+	b.Set(42)
+	if !a.Equal(b) {
+		t.Fatal("same bitsets reported unequal")
+	}
+	c := New(101)
+	c.Set(42)
+	if a.Equal(c) {
+		t.Fatal("different-capacity bitsets reported equal")
+	}
+}
+
+func TestFromWords(t *testing.T) {
+	w := []uint64{0b101}
+	b := FromWords(w, 3)
+	if !b.Get(0) || b.Get(1) || !b.Get(2) {
+		t.Fatal("FromWords bits wrong")
+	}
+	b.Set(1)
+	if w[0] != 0b111 {
+		t.Fatal("FromWords must alias the slice")
+	}
+}
+
+func sortedUnique(xs []int32, max int32) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, x := range xs {
+		v := x % max
+		if v < 0 {
+			v = -v
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestSortedSetOpsProperty(t *testing.T) {
+	f := func(as, bs []int32) bool {
+		a := sortedUnique(as, 500)
+		b := sortedUnique(bs, 500)
+		ba, bb := New(500), New(500)
+		ba.SetList(a)
+		bb.SetList(b)
+
+		// Union
+		un := UnionSorted(nil, a, b)
+		ref := ba.Clone()
+		ref.Or(bb)
+		if !listEq(un, ref.ToList(nil)) {
+			return false
+		}
+		// Intersection
+		in := IntersectSorted(nil, a, b)
+		ref = ba.Clone()
+		ref.And(bb)
+		if !listEq(in, ref.ToList(nil)) {
+			return false
+		}
+		// Difference
+		df := DiffSorted(nil, a, b)
+		ref = ba.Clone()
+		ref.AndNot(bb)
+		return listEq(df, ref.ToList(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func listEq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRandomAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := New(1000)
+	ref := map[int]bool{}
+	for i := 0; i < 5000; i++ {
+		idx := rng.Intn(1000)
+		if rng.Intn(2) == 0 {
+			b.Set(idx)
+			ref[idx] = true
+		} else {
+			b.Clear(idx)
+			delete(ref, idx)
+		}
+	}
+	if b.Count() != len(ref) {
+		t.Fatalf("Count = %d, want %d", b.Count(), len(ref))
+	}
+	for i := 0; i < 1000; i++ {
+		if b.Get(i) != ref[i] {
+			t.Fatalf("bit %d = %v, want %v", i, b.Get(i), ref[i])
+		}
+	}
+}

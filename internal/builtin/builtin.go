@@ -1,0 +1,98 @@
+// Package builtin provides the grammars used throughout the paper's
+// evaluation (§4.1): unconstrained JSON (ECMA-404), an XML 1.0 subset, and
+// a Python DSL covering basic control flow and scalar types (indentation is
+// not tracked, as in the paper).
+package builtin
+
+import (
+	"sync"
+
+	"xgrammar/internal/ebnf"
+	"xgrammar/internal/grammar"
+)
+
+// JSONGrammar is the ECMA-404 JSON grammar in the engine's EBNF dialect.
+const JSONGrammar = `
+root    ::= ws value ws
+value   ::= object | array | string | number | "true" | "false" | "null"
+object  ::= "{" ws ( member ( "," ws member )* )? "}"
+member  ::= string ws ":" ws value ws
+array   ::= "[" ws ( value ws ( "," ws value ws )* )? "]"
+string  ::= "\"" char* "\""
+char    ::= [^"\\\x00-\x1f] | "\\" escape
+escape  ::= ["\\/bfnrt] | "u" hex hex hex hex
+hex     ::= [0-9a-fA-F]
+number  ::= "-"? int frac? exp?
+int     ::= "0" | [1-9] [0-9]*
+frac    ::= "." [0-9]+
+exp     ::= [eE] [-+]? [0-9]+
+ws      ::= [ \t\n\r]*
+`
+
+// XMLGrammar is a subset of XML 1.0: nested elements, attributes, character
+// data, and the five predefined entities. Matching open/close tag names is
+// not context-free, so (as in grammar-constrained generation generally) tag
+// names are matched structurally, not by equality.
+const XMLGrammar = `
+root      ::= ws element ws
+element   ::= "<" name attrs ws ( "/>" | ">" content "</" name ">" )
+attrs     ::= ( sp attribute )*
+attribute ::= name "=" "\"" attvalue* "\""
+attvalue  ::= [^<&"] | entity
+content   ::= ( chardata | element | entity )*
+chardata  ::= [^<&]
+entity    ::= "&" ( "lt" | "gt" | "amp" | "apos" | "quot" ) ";"
+name      ::= [a-zA-Z_] namechar*
+namechar  ::= [a-zA-Z0-9_.-]
+sp        ::= " "+
+ws        ::= [ \t\n\r]*
+`
+
+// PythonDSLGrammar covers basic control flow (if/for/while), assignments,
+// calls, and str/int/float/bool literals; indentation is ignored (§4.1).
+const PythonDSLGrammar = `
+root     ::= stmt+
+stmt     ::= simple "\n" | compound
+simple   ::= assign | rtn | call | "pass" | "break" | "continue"
+assign   ::= name " = " expr
+rtn      ::= "return " expr
+compound ::= header ":" "\n" stmt+
+header   ::= "if " expr | "elif " expr | "else" | "while " expr | "for " name " in " expr
+expr     ::= unary ( op unary )*
+unary    ::= "not " atom | "-" atom | atom
+op       ::= " + " | " - " | " * " | " / " | " % " | " == " | " != " | " < " | " > " | " <= " | " >= " | " and " | " or "
+atom     ::= call | name | number | strlit | "True" | "False" | "None" | "(" expr ")" | listlit
+call     ::= name "(" args? ")"
+args     ::= expr ( ", " expr )*
+listlit  ::= "[" args? "]"
+name     ::= [a-zA-Z_] [a-zA-Z0-9_]*
+number   ::= "-"? [0-9]+ ( "." [0-9]+ )?
+strlit   ::= "\"" strchar* "\""
+strchar  ::= [^"\\\x00-\x1f] | "\\" ["\\nrt]
+`
+
+var (
+	mu     sync.Mutex
+	parsed = map[string]*grammar.Grammar{}
+)
+
+// parse caches parsed grammars by source.
+func parse(src string) *grammar.Grammar {
+	mu.Lock()
+	defer mu.Unlock()
+	if g, ok := parsed[src]; ok {
+		return g
+	}
+	g := ebnf.MustParse(src)
+	parsed[src] = g
+	return g
+}
+
+// JSON returns the parsed ECMA-404 grammar.
+func JSON() *grammar.Grammar { return parse(JSONGrammar) }
+
+// XML returns the parsed XML-subset grammar.
+func XML() *grammar.Grammar { return parse(XMLGrammar) }
+
+// PythonDSL returns the parsed Python-DSL grammar.
+func PythonDSL() *grammar.Grammar { return parse(PythonDSLGrammar) }

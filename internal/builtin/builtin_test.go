@@ -1,0 +1,123 @@
+package builtin
+
+import (
+	"testing"
+
+	"xgrammar/internal/matcher"
+	"xgrammar/internal/pda"
+)
+
+func accepts(t *testing.T, p *pda.PDA, s string) bool {
+	t.Helper()
+	m := matcher.New(matcher.NewExec(p), 0)
+	if !m.Advance([]byte(s)) {
+		return false
+	}
+	return m.CanTerminate()
+}
+
+func TestJSONGrammar(t *testing.T) {
+	p, err := pda.Compile(JSON(), pda.AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []string{
+		`{"a": [1, 2.5e-3], "b": {"c": "é\n"}}`,
+		`[[],[{}]]`,
+		`null`,
+		`-0.5`,
+	}
+	bad := []string{`{,}`, `[1 2]`, `{"a":}`, `"\x"`, `00`}
+	for _, s := range good {
+		if !accepts(t, p, s) {
+			t.Errorf("valid JSON rejected: %q", s)
+		}
+	}
+	for _, s := range bad {
+		if accepts(t, p, s) {
+			t.Errorf("invalid JSON accepted: %q", s)
+		}
+	}
+}
+
+func TestXMLGrammar(t *testing.T) {
+	p, err := pda.Compile(XML(), pda.AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []string{
+		`<root/>`,
+		`<a x="1" y="two"><b>text</b><c/></a>`,
+		`<item>a &amp; b</item>`,
+		` <doc><x>1</x></doc> `,
+	}
+	bad := []string{
+		`<a`,
+		`<a>text`,
+		`<a x=1></a>`,
+		`text`,
+		`<a>&unknown;</a>`,
+	}
+	for _, s := range good {
+		if !accepts(t, p, s) {
+			t.Errorf("valid XML rejected: %q", s)
+		}
+	}
+	for _, s := range bad {
+		if accepts(t, p, s) {
+			t.Errorf("invalid XML accepted: %q", s)
+		}
+	}
+}
+
+func TestPythonDSLGrammar(t *testing.T) {
+	p, err := pda.Compile(PythonDSL(), pda.AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []string{
+		"x = 1\n",
+		"x = \"hello\"\n",
+		"if x == 1:\nprint(x)\n",
+		"for i in range(10):\ntotal = total + i\n",
+		"while n > 0:\nn = n - 1\n",
+		"x = [1, 2, 3]\n",
+		"y = not flag\n",
+		"if a and b:\nreturn c\n",
+		"f(1, \"two\", g(x))\n",
+	}
+	bad := []string{
+		"x = \n",
+		"if :\n",
+		"1x = 2\n",
+		"x == \n",
+		"for in x:\n",
+	}
+	for _, s := range good {
+		if !accepts(t, p, s) {
+			t.Errorf("valid DSL rejected: %q", s)
+		}
+	}
+	for _, s := range bad {
+		if accepts(t, p, s) {
+			t.Errorf("invalid DSL accepted: %q", s)
+		}
+	}
+}
+
+func TestParsedGrammarsCached(t *testing.T) {
+	if JSON() != JSON() {
+		t.Fatal("JSON grammar not cached")
+	}
+	if XML() != XML() || PythonDSL() != PythonDSL() {
+		t.Fatal("grammar not cached")
+	}
+}
+
+func TestAllValidate(t *testing.T) {
+	for _, g := range []interface{ Validate() error }{JSON(), XML(), PythonDSL()} {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package corpus generates the deterministic synthetic training corpus for
+// the byte-level BPE tokenizer. The paper evaluates with the Llama-3.1
+// tokenizer, which was trained on web-scale text; we substitute a corpus
+// mixing English-like prose, JSON documents, XML and code so the learned
+// merges produce the same qualitative behaviour the engine cares about:
+// multi-byte tokens (whole words, punctuation runs like `":` or `},`), and
+// tokens that cross grammar-element boundaries.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+var englishWords = []string{
+	"the", "of", "and", "a", "to", "in", "is", "you", "that", "it",
+	"he", "was", "for", "on", "are", "as", "with", "his", "they", "I",
+	"at", "be", "this", "have", "from", "or", "one", "had", "by", "word",
+	"but", "not", "what", "all", "were", "we", "when", "your", "can", "said",
+	"there", "use", "an", "each", "which", "she", "do", "how", "their", "if",
+	"will", "up", "other", "about", "out", "many", "then", "them", "these", "so",
+	"some", "her", "would", "make", "like", "him", "into", "time", "has", "look",
+	"two", "more", "write", "go", "see", "number", "no", "way", "could", "people",
+	"my", "than", "first", "water", "been", "call", "who", "oil", "its", "now",
+	"find", "long", "down", "day", "did", "get", "come", "made", "may", "part",
+	"model", "token", "value", "string", "object", "array", "number", "true",
+	"false", "null", "name", "type", "data", "result", "error", "message",
+	"status", "code", "user", "item", "list", "key", "text", "input", "output",
+	"function", "return", "print", "range", "index", "count", "total", "price",
+	"email", "address", "city", "country", "phone", "date", "year", "month",
+}
+
+var jsonKeys = []string{
+	"name", "age", "email", "address", "city", "country", "id", "type",
+	"value", "items", "tags", "price", "quantity", "status", "created",
+	"updated", "description", "title", "author", "metadata", "config",
+	"enabled", "active", "score", "rating", "phone", "zipcode", "state",
+}
+
+var xmlTags = []string{
+	"item", "entry", "record", "person", "product", "order", "config",
+	"node", "element", "field", "row", "data",
+}
+
+var pyIdents = []string{
+	"x", "y", "i", "n", "total", "count", "result", "value", "item",
+	"data", "items", "name", "acc", "idx", "flag", "out",
+}
+
+// syllables for the synthetic lexicon: BPE needs word diversity comparable
+// to natural text to learn tens of thousands of merges, so beyond the fixed
+// common-word list we generate a Zipf-distributed pseudo-word lexicon.
+var onsets = []string{
+	"b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s",
+	"t", "v", "w", "z", "br", "ch", "cl", "cr", "dr", "fl", "fr", "gl",
+	"gr", "pl", "pr", "sc", "sh", "sk", "sl", "sm", "sn", "sp", "st", "str",
+	"sw", "th", "tr", "tw", "wh",
+}
+var nuclei = []string{"a", "e", "i", "o", "u", "ai", "ea", "ee", "ie", "oa", "oo", "ou"}
+var codas = []string{"", "", "b", "ck", "d", "g", "l", "ll", "m", "n", "nd", "ng", "nt", "p", "r", "rd", "s", "ss", "st", "t", "x"}
+
+// lexicon builds n deterministic pseudo-words.
+func lexicon(n int, rng *rand.Rand) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, n)
+	for len(out) < n {
+		var w strings.Builder
+		syls := 1 + rng.Intn(3)
+		for s := 0; s < syls; s++ {
+			w.WriteString(onsets[rng.Intn(len(onsets))])
+			w.WriteString(nuclei[rng.Intn(len(nuclei))])
+			w.WriteString(codas[rng.Intn(len(codas))])
+		}
+		word := w.String()
+		if !seen[word] {
+			seen[word] = true
+			out = append(out, word)
+		}
+	}
+	return out
+}
+
+// Options controls corpus composition.
+type Options struct {
+	// Bytes is the approximate corpus size.
+	Bytes int
+	// Seed drives the deterministic generator.
+	Seed int64
+	// Weights for each section, normalized internally. Zero values fall
+	// back to the defaults (prose 4, json 3, code 2, xml 1).
+	ProseWeight, JSONWeight, CodeWeight, XMLWeight int
+}
+
+// Default returns the standard tokenizer-training corpus of about n bytes.
+func Default(n int) string {
+	return Generate(Options{Bytes: n, Seed: 20250612})
+}
+
+// Generate produces a deterministic mixed-domain corpus.
+func Generate(opts Options) string {
+	if opts.Bytes <= 0 {
+		opts.Bytes = 1 << 20
+	}
+	if opts.ProseWeight == 0 && opts.JSONWeight == 0 && opts.CodeWeight == 0 && opts.XMLWeight == 0 {
+		opts.ProseWeight, opts.JSONWeight, opts.CodeWeight, opts.XMLWeight = 4, 3, 2, 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := &gen{
+		rng:  rng,
+		lex:  lexicon(24000, rng),
+		zipf: rand.NewZipf(rng, 1.2, 4, 23999),
+	}
+	var sb strings.Builder
+	sb.Grow(opts.Bytes + 4096)
+	total := opts.ProseWeight + opts.JSONWeight + opts.CodeWeight + opts.XMLWeight
+	for sb.Len() < opts.Bytes {
+		r := rng.Intn(total)
+		switch {
+		case r < opts.ProseWeight:
+			g.writeProse(&sb)
+		case r < opts.ProseWeight+opts.JSONWeight:
+			g.writeJSONValue(&sb, 0)
+			sb.WriteByte('\n')
+		case r < opts.ProseWeight+opts.JSONWeight+opts.CodeWeight:
+			writeCode(&sb, rng)
+		default:
+			g.writeXML(&sb)
+		}
+	}
+	return sb.String()
+}
+
+// gen carries the generator state: a seeded RNG plus a Zipf-distributed
+// pseudo-word lexicon that supplies natural-language-like diversity.
+type gen struct {
+	rng  *rand.Rand
+	lex  []string
+	zipf *rand.Zipf
+}
+
+// word draws a word: usually a common English word, sometimes a lexicon word
+// sampled with a Zipf distribution so frequencies look natural.
+func (g *gen) word() string {
+	if g.rng.Intn(3) == 0 {
+		return englishWords[g.rng.Intn(len(englishWords))]
+	}
+	return g.lex[g.zipf.Uint64()]
+}
+
+func (g *gen) writeProse(sb *strings.Builder) {
+	rng := g.rng
+	n := 6 + rng.Intn(14)
+	for i := 0; i < n; i++ {
+		w := g.word()
+		if i == 0 {
+			w = strings.ToUpper(w[:1]) + w[1:]
+		} else {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(w)
+	}
+	switch rng.Intn(4) {
+	case 0:
+		sb.WriteString(", ")
+		sb.WriteString(g.word())
+		sb.WriteString(".")
+	default:
+		sb.WriteString(".")
+	}
+	sb.WriteByte('\n')
+}
+
+// writeJSONValue appends a random JSON value at the given nesting depth.
+func (g *gen) writeJSONValue(sb *strings.Builder, depth int) {
+	rng := g.rng
+	switch k := rng.Intn(10); {
+	case depth < 3 && k < 3: // object
+		sb.WriteByte('{')
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(sb, "%q: ", jsonKeys[rng.Intn(len(jsonKeys))])
+			g.writeJSONValue(sb, depth+1)
+		}
+		sb.WriteByte('}')
+	case depth < 3 && k < 5: // array
+		sb.WriteByte('[')
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			g.writeJSONValue(sb, depth+1)
+		}
+		sb.WriteByte(']')
+	case k < 7: // string
+		nw := 1 + rng.Intn(3)
+		sb.WriteByte('"')
+		for i := 0; i < nw; i++ {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(g.word())
+		}
+		sb.WriteByte('"')
+	case k < 8: // number
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(sb, "%d", rng.Intn(100000))
+		} else {
+			fmt.Fprintf(sb, "%.2f", rng.Float64()*1000)
+		}
+	case k < 9:
+		sb.WriteString("true")
+	default:
+		if rng.Intn(2) == 0 {
+			sb.WriteString("false")
+		} else {
+			sb.WriteString("null")
+		}
+	}
+}
+
+func writeCode(sb *strings.Builder, rng *rand.Rand) {
+	a := pyIdents[rng.Intn(len(pyIdents))]
+	b := pyIdents[rng.Intn(len(pyIdents))]
+	switch rng.Intn(5) {
+	case 0:
+		fmt.Fprintf(sb, "%s = %d\n", a, rng.Intn(1000))
+	case 1:
+		fmt.Fprintf(sb, "for %s in range(%d):\n%s = %s + %s\n", a, rng.Intn(100), b, b, a)
+	case 2:
+		fmt.Fprintf(sb, "if %s > %d:\nprint(%s)\n", a, rng.Intn(50), a)
+	case 3:
+		fmt.Fprintf(sb, "while %s < %d:\n%s = %s * 2\n", a, rng.Intn(100), a, a)
+	default:
+		fmt.Fprintf(sb, "%s = \"%s\"\n", a, englishWords[rng.Intn(len(englishWords))])
+	}
+}
+
+func (g *gen) writeXML(sb *strings.Builder) {
+	rng := g.rng
+	tag := xmlTags[rng.Intn(len(xmlTags))]
+	attr := jsonKeys[rng.Intn(len(jsonKeys))]
+	fmt.Fprintf(sb, "<%s %s=\"%d\">", tag, attr, rng.Intn(1000))
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		inner := xmlTags[rng.Intn(len(xmlTags))]
+		fmt.Fprintf(sb, "<%s>%s</%s>", inner, g.word(), inner)
+	}
+	fmt.Fprintf(sb, "</%s>\n", tag)
+}

@@ -1,0 +1,61 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Options{Bytes: 1 << 14, Seed: 5})
+	b := Generate(Options{Bytes: 1 << 14, Seed: 5})
+	if a != b {
+		t.Fatal("same seed produced different corpora")
+	}
+	c := Generate(Options{Bytes: 1 << 14, Seed: 6})
+	if a == c {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateSizeAndMix(t *testing.T) {
+	s := Default(1 << 15)
+	if len(s) < 1<<15 {
+		t.Fatalf("corpus too small: %d", len(s))
+	}
+	// All four domains must be present.
+	for name, marker := range map[string]string{
+		"json":  `": `,
+		"code":  "range(",
+		"xml":   "</",
+		"prose": ".\n",
+	} {
+		if !strings.Contains(s, marker) {
+			t.Errorf("domain %s missing (marker %q)", name, marker)
+		}
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	s := Generate(Options{Seed: 1})
+	if len(s) < 1<<20 {
+		t.Fatalf("default size not applied: %d", len(s))
+	}
+}
+
+func TestWeightsRespected(t *testing.T) {
+	jsonOnly := Generate(Options{Bytes: 1 << 14, Seed: 2, JSONWeight: 1})
+	if strings.Contains(jsonOnly, "range(") {
+		t.Fatal("json-only corpus contains code")
+	}
+}
+
+func TestLexiconDiversity(t *testing.T) {
+	s := Generate(Options{Bytes: 1 << 16, Seed: 3, ProseWeight: 1})
+	words := map[string]bool{}
+	for _, w := range strings.Fields(s) {
+		words[strings.Trim(w, ".,\"")] = true
+	}
+	if len(words) < 500 {
+		t.Fatalf("only %d distinct words; lexicon too narrow for BPE", len(words))
+	}
+}

@@ -1,0 +1,396 @@
+// Package ebnf parses the GBNF-style EBNF dialect used to specify grammars:
+//
+//	root   ::= ws value ws
+//	value  ::= object | array | "true" | [0-9]+ | string{1,3}
+//	string ::= "\"" [^"\\]* "\""   # comment to end of line
+//
+// Rules are `name ::= expression`. Expressions support string literals with
+// escapes (\" \\ \n \r \t \xHH \uHHHH), character classes ([a-z0-9], [^"\],
+// same escapes plus \x/\u), grouping, alternation `|`, and the quantifiers
+// `* + ? {n} {n,} {n,m}`. A rule body extends until the next `name ::=` or
+// end of input, so bodies may span lines.
+package ebnf
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+
+	"xgrammar/internal/grammar"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokAssign // ::=
+	tokPipe
+	tokLParen
+	tokRParen
+	tokStar
+	tokPlus
+	tokQuestion
+	tokString // decoded literal bytes in tok.bytes
+	tokClass  // parsed char class in tok.class
+	tokBrace  // quantifier {m}, {m,}, {m,n}: bounds in tok.min/tok.max
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokAssign:
+		return "::="
+	case tokPipe:
+		return "|"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokStar:
+		return "*"
+	case tokPlus:
+		return "+"
+	case tokQuestion:
+		return "?"
+	case tokString:
+		return "string literal"
+	case tokClass:
+		return "character class"
+	case tokBrace:
+		return "quantifier"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind  tokenKind
+	text  string
+	bytes []byte
+	class *grammar.CharClass
+	min   int
+	max   int
+	line  int
+	col   int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...interface{}) error {
+	return fmt.Errorf("ebnf: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	b := l.src[l.pos]
+	l.pos++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		b := l.src[l.pos]
+		switch {
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			l.advance()
+		case b == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isIdentByte(b byte) bool {
+	return isIdentStart(b) || (b >= '0' && b <= '9') || b == '-' || b == '.'
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	b, ok := l.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	switch {
+	case isIdentStart(b):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	case b == ':':
+		if strings.HasPrefix(l.src[l.pos:], "::=") {
+			l.advance()
+			l.advance()
+			l.advance()
+			return token{kind: tokAssign, line: line, col: col}, nil
+		}
+		return token{}, l.errf(line, col, "unexpected ':'")
+	case b == '|':
+		l.advance()
+		return token{kind: tokPipe, line: line, col: col}, nil
+	case b == '(':
+		l.advance()
+		return token{kind: tokLParen, line: line, col: col}, nil
+	case b == ')':
+		l.advance()
+		return token{kind: tokRParen, line: line, col: col}, nil
+	case b == '*':
+		l.advance()
+		return token{kind: tokStar, line: line, col: col}, nil
+	case b == '+':
+		l.advance()
+		return token{kind: tokPlus, line: line, col: col}, nil
+	case b == '?':
+		l.advance()
+		return token{kind: tokQuestion, line: line, col: col}, nil
+	case b == '{':
+		return l.lexBrace(line, col)
+	case b == '"':
+		return l.lexString(line, col)
+	case b == '[':
+		return l.lexClass(line, col)
+	}
+	return token{}, l.errf(line, col, "unexpected character %q", b)
+}
+
+func (l *lexer) lexBrace(line, col int) (token, error) {
+	l.advance() // {
+	readInt := func() (int, bool) {
+		n, any := 0, false
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			n = n*10 + int(l.advance()-'0')
+			any = true
+			if n > 1<<20 {
+				return n, any
+			}
+		}
+		return n, any
+	}
+	min, ok := readInt()
+	if !ok {
+		return token{}, l.errf(line, col, "expected number in quantifier")
+	}
+	max := min
+	if b, _ := l.peekByte(); b == ',' {
+		l.advance()
+		if b2, _ := l.peekByte(); b2 >= '0' && b2 <= '9' {
+			max, _ = readInt()
+		} else {
+			max = -1
+		}
+	}
+	if b, _ := l.peekByte(); b != '}' {
+		return token{}, l.errf(line, col, "unterminated quantifier")
+	}
+	l.advance()
+	return token{kind: tokBrace, min: min, max: max, line: line, col: col}, nil
+}
+
+// lexEscape decodes an escape sequence after the backslash has been
+// consumed. inClass permits class-specific escapes. It returns the rune and
+// whether the escape denoted a raw byte (\xHH) rather than a code point.
+func (l *lexer) lexEscape(line, col int, inClass bool) (rune, bool, error) {
+	if l.pos >= len(l.src) {
+		return 0, false, l.errf(line, col, "unterminated escape")
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n', false, nil
+	case 'r':
+		return '\r', false, nil
+	case 't':
+		return '\t', false, nil
+	case '0':
+		return 0, false, nil
+	case '"', '\\', '/', '\'':
+		return rune(c), false, nil
+	case '-', ']', '^', '[':
+		if inClass {
+			return rune(c), false, nil
+		}
+		return rune(c), false, nil
+	case 'x':
+		v, err := l.hexDigits(line, col, 2)
+		return rune(v), true, err
+	case 'u':
+		v, err := l.hexDigits(line, col, 4)
+		return rune(v), false, err
+	case 'U':
+		v, err := l.hexDigits(line, col, 8)
+		if err == nil && v > 0x10FFFF {
+			return 0, false, l.errf(line, col, `\U escape beyond Unicode: %#x`, v)
+		}
+		return rune(v), false, err
+	}
+	return 0, false, l.errf(line, col, "unknown escape \\%c", c)
+}
+
+func (l *lexer) hexDigits(line, col, n int) (int, error) {
+	v := 0
+	for i := 0; i < n; i++ {
+		if l.pos >= len(l.src) {
+			return 0, l.errf(line, col, "truncated hex escape")
+		}
+		c := l.advance()
+		switch {
+		case c >= '0' && c <= '9':
+			v = v*16 + int(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v*16 + int(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			v = v*16 + int(c-'A'+10)
+		default:
+			return 0, l.errf(line, col, "bad hex digit %q", c)
+		}
+	}
+	return v, nil
+}
+
+func (l *lexer) lexString(line, col int) (token, error) {
+	l.advance() // opening quote
+	var out []byte
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, l.errf(line, col, "unterminated string literal")
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return token{kind: tokString, bytes: out, line: line, col: col}, nil
+		case '\\':
+			r, raw, err := l.lexEscape(line, col, false)
+			if err != nil {
+				return token{}, err
+			}
+			if raw {
+				out = append(out, byte(r))
+			} else {
+				out = utf8.AppendRune(out, r)
+			}
+		case '\n':
+			return token{}, l.errf(line, col, "newline in string literal")
+		default:
+			out = append(out, c)
+		}
+	}
+}
+
+func (l *lexer) lexClass(line, col int) (token, error) {
+	l.advance() // [
+	cc := &grammar.CharClass{}
+	if b, _ := l.peekByte(); b == '^' {
+		l.advance()
+		cc.Negated = true
+	}
+	readRune := func() (rune, error) {
+		c := l.advance()
+		if c == '\\' {
+			r, raw, err := l.lexEscape(line, col, true)
+			if err != nil {
+				return 0, err
+			}
+			_ = raw // raw byte escapes act as code points < 256 inside classes
+			return r, nil
+		}
+		if c < utf8.RuneSelf {
+			return rune(c), nil
+		}
+		// Multi-byte UTF-8 character: back up and decode.
+		l.pos--
+		l.col--
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		for i := 0; i < size; i++ {
+			l.advance()
+		}
+		return r, nil
+	}
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, l.errf(line, col, "unterminated character class")
+		}
+		if b, _ := l.peekByte(); b == ']' {
+			l.advance()
+			normalizeClass(cc)
+			return token{kind: tokClass, class: cc, line: line, col: col}, nil
+		}
+		lo, err := readRune()
+		if err != nil {
+			return token{}, err
+		}
+		hi := lo
+		if b, _ := l.peekByte(); b == '-' {
+			// Range unless the '-' is the last char before ']'.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] != ']' {
+				l.advance() // -
+				hi, err = readRune()
+				if err != nil {
+					return token{}, err
+				}
+				if hi < lo {
+					return token{}, l.errf(line, col, "character class range out of order")
+				}
+			}
+		}
+		cc.Ranges = append(cc.Ranges, grammar.RuneRange{Lo: lo, Hi: hi})
+	}
+}
+
+// normalizeClass sorts and merges overlapping or adjacent ranges.
+func normalizeClass(cc *grammar.CharClass) {
+	rs := cc.Ranges
+	if len(rs) <= 1 {
+		return
+	}
+	// Insertion sort: classes are tiny.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Lo < rs[j-1].Lo; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi+1 {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	cc.Ranges = out
+}

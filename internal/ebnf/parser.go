@@ -1,0 +1,250 @@
+package ebnf
+
+import (
+	"fmt"
+
+	"xgrammar/internal/grammar"
+)
+
+// Parse parses EBNF source into a validated Grammar. The root rule is the
+// one named "root" or "main" if present, otherwise the first rule.
+func Parse(src string) (*grammar.Grammar, error) {
+	p := &parser{lex: newLexer(src), ruleIdx: map[string]int{}}
+	if err := p.fill(); err != nil {
+		return nil, err
+	}
+	g, err := p.parseGrammar()
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustParse is Parse but panics on error; for built-in grammars and tests.
+func MustParse(src string) *grammar.Grammar {
+	g, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type parser struct {
+	lex *lexer
+	// Two-token lookahead so `ident ::=` can end the previous rule body.
+	buf [2]token
+	// pending references to rules not yet defined: name -> refs
+	pending map[string][]*grammar.RuleRef
+	ruleIdx map[string]int
+	g       grammar.Grammar
+}
+
+func (p *parser) fill() error {
+	for i := range p.buf {
+		t, err := p.lex.next()
+		if err != nil {
+			return err
+		}
+		p.buf[i] = t
+	}
+	return nil
+}
+
+func (p *parser) peek() token  { return p.buf[0] }
+func (p *parser) peek2() token { return p.buf[1] }
+
+func (p *parser) advance() (token, error) {
+	t := p.buf[0]
+	p.buf[0] = p.buf[1]
+	nt, err := p.lex.next()
+	if err != nil {
+		return token{}, err
+	}
+	p.buf[1] = nt
+	return t, nil
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return token{}, fmt.Errorf("ebnf: %d:%d: expected %v, found %v", t.line, t.col, k, t.kind)
+	}
+	return p.advance()
+}
+
+// atRuleStart reports whether the lookahead is `ident ::=`.
+func (p *parser) atRuleStart() bool {
+	return p.peek().kind == tokIdent && p.peek2().kind == tokAssign
+}
+
+func (p *parser) parseGrammar() (*grammar.Grammar, error) {
+	p.pending = map[string][]*grammar.RuleRef{}
+	for p.peek().kind != tokEOF {
+		if !p.atRuleStart() {
+			t := p.peek()
+			return nil, fmt.Errorf("ebnf: %d:%d: expected rule definition, found %v", t.line, t.col, t.kind)
+		}
+		nameTok, err := p.advance()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := p.ruleIdx[nameTok.text]; dup {
+			return nil, fmt.Errorf("ebnf: %d:%d: duplicate rule %q", nameTok.line, nameTok.col, nameTok.text)
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		body, err := p.parseChoice()
+		if err != nil {
+			return nil, err
+		}
+		idx := len(p.g.Rules)
+		p.g.Rules = append(p.g.Rules, grammar.Rule{Name: nameTok.text, Body: body})
+		p.ruleIdx[nameTok.text] = idx
+	}
+	if len(p.g.Rules) == 0 {
+		return nil, fmt.Errorf("ebnf: no rules defined")
+	}
+	// Resolve forward references.
+	for name, refs := range p.pending {
+		idx, ok := p.ruleIdx[name]
+		if !ok {
+			return nil, fmt.Errorf("ebnf: undefined rule %q", name)
+		}
+		for _, r := range refs {
+			r.Index = idx
+		}
+	}
+	// Root selection: "root", then "main", then the first rule.
+	p.g.Root = 0
+	if idx, ok := p.ruleIdx["root"]; ok {
+		p.g.Root = idx
+	} else if idx, ok := p.ruleIdx["main"]; ok {
+		p.g.Root = idx
+	}
+	return &p.g, nil
+}
+
+func (p *parser) parseChoice() (grammar.Expr, error) {
+	first, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	alts := []grammar.Expr{first}
+	for p.peek().kind == tokPipe {
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, next)
+	}
+	if len(alts) == 1 {
+		return alts[0], nil
+	}
+	return &grammar.Choice{Alts: alts}, nil
+}
+
+func (p *parser) parseSeq() (grammar.Expr, error) {
+	var items []grammar.Expr
+	for {
+		k := p.peek().kind
+		if k == tokPipe || k == tokRParen || k == tokEOF || p.atRuleStart() {
+			break
+		}
+		it, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+	}
+	switch len(items) {
+	case 0:
+		return &grammar.Empty{}, nil
+	case 1:
+		return items[0], nil
+	}
+	return &grammar.Seq{Items: items}, nil
+}
+
+func (p *parser) parseRepeat() (grammar.Expr, error) {
+	prim, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().kind {
+		case tokStar:
+			if _, err := p.advance(); err != nil {
+				return nil, err
+			}
+			prim = &grammar.Repeat{Sub: prim, Min: 0, Max: -1}
+		case tokPlus:
+			if _, err := p.advance(); err != nil {
+				return nil, err
+			}
+			prim = &grammar.Repeat{Sub: prim, Min: 1, Max: -1}
+		case tokQuestion:
+			if _, err := p.advance(); err != nil {
+				return nil, err
+			}
+			prim = &grammar.Repeat{Sub: prim, Min: 0, Max: 1}
+		case tokBrace:
+			t, err := p.advance()
+			if err != nil {
+				return nil, err
+			}
+			prim = &grammar.Repeat{Sub: prim, Min: t.min, Max: t.max}
+		default:
+			return prim, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (grammar.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+		if len(t.bytes) == 0 {
+			return &grammar.Empty{}, nil
+		}
+		return &grammar.Literal{Bytes: t.bytes}, nil
+	case tokClass:
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+		return t.class, nil
+	case tokIdent:
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+		ref := &grammar.RuleRef{Name: t.text, Index: -1}
+		if idx, ok := p.ruleIdx[t.text]; ok {
+			ref.Index = idx
+		} else {
+			p.pending[t.text] = append(p.pending[t.text], ref)
+		}
+		return ref, nil
+	case tokLParen:
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseChoice()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return nil, fmt.Errorf("ebnf: %d:%d: unexpected %v", t.line, t.col, t.kind)
+}

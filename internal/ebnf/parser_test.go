@@ -1,0 +1,271 @@
+package ebnf
+
+import (
+	"strings"
+	"testing"
+
+	"xgrammar/internal/grammar"
+)
+
+func TestParseSimple(t *testing.T) {
+	g, err := Parse(`root ::= "hello"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rules) != 1 || g.Rules[0].Name != "root" {
+		t.Fatalf("bad rules: %+v", g.Rules)
+	}
+	lit, ok := g.Rules[0].Body.(*grammar.Literal)
+	if !ok || string(lit.Bytes) != "hello" {
+		t.Fatalf("body = %v", g.Rules[0].Body)
+	}
+}
+
+func TestParseChoiceAndSeq(t *testing.T) {
+	g, err := Parse(`root ::= "a" "b" | "c"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, ok := g.Rules[0].Body.(*grammar.Choice)
+	if !ok || len(ch.Alts) != 2 {
+		t.Fatalf("body = %v", g.Rules[0].Body)
+	}
+	if _, ok := ch.Alts[0].(*grammar.Seq); !ok {
+		t.Fatalf("first alt = %T, want Seq", ch.Alts[0])
+	}
+}
+
+func TestParseQuantifiers(t *testing.T) {
+	src := `root ::= "a"* "b"+ "c"? "d"{2} "e"{2,} "f"{2,5}`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := g.Rules[0].Body.(*grammar.Seq)
+	wants := []struct{ min, max int }{{0, -1}, {1, -1}, {0, 1}, {2, 2}, {2, -1}, {2, 5}}
+	if len(seq.Items) != len(wants) {
+		t.Fatalf("items = %d", len(seq.Items))
+	}
+	for i, w := range wants {
+		rep, ok := seq.Items[i].(*grammar.Repeat)
+		if !ok {
+			t.Fatalf("item %d = %T", i, seq.Items[i])
+		}
+		if rep.Min != w.min || rep.Max != w.max {
+			t.Errorf("item %d = {%d,%d}, want {%d,%d}", i, rep.Min, rep.Max, w.min, w.max)
+		}
+	}
+}
+
+func TestParseCharClass(t *testing.T) {
+	g, err := Parse(`root ::= [a-z0-9_]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := g.Rules[0].Body.(*grammar.CharClass)
+	if cc.Negated {
+		t.Fatal("unexpected negation")
+	}
+	// normalizeClass sorts: 0-9, _, a-z
+	if len(cc.Ranges) != 3 {
+		t.Fatalf("ranges = %v", cc.Ranges)
+	}
+	if cc.Ranges[0].Lo != '0' || cc.Ranges[0].Hi != '9' {
+		t.Errorf("range 0 = %v", cc.Ranges[0])
+	}
+}
+
+func TestParseNegatedClassWithEscapes(t *testing.T) {
+	g, err := Parse(`root ::= [^"\\]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := g.Rules[0].Body.(*grammar.CharClass)
+	if !cc.Negated {
+		t.Fatal("want negated")
+	}
+	has := func(r rune) bool {
+		for _, rr := range cc.Ranges {
+			if r >= rr.Lo && r <= rr.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	if !has('"') || !has('\\') || has('a') {
+		t.Fatalf("ranges = %v", cc.Ranges)
+	}
+}
+
+func TestClassRangeMerging(t *testing.T) {
+	g, err := Parse(`root ::= [a-cb-e]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := g.Rules[0].Body.(*grammar.CharClass)
+	if len(cc.Ranges) != 1 || cc.Ranges[0].Lo != 'a' || cc.Ranges[0].Hi != 'e' {
+		t.Fatalf("ranges = %v", cc.Ranges)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	g, err := Parse(`root ::= "a\"b\\c\n\t\x41é"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := g.Rules[0].Body.(*grammar.Literal)
+	want := "a\"b\\c\n\tAé"
+	if string(lit.Bytes) != want {
+		t.Fatalf("bytes = %q, want %q", lit.Bytes, want)
+	}
+}
+
+func TestMultiRuleAndForwardRef(t *testing.T) {
+	src := `
+# grammar with forward reference
+root ::= item ("," item)*
+item ::= [0-9]+
+`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rules) != 2 {
+		t.Fatalf("rules = %d", len(g.Rules))
+	}
+	var found bool
+	grammarWalk(g.Rules[0].Body, func(e grammar.Expr) {
+		if r, ok := e.(*grammar.RuleRef); ok && r.Name == "item" && r.Index == 1 {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("forward reference not resolved")
+	}
+}
+
+func grammarWalk(e grammar.Expr, f func(grammar.Expr)) {
+	f(e)
+	switch v := e.(type) {
+	case *grammar.Seq:
+		for _, it := range v.Items {
+			grammarWalk(it, f)
+		}
+	case *grammar.Choice:
+		for _, a := range v.Alts {
+			grammarWalk(a, f)
+		}
+	case *grammar.Repeat:
+		grammarWalk(v.Sub, f)
+	}
+}
+
+func TestRootSelection(t *testing.T) {
+	g, err := Parse("a ::= \"x\"\nroot ::= a\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rules[g.Root].Name != "root" {
+		t.Fatalf("root = %q", g.Rules[g.Root].Name)
+	}
+	g2, err := Parse("a ::= \"x\"\nmain ::= a\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Rules[g2.Root].Name != "main" {
+		t.Fatalf("root = %q", g2.Rules[g2.Root].Name)
+	}
+	g3, err := Parse("first ::= \"x\"\nsecond ::= first\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.Rules[g3.Root].Name != "first" {
+		t.Fatalf("root = %q", g3.Rules[g3.Root].Name)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{``, "no rules"},
+		{`root ::= ghost`, "undefined rule"},
+		{`root ::= "unterminated`, "unterminated string"},
+		{`root ::= [abc`, "unterminated character class"},
+		{`root ::= "a" ::= "b"`, "expected"},
+		{`root ::= "x"` + "\n" + `root ::= "y"`, "duplicate"},
+		{`root ::= "a"{5,2}`, "repeat max"},
+		{`root ::= (`, "expected )"},
+		{`root ::= "a" )`, "expected rule definition"},
+		{`root ::= "\q"`, "unknown escape"},
+		{`root ::= [z-a]`, "out of order"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("src %q: want error containing %q, got nil", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: error %q missing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	src := `
+# leading comment
+root ::= "a"   # trailing comment
+     | "b"
+`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := g.Rules[0].Body.(*grammar.Choice)
+	if len(ch.Alts) != 2 {
+		t.Fatalf("alts = %d", len(ch.Alts))
+	}
+}
+
+func TestEmptyAlternative(t *testing.T) {
+	g, err := Parse(`root ::= "a" | `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := g.Rules[0].Body.(*grammar.Choice)
+	if _, ok := ch.Alts[1].(*grammar.Empty); !ok {
+		t.Fatalf("alt 1 = %T, want Empty", ch.Alts[1])
+	}
+}
+
+func TestUnicodeLiteralAndClass(t *testing.T) {
+	g, err := Parse(`root ::= "héllo" [α-ω]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := g.Rules[0].Body.(*grammar.Seq)
+	lit := seq.Items[0].(*grammar.Literal)
+	if string(lit.Bytes) != "héllo" {
+		t.Fatalf("literal = %q", lit.Bytes)
+	}
+	cc := seq.Items[1].(*grammar.CharClass)
+	if cc.Ranges[0].Lo != 'α' || cc.Ranges[0].Hi != 'ω' {
+		t.Fatalf("class = %v", cc.Ranges)
+	}
+}
+
+func TestLeftRecursionRejectedAtParse(t *testing.T) {
+	_, err := Parse(`expr ::= expr "+" term | term
+term ::= [0-9]+`)
+	if err == nil || !strings.Contains(err.Error(), "left recursion") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse(`root ::= ghost`)
+}

@@ -1,0 +1,263 @@
+// Package engine simulates an LLM serving engine co-designed with the
+// grammar engine (§3.5): batched decoding where each step's wall time
+// combines modelled GPU time (from a llmsim.Profile) with measured grammar
+// CPU time, either serialized (mask generation on the critical path) or
+// overlapped (mask generation hidden behind the GPU step, synchronizing
+// before sampling). Jump-forward decoding (Appendix B) inserts forced
+// tokens without spending decode steps.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"xgrammar/internal/baselines"
+	"xgrammar/internal/bitset"
+	"xgrammar/internal/llmsim"
+	"xgrammar/internal/tokenizer"
+)
+
+// Mode selects how grammar work is scheduled against the GPU.
+type Mode int
+
+// Scheduling modes.
+const (
+	// Unconstrained disables grammar checking entirely.
+	Unconstrained Mode = iota
+	// Serial puts mask generation on the critical path (vLLM/llama.cpp
+	// style in the paper's comparison).
+	Serial
+	// Overlap hides mask generation behind the GPU decode step and
+	// synchronizes before sampling (§3.5).
+	Overlap
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Unconstrained:
+		return "unconstrained"
+	case Serial:
+		return "serial"
+	default:
+		return "overlap"
+	}
+}
+
+// Config describes one engine configuration.
+type Config struct {
+	Profile llmsim.Profile
+	Mode    Mode
+	// Backend supplies grammar sessions; ignored when Mode==Unconstrained.
+	Backend baselines.Backend
+	Tok     *tokenizer.Tokenizer
+	// JumpForward enables forced-token insertion when the backend session
+	// supports it.
+	JumpForward bool
+	// GrammarInitTime is the measured preprocessing cost (mask cache
+	// build); overlapped with prefill in Overlap mode (§3.5).
+	GrammarInitTime time.Duration
+	// MaxSteps guards against runaway generations.
+	MaxSteps int
+}
+
+// Metrics aggregates one batch run.
+type Metrics struct {
+	Requests          int
+	OutputTokens      int
+	DecodeSteps       int
+	JumpForwardTokens int
+	// TTFT is the mean time to first token (prefill + grammar init +
+	// first decode step).
+	TTFT time.Duration
+	// TPOT is the mean, over requests, of decode latency per output token.
+	TPOT time.Duration
+	// MaskCPU is the total measured grammar CPU time.
+	MaskCPU time.Duration
+	// GPUTime is the total modelled GPU time.
+	GPUTime time.Duration
+	// Wall is the total modelled decode wall time.
+	Wall time.Duration
+}
+
+type seqState struct {
+	req       *llmsim.Request
+	session   baselines.Session
+	emitted   int
+	outTokens int
+	done      bool
+	finishAt  time.Duration
+	output    []byte
+}
+
+// Run decodes all requests as one static batch and returns metrics plus the
+// generated text per request.
+func Run(cfg Config, reqs []*llmsim.Request) (Metrics, []string, error) {
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 8192
+	}
+	var met Metrics
+	met.Requests = len(reqs)
+	seqs := make([]*seqState, len(reqs))
+	maxPrompt := 0
+	for i, r := range reqs {
+		s := &seqState{req: r}
+		if cfg.Mode != Unconstrained {
+			s.session = cfg.Backend.NewSession()
+		}
+		seqs[i] = s
+		if r.PromptTokens > maxPrompt {
+			maxPrompt = r.PromptTokens
+		}
+	}
+
+	// Prefill phase. Grammar preprocessing overlaps with prefill in Overlap
+	// mode (Figure 8); otherwise it precedes decoding.
+	prefill := cfg.Profile.Prefill(maxPrompt)
+	var clock time.Duration
+	switch cfg.Mode {
+	case Overlap:
+		clock = maxDur(prefill, cfg.GrammarInitTime)
+	case Serial:
+		clock = prefill + cfg.GrammarInitTime
+	default:
+		clock = prefill
+	}
+	// TPOT measures decode latency per token, excluding prefill and grammar
+	// preprocessing (which land in TTFT instead, as in the paper's TTFT
+	// deltas of Figure 12).
+	decodeStart := clock
+	firstStepDone := false
+
+	mask := bitset.New(cfg.Tok.VocabSize())
+	live := len(seqs)
+	for step := 0; live > 0 && step < cfg.MaxSteps; step++ {
+		gpu := cfg.Profile.DecodeStep(live)
+		var maskCPU time.Duration
+		// Grammar phase: mask generation per live sequence (measured).
+		type pending struct {
+			s    *seqState
+			next int32
+		}
+		var todo []pending
+		for _, s := range seqs {
+			if s.done {
+				continue
+			}
+			next := s.nextToken(cfg.Tok)
+			if cfg.Mode != Unconstrained {
+				t0 := time.Now()
+				s.session.FillMask(mask)
+				maskCPU += time.Since(t0)
+				if !mask.Get(int(next)) {
+					return met, nil, fmt.Errorf("engine: target token %d (%q) masked out (output so far %q)",
+						next, cfg.Tok.TokenBytes(next), s.output)
+				}
+			}
+			todo = append(todo, pending{s: s, next: next})
+		}
+		// Wall-clock for the step (§3.5): overlapped engines hide grammar
+		// CPU behind the GPU step and synchronize before sampling.
+		var stepWall time.Duration
+		if cfg.Mode == Overlap {
+			stepWall = maxDur(gpu, maskCPU) + cfg.Profile.SamplePerStep
+		} else {
+			stepWall = gpu + maskCPU + cfg.Profile.SamplePerStep
+		}
+		clock += stepWall
+		met.GPUTime += gpu
+		met.MaskCPU += maskCPU
+		met.DecodeSteps++
+		if !firstStepDone {
+			met.TTFT = clock
+			firstStepDone = true
+		}
+
+		// Sampling + acceptance phase.
+		for _, p := range todo {
+			s := p.s
+			if cfg.Mode != Unconstrained {
+				if err := s.session.Accept(p.next); err != nil {
+					return met, nil, fmt.Errorf("engine: %w", err)
+				}
+			}
+			s.consume(cfg.Tok, p.next)
+			if s.done {
+				s.finishAt = clock
+				live--
+				continue
+			}
+			// Jump-forward decoding (Appendix B): measured CPU is charged
+			// to the step (it runs on the grammar thread).
+			if cfg.JumpForward && cfg.Mode != Unconstrained {
+				if jf, ok := s.session.(baselines.JumpForwarder); ok {
+					t0 := time.Now()
+					forced := jf.JumpForward()
+					if forced != "" && s.emitted+len(forced) <= len(s.req.Target) &&
+						s.req.Target[s.emitted:s.emitted+len(forced)] == forced {
+						if err := jf.AcceptString(forced); err != nil {
+							return met, nil, fmt.Errorf("engine: jump-forward: %w", err)
+						}
+						s.output = append(s.output, forced...)
+						s.emitted += len(forced)
+						n := len(cfg.Tok.Encode(forced))
+						s.outTokens += n
+						met.JumpForwardTokens += n
+					}
+					elapsed := time.Since(t0)
+					met.MaskCPU += elapsed
+					clock += elapsed
+				}
+			}
+		}
+	}
+
+	outs := make([]string, len(seqs))
+	var tpotSum time.Duration
+	finished := 0
+	for i, s := range seqs {
+		outs[i] = string(s.output)
+		met.OutputTokens += s.outTokens
+		if s.done && s.outTokens > 0 {
+			tpotSum += (s.finishAt - decodeStart) / time.Duration(s.outTokens)
+			finished++
+		}
+	}
+	if finished > 0 {
+		met.TPOT = tpotSum / time.Duration(finished)
+	} else if met.DecodeSteps > 0 {
+		// No request finished (step-capped run): fall back to wall time per
+		// decode step, which is the same metric for fixed-length outputs.
+		met.TPOT = (clock - decodeStart) / time.Duration(met.DecodeSteps)
+	}
+	met.Wall = clock
+	return met, outs, nil
+}
+
+// nextToken returns the next token the teacher-forced model proposes: the
+// first token of the remaining target, or EOS at the end.
+func (s *seqState) nextToken(tok *tokenizer.Tokenizer) int32 {
+	if s.emitted >= len(s.req.Target) {
+		return tokenizer.EosID
+	}
+	ids := tok.Encode(s.req.Target[s.emitted:])
+	return ids[0]
+}
+
+// consume applies an emitted token to the sequence state.
+func (s *seqState) consume(tok *tokenizer.Tokenizer, id int32) {
+	if id == tokenizer.EosID {
+		s.done = true
+		return
+	}
+	b := tok.TokenBytes(id)
+	s.output = append(s.output, b...)
+	s.emitted += len(b)
+	s.outTokens++
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

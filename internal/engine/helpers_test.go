@@ -1,0 +1,16 @@
+package engine
+
+import (
+	"math/rand"
+
+	"xgrammar/internal/grammar"
+	"xgrammar/internal/jsonschema"
+)
+
+func compileSchema(schema []byte) (*grammar.Grammar, error) {
+	return jsonschema.Compile(schema, jsonschema.Options{})
+}
+
+func newRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

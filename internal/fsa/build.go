@@ -1,0 +1,154 @@
+package fsa
+
+import (
+	"fmt"
+
+	"xgrammar/internal/grammar"
+)
+
+// maxUnroll bounds how many times a bounded repetition is unrolled into the
+// automaton before compilation fails; it guards against pathological
+// {1,100000} quantifiers exploding the node count.
+const maxUnroll = 4096
+
+// BuildRule compiles a single rule body into an FSA fragment. The result
+// contains epsilon edges; callers run the optimization passes afterwards.
+func BuildRule(body grammar.Expr) (*FSA, error) {
+	f := New()
+	end, err := build(f, body, f.Start)
+	if err != nil {
+		return nil, err
+	}
+	f.Nodes[end].Final = true
+	return f, nil
+}
+
+// build compiles e starting at node from; it returns the node reached after
+// matching e.
+func build(f *FSA, e grammar.Expr, from int32) (int32, error) {
+	switch v := e.(type) {
+	case *grammar.Empty:
+		return from, nil
+
+	case *grammar.Literal:
+		cur := from
+		for _, b := range v.Bytes {
+			next := f.AddNode()
+			f.AddByteEdge(cur, b, b, next)
+			cur = next
+		}
+		return cur, nil
+
+	case *grammar.CharClass:
+		return buildClass(f, v, from)
+
+	case *grammar.RuleRef:
+		to := f.AddNode()
+		f.AddRuleEdge(from, int32(v.Index), to)
+		return to, nil
+
+	case *grammar.Seq:
+		cur := from
+		for _, it := range v.Items {
+			next, err := build(f, it, cur)
+			if err != nil {
+				return 0, err
+			}
+			cur = next
+		}
+		return cur, nil
+
+	case *grammar.Choice:
+		end := f.AddNode()
+		for _, a := range v.Alts {
+			altStart := f.AddNode()
+			f.AddEpsEdge(from, altStart)
+			altEnd, err := build(f, a, altStart)
+			if err != nil {
+				return 0, err
+			}
+			f.AddEpsEdge(altEnd, end)
+		}
+		return end, nil
+
+	case *grammar.Repeat:
+		return buildRepeat(f, v, from)
+	}
+	return 0, fmt.Errorf("fsa: unknown expression %T", e)
+}
+
+func buildRepeat(f *FSA, v *grammar.Repeat, from int32) (int32, error) {
+	if v.Max >= 0 && v.Max > maxUnroll || v.Min > maxUnroll {
+		return 0, fmt.Errorf("fsa: repetition bound too large (max %d)", maxUnroll)
+	}
+	cur := from
+	// Mandatory copies.
+	for i := 0; i < v.Min; i++ {
+		next, err := build(f, v.Sub, cur)
+		if err != nil {
+			return 0, err
+		}
+		cur = next
+	}
+	if v.Max < 0 {
+		// Kleene closure: loop through a dedicated hub node so that a
+		// nullable body cannot create an infinite epsilon cycle of fresh
+		// nodes. hub --sub--> back to hub; exit via epsilon.
+		hub := f.AddNode()
+		f.AddEpsEdge(cur, hub)
+		bodyEnd, err := build(f, v.Sub, hub)
+		if err != nil {
+			return 0, err
+		}
+		f.AddEpsEdge(bodyEnd, hub)
+		return hub, nil
+	}
+	// Optional copies: each can be skipped.
+	end := f.AddNode()
+	f.AddEpsEdge(cur, end)
+	for i := v.Min; i < v.Max; i++ {
+		next, err := build(f, v.Sub, cur)
+		if err != nil {
+			return 0, err
+		}
+		f.AddEpsEdge(next, end)
+		cur = next
+	}
+	return end, nil
+}
+
+// buildClass lowers a character class to byte-level edges.
+func buildClass(f *FSA, cc *grammar.CharClass, from int32) (int32, error) {
+	ranges := cc.Ranges
+	if cc.Negated {
+		rs := make([][2]rune, len(ranges))
+		for i, r := range ranges {
+			rs[i] = [2]rune{r.Lo, r.Hi}
+		}
+		comp := ComplementRuneRanges(rs)
+		ranges = ranges[:0:0]
+		for _, c := range comp {
+			ranges = append(ranges, grammar.RuneRange{Lo: c[0], Hi: c[1]})
+		}
+		if len(ranges) == 0 {
+			return 0, fmt.Errorf("fsa: negated class matches nothing")
+		}
+	}
+	end := f.AddNode()
+	for _, r := range ranges {
+		for _, seq := range RuneRangeToByteSeqs(r.Lo, r.Hi) {
+			cur := from
+			for i, br := range seq {
+				var to int32
+				if i == len(seq)-1 {
+					to = end
+				} else {
+					to = f.AddNode()
+				}
+				f.AddByteEdge(cur, br.Lo, br.Hi, to)
+				cur = to
+			}
+		}
+	}
+	return end, nil
+}

@@ -1,0 +1,174 @@
+package fsa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DFA is a deterministic automaton over bytes with a dense transition table,
+// used by the regex-FSM baselines (Outlines-style token indexing) and for
+// fast expanded-suffix matching.
+type DFA struct {
+	// Trans[state*256 + b] is the next state, or -1 for the dead state.
+	Trans  []int32
+	Accept []bool
+	Start  int32
+}
+
+// NumStates returns the number of DFA states.
+func (d *DFA) NumStates() int { return len(d.Accept) }
+
+// Next returns the successor of state s on byte b, or -1.
+func (d *DFA) Next(s int32, b byte) int32 { return d.Trans[int(s)*256+int(b)] }
+
+// MatchPrefixResult describes how far a DFA consumed a byte string.
+type MatchPrefixResult struct {
+	// Consumed is the number of bytes consumed before dying (or len(input)).
+	Consumed int
+	// Alive reports whether the DFA survived the whole input.
+	Alive bool
+	// SawAccept reports whether any visited state (including start) accepts.
+	SawAccept bool
+	// EndAccept reports whether the final state (if alive) accepts.
+	EndAccept bool
+}
+
+// MatchPrefix runs the DFA over input from the start state.
+func (d *DFA) MatchPrefix(input []byte) MatchPrefixResult {
+	res := MatchPrefixResult{SawAccept: d.Accept[d.Start]}
+	s := d.Start
+	for i, b := range input {
+		s = d.Next(s, b)
+		if s < 0 {
+			res.Consumed = i
+			return res
+		}
+		if d.Accept[s] {
+			res.SawAccept = true
+		}
+	}
+	res.Consumed = len(input)
+	res.Alive = true
+	res.EndAccept = d.Accept[s]
+	return res
+}
+
+// maxDFAStates caps subset construction to avoid exponential blowups.
+const maxDFAStates = 1 << 18
+
+// Determinize converts an FSA (rule-edge-free; epsilon edges are handled via
+// closure) into a DFA by subset construction.
+func Determinize(f *FSA) (*DFA, error) {
+	if f.HasRuleEdges() {
+		return nil, fmt.Errorf("fsa: cannot determinize automaton with rule edges")
+	}
+	closures := make([][]int32, len(f.Nodes))
+	closureOf := func(i int32) []int32 {
+		if closures[i] == nil {
+			c := epsClosure(f, i)
+			sort.Slice(c, func(a, b int) bool { return c[a] < c[b] })
+			closures[i] = c
+		}
+		return closures[i]
+	}
+
+	type setKey string
+	keyOf := func(set []int32) setKey {
+		b := make([]byte, 0, len(set)*4)
+		for _, s := range set {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+		}
+		return setKey(b)
+	}
+
+	startSet := closureOf(f.Start)
+	d := &DFA{Start: 0}
+	ids := map[setKey]int32{}
+	var sets [][]int32
+
+	addState := func(set []int32) int32 {
+		k := keyOf(set)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := int32(len(sets))
+		ids[k] = id
+		sets = append(sets, set)
+		accept := false
+		for _, s := range set {
+			if f.Nodes[s].Final {
+				accept = true
+				break
+			}
+		}
+		d.Accept = append(d.Accept, accept)
+		d.Trans = append(d.Trans, make([]int32, 256)...)
+		for i := 0; i < 256; i++ {
+			d.Trans[int(id)*256+i] = -1
+		}
+		return id
+	}
+	addState(startSet)
+
+	scratch := map[int32]bool{}
+	for si := 0; si < len(sets); si++ {
+		if len(sets) > maxDFAStates {
+			return nil, fmt.Errorf("fsa: DFA state explosion (> %d states)", maxDFAStates)
+		}
+		set := sets[si]
+		// Collect boundary points from all outgoing byte edges, then compute
+		// the successor set per distinct byte region.
+		var edges []Edge
+		for _, s := range set {
+			for _, e := range f.Nodes[s].Edges {
+				if e.Kind == EdgeByte {
+					edges = append(edges, e)
+				}
+			}
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		// Determine distinct breakpoints.
+		marks := map[int]bool{0: true, 256: true}
+		for _, e := range edges {
+			marks[int(e.Lo)] = true
+			marks[int(e.Hi)+1] = true
+		}
+		points := make([]int, 0, len(marks))
+		for p := range marks {
+			points = append(points, p)
+		}
+		sort.Ints(points)
+		for pi := 0; pi+1 < len(points); pi++ {
+			lo, hi := points[pi], points[pi+1]-1
+			if lo > 255 {
+				break
+			}
+			b := byte(lo)
+			for k := range scratch {
+				delete(scratch, k)
+			}
+			for _, e := range edges {
+				if b >= e.Lo && b <= e.Hi {
+					for _, c := range closureOf(e.To) {
+						scratch[c] = true
+					}
+				}
+			}
+			if len(scratch) == 0 {
+				continue
+			}
+			next := make([]int32, 0, len(scratch))
+			for s := range scratch {
+				next = append(next, s)
+			}
+			sort.Slice(next, func(a, b int) bool { return next[a] < next[b] })
+			id := addState(next)
+			for bb := lo; bb <= hi && bb <= 255; bb++ {
+				d.Trans[si*256+bb] = id
+			}
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,202 @@
+// Package fsa implements byte-level finite state automata: the building
+// blocks of the pushdown automaton. Each grammar rule body is compiled into
+// an FSA whose edges are labeled with byte ranges, references to other rules,
+// or epsilon. Character classes over runes are lowered to UTF-8 byte-range
+// sequences so the automaton operates purely on bytes (§3 of the paper).
+package fsa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EdgeKind discriminates automaton edge labels.
+type EdgeKind uint8
+
+const (
+	// EdgeByte consumes one input byte in [Lo, Hi].
+	EdgeByte EdgeKind = iota
+	// EdgeRule recursively enters another rule's automaton.
+	EdgeRule
+	// EdgeEps consumes no input.
+	EdgeEps
+)
+
+// Edge is a labeled transition to node To.
+type Edge struct {
+	Kind EdgeKind
+	Lo   byte  // for EdgeByte
+	Hi   byte  // for EdgeByte
+	Rule int32 // for EdgeRule
+	To   int32
+}
+
+// Node is an automaton state.
+type Node struct {
+	Edges []Edge
+	Final bool
+}
+
+// FSA is a nondeterministic finite automaton over bytes with optional
+// rule-reference and epsilon edges.
+type FSA struct {
+	Nodes []Node
+	Start int32
+}
+
+// New returns an FSA with a single non-final start node.
+func New() *FSA {
+	return &FSA{Nodes: []Node{{}}, Start: 0}
+}
+
+// AddNode appends a fresh node and returns its index.
+func (f *FSA) AddNode() int32 {
+	f.Nodes = append(f.Nodes, Node{})
+	return int32(len(f.Nodes) - 1)
+}
+
+// AddByteEdge adds a byte-range transition.
+func (f *FSA) AddByteEdge(from int32, lo, hi byte, to int32) {
+	f.Nodes[from].Edges = append(f.Nodes[from].Edges, Edge{Kind: EdgeByte, Lo: lo, Hi: hi, To: to})
+}
+
+// AddRuleEdge adds a rule-reference transition.
+func (f *FSA) AddRuleEdge(from int32, rule int32, to int32) {
+	f.Nodes[from].Edges = append(f.Nodes[from].Edges, Edge{Kind: EdgeRule, Rule: rule, To: to})
+}
+
+// AddEpsEdge adds an epsilon transition.
+func (f *FSA) AddEpsEdge(from, to int32) {
+	f.Nodes[from].Edges = append(f.Nodes[from].Edges, Edge{Kind: EdgeEps, To: to})
+}
+
+// NumEdges returns the total edge count.
+func (f *FSA) NumEdges() int {
+	n := 0
+	for i := range f.Nodes {
+		n += len(f.Nodes[i].Edges)
+	}
+	return n
+}
+
+// HasRuleEdges reports whether any edge references a rule.
+func (f *FSA) HasRuleEdges() bool {
+	for i := range f.Nodes {
+		for _, e := range f.Nodes[i].Edges {
+			if e.Kind == EdgeRule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasEpsEdges reports whether any epsilon edges remain.
+func (f *FSA) HasEpsEdges() bool {
+	for i := range f.Nodes {
+		for _, e := range f.Nodes[i].Edges {
+			if e.Kind == EdgeEps {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (f *FSA) Clone() *FSA {
+	nf := &FSA{Start: f.Start, Nodes: make([]Node, len(f.Nodes))}
+	for i, n := range f.Nodes {
+		edges := make([]Edge, len(n.Edges))
+		copy(edges, n.Edges)
+		nf.Nodes[i] = Node{Edges: edges, Final: n.Final}
+	}
+	return nf
+}
+
+// SortEdges orders every node's edges deterministically: byte edges by
+// (Lo, Hi, To), then rule edges, then epsilon edges.
+func (f *FSA) SortEdges() {
+	for i := range f.Nodes {
+		es := f.Nodes[i].Edges
+		sort.Slice(es, func(a, b int) bool {
+			x, y := es[a], es[b]
+			if x.Kind != y.Kind {
+				return x.Kind < y.Kind
+			}
+			if x.Lo != y.Lo {
+				return x.Lo < y.Lo
+			}
+			if x.Hi != y.Hi {
+				return x.Hi < y.Hi
+			}
+			if x.Rule != y.Rule {
+				return x.Rule < y.Rule
+			}
+			return x.To < y.To
+		})
+	}
+}
+
+// String renders the FSA for debugging.
+func (f *FSA) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "start=%d\n", f.Start)
+	for i, n := range f.Nodes {
+		mark := " "
+		if n.Final {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%s%3d:", mark, i)
+		for _, e := range n.Edges {
+			switch e.Kind {
+			case EdgeByte:
+				if e.Lo == e.Hi {
+					fmt.Fprintf(&sb, " [%q]->%d", e.Lo, e.To)
+				} else {
+					fmt.Fprintf(&sb, " [%q-%q]->%d", e.Lo, e.Hi, e.To)
+				}
+			case EdgeRule:
+				fmt.Fprintf(&sb, " <rule %d>->%d", e.Rule, e.To)
+			case EdgeEps:
+				fmt.Fprintf(&sb, " eps->%d", e.To)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Union returns an FSA accepting the union of a and b. Rule edges are
+// preserved. The result may contain epsilon edges.
+func Union(a, b *FSA) *FSA {
+	if a == nil || len(a.Nodes) == 0 {
+		return b.Clone()
+	}
+	if b == nil || len(b.Nodes) == 0 {
+		return a.Clone()
+	}
+	out := New()
+	offA := int32(len(out.Nodes))
+	for _, n := range a.Nodes {
+		edges := make([]Edge, len(n.Edges))
+		for i, e := range n.Edges {
+			e.To += offA
+			edges[i] = e
+		}
+		out.Nodes = append(out.Nodes, Node{Edges: edges, Final: n.Final})
+	}
+	offB := int32(len(out.Nodes))
+	for _, n := range b.Nodes {
+		edges := make([]Edge, len(n.Edges))
+		for i, e := range n.Edges {
+			e.To += offB
+			edges[i] = e
+		}
+		out.Nodes = append(out.Nodes, Node{Edges: edges, Final: n.Final})
+	}
+	out.AddEpsEdge(out.Start, a.Start+offA)
+	out.AddEpsEdge(out.Start, b.Start+offB)
+	return out
+}

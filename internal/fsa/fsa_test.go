@@ -1,0 +1,440 @@
+package fsa
+
+import (
+	"math/rand"
+	"testing"
+	"unicode/utf8"
+
+	"xgrammar/internal/grammar"
+)
+
+// compile builds a rule body, removes epsilons, and optionally merges nodes.
+func compile(t *testing.T, e grammar.Expr, merge bool) *FSA {
+	t.Helper()
+	f, err := BuildRule(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = RemoveEpsilon(f)
+	if merge {
+		f = MergeSiblings(f)
+	}
+	return f
+}
+
+// matches runs the byte-only FSA over s and reports full-string acceptance.
+func matches(f *FSA, s string) bool {
+	r := NewRunner(f)
+	for i := 0; i < len(s); i++ {
+		if !r.Step(s[i]) {
+			return false
+		}
+	}
+	return r.InFinal()
+}
+
+func lit(s string) *grammar.Literal { return &grammar.Literal{Bytes: []byte(s)} }
+
+func TestLiteralFSA(t *testing.T) {
+	f := compile(t, lit("abc"), true)
+	if !matches(f, "abc") {
+		t.Fatal("abc not accepted")
+	}
+	for _, bad := range []string{"", "ab", "abcd", "abd", "xbc"} {
+		if matches(f, bad) {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestChoiceFSA(t *testing.T) {
+	e := &grammar.Choice{Alts: []grammar.Expr{lit("cat"), lit("car"), lit("dog")}}
+	f := compile(t, e, true)
+	for _, good := range []string{"cat", "car", "dog"} {
+		if !matches(f, good) {
+			t.Errorf("%q rejected", good)
+		}
+	}
+	for _, bad := range []string{"ca", "cab", "dogs", ""} {
+		if matches(f, bad) {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestRepeatStar(t *testing.T) {
+	e := &grammar.Repeat{Sub: lit("ab"), Min: 0, Max: -1}
+	f := compile(t, e, true)
+	for _, good := range []string{"", "ab", "abab", "ababab"} {
+		if !matches(f, good) {
+			t.Errorf("%q rejected", good)
+		}
+	}
+	for _, bad := range []string{"a", "aba", "ba"} {
+		if matches(f, bad) {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestRepeatBounds(t *testing.T) {
+	e := &grammar.Repeat{Sub: lit("x"), Min: 2, Max: 4}
+	f := compile(t, e, true)
+	cases := map[string]bool{
+		"": false, "x": false, "xx": true, "xxx": true, "xxxx": true, "xxxxx": false,
+	}
+	for s, want := range cases {
+		if got := matches(f, s); got != want {
+			t.Errorf("%q = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestRepeatMinOnly(t *testing.T) {
+	e := &grammar.Repeat{Sub: lit("x"), Min: 2, Max: -1}
+	f := compile(t, e, true)
+	cases := map[string]bool{"x": false, "xx": true, "xxxxxxx": true}
+	for s, want := range cases {
+		if got := matches(f, s); got != want {
+			t.Errorf("%q = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestNullableStarNoHang(t *testing.T) {
+	// ("a"?)* must terminate during construction and accept a*.
+	e := &grammar.Repeat{
+		Sub: &grammar.Repeat{Sub: lit("a"), Min: 0, Max: 1},
+		Min: 0, Max: -1,
+	}
+	f := compile(t, e, true)
+	for _, good := range []string{"", "a", "aaa"} {
+		if !matches(f, good) {
+			t.Errorf("%q rejected", good)
+		}
+	}
+	if matches(f, "b") {
+		t.Error("b accepted")
+	}
+}
+
+func TestCharClassASCII(t *testing.T) {
+	e := &grammar.CharClass{Ranges: []grammar.RuneRange{{Lo: 'a', Hi: 'z'}, {Lo: '0', Hi: '9'}}}
+	f := compile(t, e, true)
+	for _, good := range []string{"a", "m", "z", "0", "9"} {
+		if !matches(f, good) {
+			t.Errorf("%q rejected", good)
+		}
+	}
+	for _, bad := range []string{"A", " ", "", "ab", "é"} {
+		if matches(f, bad) {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestCharClassNegated(t *testing.T) {
+	e := &grammar.CharClass{Ranges: []grammar.RuneRange{{Lo: '"', Hi: '"'}, {Lo: '\\', Hi: '\\'}}, Negated: true}
+	f := compile(t, e, true)
+	for _, good := range []string{"a", " ", "é", "日", "\U0001F600"} {
+		if !matches(f, good) {
+			t.Errorf("%q rejected", good)
+		}
+	}
+	for _, bad := range []string{`"`, `\`, ""} {
+		if matches(f, bad) {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestCharClassUnicodeRange(t *testing.T) {
+	e := &grammar.CharClass{Ranges: []grammar.RuneRange{{Lo: 0x3B1, Hi: 0x3C9}}} // α-ω
+	f := compile(t, e, true)
+	if !matches(f, "α") || !matches(f, "ω") || !matches(f, "μ") {
+		t.Error("greek letters rejected")
+	}
+	if matches(f, "a") || matches(f, "Ω") {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestUTF8RangeExhaustiveSmall(t *testing.T) {
+	// Exhaustively verify the byte-seq decomposition over tricky boundaries.
+	ranges := [][2]rune{
+		{0x60, 0x90},       // crosses 1/2-byte boundary
+		{0x7FF, 0x800},     // crosses 2/3-byte boundary
+		{0xD700, 0xE100},   // straddles the surrogate gap
+		{0xFFFE, 0x10001},  // crosses 3/4-byte boundary
+		{0x10000, 0x10400}, // 4-byte
+	}
+	for _, rr := range ranges {
+		seqs := RuneRangeToByteSeqs(rr[0], rr[1])
+		inSeqs := func(b []byte) bool {
+		seqLoop:
+			for _, seq := range seqs {
+				if len(seq) != len(b) {
+					continue
+				}
+				for i, br := range seq {
+					if b[i] < br.Lo || b[i] > br.Hi {
+						continue seqLoop
+					}
+				}
+				return true
+			}
+			return false
+		}
+		for r := rr[0] - 2; r <= rr[1]+2; r++ {
+			if r < 0 || r > 0x10FFFF {
+				continue
+			}
+			valid := utf8.ValidRune(r)
+			want := valid && r >= rr[0] && r <= rr[1]
+			var buf [4]byte
+			if !valid {
+				continue
+			}
+			n := utf8.EncodeRune(buf[:], r)
+			if got := inSeqs(buf[:n]); got != want {
+				t.Errorf("range %#x-%#x rune %#x: got %v want %v", rr[0], rr[1], r, got, want)
+			}
+		}
+	}
+}
+
+func TestRuleEdgePreserved(t *testing.T) {
+	e := &grammar.Seq{Items: []grammar.Expr{lit("("), &grammar.RuleRef{Index: 3, Name: "x"}, lit(")")}}
+	f, err := BuildRule(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = RemoveEpsilon(f)
+	if !f.HasRuleEdges() {
+		t.Fatal("rule edge lost")
+	}
+	found := false
+	for i := range f.Nodes {
+		for _, ed := range f.Nodes[i].Edges {
+			if ed.Kind == EdgeRule && ed.Rule == 3 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("rule index lost")
+	}
+}
+
+func TestMergeSiblingsReducesNodes(t *testing.T) {
+	// "cat" | "car" | "cab" — without merging, eps removal leaves three
+	// parallel 'c'->'a' chains; merging should collapse the shared prefix.
+	e := &grammar.Choice{Alts: []grammar.Expr{lit("cat"), lit("car"), lit("cab")}}
+	f, err := BuildRule(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := RemoveEpsilon(f)
+	merged := MergeSiblings(plain)
+	if len(merged.Nodes) >= len(plain.Nodes) {
+		t.Fatalf("merge did not shrink: %d -> %d", len(plain.Nodes), len(merged.Nodes))
+	}
+	for _, s := range []string{"cat", "car", "cab"} {
+		if !matches(merged, s) {
+			t.Errorf("%q rejected after merge", s)
+		}
+	}
+	if matches(merged, "caX") || matches(merged, "ca") {
+		t.Error("merge broke rejection")
+	}
+	// The start node should now have a single 'c' edge.
+	cEdges := 0
+	for _, e := range merged.Nodes[merged.Start].Edges {
+		if e.Kind == EdgeByte && e.Lo <= 'c' && 'c' <= e.Hi {
+			cEdges++
+		}
+	}
+	if cEdges != 1 {
+		t.Errorf("start has %d 'c' edges, want 1", cEdges)
+	}
+}
+
+func TestMergeSiblingsPreservesLanguage(t *testing.T) {
+	exprs := []grammar.Expr{
+		&grammar.Choice{Alts: []grammar.Expr{lit("aa"), lit("ab"), lit("ba")}},
+		&grammar.Seq{Items: []grammar.Expr{
+			&grammar.Repeat{Sub: &grammar.Choice{Alts: []grammar.Expr{lit("x"), lit("xy")}}, Min: 0, Max: -1},
+			lit("z"),
+		}},
+	}
+	inputs := []string{"", "aa", "ab", "ba", "bb", "z", "xz", "xyz", "xxyz", "xyxz", "xy", "x"}
+	for _, e := range exprs {
+		plain := compile(t, e, false)
+		merged := MergeSiblings(plain)
+		for _, in := range inputs {
+			if matches(plain, in) != matches(merged, in) {
+				t.Errorf("expr %v input %q: merge changed language", e, in)
+			}
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := compile(t, lit("foo"), true)
+	b := compile(t, lit("bar"), true)
+	u := RemoveEpsilon(Union(a, b))
+	if !matches(u, "foo") || !matches(u, "bar") {
+		t.Fatal("union missing member")
+	}
+	if matches(u, "foobar") || matches(u, "") {
+		t.Fatal("union over-accepts")
+	}
+}
+
+func TestUnionWithEmpty(t *testing.T) {
+	a := compile(t, lit("x"), true)
+	u := RemoveEpsilon(Union(nil, a))
+	if !matches(u, "x") {
+		t.Fatal("union with nil lost language")
+	}
+}
+
+func TestDeterminize(t *testing.T) {
+	e := &grammar.Seq{Items: []grammar.Expr{
+		&grammar.Repeat{Sub: &grammar.CharClass{Ranges: []grammar.RuneRange{{Lo: 'a', Hi: 'z'}}}, Min: 1, Max: -1},
+		lit("!"),
+	}}
+	f := compile(t, e, false)
+	d, err := Determinize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, want := range map[string]bool{"a!": true, "abc!": true, "!": false, "a": false, "a!x": false} {
+		res := d.MatchPrefix([]byte(s))
+		got := res.Alive && res.EndAccept
+		if got != want {
+			t.Errorf("%q = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestDeterminizeRejectsRuleEdges(t *testing.T) {
+	f := New()
+	to := f.AddNode()
+	f.AddRuleEdge(f.Start, 0, to)
+	if _, err := Determinize(f); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMatchPrefixSawAccept(t *testing.T) {
+	// Language "ab" — walking "abz" dies at z but passed an accept state.
+	f := compile(t, lit("ab"), true)
+	d, err := Determinize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.MatchPrefix([]byte("abz"))
+	if res.Alive {
+		t.Fatal("should have died")
+	}
+	if !res.SawAccept {
+		t.Fatal("SawAccept lost")
+	}
+	if res.Consumed != 2 {
+		t.Fatalf("Consumed = %d", res.Consumed)
+	}
+}
+
+func TestRunnerReset(t *testing.T) {
+	f := compile(t, lit("ab"), true)
+	r := NewRunner(f)
+	r.Step('a')
+	r.Step('b')
+	if !r.InFinal() {
+		t.Fatal("not final after ab")
+	}
+	r.Reset()
+	if r.InFinal() || !r.Alive() {
+		t.Fatal("reset failed")
+	}
+	if !r.Step('a') {
+		t.Fatal("step after reset failed")
+	}
+}
+
+func TestCompactRemovesUnreachable(t *testing.T) {
+	f := New()
+	a := f.AddNode()
+	f.AddByteEdge(f.Start, 'x', 'x', a)
+	f.Nodes[a].Final = true
+	f.AddNode() // orphan
+	c := Compact(f)
+	if len(c.Nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(c.Nodes))
+	}
+	if !matches(c, "x") {
+		t.Fatal("language changed")
+	}
+}
+
+func TestRepeatTooLarge(t *testing.T) {
+	_, err := BuildRule(&grammar.Repeat{Sub: lit("x"), Min: 0, Max: 100000})
+	if err == nil {
+		t.Fatal("expected unroll bound error")
+	}
+}
+
+// TestDeterminizeEquivalenceProperty: the DFA from subset construction must
+// accept exactly the same strings as the NFA it came from, over random
+// expressions and random probes.
+func TestDeterminizeEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	randExpr := func() grammar.Expr {
+		var rec func(depth int) grammar.Expr
+		rec = func(depth int) grammar.Expr {
+			if depth >= 3 {
+				return lit(string(rune('a' + rng.Intn(4))))
+			}
+			switch rng.Intn(5) {
+			case 0:
+				return lit(string(rune('a' + rng.Intn(4))))
+			case 1:
+				lo := rune('a' + rng.Intn(3))
+				return &grammar.CharClass{Ranges: []grammar.RuneRange{{Lo: lo, Hi: lo + rune(rng.Intn(3))}}}
+			case 2:
+				return &grammar.Seq{Items: []grammar.Expr{rec(depth + 1), rec(depth + 1)}}
+			case 3:
+				return &grammar.Choice{Alts: []grammar.Expr{rec(depth + 1), rec(depth + 1)}}
+			default:
+				return &grammar.Repeat{Sub: rec(depth + 1), Min: rng.Intn(2), Max: rng.Intn(3) - 1}
+			}
+		}
+		return rec(0)
+	}
+	for trial := 0; trial < 40; trial++ {
+		e := randExpr()
+		f, err := BuildRule(e)
+		if err != nil {
+			continue
+		}
+		nfa := RemoveEpsilon(f)
+		dfa, err := Determinize(nfa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 60; probe++ {
+			n := rng.Intn(8)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = byte('a' + rng.Intn(5))
+			}
+			nfaAccept := matches(nfa, string(b))
+			res := dfa.MatchPrefix(b)
+			dfaAccept := res.Alive && res.EndAccept
+			if nfaAccept != dfaAccept {
+				t.Fatalf("expr %v probe %q: nfa=%v dfa=%v", e, b, nfaAccept, dfaAccept)
+			}
+		}
+	}
+}

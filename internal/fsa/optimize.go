@@ -1,0 +1,271 @@
+package fsa
+
+import "sort"
+
+// RemoveEpsilon returns an equivalent FSA with no epsilon edges: each node's
+// outgoing edges become the non-epsilon edges of its epsilon closure, and a
+// node is final if its closure contains a final node. Unreachable nodes are
+// then compacted away.
+func RemoveEpsilon(f *FSA) *FSA {
+	n := len(f.Nodes)
+	closures := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		closures[i] = epsClosure(f, int32(i))
+	}
+	out := &FSA{Start: f.Start, Nodes: make([]Node, n)}
+	for i := 0; i < n; i++ {
+		var node Node
+		for _, m := range closures[i] {
+			if f.Nodes[m].Final {
+				node.Final = true
+			}
+			for _, e := range f.Nodes[m].Edges {
+				if e.Kind != EdgeEps {
+					node.Edges = append(node.Edges, e)
+				}
+			}
+		}
+		out.Nodes[i] = node
+	}
+	out.dedupeEdges()
+	return Compact(out)
+}
+
+// epsClosure returns all nodes reachable from s via epsilon edges, s first.
+func epsClosure(f *FSA, s int32) []int32 {
+	seen := map[int32]bool{s: true}
+	order := []int32{s}
+	for i := 0; i < len(order); i++ {
+		for _, e := range f.Nodes[order[i]].Edges {
+			if e.Kind == EdgeEps && !seen[e.To] {
+				seen[e.To] = true
+				order = append(order, e.To)
+			}
+		}
+	}
+	return order
+}
+
+// dedupeEdges removes exact duplicate edges on every node.
+func (f *FSA) dedupeEdges() {
+	for i := range f.Nodes {
+		es := f.Nodes[i].Edges
+		if len(es) < 2 {
+			continue
+		}
+		sort.Slice(es, func(a, b int) bool {
+			x, y := es[a], es[b]
+			if x.Kind != y.Kind {
+				return x.Kind < y.Kind
+			}
+			if x.Lo != y.Lo {
+				return x.Lo < y.Lo
+			}
+			if x.Hi != y.Hi {
+				return x.Hi < y.Hi
+			}
+			if x.Rule != y.Rule {
+				return x.Rule < y.Rule
+			}
+			return x.To < y.To
+		})
+		w := 1
+		for r := 1; r < len(es); r++ {
+			if es[r] != es[r-1] {
+				es[w] = es[r]
+				w++
+			}
+		}
+		f.Nodes[i].Edges = es[:w]
+	}
+}
+
+// Compact removes nodes unreachable from the start and renumbers the rest.
+func Compact(f *FSA) *FSA {
+	n := len(f.Nodes)
+	seen := make([]bool, n)
+	order := []int32{f.Start}
+	seen[f.Start] = true
+	for i := 0; i < len(order); i++ {
+		for _, e := range f.Nodes[order[i]].Edges {
+			if !seen[e.To] {
+				seen[e.To] = true
+				order = append(order, e.To)
+			}
+		}
+	}
+	remap := make([]int32, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for newID, old := range order {
+		remap[old] = int32(newID)
+	}
+	out := &FSA{Start: 0, Nodes: make([]Node, len(order))}
+	for newID, old := range order {
+		src := f.Nodes[old]
+		edges := make([]Edge, len(src.Edges))
+		for i, e := range src.Edges {
+			e.To = remap[e.To]
+			edges[i] = e
+		}
+		out.Nodes[newID] = Node{Edges: edges, Final: src.Final}
+	}
+	return out
+}
+
+// edgeLabel identifies an edge's label, ignoring its target.
+type edgeLabel struct {
+	kind EdgeKind
+	lo   byte
+	hi   byte
+	rule int32
+}
+
+func labelOf(e Edge) edgeLabel {
+	return edgeLabel{kind: e.Kind, lo: e.Lo, hi: e.Hi, rule: e.Rule}
+}
+
+// MergeSiblings implements the node-merging optimization (§3.4): when a node
+// has several outgoing edges with the same label whose targets are not
+// pointed to by any other edge, the targets are merged into one node,
+// removing nondeterministic stack splits at runtime. The pass runs to a
+// fixpoint and then compacts the automaton. The input must be epsilon-free.
+func MergeSiblings(f *FSA) *FSA {
+	out := f.Clone()
+	for {
+		changed := false
+		indeg := make([]int, len(out.Nodes))
+		for i := range out.Nodes {
+			for _, e := range out.Nodes[i].Edges {
+				indeg[e.To]++
+			}
+		}
+		indeg[out.Start]++ // the start node is externally referenced
+		for u := range out.Nodes {
+			groups := map[edgeLabel][]int{}
+			for ei, e := range out.Nodes[u].Edges {
+				groups[labelOf(e)] = append(groups[labelOf(e)], ei)
+			}
+			for _, eis := range groups {
+				if len(eis) < 2 {
+					continue
+				}
+				// Collect distinct mergeable targets: in-degree exactly 1
+				// (this edge), not the node itself.
+				var tgt []int32
+				seen := map[int32]bool{}
+				ok := true
+				for _, ei := range eis {
+					to := out.Nodes[u].Edges[ei].To
+					if seen[to] {
+						continue // duplicate edge; will be deduped
+					}
+					seen[to] = true
+					if int(to) == u || indeg[to] != 1 {
+						ok = false
+						break
+					}
+					tgt = append(tgt, to)
+				}
+				if !ok || len(tgt) < 2 {
+					continue
+				}
+				// Merge all targets into tgt[0].
+				keep := tgt[0]
+				for _, t := range tgt[1:] {
+					out.Nodes[keep].Edges = append(out.Nodes[keep].Edges, out.Nodes[t].Edges...)
+					if out.Nodes[t].Final {
+						out.Nodes[keep].Final = true
+					}
+					out.Nodes[t].Edges = nil
+				}
+				// Redirect u's edges in this group to keep.
+				for _, ei := range eis {
+					out.Nodes[u].Edges[ei].To = keep
+				}
+				changed = true
+			}
+			if changed {
+				break // in-degrees are stale; recompute
+			}
+		}
+		if !changed {
+			break
+		}
+		out.dedupeEdges()
+	}
+	out.dedupeEdges()
+	return Compact(out)
+}
+
+// Runner simulates an epsilon-free, rule-edge-free FSA over bytes with a
+// set of current states. It is used for expanded-suffix matching during
+// context expansion and in tests.
+type Runner struct {
+	f          *FSA
+	cur        []int32
+	next       []int32
+	sawFinal   bool
+	curInFinal bool
+}
+
+// NewRunner returns a Runner positioned at the start state. It panics if the
+// FSA still contains epsilon or rule edges.
+func NewRunner(f *FSA) *Runner {
+	if f.HasEpsEdges() || f.HasRuleEdges() {
+		panic("fsa: Runner requires an epsilon-free, rule-free FSA")
+	}
+	r := &Runner{f: f}
+	r.Reset()
+	return r
+}
+
+// Reset returns the runner to the start state.
+func (r *Runner) Reset() {
+	r.cur = append(r.cur[:0], r.f.Start)
+	r.curInFinal = r.f.Nodes[r.f.Start].Final
+	r.sawFinal = r.curInFinal
+}
+
+// Step consumes one byte and reports whether any state survives.
+func (r *Runner) Step(b byte) bool {
+	r.next = r.next[:0]
+	inFinal := false
+	for _, s := range r.cur {
+		for _, e := range r.f.Nodes[s].Edges {
+			if b >= e.Lo && b <= e.Hi {
+				if !contains(r.next, e.To) {
+					r.next = append(r.next, e.To)
+					if r.f.Nodes[e.To].Final {
+						inFinal = true
+					}
+				}
+			}
+		}
+	}
+	r.cur, r.next = r.next, r.cur
+	r.curInFinal = inFinal
+	if inFinal {
+		r.sawFinal = true
+	}
+	return len(r.cur) > 0
+}
+
+// Alive reports whether any state remains.
+func (r *Runner) Alive() bool { return len(r.cur) > 0 }
+
+// InFinal reports whether a current state is final.
+func (r *Runner) InFinal() bool { return r.curInFinal }
+
+// SawFinal reports whether any visited state (including the start) was final.
+func (r *Runner) SawFinal() bool { return r.sawFinal }
+
+func contains(xs []int32, v int32) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package fsa
+
+import "unicode/utf8"
+
+// ByteRange is an inclusive range of byte values.
+type ByteRange struct{ Lo, Hi byte }
+
+// ByteSeq is a sequence of byte ranges; a string matches the sequence when
+// its i-th byte lies in the i-th range.
+type ByteSeq []ByteRange
+
+// maxRune is the highest valid Unicode code point.
+const maxRune = 0x10FFFF
+
+// RuneRangeToByteSeqs converts an inclusive rune range into a set of UTF-8
+// byte-range sequences whose union matches exactly the encodings of the
+// runes in [lo, hi]. Surrogate code points are skipped. This is the standard
+// decomposition used by RE2-style byte-level regex engines.
+func RuneRangeToByteSeqs(lo, hi rune) []ByteSeq {
+	var out []ByteSeq
+	var rec func(lo, hi rune)
+	rec = func(lo, hi rune) {
+		if lo > hi {
+			return
+		}
+		if hi > maxRune {
+			hi = maxRune
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		// Exclude the surrogate gap, which has no UTF-8 encoding.
+		if lo <= 0xDFFF && hi >= 0xD800 {
+			if lo < 0xD800 {
+				rec(lo, 0xD7FF)
+			}
+			if hi > 0xDFFF {
+				rec(0xE000, hi)
+			}
+			return
+		}
+		// Split on encoding-length boundaries.
+		for _, b := range [...]rune{0x7F, 0x7FF, 0xFFFF} {
+			if lo <= b && b < hi {
+				rec(lo, b)
+				rec(b+1, hi)
+				return
+			}
+		}
+		if hi <= 0x7F {
+			out = append(out, ByteSeq{{byte(lo), byte(hi)}})
+			return
+		}
+		var lb, hb [4]byte
+		n := utf8.EncodeRune(lb[:], lo)
+		utf8.EncodeRune(hb[:], hi)
+		out = append(out, emitByteRanges(nil, lb[:n], hb[:n])...)
+	}
+	rec(lo, hi)
+	return out
+}
+
+// emitByteRanges produces the byte sequences between two equal-length UTF-8
+// encodings lob..hib, prefixed by prefix.
+func emitByteRanges(prefix ByteSeq, lob, hib []byte) []ByteSeq {
+	var out []ByteSeq
+	var rec func(prefix ByteSeq, lob, hib []byte)
+	rec = func(prefix ByteSeq, lob, hib []byte) {
+		if len(lob) == 0 {
+			seq := make(ByteSeq, len(prefix))
+			copy(seq, prefix)
+			out = append(out, seq)
+			return
+		}
+		if lob[0] == hib[0] {
+			rec(append(prefix, ByteRange{lob[0], lob[0]}), lob[1:], hib[1:])
+			return
+		}
+		// lob[0] < hib[0]. Continuation bytes span [0x80, 0xBF].
+		start, end := lob[0], hib[0]
+		if !allEqual(lob[1:], 0x80) {
+			rec(append(prefix, ByteRange{start, start}), lob[1:], maxCont(len(lob)-1))
+			start++
+		}
+		highCarve := !allEqual(hib[1:], 0xBF)
+		if highCarve {
+			end--
+		}
+		if start <= end {
+			rec(append(prefix, ByteRange{start, end}), minCont(len(lob)-1), maxCont(len(lob)-1))
+		}
+		if highCarve {
+			rec(append(prefix, ByteRange{hib[0], hib[0]}), minCont(len(hib)-1), hib[1:])
+		}
+	}
+	rec(prefix, lob, hib)
+	return out
+}
+
+func allEqual(bs []byte, v byte) bool {
+	for _, b := range bs {
+		if b != v {
+			return false
+		}
+	}
+	return true
+}
+
+var contMin = []byte{0x80, 0x80, 0x80}
+var contMax = []byte{0xBF, 0xBF, 0xBF}
+
+func minCont(n int) []byte { return contMin[:n] }
+func maxCont(n int) []byte { return contMax[:n] }
+
+// ComplementRuneRanges returns the sorted rune ranges covering all valid
+// Unicode code points (excluding surrogates) not covered by rs. rs must be
+// sorted by Lo and non-overlapping.
+func ComplementRuneRanges(rs [][2]rune) [][2]rune {
+	var out [][2]rune
+	next := rune(0)
+	for _, r := range rs {
+		if r[0] > next {
+			out = append(out, [2]rune{next, r[0] - 1})
+		}
+		if r[1]+1 > next {
+			next = r[1] + 1
+		}
+	}
+	if next <= maxRune {
+		out = append(out, [2]rune{next, maxRune})
+	}
+	return out
+}

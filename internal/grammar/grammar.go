@@ -1,0 +1,548 @@
+// Package grammar defines the intermediate representation for context-free
+// grammars used by the engine, along with structural analyses (nullability,
+// left-recursion detection) and the rule-inlining optimization from §3.4 of
+// the XGrammar paper.
+//
+// A Grammar is a list of named rules; each rule body is an expression tree
+// over sequences, choices, literals, character classes, repetitions, and
+// references to other rules. Character classes are specified over runes and
+// lowered to byte-level automata by package fsa.
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Grammar is a context-free grammar. Rules[Root] is the entry rule.
+type Grammar struct {
+	Rules []Rule
+	Root  int
+}
+
+// Rule is a single named production.
+type Rule struct {
+	Name string
+	Body Expr
+}
+
+// Expr is a grammar expression node.
+type Expr interface {
+	isExpr()
+	// String renders the expression in EBNF-ish syntax for debugging.
+	String() string
+}
+
+// Seq matches its items in order.
+type Seq struct{ Items []Expr }
+
+// Choice matches any one of its alternatives.
+type Choice struct{ Alts []Expr }
+
+// Literal matches an exact byte string.
+type Literal struct{ Bytes []byte }
+
+// RuneRange is an inclusive range of Unicode code points.
+type RuneRange struct{ Lo, Hi rune }
+
+// CharClass matches a single rune inside (or, if Negated, outside) Ranges.
+// A negated class never matches beyond the valid Unicode range.
+type CharClass struct {
+	Ranges  []RuneRange
+	Negated bool
+}
+
+// RuleRef is a reference to another rule by index.
+type RuleRef struct {
+	Index int
+	Name  string
+}
+
+// Repeat matches Sub between Min and Max times. Max < 0 means unbounded.
+type Repeat struct {
+	Sub Expr
+	Min int
+	Max int
+}
+
+// Empty matches the empty string.
+type Empty struct{}
+
+func (*Seq) isExpr()       {}
+func (*Choice) isExpr()    {}
+func (*Literal) isExpr()   {}
+func (*CharClass) isExpr() {}
+func (*RuleRef) isExpr()   {}
+func (*Repeat) isExpr()    {}
+func (*Empty) isExpr()     {}
+
+func (e *Seq) String() string {
+	if len(e.Items) == 0 {
+		return `""`
+	}
+	parts := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		s := it.String()
+		if _, ok := it.(*Choice); ok {
+			s = "(" + s + ")"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, " ")
+}
+
+func (e *Choice) String() string {
+	parts := make([]string, len(e.Alts))
+	for i, a := range e.Alts {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+func (e *Literal) String() string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for _, b := range e.Bytes {
+		switch b {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			if b < 0x20 || b >= 0x7f {
+				fmt.Fprintf(&sb, `\x%02x`, b)
+			} else {
+				sb.WriteByte(b)
+			}
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+func (e *CharClass) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	if e.Negated {
+		sb.WriteByte('^')
+	}
+	for _, r := range e.Ranges {
+		writeClassRune(&sb, r.Lo)
+		if r.Hi != r.Lo {
+			sb.WriteByte('-')
+			writeClassRune(&sb, r.Hi)
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func writeClassRune(sb *strings.Builder, r rune) {
+	switch r {
+	case '\\', ']', '-', '^':
+		sb.WriteByte('\\')
+		sb.WriteRune(r)
+	case '\n':
+		sb.WriteString(`\n`)
+	case '\r':
+		sb.WriteString(`\r`)
+	case '\t':
+		sb.WriteString(`\t`)
+	default:
+		if r < 0x20 {
+			fmt.Fprintf(sb, `\x%02x`, r)
+		} else {
+			sb.WriteRune(r)
+		}
+	}
+}
+
+func (e *RuleRef) String() string { return e.Name }
+
+func (e *Repeat) String() string {
+	s := e.Sub.String()
+	switch e.Sub.(type) {
+	case *Choice, *Seq, *Repeat:
+		s = "(" + s + ")"
+	}
+	switch {
+	case e.Min == 0 && e.Max < 0:
+		return s + "*"
+	case e.Min == 1 && e.Max < 0:
+		return s + "+"
+	case e.Min == 0 && e.Max == 1:
+		return s + "?"
+	case e.Max < 0:
+		return fmt.Sprintf("%s{%d,}", s, e.Min)
+	case e.Min == e.Max:
+		return fmt.Sprintf("%s{%d}", s, e.Min)
+	default:
+		return fmt.Sprintf("%s{%d,%d}", s, e.Min, e.Max)
+	}
+}
+
+func (e *Empty) String() string { return `""` }
+
+// String renders the whole grammar, root rule first.
+func (g *Grammar) String() string {
+	var sb strings.Builder
+	order := make([]int, 0, len(g.Rules))
+	order = append(order, g.Root)
+	for i := range g.Rules {
+		if i != g.Root {
+			order = append(order, i)
+		}
+	}
+	for _, i := range order {
+		fmt.Fprintf(&sb, "%s ::= %s\n", g.Rules[i].Name, g.Rules[i].Body.String())
+	}
+	return sb.String()
+}
+
+// RuleIndex returns the index of the rule with the given name, or -1.
+func (g *Grammar) RuleIndex(name string) int {
+	for i, r := range g.Rules {
+		if r.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural invariants: rule references in range, repeat
+// bounds sane, character class ranges ordered, and absence of left recursion.
+func (g *Grammar) Validate() error {
+	if len(g.Rules) == 0 {
+		return fmt.Errorf("grammar: no rules")
+	}
+	if g.Root < 0 || g.Root >= len(g.Rules) {
+		return fmt.Errorf("grammar: root index %d out of range", g.Root)
+	}
+	names := map[string]bool{}
+	for i, r := range g.Rules {
+		if r.Name == "" {
+			return fmt.Errorf("grammar: rule %d has empty name", i)
+		}
+		if names[r.Name] {
+			return fmt.Errorf("grammar: duplicate rule name %q", r.Name)
+		}
+		names[r.Name] = true
+		if r.Body == nil {
+			return fmt.Errorf("grammar: rule %q has nil body", r.Name)
+		}
+		if err := validateExpr(r.Body, len(g.Rules)); err != nil {
+			return fmt.Errorf("grammar: rule %q: %w", r.Name, err)
+		}
+	}
+	if cyc := g.leftRecursiveCycle(); cyc != nil {
+		parts := make([]string, len(cyc))
+		for i, ri := range cyc {
+			parts[i] = g.Rules[ri].Name
+		}
+		return fmt.Errorf("grammar: left recursion through %s", strings.Join(parts, " -> "))
+	}
+	return nil
+}
+
+func validateExpr(e Expr, nrules int) error {
+	switch v := e.(type) {
+	case *Seq:
+		for _, it := range v.Items {
+			if err := validateExpr(it, nrules); err != nil {
+				return err
+			}
+		}
+	case *Choice:
+		if len(v.Alts) == 0 {
+			return fmt.Errorf("empty choice")
+		}
+		for _, a := range v.Alts {
+			if err := validateExpr(a, nrules); err != nil {
+				return err
+			}
+		}
+	case *Literal:
+		// any bytes ok, including empty
+	case *CharClass:
+		for _, r := range v.Ranges {
+			if r.Lo > r.Hi {
+				return fmt.Errorf("character class range out of order: %q > %q", r.Lo, r.Hi)
+			}
+			if r.Hi > 0x10FFFF {
+				return fmt.Errorf("character class range beyond Unicode: %#x", r.Hi)
+			}
+		}
+		if !v.Negated && len(v.Ranges) == 0 {
+			return fmt.Errorf("empty character class matches nothing")
+		}
+	case *RuleRef:
+		if v.Index < 0 || v.Index >= nrules {
+			return fmt.Errorf("rule reference %q index %d out of range", v.Name, v.Index)
+		}
+	case *Repeat:
+		if v.Min < 0 {
+			return fmt.Errorf("repeat min %d < 0", v.Min)
+		}
+		if v.Max >= 0 && v.Max < v.Min {
+			return fmt.Errorf("repeat max %d < min %d", v.Max, v.Min)
+		}
+		return validateExpr(v.Sub, nrules)
+	case *Empty:
+	default:
+		return fmt.Errorf("unknown expression type %T", e)
+	}
+	return nil
+}
+
+// Nullable reports, for each rule, whether it can derive the empty string.
+func (g *Grammar) Nullable() []bool {
+	nullable := make([]bool, len(g.Rules))
+	changed := true
+	for changed {
+		changed = false
+		for i, r := range g.Rules {
+			if !nullable[i] && exprNullable(r.Body, nullable) {
+				nullable[i] = true
+				changed = true
+			}
+		}
+	}
+	return nullable
+}
+
+func exprNullable(e Expr, ruleNullable []bool) bool {
+	switch v := e.(type) {
+	case *Seq:
+		for _, it := range v.Items {
+			if !exprNullable(it, ruleNullable) {
+				return false
+			}
+		}
+		return true
+	case *Choice:
+		for _, a := range v.Alts {
+			if exprNullable(a, ruleNullable) {
+				return true
+			}
+		}
+		return false
+	case *Literal:
+		return len(v.Bytes) == 0
+	case *CharClass:
+		return false
+	case *RuleRef:
+		return ruleNullable[v.Index]
+	case *Repeat:
+		return v.Min == 0 || exprNullable(v.Sub, ruleNullable)
+	case *Empty:
+		return true
+	}
+	return false
+}
+
+// leftRecursiveCycle returns a cycle of rule indices through which the
+// grammar is left-recursive, or nil. Rule R directly left-refers to S if a
+// reference to S can occur before any input byte is consumed in R's body.
+func (g *Grammar) leftRecursiveCycle() []int {
+	nullable := g.Nullable()
+	edges := make([][]int, len(g.Rules))
+	for i, r := range g.Rules {
+		set := map[int]bool{}
+		leftRefs(r.Body, nullable, set)
+		for s := range set {
+			edges[i] = append(edges[i], s)
+		}
+		sort.Ints(edges[i])
+	}
+	// DFS cycle detection.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Rules))
+	parent := make([]int, len(g.Rules))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range edges[u] {
+			if color[v] == gray {
+				// Reconstruct cycle v -> ... -> u -> v.
+				cycle = []int{v}
+				for x := u; x != v && x != -1; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				// Reverse so it reads v -> ... -> u.
+				for l, r := 0, len(cycle)-1; l < r; l, r = l+1, r-1 {
+					cycle[l], cycle[r] = cycle[r], cycle[l]
+				}
+				cycle = append(cycle, v)
+				return true
+			}
+			if color[v] == white {
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for i := range g.Rules {
+		if color[i] == white && dfs(i) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// leftRefs adds to set every rule index that can be referenced before any
+// byte of input is consumed when matching e.
+func leftRefs(e Expr, nullable []bool, set map[int]bool) {
+	switch v := e.(type) {
+	case *Seq:
+		for _, it := range v.Items {
+			leftRefs(it, nullable, set)
+			if !exprNullable(it, nullable) {
+				return
+			}
+		}
+	case *Choice:
+		for _, a := range v.Alts {
+			leftRefs(a, nullable, set)
+		}
+	case *RuleRef:
+		set[v.Index] = true
+	case *Repeat:
+		if v.Max != 0 {
+			leftRefs(v.Sub, nullable, set)
+		}
+	case *Literal, *CharClass, *Empty:
+	}
+}
+
+// Reachable returns the set of rules reachable from the root.
+func (g *Grammar) Reachable() []bool {
+	seen := make([]bool, len(g.Rules))
+	var visit func(i int)
+	visit = func(i int) {
+		if seen[i] {
+			return
+		}
+		seen[i] = true
+		walkRefs(g.Rules[i].Body, func(r *RuleRef) { visit(r.Index) })
+	}
+	visit(g.Root)
+	return seen
+}
+
+// walkRefs calls f for every RuleRef in e.
+func walkRefs(e Expr, f func(*RuleRef)) {
+	switch v := e.(type) {
+	case *Seq:
+		for _, it := range v.Items {
+			walkRefs(it, f)
+		}
+	case *Choice:
+		for _, a := range v.Alts {
+			walkRefs(a, f)
+		}
+	case *RuleRef:
+		f(v)
+	case *Repeat:
+		walkRefs(v.Sub, f)
+	}
+}
+
+// Clone returns a deep copy of the grammar.
+func (g *Grammar) Clone() *Grammar {
+	ng := &Grammar{Root: g.Root, Rules: make([]Rule, len(g.Rules))}
+	for i, r := range g.Rules {
+		ng.Rules[i] = Rule{Name: r.Name, Body: CloneExpr(r.Body)}
+	}
+	return ng
+}
+
+// CloneExpr returns a deep copy of an expression.
+func CloneExpr(e Expr) Expr {
+	switch v := e.(type) {
+	case *Seq:
+		items := make([]Expr, len(v.Items))
+		for i, it := range v.Items {
+			items[i] = CloneExpr(it)
+		}
+		return &Seq{Items: items}
+	case *Choice:
+		alts := make([]Expr, len(v.Alts))
+		for i, a := range v.Alts {
+			alts[i] = CloneExpr(a)
+		}
+		return &Choice{Alts: alts}
+	case *Literal:
+		b := make([]byte, len(v.Bytes))
+		copy(b, v.Bytes)
+		return &Literal{Bytes: b}
+	case *CharClass:
+		rs := make([]RuneRange, len(v.Ranges))
+		copy(rs, v.Ranges)
+		return &CharClass{Ranges: rs, Negated: v.Negated}
+	case *RuleRef:
+		return &RuleRef{Index: v.Index, Name: v.Name}
+	case *Repeat:
+		return &Repeat{Sub: CloneExpr(v.Sub), Min: v.Min, Max: v.Max}
+	case *Empty:
+		return &Empty{}
+	}
+	panic(fmt.Sprintf("grammar: unknown expr %T", e))
+}
+
+// Size returns a rough node-count of an expression, used by the inliner to
+// bound growth.
+func Size(e Expr) int {
+	switch v := e.(type) {
+	case *Seq:
+		n := 1
+		for _, it := range v.Items {
+			n += Size(it)
+		}
+		return n
+	case *Choice:
+		n := 1
+		for _, a := range v.Alts {
+			n += Size(a)
+		}
+		return n
+	case *Literal:
+		return 1 + len(v.Bytes)
+	case *CharClass:
+		return 1 + len(v.Ranges)
+	case *Repeat:
+		n := Size(v.Sub)
+		// Bounded repeats are unrolled by the FSA builder; account for it.
+		reps := v.Min
+		if v.Max > reps {
+			reps = v.Max
+		}
+		if reps < 1 {
+			reps = 1
+		}
+		if reps > 8 {
+			reps = 8
+		}
+		return 1 + n*reps
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,275 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+)
+
+func lit(s string) *Literal { return &Literal{Bytes: []byte(s)} }
+
+func ref(i int, name string) *RuleRef { return &RuleRef{Index: i, Name: name} }
+
+func TestValidateOK(t *testing.T) {
+	g := &Grammar{
+		Root: 0,
+		Rules: []Rule{
+			{Name: "root", Body: &Seq{Items: []Expr{lit("["), ref(1, "item"), lit("]")}}},
+			{Name: "item", Body: &CharClass{Ranges: []RuneRange{{'a', 'z'}}}},
+		},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Grammar
+		want string
+	}{
+		{
+			"no rules",
+			&Grammar{},
+			"no rules",
+		},
+		{
+			"bad root",
+			&Grammar{Root: 5, Rules: []Rule{{Name: "a", Body: lit("x")}}},
+			"root index",
+		},
+		{
+			"duplicate names",
+			&Grammar{Rules: []Rule{{Name: "a", Body: lit("x")}, {Name: "a", Body: lit("y")}}},
+			"duplicate",
+		},
+		{
+			"ref out of range",
+			&Grammar{Rules: []Rule{{Name: "a", Body: ref(3, "ghost")}}},
+			"out of range",
+		},
+		{
+			"bad repeat",
+			&Grammar{Rules: []Rule{{Name: "a", Body: &Repeat{Sub: lit("x"), Min: 3, Max: 1}}}},
+			"repeat max",
+		},
+		{
+			"bad class range",
+			&Grammar{Rules: []Rule{{Name: "a", Body: &CharClass{Ranges: []RuneRange{{'z', 'a'}}}}}},
+			"out of order",
+		},
+		{
+			"empty class",
+			&Grammar{Rules: []Rule{{Name: "a", Body: &CharClass{}}}},
+			"matches nothing",
+		},
+	}
+	for _, c := range cases {
+		err := c.g.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestNullable(t *testing.T) {
+	// a ::= "x" | b ; b ::= a? ; c ::= "y"
+	g := &Grammar{
+		Rules: []Rule{
+			{Name: "a", Body: &Choice{Alts: []Expr{lit("x"), ref(1, "b")}}},
+			{Name: "b", Body: &Repeat{Sub: ref(0, "a"), Min: 0, Max: 1}},
+			{Name: "c", Body: lit("y")},
+		},
+	}
+	n := g.Nullable()
+	if !n[0] || !n[1] || n[2] {
+		t.Fatalf("Nullable = %v, want [true true false]", n)
+	}
+}
+
+func TestDirectLeftRecursionDetected(t *testing.T) {
+	// expr ::= expr "+" term | term ; term ::= [0-9]
+	g := &Grammar{
+		Rules: []Rule{
+			{Name: "expr", Body: &Choice{Alts: []Expr{
+				&Seq{Items: []Expr{ref(0, "expr"), lit("+"), ref(1, "term")}},
+				ref(1, "term"),
+			}}},
+			{Name: "term", Body: &CharClass{Ranges: []RuneRange{{'0', '9'}}}},
+		},
+	}
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "left recursion") {
+		t.Fatalf("want left recursion error, got %v", err)
+	}
+}
+
+func TestIndirectLeftRecursionThroughNullable(t *testing.T) {
+	// a ::= b "x" ; b ::= c? a ... left recursion a -> b -> a because c? nullable
+	g := &Grammar{
+		Rules: []Rule{
+			{Name: "a", Body: &Seq{Items: []Expr{ref(1, "b"), lit("x")}}},
+			{Name: "b", Body: &Seq{Items: []Expr{
+				&Repeat{Sub: ref(2, "c"), Min: 0, Max: 1},
+				ref(0, "a"),
+			}}},
+			{Name: "c", Body: lit("c")},
+		},
+	}
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "left recursion") {
+		t.Fatalf("want left recursion error, got %v", err)
+	}
+}
+
+func TestRightRecursionAllowed(t *testing.T) {
+	// list ::= "x" list | "x"   (right recursion is fine)
+	g := &Grammar{
+		Rules: []Rule{
+			{Name: "list", Body: &Choice{Alts: []Expr{
+				&Seq{Items: []Expr{lit("x"), ref(0, "list")}},
+				lit("x"),
+			}}},
+		},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("right recursion rejected: %v", err)
+	}
+}
+
+func TestSelfRecursionGuardedByLiteral(t *testing.T) {
+	// array ::= "[" array "]" | "x" — recursion after consuming a byte: OK.
+	g := &Grammar{
+		Rules: []Rule{
+			{Name: "array", Body: &Choice{Alts: []Expr{
+				&Seq{Items: []Expr{lit("["), ref(0, "array"), lit("]")}},
+				lit("x"),
+			}}},
+		},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("guarded recursion rejected: %v", err)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := &Grammar{
+		Root: 0,
+		Rules: []Rule{
+			{Name: "root", Body: ref(1, "a")},
+			{Name: "a", Body: lit("a")},
+			{Name: "dead", Body: lit("d")},
+		},
+	}
+	r := g.Reachable()
+	if !r[0] || !r[1] || r[2] {
+		t.Fatalf("Reachable = %v", r)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := &Grammar{
+		Rules: []Rule{
+			{Name: "root", Body: &Seq{Items: []Expr{lit("ab"), ref(0, "root")}}},
+		},
+	}
+	c := g.Clone()
+	c.Rules[0].Body.(*Seq).Items[0].(*Literal).Bytes[0] = 'z'
+	if g.Rules[0].Body.(*Seq).Items[0].(*Literal).Bytes[0] != 'a' {
+		t.Fatal("Clone shares literal bytes")
+	}
+}
+
+func TestStringRoundTripish(t *testing.T) {
+	g := &Grammar{
+		Root: 0,
+		Rules: []Rule{
+			{Name: "root", Body: &Choice{Alts: []Expr{
+				&Seq{Items: []Expr{lit("["), &Repeat{Sub: ref(1, "ch"), Min: 0, Max: -1}, lit("]")}},
+				&Empty{},
+			}}},
+			{Name: "ch", Body: &CharClass{Ranges: []RuneRange{{'a', 'z'}, {'0', '9'}}, Negated: false}},
+		},
+	}
+	s := g.String()
+	for _, want := range []string{"root ::=", "ch ::=", "[a-z0-9]", `"["`, "ch*"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestInlineLeafRules(t *testing.T) {
+	// root ::= frag frag ; frag ::= "ab" — frag should be inlined and pruned.
+	g := &Grammar{
+		Root: 0,
+		Rules: []Rule{
+			{Name: "root", Body: &Seq{Items: []Expr{ref(1, "frag"), ref(1, "frag")}}},
+			{Name: "frag", Body: lit("ab")},
+		},
+	}
+	ig := Inline(g, InlineOptions{MaxRuleSize: 10, MaxResultSize: 100})
+	if len(ig.Rules) != 1 {
+		t.Fatalf("rules after inline = %d, want 1: %s", len(ig.Rules), ig.String())
+	}
+	seq := ig.Rules[0].Body.(*Seq)
+	for _, it := range seq.Items {
+		if _, ok := it.(*Literal); !ok {
+			t.Fatalf("item %T not inlined", it)
+		}
+	}
+}
+
+func TestInlineRespectsSizeLimit(t *testing.T) {
+	big := lit(strings.Repeat("x", 100))
+	g := &Grammar{
+		Root: 0,
+		Rules: []Rule{
+			{Name: "root", Body: ref(1, "big")},
+			{Name: "big", Body: big},
+		},
+	}
+	ig := Inline(g, InlineOptions{MaxRuleSize: 10, MaxResultSize: 50})
+	if len(ig.Rules) != 2 {
+		t.Fatalf("oversized rule was inlined: %s", ig.String())
+	}
+}
+
+func TestInlineCascades(t *testing.T) {
+	// c is a leaf; once inlined into b, b becomes a leaf and inlines into root.
+	g := &Grammar{
+		Root: 0,
+		Rules: []Rule{
+			{Name: "root", Body: ref(1, "b")},
+			{Name: "b", Body: &Seq{Items: []Expr{lit("("), ref(2, "c"), lit(")")}}},
+			{Name: "c", Body: lit("x")},
+		},
+	}
+	ig := Inline(g, InlineOptions{MaxRuleSize: 30, MaxResultSize: 200})
+	if len(ig.Rules) != 1 {
+		t.Fatalf("cascade inline failed: %s", ig.String())
+	}
+}
+
+func TestInlineNeverRemovesRoot(t *testing.T) {
+	g := &Grammar{
+		Root:  0,
+		Rules: []Rule{{Name: "root", Body: lit("x")}},
+	}
+	ig := Inline(g, InlineOptions{})
+	if len(ig.Rules) != 1 || ig.Rules[0].Name != "root" {
+		t.Fatal("root rule disturbed")
+	}
+}
+
+func TestSizeAccountsForRepeat(t *testing.T) {
+	small := Size(lit("ab"))
+	rep := Size(&Repeat{Sub: lit("ab"), Min: 5, Max: 5})
+	if rep <= small {
+		t.Fatalf("Size(repeat)=%d not larger than Size(lit)=%d", rep, small)
+	}
+}

@@ -1,0 +1,112 @@
+package grammar
+
+// InlineOptions bounds the rule-inlining optimization (§3.4 of the paper).
+// A leaf rule (one that references no other rules) is inlined into its
+// referencing rules when its size is at most MaxRuleSize and the referencing
+// rule's body stays at or below MaxResultSize after substitution.
+type InlineOptions struct {
+	MaxRuleSize   int
+	MaxResultSize int
+}
+
+// DefaultInlineOptions matches the constants used throughout the benchmarks.
+var DefaultInlineOptions = InlineOptions{MaxRuleSize: 64, MaxResultSize: 1024}
+
+// Inline returns a new grammar with fragment rules inlined into their
+// parents. The root rule is never inlined away. Rules left unreachable by
+// inlining are pruned and remaining rules renumbered.
+func Inline(g *Grammar, opts InlineOptions) *Grammar {
+	if opts.MaxRuleSize <= 0 {
+		opts.MaxRuleSize = DefaultInlineOptions.MaxRuleSize
+	}
+	if opts.MaxResultSize <= 0 {
+		opts.MaxResultSize = DefaultInlineOptions.MaxResultSize
+	}
+	ng := g.Clone()
+	for {
+		changed := false
+		leaf := make([]bool, len(ng.Rules))
+		for i, r := range ng.Rules {
+			if i == ng.Root {
+				continue
+			}
+			hasRef := false
+			walkRefs(r.Body, func(*RuleRef) { hasRef = true })
+			if !hasRef && Size(r.Body) <= opts.MaxRuleSize {
+				leaf[i] = true
+			}
+		}
+		for i := range ng.Rules {
+			body, did := inlineInto(ng, ng.Rules[i].Body, leaf, opts.MaxResultSize)
+			if did {
+				ng.Rules[i].Body = body
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return prune(ng)
+}
+
+// inlineInto substitutes references to leaf rules inside e, as long as the
+// total size of the resulting expression stays within maxSize. It reports
+// whether any substitution happened.
+func inlineInto(g *Grammar, e Expr, leaf []bool, maxSize int) (Expr, bool) {
+	budget := maxSize - Size(e)
+	did := false
+	var rw func(Expr) Expr
+	rw = func(e Expr) Expr {
+		switch v := e.(type) {
+		case *Seq:
+			for i, it := range v.Items {
+				v.Items[i] = rw(it)
+			}
+			return v
+		case *Choice:
+			for i, a := range v.Alts {
+				v.Alts[i] = rw(a)
+			}
+			return v
+		case *Repeat:
+			v.Sub = rw(v.Sub)
+			return v
+		case *RuleRef:
+			if leaf[v.Index] {
+				sub := g.Rules[v.Index].Body
+				grow := Size(sub) - 1
+				if grow <= budget {
+					budget -= grow
+					did = true
+					return CloneExpr(sub)
+				}
+			}
+			return v
+		default:
+			return v
+		}
+	}
+	ne := rw(e)
+	return ne, did
+}
+
+// prune removes rules unreachable from the root and renumbers references.
+func prune(g *Grammar) *Grammar {
+	seen := g.Reachable()
+	remap := make([]int, len(g.Rules))
+	ng := &Grammar{}
+	for i, r := range g.Rules {
+		if seen[i] {
+			remap[i] = len(ng.Rules)
+			ng.Rules = append(ng.Rules, r)
+		} else {
+			remap[i] = -1
+		}
+	}
+	ng.Root = remap[g.Root]
+	for i := range ng.Rules {
+		walkRefs(ng.Rules[i].Body, func(r *RuleRef) { r.Index = remap[r.Index] })
+	}
+	return ng
+}

@@ -1,0 +1,140 @@
+package jsonschema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// decRangeExpr returns an EBNF expression fragment matching exactly the
+// decimal representations of the integers in [lo, hi] (no leading zeros,
+// "-" for negatives). It mirrors the byte-range decomposition used for
+// UTF-8 in the automaton builder, but over decimal digit strings.
+func decRangeExpr(lo, hi int64) string {
+	if lo > hi {
+		panic("jsonschema: decRangeExpr lo > hi")
+	}
+	var alts []string
+	if lo < 0 {
+		nhi := -lo
+		nlo := int64(1)
+		if hi < 0 {
+			nlo = -hi
+		}
+		for _, a := range nonNegDecAlts(nlo, nhi) {
+			alts = append(alts, `"-" `+a)
+		}
+		if hi >= 0 {
+			alts = append(alts, nonNegDecAlts(0, hi)...)
+		}
+	} else {
+		alts = nonNegDecAlts(lo, hi)
+	}
+	return "( " + strings.Join(alts, " | ") + " )"
+}
+
+// nonNegDecAlts returns EBNF alternatives covering [lo, hi] for 0 <= lo <= hi.
+func nonNegDecAlts(lo, hi int64) []string {
+	var alts []string
+	ls, hs := fmt.Sprintf("%d", lo), fmt.Sprintf("%d", hi)
+	if len(ls) == len(hs) {
+		return decSameLen(ls, hs)
+	}
+	// lo's length: lo .. 999…9
+	alts = append(alts, decSameLen(ls, strings.Repeat("9", len(ls)))...)
+	// intermediate lengths: full ranges without leading zeros
+	for l := len(ls) + 1; l < len(hs); l++ {
+		alts = append(alts, `[1-9] `+digitsExpr(l-1))
+	}
+	// hi's length: 100…0 .. hi
+	alts = append(alts, decSameLen("1"+strings.Repeat("0", len(hs)-1), hs)...)
+	return alts
+}
+
+// digitsExpr matches exactly n digits.
+func digitsExpr(n int) string {
+	switch n {
+	case 0:
+		return `""`
+	case 1:
+		return `[0-9]`
+	default:
+		return fmt.Sprintf(`[0-9]{%d}`, n)
+	}
+}
+
+// decSameLen returns alternatives for digit strings between lo and hi, which
+// must have equal length, compared lexicographically (equivalent to numeric
+// order at equal length).
+func decSameLen(lo, hi string) []string {
+	var out []string
+	var rec func(prefix string, lo, hi string)
+	rec = func(prefix string, lo, hi string) {
+		if len(lo) == 0 {
+			if prefix != "" {
+				out = append(out, fmt.Sprintf("%q", prefix))
+			}
+			return
+		}
+		if lo[0] == hi[0] {
+			rec(prefix+string(lo[0]), lo[1:], hi[1:])
+			return
+		}
+		emit := func(first byte, last byte, rest string) {
+			// prefix, digit class [first-last], then free digits or a
+			// constrained tail expression `rest`.
+			var sb strings.Builder
+			if prefix != "" {
+				fmt.Fprintf(&sb, "%q ", prefix)
+			}
+			if first == last {
+				fmt.Fprintf(&sb, `"%c"`, first)
+			} else {
+				fmt.Fprintf(&sb, "[%c-%c]", first, last)
+			}
+			if rest != "" {
+				sb.WriteByte(' ')
+				sb.WriteString(rest)
+			}
+			out = append(out, sb.String())
+		}
+		start, end := lo[0], hi[0]
+		lowAllZero := allDigit(lo[1:], '0')
+		highAllNine := allDigit(hi[1:], '9')
+		if !lowAllZero {
+			// start with exact lo[0], tail in [lo[1:] .. 99…9]
+			sub := decSameLen(lo[1:], strings.Repeat("9", len(lo)-1))
+			emitGroup := "( " + strings.Join(sub, " | ") + " )"
+			emit(start, start, emitGroup)
+			start++
+		}
+		if !highAllNine {
+			end--
+		}
+		if start <= end {
+			emit(start, end, digitsFree(len(lo)-1))
+		}
+		if !highAllNine {
+			sub := decSameLen(strings.Repeat("0", len(hi)-1), hi[1:])
+			emitGroup := "( " + strings.Join(sub, " | ") + " )"
+			emit(hi[0], hi[0], emitGroup)
+		}
+	}
+	rec("", lo, hi)
+	return out
+}
+
+func digitsFree(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return digitsExpr(n)
+}
+
+func allDigit(s string, d byte) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != d {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,175 @@
+// Package jsonschema compiles JSON Schema documents into grammars for
+// constrained generation (the paper's "JSON Schema" task, §4.1). Supported
+// keywords: type (object, array, string, integer, number, boolean, null),
+// properties/required/additionalProperties, items/minItems/maxItems,
+// enum/const, minLength/maxLength, minimum/maximum (integers), anyOf/oneOf,
+// and $ref into $defs/definitions (including recursive references).
+// Output formatting is canonical (", " and ": " separators), which maximizes
+// jump-forward opportunities (Appendix B).
+package jsonschema
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Kind enumerates ordered JSON value kinds.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindObject Kind = iota
+	KindArray
+	KindString
+	KindNumber
+	KindBool
+	KindNull
+)
+
+// Value is a JSON value that preserves object key order — required because
+// the schema's property order defines the generation order.
+type Value struct {
+	Kind  Kind
+	Keys  []string
+	Vals  []*Value
+	Items []*Value
+	Str   string
+	Num   json.Number
+	Bool  bool
+}
+
+// Get returns the member value for key, or nil.
+func (v *Value) Get(key string) *Value {
+	if v == nil || v.Kind != KindObject {
+		return nil
+	}
+	for i, k := range v.Keys {
+		if k == key {
+			return v.Vals[i]
+		}
+	}
+	return nil
+}
+
+// ParseOrdered parses JSON preserving object key order.
+func ParseOrdered(data []byte) (*Value, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	v, err := parseValue(dec)
+	if err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("jsonschema: trailing data after document")
+	}
+	return v, nil
+}
+
+func parseValue(dec *json.Decoder) (*Value, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	return parseFromToken(dec, tok)
+}
+
+func parseFromToken(dec *json.Decoder, tok json.Token) (*Value, error) {
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			v := &Value{Kind: KindObject}
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, err
+				}
+				key, ok := keyTok.(string)
+				if !ok {
+					return nil, fmt.Errorf("jsonschema: non-string object key %v", keyTok)
+				}
+				val, err := parseValue(dec)
+				if err != nil {
+					return nil, err
+				}
+				v.Keys = append(v.Keys, key)
+				v.Vals = append(v.Vals, val)
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return nil, err
+			}
+			return v, nil
+		case '[':
+			v := &Value{Kind: KindArray}
+			for dec.More() {
+				item, err := parseValue(dec)
+				if err != nil {
+					return nil, err
+				}
+				v.Items = append(v.Items, item)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return nil, err
+			}
+			return v, nil
+		}
+		return nil, fmt.Errorf("jsonschema: unexpected delimiter %v", t)
+	case string:
+		return &Value{Kind: KindString, Str: t}, nil
+	case json.Number:
+		return &Value{Kind: KindNumber, Num: t}, nil
+	case bool:
+		return &Value{Kind: KindBool, Bool: t}, nil
+	case nil:
+		return &Value{Kind: KindNull}, nil
+	}
+	return nil, fmt.Errorf("jsonschema: unexpected token %v", tok)
+}
+
+// MarshalCanonical renders v back to canonical JSON text (", " and ": "
+// separators, schema key order preserved).
+func (v *Value) MarshalCanonical() string {
+	var sb bytes.Buffer
+	v.writeCanonical(&sb)
+	return sb.String()
+}
+
+func (v *Value) writeCanonical(sb *bytes.Buffer) {
+	switch v.Kind {
+	case KindObject:
+		sb.WriteByte('{')
+		for i, k := range v.Keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			kb, _ := json.Marshal(k)
+			sb.Write(kb)
+			sb.WriteString(": ")
+			v.Vals[i].writeCanonical(sb)
+		}
+		sb.WriteByte('}')
+	case KindArray:
+		sb.WriteByte('[')
+		for i, it := range v.Items {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			it.writeCanonical(sb)
+		}
+		sb.WriteByte(']')
+	case KindString:
+		b, _ := json.Marshal(v.Str)
+		sb.Write(b)
+	case KindNumber:
+		sb.WriteString(v.Num.String())
+	case KindBool:
+		if v.Bool {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case KindNull:
+		sb.WriteString("null")
+	}
+}

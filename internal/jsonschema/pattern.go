@@ -1,0 +1,124 @@
+package jsonschema
+
+import (
+	"fmt"
+
+	"xgrammar/internal/grammar"
+)
+
+// exprToEBNF renders a grammar expression back to EBNF source; the schema
+// compiler assembles its output grammar as text.
+func exprToEBNF(e grammar.Expr) string { return e.String() }
+
+// jsonSafe returns whether a rune may appear raw inside a JSON string.
+func jsonSafe(r rune) bool {
+	return r >= 0x20 && r != '"' && r != '\\'
+}
+
+// restrictToStringChars rewrites a pattern expression so it can be embedded
+// between JSON quotes: character classes are intersected with the set of
+// runes that need no JSON escaping, and literals containing unsafe runes are
+// rejected (emitting them would require escape-aware serialization).
+func restrictToStringChars(e grammar.Expr) (grammar.Expr, error) {
+	switch v := e.(type) {
+	case *grammar.Seq:
+		for i, it := range v.Items {
+			ni, err := restrictToStringChars(it)
+			if err != nil {
+				return nil, err
+			}
+			v.Items[i] = ni
+		}
+		return v, nil
+	case *grammar.Choice:
+		for i, a := range v.Alts {
+			na, err := restrictToStringChars(a)
+			if err != nil {
+				return nil, err
+			}
+			v.Alts[i] = na
+		}
+		return v, nil
+	case *grammar.Repeat:
+		ns, err := restrictToStringChars(v.Sub)
+		if err != nil {
+			return nil, err
+		}
+		v.Sub = ns
+		return v, nil
+	case *grammar.Literal:
+		for _, r := range string(v.Bytes) {
+			if !jsonSafe(r) {
+				return nil, fmt.Errorf("pattern matches %q, which needs JSON escaping", r)
+			}
+		}
+		return v, nil
+	case *grammar.CharClass:
+		ranges := v.Ranges
+		if v.Negated {
+			rs := make([][2]rune, len(ranges))
+			for i, r := range ranges {
+				rs[i] = [2]rune{r.Lo, r.Hi}
+			}
+			comp := complementSorted(rs)
+			ranges = ranges[:0:0]
+			for _, cr := range comp {
+				ranges = append(ranges, grammar.RuneRange{Lo: cr[0], Hi: cr[1]})
+			}
+		}
+		var out []grammar.RuneRange
+		for _, r := range ranges {
+			out = append(out, subtractUnsafe(r)...)
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("pattern class matches only characters that need JSON escaping")
+		}
+		return &grammar.CharClass{Ranges: out}, nil
+	case *grammar.Empty:
+		return v, nil
+	}
+	return nil, fmt.Errorf("unexpected expression %T in pattern", e)
+}
+
+// subtractUnsafe removes the JSON-unsafe runes (controls, quote, backslash)
+// from an inclusive range.
+func subtractUnsafe(r grammar.RuneRange) []grammar.RuneRange {
+	holes := [][2]rune{{0x00, 0x1f}, {'"', '"'}, {'\\', '\\'}}
+	cur := []grammar.RuneRange{r}
+	for _, h := range holes {
+		var next []grammar.RuneRange
+		for _, c := range cur {
+			if h[1] < c.Lo || h[0] > c.Hi {
+				next = append(next, c)
+				continue
+			}
+			if c.Lo < h[0] {
+				next = append(next, grammar.RuneRange{Lo: c.Lo, Hi: h[0] - 1})
+			}
+			if c.Hi > h[1] {
+				next = append(next, grammar.RuneRange{Lo: h[1] + 1, Hi: c.Hi})
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// complementSorted complements sorted, non-overlapping rune ranges over the
+// Unicode space.
+func complementSorted(rs [][2]rune) [][2]rune {
+	var out [][2]rune
+	next := rune(0)
+	for _, r := range rs {
+		if r[0] > next {
+			out = append(out, [2]rune{next, r[0] - 1})
+		}
+		if r[1]+1 > next {
+			next = r[1] + 1
+		}
+	}
+	if next <= 0x10FFFF {
+		out = append(out, [2]rune{next, 0x10FFFF})
+	}
+	return out
+}

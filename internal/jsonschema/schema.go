@@ -1,0 +1,491 @@
+package jsonschema
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xgrammar/internal/ebnf"
+	"xgrammar/internal/grammar"
+	"xgrammar/internal/regexconv"
+)
+
+// Options configures schema compilation.
+type Options struct {
+	// AllowAdditionalProperties permits extra object members beyond the
+	// declared properties (after them, in generation order). The default is
+	// strict (false), the usual choice for structured outputs.
+	AllowAdditionalProperties bool
+}
+
+// Compile converts a JSON Schema document into a grammar whose language is
+// the canonical JSON serializations of instances of the schema.
+//
+// Unsupported keywords fail loudly: allOf, not, patternProperties.
+// Single-sided integer bounds and number (float) bounds are ignored.
+// String "pattern" supports the regex subset of package regexconv; the
+// pattern must not match characters that need JSON escaping.
+func Compile(schema []byte, opts Options) (*grammar.Grammar, error) {
+	v, err := ParseOrdered(schema)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{opts: opts, root: v, refRules: map[string]string{}, need: map[string]bool{}}
+	rootExpr := c.expr(v, "root")
+	if c.err != nil {
+		return nil, c.err
+	}
+	var src strings.Builder
+	fmt.Fprintf(&src, "root ::= %s\n", rootExpr)
+	for _, l := range c.lines {
+		src.WriteString(l)
+		src.WriteByte('\n')
+	}
+	c.emitBasics(&src)
+	g, err := ebnf.Parse(src.String())
+	if err != nil {
+		return nil, fmt.Errorf("jsonschema: internal grammar error: %w\nsource:\n%s", err, src.String())
+	}
+	return g, nil
+}
+
+// MustCompile is Compile but panics on error.
+func MustCompile(schema []byte, opts Options) *grammar.Grammar {
+	g, err := Compile(schema, opts)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type compiler struct {
+	opts     Options
+	root     *Value
+	lines    []string
+	counter  int
+	refRules map[string]string
+	need     map[string]bool
+	err      error
+}
+
+func (c *compiler) fail(format string, args ...interface{}) string {
+	if c.err == nil {
+		c.err = fmt.Errorf("jsonschema: "+format, args...)
+	}
+	return `""`
+}
+
+func (c *compiler) fresh(prefix string) string {
+	c.counter++
+	return fmt.Sprintf("%s_%d", prefix, c.counter)
+}
+
+func (c *compiler) rule(prefix, body string) string {
+	name := c.fresh(prefix)
+	c.lines = append(c.lines, fmt.Sprintf("%s ::= %s", name, body))
+	return name
+}
+
+// expr compiles a subschema into an EBNF expression string. hint names
+// generated rules for readability.
+func (c *compiler) expr(v *Value, hint string) string {
+	if c.err != nil {
+		return `""`
+	}
+	switch v.Kind {
+	case KindBool:
+		if v.Bool {
+			c.need["jvalue"] = true
+			return "jvalue"
+		}
+		return c.fail("schema 'false' matches nothing")
+	case KindObject:
+		// fallthrough below
+	default:
+		return c.fail("schema must be an object or boolean, got kind %d", v.Kind)
+	}
+
+	if ref := v.Get("$ref"); ref != nil {
+		return c.refExpr(ref)
+	}
+	for _, bad := range []string{"allOf", "not", "patternProperties"} {
+		if v.Get(bad) != nil {
+			return c.fail("unsupported keyword %q", bad)
+		}
+	}
+	if e := v.Get("enum"); e != nil {
+		return c.literalChoice(e.Items)
+	}
+	if cv := v.Get("const"); cv != nil {
+		return c.literalChoice([]*Value{cv})
+	}
+	if any := v.Get("anyOf"); any != nil {
+		return c.choiceOf(any, hint)
+	}
+	if one := v.Get("oneOf"); one != nil {
+		return c.choiceOf(one, hint)
+	}
+
+	t := v.Get("type")
+	if t == nil {
+		c.need["jvalue"] = true
+		return "jvalue"
+	}
+	if t.Kind == KindArray {
+		var alts []string
+		for _, tv := range t.Items {
+			alts = append(alts, c.typedExpr(v, tv.Str, hint))
+		}
+		return "( " + strings.Join(alts, " | ") + " )"
+	}
+	return c.typedExpr(v, t.Str, hint)
+}
+
+func (c *compiler) choiceOf(list *Value, hint string) string {
+	if list.Kind != KindArray || len(list.Items) == 0 {
+		return c.fail("anyOf/oneOf must be a non-empty array")
+	}
+	var alts []string
+	for i, sub := range list.Items {
+		alts = append(alts, c.expr(sub, fmt.Sprintf("%s_alt%d", hint, i)))
+	}
+	return "( " + strings.Join(alts, " | ") + " )"
+}
+
+func (c *compiler) refExpr(ref *Value) string {
+	if ref.Kind != KindString {
+		return c.fail("$ref must be a string")
+	}
+	path := ref.Str
+	if name, ok := c.refRules[path]; ok {
+		return name
+	}
+	target := c.resolveRef(path)
+	if target == nil {
+		return c.fail("cannot resolve $ref %q", path)
+	}
+	// Pre-register the rule name so recursive references terminate.
+	name := c.fresh("ref_" + sanitize(path))
+	c.refRules[path] = name
+	body := c.expr(target, name)
+	c.lines = append(c.lines, fmt.Sprintf("%s ::= %s", name, body))
+	return name
+}
+
+func (c *compiler) resolveRef(path string) *Value {
+	if path == "#" {
+		return c.root
+	}
+	for _, prefix := range []string{"#/$defs/", "#/definitions/"} {
+		if strings.HasPrefix(path, prefix) {
+			name := strings.TrimPrefix(path, prefix)
+			for _, container := range []string{"$defs", "definitions"} {
+				if defs := c.root.Get(container); defs != nil {
+					if d := defs.Get(name); d != nil {
+						return d
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (c *compiler) literalChoice(vals []*Value) string {
+	if len(vals) == 0 {
+		return c.fail("empty enum")
+	}
+	var alts []string
+	for _, v := range vals {
+		alts = append(alts, ebnfString(v.MarshalCanonical()))
+	}
+	if len(alts) == 1 {
+		return alts[0]
+	}
+	return "( " + strings.Join(alts, " | ") + " )"
+}
+
+func (c *compiler) typedExpr(v *Value, typ, hint string) string {
+	switch typ {
+	case "object":
+		return c.objectExpr(v, hint)
+	case "array":
+		return c.arrayExpr(v, hint)
+	case "string":
+		return c.stringExpr(v)
+	case "integer":
+		return c.integerExpr(v)
+	case "number":
+		c.need["jnumber"] = true
+		return "jnumber"
+	case "boolean":
+		return `( "true" | "false" )`
+	case "null":
+		return `"null"`
+	}
+	return c.fail("unknown type %q", typ)
+}
+
+func (c *compiler) stringExpr(v *Value) string {
+	minL, hasMin := c.intField(v, "minLength")
+	maxL, hasMax := c.intField(v, "maxLength")
+	if pat := v.Get("pattern"); pat != nil {
+		if hasMin || hasMax {
+			return c.fail("pattern combined with length bounds is unsupported")
+		}
+		if pat.Kind != KindString {
+			return c.fail("pattern must be a string")
+		}
+		e, err := regexconv.Convert(pat.Str)
+		if err != nil {
+			return c.fail("pattern %q: %v", pat.Str, err)
+		}
+		e, err = restrictToStringChars(e)
+		if err != nil {
+			return c.fail("pattern %q: %v", pat.Str, err)
+		}
+		name := c.rule("pat", exprToEBNF(e))
+		return fmt.Sprintf(`"\"" %s "\""`, name)
+	}
+	c.need["jchar"] = true
+	switch {
+	case !hasMin && !hasMax:
+		c.need["jstring"] = true
+		return "jstring"
+	case hasMin && hasMax:
+		return fmt.Sprintf(`"\"" jchar{%d,%d} "\""`, minL, maxL)
+	case hasMin:
+		return fmt.Sprintf(`"\"" jchar{%d,} "\""`, minL)
+	default:
+		return fmt.Sprintf(`"\"" jchar{0,%d} "\""`, maxL)
+	}
+}
+
+func (c *compiler) integerExpr(v *Value) string {
+	lo, hasLo := c.intField(v, "minimum")
+	hi, hasHi := c.intField(v, "maximum")
+	if xl, ok := c.intField(v, "exclusiveMinimum"); ok {
+		lo, hasLo = xl+1, true
+	}
+	if xh, ok := c.intField(v, "exclusiveMaximum"); ok {
+		hi, hasHi = xh-1, true
+	}
+	if hasLo && hasHi {
+		if lo > hi {
+			return c.fail("integer range empty: [%d, %d]", lo, hi)
+		}
+		return decRangeExpr(lo, hi)
+	}
+	// Single-sided bounds are not representable without unbounded lookahead
+	// tricks; fall back to unconstrained integers.
+	c.need["jinteger"] = true
+	return "jinteger"
+}
+
+func (c *compiler) intField(v *Value, key string) (int64, bool) {
+	f := v.Get(key)
+	if f == nil || f.Kind != KindNumber {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(f.Num.String(), 10, 64)
+	if err != nil {
+		c.fail("field %q: %v", key, err)
+		return 0, false
+	}
+	return n, true
+}
+
+func (c *compiler) arrayExpr(v *Value, hint string) string {
+	itemExpr := "jvalue"
+	if items := v.Get("items"); items != nil {
+		itemExpr = c.expr(items, hint+"_item")
+	} else {
+		c.need["jvalue"] = true
+	}
+	item := c.rule(hint+"_item", itemExpr)
+	minI, hasMin := c.intField(v, "minItems")
+	maxI, hasMax := c.intField(v, "maxItems")
+	if !hasMin {
+		minI = 0
+	}
+	if hasMax && maxI < minI {
+		return c.fail("array bounds empty: [%d, %d]", minI, maxI)
+	}
+	rest := func(min, max int64, unbounded bool) string {
+		switch {
+		case unbounded:
+			if min == 0 {
+				return fmt.Sprintf(`( ", " %s )*`, item)
+			}
+			return fmt.Sprintf(`( ", " %s ){%d,}`, item, min)
+		case max == 0:
+			return `""`
+		case min == max:
+			return fmt.Sprintf(`( ", " %s ){%d}`, item, min)
+		default:
+			return fmt.Sprintf(`( ", " %s ){%d,%d}`, item, min, max)
+		}
+	}
+	switch {
+	case hasMax && maxI == 0:
+		return `"[]"`
+	case minI == 0:
+		if hasMax {
+			return fmt.Sprintf(`"[" ( %s %s )? "]"`, item, rest(0, maxI-1, false))
+		}
+		return fmt.Sprintf(`"[" ( %s %s )? "]"`, item, rest(0, 0, true))
+	default:
+		if hasMax {
+			return fmt.Sprintf(`"[" %s %s "]"`, item, rest(minI-1, maxI-1, false))
+		}
+		return fmt.Sprintf(`"[" %s %s "]"`, item, rest(minI-1, 0, true))
+	}
+}
+
+// objectExpr compiles an object schema. Properties are generated in schema
+// order; optional properties may be skipped. Comma placement is handled with
+// paired first/rest rules: the "first" variant emits no leading separator,
+// the "rest" variant prefixes each member with ", ".
+func (c *compiler) objectExpr(v *Value, hint string) string {
+	props := v.Get("properties")
+	required := map[string]bool{}
+	if req := v.Get("required"); req != nil {
+		for _, r := range req.Items {
+			required[r.Str] = true
+		}
+	}
+	allowExtra := c.opts.AllowAdditionalProperties
+	if ap := v.Get("additionalProperties"); ap != nil {
+		allowExtra = !(ap.Kind == KindBool && !ap.Bool)
+	}
+
+	type prop struct {
+		memberExpr string
+		required   bool
+	}
+	var plist []prop
+	if props != nil {
+		for i, key := range props.Keys {
+			kb, _ := json.Marshal(key)
+			valExpr := c.expr(props.Vals[i], hint+"_"+sanitize(key))
+			member := fmt.Sprintf(`%s %s`, ebnfString(string(kb)+": "), valExpr)
+			plist = append(plist, prop{memberExpr: member, required: required[key]})
+		}
+	}
+
+	// Tail rules for additional properties.
+	extraFirst, extraRest := `""`, `""`
+	if allowExtra {
+		c.need["jmember"] = true
+		extraFirst = `( jmember ( ", " jmember )* )?`
+		extraRest = `( ", " jmember )*`
+	}
+
+	// Build from the last property backwards: firstN/restN are the tails.
+	first, restChain := extraFirst, extraRest
+	for i := len(plist) - 1; i >= 0; i-- {
+		p := plist[i]
+		mem := c.rule(hint+"_m", p.memberExpr)
+		restName := c.rule(hint+"_r", restBody(mem, restChain, p.required))
+		firstBody := fmt.Sprintf(`%s %s`, mem, restChain)
+		if !p.required {
+			firstBody = fmt.Sprintf(`%s %s | %s`, mem, restChain, first)
+		}
+		firstName := c.rule(hint+"_f", firstBody)
+		first, restChain = firstName, restName
+	}
+	return fmt.Sprintf(`"{" %s "}"`, first)
+}
+
+// restBody emits the continuation when at least one member was already
+// generated: a leading ", " precedes this property if it appears.
+func restBody(member, restChain string, required bool) string {
+	body := fmt.Sprintf(`", " %s %s`, member, restChain)
+	if !required {
+		body = fmt.Sprintf(`%s | %s`, body, restChain)
+	}
+	return body
+}
+
+// emitBasics appends the generic JSON rules that were referenced.
+func (c *compiler) emitBasics(src *strings.Builder) {
+	if c.need["jvalue"] || c.need["jmember"] {
+		c.need["jstring"] = true
+		c.need["jnumber"] = true
+		src.WriteString(`jvalue ::= jobject | jarray | jstring | jnumber | "true" | "false" | "null"
+jobject ::= "{" ( jmember ( ", " jmember )* )? "}"
+jmember ::= jstring ": " jvalue
+jarray ::= "[" ( jvalue ( ", " jvalue )* )? "]"
+`)
+	}
+	if c.need["jstring"] {
+		c.need["jchar"] = true
+		src.WriteString("jstring ::= \"\\\"\" jchar* \"\\\"\"\n")
+	}
+	if c.need["jchar"] {
+		src.WriteString(`jchar ::= [^"\\\x00-\x1f] | "\\" jescape
+jescape ::= ["\\/bfnrt] | "u" jhex jhex jhex jhex
+jhex ::= [0-9a-fA-F]
+`)
+	}
+	if c.need["jnumber"] {
+		src.WriteString(`jnumber ::= "-"? jint jfrac? jexp?
+jfrac ::= "." [0-9]+
+jexp ::= [eE] [-+]? [0-9]+
+`)
+		c.need["jinteger"] = false // jint is emitted below either way
+		src.WriteString("jint ::= \"0\" | [1-9] [0-9]*\n")
+		src.WriteString("jinteger ::= \"-\"? jint\n")
+		return
+	}
+	if c.need["jinteger"] {
+		src.WriteString("jinteger ::= \"-\"? jint\njint ::= \"0\" | [1-9] [0-9]*\n")
+	}
+}
+
+// ebnfString renders s as an EBNF string literal.
+func ebnfString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch b {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			if b < 0x20 {
+				fmt.Fprintf(&sb, `\x%02x`, b)
+			} else {
+				sb.WriteByte(b)
+			}
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	out := sb.String()
+	if len(out) > 24 {
+		out = out[:24]
+	}
+	return out
+}

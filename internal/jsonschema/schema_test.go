@@ -1,0 +1,439 @@
+package jsonschema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xgrammar/internal/grammar"
+	"xgrammar/internal/matcher"
+	"xgrammar/internal/pda"
+)
+
+// accepts compiles the schema and reports whether doc is a complete match.
+func accepts(t *testing.T, schema string, doc string, opts Options) bool {
+	t.Helper()
+	g, err := Compile([]byte(schema), opts)
+	if err != nil {
+		t.Fatalf("compile %s: %v", schema, err)
+	}
+	return matchComplete(t, g, doc)
+}
+
+func matchComplete(t *testing.T, g *grammar.Grammar, doc string) bool {
+	t.Helper()
+	p, err := pda.Compile(g, pda.AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := matcher.New(matcher.NewExec(p), 0)
+	if !m.Advance([]byte(doc)) {
+		return false
+	}
+	return m.CanTerminate()
+}
+
+func TestSimpleObject(t *testing.T) {
+	schema := `{
+		"type": "object",
+		"properties": {
+			"name": {"type": "string"},
+			"age": {"type": "integer"}
+		},
+		"required": ["name", "age"]
+	}`
+	good := []string{
+		`{"name": "bob", "age": 42}`,
+		`{"name": "", "age": -1}`,
+	}
+	bad := []string{
+		`{"age": 42, "name": "bob"}`, // wrong order (canonical order enforced)
+		`{"name": "bob"}`,            // missing required
+		`{"name": "bob", "age": 4.5}`,
+		`{"name": "bob", "age": 42, "x": 1}`, // additional prop (strict)
+		`{ "name": "bob", "age": 42}`,        // non-canonical whitespace
+	}
+	for _, d := range good {
+		if !accepts(t, schema, d, Options{}) {
+			t.Errorf("valid doc rejected: %s", d)
+		}
+	}
+	for _, d := range bad {
+		if accepts(t, schema, d, Options{}) {
+			t.Errorf("invalid doc accepted: %s", d)
+		}
+	}
+}
+
+func TestOptionalProperties(t *testing.T) {
+	schema := `{
+		"type": "object",
+		"properties": {
+			"a": {"type": "integer"},
+			"b": {"type": "integer"},
+			"c": {"type": "integer"}
+		},
+		"required": ["b"]
+	}`
+	good := []string{
+		`{"b": 1}`,
+		`{"a": 1, "b": 2}`,
+		`{"b": 1, "c": 2}`,
+		`{"a": 1, "b": 2, "c": 3}`,
+	}
+	bad := []string{
+		`{}`,
+		`{"a": 1}`,
+		`{"a": 1, "c": 3}`,
+		`{"c": 1, "b": 2}`, // order
+		`{"b": 1,}`,
+	}
+	for _, d := range good {
+		if !accepts(t, schema, d, Options{}) {
+			t.Errorf("valid doc rejected: %s", d)
+		}
+	}
+	for _, d := range bad {
+		if accepts(t, schema, d, Options{}) {
+			t.Errorf("invalid doc accepted: %s", d)
+		}
+	}
+}
+
+func TestAdditionalProperties(t *testing.T) {
+	schema := `{
+		"type": "object",
+		"properties": {"a": {"type": "integer"}},
+		"required": ["a"],
+		"additionalProperties": true
+	}`
+	if !accepts(t, schema, `{"a": 1, "extra": [true, null]}`, Options{}) {
+		t.Error("additional property rejected")
+	}
+	if !accepts(t, schema, `{"a": 1}`, Options{}) {
+		t.Error("plain doc rejected")
+	}
+}
+
+func TestEmptyObjectSchemas(t *testing.T) {
+	if !accepts(t, `{"type": "object"}`, `{}`, Options{}) {
+		t.Error("{} rejected for bare object schema")
+	}
+	if accepts(t, `{"type": "object"}`, `{"a": 1}`, Options{}) {
+		t.Error("strict bare object accepted members")
+	}
+	if !accepts(t, `{"type": "object"}`, `{"a": 1}`, Options{AllowAdditionalProperties: true}) {
+		t.Error("permissive bare object rejected members")
+	}
+}
+
+func TestArrays(t *testing.T) {
+	schema := `{"type": "array", "items": {"type": "integer"}, "minItems": 1, "maxItems": 3}`
+	good := []string{`[1]`, `[1, 2]`, `[1, 2, 3]`}
+	bad := []string{`[]`, `[1, 2, 3, 4]`, `[1.5]`, `[1,2]`}
+	for _, d := range good {
+		if !accepts(t, schema, d, Options{}) {
+			t.Errorf("valid array rejected: %s", d)
+		}
+	}
+	for _, d := range bad {
+		if accepts(t, schema, d, Options{}) {
+			t.Errorf("invalid array accepted: %s", d)
+		}
+	}
+}
+
+func TestArrayUnbounded(t *testing.T) {
+	schema := `{"type": "array", "items": {"type": "boolean"}}`
+	for _, d := range []string{`[]`, `[true]`, `[true, false, true, true]`} {
+		if !accepts(t, schema, d, Options{}) {
+			t.Errorf("rejected: %s", d)
+		}
+	}
+}
+
+func TestEnumAndConst(t *testing.T) {
+	schema := `{"enum": ["red", "green", 42, true, null, {"k": 1}]}`
+	good := []string{`"red"`, `"green"`, `42`, `true`, `null`, `{"k": 1}`}
+	bad := []string{`"blue"`, `43`, `false`}
+	for _, d := range good {
+		if !accepts(t, schema, d, Options{}) {
+			t.Errorf("enum member rejected: %s", d)
+		}
+	}
+	for _, d := range bad {
+		if accepts(t, schema, d, Options{}) {
+			t.Errorf("non-member accepted: %s", d)
+		}
+	}
+	if !accepts(t, `{"const": "fixed"}`, `"fixed"`, Options{}) {
+		t.Error("const rejected")
+	}
+}
+
+func TestIntegerBounds(t *testing.T) {
+	schema := `{"type": "integer", "minimum": -12, "maximum": 1045}`
+	g, err := Compile([]byte(schema), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pda.Compile(g, pda.AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := -40; n <= 1100; n++ {
+		m := matcher.New(matcher.NewExec(p), 0)
+		doc := strconv.Itoa(n)
+		got := m.Advance([]byte(doc)) && m.CanTerminate()
+		want := n >= -12 && n <= 1045
+		if got != want {
+			t.Fatalf("%d: got %v want %v", n, got, want)
+		}
+	}
+	// No leading zeros.
+	m := matcher.New(matcher.NewExec(p), 0)
+	if m.Advance([]byte("007")) && m.CanTerminate() {
+		t.Error("leading zeros accepted")
+	}
+}
+
+func TestIntegerBoundsProperty(t *testing.T) {
+	// Randomized ranges verified exhaustively near the edges.
+	cases := [][2]int64{{0, 0}, {0, 9}, {5, 5}, {7, 23}, {99, 101}, {-3, 3}, {-200, -100}, {1, 100000}}
+	for _, cse := range cases {
+		expr := decRangeExpr(cse[0], cse[1])
+		src := "root ::= " + expr
+		g, err := Compile([]byte(fmt.Sprintf(`{"type":"integer","minimum":%d,"maximum":%d}`, cse[0], cse[1])), Options{})
+		if err != nil {
+			t.Fatalf("%v: %v (expr %s)", cse, err, src)
+		}
+		p, err := pda.Compile(g, pda.AllOptimizations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := []int64{cse[0] - 2, cse[0] - 1, cse[0], cse[0] + 1, (cse[0] + cse[1]) / 2, cse[1] - 1, cse[1], cse[1] + 1, cse[1] + 2}
+		for _, n := range probe {
+			m := matcher.New(matcher.NewExec(p), 0)
+			doc := strconv.FormatInt(n, 10)
+			got := m.Advance([]byte(doc)) && m.CanTerminate()
+			want := n >= cse[0] && n <= cse[1]
+			if got != want {
+				t.Fatalf("range %v value %d: got %v want %v", cse, n, got, want)
+			}
+		}
+	}
+}
+
+func TestStringLengthBounds(t *testing.T) {
+	schema := `{"type": "string", "minLength": 2, "maxLength": 4}`
+	good := []string{`"ab"`, `"abc"`, `"abcd"`, `"éé"`}
+	bad := []string{`""`, `"a"`, `"abcde"`}
+	for _, d := range good {
+		if !accepts(t, schema, d, Options{}) {
+			t.Errorf("rejected: %s", d)
+		}
+	}
+	for _, d := range bad {
+		if accepts(t, schema, d, Options{}) {
+			t.Errorf("accepted: %s", d)
+		}
+	}
+}
+
+func TestAnyOf(t *testing.T) {
+	schema := `{"anyOf": [{"type": "integer"}, {"type": "string"}]}`
+	for _, d := range []string{`42`, `"hi"`} {
+		if !accepts(t, schema, d, Options{}) {
+			t.Errorf("rejected: %s", d)
+		}
+	}
+	if accepts(t, schema, `true`, Options{}) {
+		t.Error("accepted non-member")
+	}
+}
+
+func TestTypeArray(t *testing.T) {
+	schema := `{"type": ["string", "null"]}`
+	for _, d := range []string{`"x"`, `null`} {
+		if !accepts(t, schema, d, Options{}) {
+			t.Errorf("rejected: %s", d)
+		}
+	}
+	if accepts(t, schema, `5`, Options{}) {
+		t.Error("accepted non-member")
+	}
+}
+
+func TestRefAndRecursion(t *testing.T) {
+	schema := `{
+		"type": "object",
+		"properties": {
+			"value": {"type": "integer"},
+			"next": {"anyOf": [{"$ref": "#"}, {"type": "null"}]}
+		},
+		"required": ["value", "next"]
+	}`
+	good := []string{
+		`{"value": 1, "next": null}`,
+		`{"value": 1, "next": {"value": 2, "next": null}}`,
+		`{"value": 1, "next": {"value": 2, "next": {"value": 3, "next": null}}}`,
+	}
+	for _, d := range good {
+		if !accepts(t, schema, d, Options{}) {
+			t.Errorf("rejected: %s", d)
+		}
+	}
+	if accepts(t, schema, `{"value": 1}`, Options{}) {
+		t.Error("accepted incomplete recursion")
+	}
+}
+
+func TestDefs(t *testing.T) {
+	schema := `{
+		"$defs": {"pt": {"type": "object", "properties": {"x": {"type": "integer"}}, "required": ["x"]}},
+		"type": "array",
+		"items": {"$ref": "#/$defs/pt"}
+	}`
+	if !accepts(t, schema, `[{"x": 1}, {"x": 2}]`, Options{}) {
+		t.Error("rejected $defs doc")
+	}
+}
+
+func TestNestedObjects(t *testing.T) {
+	schema := `{
+		"type": "object",
+		"properties": {
+			"user": {
+				"type": "object",
+				"properties": {
+					"email": {"type": "string"},
+					"tags": {"type": "array", "items": {"type": "string"}}
+				},
+				"required": ["email"]
+			},
+			"active": {"type": "boolean"}
+		},
+		"required": ["user", "active"]
+	}`
+	good := `{"user": {"email": "a@b.c", "tags": ["x", "y"]}, "active": true}`
+	if !accepts(t, schema, good, Options{}) {
+		t.Errorf("rejected: %s", good)
+	}
+	bad := `{"user": {"tags": []}, "active": true}`
+	if accepts(t, schema, bad, Options{}) {
+		t.Errorf("accepted: %s", bad)
+	}
+}
+
+func TestUnsupportedKeywords(t *testing.T) {
+	for _, s := range []string{
+		`{"allOf": [{"type": "string"}]}`,
+		`{"not": {"type": "string"}}`,
+		`{"type": "string", "pattern": "(unbalanced"}`,
+	} {
+		if _, err := Compile([]byte(s), Options{}); err == nil {
+			t.Errorf("no error for %s", s)
+		}
+	}
+}
+
+func TestSchemaTrueFalse(t *testing.T) {
+	if !accepts(t, `true`, `{"any": [1, "x"]}`, Options{}) {
+		t.Error("schema true rejected a JSON value")
+	}
+	if _, err := Compile([]byte(`false`), Options{}); err == nil {
+		t.Error("schema false compiled")
+	}
+}
+
+func TestBadSchemaJSON(t *testing.T) {
+	if _, err := Compile([]byte(`{"type":`), Options{}); err == nil {
+		t.Error("truncated schema compiled")
+	}
+	if _, err := Compile([]byte(`{} {}`), Options{}); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+func TestOrderedParsePreservesKeyOrder(t *testing.T) {
+	v, err := ParseOrdered([]byte(`{"z": 1, "a": 2, "m": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(v.Keys, ",") != "z,a,m" {
+		t.Fatalf("keys = %v", v.Keys)
+	}
+}
+
+func TestMarshalCanonicalRoundTrip(t *testing.T) {
+	in := `{"b": [1, 2.5, "x"], "a": {"c": null}}`
+	v, err := ParseOrdered([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.MarshalCanonical(); got != in {
+		t.Fatalf("canonical = %s, want %s", got, in)
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	schema := `{"type": "string", "pattern": "^[a-z]+-[0-9]{2}$"}`
+	good := []string{`"abc-12"`, `"x-00"`}
+	bad := []string{`"abc-1"`, `"ABC-12"`, `"abc-123"`, `""`, `"abc_12"`}
+	for _, d := range good {
+		if !accepts(t, schema, d, Options{}) {
+			t.Errorf("rejected: %s", d)
+		}
+	}
+	for _, d := range bad {
+		if accepts(t, schema, d, Options{}) {
+			t.Errorf("accepted: %s", d)
+		}
+	}
+}
+
+func TestPatternUnanchoredSearchSemantics(t *testing.T) {
+	schema := `{"type": "string", "pattern": "ab+c"}`
+	if !accepts(t, schema, `"xx abbbc yy"`, Options{}) {
+		t.Error("unanchored pattern rejected a containing string")
+	}
+	if accepts(t, schema, `"no match here"`, Options{}) {
+		t.Error("unanchored pattern accepted a non-containing string")
+	}
+}
+
+func TestPatternRestrictsJSONUnsafe(t *testing.T) {
+	// '.' may not generate a raw quote inside the JSON string.
+	schema := `{"type": "string", "pattern": "^.$"}`
+	if accepts(t, schema, `"""`, Options{}) {
+		t.Error("pattern dot emitted a raw quote")
+	}
+	if !accepts(t, schema, `"a"`, Options{}) {
+		t.Error("pattern dot rejected a normal character")
+	}
+	// Patterns that can only match unsafe characters fail at compile time.
+	if _, err := Compile([]byte(`{"type": "string", "pattern": "^\"$"}`), Options{}); err == nil {
+		t.Error("quote-literal pattern compiled")
+	}
+}
+
+func TestPatternInObject(t *testing.T) {
+	schema := `{
+		"type": "object",
+		"properties": {"sku": {"type": "string", "pattern": "^[A-Z]{3}-\\d{4}$"}},
+		"required": ["sku"]
+	}`
+	if !accepts(t, schema, `{"sku": "ABC-1234"}`, Options{}) {
+		t.Error("valid sku rejected")
+	}
+	if accepts(t, schema, `{"sku": "AB-1234"}`, Options{}) {
+		t.Error("invalid sku accepted")
+	}
+}
+
+func TestPatternWithLengthBoundsRejected(t *testing.T) {
+	if _, err := Compile([]byte(`{"type": "string", "pattern": "^a$", "minLength": 1}`), Options{}); err == nil {
+		t.Error("pattern+minLength compiled")
+	}
+}

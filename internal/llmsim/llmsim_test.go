@@ -1,0 +1,115 @@
+package llmsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDecodeStepScalesWithBatch(t *testing.T) {
+	p := H100Llama8B()
+	if p.DecodeStep(1) >= p.DecodeStep(16) || p.DecodeStep(16) >= p.DecodeStep(32) {
+		t.Fatal("decode step does not grow with batch")
+	}
+	if p.DecodeStep(0) != p.DecodeStep(1) {
+		t.Fatal("batch 0 not clamped")
+	}
+}
+
+func TestProfilesCalibration(t *testing.T) {
+	// Batch-1 decode steps should land near the paper's unconstrained TPOT.
+	cases := []struct {
+		p    Profile
+		want time.Duration
+		tol  time.Duration
+	}{
+		{H100Llama8B(), 6200 * time.Microsecond, 2 * time.Millisecond},
+		{DeepSeekV2Lite(), 4600 * time.Microsecond, 2 * time.Millisecond},
+		{M3MaxLlama8B(), 29700 * time.Microsecond, 5 * time.Millisecond},
+		{IPhoneQwen05B(), 47300 * time.Microsecond, 8 * time.Millisecond},
+	}
+	for _, c := range cases {
+		got := c.p.DecodeStep(1) + c.p.SamplePerStep
+		diff := got - c.want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > c.tol {
+			t.Errorf("%s: step %v, want %v ± %v", c.p.Name, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestPrefill(t *testing.T) {
+	p := H100Llama8B()
+	if p.Prefill(100) != 100*p.PrefillPerToken {
+		t.Fatal("prefill math wrong")
+	}
+}
+
+func TestMakeNoisyProse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	clean := `{"a": 1}`
+	noisy, corrupted := MakeNoisy(clean, NoiseOptions{ProseProb: 1}, rng)
+	if !corrupted || !strings.Contains(noisy, clean) || noisy == clean {
+		t.Fatalf("prose noise wrong: %q", noisy)
+	}
+}
+
+func TestMakeNoisyTypeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	clean := `{"a": 42}`
+	noisy, corrupted := MakeNoisy(clean, NoiseOptions{TypeErrProb: 1}, rng)
+	if !corrupted {
+		t.Fatal("type error did not corrupt")
+	}
+	if !strings.Contains(noisy, "approximately") {
+		t.Fatalf("expected bareword corruption: %q", noisy)
+	}
+}
+
+func TestMakeNoisyXMLTagDrop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	clean := `<a><b>x</b></a>`
+	noisy, corrupted := MakeNoisy(clean, NoiseOptions{TypeErrProb: 1}, rng)
+	if !corrupted || strings.HasSuffix(noisy, "</a>") {
+		t.Fatalf("xml corruption wrong: %q", noisy)
+	}
+}
+
+func TestMakeNoisyCleanPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	clean := `{"a": 1}`
+	noisy, corrupted := MakeNoisy(clean, NoiseOptions{}, rng)
+	if corrupted || noisy != clean {
+		t.Fatalf("zero-noise changed output: %q", noisy)
+	}
+}
+
+func TestNoiseRatesApproximate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	opts := FunctionCallingNoise()
+	n, bad := 2000, 0
+	for i := 0; i < n; i++ {
+		_, corrupted := MakeNoisy(`{"x": 123}`, opts, rng)
+		if corrupted {
+			bad++
+		}
+	}
+	rate := float64(bad) / float64(n)
+	// Expected failure ≈ 1-(1-0.28)(1-0.14) ≈ 0.38 (paper: 38%).
+	if rate < 0.30 || rate > 0.46 {
+		t.Fatalf("failure rate %.3f outside expected band", rate)
+	}
+}
+
+func TestNewRequests(t *testing.T) {
+	reqs := NewRequests([]string{"a", "bb"}, 139)
+	if len(reqs) != 2 || reqs[0].PromptTokens != 139 || reqs[1].Target != "bb" {
+		t.Fatal("NewRequests wrong")
+	}
+	if reqs[0].String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,96 @@
+package llmsim
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+)
+
+// NoiseOptions parameterizes the unconstrained model's failure modes on
+// structured tasks (Table 4): wrapping the payload in explanatory prose and
+// emitting values with the wrong type. Probabilities are per request.
+type NoiseOptions struct {
+	// ProseProb wraps the output in natural-language explanation.
+	ProseProb float64
+	// TypeErrProb corrupts one JSON value's type (or, for XML, breaks a
+	// closing tag).
+	TypeErrProb float64
+}
+
+// FunctionCallingNoise reproduces the paper's 62% unconstrained accuracy on
+// function calling: 1 - (1-0.28)(1-0.14) ≈ 0.38 failure rate.
+func FunctionCallingNoise() NoiseOptions {
+	return NoiseOptions{ProseProb: 0.28, TypeErrProb: 0.14}
+}
+
+// XMLGenerationNoise reproduces the ~80% unconstrained accuracy on XML code
+// generation.
+func XMLGenerationNoise() NoiseOptions {
+	return NoiseOptions{ProseProb: 0.15, TypeErrProb: 0.06}
+}
+
+var prosePrefixes = []string{
+	"Sure! Here is the output you requested: ",
+	"The answer is as follows. ",
+	"Here's the structured result:\n",
+	"Certainly, see below. ",
+}
+
+var proseSuffixes = []string{
+	" Let me know if you need anything else!",
+	" I hope this helps.",
+	"\nThat completes the request.",
+	"",
+}
+
+var numberValue = regexp.MustCompile(`: (-?[0-9][0-9.eE+-]*)`)
+
+// MakeNoisy renders the unconstrained model's output for a clean target:
+// with ProseProb the payload is wrapped in prose, and with TypeErrProb a
+// value type is corrupted. The returned bool reports whether the output was
+// corrupted (i.e. would fail syntactic validation of the pure payload).
+func MakeNoisy(clean string, opts NoiseOptions, rng *rand.Rand) (string, bool) {
+	out := clean
+	corrupted := false
+	if rng.Float64() < opts.TypeErrProb {
+		if loc := numberValue.FindStringSubmatchIndex(out); loc != nil {
+			// Replace a numeric value with a bareword — the "unexpected
+			// type" failure the paper describes.
+			out = out[:loc[2]] + "approximately " + out[loc[2]:loc[3]] + out[loc[3]:]
+			corrupted = true
+		} else if i := strings.LastIndexByte(out, '<'); i > 0 {
+			// XML: drop the final closing tag.
+			out = out[:i]
+			corrupted = true
+		}
+	}
+	if rng.Float64() < opts.ProseProb {
+		out = prosePrefixes[rng.Intn(len(prosePrefixes))] + out + proseSuffixes[rng.Intn(len(proseSuffixes))]
+		corrupted = true
+	}
+	return out, corrupted
+}
+
+// Request is one serving request: a prompt length and the clean target the
+// teacher-forced model intends to produce.
+type Request struct {
+	ID           int
+	PromptTokens int
+	Target       string
+}
+
+// NewRequests builds requests from target strings with the paper's average
+// prompt length (139 tokens, §4.2).
+func NewRequests(targets []string, promptTokens int) []*Request {
+	out := make([]*Request, len(targets))
+	for i, tgt := range targets {
+		out[i] = &Request{ID: i, PromptTokens: promptTokens, Target: tgt}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (r *Request) String() string {
+	return fmt.Sprintf("req%d(prompt=%d, target=%dB)", r.ID, r.PromptTokens, len(r.Target))
+}

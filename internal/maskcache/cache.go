@@ -1,0 +1,244 @@
+package maskcache
+
+import (
+	"sort"
+
+	"xgrammar/internal/bitset"
+	"xgrammar/internal/fsa"
+	"xgrammar/internal/matcher"
+	"xgrammar/internal/pda"
+	"xgrammar/internal/pstack"
+	"xgrammar/internal/tokenizer"
+)
+
+// StorageKind is the adaptive storage format chosen for one node (§3.1).
+type StorageKind uint8
+
+const (
+	// AcceptHeavy stores the rejected context-independent tokens.
+	AcceptHeavy StorageKind = iota
+	// RejectHeavy stores the accepted context-independent tokens.
+	RejectHeavy
+	// BitsetStore stores accepted context-independent tokens as a bitset.
+	BitsetStore
+)
+
+func (k StorageKind) String() string {
+	switch k {
+	case AcceptHeavy:
+		return "accept-heavy"
+	case RejectHeavy:
+		return "reject-heavy"
+	default:
+		return "bitset"
+	}
+}
+
+// NodeMask is the cached classification for one PDA node as stack top.
+type NodeMask struct {
+	Kind StorageKind
+	// Tokens holds the rejected (AcceptHeavy) or accepted (RejectHeavy)
+	// context-independent token ids, sorted.
+	Tokens []int32
+	// Bits holds accepted context-independent tokens for BitsetStore.
+	Bits []uint64
+	// Ctx holds context-dependent token ids, sorted by id.
+	Ctx []int32
+	// counts for statistics
+	numAccepted int
+	numRejected int
+}
+
+// Options configures cache construction.
+type Options struct {
+	// ContextExpansion enables the §3.2 filter that reclassifies
+	// context-dependent tokens as rejected using expanded-suffix automata.
+	ContextExpansion bool
+}
+
+// Stats reports cache construction statistics (the §3.1–§3.3 numbers).
+type Stats struct {
+	Nodes           int
+	VocabSize       int
+	CIAccepted      int64
+	CIRejected      int64
+	CtxDependent    int64
+	MaxCtxPerNode   int
+	StorageBytes    int64 // adaptive storage cost
+	FullBitsetBytes int64 // cost if every node stored a full bitset
+	CharsStepped    int64 // bytes consumed with prefix sharing
+	CharsTotal      int64 // bytes a naive per-token scan would consume
+	KindCounts      [3]int
+}
+
+// Cache is the adaptive token mask cache: one NodeMask per PDA node.
+type Cache struct {
+	P     *pda.PDA
+	Tok   *tokenizer.Tokenizer
+	Vocab int
+	Nodes []NodeMask
+	stats Stats
+}
+
+// Build preprocesses the full vocabulary against every PDA node. Tokens are
+// scanned in lexicographic order so the persistent-stack prefix sharing
+// (§3.3) skips repeated prefixes.
+func Build(p *pda.PDA, tok *tokenizer.Tokenizer, opts Options) *Cache {
+	c := &Cache{P: p, Tok: tok, Vocab: tok.VocabSize(), Nodes: make([]NodeMask, len(p.Nodes))}
+	c.stats.Nodes = len(p.Nodes)
+	c.stats.VocabSize = c.Vocab
+
+	// Expanded-suffix DFAs, one per rule (§3.2), built lazily.
+	var ctxDFA []*fsa.DFA
+	if opts.ContextExpansion {
+		follow := p.FollowAutomata()
+		ctxDFA = make([]*fsa.DFA, len(p.RuleStart))
+		for r, ctx := range follow {
+			d, err := fsa.Determinize(ctx)
+			if err == nil {
+				ctxDFA[r] = d
+			}
+		}
+	}
+
+	sorted := tok.SortedRegularIDs()
+	exec := matcher.NewExec(p)
+	var acc, rej, ctx []int32
+	var ovDepths []int
+	for n := range p.Nodes {
+		if len(p.Nodes[n].Edges) == 0 {
+			// Dead-end node: the runtime skips it (its pop-closure peers
+			// carry the mask). Store an empty reject-heavy mask.
+			c.Nodes[n] = NodeMask{Kind: RejectHeavy, numRejected: len(sorted)}
+			c.stats.CIRejected += int64(len(sorted))
+			continue
+		}
+		acc, rej, ctx = acc[:0], rej[:0], ctx[:0]
+		root := []matcher.State{{Stack: pstack.Empty, Node: int32(n)}}
+		sim := newPrefixSim(exec, root, true)
+		var dfa *fsa.DFA
+		if ctxDFA != nil {
+			dfa = ctxDFA[p.Nodes[n].Rule]
+		}
+		for _, id := range sorted {
+			tb := tok.TokenBytes(id)
+			depth, alive := sim.run(tb)
+			if alive {
+				acc = append(acc, id)
+				continue
+			}
+			ovDepths = sim.overflowDepths(ovDepths[:0], depth)
+			isCtx := false
+			for _, d := range ovDepths {
+				if d == len(tb) {
+					continue // exact completion: covered by pop-closure
+				}
+				suffix := tb[d:]
+				if dfa == nil {
+					isCtx = true
+					break
+				}
+				res := dfa.MatchPrefix(suffix)
+				if res.Alive || res.SawAccept {
+					isCtx = true
+					break
+				}
+			}
+			if isCtx {
+				ctx = append(ctx, id)
+			} else {
+				rej = append(rej, id)
+			}
+		}
+		sim.release()
+		c.stats.CharsStepped += sim.CharsStepped
+		c.stats.CharsTotal += sim.CharsTotal
+		c.Nodes[n] = makeNodeMask(acc, rej, ctx, c.Vocab)
+		c.stats.CIAccepted += int64(len(acc))
+		c.stats.CIRejected += int64(len(rej))
+		c.stats.CtxDependent += int64(len(ctx))
+		if len(ctx) > c.stats.MaxCtxPerNode {
+			c.stats.MaxCtxPerNode = len(ctx)
+		}
+	}
+	for i := range c.Nodes {
+		c.stats.StorageBytes += c.Nodes[i].storageBytes()
+		c.stats.KindCounts[c.Nodes[i].Kind]++
+	}
+	c.stats.FullBitsetBytes = int64(len(p.Nodes)) * int64(bitset.WordsFor(c.Vocab)) * 8
+	return c
+}
+
+// makeNodeMask selects the cheapest storage format (§3.1 adaptive storage).
+func makeNodeMask(acc, rej, ctx []int32, vocab int) NodeMask {
+	nm := NodeMask{numAccepted: len(acc), numRejected: len(rej)}
+	nm.Ctx = append([]int32(nil), ctx...)
+	sortIDs(nm.Ctx)
+
+	costAccept := 4 * (len(rej) + len(ctx))
+	costReject := 4 * (len(acc) + len(ctx))
+	costBitset := bitset.WordsFor(vocab)*8 + 4*len(ctx)
+	switch {
+	case costAccept <= costReject && costAccept <= costBitset:
+		nm.Kind = AcceptHeavy
+		nm.Tokens = append([]int32(nil), rej...)
+		sortIDs(nm.Tokens)
+	case costReject <= costBitset:
+		nm.Kind = RejectHeavy
+		nm.Tokens = append([]int32(nil), acc...)
+		sortIDs(nm.Tokens)
+	default:
+		nm.Kind = BitsetStore
+		b := bitset.New(vocab)
+		b.SetList(acc)
+		nm.Bits = b.Words()
+	}
+	return nm
+}
+
+func sortIDs(ids []int32) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func (nm *NodeMask) storageBytes() int64 {
+	n := int64(4 * len(nm.Tokens))
+	n += int64(8 * len(nm.Bits))
+	n += int64(4 * len(nm.Ctx))
+	return n
+}
+
+// Stats returns construction statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// FromParts reconstructs a cache from serialized components (the node masks
+// and the recorded build statistics).
+func FromParts(p *pda.PDA, tok *tokenizer.Tokenizer, nodes []NodeMask, stats Stats) *Cache {
+	return &Cache{P: p, Tok: tok, Vocab: tok.VocabSize(), Nodes: nodes, stats: stats}
+}
+
+// WireMask is the serializable form of a NodeMask (gob needs exported
+// fields only; the private counters are carried in the aggregate Stats).
+type WireMask struct {
+	Kind   StorageKind
+	Tokens []int32
+	Bits   []uint64
+	Ctx    []int32
+}
+
+// ToWire converts node masks for serialization.
+func (c *Cache) ToWire() []WireMask {
+	out := make([]WireMask, len(c.Nodes))
+	for i, nm := range c.Nodes {
+		out[i] = WireMask{Kind: nm.Kind, Tokens: nm.Tokens, Bits: nm.Bits, Ctx: nm.Ctx}
+	}
+	return out
+}
+
+// FromWire converts serialized masks back.
+func FromWire(ws []WireMask) []NodeMask {
+	out := make([]NodeMask, len(ws))
+	for i, w := range ws {
+		out[i] = NodeMask{Kind: w.Kind, Tokens: w.Tokens, Bits: w.Bits, Ctx: w.Ctx}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package maskcache
+
+import (
+	"sort"
+
+	"xgrammar/internal/bitset"
+	"xgrammar/internal/matcher"
+)
+
+// FillContext holds reusable scratch buffers for mask generation; one per
+// concurrent decoding sequence.
+type FillContext struct {
+	tmp      *bitset.Bitset
+	nodes    []int32
+	ctxIDs   []int32
+	listA    []int32
+	listB    []int32
+	byteRank []int32 // token id -> lexicographic rank, built lazily
+}
+
+// FillStats describes one mask-generation step.
+type FillStats struct {
+	States      int
+	UniqueNodes int
+	CtxChecked  int
+	CtxAccepted int
+	UsedBitset  bool // true when the bitset merge path was taken
+}
+
+// NewFillContext returns a scratch context for a vocabulary of the given size.
+func NewFillContext(vocab int) *FillContext {
+	return &FillContext{tmp: bitset.New(vocab)}
+}
+
+// FillMask computes the complete token mask for the current (closed) state
+// set: context-independent tokens come from the per-node cache, merged with
+// Algorithm 1; context-dependent tokens are resolved by executing the PDA
+// with the real stacks (prefix-shared, §3.3). Special tokens are always
+// masked out except stop tokens, which are allowed iff canTerminate.
+func (c *Cache) FillMask(exec *matcher.Exec, states []matcher.State, mask *bitset.Bitset, canTerminate bool, fc *FillContext) FillStats {
+	st := FillStats{States: len(states)}
+	// Unique stack-top nodes that can consume input.
+	fc.nodes = fc.nodes[:0]
+	for _, s := range states {
+		if len(c.P.Nodes[s.Node].Edges) == 0 {
+			continue
+		}
+		dup := false
+		for _, n := range fc.nodes {
+			if n == s.Node {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			fc.nodes = append(fc.nodes, s.Node)
+		}
+	}
+	st.UniqueNodes = len(fc.nodes)
+
+	// Context-independent phase.
+	hasBitset := false
+	for _, n := range fc.nodes {
+		if c.Nodes[n].Kind == BitsetStore {
+			hasBitset = true
+			break
+		}
+	}
+	if hasBitset {
+		st.UsedBitset = true
+		c.mergeBitset(fc.nodes, mask, fc)
+	} else {
+		c.mergeAlgorithm1(fc.nodes, mask, fc)
+	}
+
+	// Context-dependent phase: union the per-node ctx lists, then resolve
+	// each token against the real stacks.
+	fc.ctxIDs = fc.ctxIDs[:0]
+	for _, n := range fc.nodes {
+		fc.listA = append(fc.listA[:0], fc.ctxIDs...)
+		fc.ctxIDs = bitset.UnionSorted(fc.ctxIDs[:0], fc.listA, c.Nodes[n].Ctx)
+	}
+	if len(fc.ctxIDs) > 0 {
+		c.sortByBytes(fc.ctxIDs, fc)
+		sim := newPrefixSim(exec, exec.CloneSet(states), false)
+		for _, id := range fc.ctxIDs {
+			_, alive := sim.run(c.Tok.TokenBytes(id))
+			st.CtxChecked++
+			if alive {
+				mask.Set(int(id))
+				st.CtxAccepted++
+			} else {
+				mask.Clear(int(id))
+			}
+		}
+		sim.release()
+	}
+
+	// Special and stop tokens.
+	for _, id := range c.Tok.SpecialIDs() {
+		mask.Clear(int(id))
+	}
+	if canTerminate {
+		for _, id := range c.Tok.StopIDs() {
+			mask.Set(int(id))
+		}
+	}
+	return st
+}
+
+// mergeAlgorithm1 implements Algorithm 1 from the paper over sorted id
+// lists: accept-heavy masks intersect their rejected lists into PartialRej;
+// reject-heavy masks union their accepted lists into PartialAcc; the final
+// rejected set is PartialRej \ PartialAcc. Context-dependent tokens are
+// treated as rejected here and resolved afterwards.
+func (c *Cache) mergeAlgorithm1(nodes []int32, mask *bitset.Bitset, fc *FillContext) {
+	partialRej := fc.listA[:0]
+	rejIsAll := true // PartialRej starts as the full vocabulary
+	var partialAcc []int32
+	accBuf := fc.listB[:0]
+
+	for _, n := range nodes {
+		nm := &c.Nodes[n]
+		switch nm.Kind {
+		case AcceptHeavy:
+			// Rej' = Tokens ∪ Ctx.
+			merged := bitset.UnionSorted(nil, nm.Tokens, nm.Ctx)
+			if rejIsAll {
+				partialRej = append(partialRej[:0], merged...)
+				rejIsAll = false
+			} else {
+				out := bitset.IntersectSorted(nil, partialRej, merged)
+				partialRej = append(partialRej[:0], out...)
+			}
+		case RejectHeavy:
+			accBuf = bitset.UnionSorted(nil, partialAcc, nm.Tokens)
+			partialAcc = accBuf
+		}
+	}
+	fc.listA = partialRej[:0]
+
+	if rejIsAll {
+		// No accept-heavy mask: everything outside PartialAcc is rejected.
+		mask.ClearAll()
+		mask.SetList(partialAcc)
+		return
+	}
+	mask.SetAll()
+	rej := bitset.DiffSorted(nil, partialRej, partialAcc)
+	mask.ClearList(rej)
+	// Tokens accepted by a reject-heavy node must stay set even if another
+	// node rejected them (union over parallel stacks).
+	mask.SetList(partialAcc)
+}
+
+// mergeBitset is the fallback merge when a node uses bitset storage.
+func (c *Cache) mergeBitset(nodes []int32, mask *bitset.Bitset, fc *FillContext) {
+	mask.ClearAll()
+	for _, n := range nodes {
+		nm := &c.Nodes[n]
+		switch nm.Kind {
+		case AcceptHeavy:
+			fc.tmp.SetAll()
+			fc.tmp.ClearList(nm.Tokens)
+			fc.tmp.ClearList(nm.Ctx)
+			// Specials were never classified; clear them from the "all" base.
+			for _, id := range c.Tok.SpecialIDs() {
+				fc.tmp.Clear(int(id))
+			}
+			mask.Or(fc.tmp)
+		case RejectHeavy:
+			mask.SetList(nm.Tokens)
+		case BitsetStore:
+			mask.Or(bitset.FromWords(nm.Bits, c.Vocab))
+		}
+	}
+}
+
+// sortByBytes orders token ids by the lexicographic rank of their bytes, the
+// order that maximizes prefix sharing during resolution.
+func (c *Cache) sortByBytes(ids []int32, fc *FillContext) {
+	if fc.byteRank == nil {
+		fc.byteRank = make([]int32, c.Vocab)
+		for rank, id := range c.Tok.SortedRegularIDs() {
+			fc.byteRank[id] = int32(rank)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return fc.byteRank[ids[i]] < fc.byteRank[ids[j]] })
+}

@@ -1,0 +1,38 @@
+package maskcache
+
+import (
+	"xgrammar/internal/bitset"
+	"xgrammar/internal/matcher"
+	"xgrammar/internal/tokenizer"
+)
+
+// FullScanMask computes the token mask by checking every vocabulary token
+// against the PDA with the real stacks — the unoptimized baseline from the
+// Table 3 ablation (and the approach of llama.cpp-style grammar engines).
+//
+// When sharePrefix is true the scan walks the vocabulary in lexicographic
+// order reusing shared-prefix state sets (the §3.3 persistent-stack
+// optimization); when false every token is checked from scratch.
+func FullScanMask(exec *matcher.Exec, tok *tokenizer.Tokenizer, states []matcher.State, mask *bitset.Bitset, canTerminate bool, sharePrefix bool) {
+	mask.ClearAll()
+	if sharePrefix {
+		sim := newPrefixSim(exec, exec.CloneSet(states), false)
+		for _, id := range tok.SortedRegularIDs() {
+			if _, alive := sim.run(tok.TokenBytes(id)); alive {
+				mask.Set(int(id))
+			}
+		}
+		sim.release()
+	} else {
+		for _, id := range tok.SortedRegularIDs() {
+			if exec.MatchBytes(states, tok.TokenBytes(id)) {
+				mask.Set(int(id))
+			}
+		}
+	}
+	if canTerminate {
+		for _, id := range tok.StopIDs() {
+			mask.Set(int(id))
+		}
+	}
+}

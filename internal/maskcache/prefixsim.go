@@ -1,0 +1,109 @@
+// Package maskcache implements the adaptive token mask cache (§3.1), the
+// context-expansion filter (§3.2), the Algorithm 1 mask-merging procedure,
+// and the prefix-sharing preprocessing pass built on the persistent
+// execution stack (§3.3).
+package maskcache
+
+import "xgrammar/internal/matcher"
+
+// prefixSim advances the PDA over a lexicographically sorted token stream,
+// reusing the state sets of shared prefixes. levels[d] is the closed state
+// set after consuming d bytes of the current token; overflowAt[d] records
+// whether a branch completed the synthetic root frame at depth d (a
+// context-dependent overflow, §3.1). The persistent stack tree makes
+// rolling back to the shared prefix a slice truncation (§3.3).
+type prefixSim struct {
+	exec *matcher.Exec
+	// levels[d] owns references for its states.
+	levels     [][]matcher.State
+	overflowAt []bool
+	prev       []byte
+	// CharsStepped counts bytes actually consumed (prefix sharing saves the
+	// rest); CharsTotal counts the bytes that a naive scan would consume.
+	CharsStepped int64
+	CharsTotal   int64
+}
+
+// newPrefixSim starts a simulation whose depth-0 set is the closure of root.
+// The root set's references are adopted (the caller must not release them).
+func newPrefixSim(exec *matcher.Exec, root []matcher.State, trackOverflow bool) *prefixSim {
+	s := &prefixSim{exec: exec}
+	var onPop func()
+	ov := false
+	if trackOverflow {
+		onPop = func() { ov = true }
+	}
+	closed := exec.Closure(root, onPop)
+	_ = ov // depth-0 overflow is ignored: runtime pop-closure covers it
+	s.levels = append(s.levels, closed)
+	s.overflowAt = append(s.overflowAt, false)
+	return s
+}
+
+// run consumes tok, sharing the common prefix with the previous token.
+// It returns the depth reached (number of bytes consumed before dying, or
+// len(tok)) and whether the automaton is still alive at that depth.
+// Tokens must arrive in lexicographically sorted order for sharing to be
+// effective; correctness does not depend on the order.
+func (s *prefixSim) run(tok []byte) (depth int, alive bool) {
+	cp := commonPrefix(s.prev, tok)
+	if cp > len(s.levels)-1 {
+		cp = len(s.levels) - 1
+	}
+	// Drop levels beyond the shared prefix.
+	for d := len(s.levels) - 1; d > cp; d-- {
+		s.exec.ReleaseSet(s.levels[d])
+		s.levels = s.levels[:d]
+		s.overflowAt = s.overflowAt[:d]
+	}
+	s.prev = append(s.prev[:0], tok...)
+	s.CharsTotal += int64(len(tok))
+
+	for d := cp; d < len(tok); d++ {
+		cur := s.levels[d]
+		if len(cur) == 0 {
+			return d, false
+		}
+		s.CharsStepped++
+		stepped := s.exec.StepByte(cur, tok[d], nil)
+		ov := false
+		closed := s.exec.Closure(stepped, func() { ov = true })
+		s.levels = append(s.levels, closed)
+		s.overflowAt = append(s.overflowAt, ov)
+	}
+	last := s.levels[len(tok)]
+	return len(tok), len(last) > 0
+}
+
+// overflowDepths appends to dst every depth d in [1, upto] where a branch
+// completed the root frame with bytes remaining.
+func (s *prefixSim) overflowDepths(dst []int, upto int) []int {
+	for d := 1; d <= upto && d < len(s.overflowAt); d++ {
+		if s.overflowAt[d] {
+			dst = append(dst, d)
+		}
+	}
+	return dst
+}
+
+// release frees all retained state sets.
+func (s *prefixSim) release() {
+	for _, lv := range s.levels {
+		s.exec.ReleaseSet(lv)
+	}
+	s.levels = nil
+	s.overflowAt = nil
+}
+
+func commonPrefix(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,183 @@
+// Package matcher executes the pushdown automaton at runtime. It maintains
+// the set of parallel matching stacks (§2.2) in a persistent stack tree
+// (§3.3), advances them byte by byte with push/pop closure, supports
+// checkpointed rollback for token-level undo and speculative decoding, and
+// computes jump-forward strings (Appendix B).
+package matcher
+
+import (
+	"xgrammar/internal/fsa"
+	"xgrammar/internal/pda"
+	"xgrammar/internal/pstack"
+)
+
+// State is one nondeterministic PDA configuration: Stack is the persistent
+// stack of return positions (pstack id) and Node is the current automaton
+// node (conceptually the stack top in the paper's presentation).
+type State struct {
+	Stack int32
+	Node  int32
+}
+
+// Exec provides the core PDA execution steps over state sets. Every state
+// held in a set owns one reference to its stack; ReleaseSet drops them.
+type Exec struct {
+	P    *pda.PDA
+	Tree *pstack.Tree
+}
+
+// NewExec returns an executor over p with a fresh stack tree.
+func NewExec(p *pda.PDA) *Exec {
+	return &Exec{P: p, Tree: pstack.NewTree()}
+}
+
+// InitialState returns the start configuration (empty stack, root rule
+// start). The returned set owns its references.
+func (e *Exec) InitialState() []State {
+	return []State{{Stack: pstack.Empty, Node: e.P.RuleStart[e.P.Root]}}
+}
+
+// ReleaseSet releases every stack reference held by set.
+func (e *Exec) ReleaseSet(set []State) {
+	for _, s := range set {
+		e.Tree.Release(s.Stack)
+	}
+}
+
+// CloneSet returns a copy of set owning fresh references.
+func (e *Exec) CloneSet(set []State) []State {
+	out := make([]State, len(set))
+	copy(out, set)
+	for _, s := range out {
+		e.Tree.Retain(s.Stack)
+	}
+	return out
+}
+
+func containsState(set []State, s State) bool {
+	for _, x := range set {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Closure expands set under rule-reference pushes and final-node pops until
+// a fixpoint. The input set's references are consumed; the returned set owns
+// references for every entry (input entries keep theirs).
+//
+// When a final node is reached with an empty stack, the local match is
+// complete: onEmptyPop (if non-nil) is invoked once per such event. During
+// normal runtime matching the empty stack is the true root, so the event
+// simply marks a possible termination point; during mask preprocessing the
+// executor runs from a synthetic single-frame context and the event marks a
+// context-dependent overflow (§3.1).
+func (e *Exec) Closure(set []State, onEmptyPop func()) []State {
+	emptyPopSignaled := false
+	for i := 0; i < len(set); i++ {
+		s := set[i]
+		node := &e.P.Nodes[s.Node]
+		if node.Final {
+			if s.Stack == pstack.Empty {
+				if !emptyPopSignaled && onEmptyPop != nil {
+					onEmptyPop()
+					emptyPopSignaled = true
+				}
+			} else {
+				parent := e.Tree.Parent(s.Stack)
+				ret := e.Tree.Top(s.Stack)
+				ns := State{Stack: parent, Node: ret}
+				if !containsState(set, ns) {
+					e.Tree.Retain(parent)
+					set = append(set, ns)
+				}
+			}
+		}
+		for _, ed := range node.Edges {
+			if ed.Kind != fsa.EdgeRule {
+				continue
+			}
+			ns := State{Node: e.P.RuleStart[ed.Rule]}
+			// Push the return position. Push returns an owned reference;
+			// release it if the state is a duplicate.
+			pushed := e.Tree.Push(s.Stack, ed.To)
+			ns.Stack = pushed
+			if containsState(set, ns) {
+				e.Tree.Release(pushed)
+			} else {
+				set = append(set, ns)
+			}
+		}
+	}
+	return set
+}
+
+// StepByte consumes one byte from a (closed) set, returning the successor
+// set with owned references. The input set keeps its references.
+func (e *Exec) StepByte(set []State, b byte, dst []State) []State {
+	dst = dst[:0]
+	for _, s := range set {
+		for _, ed := range e.P.Nodes[s.Node].Edges {
+			if ed.Kind == fsa.EdgeByte && b >= ed.Lo && b <= ed.Hi {
+				ns := State{Stack: s.Stack, Node: ed.To}
+				if !containsState(dst, ns) {
+					e.Tree.Retain(s.Stack)
+					dst = append(dst, ns)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// CanTerminate reports whether a closed set contains a configuration that
+// completes the root rule (final node, empty stack).
+func (e *Exec) CanTerminate(set []State) bool {
+	for _, s := range set {
+		if s.Stack == pstack.Empty && e.P.Nodes[s.Node].Final {
+			return true
+		}
+	}
+	return false
+}
+
+// PossibleBytes fills possible[b] = true for every byte accepted by some
+// state in the closed set, returning the number of distinct accepted byte
+// values. It only inspects byte edges; callers wanting pop/push context must
+// pass a closed set.
+func (e *Exec) PossibleBytes(set []State, possible *[256]bool) int {
+	count := 0
+	for _, s := range set {
+		for _, ed := range e.P.Nodes[s.Node].Edges {
+			if ed.Kind != fsa.EdgeByte {
+				continue
+			}
+			for b := int(ed.Lo); b <= int(ed.Hi); b++ {
+				if !possible[b] {
+					possible[b] = true
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// MatchBytes reports whether the closed set can consume all of input. The
+// set is not modified; scratch sets are allocated internally.
+func (e *Exec) MatchBytes(set []State, input []byte) bool {
+	cur := e.CloneSet(set)
+	var next []State
+	for _, b := range input {
+		cur = e.Closure(cur, nil)
+		next = e.StepByte(cur, b, next)
+		e.ReleaseSet(cur)
+		cur, next = next, cur[:0]
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	e.ReleaseSet(cur)
+	return true
+}

@@ -1,0 +1,173 @@
+package matcher
+
+import "fmt"
+
+// DefaultMaxHistory is the default rollback window, in accepted steps.
+const DefaultMaxHistory = 64
+
+// Matcher tracks the PDA state across a generation. Each Advance call
+// (typically one LLM token) is atomic and checkpointed; Rollback restores an
+// earlier checkpoint in O(1) thanks to the persistent stack tree (§3.3).
+type Matcher struct {
+	exec *Exec
+	// cur is the current closed state set.
+	cur []State
+	// hist holds closed state-set snapshots after each accepted Advance;
+	// hist[len-1] is the state before any Advance since the last trim.
+	hist       [][]State
+	maxHistory int
+	scratch    []State
+}
+
+// New returns a matcher at the grammar's start state.
+func New(e *Exec, maxHistory int) *Matcher {
+	if maxHistory <= 0 {
+		maxHistory = DefaultMaxHistory
+	}
+	m := &Matcher{exec: e, maxHistory: maxHistory}
+	m.cur = e.Closure(e.InitialState(), nil)
+	return m
+}
+
+// Exec returns the underlying executor.
+func (m *Matcher) Exec() *Exec { return m.exec }
+
+// States returns the current closed state set. Callers must not retain it
+// across Advance/Rollback calls.
+func (m *Matcher) States() []State { return m.cur }
+
+// Advance consumes bytes atomically: either all bytes are accepted and a
+// checkpoint is recorded, or the matcher is left unchanged and Advance
+// reports false.
+func (m *Matcher) Advance(bytes []byte) bool {
+	set := m.exec.CloneSet(m.cur)
+	for _, b := range bytes {
+		set = m.exec.Closure(set, nil)
+		m.scratch = m.exec.StepByte(set, b, m.scratch)
+		m.exec.ReleaseSet(set)
+		set, m.scratch = m.scratch, set[:0]
+		if len(set) == 0 {
+			return false
+		}
+	}
+	set = m.exec.Closure(set, nil)
+	// Commit: push the old state onto history, adopt the new one.
+	m.hist = append(m.hist, m.cur)
+	if len(m.hist) > m.maxHistory {
+		m.exec.ReleaseSet(m.hist[0])
+		copy(m.hist, m.hist[1:])
+		m.hist = m.hist[:len(m.hist)-1]
+	}
+	m.cur = set
+	return true
+}
+
+// CanAdvance reports whether bytes would be accepted, without mutating state.
+func (m *Matcher) CanAdvance(bytes []byte) bool {
+	return m.exec.MatchBytes(m.cur, bytes)
+}
+
+// Rollback undoes the last n Advance calls. It fails if n exceeds the
+// retained history.
+func (m *Matcher) Rollback(n int) error {
+	if n < 0 || n > len(m.hist) {
+		return fmt.Errorf("matcher: cannot roll back %d steps (history %d)", n, len(m.hist))
+	}
+	for i := 0; i < n; i++ {
+		m.exec.ReleaseSet(m.cur)
+		m.cur = m.hist[len(m.hist)-1]
+		m.hist = m.hist[:len(m.hist)-1]
+	}
+	return nil
+}
+
+// HistoryLen returns the number of steps available for rollback.
+func (m *Matcher) HistoryLen() int { return len(m.hist) }
+
+// CanTerminate reports whether the generation may stop here (the root rule
+// is complete in some branch).
+func (m *Matcher) CanTerminate() bool { return m.exec.CanTerminate(m.cur) }
+
+// IsDead reports whether no branch survives (only possible via external
+// state corruption; Advance never commits a dead set).
+func (m *Matcher) IsDead() bool { return len(m.cur) == 0 }
+
+// maxJumpForward bounds the jump-forward string length; grammars of the form
+// r ::= "a" r would otherwise produce an infinite deterministic continuation.
+const maxJumpForward = 4096
+
+// JumpForward returns the longest string that is the unique possible
+// continuation of the current state (Appendix B). The matcher state is not
+// modified. The string is empty when the next byte is ambiguous or the
+// grammar may terminate here.
+func (m *Matcher) JumpForward() string {
+	set := m.exec.CloneSet(m.cur)
+	defer func() { m.exec.ReleaseSet(set) }()
+	var out []byte
+	var scratch []State
+	for len(out) < maxJumpForward {
+		if m.exec.CanTerminate(set) {
+			break
+		}
+		var possible [256]bool
+		n := m.exec.PossibleBytes(set, &possible)
+		if n != 1 {
+			break
+		}
+		var b byte
+		for i := 0; i < 256; i++ {
+			if possible[i] {
+				b = byte(i)
+				break
+			}
+		}
+		scratch = m.exec.StepByte(set, b, scratch)
+		m.exec.ReleaseSet(set)
+		set, scratch = scratch, set[:0]
+		if len(set) == 0 {
+			break
+		}
+		set = m.exec.Closure(set, nil)
+		out = append(out, b)
+	}
+	return string(out)
+}
+
+// Fork returns a new matcher at the same position, sharing the compiled
+// automaton and the persistent stack tree. Because stacks are persistent,
+// forking copies only the state-set slice (§3.3): the paper's enabler for
+// tree-structured generation (Tree-of-Thought, speculative decoding), where
+// each output branch keeps its own matching state. The fork starts with an
+// empty rollback history. Forked matchers share the stack tree and must be
+// used from a single goroutine.
+func (m *Matcher) Fork() *Matcher {
+	return &Matcher{
+		exec:       m.exec,
+		cur:        m.exec.CloneSet(m.cur),
+		maxHistory: m.maxHistory,
+	}
+}
+
+// Release frees the matcher's stack references. Use when discarding a fork
+// so the shared tree can reclaim nodes; the matcher must not be used after.
+func (m *Matcher) Release() {
+	m.exec.ReleaseSet(m.cur)
+	m.cur = nil
+	for _, h := range m.hist {
+		m.exec.ReleaseSet(h)
+	}
+	m.hist = nil
+}
+
+// Reset returns the matcher to the start state and clears history.
+func (m *Matcher) Reset() {
+	m.exec.ReleaseSet(m.cur)
+	for _, h := range m.hist {
+		m.exec.ReleaseSet(h)
+	}
+	m.hist = m.hist[:0]
+	m.cur = m.exec.Closure(m.exec.InitialState(), nil)
+}
+
+// NumStacks returns the number of parallel stacks (states) currently live.
+func (m *Matcher) NumStacks() int { return len(m.cur) }

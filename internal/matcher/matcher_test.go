@@ -1,0 +1,383 @@
+package matcher
+
+import (
+	"strings"
+	"testing"
+
+	"xgrammar/internal/ebnf"
+	"xgrammar/internal/pda"
+)
+
+// jsonGrammar is a compact but complete JSON grammar (ECMA-404 shaped).
+const jsonGrammar = `
+root    ::= ws value ws
+value   ::= object | array | string | number | "true" | "false" | "null"
+object  ::= "{" ws ( member ( "," ws member )* )? "}"
+member  ::= string ws ":" ws value ws
+array   ::= "[" ws ( value ws ( "," ws value ws )* )? "]"
+string  ::= "\"" char* "\""
+char    ::= [^"\\\x00-\x1f] | "\\" escape
+escape  ::= ["\\/bfnrt] | "u" hex hex hex hex
+hex     ::= [0-9a-fA-F]
+number  ::= "-"? int frac? exp?
+int     ::= "0" | [1-9] [0-9]*
+frac    ::= "." [0-9]+
+exp     ::= [eE] [-+]? [0-9]+
+ws      ::= [ \t\n\r]*
+`
+
+func newMatcher(t testing.TB, src string, opts pda.Options) *Matcher {
+	t.Helper()
+	g, err := ebnf.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pda.Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(NewExec(p), 0)
+}
+
+func jsonMatcher(t testing.TB, opts pda.Options) *Matcher {
+	return newMatcher(t, jsonGrammar, opts)
+}
+
+// acceptAll feeds s byte by byte and reports whether every byte is accepted.
+func acceptAll(m *Matcher, s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !m.Advance([]byte{s[i]}) {
+			return false
+		}
+	}
+	return true
+}
+
+var goodJSON = []string{
+	`{}`,
+	`[]`,
+	`null`,
+	`true`,
+	`-12.5e+3`,
+	`"hello"`,
+	`"he\"llo\\n"`,
+	`"é"`,
+	`{"a": 1}`,
+	`{"a": [1, 2, {"b": null}], "c": "x"}`,
+	`[[[[]]]]`,
+	`[1, "two", false, {"three": 3.0}]`,
+	` { "spaced" : [ 1 , 2 ] } `,
+}
+
+var badJSON = []string{
+	`{`,
+	`{]`,
+	`{"a" 1}`,
+	`[1,]`,
+	`"unterminated`,
+	`tru`,
+	`01`,
+	`1.`,
+	`.5`,
+	`{"a": }`,
+	`["a",,]`,
+	`{'a': 1}`,
+}
+
+func TestJSONAcceptance(t *testing.T) {
+	for _, opts := range []pda.Options{{}, pda.AllOptimizations} {
+		for _, s := range goodJSON {
+			m := jsonMatcher(t, opts)
+			if !acceptAll(m, s) {
+				t.Errorf("opts %+v: valid JSON %q rejected", opts, s)
+				continue
+			}
+			if !m.CanTerminate() {
+				t.Errorf("opts %+v: %q accepted but cannot terminate", opts, s)
+			}
+		}
+	}
+}
+
+func TestJSONRejection(t *testing.T) {
+	for _, opts := range []pda.Options{{}, pda.AllOptimizations} {
+		for _, s := range badJSON {
+			m := jsonMatcher(t, opts)
+			ok := acceptAll(m, s)
+			if ok && m.CanTerminate() {
+				t.Errorf("opts %+v: invalid JSON %q accepted as complete", opts, s)
+			}
+		}
+	}
+}
+
+func TestAdvanceAtomicity(t *testing.T) {
+	m := jsonMatcher(t, pda.AllOptimizations)
+	if m.Advance([]byte(`{"a"!`)) {
+		t.Fatal("invalid bytes accepted")
+	}
+	// The failed Advance must not have consumed the valid prefix.
+	if !m.Advance([]byte(`{"a": 1}`)) {
+		t.Fatal("valid bytes rejected after failed Advance")
+	}
+	if !m.CanTerminate() {
+		t.Fatal("cannot terminate after full object")
+	}
+}
+
+func TestMultiByteTokensCrossBoundaries(t *testing.T) {
+	// Advance with strings that straddle grammar element boundaries, like
+	// real LLM tokens do: `{"` then `a":` then ` [1,` then `2]}`.
+	m := jsonMatcher(t, pda.AllOptimizations)
+	for _, tok := range []string{`{"`, `a":`, ` [1,`, `2]}`} {
+		if !m.Advance([]byte(tok)) {
+			t.Fatalf("token %q rejected", tok)
+		}
+	}
+	if !m.CanTerminate() {
+		t.Fatal("cannot terminate")
+	}
+}
+
+func TestUTF8SplitAcrossAdvances(t *testing.T) {
+	// é is 0xC3 0xA9; split it across two Advance calls inside a string.
+	m := jsonMatcher(t, pda.AllOptimizations)
+	steps := [][]byte{[]byte(`"`), {0xC3}, {0xA9}, []byte(`"`)}
+	for i, st := range steps {
+		if !m.Advance(st) {
+			t.Fatalf("step %d (% x) rejected", i, st)
+		}
+	}
+	if !m.CanTerminate() {
+		t.Fatal("cannot terminate after split UTF-8 string")
+	}
+}
+
+func TestInvalidUTF8ContinuationRejected(t *testing.T) {
+	m := jsonMatcher(t, pda.AllOptimizations)
+	if !m.Advance([]byte(`"`)) {
+		t.Fatal("quote rejected")
+	}
+	if !m.Advance([]byte{0xC3}) {
+		t.Fatal("lead byte rejected")
+	}
+	if m.Advance([]byte{'x'}) {
+		t.Fatal("invalid continuation byte accepted")
+	}
+}
+
+func TestRollback(t *testing.T) {
+	m := jsonMatcher(t, pda.AllOptimizations)
+	for _, tok := range []string{`[1`, `, 2`, `, 3`} {
+		if !m.Advance([]byte(tok)) {
+			t.Fatalf("%q rejected", tok)
+		}
+	}
+	if err := m.Rollback(2); err != nil {
+		t.Fatal(err)
+	}
+	// State should be just after `[1`; `]` closes it.
+	if !m.Advance([]byte(`]`)) {
+		t.Fatal("`]` rejected after rollback")
+	}
+	if !m.CanTerminate() {
+		t.Fatal("cannot terminate after rollback+close")
+	}
+}
+
+func TestRollbackTooFar(t *testing.T) {
+	m := jsonMatcher(t, pda.AllOptimizations)
+	m.Advance([]byte(`[`))
+	if err := m.Rollback(5); err == nil {
+		t.Fatal("expected rollback error")
+	}
+}
+
+func TestHistoryWindowTrims(t *testing.T) {
+	g, err := ebnf.Parse(`root ::= [0-9]*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pda.Compile(g, pda.AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(NewExec(p), 4)
+	for i := 0; i < 10; i++ {
+		if !m.Advance([]byte{'5'}) {
+			t.Fatal("digit rejected")
+		}
+	}
+	if m.HistoryLen() != 4 {
+		t.Fatalf("history = %d, want 4", m.HistoryLen())
+	}
+	if err := m.Rollback(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rollback(1); err == nil {
+		t.Fatal("rollback beyond window should fail")
+	}
+}
+
+func TestCanAdvanceDoesNotMutate(t *testing.T) {
+	m := jsonMatcher(t, pda.AllOptimizations)
+	if !m.CanAdvance([]byte(`{"a": 1}`)) {
+		t.Fatal("CanAdvance false for valid prefix")
+	}
+	if m.CanAdvance([]byte(`}`)) {
+		t.Fatal("CanAdvance true for invalid prefix")
+	}
+	// Still at the start state.
+	if !m.Advance([]byte(`[`)) {
+		t.Fatal("state was mutated")
+	}
+}
+
+func TestJumpForward(t *testing.T) {
+	// After `{"name": tr` the only continuation is `ue`.
+	m := jsonMatcher(t, pda.AllOptimizations)
+	if !m.Advance([]byte(`{"name": tr`)) {
+		t.Fatal("prefix rejected")
+	}
+	jf := m.JumpForward()
+	if jf != "ue" {
+		t.Fatalf("JumpForward = %q, want %q", jf, "ue")
+	}
+	// The matcher state must be unchanged.
+	if !m.Advance([]byte("ue")) {
+		t.Fatal("state mutated by JumpForward")
+	}
+}
+
+func TestJumpForwardAmbiguous(t *testing.T) {
+	m := jsonMatcher(t, pda.AllOptimizations)
+	m.Advance([]byte(`[`))
+	if jf := m.JumpForward(); jf != "" {
+		t.Fatalf("JumpForward = %q, want empty (ambiguous)", jf)
+	}
+}
+
+func TestJumpForwardSchemaStyle(t *testing.T) {
+	// A schema-like grammar with a fixed key skeleton: jump-forward should
+	// produce the whole literal run.
+	src := `root ::= "{\"name\": \"" [a-z]+ "\", \"age\": " [0-9]+ "}"`
+	m := newMatcher(t, src, pda.AllOptimizations)
+	jf := m.JumpForward()
+	if jf != `{"name": "` {
+		t.Fatalf("JumpForward = %q", jf)
+	}
+	if !m.Advance([]byte(jf)) {
+		t.Fatal("jump-forward string rejected")
+	}
+	if !m.Advance([]byte("bob")) {
+		t.Fatal("name rejected")
+	}
+	// After the name, `"` is not deterministic ([a-z] may continue), so no jump.
+	if jf := m.JumpForward(); jf != "" {
+		t.Fatalf("JumpForward after name = %q, want empty", jf)
+	}
+	if !m.Advance([]byte(`", "age": 3`)) {
+		t.Fatal("skeleton rejected")
+	}
+}
+
+func TestJumpForwardInfiniteGrammarBounded(t *testing.T) {
+	// r ::= "a" r has an unbounded deterministic continuation; the matcher
+	// must bound it rather than loop forever.
+	m := newMatcher(t, `root ::= "a" root | "a" "."`, pda.AllOptimizations)
+	jf := m.JumpForward()
+	if jf != "a" {
+		// after "a", both `root` and "." are possible, so only one byte.
+		t.Fatalf("JumpForward = %q, want \"a\"", jf)
+	}
+}
+
+func TestRecursiveDepth(t *testing.T) {
+	m := jsonMatcher(t, pda.AllOptimizations)
+	depth := 200
+	open := strings.Repeat("[", depth)
+	close := strings.Repeat("]", depth)
+	if !m.Advance([]byte(open)) {
+		t.Fatal("deep open rejected")
+	}
+	if m.CanTerminate() {
+		t.Fatal("terminated while unbalanced")
+	}
+	if !m.Advance([]byte(close)) {
+		t.Fatal("deep close rejected")
+	}
+	if !m.CanTerminate() {
+		t.Fatal("cannot terminate when balanced")
+	}
+}
+
+func TestResetRestoresStart(t *testing.T) {
+	m := jsonMatcher(t, pda.AllOptimizations)
+	m.Advance([]byte(`{"a"`))
+	m.Reset()
+	if m.HistoryLen() != 0 {
+		t.Fatal("history not cleared")
+	}
+	if !m.Advance([]byte(`[1]`)) {
+		t.Fatal("fresh parse after Reset failed")
+	}
+}
+
+func TestNoStackLeakAcrossParse(t *testing.T) {
+	m := jsonMatcher(t, pda.AllOptimizations)
+	e := m.Exec()
+	// The initial closure legitimately holds pushed stacks (root enters
+	// value, object, ... without consuming input); that is the baseline.
+	baseline := e.Tree.Len()
+	doc := `{"a": [1, 2, 3], "b": {"c": "d"}}`
+	for i := 0; i < 50; i++ {
+		if !acceptAll(m, doc) {
+			t.Fatal("doc rejected")
+		}
+		m.Reset()
+	}
+	if e.Tree.Len() != baseline {
+		t.Fatalf("stack tree leaked: %d nodes live, baseline %d", e.Tree.Len(), baseline)
+	}
+}
+
+func TestPossibleBytesAtStringInterior(t *testing.T) {
+	m := jsonMatcher(t, pda.AllOptimizations)
+	m.Advance([]byte(`"ab`))
+	var poss [256]bool
+	n := m.Exec().PossibleBytes(m.States(), &poss)
+	if !poss['c'] || !poss['"'] || !poss['\\'] {
+		t.Fatal("expected continuation bytes missing")
+	}
+	if poss[0x00] || poss[0x1f] {
+		t.Fatal("control bytes should be rejected inside string")
+	}
+	if n < 100 {
+		t.Fatalf("PossibleBytes = %d, expected a wildcard-sized set", n)
+	}
+}
+
+func TestParallelStacksFromAmbiguity(t *testing.T) {
+	// Grammar where "aa" can parse two ways; both must be tracked.
+	src := `
+root ::= x "b" | "a" y
+x    ::= "a" "a"
+y    ::= "a" "b"
+`
+	m := newMatcher(t, src, pda.Options{})
+	if !m.Advance([]byte("a")) {
+		t.Fatal("a rejected")
+	}
+	if !m.Advance([]byte("a")) {
+		t.Fatal("aa rejected")
+	}
+	if m.NumStacks() < 2 {
+		t.Fatalf("NumStacks = %d, want >= 2 (ambiguous parse)", m.NumStacks())
+	}
+	if !m.Advance([]byte("b")) {
+		t.Fatal("aab rejected")
+	}
+	if !m.CanTerminate() {
+		t.Fatal("aab should complete")
+	}
+}

@@ -1,0 +1,219 @@
+// Package pda compiles a context-free grammar into the pushdown-automaton
+// variant defined in Appendix A of the XGrammar paper: one byte-level FSA
+// per grammar rule, where edges either consume a byte range or reference
+// another rule. Matching pushes the edge's return node when entering a rule
+// and pops it when the rule's automaton reaches a final node.
+//
+// Compile options toggle the §3.4 structure optimizations (rule inlining and
+// node merging) individually so the Table 3 ablation can measure each.
+package pda
+
+import (
+	"fmt"
+
+	"xgrammar/internal/fsa"
+	"xgrammar/internal/grammar"
+)
+
+// Options selects the structure optimizations applied during compilation.
+type Options struct {
+	// RuleInlining inlines small leaf rules into their parents (§3.4).
+	RuleInlining bool
+	// NodeMerging merges equivalent sibling nodes and removes
+	// nondeterministic duplicate edges (§3.4).
+	NodeMerging bool
+	// Inline bounds the inliner; zero values mean defaults.
+	Inline grammar.InlineOptions
+}
+
+// AllOptimizations enables every structure optimization.
+var AllOptimizations = Options{RuleInlining: true, NodeMerging: true}
+
+// Edge is a PDA transition. Kind is fsa.EdgeByte or fsa.EdgeRule (epsilon
+// edges are eliminated at compile time); To is a global node id.
+type Edge = fsa.Edge
+
+// Node is a PDA state. Final nodes complete the owning rule, returning to
+// the parent rule by popping the stack.
+type Node struct {
+	Edges []Edge
+	Final bool
+	// Rule is the index of the owning grammar rule.
+	Rule int32
+}
+
+// PDA is the compiled pushdown automaton.
+type PDA struct {
+	// Grammar is the (possibly inlined) grammar the PDA was compiled from.
+	Grammar *grammar.Grammar
+	// Nodes holds all states of all rule automata under global numbering.
+	Nodes []Node
+	// RuleStart[r] is the global id of rule r's start node.
+	RuleStart []int32
+	// Root is the index of the root rule.
+	Root int32
+}
+
+// Compile builds a PDA from g with the given options. The grammar must
+// already validate.
+func Compile(g *grammar.Grammar, opts Options) (*PDA, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.RuleInlining {
+		g = grammar.Inline(g, opts.Inline)
+	} else {
+		g = g.Clone()
+	}
+	p := &PDA{Grammar: g, Root: int32(g.Root), RuleStart: make([]int32, len(g.Rules))}
+	for ri, rule := range g.Rules {
+		f, err := fsa.BuildRule(rule.Body)
+		if err != nil {
+			return nil, fmt.Errorf("pda: rule %q: %w", rule.Name, err)
+		}
+		f = fsa.RemoveEpsilon(f)
+		if opts.NodeMerging {
+			f = fsa.MergeSiblings(f)
+		}
+		f.SortEdges()
+		off := int32(len(p.Nodes))
+		p.RuleStart[ri] = off + f.Start
+		for _, n := range f.Nodes {
+			edges := make([]Edge, len(n.Edges))
+			for i, e := range n.Edges {
+				e.To += off
+				edges[i] = e
+			}
+			p.Nodes = append(p.Nodes, Node{Edges: edges, Final: n.Final, Rule: int32(ri)})
+		}
+	}
+	return p, nil
+}
+
+// NumNodes returns the number of PDA states.
+func (p *PDA) NumNodes() int { return len(p.Nodes) }
+
+// NumEdges returns the total number of transitions.
+func (p *PDA) NumEdges() int {
+	n := 0
+	for i := range p.Nodes {
+		n += len(p.Nodes[i].Edges)
+	}
+	return n
+}
+
+// HasOutEdges reports whether node n has any transitions.
+func (p *PDA) HasOutEdges(n int32) bool { return len(p.Nodes[n].Edges) > 0 }
+
+// ExpandedSuffix extracts the expanded-suffix automaton A_ctx for rule r
+// (Algorithm 2, §3.2): the set of byte strings that may follow a completed
+// instance of rule r in any parent context. It is extracted from the
+// byte-only subgraphs of the referencing rules reachable from each
+// reference's return node. A final state of the result means "anything may
+// follow from here" (the search hit a rule-reference edge, which the
+// algorithm conservatively does not track into). When the referencing
+// rule's own automaton completes, the search continues — recursively — into
+// that rule's expanded suffix, so a parent that finishes immediately does
+// not degrade the filter to accept-all.
+//
+// The result is an epsilon-free, rule-free FSA. If rule r is never
+// referenced, the automaton is empty (start node, no edges, not final):
+// nothing may follow r, so every overflow suffix is refuted.
+func (p *PDA) ExpandedSuffix(r int32) *fsa.FSA {
+	return p.FollowAutomata()[r]
+}
+
+// FollowAutomata builds the expanded-suffix automaton of every rule in one
+// pass. The per-rule automata are views of a single global graph: rule R's
+// entry has an epsilon edge to the extracted subgraph of every edge
+// referencing R, and a subgraph node that is final in its owning rule gains
+// an epsilon edge to that rule's entry (completing the parent continues in
+// the grandparent's context).
+func (p *PDA) FollowAutomata() []*fsa.FSA {
+	g := fsa.New() // node 0 is a scratch start; real entries follow
+	entry := make([]int32, len(p.RuleStart))
+	for r := range entry {
+		entry[r] = g.AddNode()
+	}
+	// copyNode maps (owning rule, global PDA node) to its copy. The owning
+	// rule matters only for the epsilon-to-entry target, which is a property
+	// of the node itself (p.Nodes[n].Rule), so the PDA node id suffices.
+	copyNode := map[int32]int32{}
+	var build func(pn int32) int32
+	build = func(pn int32) int32 {
+		if id, ok := copyNode[pn]; ok {
+			return id
+		}
+		id := g.AddNode()
+		copyNode[pn] = id
+		node := &p.Nodes[pn]
+		ruleRef := false
+		for _, e := range node.Edges {
+			if e.Kind == fsa.EdgeRule {
+				ruleRef = true
+				break
+			}
+		}
+		if ruleRef {
+			// Conservative stop: anything may follow via the referenced rule.
+			g.Nodes[id].Final = true
+			return id
+		}
+		if node.Final {
+			// The owning rule completes here; continue in its own context.
+			g.AddEpsEdge(id, entry[node.Rule])
+		}
+		for _, e := range node.Edges {
+			to := build(e.To)
+			g.AddByteEdge(id, e.Lo, e.Hi, to)
+		}
+		return id
+	}
+	for ni := range p.Nodes {
+		for _, e := range p.Nodes[ni].Edges {
+			if e.Kind == fsa.EdgeRule {
+				g.AddEpsEdge(entry[e.Rule], build(e.To))
+			}
+		}
+	}
+	out := make([]*fsa.FSA, len(entry))
+	for r := range entry {
+		view := g.Clone()
+		view.Start = entry[r]
+		out[r] = fsa.RemoveEpsilon(view)
+	}
+	return out
+}
+
+// Stats summarizes PDA structure for the experiment reports.
+type Stats struct {
+	Rules     int
+	Nodes     int
+	Edges     int
+	RuleEdges int
+	FinalNode int
+}
+
+// ComputeStats returns structural statistics.
+func (p *PDA) ComputeStats() Stats {
+	s := Stats{Rules: len(p.RuleStart), Nodes: len(p.Nodes)}
+	for i := range p.Nodes {
+		s.Edges += len(p.Nodes[i].Edges)
+		if p.Nodes[i].Final {
+			s.FinalNode++
+		}
+		for _, e := range p.Nodes[i].Edges {
+			if e.Kind == fsa.EdgeRule {
+				s.RuleEdges++
+			}
+		}
+	}
+	return s
+}
+
+// FromParts reconstructs a PDA from serialized components. grammarText is
+// re-parsed only for display and follow-automata extraction; nodes and
+// ruleStart are trusted as-is.
+func FromParts(g *grammar.Grammar, nodes []Node, ruleStart []int32, root int32) *PDA {
+	return &PDA{Grammar: g, Nodes: nodes, RuleStart: ruleStart, Root: root}
+}

@@ -1,0 +1,135 @@
+package pda
+
+import (
+	"testing"
+
+	"xgrammar/internal/ebnf"
+	"xgrammar/internal/fsa"
+)
+
+const arrGrammar = `
+main  ::= array | str
+array ::= "[" ( ( str | array ) "," )* ( str | array ) "]"
+str   ::= "\"" [^"\\]* "\""
+`
+
+func compile(t *testing.T, src string, opts Options) *PDA {
+	t.Helper()
+	g, err := ebnf.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompileBasics(t *testing.T) {
+	p := compile(t, arrGrammar, Options{})
+	if len(p.RuleStart) != 3 {
+		t.Fatalf("rules = %d", len(p.RuleStart))
+	}
+	if p.Grammar.Rules[p.Root].Name != "main" {
+		t.Fatalf("root = %q", p.Grammar.Rules[p.Root].Name)
+	}
+	st := p.ComputeStats()
+	if st.Nodes == 0 || st.Edges == 0 || st.RuleEdges == 0 || st.FinalNode == 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	// Every node's rule tag must be consistent with RuleStart layout.
+	for i, n := range p.Nodes {
+		if n.Rule < 0 || int(n.Rule) >= len(p.RuleStart) {
+			t.Fatalf("node %d has bad rule %d", i, n.Rule)
+		}
+	}
+	// No epsilon edges survive compilation.
+	for i, n := range p.Nodes {
+		for _, e := range n.Edges {
+			if e.Kind == fsa.EdgeEps {
+				t.Fatalf("node %d has epsilon edge", i)
+			}
+		}
+	}
+}
+
+func TestNodeMergingShrinks(t *testing.T) {
+	plain := compile(t, arrGrammar, Options{})
+	merged := compile(t, arrGrammar, Options{NodeMerging: true})
+	if merged.NumNodes() > plain.NumNodes() {
+		t.Fatalf("merging grew the automaton: %d -> %d", plain.NumNodes(), merged.NumNodes())
+	}
+}
+
+func TestInliningRemovesFragmentRules(t *testing.T) {
+	src := `
+root ::= pair ("," pair)*
+pair ::= key "=" key
+key  ::= [a-z]
+`
+	plain := compile(t, src, Options{})
+	inl := compile(t, src, Options{RuleInlining: true})
+	if len(inl.RuleStart) >= len(plain.RuleStart) {
+		t.Fatalf("inlining kept %d rules (plain %d)", len(inl.RuleStart), len(plain.RuleStart))
+	}
+}
+
+func TestCompileRejectsInvalidGrammar(t *testing.T) {
+	g, err := ebnf.Parse(`root ::= "x"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Root = 7 // corrupt
+	if _, err := Compile(g, Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestExpandedSuffix(t *testing.T) {
+	// After str completes inside an array, the continuation is "," or "]".
+	p := compile(t, arrGrammar, Options{RuleInlining: true, NodeMerging: true})
+	strIdx := int32(p.Grammar.RuleIndex("str"))
+	if strIdx < 0 {
+		t.Skip("str was fully inlined")
+	}
+	ctx := p.ExpandedSuffix(strIdx)
+	run := func(s string) (alive, sawFinal bool) {
+		r := fsa.NewRunner(ctx)
+		for i := 0; i < len(s); i++ {
+			if !r.Step(s[i]) {
+				return false, r.SawFinal()
+			}
+		}
+		return true, r.SawFinal()
+	}
+	for _, good := range []string{",", "]"} {
+		alive, saw := run(good)
+		if !alive && !saw {
+			t.Errorf("suffix %q refuted, should be allowed", good)
+		}
+	}
+	// A letter can never follow a completed str in this grammar.
+	alive, saw := run("a")
+	if alive || saw {
+		t.Errorf("suffix \"a\" not refuted (alive=%v sawFinal=%v)", alive, saw)
+	}
+}
+
+func TestExpandedSuffixUnreferencedRule(t *testing.T) {
+	p := compile(t, arrGrammar, Options{})
+	ctx := p.ExpandedSuffix(p.Root) // main is never referenced
+	if len(ctx.Nodes) != 1 || ctx.Nodes[0].Final {
+		t.Fatalf("expected empty context automaton, got %d nodes", len(ctx.Nodes))
+	}
+}
+
+func TestExpandedSuffixIsByteOnly(t *testing.T) {
+	p := compile(t, arrGrammar, Options{})
+	for r := range p.RuleStart {
+		ctx := p.ExpandedSuffix(int32(r))
+		if ctx.HasRuleEdges() || ctx.HasEpsEdges() {
+			t.Fatalf("rule %d context automaton not byte-only", r)
+		}
+	}
+}

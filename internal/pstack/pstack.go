@@ -1,0 +1,156 @@
+// Package pstack implements the persistent execution stack from §3.3 of the
+// XGrammar paper. All matching stacks — the parallel stacks of the current
+// step and retained stacks from previous steps — are stored as paths in a
+// single tree. Pushing is O(1), branching a stack costs nothing (two stacks
+// simply share a path prefix), and rolling back to an earlier step is a
+// pointer swap.
+//
+// Stacks are identified by int32 ids; Empty denotes the empty stack. Nodes
+// are interned: pushing the same value onto the same stack twice yields the
+// same id, so stack equality is id equality and state deduplication in the
+// matcher is a two-int comparison.
+//
+// Reference counting reclaims nodes once no external handle (and no child)
+// refers to them. Callers own references returned by Push and must Release
+// them (or hand ownership elsewhere) when done.
+package pstack
+
+import "fmt"
+
+// Empty is the id of the empty stack.
+const Empty int32 = -1
+
+type node struct {
+	parent int32
+	val    int32
+	refs   int32
+	depth  int32
+}
+
+type internKey struct {
+	parent int32
+	val    int32
+}
+
+// Tree is a persistent stack arena. The zero value is ready to use.
+type Tree struct {
+	nodes  []node
+	free   []int32
+	intern map[internKey]int32
+	live   int
+}
+
+// NewTree returns an empty tree.
+func NewTree() *Tree {
+	return &Tree{intern: make(map[internKey]int32)}
+}
+
+// Len returns the number of live nodes in the tree.
+func (t *Tree) Len() int { return t.live }
+
+// Cap returns the total number of allocated node slots (live + freed).
+func (t *Tree) Cap() int { return len(t.nodes) }
+
+// Push returns the stack formed by pushing val onto stack. The returned id
+// carries a new reference owned by the caller. The stack argument is not
+// consumed; its reference count is unchanged (the new node holds its own
+// reference to the parent).
+func (t *Tree) Push(stack int32, val int32) int32 {
+	key := internKey{parent: stack, val: val}
+	if id, ok := t.intern[key]; ok {
+		t.nodes[id].refs++
+		return id
+	}
+	depth := int32(1)
+	if stack != Empty {
+		t.nodes[stack].refs++ // child reference
+		depth = t.nodes[stack].depth + 1
+	}
+	var id int32
+	if n := len(t.free); n > 0 {
+		id = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.nodes[id] = node{parent: stack, val: val, refs: 1, depth: depth}
+	} else {
+		id = int32(len(t.nodes))
+		t.nodes = append(t.nodes, node{parent: stack, val: val, refs: 1, depth: depth})
+	}
+	t.intern[key] = id
+	t.live++
+	return id
+}
+
+// Top returns the value on top of stack. It panics on the empty stack.
+func (t *Tree) Top(stack int32) int32 {
+	if stack == Empty {
+		panic("pstack: Top of empty stack")
+	}
+	return t.nodes[stack].val
+}
+
+// Parent returns the stack below the top element. It panics on the empty
+// stack. No reference counts change; the caller must Retain the result if it
+// outlives the original reference.
+func (t *Tree) Parent(stack int32) int32 {
+	if stack == Empty {
+		panic("pstack: Parent of empty stack")
+	}
+	return t.nodes[stack].parent
+}
+
+// Depth returns the number of elements in stack.
+func (t *Tree) Depth(stack int32) int {
+	if stack == Empty {
+		return 0
+	}
+	return int(t.nodes[stack].depth)
+}
+
+// Retain adds a reference to stack. Retaining Empty is a no-op.
+func (t *Tree) Retain(stack int32) {
+	if stack != Empty {
+		t.nodes[stack].refs++
+	}
+}
+
+// Release drops a reference to stack, freeing nodes whose count reaches
+// zero (cascading to parents). Releasing Empty is a no-op.
+func (t *Tree) Release(stack int32) {
+	for stack != Empty {
+		n := &t.nodes[stack]
+		n.refs--
+		if n.refs > 0 {
+			return
+		}
+		if n.refs < 0 {
+			panic(fmt.Sprintf("pstack: over-release of node %d", stack))
+		}
+		delete(t.intern, internKey{parent: n.parent, val: n.val})
+		t.free = append(t.free, stack)
+		t.live--
+		parent := n.parent
+		stack = parent
+	}
+}
+
+// Values returns the stack contents from bottom to top. For debugging and
+// tests; allocates.
+func (t *Tree) Values(stack int32) []int32 {
+	d := t.Depth(stack)
+	out := make([]int32, d)
+	for i := d - 1; i >= 0; i-- {
+		out[i] = t.nodes[stack].val
+		stack = t.nodes[stack].parent
+	}
+	return out
+}
+
+// Reset discards all nodes. Outstanding ids become invalid.
+func (t *Tree) Reset() {
+	t.nodes = t.nodes[:0]
+	t.free = t.free[:0]
+	t.live = 0
+	for k := range t.intern {
+		delete(t.intern, k)
+	}
+}

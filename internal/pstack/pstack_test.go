@@ -1,0 +1,209 @@
+package pstack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPushPopBasics(t *testing.T) {
+	tr := NewTree()
+	s1 := tr.Push(Empty, 10)
+	s2 := tr.Push(s1, 20)
+	s3 := tr.Push(s2, 30)
+
+	if tr.Top(s3) != 30 || tr.Top(s2) != 20 || tr.Top(s1) != 10 {
+		t.Fatal("Top wrong")
+	}
+	if tr.Parent(s3) != s2 || tr.Parent(s2) != s1 || tr.Parent(s1) != Empty {
+		t.Fatal("Parent wrong")
+	}
+	if tr.Depth(s3) != 3 || tr.Depth(Empty) != 0 {
+		t.Fatal("Depth wrong")
+	}
+	vals := tr.Values(s3)
+	if len(vals) != 3 || vals[0] != 10 || vals[1] != 20 || vals[2] != 30 {
+		t.Fatalf("Values = %v", vals)
+	}
+}
+
+func TestInterning(t *testing.T) {
+	tr := NewTree()
+	a := tr.Push(Empty, 7)
+	b := tr.Push(Empty, 7)
+	if a != b {
+		t.Fatal("identical stacks got different ids")
+	}
+	c := tr.Push(a, 8)
+	d := tr.Push(b, 8)
+	if c != d {
+		t.Fatal("identical two-level stacks got different ids")
+	}
+	e := tr.Push(a, 9)
+	if e == c {
+		t.Fatal("different stacks share an id")
+	}
+}
+
+func TestBranchingShares(t *testing.T) {
+	tr := NewTree()
+	base := tr.Push(Empty, 1)
+	l := tr.Push(base, 2)
+	r := tr.Push(base, 3)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (shared base)", tr.Len())
+	}
+	if tr.Parent(l) != base || tr.Parent(r) != base {
+		t.Fatal("branches do not share base")
+	}
+}
+
+func TestReleaseFrees(t *testing.T) {
+	tr := NewTree()
+	s1 := tr.Push(Empty, 1)
+	s2 := tr.Push(s1, 2)
+	s3 := tr.Push(s2, 3)
+	// Release intermediate handles we don't own conceptually: s1, s2 each
+	// have one external ref from Push plus child refs.
+	tr.Release(s1)
+	tr.Release(s2)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d after releasing interior handles, want 3", tr.Len())
+	}
+	tr.Release(s3)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after releasing leaf, want 0", tr.Len())
+	}
+}
+
+func TestFreedSlotsReused(t *testing.T) {
+	tr := NewTree()
+	s := tr.Push(Empty, 1)
+	tr.Release(s)
+	if tr.Len() != 0 {
+		t.Fatal("not freed")
+	}
+	s2 := tr.Push(Empty, 2)
+	if tr.Cap() != 1 {
+		t.Fatalf("Cap = %d, want slot reuse", tr.Cap())
+	}
+	if tr.Top(s2) != 2 {
+		t.Fatal("reused slot corrupt")
+	}
+}
+
+func TestRetainKeepsAlive(t *testing.T) {
+	tr := NewTree()
+	s := tr.Push(Empty, 1)
+	tr.Retain(s)
+	tr.Release(s)
+	if tr.Len() != 1 {
+		t.Fatal("retained node freed")
+	}
+	tr.Release(s)
+	if tr.Len() != 0 {
+		t.Fatal("node leaked")
+	}
+}
+
+func TestInternAfterFree(t *testing.T) {
+	tr := NewTree()
+	s := tr.Push(Empty, 42)
+	tr.Release(s)
+	s2 := tr.Push(Empty, 42)
+	if tr.Top(s2) != 42 || tr.Len() != 1 {
+		t.Fatal("re-push after free broken")
+	}
+}
+
+func TestOverReleasePanics(t *testing.T) {
+	tr := NewTree()
+	s := tr.Push(Empty, 1)
+	tr.Release(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on over-release")
+		}
+	}()
+	tr.Release(s)
+}
+
+func TestEmptyOps(t *testing.T) {
+	tr := NewTree()
+	tr.Retain(Empty)
+	tr.Release(Empty)
+	if tr.Depth(Empty) != 0 || len(tr.Values(Empty)) != 0 {
+		t.Fatal("Empty misbehaves")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := NewTree()
+	tr.Push(Empty, 1)
+	tr.Reset()
+	if tr.Len() != 0 || tr.Cap() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	s := tr.Push(Empty, 5)
+	if tr.Top(s) != 5 {
+		t.Fatal("push after reset broken")
+	}
+}
+
+// Reference-model test: random pushes/releases mirrored against a simple
+// slice-of-slices implementation.
+func TestRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := NewTree()
+	type handle struct {
+		id    int32
+		model []int32
+	}
+	var handles []handle
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(handles) == 0: // push new from empty or existing
+			var base handle
+			if len(handles) > 0 && rng.Intn(2) == 0 {
+				base = handles[rng.Intn(len(handles))]
+			} else {
+				base = handle{id: Empty}
+			}
+			v := int32(rng.Intn(20))
+			id := tr.Push(base.id, v)
+			model := append(append([]int32{}, base.model...), v)
+			handles = append(handles, handle{id: id, model: model})
+		case op == 1: // release one
+			i := rng.Intn(len(handles))
+			tr.Release(handles[i].id)
+			handles[i] = handles[len(handles)-1]
+			handles = handles[:len(handles)-1]
+		default: // verify one
+			h := handles[rng.Intn(len(handles))]
+			got := tr.Values(h.id)
+			if len(got) != len(h.model) {
+				t.Fatalf("step %d: Values len %d, want %d", step, len(got), len(h.model))
+			}
+			for j := range got {
+				if got[j] != h.model[j] {
+					t.Fatalf("step %d: Values = %v, want %v", step, got, h.model)
+				}
+			}
+		}
+	}
+	for _, h := range handles {
+		tr.Release(h.id)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("leak: %d live nodes after releasing all handles", tr.Len())
+	}
+}
+
+func BenchmarkPushRelease(b *testing.B) {
+	tr := NewTree()
+	for i := 0; i < b.N; i++ {
+		s := tr.Push(Empty, int32(i&7))
+		s2 := tr.Push(s, int32(i&15))
+		tr.Release(s)
+		tr.Release(s2)
+	}
+}

@@ -1,0 +1,419 @@
+// Package regexconv converts a practical subset of regular-expression
+// syntax into grammar expressions, enabling JSON Schema "pattern" keywords
+// and regex-specified string fields. Supported: literals, '.', character
+// classes with ranges and negation, the escapes \d \D \w \W \s \S and
+// escaped metacharacters, groups (capturing and (?:...)), alternation,
+// and the quantifiers * + ? {m} {m,} {m,n} (greedy; laziness is irrelevant
+// for recognition). Anchors are honored at the pattern edges: JSON Schema
+// patterns are search-semantics, so an unanchored edge admits any prefix or
+// suffix.
+package regexconv
+
+import (
+	"fmt"
+	"unicode/utf8"
+
+	"xgrammar/internal/grammar"
+)
+
+// Convert translates pattern into a grammar expression matching exactly the
+// strings the pattern accepts under JSON-Schema (search) semantics.
+func Convert(pattern string) (grammar.Expr, error) {
+	p := &parser{src: pattern}
+	anchoredStart := false
+	if len(p.src) > 0 && p.src[0] == '^' {
+		anchoredStart = true
+		p.pos++
+	}
+	e, err := p.parseAlternation()
+	if err != nil {
+		return nil, err
+	}
+	anchoredEnd := false
+	if p.trailingDollar {
+		anchoredEnd = true
+	}
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("regexconv: unexpected %q at offset %d", p.src[p.pos], p.pos)
+	}
+	items := []grammar.Expr{}
+	if !anchoredStart {
+		items = append(items, anyStar())
+	}
+	items = append(items, e)
+	if !anchoredEnd {
+		items = append(items, anyStar())
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return &grammar.Seq{Items: items}, nil
+}
+
+// anyStar matches any sequence of characters (.*, with . including newlines
+// — generation-side patterns almost always want that).
+func anyStar() grammar.Expr {
+	return &grammar.Repeat{Sub: dotClass(), Min: 0, Max: -1}
+}
+
+func dotClass() *grammar.CharClass {
+	return &grammar.CharClass{Ranges: []grammar.RuneRange{{Lo: 0, Hi: 0x10FFFF}}}
+}
+
+type parser struct {
+	src            string
+	pos            int
+	trailingDollar bool
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("regexconv: %s (offset %d in %q)", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+func (p *parser) peek() (byte, bool) {
+	if p.pos >= len(p.src) {
+		return 0, false
+	}
+	return p.src[p.pos], true
+}
+
+func (p *parser) parseAlternation() (grammar.Expr, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	alts := []grammar.Expr{first}
+	for {
+		b, ok := p.peek()
+		if !ok || b != '|' {
+			break
+		}
+		p.pos++
+		// A '$' consumed as trailing on a previous branch was premature.
+		if p.trailingDollar {
+			return nil, p.errf("'$' only supported at the end of the pattern")
+		}
+		next, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, next)
+	}
+	if len(alts) == 1 {
+		return alts[0], nil
+	}
+	return &grammar.Choice{Alts: alts}, nil
+}
+
+func (p *parser) parseConcat() (grammar.Expr, error) {
+	var items []grammar.Expr
+	for {
+		b, ok := p.peek()
+		if !ok || b == '|' || b == ')' {
+			break
+		}
+		if b == '$' {
+			// Only valid as the final element of the whole pattern.
+			if p.pos == len(p.src)-1 {
+				p.pos++
+				p.trailingDollar = true
+				break
+			}
+			return nil, p.errf("'$' only supported at the end of the pattern")
+		}
+		it, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+	}
+	switch len(items) {
+	case 0:
+		return &grammar.Empty{}, nil
+	case 1:
+		return items[0], nil
+	}
+	return &grammar.Seq{Items: items}, nil
+}
+
+func (p *parser) parseRepeat() (grammar.Expr, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		b, ok := p.peek()
+		if !ok {
+			return atom, nil
+		}
+		switch b {
+		case '*':
+			p.pos++
+			atom = &grammar.Repeat{Sub: atom, Min: 0, Max: -1}
+		case '+':
+			p.pos++
+			atom = &grammar.Repeat{Sub: atom, Min: 1, Max: -1}
+		case '?':
+			p.pos++
+			atom = &grammar.Repeat{Sub: atom, Min: 0, Max: 1}
+		case '{':
+			min, max, ok, err := p.tryBrace()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return atom, nil
+			}
+			atom = &grammar.Repeat{Sub: atom, Min: min, Max: max}
+		default:
+			return atom, nil
+		}
+		// Swallow lazy/possessive modifiers; recognition is unaffected.
+		if b2, ok := p.peek(); ok && (b2 == '?') {
+			if _, isRep := atom.(*grammar.Repeat); isRep {
+				p.pos++
+			}
+		}
+	}
+}
+
+// tryBrace parses {m}, {m,}, {m,n}; a '{' that is not a quantifier is a
+// literal (like RE2).
+func (p *parser) tryBrace() (int, int, bool, error) {
+	start := p.pos
+	p.pos++ // '{'
+	readInt := func() (int, bool) {
+		n, any := 0, false
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			n = n*10 + int(p.src[p.pos]-'0')
+			p.pos++
+			any = true
+			if n > 1<<16 {
+				return n, any
+			}
+		}
+		return n, any
+	}
+	min, ok := readInt()
+	if !ok {
+		p.pos = start
+		return 0, 0, false, nil
+	}
+	max := min
+	if b, _ := p.peek(); b == ',' {
+		p.pos++
+		if b2, _ := p.peek(); b2 >= '0' && b2 <= '9' {
+			max, _ = readInt()
+		} else {
+			max = -1
+		}
+	}
+	if b, _ := p.peek(); b != '}' {
+		p.pos = start
+		return 0, 0, false, nil
+	}
+	p.pos++
+	if max >= 0 && max < min {
+		return 0, 0, false, p.errf("quantifier {%d,%d} out of order", min, max)
+	}
+	return min, max, true, nil
+}
+
+func (p *parser) parseAtom() (grammar.Expr, error) {
+	b, ok := p.peek()
+	if !ok {
+		return nil, p.errf("unexpected end of pattern")
+	}
+	switch b {
+	case '(':
+		p.pos++
+		// Non-capturing group prefix.
+		if p.pos+1 < len(p.src) && p.src[p.pos] == '?' {
+			if p.src[p.pos+1] == ':' {
+				p.pos += 2
+			} else {
+				return nil, p.errf("unsupported group modifier (?%c", p.src[p.pos+1])
+			}
+		}
+		inner, err := p.parseAlternation()
+		if err != nil {
+			return nil, err
+		}
+		if c, _ := p.peek(); c != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.pos++
+		return inner, nil
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.pos++
+		return dotClass(), nil
+	case '\\':
+		return p.parseEscapeAtom()
+	case '*', '+', '?', ')':
+		return nil, p.errf("misplaced %q", b)
+	case '^':
+		return nil, p.errf("'^' only supported at the start of the pattern")
+	default:
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		p.pos += size
+		var buf [4]byte
+		n := utf8.EncodeRune(buf[:], r)
+		return &grammar.Literal{Bytes: append([]byte(nil), buf[:n]...)}, nil
+	}
+}
+
+var (
+	classDigit = []grammar.RuneRange{{Lo: '0', Hi: '9'}}
+	classWord  = []grammar.RuneRange{{Lo: '0', Hi: '9'}, {Lo: 'A', Hi: 'Z'}, {Lo: '_', Hi: '_'}, {Lo: 'a', Hi: 'z'}}
+	classSpace = []grammar.RuneRange{{Lo: '\t', Hi: '\n'}, {Lo: '\v', Hi: '\r'}, {Lo: ' ', Hi: ' '}}
+)
+
+func copyRanges(rs []grammar.RuneRange) []grammar.RuneRange {
+	return append([]grammar.RuneRange(nil), rs...)
+}
+
+// parseEscapeAtom handles escapes in atom position.
+func (p *parser) parseEscapeAtom() (grammar.Expr, error) {
+	p.pos++ // backslash
+	b, ok := p.peek()
+	if !ok {
+		return nil, p.errf("trailing backslash")
+	}
+	p.pos++
+	switch b {
+	case 'd':
+		return &grammar.CharClass{Ranges: copyRanges(classDigit)}, nil
+	case 'D':
+		return &grammar.CharClass{Ranges: copyRanges(classDigit), Negated: true}, nil
+	case 'w':
+		return &grammar.CharClass{Ranges: copyRanges(classWord)}, nil
+	case 'W':
+		return &grammar.CharClass{Ranges: copyRanges(classWord), Negated: true}, nil
+	case 's':
+		return &grammar.CharClass{Ranges: copyRanges(classSpace)}, nil
+	case 'S':
+		return &grammar.CharClass{Ranges: copyRanges(classSpace), Negated: true}, nil
+	case 'n':
+		return &grammar.Literal{Bytes: []byte{'\n'}}, nil
+	case 't':
+		return &grammar.Literal{Bytes: []byte{'\t'}}, nil
+	case 'r':
+		return &grammar.Literal{Bytes: []byte{'\r'}}, nil
+	case '.', '\\', '+', '*', '?', '(', ')', '[', ']', '{', '}', '|', '^', '$', '-', '/':
+		return &grammar.Literal{Bytes: []byte{b}}, nil
+	}
+	return nil, p.errf("unsupported escape \\%c", b)
+}
+
+// parseClass parses a bracket character class.
+func (p *parser) parseClass() (grammar.Expr, error) {
+	p.pos++ // '['
+	cc := &grammar.CharClass{}
+	if b, _ := p.peek(); b == '^' {
+		cc.Negated = true
+		p.pos++
+	}
+	first := true
+	for {
+		b, ok := p.peek()
+		if !ok {
+			return nil, p.errf("unterminated character class")
+		}
+		if b == ']' && !first {
+			p.pos++
+			normalizeRanges(cc)
+			if !cc.Negated && len(cc.Ranges) == 0 {
+				return nil, p.errf("empty character class")
+			}
+			return cc, nil
+		}
+		first = false
+		lo, isClassEsc, ranges, err := p.classRune()
+		if err != nil {
+			return nil, err
+		}
+		if isClassEsc {
+			cc.Ranges = append(cc.Ranges, ranges...)
+			continue
+		}
+		hi := lo
+		if b2, _ := p.peek(); b2 == '-' {
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+				p.pos++
+				var isEsc bool
+				hi, isEsc, _, err = p.classRune()
+				if err != nil {
+					return nil, err
+				}
+				if isEsc {
+					return nil, p.errf("class escape cannot end a range")
+				}
+				if hi < lo {
+					return nil, p.errf("class range out of order")
+				}
+			}
+		}
+		cc.Ranges = append(cc.Ranges, grammar.RuneRange{Lo: lo, Hi: hi})
+	}
+}
+
+// classRune reads one class element: a literal rune, an escaped rune, or a
+// class escape like \d (returned as ranges with isClassEsc=true).
+func (p *parser) classRune() (rune, bool, []grammar.RuneRange, error) {
+	b, _ := p.peek()
+	if b == '\\' {
+		p.pos++
+		e, ok := p.peek()
+		if !ok {
+			return 0, false, nil, p.errf("trailing backslash in class")
+		}
+		p.pos++
+		switch e {
+		case 'd':
+			return 0, true, copyRanges(classDigit), nil
+		case 'w':
+			return 0, true, copyRanges(classWord), nil
+		case 's':
+			return 0, true, copyRanges(classSpace), nil
+		case 'n':
+			return '\n', false, nil, nil
+		case 't':
+			return '\t', false, nil, nil
+		case 'r':
+			return '\r', false, nil, nil
+		case '\\', ']', '[', '^', '-', '.', '+', '*', '?', '(', ')', '{', '}', '|', '$', '/':
+			return rune(e), false, nil, nil
+		}
+		return 0, false, nil, p.errf("unsupported class escape \\%c", e)
+	}
+	r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+	p.pos += size
+	return r, false, nil, nil
+}
+
+// normalizeRanges sorts and merges class ranges.
+func normalizeRanges(cc *grammar.CharClass) {
+	rs := cc.Ranges
+	if len(rs) <= 1 {
+		return
+	}
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Lo < rs[j-1].Lo; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi+1 {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	cc.Ranges = out
+}

@@ -1,0 +1,135 @@
+package regexconv
+
+import (
+	"math/rand"
+	"regexp"
+	"testing"
+
+	"xgrammar/internal/grammar"
+	"xgrammar/internal/matcher"
+	"xgrammar/internal/pda"
+)
+
+// build compiles a pattern to a matcher-ready PDA.
+func build(t *testing.T, pattern string) *pda.PDA {
+	t.Helper()
+	e, err := Convert(pattern)
+	if err != nil {
+		t.Fatalf("Convert(%q): %v", pattern, err)
+	}
+	g := &grammar.Grammar{Rules: []grammar.Rule{{Name: "root", Body: e}}}
+	p, err := pda.Compile(g, pda.AllOptimizations)
+	if err != nil {
+		t.Fatalf("compile %q: %v", pattern, err)
+	}
+	return p
+}
+
+func accepts(p *pda.PDA, s string) bool {
+	m := matcher.New(matcher.NewExec(p), 0)
+	return m.Advance([]byte(s)) && m.CanTerminate()
+}
+
+// TestAgainstStdlibOracle compares acceptance with Go's regexp package on a
+// corpus of probe strings for each pattern.
+func TestAgainstStdlibOracle(t *testing.T) {
+	patterns := []string{
+		`^abc$`,
+		`^a+b*c?$`,
+		`^[a-z]+$`,
+		`^[^0-9]+$`,
+		`^(foo|bar|baz)$`,
+		`^\d{3}-\d{4}$`,
+		`^\w+@\w+\.(com|org)$`,
+		`^a{2,4}$`,
+		`^x(yz)+$`,
+		`^[A-Za-z_][A-Za-z0-9_]*$`,
+		`^-?\d+(\.\d+)?$`,
+		`^\s*[a-c]\s*$`,
+		`abc`,       // unanchored: substring search
+		`^start`,    // prefix search
+		`end$`,      // suffix search
+		`^(?:ab)+$`, // non-capturing group
+		`^a.c$`,
+		`^[\d]+[.][\d]+$`,
+	}
+	probes := []string{
+		"", "a", "ab", "abc", "abcc", "aabbcc", "abcd", "xabcx", "foo", "bar",
+		"baz", "foobar", "123-4567", "12-4567", "user@site.com", "user@site.net",
+		"aa", "aaa", "aaaa", "aaaaa", "xyz", "xyzyz", "x", "hello_world", "9bad",
+		"-12.5", "12", "12.", " b ", "b", "start here", "not start", "the end",
+		"end not", "ababab", "aXc", "a\nc", "1.5", "1x5", "0", "zzz",
+	}
+	rng := rand.New(rand.NewSource(9))
+	letters := "abcxyz019._@- \t"
+	for i := 0; i < 60; i++ {
+		n := rng.Intn(10)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = letters[rng.Intn(len(letters))]
+		}
+		probes = append(probes, string(b))
+	}
+	for _, pat := range patterns {
+		// (?s): our '.' intentionally matches newline (see TestDotMatchesNewline).
+		ref := regexp.MustCompile(`(?s)` + pat)
+		p := build(t, pat)
+		for _, probe := range probes {
+			want := ref.MatchString(probe)
+			got := accepts(p, probe)
+			if got != want {
+				t.Errorf("pattern %q probe %q: got %v, regexp says %v", pat, probe, got, want)
+			}
+		}
+	}
+}
+
+func TestUnicodeClasses(t *testing.T) {
+	p := build(t, `^[α-ω]+$`)
+	if !accepts(p, "αβγ") || accepts(p, "abc") || accepts(p, "") {
+		t.Fatal("unicode class wrong")
+	}
+}
+
+func TestDotMatchesNewline(t *testing.T) {
+	// Deliberate deviation from the default regexp behavior: '.' includes
+	// newline (the useful behavior for generation-side patterns).
+	p := build(t, `^a.c$`)
+	if !accepts(p, "a\nc") {
+		t.Fatal("dot should match newline here")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, pat := range []string{
+		`(unclosed`,
+		`)`,
+		`*dangling`,
+		`a{4,2}`,
+		`[z-a]`,
+		`[]`,
+		`a\q`,
+		`(?P<name>x)`,
+		`a^b`,
+		`a$b`,
+		`x|a$b`,
+	} {
+		if _, err := Convert(pat); err == nil {
+			t.Errorf("pattern %q: expected error", pat)
+		}
+	}
+}
+
+func TestLazyModifierTolerated(t *testing.T) {
+	p := build(t, `^a+?b$`)
+	if !accepts(p, "aab") || accepts(p, "b") {
+		t.Fatal("lazy quantifier recognition wrong")
+	}
+}
+
+func TestBraceLiteralWhenNotQuantifier(t *testing.T) {
+	p := build(t, `^a{b}$`)
+	if !accepts(p, "a{b}") {
+		t.Fatal("literal braces rejected")
+	}
+}

@@ -1,0 +1,239 @@
+// Package tokenizer implements a from-scratch byte-level BPE tokenizer: the
+// substrate standing in for Llama-3.1's tokenizer in the paper's evaluation.
+// All 256 bytes are in the base vocabulary (byte fallback), so any byte
+// string is encodable; merges are learned from a deterministic corpus with
+// the standard pair-frequency algorithm. What the grammar engine cares about
+// is faithfully reproduced: tokens are multi-byte strings with heavy-tailed
+// lengths that cross grammar-element boundaries (e.g. `":`, `},` or `true`).
+package tokenizer
+
+import (
+	"bytes"
+	"container/heap"
+	"sort"
+)
+
+type pair struct{ a, b int32 }
+
+type mergeInfo struct {
+	rank int32
+	id   int32
+}
+
+// maxTokenBytes caps merged token length, as production BPE vocabs do.
+const maxTokenBytes = 16
+
+// minPairFreq is the minimum frequency for a merge to be created.
+const minPairFreq = 2
+
+// heapEntry is a lazily-invalidated candidate merge.
+type heapEntry struct {
+	count int64
+	pr    pair
+	bytes []byte // merged bytes, for deterministic tie-breaking
+}
+
+type mergeHeap []heapEntry
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count > h[j].count
+	}
+	if c := bytes.Compare(h[i].bytes, h[j].bytes); c != 0 {
+		return c < 0
+	}
+	if h[i].pr.a != h[j].pr.a {
+		return h[i].pr.a < h[j].pr.a
+	}
+	return h[i].pr.b < h[j].pr.b
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type trainWord struct {
+	seq  []int32
+	freq int64
+}
+
+// Train learns a BPE vocabulary of the given size from the corpus text.
+// Training is deterministic. The vocabulary layout is: special tokens
+// (pad, bos, eos), then the 256 byte tokens, then merges in rank order.
+func Train(corpusText string, vocabSize int) *Tokenizer {
+	t := newBase()
+	if vocabSize < len(t.tokens) {
+		vocabSize = len(t.tokens)
+	}
+
+	// Pretokenize the corpus into weighted words.
+	freqs := map[string]int64{}
+	pretokenize(corpusText, func(w string) { freqs[w]++ })
+	words := make([]trainWord, 0, len(freqs))
+	keys := make([]string, 0, len(freqs))
+	for w := range freqs {
+		keys = append(keys, w)
+	}
+	sort.Strings(keys) // deterministic word order
+	for _, w := range keys {
+		seq := make([]int32, len(w))
+		for i := 0; i < len(w); i++ {
+			seq[i] = t.byteID[w[i]]
+		}
+		words = append(words, trainWord{seq: seq, freq: freqs[w]})
+	}
+
+	// Pair statistics with an inverted index.
+	pairCount := map[pair]int64{}
+	pairWords := map[pair]map[int32]bool{}
+	addPair := func(p pair, wi int32, n int64) {
+		pairCount[p] += n
+		if n > 0 {
+			ws, ok := pairWords[p]
+			if !ok {
+				ws = map[int32]bool{}
+				pairWords[p] = ws
+			}
+			ws[wi] = true
+		}
+	}
+	for wi, w := range words {
+		for i := 0; i+1 < len(w.seq); i++ {
+			addPair(pair{w.seq[i], w.seq[i+1]}, int32(wi), w.freq)
+		}
+	}
+
+	h := &mergeHeap{}
+	for p, c := range pairCount {
+		*h = append(*h, heapEntry{count: c, pr: p, bytes: t.mergedBytes(p)})
+	}
+	heap.Init(h)
+
+	var scratchOld, scratchNew []pair
+	for len(t.tokens) < vocabSize && h.Len() > 0 {
+		top := heap.Pop(h).(heapEntry)
+		cur := pairCount[top.pr]
+		if cur != top.count {
+			if cur >= minPairFreq {
+				heap.Push(h, heapEntry{count: cur, pr: top.pr, bytes: top.bytes})
+			}
+			continue // stale entry
+		}
+		if cur < minPairFreq {
+			break
+		}
+		if len(top.bytes) > maxTokenBytes {
+			// Token too long: remove from consideration.
+			delete(pairCount, top.pr)
+			delete(pairWords, top.pr)
+			continue
+		}
+		// Commit the merge.
+		newID := int32(len(t.tokens))
+		t.tokens = append(t.tokens, top.bytes)
+		t.merges[top.pr] = mergeInfo{rank: int32(len(t.merges)), id: newID}
+
+		affected := pairWords[top.pr]
+		delete(pairCount, top.pr)
+		delete(pairWords, top.pr)
+		touched := map[pair]bool{}
+		wis := make([]int32, 0, len(affected))
+		for wi := range affected {
+			wis = append(wis, wi)
+		}
+		sort.Slice(wis, func(i, j int) bool { return wis[i] < wis[j] })
+		for _, wi := range wis {
+			w := &words[wi]
+			scratchOld = wordPairs(scratchOld[:0], w.seq)
+			w.seq = applyMergeSeq(w.seq, top.pr, newID)
+			scratchNew = wordPairs(scratchNew[:0], w.seq)
+			for _, p := range scratchOld {
+				pairCount[p] -= w.freq
+				touched[p] = true
+			}
+			for _, p := range scratchNew {
+				addPair(p, wi, w.freq)
+				touched[p] = true
+			}
+		}
+		for p := range touched {
+			if p == top.pr {
+				continue
+			}
+			if c := pairCount[p]; c >= minPairFreq {
+				heap.Push(h, heapEntry{count: c, pr: p, bytes: t.mergedBytes(p)})
+			} else if c <= 0 {
+				delete(pairCount, p)
+				delete(pairWords, p)
+			}
+		}
+	}
+	t.finish()
+	return t
+}
+
+func wordPairs(dst []pair, seq []int32) []pair {
+	for i := 0; i+1 < len(seq); i++ {
+		dst = append(dst, pair{seq[i], seq[i+1]})
+	}
+	return dst
+}
+
+// applyMergeSeq replaces occurrences of p in seq with id, in place.
+func applyMergeSeq(seq []int32, p pair, id int32) []int32 {
+	w := 0
+	for r := 0; r < len(seq); {
+		if r+1 < len(seq) && seq[r] == p.a && seq[r+1] == p.b {
+			seq[w] = id
+			r += 2
+		} else {
+			seq[w] = seq[r]
+			r++
+		}
+		w++
+	}
+	return seq[:w]
+}
+
+// pretokenize splits text into BPE words GPT-2 style: an optional single
+// leading space attaches to a following run of letters, digits, or
+// punctuation; remaining whitespace forms its own runs.
+func pretokenize(text string, emit func(string)) {
+	n := len(text)
+	i := 0
+	class := func(b byte) int {
+		switch {
+		case b == ' ':
+			return 0
+		case b == '\t' || b == '\n' || b == '\r':
+			return 1
+		case b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= 0x80:
+			return 2 // letters; high bytes grouped with letters (UTF-8 text)
+		case b >= '0' && b <= '9':
+			return 3
+		default:
+			return 4 // punctuation and other ASCII
+		}
+	}
+	for i < n {
+		start := i
+		b := text[i]
+		if b == ' ' && i+1 < n && class(text[i+1]) >= 2 {
+			// A leading space joins the next run.
+			i++
+			b = text[i]
+		}
+		c := class(b)
+		i++
+		for i < n && class(text[i]) == c {
+			i++
+		}
+		emit(text[start:i])
+	}
+}

@@ -1,0 +1,33 @@
+package tokenizer
+
+import (
+	"sync"
+
+	"xgrammar/internal/corpus"
+)
+
+var (
+	defaultMu    sync.Mutex
+	defaultCache = map[int]*Tokenizer{}
+)
+
+// BuildDefault trains (once per size, cached) a tokenizer of the given
+// vocabulary size on the standard synthetic corpus. The corpus scales with
+// the vocabulary so large vocabularies have enough pair diversity.
+func BuildDefault(vocabSize int) *Tokenizer {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if t, ok := defaultCache[vocabSize]; ok {
+		return t
+	}
+	corpusBytes := vocabSize * 192
+	if corpusBytes < 1<<16 {
+		corpusBytes = 1 << 16
+	}
+	if corpusBytes > 8<<20 {
+		corpusBytes = 8 << 20
+	}
+	t := Train(corpus.Default(corpusBytes), vocabSize)
+	defaultCache[vocabSize] = t
+	return t
+}

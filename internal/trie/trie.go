@@ -1,0 +1,96 @@
+// Package trie provides a byte trie over a token vocabulary. The mask-cache
+// preprocessor walks it to share work across tokens with common prefixes
+// (§3.3), and the lm-format-enforcer-style baseline traverses it against a
+// regex DFA at every decoding step.
+package trie
+
+import "sort"
+
+// Trie is a byte-level prefix tree over token strings.
+type Trie struct {
+	nodes []node
+}
+
+type node struct {
+	// children maps are kept as parallel sorted slices for cache-friendly
+	// iteration; vocabulary tries are built once and read many times.
+	childBytes []byte
+	childIDs   []int32
+	// token is the id of the token ending at this node, or -1.
+	token int32
+}
+
+// Build constructs a trie over tokens; the i-th token gets id i. Tokens may
+// share prefixes or duplicate each other (later duplicates win).
+func Build(tokens [][]byte) *Trie {
+	t := &Trie{nodes: []node{{token: -1}}}
+	for id, tok := range tokens {
+		cur := int32(0)
+		for _, b := range tok {
+			next := t.child(cur, b)
+			if next < 0 {
+				next = int32(len(t.nodes))
+				t.nodes = append(t.nodes, node{token: -1})
+				n := &t.nodes[cur]
+				idx := sort.Search(len(n.childBytes), func(i int) bool { return n.childBytes[i] >= b })
+				n.childBytes = append(n.childBytes, 0)
+				copy(n.childBytes[idx+1:], n.childBytes[idx:])
+				n.childBytes[idx] = b
+				n.childIDs = append(n.childIDs, 0)
+				copy(n.childIDs[idx+1:], n.childIDs[idx:])
+				n.childIDs[idx] = next
+			}
+			cur = next
+		}
+		t.nodes[cur].token = int32(id)
+	}
+	return t
+}
+
+// child returns the child of n along byte b, or -1.
+func (t *Trie) child(n int32, b byte) int32 {
+	nd := &t.nodes[n]
+	idx := sort.Search(len(nd.childBytes), func(i int) bool { return nd.childBytes[i] >= b })
+	if idx < len(nd.childBytes) && nd.childBytes[idx] == b {
+		return nd.childIDs[idx]
+	}
+	return -1
+}
+
+// Root returns the root node id.
+func (t *Trie) Root() int32 { return 0 }
+
+// Step walks from node n along byte b; it returns -1 if no child exists.
+func (t *Trie) Step(n int32, b byte) int32 { return t.child(n, b) }
+
+// Token returns the token id ending at node n, or -1.
+func (t *Trie) Token(n int32) int32 { return t.nodes[n].token }
+
+// NumNodes returns the node count.
+func (t *Trie) NumNodes() int { return len(t.nodes) }
+
+// Children calls f for every child edge of node n.
+func (t *Trie) Children(n int32, f func(b byte, child int32)) {
+	nd := &t.nodes[n]
+	for i, b := range nd.childBytes {
+		f(b, nd.childIDs[i])
+	}
+}
+
+// Walk visits the trie depth-first. enter is called before descending into a
+// node (with the byte leading to it) and must report whether to descend;
+// leave is called when backtracking. The root is neither entered nor left.
+func (t *Trie) Walk(enter func(b byte, node int32) bool, leave func(node int32)) {
+	var rec func(n int32)
+	rec = func(n int32) {
+		nd := &t.nodes[n]
+		for i, b := range nd.childBytes {
+			c := nd.childIDs[i]
+			if enter(b, c) {
+				rec(c)
+			}
+			leave(c)
+		}
+	}
+	rec(0)
+}

@@ -1,0 +1,107 @@
+package trie
+
+import (
+	"sort"
+	"testing"
+)
+
+func toks(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestLookup(t *testing.T) {
+	tr := Build(toks("read", "ready", "reader", "red", ""))
+	find := func(s string) int32 {
+		n := tr.Root()
+		for i := 0; i < len(s); i++ {
+			n = tr.Step(n, s[i])
+			if n < 0 {
+				return -1
+			}
+		}
+		return tr.Token(n)
+	}
+	if find("read") != 0 || find("ready") != 1 || find("reader") != 2 || find("red") != 3 {
+		t.Fatal("token ids wrong")
+	}
+	if find("") != 4 {
+		t.Fatalf("empty token id = %d", find(""))
+	}
+	if find("rea") != -1 || find("readers") != -1 || find("x") != -1 {
+		t.Fatal("non-tokens resolved")
+	}
+}
+
+func TestDuplicateLastWins(t *testing.T) {
+	tr := Build(toks("ab", "ab"))
+	n := tr.Step(tr.Step(tr.Root(), 'a'), 'b')
+	if tr.Token(n) != 1 {
+		t.Fatalf("token = %d, want 1", tr.Token(n))
+	}
+}
+
+func TestWalkVisitsAllTokens(t *testing.T) {
+	words := []string{"a", "ab", "abc", "b", "ba"}
+	tr := Build(toks(words...))
+	var found []int32
+	var depth int
+	tr.Walk(
+		func(b byte, n int32) bool {
+			depth++
+			if id := tr.Token(n); id >= 0 {
+				found = append(found, id)
+			}
+			return true
+		},
+		func(n int32) { depth-- },
+	)
+	if depth != 0 {
+		t.Fatalf("unbalanced walk: depth %d", depth)
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i] < found[j] })
+	if len(found) != len(words) {
+		t.Fatalf("found %d tokens, want %d", len(found), len(words))
+	}
+	for i, id := range found {
+		if id != int32(i) {
+			t.Fatalf("missing token %d", i)
+		}
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	tr := Build(toks("ab", "ac", "b"))
+	visited := 0
+	tr.Walk(
+		func(b byte, n int32) bool {
+			visited++
+			return b != 'a' // prune the a-subtree
+		},
+		func(n int32) {},
+	)
+	// Visits: 'a' (pruned), 'b' => 2
+	if visited != 2 {
+		t.Fatalf("visited = %d, want 2", visited)
+	}
+}
+
+func TestChildren(t *testing.T) {
+	tr := Build(toks("a", "b", "c"))
+	var bs []byte
+	tr.Children(tr.Root(), func(b byte, c int32) { bs = append(bs, b) })
+	if string(bs) != "abc" {
+		t.Fatalf("children = %q, want sorted abc", bs)
+	}
+}
+
+func TestNumNodes(t *testing.T) {
+	tr := Build(toks("ab", "ac"))
+	// root, a, ab, ac
+	if tr.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4", tr.NumNodes())
+	}
+}

@@ -1,0 +1,357 @@
+// Package workload generates the evaluation datasets: a JSON-mode-eval
+// stand-in (schema + instance pairs), unconstrained JSON documents, XML
+// documents, and Python-DSL programs (§4.1). All generators are seeded and
+// deterministic, and every generated instance is valid under the
+// corresponding grammar — verified by tests.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// SchemaTask is one JSON-mode-eval-style task: a schema and a canonical
+// instance (the string an ideal model would emit).
+type SchemaTask struct {
+	Name     string
+	Schema   []byte
+	Instance string
+}
+
+var keyPool = []string{
+	"name", "age", "email", "address", "city", "country", "id", "kind",
+	"value", "items", "tags", "price", "quantity", "status", "created",
+	"updated", "description", "title", "author", "meta", "config",
+	"enabled", "active", "score", "rating", "phone", "zipcode", "state",
+	"latitude", "longitude", "currency", "amount", "unit", "category",
+}
+
+var wordPool = []string{
+	"alpha", "beta", "gamma", "delta", "omega", "red", "green", "blue",
+	"small", "large", "fast", "slow", "new york", "paris", "tokyo",
+	"pending", "active", "closed", "hello world", "foo", "bar", "baz",
+}
+
+// SchemaTasks generates n schema/instance pairs of varying complexity.
+func SchemaTasks(n int, seed int64) []SchemaTask {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]SchemaTask, n)
+	for i := range out {
+		g := &schemaGen{rng: rng}
+		schema, inst := g.genObject(0)
+		out[i] = SchemaTask{
+			Name:     fmt.Sprintf("schema_%03d", i),
+			Schema:   []byte(schema),
+			Instance: inst,
+		}
+	}
+	return out
+}
+
+type schemaGen struct {
+	rng  *rand.Rand
+	used map[string]bool
+}
+
+func (g *schemaGen) key() string {
+	if g.used == nil {
+		g.used = map[string]bool{}
+	}
+	for tries := 0; ; tries++ {
+		k := keyPool[g.rng.Intn(len(keyPool))]
+		if tries > 8 {
+			k = fmt.Sprintf("%s_%d", k, g.rng.Intn(100))
+		}
+		if !g.used[k] {
+			g.used[k] = true
+			return k
+		}
+	}
+}
+
+// genValue returns (schema fragment, canonical instance) for a random type.
+func (g *schemaGen) genValue(depth int) (string, string) {
+	max := 7
+	if depth >= 2 {
+		max = 5 // no more nesting
+	}
+	switch g.rng.Intn(max) {
+	case 0: // string
+		w := wordPool[g.rng.Intn(len(wordPool))]
+		return `{"type": "string"}`, fmt.Sprintf("%q", w)
+	case 1: // integer, sometimes bounded
+		if g.rng.Intn(2) == 0 {
+			lo := int64(g.rng.Intn(100))
+			hi := lo + 1 + int64(g.rng.Intn(1000))
+			v := lo + g.rng.Int63n(hi-lo+1)
+			return fmt.Sprintf(`{"type": "integer", "minimum": %d, "maximum": %d}`, lo, hi),
+				fmt.Sprintf("%d", v)
+		}
+		return `{"type": "integer"}`, fmt.Sprintf("%d", g.rng.Intn(100000)-50000)
+	case 2: // boolean
+		if g.rng.Intn(2) == 0 {
+			return `{"type": "boolean"}`, "true"
+		}
+		return `{"type": "boolean"}`, "false"
+	case 3: // enum
+		k := 2 + g.rng.Intn(3)
+		var opts []string
+		for i := 0; i < k; i++ {
+			opts = append(opts, fmt.Sprintf("%q", wordPool[g.rng.Intn(len(wordPool))]))
+		}
+		pick := opts[g.rng.Intn(len(opts))]
+		return fmt.Sprintf(`{"enum": [%s]}`, strings.Join(opts, ", ")), pick
+	case 4: // number
+		v := g.rng.Float64() * 100
+		return `{"type": "number"}`, fmt.Sprintf("%.2f", v)
+	case 5: // array
+		itemSchema, _ := g.genValue(depth + 1)
+		cnt := 1 + g.rng.Intn(3)
+		var items []string
+		for i := 0; i < cnt; i++ {
+			_, inst := g.genValueLike(itemSchema, depth+1)
+			items = append(items, inst)
+		}
+		return fmt.Sprintf(`{"type": "array", "items": %s, "minItems": 1, "maxItems": 4}`, itemSchema),
+			"[" + strings.Join(items, ", ") + "]"
+	default: // object
+		return g.genObject(depth + 1)
+	}
+}
+
+// genValueLike re-generates an instance for a previously generated schema
+// fragment by re-running the matching generator arm.
+func (g *schemaGen) genValueLike(schema string, depth int) (string, string) {
+	switch {
+	case strings.Contains(schema, `"enum"`):
+		start := strings.Index(schema, "[")
+		end := strings.LastIndex(schema, "]")
+		opts := strings.Split(schema[start+1:end], ", ")
+		return schema, opts[g.rng.Intn(len(opts))]
+	case strings.Contains(schema, `"minimum"`):
+		var lo, hi int64
+		fmt.Sscanf(schema, `{"type": "integer", "minimum": %d, "maximum": %d}`, &lo, &hi)
+		return schema, fmt.Sprintf("%d", lo+g.rng.Int63n(hi-lo+1))
+	case strings.Contains(schema, `"integer"`):
+		return schema, fmt.Sprintf("%d", g.rng.Intn(1000))
+	case strings.Contains(schema, `"string"`):
+		return schema, fmt.Sprintf("%q", wordPool[g.rng.Intn(len(wordPool))])
+	case strings.Contains(schema, `"boolean"`):
+		if g.rng.Intn(2) == 0 {
+			return schema, "true"
+		}
+		return schema, "false"
+	case strings.Contains(schema, `"number"`):
+		return schema, fmt.Sprintf("%.2f", g.rng.Float64()*100)
+	default:
+		// Nested object/array schemas are not reused as array items.
+		return schema, "0"
+	}
+}
+
+// genObject returns a schema and canonical instance for an object.
+func (g *schemaGen) genObject(depth int) (string, string) {
+	saveUsed := g.used
+	g.used = map[string]bool{}
+	defer func() { g.used = saveUsed }()
+
+	n := 2 + g.rng.Intn(4)
+	type propGen struct {
+		key      string
+		schema   string
+		inst     string
+		required bool
+		include  bool
+	}
+	props := make([]propGen, n)
+	for i := range props {
+		k := g.key()
+		s, inst := g.genValue(depth + 1)
+		req := g.rng.Intn(10) < 7
+		props[i] = propGen{key: k, schema: s, inst: inst, required: req, include: req || g.rng.Intn(2) == 0}
+	}
+	var schemaProps, required, instParts []string
+	for _, p := range props {
+		schemaProps = append(schemaProps, fmt.Sprintf("%q: %s", p.key, p.schema))
+		if p.required {
+			required = append(required, fmt.Sprintf("%q", p.key))
+		}
+		if p.include {
+			instParts = append(instParts, fmt.Sprintf("%q: %s", p.key, p.inst))
+		}
+	}
+	schema := fmt.Sprintf(`{"type": "object", "properties": {%s}, "required": [%s]}`,
+		strings.Join(schemaProps, ", "), strings.Join(required, ", "))
+	inst := "{" + strings.Join(instParts, ", ") + "}"
+	return schema, inst
+}
+
+// JSONDocs generates n valid JSON documents (for the unconstrained-JSON CFG
+// task). Documents use canonical separators.
+func JSONDocs(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		var sb strings.Builder
+		writeJSON(&sb, rng, 0)
+		out[i] = sb.String()
+	}
+	return out
+}
+
+func writeJSON(sb *strings.Builder, rng *rand.Rand, depth int) {
+	limit := 8
+	if depth >= 3 {
+		limit = 6
+	}
+	switch rng.Intn(limit) {
+	case 0, 1:
+		fmt.Fprintf(sb, "%q", wordPool[rng.Intn(len(wordPool))])
+	case 2:
+		fmt.Fprintf(sb, "%d", rng.Intn(10000)-5000)
+	case 3:
+		fmt.Fprintf(sb, "%.3f", rng.Float64()*1000)
+	case 4:
+		sb.WriteString([]string{"true", "false", "null"}[rng.Intn(3)])
+	case 5:
+		fmt.Fprintf(sb, "%.2e", rng.Float64()*1e6)
+	case 6: // array
+		sb.WriteByte('[')
+		k := rng.Intn(4)
+		for i := 0; i < k; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeJSON(sb, rng, depth+1)
+		}
+		sb.WriteByte(']')
+	default: // object
+		sb.WriteByte('{')
+		k := 1 + rng.Intn(4)
+		for i := 0; i < k; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(sb, "%q: ", keyPool[rng.Intn(len(keyPool))])
+			writeJSON(sb, rng, depth+1)
+		}
+		sb.WriteByte('}')
+	}
+}
+
+var xmlTags = []string{"item", "entry", "record", "person", "product", "order", "node", "field"}
+
+// XMLDocs generates n documents valid under the builtin XML grammar.
+func XMLDocs(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		var sb strings.Builder
+		writeXMLElement(&sb, rng, 0)
+		out[i] = sb.String()
+	}
+	return out
+}
+
+func writeXMLElement(sb *strings.Builder, rng *rand.Rand, depth int) {
+	tag := xmlTags[rng.Intn(len(xmlTags))]
+	sb.WriteByte('<')
+	sb.WriteString(tag)
+	for a := rng.Intn(3); a > 0; a-- {
+		fmt.Fprintf(sb, " %s=\"%s\"", keyPool[rng.Intn(len(keyPool))],
+			strings.ReplaceAll(wordPool[rng.Intn(len(wordPool))], `"`, ``))
+	}
+	if depth >= 3 || rng.Intn(5) == 0 {
+		sb.WriteString("/>")
+		return
+	}
+	sb.WriteByte('>')
+	k := 1 + rng.Intn(3)
+	for i := 0; i < k; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			writeXMLElement(sb, rng, depth+1)
+		case 1:
+			sb.WriteString(wordPool[rng.Intn(len(wordPool))])
+		default:
+			sb.WriteString("x &amp; y")
+		}
+	}
+	fmt.Fprintf(sb, "</%s>", tag)
+}
+
+var pyNames = []string{"x", "y", "total", "count", "result", "value", "item", "data", "idx", "flag"}
+
+// PythonPrograms generates n programs valid under the builtin Python DSL.
+func PythonPrograms(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		var sb strings.Builder
+		k := 2 + rng.Intn(5)
+		for s := 0; s < k; s++ {
+			writePyStmt(&sb, rng, 0)
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+func writePyStmt(sb *strings.Builder, rng *rand.Rand, depth int) {
+	limit := 6
+	if depth >= 2 {
+		limit = 4
+	}
+	switch rng.Intn(limit) {
+	case 0:
+		fmt.Fprintf(sb, "%s = ", pyNames[rng.Intn(len(pyNames))])
+		writePyExpr(sb, rng, 0)
+		sb.WriteByte('\n')
+	case 1:
+		fmt.Fprintf(sb, "%s(", pyNames[rng.Intn(len(pyNames))])
+		writePyExpr(sb, rng, 1)
+		sb.WriteString(")\n")
+	case 2:
+		sb.WriteString("return ")
+		writePyExpr(sb, rng, 0)
+		sb.WriteByte('\n')
+	case 3:
+		sb.WriteString("pass\n")
+	case 4:
+		sb.WriteString("if ")
+		writePyExpr(sb, rng, 0)
+		sb.WriteString(" == ")
+		writePyExpr(sb, rng, 1)
+		sb.WriteString(":\n")
+		writePyStmt(sb, rng, depth+1)
+	default:
+		fmt.Fprintf(sb, "for %s in range(%d):\n", pyNames[rng.Intn(len(pyNames))], rng.Intn(100))
+		writePyStmt(sb, rng, depth+1)
+	}
+}
+
+func writePyExpr(sb *strings.Builder, rng *rand.Rand, depth int) {
+	limit := 6
+	if depth >= 2 {
+		limit = 4
+	}
+	switch rng.Intn(limit) {
+	case 0:
+		sb.WriteString(pyNames[rng.Intn(len(pyNames))])
+	case 1:
+		fmt.Fprintf(sb, "%d", rng.Intn(1000))
+	case 2:
+		fmt.Fprintf(sb, "%q", wordPool[rng.Intn(len(wordPool))])
+	case 3:
+		sb.WriteString([]string{"True", "False", "None"}[rng.Intn(3)])
+	case 4:
+		writePyExpr(sb, rng, depth+1)
+		sb.WriteString([]string{" + ", " - ", " * "}[rng.Intn(3)])
+		writePyExpr(sb, rng, depth+1)
+	default:
+		fmt.Fprintf(sb, "%s(", pyNames[rng.Intn(len(pyNames))])
+		writePyExpr(sb, rng, depth+1)
+		sb.WriteByte(')')
+	}
+}

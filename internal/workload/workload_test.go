@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+
+	"xgrammar/internal/builtin"
+	"xgrammar/internal/grammar"
+	"xgrammar/internal/jsonschema"
+	"xgrammar/internal/matcher"
+	"xgrammar/internal/pda"
+)
+
+func matches(t *testing.T, g *grammar.Grammar, doc string) bool {
+	t.Helper()
+	p, err := pda.Compile(g, pda.AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := matcher.New(matcher.NewExec(p), 0)
+	return m.Advance([]byte(doc)) && m.CanTerminate()
+}
+
+// TestSchemaTasksSelfConsistent: every generated instance must (a) be valid
+// JSON, (b) match the grammar compiled from its schema.
+func TestSchemaTasksSelfConsistent(t *testing.T) {
+	tasks := SchemaTasks(25, 11)
+	for _, task := range tasks {
+		var js interface{}
+		if err := json.Unmarshal([]byte(task.Instance), &js); err != nil {
+			t.Fatalf("%s: instance not JSON: %v\n%s", task.Name, err, task.Instance)
+		}
+		g, err := jsonschema.Compile(task.Schema, jsonschema.Options{})
+		if err != nil {
+			t.Fatalf("%s: schema does not compile: %v\n%s", task.Name, err, task.Schema)
+		}
+		if !matches(t, g, task.Instance) {
+			t.Fatalf("%s: instance does not match schema grammar\nschema: %s\ninstance: %s",
+				task.Name, task.Schema, task.Instance)
+		}
+	}
+}
+
+func TestSchemaTasksDeterministic(t *testing.T) {
+	a := SchemaTasks(5, 3)
+	b := SchemaTasks(5, 3)
+	for i := range a {
+		if a[i].Instance != b[i].Instance || string(a[i].Schema) != string(b[i].Schema) {
+			t.Fatal("not deterministic")
+		}
+	}
+	c := SchemaTasks(5, 4)
+	same := true
+	for i := range a {
+		if a[i].Instance != c[i].Instance {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical tasks")
+	}
+}
+
+func TestJSONDocsValid(t *testing.T) {
+	g := builtin.JSON()
+	for i, doc := range JSONDocs(40, 5) {
+		var js interface{}
+		if err := json.Unmarshal([]byte(doc), &js); err != nil {
+			t.Fatalf("doc %d not JSON: %v\n%s", i, err, doc)
+		}
+		if !matches(t, g, doc) {
+			t.Fatalf("doc %d does not match grammar: %s", i, doc)
+		}
+	}
+}
+
+func TestXMLDocsValid(t *testing.T) {
+	g := builtin.XML()
+	for i, doc := range XMLDocs(40, 6) {
+		if !matches(t, g, doc) {
+			t.Fatalf("xml doc %d does not match grammar: %s", i, doc)
+		}
+	}
+}
+
+func TestPythonProgramsValid(t *testing.T) {
+	g := builtin.PythonDSL()
+	for i, prog := range PythonPrograms(40, 7) {
+		if !matches(t, g, prog) {
+			t.Fatalf("program %d does not match grammar:\n%s", i, prog)
+		}
+	}
+}
+
+func TestNonTrivialSizes(t *testing.T) {
+	tasks := SchemaTasks(10, 1)
+	totalLen := 0
+	for _, task := range tasks {
+		totalLen += len(task.Instance)
+	}
+	if totalLen/len(tasks) < 20 {
+		t.Fatalf("instances too small: avg %d bytes", totalLen/len(tasks))
+	}
+}

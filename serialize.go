@@ -1,0 +1,85 @@
+package xgrammar
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"xgrammar/internal/ebnf"
+	"xgrammar/internal/maskcache"
+	"xgrammar/internal/pda"
+)
+
+// serializeVersion guards the wire format.
+const serializeVersion = 1
+
+// wireGrammar is the gob wire form of a CompiledGrammar. The grammar is
+// carried as EBNF text (re-parsed on load, cheap); the PDA and the adaptive
+// token mask cache — the expensive preprocessing artifacts — are carried
+// verbatim so loading skips the vocabulary scan entirely.
+type wireGrammar struct {
+	Version    int
+	VocabSize  int
+	Grammar    string
+	Nodes      []pda.Node
+	RuleStart  []int32
+	Root       int32
+	HasCache   bool
+	Masks      []maskcache.WireMask
+	CacheStats maskcache.Stats
+	CtxExp     bool
+	MaxHistory int
+}
+
+// Serialize writes the compiled grammar — including the preprocessed mask
+// cache — to w, so deployments can compile once and load instantly.
+func (cg *CompiledGrammar) Serialize(w io.Writer) error {
+	wire := wireGrammar{
+		Version:    serializeVersion,
+		VocabSize:  cg.info.VocabSize(),
+		Grammar:    cg.pda.Grammar.String(),
+		Nodes:      cg.pda.Nodes,
+		RuleStart:  cg.pda.RuleStart,
+		Root:       cg.pda.Root,
+		HasCache:   cg.cache != nil,
+		CtxExp:     cg.cfg.cacheOpts.ContextExpansion,
+		MaxHistory: cg.cfg.maxHistory,
+	}
+	if cg.cache != nil {
+		wire.Masks = cg.cache.ToWire()
+		wire.CacheStats = cg.cache.Stats()
+	}
+	return gob.NewEncoder(w).Encode(&wire)
+}
+
+// LoadCompiledGrammar reads a grammar serialized by Serialize. The tokenizer
+// must match the one the grammar was compiled against (vocabulary size is
+// verified; token contents are the caller's responsibility, exactly as with
+// upstream XGrammar's cached compilation).
+func (c *Compiler) LoadCompiledGrammar(r io.Reader) (*CompiledGrammar, error) {
+	var wire wireGrammar
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("xgrammar: load: %w", err)
+	}
+	if wire.Version != serializeVersion {
+		return nil, fmt.Errorf("xgrammar: load: unsupported version %d", wire.Version)
+	}
+	if wire.VocabSize != c.info.VocabSize() {
+		return nil, fmt.Errorf("xgrammar: load: grammar compiled for vocab %d, tokenizer has %d",
+			wire.VocabSize, c.info.VocabSize())
+	}
+	g, err := ebnf.Parse(wire.Grammar)
+	if err != nil {
+		return nil, fmt.Errorf("xgrammar: load: embedded grammar: %w", err)
+	}
+	p := pda.FromParts(g, wire.Nodes, wire.RuleStart, wire.Root)
+	cfg := c.cfg
+	cfg.useCache = wire.HasCache
+	cfg.cacheOpts.ContextExpansion = wire.CtxExp
+	cfg.maxHistory = wire.MaxHistory
+	cg := &CompiledGrammar{info: c.info, pda: p, cfg: cfg}
+	if wire.HasCache {
+		cg.cache = maskcache.FromParts(p, c.info.tok, maskcache.FromWire(wire.Masks), wire.CacheStats)
+	}
+	return cg, nil
+}

@@ -1,0 +1,97 @@
+package xgrammar
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	info := testTokenizer(t)
+	orig, err := NewCompiler(info).CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewCompiler(info).LoadCompiledGrammar(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Masks must be bit-identical at every step of a replay.
+	mo, ml := NewMatcher(orig), NewMatcher(loaded)
+	maskO := make([]uint64, orig.MaskWords())
+	maskL := make([]uint64, loaded.MaskWords())
+	doc := `{"a": [1, "two", null]}`
+	for i := 0; i <= len(doc); i++ {
+		mo.FillNextTokenBitmask(maskO)
+		ml.FillNextTokenBitmask(maskL)
+		for w := range maskO {
+			if maskO[w] != maskL[w] {
+				t.Fatalf("mask mismatch at pos %d", i)
+			}
+		}
+		if i < len(doc) {
+			if err := mo.AcceptString(doc[i : i+1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := ml.AcceptString(doc[i : i+1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Stats survive the round trip.
+	if loaded.Stats().ContextIndependent != orig.Stats().ContextIndependent {
+		t.Fatal("stats lost in serialization")
+	}
+	if loaded.GrammarText() == "" {
+		t.Fatal("grammar text lost")
+	}
+}
+
+func TestSerializeVocabMismatch(t *testing.T) {
+	info := testTokenizer(t)
+	cg, err := NewCompiler(info).CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cg.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := DefaultTokenizer(400)
+	if _, err := NewCompiler(other).LoadCompiledGrammar(&buf); err == nil {
+		t.Fatal("vocab mismatch not detected")
+	}
+}
+
+func TestSerializeNoCacheVariant(t *testing.T) {
+	info := testTokenizer(t)
+	cg, err := NewCompiler(info, WithoutMaskCache()).CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cg.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewCompiler(info).LoadCompiledGrammar(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats().HasMaskCache {
+		t.Fatal("cacheless grammar gained a cache in transit")
+	}
+	m := NewMatcher(loaded)
+	if err := m.AcceptString(`[true]`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	info := testTokenizer(t)
+	if _, err := NewCompiler(info).LoadCompiledGrammar(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatal("garbage loaded")
+	}
+}

@@ -1,0 +1,332 @@
+package xgrammar
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func testTokenizer(t testing.TB) *TokenizerInfo {
+	t.Helper()
+	return DefaultTokenizer(800)
+}
+
+func mustCompileJSON(t testing.TB, opts ...CompilerOption) *CompiledGrammar {
+	t.Helper()
+	cg, err := NewCompiler(testTokenizer(t), opts...).CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+func TestCompileBuiltins(t *testing.T) {
+	c := NewCompiler(testTokenizer(t))
+	for name, f := range map[string]func() (*CompiledGrammar, error){
+		"json":   c.CompileBuiltinJSON,
+		"xml":    c.CompileBuiltinXML,
+		"python": c.CompileBuiltinPythonDSL,
+	} {
+		cg, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st := cg.Stats()
+		if st.PDANodes == 0 || !st.HasMaskCache {
+			t.Fatalf("%s: degenerate stats %+v", name, st)
+		}
+	}
+}
+
+func TestCompileCustomGrammar(t *testing.T) {
+	cg, err := NewCompiler(testTokenizer(t)).CompileGrammar(`root ::= "yes" | "no"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(cg)
+	if err := m.AcceptString("yes"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanTerminate() {
+		t.Fatal("cannot terminate after yes")
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := NewCompiler(testTokenizer(t)).CompileGrammar(`root ::= undefined_rule`); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestGuidedGenerationProducesValidJSON drives a random-but-masked
+// generation loop and checks the output is grammar-complete.
+func TestGuidedGenerationProducesValidJSON(t *testing.T) {
+	cg := mustCompileJSON(t)
+	info := cg.TokenizerInfo()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		m := NewMatcher(cg)
+		mask := make([]uint64, cg.MaskWords())
+		var out []int32
+		for steps := 0; steps < 200 && !m.IsTerminated(); steps++ {
+			m.FillNextTokenBitmask(mask)
+			// Collect allowed tokens and pick one at random (bias toward
+			// stopping so generations stay short).
+			var allowed []int32
+			for id := 0; id < info.VocabSize(); id++ {
+				if mask[id>>6]&(1<<uint(id&63)) != 0 {
+					allowed = append(allowed, int32(id))
+				}
+			}
+			if len(allowed) == 0 {
+				t.Fatalf("trial %d: empty mask at step %d (output %q)", trial, steps, info.Decode(out))
+			}
+			var pick int32
+			if m.CanTerminate() && rng.Intn(3) == 0 {
+				pick = info.EOSTokenID()
+			} else {
+				pick = allowed[rng.Intn(len(allowed))]
+			}
+			if err := m.AcceptToken(pick); err != nil {
+				t.Fatalf("trial %d: masked token rejected: %v", trial, err)
+			}
+			if pick != info.EOSTokenID() {
+				out = append(out, pick)
+			}
+		}
+		if !m.IsTerminated() && !m.CanTerminate() {
+			continue // ran out of steps mid-structure; fine for random walk
+		}
+		text := info.Decode(out)
+		// Verify with a fresh matcher that the text is complete JSON.
+		v := NewMatcher(cg)
+		if err := v.AcceptString(text); err != nil {
+			t.Fatalf("trial %d: generated %q not accepted: %v", trial, text, err)
+		}
+	}
+}
+
+func TestAcceptTokenRejectsViolations(t *testing.T) {
+	cg := mustCompileJSON(t)
+	info := cg.TokenizerInfo()
+	m := NewMatcher(cg)
+	// Find a token that is pure letters; it cannot start JSON (except t/f/n
+	// prefixes of true/false/null, so pick one starting with 'z').
+	var bad int32 = -1
+	for id := 0; id < info.VocabSize(); id++ {
+		b := info.TokenBytes(int32(id))
+		if len(b) > 0 && b[0] == 'z' && !info.IsSpecial(int32(id)) {
+			bad = int32(id)
+			break
+		}
+	}
+	if bad < 0 {
+		t.Skip("no z-token in small vocab")
+	}
+	if err := m.AcceptToken(bad); err == nil {
+		t.Fatal("grammar-violating token accepted")
+	}
+	// The failed accept must not corrupt state.
+	if err := m.AcceptString(`{"a": 1}`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopTokenSemantics(t *testing.T) {
+	cg := mustCompileJSON(t)
+	m := NewMatcher(cg)
+	if err := m.AcceptToken(cg.TokenizerInfo().EOSTokenID()); err == nil {
+		t.Fatal("EOS accepted before completion")
+	}
+	if err := m.AcceptString(`[1]`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AcceptToken(cg.TokenizerInfo().EOSTokenID()); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsTerminated() {
+		t.Fatal("not terminated after EOS")
+	}
+	if err := m.AcceptString("x"); err == nil {
+		t.Fatal("accept after termination")
+	}
+	mask := make([]uint64, cg.MaskWords())
+	m.FillNextTokenBitmask(mask)
+	for _, w := range mask {
+		if w != 0 {
+			t.Fatal("mask not empty after termination")
+		}
+	}
+}
+
+func TestRollbackAcrossTermination(t *testing.T) {
+	cg := mustCompileJSON(t)
+	m := NewMatcher(cg)
+	if err := m.AcceptString(`[1]`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AcceptToken(cg.TokenizerInfo().EOSTokenID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rollback(2); err != nil {
+		t.Fatal(err)
+	}
+	if m.IsTerminated() {
+		t.Fatal("still terminated after rollback")
+	}
+	// Back at the start; a fresh document must parse.
+	if err := m.AcceptString(`{"x": true}`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoCacheMatchesCache(t *testing.T) {
+	cached := mustCompileJSON(t)
+	scanned := mustCompileJSON(t, WithoutMaskCache())
+	mc, ms := NewMatcher(cached), NewMatcher(scanned)
+	maskC := make([]uint64, cached.MaskWords())
+	maskS := make([]uint64, scanned.MaskWords())
+	doc := `{"k": [1, "s"]}`
+	for i := 0; i <= len(doc); i++ {
+		mc.FillNextTokenBitmask(maskC)
+		ms.FillNextTokenBitmask(maskS)
+		for w := range maskC {
+			if maskC[w] != maskS[w] {
+				t.Fatalf("mask mismatch at pos %d word %d", i, w)
+			}
+		}
+		if i < len(doc) {
+			if err := mc.AcceptString(doc[i : i+1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := ms.AcceptString(doc[i : i+1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestAblationOptionsCompile(t *testing.T) {
+	for _, opts := range [][]CompilerOption{
+		{WithoutNodeMerging()},
+		{WithoutRuleInlining()},
+		{WithoutContextExpansion()},
+		{WithoutNodeMerging(), WithoutRuleInlining(), WithoutContextExpansion(), WithoutMaskCache()},
+	} {
+		cg := mustCompileJSON(t, opts...)
+		m := NewMatcher(cg)
+		if err := m.AcceptString(`{"a": [1]}`); err != nil {
+			t.Fatalf("opts %d: %v", len(opts), err)
+		}
+	}
+}
+
+func TestFindJumpForwardString(t *testing.T) {
+	cg, err := NewCompiler(testTokenizer(t)).CompileGrammar(
+		`root ::= "{\"answer\": " ("true" | "false") "}"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(cg)
+	jf := m.FindJumpForwardString()
+	if jf != `{"answer": ` {
+		t.Fatalf("jump forward = %q", jf)
+	}
+	if err := m.AcceptString(jf); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FindJumpForwardString(); got != "" {
+		t.Fatalf("ambiguous point returned %q", got)
+	}
+}
+
+func TestApplyTokenBitmaskInPlace(t *testing.T) {
+	logits := []float32{1, 2, 3, 4}
+	mask := []uint64{0b1010}
+	ApplyTokenBitmaskInPlace(logits, mask)
+	if !math.IsInf(float64(logits[0]), -1) || !math.IsInf(float64(logits[2]), -1) {
+		t.Fatal("masked logits not -inf")
+	}
+	if logits[1] != 2 || logits[3] != 4 {
+		t.Fatal("allowed logits modified")
+	}
+}
+
+func TestMatcherResetReuse(t *testing.T) {
+	cg := mustCompileJSON(t)
+	m := NewMatcher(cg)
+	if err := m.AcceptString(`[1, 2`); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if err := m.AcceptString(`"fresh"`); err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanTerminate() {
+		t.Fatal("cannot terminate")
+	}
+}
+
+func TestGrammarTextRendering(t *testing.T) {
+	cg := mustCompileJSON(t)
+	txt := cg.GrammarText()
+	if !strings.Contains(txt, "root ::=") {
+		t.Fatalf("GrammarText = %q", txt)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	cg := mustCompileJSON(t)
+	st := cg.Stats()
+	if st.ContextIndependent == 0 {
+		t.Fatal("no context-independent tokens")
+	}
+	if st.AdaptiveBytes == 0 || st.FullBitsetBytes <= st.AdaptiveBytes {
+		t.Fatalf("storage stats wrong: %+v", st)
+	}
+	if st.PrefixCharsStepped >= st.PrefixCharsTotal {
+		t.Fatalf("prefix sharing stats wrong: %+v", st)
+	}
+	if st.AcceptHeavyNodes+st.RejectHeavyNodes+st.BitsetNodes != st.PDANodes {
+		t.Fatalf("storage kind counts don't sum: %+v", st)
+	}
+}
+
+func TestTrainTokenizerAndEncode(t *testing.T) {
+	info := TrainTokenizer("hello world hello world hello json", 300)
+	// The tiny corpus exhausts merge candidates before 300; the base
+	// alphabet (specials + 256 bytes) plus some merges must be present.
+	if info.VocabSize() < 260 || info.VocabSize() > 300 {
+		t.Fatalf("vocab = %d", info.VocabSize())
+	}
+	ids := info.Encode("hello world")
+	if len(ids) == 0 || info.Decode(ids) != "hello world" {
+		t.Fatal("encode/decode round trip failed")
+	}
+	if info.Raw() == nil {
+		t.Fatal("Raw returned nil")
+	}
+}
+
+func TestCompileJSONSchemaPublic(t *testing.T) {
+	info := testTokenizer(t)
+	cg, err := NewCompiler(info).CompileJSONSchema([]byte(`{
+		"type": "object",
+		"properties": {"ok": {"type": "boolean"}},
+		"required": ["ok"]
+	}`), SchemaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(cg)
+	if err := m.AcceptString(`{"ok": true}`); err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanTerminate() {
+		t.Fatal("cannot terminate")
+	}
+	if _, err := NewCompiler(info).CompileJSONSchema([]byte(`{"allOf": []}`), SchemaOptions{}); err == nil {
+		t.Fatal("unsupported schema compiled")
+	}
+}
