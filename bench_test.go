@@ -357,6 +357,103 @@ func BenchmarkStatsCacheBuildPrefixSharedComparator(b *testing.B) {
 	}
 }
 
+// --- Concurrent compilation subsystem -------------------------------------
+
+// BenchmarkMaskCacheBuild compares the serial §3.1–§3.3 preprocessing scan
+// against the worker-pool build (output is byte-identical; see
+// TestParallelBuildMatchesSerial).
+func BenchmarkMaskCacheBuild(b *testing.B) {
+	benchSetup(b)
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				maskcache.Build(benchEnv.jsonOpt, benchTok, maskcache.Options{ContextExpansion: true, Workers: cfg.workers})
+			}
+		})
+	}
+}
+
+// BenchmarkCompileGrammarCacheHit measures a CompileGrammar call served from
+// the compiled-grammar LRU (the steady state of a server that sees the same
+// few grammars), against the cold compile underneath it.
+func BenchmarkCompileGrammarCacheHit(b *testing.B) {
+	benchSetup(b)
+	info := DefaultTokenizer(benchVocab)
+	c := NewCompiler(info)
+	if _, err := c.CompileBuiltinJSON(); err != nil {
+		b.Fatal(err)
+	}
+	before := c.CompileCacheStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CompileBuiltinJSON(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after := c.CompileCacheStats()
+	if after.Builds != before.Builds {
+		b.Fatalf("cache-hit bench rebuilt the grammar: %+v", after)
+	}
+	if after.Hits-before.Hits != int64(b.N) {
+		b.Fatalf("expected %d hits, got %d", b.N, after.Hits-before.Hits)
+	}
+}
+
+func BenchmarkCompileGrammarCold(b *testing.B) {
+	benchSetup(b)
+	info := DefaultTokenizer(benchVocab)
+	c := NewCompiler(info, WithoutCompileCache())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CompileBuiltinJSON(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFillBatch measures masking a 16-sequence decode batch: the
+// goroutine fan-out against the sequential per-matcher loop.
+func BenchmarkFillBatch(b *testing.B) {
+	benchSetup(b)
+	info := DefaultTokenizer(benchVocab)
+	cg, err := NewCompiler(info).CompileBuiltinJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 16
+	matchers := make([]*Matcher, batch)
+	masks := make([][]uint64, batch)
+	for i := range matchers {
+		matchers[i] = NewMatcher(cg)
+		doc := benchEnv.jsonDocs[i%len(benchEnv.jsonDocs)]
+		n := i % 8
+		if n > len(doc) {
+			n = len(doc)
+		}
+		if err := matchers[i].AcceptString(doc[:n]); err != nil {
+			b.Fatal(err)
+		}
+		masks[i] = make([]uint64, cg.MaskWords())
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range matchers {
+				matchers[j].FillNextTokenBitmask(masks[j])
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			FillNextTokenBitmaskBatch(matchers, masks)
+		}
+	})
+}
+
 // --- Whole-suite smoke bench ----------------------------------------------
 
 func BenchmarkExperimentSuiteQuick(b *testing.B) {

@@ -7,7 +7,9 @@
 //	xgbench -exp fig9,tab3   # run a subset
 //	xgbench -markdown        # emit EXPERIMENTS.md-style markdown
 //
-// Experiment ids: fig9 fig10 fig11 fig12 tab1 tab2 tab3 tab4 stats.
+// Experiment ids: fig9 fig10 fig11 fig12 tab1 tab2 tab3 tab4 stats par.
+// The par experiment reports the parallel mask-cache build speedup over the
+// serial preprocessing scan.
 package main
 
 import (

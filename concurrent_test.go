@@ -1,0 +1,183 @@
+package xgrammar
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCompileSingleflight has 16 goroutines compile the same source through
+// one compiler; the cache must coalesce them into exactly one build, and
+// every caller must receive the same compiled grammar.
+func TestCompileSingleflight(t *testing.T) {
+	c := NewCompiler(testTokenizer(t))
+	const callers = 16
+	src := `root ::= "{" ( "\"k\":" ( "true" | "false" ) )? "}"`
+	var wg sync.WaitGroup
+	grammars := make([]*CompiledGrammar, callers)
+	errs := make([]error, callers)
+	gate := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			grammars[i], errs[i] = c.CompileGrammar(src)
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if grammars[i] != grammars[0] {
+			t.Fatalf("caller %d received a different compiled grammar", i)
+		}
+	}
+	st := c.CompileCacheStats()
+	if st.Builds != 1 {
+		t.Fatalf("Builds = %d, want exactly 1 (stats %+v)", st.Builds, st)
+	}
+	if st.Misses != 1 || st.Hits+st.Coalesced != callers-1 {
+		t.Fatalf("cache counters inconsistent: %+v", st)
+	}
+}
+
+// TestCompileCacheHit verifies that recompiling the same source returns the
+// cached grammar without rebuilding, and that distinct sources, options, or
+// tokenizers get distinct cache entries.
+func TestCompileCacheHit(t *testing.T) {
+	info := testTokenizer(t)
+	c := NewCompiler(info)
+	a1, err := c.CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("second compile did not hit the cache")
+	}
+	st := c.CompileCacheStats()
+	if st.Builds != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A different grammar misses.
+	if _, err := c.CompileGrammar(`root ::= "x"`); err != nil {
+		t.Fatal(err)
+	}
+	if st = c.CompileCacheStats(); st.Builds != 2 {
+		t.Fatalf("distinct source shared an entry: %+v", st)
+	}
+	// Schema options are part of the key.
+	schema := []byte(`{"type": "object", "properties": {"a": {"type": "integer"}}}`)
+	s1, err := c.CompileJSONSchema(schema, SchemaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.CompileJSONSchema(schema, SchemaOptions{AllowAdditionalProperties: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("different schema options shared a cache entry")
+	}
+	// A disabled cache rebuilds every time.
+	nc := NewCompiler(info, WithoutCompileCache())
+	b1, _ := nc.CompileBuiltinJSON()
+	b2, _ := nc.CompileBuiltinJSON()
+	if b1 == b2 {
+		t.Fatal("cacheless compiler returned a shared grammar")
+	}
+	if nc.CompileCacheStats() != (CompileCacheStats{}) {
+		t.Fatal("cacheless compiler reported cache stats")
+	}
+}
+
+func TestCompileGrammarAsync(t *testing.T) {
+	c := NewCompiler(testTokenizer(t))
+	f := c.CompileGrammarAsync(`root ::= "a" | "b"`)
+	cg, err := f.Result()
+	if err != nil || cg == nil {
+		t.Fatalf("async result: %v, %v", cg, err)
+	}
+	if _, _, ok := f.Poll(); !ok {
+		t.Fatal("Poll not ready after Result returned")
+	}
+	// The future resolves through the same cache as the blocking path.
+	direct, err := c.CompileGrammar(`root ::= "a" | "b"`)
+	if err != nil || direct != cg {
+		t.Fatalf("async result not shared with cache: %v, %v", direct, err)
+	}
+	// Errors propagate.
+	if _, err := c.CompileGrammarAsync(`root ::= undefined_rule`).Result(); err == nil {
+		t.Fatal("async compile of invalid grammar succeeded")
+	}
+	// The schema variant works too.
+	if cg, err := c.CompileJSONSchemaAsync([]byte(`{"type": "boolean"}`), SchemaOptions{}).Result(); err != nil || cg == nil {
+		t.Fatalf("schema async: %v, %v", cg, err)
+	}
+}
+
+// TestFillNextTokenBitmaskBatch drives 16 sequences to different positions
+// and checks the batched fill produces exactly the masks of per-matcher
+// sequential fills.
+func TestFillNextTokenBitmaskBatch(t *testing.T) {
+	cg := mustCompileJSON(t)
+	docs := []string{
+		`{"a": 1`, `[1, 2, `, `"str`, `tru`, `{"k": [`, `-12.`, `[[[`, `{"x": {"y": `,
+		``, `[`, `{`, `"`, `null`, `{"a": "b", `, `[true, `, `3e`,
+	}
+	matchers := make([]*Matcher, len(docs))
+	masks := make([][]uint64, len(docs))
+	want := make([][]uint64, len(docs))
+	for i, doc := range docs {
+		matchers[i] = NewMatcher(cg)
+		if doc != "" {
+			if err := matchers[i].AcceptString(doc); err != nil {
+				t.Fatalf("doc %d %q: %v", i, doc, err)
+			}
+		}
+		masks[i] = make([]uint64, cg.MaskWords())
+		want[i] = make([]uint64, cg.MaskWords())
+		matchers[i].FillNextTokenBitmask(want[i])
+	}
+	stats := FillNextTokenBitmaskBatch(matchers, masks)
+	if len(stats) != len(docs) {
+		t.Fatalf("stats length %d", len(stats))
+	}
+	for i := range docs {
+		for w := range want[i] {
+			if masks[i][w] != want[i][w] {
+				t.Fatalf("sequence %d (%q): batch mask differs at word %d", i, docs[i], w)
+			}
+		}
+	}
+	// Batched fill on a terminated matcher clears the mask, like the
+	// sequential path.
+	term := NewMatcher(cg)
+	if err := term.AcceptString(`[1]`); err != nil {
+		t.Fatal(err)
+	}
+	if err := term.AcceptToken(cg.TokenizerInfo().EOSTokenID()); err != nil {
+		t.Fatal(err)
+	}
+	tm := [][]uint64{make([]uint64, cg.MaskWords())}
+	tm[0][0] = ^uint64(0)
+	FillNextTokenBitmaskBatch([]*Matcher{term}, tm)
+	if tm[0][0] != 0 {
+		t.Fatal("terminated matcher mask not cleared by batch fill")
+	}
+}
+
+func TestFillBatchLengthMismatchPanics(t *testing.T) {
+	cg := mustCompileJSON(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	FillNextTokenBitmaskBatch([]*Matcher{NewMatcher(cg)}, nil)
+}

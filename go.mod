@@ -1,0 +1,3 @@
+module xgrammar
+
+go 1.22

@@ -70,6 +70,7 @@ func (s *Suite) All() []*Table {
 		s.Fig11(),
 		s.Fig12(),
 		s.Stats(),
+		s.Par(),
 	}
 }
 
@@ -94,6 +95,8 @@ func (s *Suite) ByID(id string) (*Table, bool) {
 		return s.Tab4(), true
 	case "stats":
 		return s.Stats(), true
+	case "par":
+		return s.Par(), true
 	}
 	return nil, false
 }

@@ -1,0 +1,195 @@
+// Package gramcache provides a byte-bounded LRU cache with singleflight
+// deduplication, used to memoize compiled grammars. Grammar compilation —
+// PDA construction plus the adaptive token mask cache's full-vocabulary scan
+// — is the dominant preprocessing cost (paper §3.1–§3.3), and production
+// serving stacks see the same few grammars over and over; upstream XGrammar
+// hides the cost behind a compiled-grammar cache in its GrammarCompiler.
+//
+// The cache is safe for concurrent use. When N goroutines ask for the same
+// missing key, exactly one runs the build function; the rest block and share
+// its result (singleflight). Entries carry a caller-reported byte size and
+// the least-recently-used entries are evicted once the configured budget is
+// exceeded.
+package gramcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Stats counts cache activity. Hits + Misses + Coalesced equals the number
+// of GetOrBuild calls; Builds counts builds that completed successfully
+// (failed builds are not cached and are retried by later calls).
+type Stats struct {
+	Hits      int64 // entry present
+	Misses    int64 // entry absent, caller ran the build
+	Coalesced int64 // entry absent, caller joined an in-flight build
+	Builds    int64 // successful builds inserted
+	Evictions int64 // entries dropped to fit the byte budget
+}
+
+type entry[V any] struct {
+	key  string
+	val  V
+	size int64
+	elem *list.Element
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Cache is a byte-bounded LRU keyed by string. The zero value is not usable;
+// call New.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	entries  map[string]*entry[V]
+	ll       *list.List // front = most recently used
+	flights  map[string]*flight[V]
+	stats    Stats
+}
+
+// New returns a cache that holds at most maxBytes of cached values (as
+// reported by the build functions). A single entry larger than the budget is
+// still cached alone, so the hot grammar is never thrashed.
+func New[V any](maxBytes int64) *Cache[V] {
+	return &Cache[V]{
+		maxBytes: maxBytes,
+		entries:  map[string]*entry[V]{},
+		ll:       list.New(),
+		flights:  map[string]*flight[V]{},
+	}
+}
+
+// Get returns the cached value for key, if present, marking it recently
+// used. It does not join in-flight builds.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(e.elem)
+		c.stats.Hits++
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// GetOrBuild returns the value for key, running build at most once across
+// all concurrent callers. build returns the value and its byte size; on
+// error nothing is cached and every waiting caller receives the error.
+func (c *Cache[V]) GetOrBuild(key string, build func() (V, int64, error)) (V, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(e.elem)
+		c.stats.Hits++
+		v := e.val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.val, fl.err
+	}
+	fl := &flight[V]{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	var size int64
+	var panicked any
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = r
+				fl.err = fmt.Errorf("gramcache: build panic: %v", r)
+			}
+		}()
+		fl.val, size, fl.err = build()
+	}()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if fl.err == nil {
+		c.stats.Builds++
+		c.insertLocked(key, fl.val, size)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	if panicked != nil {
+		panic(panicked)
+	}
+	return fl.val, fl.err
+}
+
+// insertLocked adds the entry and evicts from the LRU tail until the budget
+// holds (never evicting the entry just inserted).
+func (c *Cache[V]) insertLocked(key string, val V, size int64) {
+	if e, ok := c.entries[key]; ok {
+		// A racing Purge plus rebuild could, in principle, re-insert; keep
+		// the newest value and adjust the accounting.
+		c.curBytes += size - e.size
+		e.val, e.size = val, size
+		c.ll.MoveToFront(e.elem)
+	} else {
+		e := &entry[V]{key: key, val: val, size: size}
+		e.elem = c.ll.PushFront(e)
+		c.entries[key] = e
+		c.curBytes += size
+	}
+	for c.curBytes > c.maxBytes && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*entry[V])
+		if ev.key == key {
+			break
+		}
+		c.ll.Remove(back)
+		delete(c.entries, ev.key)
+		c.curBytes -= ev.size
+		c.stats.Evictions++
+	}
+}
+
+// Purge drops every cached entry (in-flight builds are unaffected and will
+// insert when they finish).
+func (c *Cache[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*entry[V]{}
+	c.ll.Init()
+	c.curBytes = 0
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the cached bytes as reported by the build functions.
+func (c *Cache[V]) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}
+
+// MaxBytes returns the configured byte budget.
+func (c *Cache[V]) MaxBytes() int64 { return c.maxBytes }
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,166 @@
+package gramcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetOrBuildBasic(t *testing.T) {
+	c := New[string](1 << 20)
+	builds := 0
+	build := func() (string, int64, error) { builds++; return "v", 8, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrBuild("k", build)
+		if err != nil || v != "v" {
+			t.Fatalf("get %d: %q, %v", i, v, err)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("builds = %d", builds)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Builds != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if v, ok := c.Get("k"); !ok || v != "v" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if c.Len() != 1 || c.Bytes() != 8 {
+		t.Fatalf("len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](100)
+	add := func(key string, size int64) {
+		if _, err := c.GetOrBuild(key, func() (int, int64, error) { return 0, size, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("a", 40)
+	add("b", 40)
+	c.Get("a")   // a is now more recently used than b
+	add("c", 40) // 120 > 100: evicts b (least recent)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted out of order")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d", st.Evictions)
+	}
+	if c.Bytes() != 80 {
+		t.Fatalf("bytes = %d", c.Bytes())
+	}
+}
+
+func TestOversizedEntryKept(t *testing.T) {
+	c := New[int](10)
+	if _, err := c.GetOrBuild("big", func() (int, int64, error) { return 1, 1000, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("oversized sole entry evicted")
+	}
+	// A second entry displaces it.
+	if _, err := c.GetOrBuild("small", func() (int, int64, error) { return 2, 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("big survived over budget with another entry present")
+	}
+}
+
+func TestBuildErrorNotCached(t *testing.T) {
+	c := New[int](100)
+	boom := errors.New("boom")
+	if _, err := c.GetOrBuild("k", func() (int, int64, error) { return 0, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := c.GetOrBuild("k", func() (int, int64, error) { return 7, 1, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %d, %v", v, err)
+	}
+	if st := c.Stats(); st.Builds != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSingleflight has 16 goroutines request the same missing key; exactly
+// one build must run and all callers must share its result.
+func TestSingleflight(t *testing.T) {
+	c := New[string](1 << 20)
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]string, 16)
+	errs := make([]error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			results[i], errs[i] = c.GetOrBuild("shared", func() (string, int64, error) {
+				builds.Add(1)
+				return "compiled", 64, nil
+			})
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times", n)
+	}
+	for i := range results {
+		if errs[i] != nil || results[i] != "compiled" {
+			t.Fatalf("caller %d: %q, %v", i, results[i], errs[i])
+		}
+	}
+	st := c.Stats()
+	if st.Builds != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Hits+st.Coalesced != 15 {
+		t.Fatalf("hits+coalesced = %d, want 15 (%+v)", st.Hits+st.Coalesced, st)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[int](100)
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		c.GetOrBuild(k, func() (int, int64, error) { return i, 10, nil })
+	}
+	c.Purge()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("purge left len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+func TestBuildPanicPropagatesAndUnblocks(t *testing.T) {
+	c := New[int](100)
+	done := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.GetOrBuild("k", func() (int, int64, error) {
+			close(started)
+			panic("kaboom")
+		})
+		done <- nil
+	}()
+	<-started
+	// A second caller must not deadlock: it either coalesces and receives
+	// the panic-as-error, or retries the build after the flight clears.
+	v, err := c.GetOrBuild("k", func() (int, int64, error) { return 5, 1, nil })
+	if err != nil && v != 0 {
+		t.Fatalf("unexpected %d, %v", v, err)
+	}
+}

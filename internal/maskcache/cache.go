@@ -1,7 +1,10 @@
 package maskcache
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"xgrammar/internal/bitset"
 	"xgrammar/internal/fsa"
@@ -54,6 +57,11 @@ type Options struct {
 	// ContextExpansion enables the §3.2 filter that reclassifies
 	// context-dependent tokens as rejected using expanded-suffix automata.
 	ContextExpansion bool
+	// Workers bounds the preprocessing worker pool. Zero means
+	// runtime.GOMAXPROCS(0); one forces the serial build. Every PDA node's
+	// vocabulary scan is independent, so the cache (and its statistics) is
+	// byte-identical for any worker count.
+	Workers int
 }
 
 // Stats reports cache construction statistics (the §3.1–§3.3 numbers).
@@ -82,13 +90,17 @@ type Cache struct {
 
 // Build preprocesses the full vocabulary against every PDA node. Tokens are
 // scanned in lexicographic order so the persistent-stack prefix sharing
-// (§3.3) skips repeated prefixes.
+// (§3.3) skips repeated prefixes. Nodes are classified independently, so the
+// scan fans out across opts.Workers goroutines (each with a private executor
+// and stack tree); only the statistics need a merge, and the result is
+// byte-identical to the serial build.
 func Build(p *pda.PDA, tok *tokenizer.Tokenizer, opts Options) *Cache {
 	c := &Cache{P: p, Tok: tok, Vocab: tok.VocabSize(), Nodes: make([]NodeMask, len(p.Nodes))}
 	c.stats.Nodes = len(p.Nodes)
 	c.stats.VocabSize = c.Vocab
 
-	// Expanded-suffix DFAs, one per rule (§3.2), built lazily.
+	// Expanded-suffix DFAs, one per rule (§3.2), shared read-only by all
+	// workers.
 	var ctxDFA []*fsa.DFA
 	if opts.ContextExpansion {
 		follow := p.FollowAutomata()
@@ -101,72 +113,142 @@ func Build(p *pda.PDA, tok *tokenizer.Tokenizer, opts Options) *Cache {
 		}
 	}
 
-	sorted := tok.SortedRegularIDs()
-	exec := matcher.NewExec(p)
-	var acc, rej, ctx []int32
-	var ovDepths []int
-	for n := range p.Nodes {
-		if len(p.Nodes[n].Edges) == 0 {
-			// Dead-end node: the runtime skips it (its pop-closure peers
-			// carry the mask). Store an empty reject-heavy mask.
-			c.Nodes[n] = NodeMask{Kind: RejectHeavy, numRejected: len(sorted)}
-			c.stats.CIRejected += int64(len(sorted))
-			continue
-		}
-		acc, rej, ctx = acc[:0], rej[:0], ctx[:0]
-		root := []matcher.State{{Stack: pstack.Empty, Node: int32(n)}}
-		sim := newPrefixSim(exec, root, true)
-		var dfa *fsa.DFA
-		if ctxDFA != nil {
-			dfa = ctxDFA[p.Nodes[n].Rule]
-		}
-		for _, id := range sorted {
-			tb := tok.TokenBytes(id)
-			depth, alive := sim.run(tb)
-			if alive {
-				acc = append(acc, id)
-				continue
-			}
-			ovDepths = sim.overflowDepths(ovDepths[:0], depth)
-			isCtx := false
-			for _, d := range ovDepths {
-				if d == len(tb) {
-					continue // exact completion: covered by pop-closure
-				}
-				suffix := tb[d:]
-				if dfa == nil {
-					isCtx = true
-					break
-				}
-				res := dfa.MatchPrefix(suffix)
-				if res.Alive || res.SawAccept {
-					isCtx = true
-					break
-				}
-			}
-			if isCtx {
-				ctx = append(ctx, id)
-			} else {
-				rej = append(rej, id)
-			}
-		}
-		sim.release()
-		c.stats.CharsStepped += sim.CharsStepped
-		c.stats.CharsTotal += sim.CharsTotal
-		c.Nodes[n] = makeNodeMask(acc, rej, ctx, c.Vocab)
-		c.stats.CIAccepted += int64(len(acc))
-		c.stats.CIRejected += int64(len(rej))
-		c.stats.CtxDependent += int64(len(ctx))
-		if len(ctx) > c.stats.MaxCtxPerNode {
-			c.stats.MaxCtxPerNode = len(ctx)
-		}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(p.Nodes) {
+		workers = len(p.Nodes)
+	}
+
+	if workers <= 1 {
+		w := newBuildWorker(c, ctxDFA)
+		for n := range p.Nodes {
+			w.buildNode(n)
+		}
+		c.stats.mergeNodeStats(&w.stats)
+	} else {
+		var next atomic.Int64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := newBuildWorker(c, ctxDFA)
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= len(p.Nodes) {
+						break
+					}
+					w.buildNode(n)
+				}
+				mu.Lock()
+				c.stats.mergeNodeStats(&w.stats)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	}
+
 	for i := range c.Nodes {
 		c.stats.StorageBytes += c.Nodes[i].storageBytes()
 		c.stats.KindCounts[c.Nodes[i].Kind]++
 	}
 	c.stats.FullBitsetBytes = int64(len(p.Nodes)) * int64(bitset.WordsFor(c.Vocab)) * 8
 	return c
+}
+
+// buildWorker classifies PDA nodes against the vocabulary. Each worker owns
+// its executor (and therefore its persistent stack tree) plus scratch
+// buffers; the shared Cache is written only at disjoint node indices.
+type buildWorker struct {
+	c      *Cache
+	exec   *matcher.Exec
+	sorted []int32
+	ctxDFA []*fsa.DFA
+	stats  Stats
+	// scratch
+	acc, rej, ctx []int32
+	ovDepths      []int
+}
+
+func newBuildWorker(c *Cache, ctxDFA []*fsa.DFA) *buildWorker {
+	return &buildWorker{c: c, exec: matcher.NewExec(c.P), sorted: c.Tok.SortedRegularIDs(), ctxDFA: ctxDFA}
+}
+
+// buildNode classifies every vocabulary token against node n as stack top
+// and stores the resulting adaptive mask (§3.1).
+func (w *buildWorker) buildNode(n int) {
+	c := w.c
+	if len(c.P.Nodes[n].Edges) == 0 {
+		// Dead-end node: the runtime skips it (its pop-closure peers
+		// carry the mask). Store an empty reject-heavy mask.
+		c.Nodes[n] = NodeMask{Kind: RejectHeavy, numRejected: len(w.sorted)}
+		w.stats.CIRejected += int64(len(w.sorted))
+		return
+	}
+	acc, rej, ctx := w.acc[:0], w.rej[:0], w.ctx[:0]
+	root := []matcher.State{{Stack: pstack.Empty, Node: int32(n)}}
+	sim := newPrefixSim(w.exec, root, true)
+	var dfa *fsa.DFA
+	if w.ctxDFA != nil {
+		dfa = w.ctxDFA[c.P.Nodes[n].Rule]
+	}
+	for _, id := range w.sorted {
+		tb := c.Tok.TokenBytes(id)
+		depth, alive := sim.run(tb)
+		if alive {
+			acc = append(acc, id)
+			continue
+		}
+		w.ovDepths = sim.overflowDepths(w.ovDepths[:0], depth)
+		isCtx := false
+		for _, d := range w.ovDepths {
+			if d == len(tb) {
+				continue // exact completion: covered by pop-closure
+			}
+			suffix := tb[d:]
+			if dfa == nil {
+				isCtx = true
+				break
+			}
+			res := dfa.MatchPrefix(suffix)
+			if res.Alive || res.SawAccept {
+				isCtx = true
+				break
+			}
+		}
+		if isCtx {
+			ctx = append(ctx, id)
+		} else {
+			rej = append(rej, id)
+		}
+	}
+	sim.release()
+	w.stats.CharsStepped += sim.CharsStepped
+	w.stats.CharsTotal += sim.CharsTotal
+	c.Nodes[n] = makeNodeMask(acc, rej, ctx, c.Vocab)
+	w.stats.CIAccepted += int64(len(acc))
+	w.stats.CIRejected += int64(len(rej))
+	w.stats.CtxDependent += int64(len(ctx))
+	if len(ctx) > w.stats.MaxCtxPerNode {
+		w.stats.MaxCtxPerNode = len(ctx)
+	}
+	w.acc, w.rej, w.ctx = acc, rej, ctx
+}
+
+// mergeNodeStats folds one worker's per-node counters into s. Sums and maxes
+// commute, so the merged totals are independent of worker scheduling.
+func (s *Stats) mergeNodeStats(o *Stats) {
+	s.CIAccepted += o.CIAccepted
+	s.CIRejected += o.CIRejected
+	s.CtxDependent += o.CtxDependent
+	s.CharsStepped += o.CharsStepped
+	s.CharsTotal += o.CharsTotal
+	if o.MaxCtxPerNode > s.MaxCtxPerNode {
+		s.MaxCtxPerNode = o.MaxCtxPerNode
+	}
 }
 
 // makeNodeMask selects the cheapest storage format (§3.1 adaptive storage).

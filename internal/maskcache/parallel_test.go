@@ -1,0 +1,56 @@
+package maskcache
+
+import (
+	"reflect"
+	"testing"
+
+	"xgrammar/internal/builtin"
+	"xgrammar/internal/pda"
+	"xgrammar/internal/tokenizer"
+)
+
+// TestParallelBuildMatchesSerial is the determinism guarantee for the
+// concurrent preprocessor: on the builtin JSON grammar, the parallel build
+// must produce node masks and statistics identical to the serial build,
+// with and without context expansion.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	p, err := pda.Compile(builtin.JSON(), pda.AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := tokenizer.BuildDefault(2000)
+	for _, ctxExp := range []bool{false, true} {
+		serial := Build(p, tok, Options{ContextExpansion: ctxExp, Workers: 1})
+		for _, workers := range []int{2, 8, 64} {
+			par := Build(p, tok, Options{ContextExpansion: ctxExp, Workers: workers})
+			if !reflect.DeepEqual(serial.Nodes, par.Nodes) {
+				for i := range serial.Nodes {
+					if !reflect.DeepEqual(serial.Nodes[i], par.Nodes[i]) {
+						t.Fatalf("ctxExp=%v workers=%d: node %d masks differ:\nserial %+v\npar    %+v",
+							ctxExp, workers, i, serial.Nodes[i], par.Nodes[i])
+					}
+				}
+				t.Fatalf("ctxExp=%v workers=%d: node masks differ", ctxExp, workers)
+			}
+			if serial.Stats() != par.Stats() {
+				t.Fatalf("ctxExp=%v workers=%d: stats differ:\nserial %+v\npar    %+v",
+					ctxExp, workers, serial.Stats(), par.Stats())
+			}
+		}
+	}
+}
+
+// TestParallelBuildDefaultWorkers checks the GOMAXPROCS default path and that
+// a worker count above the node count degrades gracefully.
+func TestParallelBuildDefaultWorkers(t *testing.T) {
+	p, err := pda.Compile(builtin.JSON(), pda.AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := tokenizer.BuildDefault(800)
+	def := Build(p, tok, Options{ContextExpansion: true})
+	serial := Build(p, tok, Options{ContextExpansion: true, Workers: 1})
+	if !reflect.DeepEqual(def.Nodes, serial.Nodes) || def.Stats() != serial.Stats() {
+		t.Fatal("default-worker build differs from serial build")
+	}
+}

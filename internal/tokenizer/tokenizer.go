@@ -2,7 +2,9 @@ package tokenizer
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 )
@@ -27,6 +29,9 @@ type Tokenizer struct {
 	// sortedRegular holds non-special token ids ordered lexicographically by
 	// token bytes — the order the mask-cache preprocessor consumes (§3.3).
 	sortedRegular []int32
+
+	fpOnce sync.Once
+	fp     uint64
 
 	mu    sync.Mutex
 	cache map[string][]int32
@@ -77,6 +82,27 @@ func (t *Tokenizer) SpecialIDs() []int32 { return []int32{PadID, BosID, EosID} }
 // SortedRegularIDs returns non-special token ids in lexicographic byte
 // order. Callers must not modify the slice.
 func (t *Tokenizer) SortedRegularIDs() []int32 { return t.sortedRegular }
+
+// Fingerprint returns a stable FNV-1a hash over the full vocabulary: the
+// token count and the length-prefixed bytes of every token in id order. Two
+// tokenizers share a fingerprint iff they map ids to identical byte strings,
+// so it detects vocabulary mismatches that a size check cannot (same size,
+// different merges). Safe for concurrent use.
+func (t *Tokenizer) Fingerprint() uint64 {
+	t.fpOnce.Do(func() {
+		h := fnv.New64a()
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(t.tokens)))
+		h.Write(buf[:])
+		for _, tb := range t.tokens {
+			binary.LittleEndian.PutUint64(buf[:], uint64(len(tb)))
+			h.Write(buf[:])
+			h.Write(tb)
+		}
+		t.fp = h.Sum64()
+	})
+	return t.fp
+}
 
 // NumMerges returns the number of learned merges.
 func (t *Tokenizer) NumMerges() int { return len(t.merges) }

@@ -10,40 +10,47 @@ import (
 	"xgrammar/internal/pda"
 )
 
-// serializeVersion guards the wire format.
-const serializeVersion = 1
+// serializeVersion guards the wire format. Version 2 added TokFingerprint;
+// version-1 blobs (which verified only the vocabulary size) are rejected
+// with a recompile hint.
+const serializeVersion = 2
 
 // wireGrammar is the gob wire form of a CompiledGrammar. The grammar is
 // carried as EBNF text (re-parsed on load, cheap); the PDA and the adaptive
 // token mask cache — the expensive preprocessing artifacts — are carried
 // verbatim so loading skips the vocabulary scan entirely.
 type wireGrammar struct {
-	Version    int
-	VocabSize  int
-	Grammar    string
-	Nodes      []pda.Node
-	RuleStart  []int32
-	Root       int32
-	HasCache   bool
-	Masks      []maskcache.WireMask
-	CacheStats maskcache.Stats
-	CtxExp     bool
-	MaxHistory int
+	Version   int
+	VocabSize int
+	// TokFingerprint is the tokenizer's vocabulary hash (over all token
+	// bytes); a mask cache is only valid against the exact vocabulary it was
+	// scanned with, so load verifies it.
+	TokFingerprint uint64
+	Grammar        string
+	Nodes          []pda.Node
+	RuleStart      []int32
+	Root           int32
+	HasCache       bool
+	Masks          []maskcache.WireMask
+	CacheStats     maskcache.Stats
+	CtxExp         bool
+	MaxHistory     int
 }
 
 // Serialize writes the compiled grammar — including the preprocessed mask
 // cache — to w, so deployments can compile once and load instantly.
 func (cg *CompiledGrammar) Serialize(w io.Writer) error {
 	wire := wireGrammar{
-		Version:    serializeVersion,
-		VocabSize:  cg.info.VocabSize(),
-		Grammar:    cg.pda.Grammar.String(),
-		Nodes:      cg.pda.Nodes,
-		RuleStart:  cg.pda.RuleStart,
-		Root:       cg.pda.Root,
-		HasCache:   cg.cache != nil,
-		CtxExp:     cg.cfg.cacheOpts.ContextExpansion,
-		MaxHistory: cg.cfg.maxHistory,
+		Version:        serializeVersion,
+		VocabSize:      cg.info.VocabSize(),
+		TokFingerprint: cg.info.tok.Fingerprint(),
+		Grammar:        cg.pda.Grammar.String(),
+		Nodes:          cg.pda.Nodes,
+		RuleStart:      cg.pda.RuleStart,
+		Root:           cg.pda.Root,
+		HasCache:       cg.cache != nil,
+		CtxExp:         cg.cfg.cacheOpts.ContextExpansion,
+		MaxHistory:     cg.cfg.maxHistory,
 	}
 	if cg.cache != nil {
 		wire.Masks = cg.cache.ToWire()
@@ -53,20 +60,25 @@ func (cg *CompiledGrammar) Serialize(w io.Writer) error {
 }
 
 // LoadCompiledGrammar reads a grammar serialized by Serialize. The tokenizer
-// must match the one the grammar was compiled against (vocabulary size is
-// verified; token contents are the caller's responsibility, exactly as with
-// upstream XGrammar's cached compilation).
+// must be the one the grammar was compiled against: both the vocabulary size
+// and a fingerprint over every token's bytes are verified, so a cache scanned
+// under a different vocabulary can never be loaded silently.
 func (c *Compiler) LoadCompiledGrammar(r io.Reader) (*CompiledGrammar, error) {
 	var wire wireGrammar
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("xgrammar: load: %w", err)
 	}
 	if wire.Version != serializeVersion {
-		return nil, fmt.Errorf("xgrammar: load: unsupported version %d", wire.Version)
+		return nil, fmt.Errorf("xgrammar: load: unsupported serialization version %d (this build reads version %d; blobs from older builds lack the tokenizer fingerprint — recompile the grammar and serialize again)",
+			wire.Version, serializeVersion)
 	}
 	if wire.VocabSize != c.info.VocabSize() {
 		return nil, fmt.Errorf("xgrammar: load: grammar compiled for vocab %d, tokenizer has %d",
 			wire.VocabSize, c.info.VocabSize())
+	}
+	if fp := c.info.tok.Fingerprint(); wire.TokFingerprint != fp {
+		return nil, fmt.Errorf("xgrammar: load: tokenizer fingerprint mismatch (grammar %016x, tokenizer %016x): the grammar was compiled against a different vocabulary",
+			wire.TokFingerprint, fp)
 	}
 	g, err := ebnf.Parse(wire.Grammar)
 	if err != nil {

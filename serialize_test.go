@@ -2,6 +2,8 @@ package xgrammar
 
 import (
 	"bytes"
+	"encoding/gob"
+	"strings"
 	"testing"
 )
 
@@ -93,5 +95,59 @@ func TestLoadGarbage(t *testing.T) {
 	info := testTokenizer(t)
 	if _, err := NewCompiler(info).LoadCompiledGrammar(bytes.NewReader([]byte("not gob"))); err == nil {
 		t.Fatal("garbage loaded")
+	}
+}
+
+// rewire serializes cg, decodes the wire struct, applies mutate, and
+// re-encodes — simulating blobs from other builds or tokenizers.
+func rewire(t *testing.T, cg *CompiledGrammar, mutate func(*wireGrammar)) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := cg.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var wire wireGrammar
+	if err := gob.NewDecoder(&buf).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&wire)
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+func TestLoadRejectsOldVersion(t *testing.T) {
+	info := testTokenizer(t)
+	cg, err := NewCompiler(info).CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := rewire(t, cg, func(w *wireGrammar) { w.Version = 1 })
+	_, err = NewCompiler(info).LoadCompiledGrammar(old)
+	if err == nil {
+		t.Fatal("version-1 blob loaded")
+	}
+	if !strings.Contains(err.Error(), "version 1") {
+		t.Fatalf("error does not identify the old version: %v", err)
+	}
+}
+
+func TestLoadRejectsFingerprintMismatch(t *testing.T) {
+	info := testTokenizer(t)
+	cg, err := NewCompiler(info).CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same vocabulary size, different token bytes: exactly the corruption a
+	// size-only check misses.
+	tampered := rewire(t, cg, func(w *wireGrammar) { w.TokFingerprint ^= 0xdeadbeef })
+	_, err = NewCompiler(info).LoadCompiledGrammar(tampered)
+	if err == nil {
+		t.Fatal("fingerprint mismatch not detected")
+	}
+	if !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("error does not mention the fingerprint: %v", err)
 	}
 }
