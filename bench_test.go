@@ -454,6 +454,54 @@ func BenchmarkFillBatch(b *testing.B) {
 	})
 }
 
+// --- Serving runtime: pooled sessions, fused step --------------------------
+
+// BenchmarkEngineSessionStep measures the public serving API's fused
+// per-token step (accept + jump-forward probe + mask fill) on a pooled
+// session in steady state; the runtime's guarantee is 0 allocs/op.
+func BenchmarkEngineSessionStep(b *testing.B) {
+	benchSetup(b)
+	info := DefaultTokenizer(benchVocab)
+	compiler := NewCompiler(info)
+	cg, err := compiler.CompileBuiltinJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(compiler)
+	var ids []int32
+	for _, doc := range benchEnv.jsonDocs {
+		ids = append(ids, info.Encode(doc)...)
+		ids = append(ids, info.Encode(", ")...)
+	}
+	// Wrap the docs in one long array so the stream never terminates.
+	ids = append(info.Encode("["), ids...)
+
+	s := eng.OpenSession(cg)
+	for _, id := range ids { // settle capacities
+		if _, err := s.Step(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Close()
+	s = eng.OpenSession(cg)
+	i := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if i == len(ids) {
+			b.StopTimer()
+			s.Close()
+			s = eng.OpenSession(cg)
+			i = 0
+			b.StartTimer()
+		}
+		if _, err := s.Step(ids[i]); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+}
+
 // --- Whole-suite smoke bench ----------------------------------------------
 
 func BenchmarkExperimentSuiteQuick(b *testing.B) {

@@ -6,13 +6,20 @@
 //	xgbench -full            # paper-scale (32k vocab, larger workloads)
 //	xgbench -exp fig9,tab3   # run a subset
 //	xgbench -markdown        # emit EXPERIMENTS.md-style markdown
+//	xgbench -json BENCH.json # also write machine-readable serving results
 //
-// Experiment ids: fig9 fig10 fig11 fig12 tab1 tab2 tab3 tab4 stats par.
+// Experiment ids: fig9 fig10 fig11 fig12 tab1 tab2 tab3 tab4 stats par serve.
 // The par experiment reports the parallel mask-cache build speedup over the
-// serial preprocessing scan.
+// serial preprocessing scan; serve benchmarks the continuous-batching
+// serving runtime (pooled sessions, overlapped batch mask fill).
+//
+// With -json, the serving benchmark's machine-readable records (experiment,
+// tokens/s, p50/p99 fill latency, batch dynamics) are written to the given
+// path so the perf trajectory is tracked across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +29,19 @@ import (
 	"xgrammar/internal/experiments"
 )
 
+// benchJSON is the schema of the -json output file.
+type benchJSON struct {
+	Mode    string                    `json:"mode"` // quick | full
+	Vocab   int                       `json:"vocab"`
+	Serving []experiments.ServeResult `json:"serving"`
+}
+
 func main() {
 	full := flag.Bool("full", false, "paper-scale run (32k vocab; several minutes)")
 	exps := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	markdown := flag.Bool("markdown", false, "emit markdown instead of aligned text")
 	vocab := flag.Int("vocab", 0, "override vocabulary size")
+	jsonPath := flag.String("json", "", "write machine-readable serving results to this path")
 	flag.Parse()
 
 	suite := experiments.NewSuite(!*full)
@@ -61,5 +76,20 @@ func main() {
 		} else {
 			fmt.Println(tb.String())
 		}
+	}
+
+	if *jsonPath != "" {
+		out := benchJSON{Mode: mode, Vocab: suite.Vocab, Serving: suite.ServeBench()}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xgbench: marshal json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "xgbench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "xgbench: wrote serving results to %s\n", *jsonPath)
 	}
 }

@@ -72,7 +72,10 @@ func main() {
 		ids := info.Encode(*input)
 		mask := make([]uint64, cg.MaskWords())
 		for i, id := range ids {
-			fs := m.FillNextTokenBitmask(mask)
+			fs, err := m.FillNextTokenBitmask(mask)
+			if err != nil {
+				fatal(err)
+			}
 			allowed := 0
 			for _, w := range mask {
 				for ; w != 0; w &= w - 1 {

@@ -142,9 +142,14 @@ func TestFillNextTokenBitmaskBatch(t *testing.T) {
 		}
 		masks[i] = make([]uint64, cg.MaskWords())
 		want[i] = make([]uint64, cg.MaskWords())
-		matchers[i].FillNextTokenBitmask(want[i])
+		if _, err := matchers[i].FillNextTokenBitmask(want[i]); err != nil {
+			t.Fatal(err)
+		}
 	}
-	stats := FillNextTokenBitmaskBatch(matchers, masks)
+	stats, err := FillNextTokenBitmaskBatch(matchers, masks)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(stats) != len(docs) {
 		t.Fatalf("stats length %d", len(stats))
 	}
@@ -166,18 +171,43 @@ func TestFillNextTokenBitmaskBatch(t *testing.T) {
 	}
 	tm := [][]uint64{make([]uint64, cg.MaskWords())}
 	tm[0][0] = ^uint64(0)
-	FillNextTokenBitmaskBatch([]*Matcher{term}, tm)
+	if _, err := FillNextTokenBitmaskBatch([]*Matcher{term}, tm); err != nil {
+		t.Fatal(err)
+	}
 	if tm[0][0] != 0 {
 		t.Fatal("terminated matcher mask not cleared by batch fill")
 	}
 }
 
-func TestFillBatchLengthMismatchPanics(t *testing.T) {
+// TestFillBatchLengthMismatchErrors: malformed batch inputs surface as
+// errors, not panics.
+func TestFillBatchLengthMismatchErrors(t *testing.T) {
 	cg := mustCompileJSON(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on length mismatch")
-		}
-	}()
-	FillNextTokenBitmaskBatch([]*Matcher{NewMatcher(cg)}, nil)
+	if _, err := FillNextTokenBitmaskBatch([]*Matcher{NewMatcher(cg)}, nil); err == nil {
+		t.Fatal("no error on matcher/mask length mismatch")
+	}
+	short := [][]uint64{make([]uint64, cg.MaskWords()-1)}
+	if _, err := FillNextTokenBitmaskBatch([]*Matcher{NewMatcher(cg)}, short); err == nil {
+		t.Fatal("no error on undersized mask in batch")
+	}
+}
+
+// TestFillMaskLengthValidation: an undersized mask returns a clear error
+// instead of an out-of-range panic; an oversized mask's extra words are
+// ignored.
+func TestFillMaskLengthValidation(t *testing.T) {
+	cg := mustCompileJSON(t)
+	m := NewMatcher(cg)
+	if _, err := m.FillNextTokenBitmask(make([]uint64, cg.MaskWords()-1)); err == nil {
+		t.Fatal("no error for a mask shorter than MaskWords()")
+	}
+	big := make([]uint64, cg.MaskWords()+3)
+	sentinel := ^uint64(0)
+	big[len(big)-1] = sentinel
+	if _, err := m.FillNextTokenBitmask(big); err != nil {
+		t.Fatal(err)
+	}
+	if big[len(big)-1] != sentinel {
+		t.Fatal("fill wrote past MaskWords()")
+	}
 }

@@ -112,7 +112,9 @@ func main() {
 	var conOut []byte
 	blocked := 0
 	for !m.IsTerminated() {
-		m.FillNextTokenBitmask(mask)
+		if _, err := m.FillNextTokenBitmask(mask); err != nil {
+			panic(err)
+		}
 		t := con.propose()
 		if mask[t>>6]&(1<<uint(t&63)) == 0 {
 			blocked++

@@ -33,7 +33,9 @@ func main() {
 	mask := make([]uint64, cg.MaskWords())
 	var out []int32
 	for steps := 0; steps < 120 && !m.IsTerminated(); steps++ {
-		m.FillNextTokenBitmask(mask)
+		if _, err := m.FillNextTokenBitmask(mask); err != nil {
+			panic(err)
+		}
 		var allowed []int32
 		for id := 0; id < info.VocabSize(); id++ {
 			if mask[id>>6]&(1<<uint(id&63)) != 0 {

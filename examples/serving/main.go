@@ -1,183 +1,158 @@
-// Serving: overlap mask generation with (simulated) GPU execution using
-// goroutines — the co-design of §3.5 of the paper, demonstrated with real
-// concurrency rather than the analytic model used by the benchmark harness.
-//
-// Each decode step launches the "GPU" (a sleep standing in for the forward
-// pass) and the grammar mask computation concurrently, synchronizing before
-// sampling, exactly as in Figure 8. The serial engine runs them back to
-// back. With a fast grammar engine the overlapped TPOT approaches the pure
-// GPU time.
-//
-// The second half of the demo is the batch-serving path: one decode step
-// masks a whole batch of sequences via FillNextTokenBitmaskBatch while a
-// single (batched) GPU step runs, and the compiled-grammar cache turns the
-// per-request grammar compilation into a lookup (every request in a real
-// server tends to reuse one of a few schemas).
+// Serving: the continuous-batching runtime of §3.5 driven with real
+// concurrency. "Requests" arrive over time and join the live batch as
+// pooled Sessions (grammar resolution is a compiled-grammar cache hit after
+// the first request for each grammar); every decode round launches one
+// batched "GPU" step (a timer standing in for the forward pass) and fills
+// the whole batch's masks through the engine's persistent worker pool while
+// it runs, synchronizing before sampling exactly as in Figure 8; finished
+// sequences leave mid-run and their grammar state is recycled for the next
+// arrival. Jump-forward continuations (Appendix B) are inserted for free.
 package main
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"xgrammar"
 )
 
-const gpuStepTime = 5 * time.Millisecond
+const gpuStepTime = 3 * time.Millisecond
 
-// gpuStep stands in for the forward pass. The GPU is an external device, so
-// it is modelled with a runtime timer: the CPU stays free for grammar work,
-// which is exactly what the §3.5 co-design exploits. The timer is armed
-// before the grammar work starts, like a real asynchronous kernel launch.
-func gpuStep() <-chan time.Time {
-	return time.After(gpuStepTime)
+// request is one incoming generation: which grammar it wants, the
+// teacher-forced target, and the decode round it arrives at.
+type request struct {
+	name     string
+	schema   []byte // nil: builtin JSON grammar
+	target   string
+	arriveAt int
 }
 
-// decodeOnce runs one constrained generation over target and returns the
-// wall time and token count.
-func decode(cg *xgrammar.CompiledGrammar, info *xgrammar.TokenizerInfo, target string, overlap bool) (time.Duration, int) {
-	m := xgrammar.NewMatcher(cg)
-	mask := make([]uint64, cg.MaskWords())
-	emitted := 0
-	tokens := 0
-	start := time.Now()
-	for {
-		var next int32
-		if emitted >= len(target) {
-			next = info.EOSTokenID()
-		} else {
-			next = info.Encode(target[emitted:])[0]
-		}
-		if overlap {
-			// Launch the GPU step, compute the mask while it runs, then
-			// synchronize before sampling (Figure 8).
-			gpuDone := gpuStep()
-			m.FillNextTokenBitmask(mask)
-			<-gpuDone
-		} else {
-			<-gpuStep()
-			m.FillNextTokenBitmask(mask)
-		}
-		if mask[next>>6]&(1<<uint(next&63)) == 0 {
-			panic("target token masked out")
-		}
-		if err := m.AcceptToken(next); err != nil {
-			panic(err)
-		}
-		if next == info.EOSTokenID() {
-			break
-		}
-		emitted += len(info.TokenBytes(next))
-		tokens++
-	}
-	return time.Since(start), tokens
-}
-
-// batchDecode runs one constrained generation over every target in lockstep
-// (one batched "GPU" step per decode round, as a serving engine would) and
-// returns the wall time and total token count. When batched is true all
-// masks of a round are produced by one FillNextTokenBitmaskBatch call while
-// the GPU step runs; otherwise each sequence is masked sequentially.
-func batchDecode(cg *xgrammar.CompiledGrammar, info *xgrammar.TokenizerInfo, targets []string, batched bool) (time.Duration, int) {
-	matchers := make([]*xgrammar.Matcher, len(targets))
-	masks := make([][]uint64, len(targets))
-	emitted := make([]int, len(targets))
-	next := make([]int32, len(targets))
-	for i := range targets {
-		matchers[i] = xgrammar.NewMatcher(cg)
-		masks[i] = make([]uint64, cg.MaskWords())
-	}
-	tokens := 0
-	start := time.Now()
-	for live := len(targets); live > 0; {
-		gpuDone := gpuStep() // one forward pass for the whole batch
-		if batched {
-			xgrammar.FillNextTokenBitmaskBatch(matchers, masks)
-		} else {
-			for i := range matchers {
-				matchers[i].FillNextTokenBitmask(masks[i])
-			}
-		}
-		<-gpuDone
-		for i, m := range matchers {
-			if m.IsTerminated() {
-				continue
-			}
-			if emitted[i] >= len(targets[i]) {
-				next[i] = info.EOSTokenID()
-			} else {
-				next[i] = info.Encode(targets[i][emitted[i]:])[0]
-			}
-			if masks[i][next[i]>>6]&(1<<uint(next[i]&63)) == 0 {
-				panic("target token masked out")
-			}
-			if err := m.AcceptToken(next[i]); err != nil {
-				panic(err)
-			}
-			if next[i] == info.EOSTokenID() {
-				live--
-				continue
-			}
-			emitted[i] += len(info.TokenBytes(next[i]))
-			tokens++
-		}
-	}
-	return time.Since(start), tokens
+// sequence is a live batch entry.
+type sequence struct {
+	req     request
+	s       *xgrammar.Session
+	emitted int
+	jumped  int
 }
 
 func main() {
 	info := xgrammar.DefaultTokenizer(4000)
 	compiler := xgrammar.NewCompiler(info)
-	fast, err := compiler.CompileBuiltinJSON()
-	if err != nil {
-		panic(err)
-	}
-	// The same grammar with the mask cache disabled: every step scans the
-	// vocabulary, like pre-XGrammar engines.
-	slow, err := xgrammar.NewCompiler(info, xgrammar.WithoutMaskCache()).CompileBuiltinJSON()
-	if err != nil {
-		panic(err)
-	}
-	target := `{"user": {"name": "ada", "scores": [98, 87, 91]}, "active": true, "tags": ["alpha", "beta"]}`
+	eng := xgrammar.NewEngine(compiler)
 
-	var n int
-	report := func(name string, cg *xgrammar.CompiledGrammar) {
-		var serial, overlapped time.Duration
-		serial, n = decode(cg, info, target, false)
-		overlapped, _ = decode(cg, info, target, true)
-		fmt.Printf("%-28s serial %7v/token   overlapped %7v/token\n",
-			name, serial/time.Duration(n), overlapped/time.Duration(n))
-	}
-	fmt.Printf("decoding %d bytes of structured output; GPU step %v\n\n", len(target), gpuStepTime)
-	report("full-scan grammar engine:", slow)
-	report("XGrammar (mask cache):", fast)
-	fmt.Printf("\npure GPU floor: %v/token\n", gpuStepTime)
-	fmt.Println("overlap hides grammar CPU behind the GPU step (§3.5); with the mask")
-	fmt.Println("cache the grammar fits entirely under the GPU time, reaching the floor")
+	schema := []byte(`{"type": "object", "properties": {
+		"name": {"type": "string"}, "id": {"type": "integer"}}, "required": ["name", "id"]}`)
+	jsonDoc := `{"user": {"name": "ada", "scores": [98, 87, 91]}, "active": true}`
+	schemaDoc := `{"name": "ada", "id": 7}`
 
-	// --- batch serving: one mask per sequence per decode step ------------
-	const batch = 8
-	targets := make([]string, batch)
-	for i := range targets {
-		targets[i] = target
-	}
-	fmt.Printf("\nbatch of %d sequences, slow grammar engine (mask work visible):\n", batch)
-	seqT, seqN := batchDecode(slow, info, targets, false)
-	batT, batN := batchDecode(slow, info, targets, true)
-	fmt.Printf("  sequential per-sequence fill: %7v/step\n", seqT/time.Duration(seqN/batch))
-	fmt.Printf("  FillNextTokenBitmaskBatch:    %7v/step\n", batT/time.Duration(batN/batch))
-	fmt.Println("  the batch fill fans sequences across cores, so a whole batch's")
-	fmt.Println("  grammar work fits under one batched GPU step")
-
-	// --- compiled-grammar cache: compile once, serve every request -------
-	// Each "request" asks for the same grammar; only the first pays the
-	// preprocessing scan (singleflight dedups concurrent compiles too).
-	t0 := time.Now()
-	for i := 0; i < 100; i++ {
-		if _, err := compiler.CompileBuiltinJSON(); err != nil {
-			panic(err)
+	var reqs []request
+	for i := 0; i < 8; i++ {
+		if i%2 == 0 {
+			reqs = append(reqs, request{fmt.Sprintf("r%d/json", i), nil, jsonDoc, i * 2})
+		} else {
+			reqs = append(reqs, request{fmt.Sprintf("r%d/schema", i), schema, schemaDoc, i * 2})
 		}
 	}
+
+	run := func(overlapped bool) (time.Duration, int, int) {
+		var batch []*sequence
+		pending := append([]request(nil), reqs...)
+		tokens, rounds := 0, 0
+		start := time.Now()
+		for len(batch) > 0 || len(pending) > 0 {
+			// Admission: arrived requests join the running batch. Grammar
+			// resolution goes through the compiled-grammar LRU; session state
+			// comes from the per-grammar pool.
+			for len(pending) > 0 && pending[0].arriveAt <= rounds {
+				req := pending[0]
+				pending = pending[1:]
+				var s *xgrammar.Session
+				var err error
+				if req.schema == nil {
+					cg, cerr := compiler.CompileBuiltinJSON()
+					if cerr != nil {
+						panic(cerr)
+					}
+					s = eng.OpenSession(cg)
+				} else if s, err = eng.OpenJSONSchemaSession(req.schema, xgrammar.SchemaOptions{}); err != nil {
+					panic(err)
+				}
+				batch = append(batch, &sequence{req: req, s: s})
+			}
+			rounds++
+			// One batched forward pass; the grammar engine fills every live
+			// mask while the GPU runs (overlapped) or after it (serial).
+			sessions := make([]*xgrammar.Session, len(batch))
+			for i, q := range batch {
+				sessions[i] = q.s
+			}
+			gpuDone := time.After(gpuStepTime)
+			if overlapped {
+				eng.FillBatch(sessions)
+				<-gpuDone
+			} else {
+				<-gpuDone
+				eng.FillBatch(sessions)
+			}
+			// Sample (teacher-forced), accept, insert jump-forwards, retire.
+			// Accept does not refill: the next round's FillBatch recomputes
+			// every stale mask in parallel while the GPU step runs, so the
+			// grammar work happens exactly once per token — off the critical
+			// path.
+			for i := 0; i < len(batch); {
+				q := batch[i]
+				var next int32
+				if q.emitted >= len(q.req.target) {
+					next = info.EOSTokenID()
+				} else {
+					next = info.Encode(q.req.target[q.emitted:])[0]
+				}
+				if q.s.Mask()[next>>6]&(1<<uint(next&63)) == 0 {
+					panic("target token masked out")
+				}
+				if err := q.s.Accept(next); err != nil {
+					panic(err)
+				}
+				if q.s.IsTerminated() {
+					q.s.Close() // state recycled for the next arrival
+					batch[i] = batch[len(batch)-1]
+					batch = batch[:len(batch)-1]
+					continue
+				}
+				q.emitted += len(info.TokenBytes(next))
+				tokens++
+				// Jump-forward: insert the deterministic continuation when it
+				// matches the target (Appendix B).
+				if jf := q.s.JumpForward(); jf != "" &&
+					strings.HasPrefix(q.req.target[q.emitted:], jf) {
+					if err := q.s.AcceptString(jf); err != nil {
+						panic(err)
+					}
+					q.emitted += len(jf)
+					q.jumped += len(jf)
+				}
+				i++
+			}
+		}
+		return time.Since(start), tokens, rounds
+	}
+
+	fmt.Printf("continuous batching: %d requests (2 grammars), GPU step %v\n\n", len(reqs), gpuStepTime)
+	serialT, n, serialRounds := run(false)
+	overlapT, _, overlapRounds := run(true)
+	fmt.Printf("  serial     (fill after GPU step):  %7v/round, %d tokens in %d rounds\n",
+		(serialT / time.Duration(serialRounds)).Round(time.Microsecond), n, serialRounds)
+	fmt.Printf("  overlapped (fill during GPU step): %7v/round\n",
+		(overlapT / time.Duration(overlapRounds)).Round(time.Microsecond))
+	fmt.Printf("  pure GPU floor:                    %7v/round\n\n", gpuStepTime)
+	fmt.Println("the batch mask fill runs through a persistent work-stealing worker")
+	fmt.Println("pool while the GPU step executes, so with the mask cache the grammar")
+	fmt.Println("work disappears from the critical path (§3.5)")
+
 	st := compiler.CompileCacheStats()
-	fmt.Printf("\n100 repeat compile requests in %v total: %d build(s), %d cache hits (%d bytes cached)\n",
-		time.Since(t0).Round(time.Microsecond), st.Builds, st.Hits, st.Bytes)
+	fmt.Printf("\ncompiled-grammar cache: %d builds for %d requests ×2 runs (%d hits)\n",
+		st.Builds, len(reqs), st.Hits)
+	fmt.Println("sessions joining mid-run reuse the matcher/mask state of finished")
+	fmt.Println("sequences (sync.Pool), so steady-state admission allocates no grammar state")
 }

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"sync"
 	"testing"
 
 	"xgrammar/internal/bitset"
@@ -213,4 +214,50 @@ func TestLlamaCppRejectsInvalidToken(t *testing.T) {
 	if err := s.Accept(tokenizer.EosID); err == nil {
 		t.Fatal("premature EOS accepted")
 	}
+}
+
+// TestRegexFSMConcurrentFills drives many FSM sessions at different DFA
+// states from concurrent goroutines without PrecomputeAll, so the lazy
+// index (masks/next maps) is written under contention — the Overlap-mode
+// batch-fill pattern of the serving engine. Run with -race.
+func TestRegexFSMConcurrentFills(t *testing.T) {
+	tok := testTok(t)
+	task := workload.SchemaTasks(1, 11)[0]
+	g, err := jsonschema.Compile(task.Schema, jsonschema.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsm, err := NewRegexFSM(g, tok)
+	if err != nil {
+		t.Skipf("schema not regular: %v", err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := fsm.NewSession()
+			mask := bitset.New(tok.VocabSize())
+			emitted := 0
+			for !sess.IsTerminated() {
+				sess.FillMask(mask)
+				var next int32
+				if emitted >= len(task.Instance) {
+					next = tokenizer.EosID
+				} else {
+					next = tok.Encode(task.Instance[emitted:])[0]
+				}
+				if !mask.Get(int(next)) {
+					t.Errorf("worker %d: target token masked out", w)
+					return
+				}
+				if err := sess.Accept(next); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				emitted += len(tok.TokenBytes(next))
+			}
+		}(w)
+	}
+	wg.Wait()
 }

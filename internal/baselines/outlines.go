@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"fmt"
+	"sync"
 
 	"xgrammar/internal/bitset"
 	"xgrammar/internal/fsa"
@@ -41,11 +42,16 @@ func FlattenToDFA(g *grammar.Grammar, backend string) (*fsa.DFA, error) {
 // bytes, and for every visited DFA state the engine computes (once, then
 // caches) the token-level transition table: which tokens are allowed and
 // where each leads. Mask generation after warm-up is a table lookup.
+//
+// The lazy index is guarded by a mutex because the serving engine fills the
+// masks of a whole batch concurrently (Overlap mode), and sessions share
+// the backend's index.
 type RegexFSM struct {
 	dfa   *fsa.DFA
 	tok   *tokenizer.Tokenizer
 	trie  *trie.Trie
 	words int
+	mu    sync.Mutex
 	masks map[int32][]uint64
 	next  map[int64]int32
 }
@@ -88,8 +94,7 @@ func (r *RegexFSM) PrecomputeAll() int {
 		r.index(s)
 		// Successor states via token transitions.
 		for id := 0; id < r.tok.VocabSize(); id++ {
-			key := int64(s)<<32 | int64(id)
-			if ns, ok := r.next[key]; ok && !seen[ns] {
+			if ns, ok := r.nextState(s, int32(id)); ok && !seen[ns] {
 				seen[ns] = true
 				work = append(work, ns)
 			}
@@ -98,9 +103,19 @@ func (r *RegexFSM) PrecomputeAll() int {
 	return len(seen)
 }
 
+// nextState returns the indexed token transition for (state, id), if known.
+func (r *RegexFSM) nextState(state, id int32) (int32, bool) {
+	r.mu.Lock()
+	ns, ok := r.next[int64(state)<<32|int64(id)]
+	r.mu.Unlock()
+	return ns, ok
+}
+
 // index computes (and caches) the allowed-token mask and token transitions
 // for DFA state s by walking the vocabulary trie against the DFA.
 func (r *RegexFSM) index(s int32) []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if m, ok := r.masks[s]; ok {
 		return m
 	}
@@ -216,7 +231,7 @@ func (s *fsmSession) Accept(id int32) error {
 		return fmt.Errorf("outlines-fsm: special token %d", id)
 	}
 	// Use the indexed transition when available, else walk the bytes.
-	if ns, ok := s.r.next[int64(s.cur)<<32|int64(id)]; ok {
+	if ns, ok := s.r.nextState(s.cur, id); ok {
 		s.cur = ns
 		return nil
 	}

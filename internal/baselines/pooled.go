@@ -1,0 +1,31 @@
+package baselines
+
+import "xgrammar/internal/serve"
+
+// PooledXGBackend serves XGrammar sessions out of a serve.SessionPool: every
+// NewSession recycles the matcher, fill context, and mask buffer of a
+// sequence that already left the batch, so steady-state continuous batching
+// allocates no grammar state. Sessions returned by NewSession implement
+// JumpForwarder and expose Close() for the engine to hand them back when a
+// sequence finishes.
+type PooledXGBackend struct {
+	pool  *serve.SessionPool
+	label string
+}
+
+// NewPooledXGBackend wraps a session pool as an engine backend.
+func NewPooledXGBackend(pool *serve.SessionPool, label string) *PooledXGBackend {
+	if label == "" {
+		label = "xgrammar-pooled"
+	}
+	return &PooledXGBackend{pool: pool, label: label}
+}
+
+// Name implements Backend.
+func (b *PooledXGBackend) Name() string { return b.label }
+
+// NewSession implements Backend by acquiring a pooled session.
+func (b *PooledXGBackend) NewSession() Session { return b.pool.Acquire() }
+
+// Pool returns the underlying session pool (for stats).
+func (b *PooledXGBackend) Pool() *serve.SessionPool { return b.pool }

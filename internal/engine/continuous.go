@@ -1,0 +1,392 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"xgrammar/internal/baselines"
+	"xgrammar/internal/bitset"
+	"xgrammar/internal/llmsim"
+	"xgrammar/internal/serve"
+	"xgrammar/internal/tokenizer"
+)
+
+// StreamRequest is one request in a continuous-batching run: it arrives at
+// Arrival (simulated time), brings its own grammar backend (falling back to
+// the engine-wide one), and charges GrammarInit when it is admitted — the
+// compile/cache-resolve cost, hidden behind prefill in Overlap mode.
+type StreamRequest struct {
+	Req     *llmsim.Request
+	Arrival time.Duration
+	// Backend supplies this request's grammar sessions; nil falls back to
+	// StreamConfig.Backend. When both are nil (or the mode is Unconstrained)
+	// the sequence decodes without grammar constraints.
+	Backend baselines.Backend
+	// GrammarInit is the grammar resolve cost charged at admission (zero for
+	// a compiled-grammar cache hit).
+	GrammarInit time.Duration
+}
+
+// StreamConfig configures a continuous-batching run.
+type StreamConfig struct {
+	Profile llmsim.Profile
+	Mode    Mode
+	// Backend is the default grammar backend for requests without their own.
+	Backend baselines.Backend
+	Tok     *tokenizer.Tokenizer
+	// MaxBatch bounds the number of sequences decoding concurrently; 0 is
+	// unbounded. Arrived requests beyond the bound queue until a running
+	// sequence finishes.
+	MaxBatch int
+	// JumpForward enables forced-token insertion for sessions supporting it.
+	JumpForward bool
+	// MaxSteps guards against runaway generations.
+	MaxSteps int
+	// Pool is the persistent worker pool used to fill a whole batch's masks
+	// in Overlap mode; nil uses the process-wide shared pool. Serial mode
+	// fills sequentially by definition (grammar work on the critical path).
+	Pool *serve.WorkerPool
+}
+
+// StreamMetrics extends Metrics with continuous-batching observations.
+type StreamMetrics struct {
+	Metrics
+	// PeakBatch is the largest number of concurrently decoding sequences.
+	PeakBatch int
+	// Joins and Leaves count sequences entering and exiting the running
+	// batch mid-run.
+	Joins, Leaves int
+	// QueueWait is the mean time requests spent queued after arrival
+	// (waiting for a batch slot).
+	QueueWait time.Duration
+	// FillWall is the total wall time of the per-step batch mask fills
+	// (equal to MaskCPU when fills are sequential).
+	FillWall time.Duration
+	// FillP50 and FillP99 are percentiles of per-sequence mask fill latency.
+	FillP50, FillP99 time.Duration
+}
+
+// streamSeq is one running sequence.
+type streamSeq struct {
+	seqState
+	sr        *StreamRequest
+	mask      *bitset.Bitset
+	startedAt time.Duration // decode start (admission charge complete)
+	firstTok  bool
+	fillDur   time.Duration
+	next      int32
+}
+
+// runner holds the mutable state of one continuous-batching run.
+type runner struct {
+	cfg          StreamConfig
+	clock        time.Duration
+	running      []*streamSeq
+	finishedSeqs []*streamSeq
+	maskFree     []*bitset.Bitset
+	fillLats     []time.Duration
+	met          StreamMetrics
+	ttftSum      time.Duration
+	ttftN        int
+	waitSum      time.Duration
+	// decodeWall accumulates step wall time (excluding admission charges)
+	// for the step-capped TPOT fallback.
+	decodeWall time.Duration
+}
+
+// RunStream decodes reqs with continuous batching (§3.5 co-design): arrived
+// requests join the running batch as slots free up, finished sequences leave
+// immediately, and each decode step combines modelled GPU time with measured
+// grammar time — overlapped and batch-parallel in Overlap mode, serialized
+// in Serial mode. Outputs are returned in the order of reqs.
+func RunStream(cfg StreamConfig, reqs []*StreamRequest) (StreamMetrics, []string, error) {
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 8192
+	}
+	r := &runner{cfg: cfg}
+	r.met.Requests = len(reqs)
+
+	// Admission order: arrival time, ties by request order.
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return reqs[order[a]].Arrival < reqs[order[b]].Arrival
+	})
+	outputs := make([][]byte, len(reqs))
+	nextPending := 0
+
+	for r.met.DecodeSteps < cfg.MaxSteps && (len(r.running) > 0 || nextPending < len(order)) {
+		// Idle engine: jump to the next arrival.
+		if len(r.running) == 0 && nextPending < len(order) && reqs[order[nextPending]].Arrival > r.clock {
+			r.clock = reqs[order[nextPending]].Arrival
+		}
+		// Admission: fill free slots with arrived requests.
+		var admitted []*streamSeq
+		for nextPending < len(order) &&
+			(cfg.MaxBatch <= 0 || len(r.running) < cfg.MaxBatch) &&
+			reqs[order[nextPending]].Arrival <= r.clock {
+			sr := reqs[order[nextPending]]
+			s := r.admit(sr, order[nextPending])
+			admitted = append(admitted, s)
+			nextPending++
+		}
+		if len(admitted) > 0 {
+			r.chargeAdmission(admitted)
+		}
+		if len(r.running) > r.met.PeakBatch {
+			r.met.PeakBatch = len(r.running)
+		}
+
+		if err := r.decodeStep(); err != nil {
+			return r.met, nil, err
+		}
+		// Collect finished sequences (leave the batch, release sessions).
+		for i := 0; i < len(r.running); {
+			s := r.running[i]
+			if !s.done {
+				i++
+				continue
+			}
+			outputs[s.index()] = s.output
+			r.leave(i)
+		}
+	}
+	// Step-capped: flush partial outputs.
+	for _, s := range r.running {
+		outputs[s.index()] = s.output
+	}
+
+	outs := make([]string, len(reqs))
+	var tpotSum time.Duration
+	finished := 0
+	for i := range reqs {
+		outs[i] = string(outputs[i])
+	}
+	for _, s := range r.running {
+		r.met.OutputTokens += s.outTokens
+	}
+	for _, s := range r.finishedSeqs {
+		r.met.OutputTokens += s.outTokens
+		if s.outTokens > 0 {
+			tpotSum += (s.finishAt - s.startedAt) / time.Duration(s.outTokens)
+			finished++
+		}
+	}
+	if finished > 0 {
+		r.met.TPOT = tpotSum / time.Duration(finished)
+	} else if r.met.DecodeSteps > 0 {
+		// No request finished (step-capped run): fall back to wall time per
+		// decode step, which is the same metric for fixed-length outputs.
+		r.met.TPOT = r.decodeWall / time.Duration(r.met.DecodeSteps)
+	}
+	if r.ttftN > 0 {
+		r.met.TTFT = r.ttftSum / time.Duration(r.ttftN)
+	}
+	if r.met.Joins > 0 {
+		r.met.QueueWait = r.waitSum / time.Duration(r.met.Joins)
+	}
+	r.met.FillP50 = percentile(r.fillLats, 0.50)
+	r.met.FillP99 = percentile(r.fillLats, 0.99)
+	r.met.Wall = r.clock
+	return r.met, outs, nil
+}
+
+// admit builds the running-sequence state for one request (session acquired
+// here — from the backend's session pool in the pooled configuration).
+func (r *runner) admit(sr *StreamRequest, index int) *streamSeq {
+	s := &streamSeq{sr: sr, firstTok: true}
+	s.req = sr.Req
+	s.idx = index
+	backend := sr.Backend
+	if backend == nil {
+		backend = r.cfg.Backend
+	}
+	if r.cfg.Mode != Unconstrained && backend != nil {
+		s.session = backend.NewSession()
+		if n := len(r.maskFree); n > 0 {
+			s.mask = r.maskFree[n-1]
+			r.maskFree = r.maskFree[:n-1]
+		} else {
+			s.mask = bitset.New(r.cfg.Tok.VocabSize())
+		}
+	}
+	r.waitSum += r.clock - sr.Arrival
+	r.met.Joins++
+	r.running = append(r.running, s)
+	return s
+}
+
+// chargeAdmission advances the clock for a group of newly admitted
+// sequences: prompt prefill plus grammar initialization, with the grammar
+// work hidden behind prefill in Overlap mode (Figure 8) and serialized
+// otherwise. Grammar resolves within the group overlap each other (cache
+// singleflight), so the group charges the max, not the sum.
+func (r *runner) chargeAdmission(admitted []*streamSeq) {
+	maxPrompt := 0
+	var maxInit time.Duration
+	for _, s := range admitted {
+		if s.req.PromptTokens > maxPrompt {
+			maxPrompt = s.req.PromptTokens
+		}
+		if s.sr.GrammarInit > maxInit {
+			maxInit = s.sr.GrammarInit
+		}
+	}
+	prefill := r.cfg.Profile.Prefill(maxPrompt)
+	switch {
+	case r.cfg.Mode == Unconstrained:
+		r.clock += prefill
+	case r.cfg.Mode == Overlap:
+		r.clock += maxDur(prefill, maxInit)
+	default: // Serial
+		r.clock += prefill + maxInit
+	}
+	for _, s := range admitted {
+		s.startedAt = r.clock
+	}
+}
+
+// leave removes running[i] from the batch, recycling its mask buffer and
+// returning its session to the pool when the backend supports it.
+func (r *runner) leave(i int) {
+	s := r.running[i]
+	if s.session != nil {
+		if c, ok := s.session.(interface{ Close() }); ok {
+			c.Close()
+		}
+		s.session = nil
+	}
+	if s.mask != nil {
+		r.maskFree = append(r.maskFree, s.mask)
+		s.mask = nil
+	}
+	r.running[i] = r.running[len(r.running)-1]
+	r.running = r.running[:len(r.running)-1]
+	r.met.Leaves++
+	r.finishedSeqs = append(r.finishedSeqs, s)
+}
+
+// decodeStep runs one batched decode step over the running sequences.
+func (r *runner) decodeStep() error {
+	live := len(r.running)
+	if live == 0 {
+		return nil
+	}
+	gpu := r.cfg.Profile.DecodeStep(live)
+
+	// Grammar phase: one mask per constrained sequence. Overlap mode fills
+	// the whole batch through the persistent worker pool (work stealing
+	// across sequences); Serial mode keeps grammar work on the critical path.
+	var fills []*streamSeq
+	for _, s := range r.running {
+		s.next = s.nextToken(r.cfg.Tok)
+		if s.session != nil {
+			fills = append(fills, s)
+		}
+	}
+	var fillWall, maskCPU time.Duration
+	if len(fills) > 0 {
+		t0 := time.Now()
+		if r.cfg.Mode == Overlap && len(fills) > 1 {
+			pool := r.cfg.Pool
+			if pool == nil {
+				pool = serve.DefaultPool()
+			}
+			pool.Run(len(fills), func(i int) {
+				s := fills[i]
+				f0 := time.Now()
+				s.session.FillMask(s.mask)
+				s.fillDur = time.Since(f0)
+			})
+		} else {
+			for _, s := range fills {
+				f0 := time.Now()
+				s.session.FillMask(s.mask)
+				s.fillDur = time.Since(f0)
+			}
+		}
+		fillWall = time.Since(t0)
+		for _, s := range fills {
+			maskCPU += s.fillDur
+			r.fillLats = append(r.fillLats, s.fillDur)
+		}
+		for _, s := range fills {
+			if !s.mask.Get(int(s.next)) {
+				return fmt.Errorf("engine: target token %d (%q) masked out (output so far %q)",
+					s.next, r.cfg.Tok.TokenBytes(s.next), s.output)
+			}
+		}
+	}
+
+	// Wall-clock for the step (§3.5): overlapped engines hide the batch
+	// grammar fill behind the GPU step and synchronize before sampling.
+	var stepWall time.Duration
+	if r.cfg.Mode == Overlap {
+		stepWall = maxDur(gpu, fillWall) + r.cfg.Profile.SamplePerStep
+	} else {
+		stepWall = gpu + fillWall + r.cfg.Profile.SamplePerStep
+	}
+	r.clock += stepWall
+	r.decodeWall += stepWall
+	r.met.GPUTime += gpu
+	r.met.MaskCPU += maskCPU
+	r.met.FillWall += fillWall
+	r.met.DecodeSteps++
+
+	// Sampling + acceptance phase.
+	for _, s := range r.running {
+		if s.firstTok {
+			s.firstTok = false
+			r.ttftSum += r.clock - s.sr.Arrival
+			r.ttftN++
+		}
+		if s.session != nil {
+			if err := s.session.Accept(s.next); err != nil {
+				return fmt.Errorf("engine: %w", err)
+			}
+		}
+		s.consume(r.cfg.Tok, s.next)
+		if s.done {
+			s.finishAt = r.clock
+			continue
+		}
+		// Jump-forward decoding (Appendix B): measured CPU is charged to the
+		// step (it runs on the grammar thread).
+		if r.cfg.JumpForward && s.session != nil {
+			if jf, ok := s.session.(baselines.JumpForwarder); ok {
+				t0 := time.Now()
+				forced := jf.JumpForward()
+				if forced != "" && s.emitted+len(forced) <= len(s.req.Target) &&
+					s.req.Target[s.emitted:s.emitted+len(forced)] == forced {
+					if err := jf.AcceptString(forced); err != nil {
+						return fmt.Errorf("engine: jump-forward: %w", err)
+					}
+					s.output = append(s.output, forced...)
+					s.emitted += len(forced)
+					n := len(r.cfg.Tok.Encode(forced))
+					s.outTokens += n
+					r.met.JumpForwardTokens += n
+				}
+				elapsed := time.Since(t0)
+				r.met.MaskCPU += elapsed
+				r.clock += elapsed
+				r.decodeWall += elapsed
+			}
+		}
+	}
+	return nil
+}
+
+// percentile returns the p-quantile of the (unsorted) latency sample.
+func percentile(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,18 +1,17 @@
-// Package engine simulates an LLM serving engine co-designed with the
-// grammar engine (§3.5): batched decoding where each step's wall time
-// combines modelled GPU time (from a llmsim.Profile) with measured grammar
-// CPU time, either serialized (mask generation on the critical path) or
-// overlapped (mask generation hidden behind the GPU step, synchronizing
-// before sampling). Jump-forward decoding (Appendix B) inserts forced
-// tokens without spending decode steps.
+// Package engine is the serving engine co-designed with the grammar runtime
+// (§3.5): continuous-batching decoding where sequences join and leave the
+// running batch mid-decode, each step's wall time combines modelled GPU time
+// (from a llmsim.Profile) with measured grammar CPU time — either serialized
+// (mask generation on the critical path) or overlapped (the whole batch's
+// masks filled through a persistent worker pool while the GPU step runs,
+// synchronizing before sampling). Jump-forward decoding (Appendix B) inserts
+// forced tokens without spending decode steps.
 package engine
 
 import (
-	"fmt"
 	"time"
 
 	"xgrammar/internal/baselines"
-	"xgrammar/internal/bitset"
 	"xgrammar/internal/llmsim"
 	"xgrammar/internal/tokenizer"
 )
@@ -43,7 +42,8 @@ func (m Mode) String() string {
 	}
 }
 
-// Config describes one engine configuration.
+// Config describes one fixed-batch engine configuration (the Run entry
+// point); RunStream takes the richer StreamConfig.
 type Config struct {
 	Profile llmsim.Profile
 	Mode    Mode
@@ -60,14 +60,14 @@ type Config struct {
 	MaxSteps int
 }
 
-// Metrics aggregates one batch run.
+// Metrics aggregates one run.
 type Metrics struct {
 	Requests          int
 	OutputTokens      int
 	DecodeSteps       int
 	JumpForwardTokens int
-	// TTFT is the mean time to first token (prefill + grammar init +
-	// first decode step).
+	// TTFT is the mean time from request arrival to first token (prefill +
+	// grammar init + first decode step, plus any queueing).
 	TTFT time.Duration
 	// TPOT is the mean, over requests, of decode latency per output token.
 	TPOT time.Duration
@@ -75,13 +75,24 @@ type Metrics struct {
 	MaskCPU time.Duration
 	// GPUTime is the total modelled GPU time.
 	GPUTime time.Duration
-	// Wall is the total modelled decode wall time.
+	// Wall is the total modelled wall time.
 	Wall time.Duration
 }
 
+// TokensPerSecond is the run's output-token throughput.
+func (m Metrics) TokensPerSecond() float64 {
+	if m.Wall <= 0 {
+		return 0
+	}
+	return float64(m.OutputTokens) / m.Wall.Seconds()
+}
+
+// seqState is the per-sequence decoding state shared by the continuous
+// scheduler.
 type seqState struct {
 	req       *llmsim.Request
 	session   baselines.Session
+	idx       int // position in the caller's request slice
 	emitted   int
 	outTokens int
 	done      bool
@@ -89,148 +100,24 @@ type seqState struct {
 	output    []byte
 }
 
-// Run decodes all requests as one static batch and returns metrics plus the
-// generated text per request.
+func (s *seqState) index() int { return s.idx }
+
+// Run decodes all requests as one fixed batch: the continuous-batching
+// scheduler with every request arriving at time zero and no batch bound.
 func Run(cfg Config, reqs []*llmsim.Request) (Metrics, []string, error) {
-	if cfg.MaxSteps <= 0 {
-		cfg.MaxSteps = 8192
-	}
-	var met Metrics
-	met.Requests = len(reqs)
-	seqs := make([]*seqState, len(reqs))
-	maxPrompt := 0
+	streams := make([]*StreamRequest, len(reqs))
 	for i, r := range reqs {
-		s := &seqState{req: r}
-		if cfg.Mode != Unconstrained {
-			s.session = cfg.Backend.NewSession()
-		}
-		seqs[i] = s
-		if r.PromptTokens > maxPrompt {
-			maxPrompt = r.PromptTokens
-		}
+		streams[i] = &StreamRequest{Req: r, GrammarInit: cfg.GrammarInitTime}
 	}
-
-	// Prefill phase. Grammar preprocessing overlaps with prefill in Overlap
-	// mode (Figure 8); otherwise it precedes decoding.
-	prefill := cfg.Profile.Prefill(maxPrompt)
-	var clock time.Duration
-	switch cfg.Mode {
-	case Overlap:
-		clock = maxDur(prefill, cfg.GrammarInitTime)
-	case Serial:
-		clock = prefill + cfg.GrammarInitTime
-	default:
-		clock = prefill
-	}
-	// TPOT measures decode latency per token, excluding prefill and grammar
-	// preprocessing (which land in TTFT instead, as in the paper's TTFT
-	// deltas of Figure 12).
-	decodeStart := clock
-	firstStepDone := false
-
-	mask := bitset.New(cfg.Tok.VocabSize())
-	live := len(seqs)
-	for step := 0; live > 0 && step < cfg.MaxSteps; step++ {
-		gpu := cfg.Profile.DecodeStep(live)
-		var maskCPU time.Duration
-		// Grammar phase: mask generation per live sequence (measured).
-		type pending struct {
-			s    *seqState
-			next int32
-		}
-		var todo []pending
-		for _, s := range seqs {
-			if s.done {
-				continue
-			}
-			next := s.nextToken(cfg.Tok)
-			if cfg.Mode != Unconstrained {
-				t0 := time.Now()
-				s.session.FillMask(mask)
-				maskCPU += time.Since(t0)
-				if !mask.Get(int(next)) {
-					return met, nil, fmt.Errorf("engine: target token %d (%q) masked out (output so far %q)",
-						next, cfg.Tok.TokenBytes(next), s.output)
-				}
-			}
-			todo = append(todo, pending{s: s, next: next})
-		}
-		// Wall-clock for the step (§3.5): overlapped engines hide grammar
-		// CPU behind the GPU step and synchronize before sampling.
-		var stepWall time.Duration
-		if cfg.Mode == Overlap {
-			stepWall = maxDur(gpu, maskCPU) + cfg.Profile.SamplePerStep
-		} else {
-			stepWall = gpu + maskCPU + cfg.Profile.SamplePerStep
-		}
-		clock += stepWall
-		met.GPUTime += gpu
-		met.MaskCPU += maskCPU
-		met.DecodeSteps++
-		if !firstStepDone {
-			met.TTFT = clock
-			firstStepDone = true
-		}
-
-		// Sampling + acceptance phase.
-		for _, p := range todo {
-			s := p.s
-			if cfg.Mode != Unconstrained {
-				if err := s.session.Accept(p.next); err != nil {
-					return met, nil, fmt.Errorf("engine: %w", err)
-				}
-			}
-			s.consume(cfg.Tok, p.next)
-			if s.done {
-				s.finishAt = clock
-				live--
-				continue
-			}
-			// Jump-forward decoding (Appendix B): measured CPU is charged
-			// to the step (it runs on the grammar thread).
-			if cfg.JumpForward && cfg.Mode != Unconstrained {
-				if jf, ok := s.session.(baselines.JumpForwarder); ok {
-					t0 := time.Now()
-					forced := jf.JumpForward()
-					if forced != "" && s.emitted+len(forced) <= len(s.req.Target) &&
-						s.req.Target[s.emitted:s.emitted+len(forced)] == forced {
-						if err := jf.AcceptString(forced); err != nil {
-							return met, nil, fmt.Errorf("engine: jump-forward: %w", err)
-						}
-						s.output = append(s.output, forced...)
-						s.emitted += len(forced)
-						n := len(cfg.Tok.Encode(forced))
-						s.outTokens += n
-						met.JumpForwardTokens += n
-					}
-					elapsed := time.Since(t0)
-					met.MaskCPU += elapsed
-					clock += elapsed
-				}
-			}
-		}
-	}
-
-	outs := make([]string, len(seqs))
-	var tpotSum time.Duration
-	finished := 0
-	for i, s := range seqs {
-		outs[i] = string(s.output)
-		met.OutputTokens += s.outTokens
-		if s.done && s.outTokens > 0 {
-			tpotSum += (s.finishAt - decodeStart) / time.Duration(s.outTokens)
-			finished++
-		}
-	}
-	if finished > 0 {
-		met.TPOT = tpotSum / time.Duration(finished)
-	} else if met.DecodeSteps > 0 {
-		// No request finished (step-capped run): fall back to wall time per
-		// decode step, which is the same metric for fixed-length outputs.
-		met.TPOT = (clock - decodeStart) / time.Duration(met.DecodeSteps)
-	}
-	met.Wall = clock
-	return met, outs, nil
+	sm, outs, err := RunStream(StreamConfig{
+		Profile:     cfg.Profile,
+		Mode:        cfg.Mode,
+		Backend:     cfg.Backend,
+		Tok:         cfg.Tok,
+		JumpForward: cfg.JumpForward,
+		MaxSteps:    cfg.MaxSteps,
+	}, streams)
+	return sm.Metrics, outs, err
 }
 
 // nextToken returns the next token the teacher-forced model proposes: the

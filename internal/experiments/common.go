@@ -33,6 +33,8 @@ type Suite struct {
 	pdas   map[string]*pda.PDA
 	caches map[string]*maskcache.Cache
 	inits  map[string]time.Duration
+	// memoized serving-benchmark results (table and -json share one run)
+	serveResults []ServeResult
 }
 
 // NewSuite returns a suite configuration.

@@ -249,3 +249,40 @@ func TestSuiteTimersRecorded(t *testing.T) {
 	}
 	_ = time.Now()
 }
+
+// TestServeBench checks the continuous-batching serving benchmark: all
+// engines must emit the same token totals, batching dynamics must show
+// sequences joining and leaving a bounded batch, and the fill-latency
+// percentiles must be populated and ordered.
+func TestServeBench(t *testing.T) {
+	s := suite(t)
+	results := s.ServeBench()
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.OutputTokens != results[0].OutputTokens {
+			t.Fatalf("%s: output tokens %d != %d", r.Experiment, r.OutputTokens, results[0].OutputTokens)
+		}
+		if r.Joins != r.Requests || r.Leaves != r.Requests {
+			t.Fatalf("%s: joins/leaves %d/%d, want %d", r.Experiment, r.Joins, r.Leaves, r.Requests)
+		}
+		if r.PeakBatch > r.MaxBatch || r.PeakBatch < 2 {
+			t.Fatalf("%s: peak batch %d outside (2, %d]", r.Experiment, r.PeakBatch, r.MaxBatch)
+		}
+		if r.TokensPerSec <= 0 || r.FillP99US < r.FillP50US || r.FillP50US <= 0 {
+			t.Fatalf("%s: degenerate metrics %+v", r.Experiment, r)
+		}
+	}
+	// Overlapping the batch fill must not be slower than keeping grammar
+	// work on the critical path for the same continuous stream.
+	serial, overlap := results[1], results[2]
+	if overlap.TokensPerSec < serial.TokensPerSec*0.95 {
+		t.Fatalf("continuous overlap (%.0f tok/s) clearly slower than serial (%.0f tok/s)",
+			overlap.TokensPerSec, serial.TokensPerSec)
+	}
+	tb := s.Serve()
+	if len(tb.Rows) != 3 || !strings.Contains(tb.String(), "continuous overlap") {
+		t.Fatalf("serve table malformed:\n%s", tb.String())
+	}
+}

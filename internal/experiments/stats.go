@@ -71,6 +71,7 @@ func (s *Suite) All() []*Table {
 		s.Fig12(),
 		s.Stats(),
 		s.Par(),
+		s.Serve(),
 	}
 }
 
@@ -97,6 +98,8 @@ func (s *Suite) ByID(id string) (*Table, bool) {
 		return s.Stats(), true
 	case "par":
 		return s.Par(), true
+	case "serve":
+		return s.Serve(), true
 	}
 	return nil, false
 }

@@ -171,6 +171,7 @@ type buildWorker struct {
 	// scratch
 	acc, rej, ctx []int32
 	ovDepths      []int
+	sim           prefixSim
 }
 
 func newBuildWorker(c *Cache, ctxDFA []*fsa.DFA) *buildWorker {
@@ -189,8 +190,9 @@ func (w *buildWorker) buildNode(n int) {
 		return
 	}
 	acc, rej, ctx := w.acc[:0], w.rej[:0], w.ctx[:0]
-	root := []matcher.State{{Stack: pstack.Empty, Node: int32(n)}}
-	sim := newPrefixSim(w.exec, root, true)
+	root := append(w.exec.GetSet(), matcher.State{Stack: pstack.Empty, Node: int32(n)})
+	sim := &w.sim
+	sim.init(w.exec, root)
 	var dfa *fsa.DFA
 	if w.ctxDFA != nil {
 		dfa = w.ctxDFA[c.P.Nodes[n].Rule]

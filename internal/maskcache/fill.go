@@ -8,14 +8,21 @@ import (
 )
 
 // FillContext holds reusable scratch buffers for mask generation; one per
-// concurrent decoding sequence.
+// concurrent decoding sequence. Every buffer (including the prefix-sharing
+// simulator for context-dependent tokens) is reused across steps, so
+// steady-state mask generation performs no heap allocations.
 type FillContext struct {
 	tmp      *bitset.Bitset
 	nodes    []int32
 	ctxIDs   []int32
-	listA    []int32
-	listB    []int32
+	ctxTmp   []int32 // union scratch for the per-node ctx lists
 	byteRank []int32 // token id -> lexicographic rank, built lazily
+	// Algorithm 1 scratch (double-buffered partial sets).
+	rejA, rejB []int32
+	accA, accB []int32
+	mrg, diff  []int32
+	sorter     rankSorter
+	sim        prefixSim
 }
 
 // FillStats describes one mask-generation step.
@@ -77,12 +84,13 @@ func (c *Cache) FillMask(exec *matcher.Exec, states []matcher.State, mask *bitse
 	// each token against the real stacks.
 	fc.ctxIDs = fc.ctxIDs[:0]
 	for _, n := range fc.nodes {
-		fc.listA = append(fc.listA[:0], fc.ctxIDs...)
-		fc.ctxIDs = bitset.UnionSorted(fc.ctxIDs[:0], fc.listA, c.Nodes[n].Ctx)
+		fc.ctxTmp = append(fc.ctxTmp[:0], fc.ctxIDs...)
+		fc.ctxIDs = bitset.UnionSorted(fc.ctxIDs[:0], fc.ctxTmp, c.Nodes[n].Ctx)
 	}
 	if len(fc.ctxIDs) > 0 {
 		c.sortByBytes(fc.ctxIDs, fc)
-		sim := newPrefixSim(exec, exec.CloneSet(states), false)
+		sim := &fc.sim
+		sim.init(exec, exec.CloneSetInto(exec.GetSet(), states))
 		for _, id := range fc.ctxIDs {
 			_, alive := sim.run(c.Tok.TokenBytes(id))
 			st.CtxChecked++
@@ -112,45 +120,47 @@ func (c *Cache) FillMask(exec *matcher.Exec, states []matcher.State, mask *bitse
 // lists: accept-heavy masks intersect their rejected lists into PartialRej;
 // reject-heavy masks union their accepted lists into PartialAcc; the final
 // rejected set is PartialRej \ PartialAcc. Context-dependent tokens are
-// treated as rejected here and resolved afterwards.
+// treated as rejected here and resolved afterwards. All intermediates live
+// in FillContext scratch (double-buffered, swap instead of copy).
 func (c *Cache) mergeAlgorithm1(nodes []int32, mask *bitset.Bitset, fc *FillContext) {
-	partialRej := fc.listA[:0]
+	rej, rejNext := fc.rejA[:0], fc.rejB[:0]
 	rejIsAll := true // PartialRej starts as the full vocabulary
-	var partialAcc []int32
-	accBuf := fc.listB[:0]
+	acc, accNext := fc.accA[:0], fc.accB[:0]
+	mrg := fc.mrg[:0]
 
 	for _, n := range nodes {
 		nm := &c.Nodes[n]
 		switch nm.Kind {
 		case AcceptHeavy:
 			// Rej' = Tokens ∪ Ctx.
-			merged := bitset.UnionSorted(nil, nm.Tokens, nm.Ctx)
+			mrg = bitset.UnionSorted(mrg[:0], nm.Tokens, nm.Ctx)
 			if rejIsAll {
-				partialRej = append(partialRej[:0], merged...)
+				rej = append(rej[:0], mrg...)
 				rejIsAll = false
 			} else {
-				out := bitset.IntersectSorted(nil, partialRej, merged)
-				partialRej = append(partialRej[:0], out...)
+				rejNext = bitset.IntersectSorted(rejNext[:0], rej, mrg)
+				rej, rejNext = rejNext, rej
 			}
 		case RejectHeavy:
-			accBuf = bitset.UnionSorted(nil, partialAcc, nm.Tokens)
-			partialAcc = accBuf
+			accNext = bitset.UnionSorted(accNext[:0], acc, nm.Tokens)
+			acc, accNext = accNext, acc
 		}
 	}
-	fc.listA = partialRej[:0]
 
 	if rejIsAll {
 		// No accept-heavy mask: everything outside PartialAcc is rejected.
 		mask.ClearAll()
-		mask.SetList(partialAcc)
-		return
+		mask.SetList(acc)
+	} else {
+		mask.SetAll()
+		fc.diff = bitset.DiffSorted(fc.diff[:0], rej, acc)
+		mask.ClearList(fc.diff)
+		// Tokens accepted by a reject-heavy node must stay set even if another
+		// node rejected them (union over parallel stacks).
+		mask.SetList(acc)
 	}
-	mask.SetAll()
-	rej := bitset.DiffSorted(nil, partialRej, partialAcc)
-	mask.ClearList(rej)
-	// Tokens accepted by a reject-heavy node must stay set even if another
-	// node rejected them (union over parallel stacks).
-	mask.SetList(partialAcc)
+	// Hand the (possibly swapped) buffers back so their capacity is kept.
+	fc.rejA, fc.rejB, fc.accA, fc.accB, fc.mrg = rej, rejNext, acc, accNext, mrg
 }
 
 // mergeBitset is the fallback merge when a node uses bitset storage.
@@ -176,6 +186,17 @@ func (c *Cache) mergeBitset(nodes []int32, mask *bitset.Bitset, fc *FillContext)
 	}
 }
 
+// rankSorter orders token ids by a precomputed rank; a pointer to it
+// converts to sort.Interface without allocating.
+type rankSorter struct {
+	ids  []int32
+	rank []int32
+}
+
+func (r *rankSorter) Len() int           { return len(r.ids) }
+func (r *rankSorter) Less(i, j int) bool { return r.rank[r.ids[i]] < r.rank[r.ids[j]] }
+func (r *rankSorter) Swap(i, j int)      { r.ids[i], r.ids[j] = r.ids[j], r.ids[i] }
+
 // sortByBytes orders token ids by the lexicographic rank of their bytes, the
 // order that maximizes prefix sharing during resolution.
 func (c *Cache) sortByBytes(ids []int32, fc *FillContext) {
@@ -185,5 +206,7 @@ func (c *Cache) sortByBytes(ids []int32, fc *FillContext) {
 			fc.byteRank[id] = int32(rank)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return fc.byteRank[ids[i]] < fc.byteRank[ids[j]] })
+	fc.sorter.ids, fc.sorter.rank = ids, fc.byteRank
+	sort.Sort(&fc.sorter)
+	fc.sorter.ids = nil
 }

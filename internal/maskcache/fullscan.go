@@ -16,7 +16,8 @@ import (
 func FullScanMask(exec *matcher.Exec, tok *tokenizer.Tokenizer, states []matcher.State, mask *bitset.Bitset, canTerminate bool, sharePrefix bool) {
 	mask.ClearAll()
 	if sharePrefix {
-		sim := newPrefixSim(exec, exec.CloneSet(states), false)
+		var sim prefixSim
+		sim.init(exec, exec.CloneSetInto(exec.GetSet(), states))
 		for _, id := range tok.SortedRegularIDs() {
 			if _, alive := sim.run(tok.TokenBytes(id)); alive {
 				mask.Set(int(id))

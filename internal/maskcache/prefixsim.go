@@ -12,6 +12,10 @@ import "xgrammar/internal/matcher"
 // whether a branch completed the synthetic root frame at depth d (a
 // context-dependent overflow, §3.1). The persistent stack tree makes
 // rolling back to the shared prefix a slice truncation (§3.3).
+//
+// A prefixSim is reusable: init starts a new simulation reusing the buffers
+// (and the executor's state-set freelist) left behind by the previous
+// release, so steady-state mask generation allocates nothing.
 type prefixSim struct {
 	exec *matcher.Exec
 	// levels[d] owns references for its states.
@@ -22,22 +26,26 @@ type prefixSim struct {
 	// rest); CharsTotal counts the bytes that a naive scan would consume.
 	CharsStepped int64
 	CharsTotal   int64
+	// ov is set by onPop, the pre-bound closure handed to Closure (bound once
+	// per prefixSim so the per-byte step allocates no closure).
+	ov    bool
+	onPop func()
 }
 
-// newPrefixSim starts a simulation whose depth-0 set is the closure of root.
-// The root set's references are adopted (the caller must not release them).
-func newPrefixSim(exec *matcher.Exec, root []matcher.State, trackOverflow bool) *prefixSim {
-	s := &prefixSim{exec: exec}
-	var onPop func()
-	ov := false
-	if trackOverflow {
-		onPop = func() { ov = true }
+// init starts a simulation whose depth-0 set is the closure of root. The
+// root set's references are adopted (the caller must not release them). Any
+// previous simulation must have been released. Depth-0 overflows are
+// ignored: the runtime pop-closure covers them.
+func (s *prefixSim) init(exec *matcher.Exec, root []matcher.State) {
+	s.exec = exec
+	if s.onPop == nil {
+		s.onPop = func() { s.ov = true }
 	}
-	closed := exec.Closure(root, onPop)
-	_ = ov // depth-0 overflow is ignored: runtime pop-closure covers it
-	s.levels = append(s.levels, closed)
-	s.overflowAt = append(s.overflowAt, false)
-	return s
+	s.CharsStepped = 0
+	s.CharsTotal = 0
+	s.prev = s.prev[:0]
+	s.levels = append(s.levels[:0], exec.Closure(root, nil))
+	s.overflowAt = append(s.overflowAt[:0], false)
 }
 
 // run consumes tok, sharing the common prefix with the previous token.
@@ -52,7 +60,7 @@ func (s *prefixSim) run(tok []byte) (depth int, alive bool) {
 	}
 	// Drop levels beyond the shared prefix.
 	for d := len(s.levels) - 1; d > cp; d-- {
-		s.exec.ReleaseSet(s.levels[d])
+		s.exec.RecycleSet(s.levels[d])
 		s.levels = s.levels[:d]
 		s.overflowAt = s.overflowAt[:d]
 	}
@@ -65,11 +73,11 @@ func (s *prefixSim) run(tok []byte) (depth int, alive bool) {
 			return d, false
 		}
 		s.CharsStepped++
-		stepped := s.exec.StepByte(cur, tok[d], nil)
-		ov := false
-		closed := s.exec.Closure(stepped, func() { ov = true })
+		stepped := s.exec.StepByte(cur, tok[d], s.exec.GetSet())
+		s.ov = false
+		closed := s.exec.Closure(stepped, s.onPop)
 		s.levels = append(s.levels, closed)
-		s.overflowAt = append(s.overflowAt, ov)
+		s.overflowAt = append(s.overflowAt, s.ov)
 	}
 	last := s.levels[len(tok)]
 	return len(tok), len(last) > 0
@@ -86,13 +94,14 @@ func (s *prefixSim) overflowDepths(dst []int, upto int) []int {
 	return dst
 }
 
-// release frees all retained state sets.
+// release recycles all retained state sets; the prefixSim may be re-inited.
 func (s *prefixSim) release() {
 	for _, lv := range s.levels {
-		s.exec.ReleaseSet(lv)
+		s.exec.RecycleSet(lv)
 	}
-	s.levels = nil
-	s.overflowAt = nil
+	s.levels = s.levels[:0]
+	s.overflowAt = s.overflowAt[:0]
+	s.prev = s.prev[:0]
 }
 
 func commonPrefix(a, b []byte) int {

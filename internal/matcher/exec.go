@@ -21,9 +21,16 @@ type State struct {
 
 // Exec provides the core PDA execution steps over state sets. Every state
 // held in a set owns one reference to its stack; ReleaseSet drops them.
+//
+// An Exec also keeps a freelist of state-set backing arrays so steady-state
+// stepping (the serving hot path) allocates nothing: callers obtain scratch
+// sets with GetSet, and return ones they are done with via RecycleSet (or
+// PutSet for already-released sets). The freelist, like the stack tree, is
+// single-goroutine state.
 type Exec struct {
 	P    *pda.PDA
 	Tree *pstack.Tree
+	free [][]State
 }
 
 // NewExec returns an executor over p with a fresh stack tree.
@@ -34,7 +41,13 @@ func NewExec(p *pda.PDA) *Exec {
 // InitialState returns the start configuration (empty stack, root rule
 // start). The returned set owns its references.
 func (e *Exec) InitialState() []State {
-	return []State{{Stack: pstack.Empty, Node: e.P.RuleStart[e.P.Root]}}
+	return e.InitialStateInto(nil)
+}
+
+// InitialStateInto writes the start configuration into dst (reset to length
+// zero) and returns it.
+func (e *Exec) InitialStateInto(dst []State) []State {
+	return append(dst[:0], State{Stack: pstack.Empty, Node: e.P.RuleStart[e.P.Root]})
 }
 
 // ReleaseSet releases every stack reference held by set.
@@ -44,14 +57,46 @@ func (e *Exec) ReleaseSet(set []State) {
 	}
 }
 
+// GetSet returns an empty state-set buffer from the freelist (nil when the
+// freelist is empty; append grows it as usual).
+func (e *Exec) GetSet() []State {
+	if n := len(e.free); n > 0 {
+		b := e.free[n-1]
+		e.free = e.free[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// PutSet returns a buffer whose references were already dropped to the
+// freelist. The caller must not use the slice afterwards.
+func (e *Exec) PutSet(set []State) {
+	if cap(set) > 0 {
+		e.free = append(e.free, set[:0])
+	}
+}
+
+// RecycleSet releases every reference held by set and returns its backing
+// array to the freelist.
+func (e *Exec) RecycleSet(set []State) {
+	e.ReleaseSet(set)
+	e.PutSet(set)
+}
+
 // CloneSet returns a copy of set owning fresh references.
 func (e *Exec) CloneSet(set []State) []State {
-	out := make([]State, len(set))
-	copy(out, set)
-	for _, s := range out {
+	return e.CloneSetInto(make([]State, 0, len(set)), set)
+}
+
+// CloneSetInto copies set into dst (reset to length zero), retaining a fresh
+// reference per state, and returns it. Use with GetSet to clone without
+// allocating in steady state.
+func (e *Exec) CloneSetInto(dst, set []State) []State {
+	dst = append(dst[:0], set...)
+	for _, s := range dst {
 		e.Tree.Retain(s.Stack)
 	}
-	return out
+	return dst
 }
 
 func containsState(set []State, s State) bool {

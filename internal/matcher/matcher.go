@@ -38,23 +38,26 @@ func (m *Matcher) States() []State { return m.cur }
 
 // Advance consumes bytes atomically: either all bytes are accepted and a
 // checkpoint is recorded, or the matcher is left unchanged and Advance
-// reports false.
+// reports false. Scratch sets come from the executor's freelist, so in
+// steady state (history full, capacities settled) Advance allocates nothing.
 func (m *Matcher) Advance(bytes []byte) bool {
-	set := m.exec.CloneSet(m.cur)
+	set := m.exec.CloneSetInto(m.exec.GetSet(), m.cur)
 	for _, b := range bytes {
 		set = m.exec.Closure(set, nil)
 		m.scratch = m.exec.StepByte(set, b, m.scratch)
 		m.exec.ReleaseSet(set)
 		set, m.scratch = m.scratch, set[:0]
 		if len(set) == 0 {
+			m.exec.PutSet(set)
 			return false
 		}
 	}
 	set = m.exec.Closure(set, nil)
-	// Commit: push the old state onto history, adopt the new one.
+	// Commit: push the old state onto history, adopt the new one. The evicted
+	// oldest checkpoint's buffer feeds the freelist, balancing the clone above.
 	m.hist = append(m.hist, m.cur)
 	if len(m.hist) > m.maxHistory {
-		m.exec.ReleaseSet(m.hist[0])
+		m.exec.RecycleSet(m.hist[0])
 		copy(m.hist, m.hist[1:])
 		m.hist = m.hist[:len(m.hist)-1]
 	}
@@ -74,7 +77,7 @@ func (m *Matcher) Rollback(n int) error {
 		return fmt.Errorf("matcher: cannot roll back %d steps (history %d)", n, len(m.hist))
 	}
 	for i := 0; i < n; i++ {
-		m.exec.ReleaseSet(m.cur)
+		m.exec.RecycleSet(m.cur)
 		m.cur = m.hist[len(m.hist)-1]
 		m.hist = m.hist[:len(m.hist)-1]
 	}
@@ -101,10 +104,16 @@ const maxJumpForward = 4096
 // modified. The string is empty when the next byte is ambiguous or the
 // grammar may terminate here.
 func (m *Matcher) JumpForward() string {
-	set := m.exec.CloneSet(m.cur)
-	defer func() { m.exec.ReleaseSet(set) }()
-	var out []byte
-	var scratch []State
+	return string(m.JumpForwardAppend(nil))
+}
+
+// JumpForwardAppend appends the jump-forward continuation to dst (reset to
+// length zero) and returns it. With a reused dst the probe is allocation-free,
+// which is what the serving runtime's fused step relies on.
+func (m *Matcher) JumpForwardAppend(dst []byte) []byte {
+	set := m.exec.CloneSetInto(m.exec.GetSet(), m.cur)
+	scratch := m.exec.GetSet()
+	out := dst[:0]
 	for len(out) < maxJumpForward {
 		if m.exec.CanTerminate(set) {
 			break
@@ -130,7 +139,9 @@ func (m *Matcher) JumpForward() string {
 		set = m.exec.Closure(set, nil)
 		out = append(out, b)
 	}
-	return string(out)
+	m.exec.RecycleSet(set)
+	m.exec.PutSet(scratch)
+	return out
 }
 
 // Fork returns a new matcher at the same position, sharing the compiled
@@ -151,22 +162,24 @@ func (m *Matcher) Fork() *Matcher {
 // Release frees the matcher's stack references. Use when discarding a fork
 // so the shared tree can reclaim nodes; the matcher must not be used after.
 func (m *Matcher) Release() {
-	m.exec.ReleaseSet(m.cur)
+	m.exec.RecycleSet(m.cur)
 	m.cur = nil
 	for _, h := range m.hist {
-		m.exec.ReleaseSet(h)
+		m.exec.RecycleSet(h)
 	}
 	m.hist = nil
 }
 
-// Reset returns the matcher to the start state and clears history.
+// Reset returns the matcher to the start state and clears history. Buffers
+// are recycled through the executor freelist, so resetting a pooled matcher
+// between generations is allocation-free once capacities settle.
 func (m *Matcher) Reset() {
-	m.exec.ReleaseSet(m.cur)
+	m.exec.RecycleSet(m.cur)
 	for _, h := range m.hist {
-		m.exec.ReleaseSet(h)
+		m.exec.RecycleSet(h)
 	}
 	m.hist = m.hist[:0]
-	m.cur = m.exec.Closure(m.exec.InitialState(), nil)
+	m.cur = m.exec.Closure(m.exec.InitialStateInto(m.exec.GetSet()), nil)
 }
 
 // NumStacks returns the number of parallel stacks (states) currently live.

@@ -1,0 +1,259 @@
+// Package serve is the continuous-batching serving runtime that co-designs
+// the grammar engine with the LLM engine (§3.5): pooled per-sequence
+// sessions whose steady-state decode step is allocation-free, and a
+// persistent worker pool that fills a whole batch's token masks with work
+// stealing across sequences.
+//
+// A Session fuses the per-token grammar work — accept the sampled token,
+// probe the jump-forward continuation (Appendix B), and fill the next-step
+// token mask — into one Step call over resources (matcher, fill context,
+// mask buffer) that are recycled through a sync.Pool, so sequences joining
+// and leaving a running batch never re-allocate grammar state.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"xgrammar/internal/bitset"
+	"xgrammar/internal/maskcache"
+	"xgrammar/internal/matcher"
+	"xgrammar/internal/pda"
+	"xgrammar/internal/tokenizer"
+)
+
+// SessionPool recycles decoding sessions for one compiled grammar. Acquire
+// returns a session at the grammar start state; Release (or Session.Close)
+// hands it back. The pool is safe for concurrent use; individual sessions
+// are not (one per sequence, driven from one goroutine at a time).
+type SessionPool struct {
+	p          *pda.PDA
+	cache      *maskcache.Cache // nil: full-vocabulary scan fills
+	tok        *tokenizer.Tokenizer
+	maxHistory int
+	pool       sync.Pool
+	created    atomic.Int64
+	reused     atomic.Int64
+}
+
+// NewSessionPool returns a pool of sessions over the compiled automaton.
+// cache may be nil (every fill scans the vocabulary); maxHistory <= 0 uses
+// the matcher default rollback window.
+func NewSessionPool(p *pda.PDA, cache *maskcache.Cache, tok *tokenizer.Tokenizer, maxHistory int) *SessionPool {
+	return &SessionPool{p: p, cache: cache, tok: tok, maxHistory: maxHistory}
+}
+
+// Acquire returns a session at the grammar start state, reusing a released
+// one when available.
+func (sp *SessionPool) Acquire() *Session {
+	if v := sp.pool.Get(); v != nil {
+		sp.reused.Add(1)
+		return v.(*Session)
+	}
+	sp.created.Add(1)
+	exec := matcher.NewExec(sp.p)
+	words := bitset.WordsFor(sp.tok.VocabSize())
+	s := &Session{
+		sp:    sp,
+		exec:  exec,
+		m:     matcher.New(exec, sp.maxHistory),
+		fc:    maskcache.NewFillContext(sp.tok.VocabSize()),
+		mask:  make([]uint64, words),
+		dirty: true,
+	}
+	s.bs = bitset.FromWords(s.mask, sp.tok.VocabSize())
+	return s
+}
+
+// Release resets the session and returns it to the pool. The session must
+// not be used afterwards.
+func (sp *SessionPool) Release(s *Session) {
+	s.m.Reset()
+	s.terminated = false
+	s.dirty = true
+	s.lastStats = maskcache.FillStats{}
+	sp.pool.Put(s)
+}
+
+// PoolStats reports session recycling activity.
+type PoolStats struct {
+	// Created counts sessions built from scratch; Reused counts Acquire
+	// calls served by recycling a released session.
+	Created, Reused int64
+}
+
+// Stats returns a snapshot of the pool counters.
+func (sp *SessionPool) Stats() PoolStats {
+	return PoolStats{Created: sp.created.Load(), Reused: sp.reused.Load()}
+}
+
+// Tok returns the tokenizer the pool's grammar was compiled for.
+func (sp *SessionPool) Tok() *tokenizer.Tokenizer { return sp.tok }
+
+// StepResult is the outcome of one fused decode step.
+type StepResult struct {
+	// Terminated is true once the stop token has been accepted; the mask is
+	// all zero from then on.
+	Terminated bool
+	// JumpForward is the deterministic continuation available after the
+	// accepted token (empty when the next byte is ambiguous). The bytes are
+	// only valid until the next call on the session; callers that keep the
+	// continuation must copy it (or feed it straight to AcceptString).
+	JumpForward []byte
+	// Stats instruments the mask fill.
+	Stats maskcache.FillStats
+}
+
+// Session tracks one generation over pooled grammar resources: a matcher, a
+// mask-fill scratch context, and the session's own mask buffer. In steady
+// state Step performs no heap allocations. A Session also satisfies the
+// baselines.Session and baselines.JumpForwarder interfaces, so the serving
+// engine can schedule pooled sessions like any other grammar backend.
+type Session struct {
+	sp   *SessionPool
+	exec *matcher.Exec
+	m    *matcher.Matcher
+	fc   *maskcache.FillContext
+	mask []uint64
+	bs   *bitset.Bitset
+	jf   []byte
+	// dirty is true when the matcher advanced past the state Mask was
+	// filled for; Fill is a no-op while clean, so a batch fill never
+	// recomputes a mask the fused Step already produced (and vice versa).
+	dirty      bool
+	lastStats  maskcache.FillStats
+	terminated bool
+}
+
+// Step is the fused per-token hot path: accept the sampled token, probe the
+// jump-forward continuation, and fill the next-step mask into Mask(), all in
+// one call. Accepting the stop token terminates the session (legal only when
+// the grammar can complete) and clears the mask.
+func (s *Session) Step(id int32) (StepResult, error) {
+	var res StepResult
+	if err := s.Accept(id); err != nil {
+		return res, err
+	}
+	if s.terminated {
+		res.Terminated = true
+		return res, nil
+	}
+	s.jf = s.m.JumpForwardAppend(s.jf)
+	res.JumpForward = s.jf
+	res.Stats = s.Fill()
+	return res, nil
+}
+
+// Fill computes the allowed-token mask for the next decoding step into the
+// session's own buffer (Mask). Fill is idempotent: when the mask is already
+// current — the fused Step just produced it, or a batch fill ran since the
+// last accept — it returns the cached statistics without recomputing, so
+// mixing Step with WorkerPool batch fills never does the grammar work twice.
+func (s *Session) Fill() maskcache.FillStats {
+	if !s.dirty {
+		return s.lastStats
+	}
+	s.lastStats = s.fillInto(s.bs)
+	s.dirty = false
+	return s.lastStats
+}
+
+// Mask returns the session's mask buffer: bit i set means token i keeps the
+// output inside the grammar. Valid until the next Step/Fill call.
+func (s *Session) Mask() []uint64 { return s.mask }
+
+// FillMask fills the allowed-token mask into a caller-provided bitset (the
+// baselines.Session fill path used by the serving engine).
+func (s *Session) FillMask(mask *bitset.Bitset) { s.fillInto(mask) }
+
+func (s *Session) fillInto(mask *bitset.Bitset) maskcache.FillStats {
+	if s.terminated {
+		mask.ClearAll()
+		return maskcache.FillStats{}
+	}
+	canTerm := s.m.CanTerminate()
+	if s.sp.cache != nil {
+		return s.sp.cache.FillMask(s.exec, s.m.States(), mask, canTerm, s.fc)
+	}
+	maskcache.FullScanMask(s.exec, s.sp.tok, s.m.States(), mask, canTerm, true)
+	return maskcache.FillStats{}
+}
+
+// Accept advances the session by one generated token without the fused
+// probe+fill — the batch-decoding path where the next round's WorkerPool
+// fill computes the mask while the GPU runs. The stop token terminates the
+// generation; it is only legal when the grammar can complete.
+func (s *Session) Accept(id int32) error {
+	if s.terminated {
+		return fmt.Errorf("serve: session already terminated")
+	}
+	if id == tokenizer.EosID {
+		if !s.m.CanTerminate() {
+			return fmt.Errorf("serve: stop token before grammar completion")
+		}
+		s.terminated = true
+		s.bs.ClearAll()
+		s.dirty = false
+		s.lastStats = maskcache.FillStats{}
+		return nil
+	}
+	if s.sp.tok.IsSpecial(id) {
+		return fmt.Errorf("serve: special token %d not allowed", id)
+	}
+	if !s.m.Advance(s.sp.tok.TokenBytes(id)) {
+		return fmt.Errorf("serve: token %d (%q) violates grammar", id, s.sp.tok.TokenBytes(id))
+	}
+	s.dirty = true
+	return nil
+}
+
+// AcceptString advances the session by raw bytes as one checkpoint — the
+// jump-forward insertion path (the caller refills via Fill or the next Step).
+func (s *Session) AcceptString(text string) error {
+	if s.terminated {
+		return fmt.Errorf("serve: session already terminated")
+	}
+	if !s.m.Advance([]byte(text)) {
+		return fmt.Errorf("serve: string %q violates grammar", text)
+	}
+	s.dirty = true
+	return nil
+}
+
+// JumpForward returns the deterministic continuation of the current state,
+// or "" when the next byte is ambiguous.
+func (s *Session) JumpForward() string {
+	if s.terminated {
+		return ""
+	}
+	return s.m.JumpForward()
+}
+
+// Rollback undoes the last n Accept/AcceptString calls. Like the matcher's
+// rollback it is atomic: on error (n exceeds the retained history) the
+// session is unchanged.
+func (s *Session) Rollback(n int) error {
+	steps := n
+	if s.terminated && steps > 0 {
+		steps-- // undoing the terminating EOS costs no matcher step
+	}
+	if err := s.m.Rollback(steps); err != nil {
+		return err
+	}
+	if s.terminated && n > 0 {
+		s.terminated = false
+	}
+	s.dirty = true
+	return nil
+}
+
+// CanTerminate reports whether the grammar permits stopping here.
+func (s *Session) CanTerminate() bool { return !s.terminated && s.m.CanTerminate() }
+
+// IsTerminated reports whether the stop token has been accepted.
+func (s *Session) IsTerminated() bool { return s.terminated }
+
+// Close releases the session back to its pool. The session must not be used
+// afterwards.
+func (s *Session) Close() { s.sp.Release(s) }

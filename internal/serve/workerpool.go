@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"xgrammar/internal/maskcache"
+)
+
+// WorkerPool is a persistent pool of goroutines that executes batches of
+// independent work items — one mask fill per live sequence per decode step
+// in the serving scenario (§3.5). Unlike a per-call goroutine fan-out, the
+// workers live for the lifetime of the pool, so a decode step pays no
+// goroutine spawn cost; within a batch the index space is split into
+// per-participant shards and idle participants steal from the shards of
+// slower ones, which keeps the batch balanced when sequences have very
+// different mask costs (deep stacks, context-dependent tokens).
+type WorkerPool struct {
+	workers int
+	jobs    chan *fillJob
+	quit    chan struct{}
+	once    sync.Once
+
+	batches atomic.Int64
+	items   atomic.Int64
+	steals  atomic.Int64
+}
+
+// fillJob is one batch of n independent items. Participants (workers plus
+// the submitting caller) claim indices from per-shard cursors; the last
+// finished item closes done.
+type fillJob struct {
+	run       func(i int)
+	n         int
+	chunk     int
+	shards    []jobShard
+	nextPart  atomic.Int64
+	remaining atomic.Int64
+	done      chan struct{}
+}
+
+// jobShard is a claim cursor padded to its own cache line.
+type jobShard struct {
+	cursor atomic.Int64
+	_      [7]int64
+}
+
+// NewWorkerPool starts a pool with the given number of persistent workers;
+// n <= 0 uses GOMAXPROCS. The submitting goroutine always participates in
+// its own batches, so even a closed or zero-worker pool makes progress.
+func NewWorkerPool(n int) *WorkerPool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &WorkerPool{
+		workers: n,
+		jobs:    make(chan *fillJob, n),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		go func() {
+			for {
+				select {
+				case j := <-p.jobs:
+					p.work(j)
+				case <-p.quit:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Run executes fn(i) for every i in [0, n), fanning the items out across the
+// pool's workers with the submitting goroutine participating. It returns
+// when all n items have completed.
+func (p *WorkerPool) Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	p.batches.Add(1)
+	p.items.Add(int64(n))
+	if n == 1 {
+		fn(0)
+		return
+	}
+	parts := p.workers + 1
+	if parts > n {
+		parts = n
+	}
+	j := &fillJob{
+		run:    fn,
+		n:      n,
+		chunk:  (n + parts - 1) / parts,
+		shards: make([]jobShard, parts),
+		done:   make(chan struct{}),
+	}
+	for s := range j.shards {
+		j.shards[s].cursor.Store(int64(s * j.chunk))
+	}
+	j.remaining.Store(int64(n))
+	// Wake up to parts-1 workers without blocking: the buffered channel
+	// holds the announcements, and a stale announcement (job already
+	// finished) is a cheap no-op for whoever drains it.
+announce:
+	for w := 0; w < parts-1; w++ {
+		select {
+		case <-p.quit:
+			break announce // closed pool: no workers left to drain announcements
+		case p.jobs <- j:
+		default:
+			break announce // channel full; busy workers will drain it, the caller picks up the slack
+		}
+	}
+	p.work(j)
+	<-j.done
+	// Undrained announcements may keep the job reachable from the channel;
+	// drop the work closure (and the batch it captures) now that every item
+	// has run — a stale announcement is then just a few words of memory.
+	j.run = nil
+}
+
+// work claims items for one participant: drain the participant's own shard,
+// then steal from the other shards.
+func (p *WorkerPool) work(j *fillJob) {
+	id := int(j.nextPart.Add(1)) - 1
+	if id >= len(j.shards) {
+		return // late announcement; the batch is already fully claimed
+	}
+	for off := 0; off < len(j.shards); off++ {
+		s := (id + off) % len(j.shards)
+		end := (s + 1) * j.chunk
+		if end > j.n {
+			end = j.n
+		}
+		stole := false
+		for {
+			i := int(j.shards[s].cursor.Add(1)) - 1
+			if i >= end {
+				break
+			}
+			j.run(i)
+			stole = off > 0
+			if j.remaining.Add(-1) == 0 {
+				close(j.done)
+			}
+		}
+		if stole {
+			p.steals.Add(1)
+		}
+	}
+}
+
+// FillSessions fills every session's own mask buffer for one decode step and
+// returns the per-session fill statistics.
+func (p *WorkerPool) FillSessions(sessions []*Session) []maskcache.FillStats {
+	stats := make([]maskcache.FillStats, len(sessions))
+	p.Run(len(sessions), func(i int) { stats[i] = sessions[i].Fill() })
+	return stats
+}
+
+// Close stops the persistent workers and drains any stale announcements.
+// Run remains usable afterwards (the caller just does all the work itself).
+func (p *WorkerPool) Close() {
+	p.once.Do(func() {
+		close(p.quit)
+		for {
+			select {
+			case <-p.jobs:
+			default:
+				return
+			}
+		}
+	})
+}
+
+// WorkerPoolStats reports pool activity.
+type WorkerPoolStats struct {
+	// Workers is the number of persistent workers.
+	Workers int
+	// Batches and Items count Run calls and total items executed.
+	Batches, Items int64
+	// Steals counts shard visits where a participant executed items outside
+	// its own shard (work stealing events).
+	Steals int64
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *WorkerPool) Stats() WorkerPoolStats {
+	return WorkerPoolStats{
+		Workers: p.workers,
+		Batches: p.batches.Load(),
+		Items:   p.items.Load(),
+		Steals:  p.steals.Load(),
+	}
+}
+
+var (
+	defaultPoolOnce sync.Once
+	defaultPool     *WorkerPool
+)
+
+// DefaultPool returns the process-wide shared worker pool, started on first
+// use with one worker per CPU. It is never closed; serving runtimes that
+// want their own sizing create pools with NewWorkerPool.
+func DefaultPool() *WorkerPool {
+	defaultPoolOnce.Do(func() { defaultPool = NewWorkerPool(0) })
+	return defaultPool
+}

@@ -1,0 +1,192 @@
+package xgrammar
+
+import (
+	"xgrammar/internal/maskcache"
+	"xgrammar/internal/serve"
+)
+
+// Engine is the continuous-batching serving runtime (§3.5): it resolves
+// grammars through the compiler's compiled-grammar cache, hands out pooled
+// Sessions whose steady-state decode step allocates nothing, and fills whole
+// batches of masks through a persistent work-stealing worker pool.
+//
+// Typical serving loop (one Session per live sequence; sequences join and
+// leave the batch between steps). Masks are computed once per token: in the
+// batch loop, Accept advances a sequence without filling, and the next
+// round's FillBatch computes every stale mask in parallel while the GPU
+// forward pass runs:
+//
+//	eng := xgrammar.NewEngine(compiler)
+//	s, err := eng.OpenGrammarSession(src) // compiled-grammar cache hit after the first request
+//	...
+//	gpuDone := launchForwardPass(live)
+//	eng.FillBatch(live)                   // one decode step's masks, under the GPU step
+//	<-gpuDone
+//	for _, s := range live {
+//	    id := sample(logits[s], s.Mask())
+//	    err := s.Accept(id)               // no fill: next FillBatch does it overlapped
+//	    if s.IsTerminated() { s.Close() } // session recycled for the next arrival
+//	}
+type Engine struct {
+	compiler *Compiler
+	pool     *serve.WorkerPool
+	ownPool  bool
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*engineConfig)
+
+type engineConfig struct {
+	workers int
+}
+
+// WithFillWorkers gives the engine a dedicated batch-fill worker pool with n
+// persistent workers (n <= 0 means one per CPU) instead of the process-wide
+// shared pool. Close releases a dedicated pool's workers.
+func WithFillWorkers(n int) EngineOption {
+	return func(c *engineConfig) {
+		c.workers = n
+		if n <= 0 {
+			c.workers = -1
+		}
+	}
+}
+
+// NewEngine returns a serving engine over the compiler's tokenizer and
+// compiled-grammar cache.
+func NewEngine(compiler *Compiler, opts ...EngineOption) *Engine {
+	cfg := engineConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := &Engine{compiler: compiler}
+	if cfg.workers != 0 {
+		n := cfg.workers
+		if n < 0 {
+			n = 0
+		}
+		e.pool = serve.NewWorkerPool(n)
+		e.ownPool = true
+	} else {
+		e.pool = serve.DefaultPool()
+	}
+	return e
+}
+
+// Compiler returns the engine's grammar compiler.
+func (e *Engine) Compiler() *Compiler { return e.compiler }
+
+// Close stops the engine's dedicated worker pool, if it has one. Sessions
+// already open remain usable (fills fall back to the closing goroutine).
+func (e *Engine) Close() {
+	if e.ownPool {
+		e.pool.Close()
+	}
+}
+
+// OpenSession starts a generation against an already compiled grammar,
+// recycling the grammar state (matcher, fill scratch, mask buffer) of a
+// finished session when one is available. The session's mask is filled for
+// the first decoding step. Pools live on the grammar itself, so their
+// memory is reclaimed when the compiled-grammar LRU evicts it.
+func (e *Engine) OpenSession(cg *CompiledGrammar) *Session {
+	s := cg.sessionPool().Acquire()
+	s.Fill()
+	return &Session{e: e, cg: cg, s: s}
+}
+
+// OpenGrammarSession compiles (or cache-resolves) EBNF source and opens a
+// session against it — the per-request entry point of a grammar-serving
+// endpoint: after the first request for a grammar, compilation is a cache
+// hit and session state is pooled.
+func (e *Engine) OpenGrammarSession(src string) (*Session, error) {
+	cg, err := e.compiler.CompileGrammar(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.OpenSession(cg), nil
+}
+
+// OpenJSONSchemaSession is OpenGrammarSession for a JSON Schema request.
+func (e *Engine) OpenJSONSchemaSession(schema []byte, o SchemaOptions) (*Session, error) {
+	cg, err := e.compiler.CompileJSONSchema(schema, o)
+	if err != nil {
+		return nil, err
+	}
+	return e.OpenSession(cg), nil
+}
+
+// FillBatch brings every session's mask up to date for one decode step
+// through the engine's persistent worker pool, intended to run while the
+// GPU forward pass executes (§3.5). Sessions may be attached to different
+// grammars. Sessions whose mask is already current (the fused Step computed
+// it) are skipped, so the grammar work runs exactly once per token however
+// Step, Accept, and FillBatch are combined.
+func (e *Engine) FillBatch(sessions []*Session) []maskcache.FillStats {
+	stats := make([]maskcache.FillStats, len(sessions))
+	e.pool.Run(len(sessions), func(i int) { stats[i] = sessions[i].s.Fill() })
+	return stats
+}
+
+// StepResult is the outcome of one fused Session.Step: termination, the
+// jump-forward continuation (valid until the next call on the session), and
+// fill instrumentation.
+type StepResult = serve.StepResult
+
+// Session tracks one generation inside a serving Engine. Unlike the
+// lower-level Matcher, a Session owns its mask buffer, fuses the per-token
+// work into Step, and returns its grammar state to the engine's pool on
+// Close. Sessions are not safe for concurrent use; drive each from one
+// goroutine (FillBatch coordinates batch fills internally).
+type Session struct {
+	e  *Engine
+	cg *CompiledGrammar
+	s  *serve.Session
+}
+
+// Step is the fused per-token call for driving one sequence directly:
+// accept the sampled token, probe the jump-forward continuation, and fill
+// Mask for the next step. Batch loops that overlap fills with the GPU use
+// Accept instead and let FillBatch compute the mask.
+func (s *Session) Step(id int32) (StepResult, error) { return s.s.Step(id) }
+
+// Accept advances the session by the sampled token without recomputing the
+// mask — the batch-serving path where the next round's FillBatch fills every
+// stale mask in parallel under the GPU step. Accepting the stop token
+// terminates the session.
+func (s *Session) Accept(id int32) error { return s.s.Accept(id) }
+
+// Fill recomputes the mask for the next decoding step (Step does this
+// automatically; Fill is for after AcceptString/Rollback).
+func (s *Session) Fill() maskcache.FillStats { return s.s.Fill() }
+
+// Mask is the allowed-token bitmask for the next decoding step: bit i set
+// means token i keeps the output inside the grammar. The slice is owned by
+// the session and rewritten by Step/Fill.
+func (s *Session) Mask() []uint64 { return s.s.Mask() }
+
+// AcceptString advances the session by raw bytes as one checkpoint (prompt
+// priming or jump-forward insertion); call Fill (or the next Step) before
+// reading Mask again.
+func (s *Session) AcceptString(text string) error { return s.s.AcceptString(text) }
+
+// JumpForward returns the deterministic continuation of the current state
+// (Appendix B), or "" when the next byte is ambiguous.
+func (s *Session) JumpForward() string { return s.s.JumpForward() }
+
+// Rollback undoes the last n Step/AcceptString calls; call Fill before
+// reading Mask again.
+func (s *Session) Rollback(n int) error { return s.s.Rollback(n) }
+
+// CanTerminate reports whether the grammar permits stopping here.
+func (s *Session) CanTerminate() bool { return s.s.CanTerminate() }
+
+// IsTerminated reports whether the stop token has been accepted.
+func (s *Session) IsTerminated() bool { return s.s.IsTerminated() }
+
+// Grammar returns the compiled grammar the session decodes against.
+func (s *Session) Grammar() *CompiledGrammar { return s.cg }
+
+// Close releases the session's grammar state back to the engine pool. The
+// session must not be used afterwards.
+func (s *Session) Close() { s.s.Close() }

@@ -1,0 +1,204 @@
+package xgrammar
+
+import (
+	"strings"
+	"testing"
+)
+
+// matcherMask fills a fresh slice from a Matcher.
+func matcherMask(t *testing.T, m *Matcher, words int) []uint64 {
+	t.Helper()
+	mask := make([]uint64, words)
+	if _, err := m.FillNextTokenBitmask(mask); err != nil {
+		t.Fatal(err)
+	}
+	return mask
+}
+
+func masksEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEngineSessionReuseMatchesFreshMatcher is the session-reuse correctness
+// satellite: a pooled session that was released and re-acquired must behave
+// identically to a fresh NewMatcher — same masks at every step, same
+// termination behavior, and identical state after a jump-forward insertion
+// is rolled back.
+func TestEngineSessionReuseMatchesFreshMatcher(t *testing.T) {
+	info := testTokenizer(t)
+	compiler := NewCompiler(info)
+	eng := NewEngine(compiler)
+	cg, err := compiler.CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty a session with a partial generation, then release it so the next
+	// OpenSession recycles it.
+	dirty := eng.OpenSession(cg)
+	if err := dirty.AcceptString(`{"leftover": [1, 2, {"deep": `); err != nil {
+		t.Fatal(err)
+	}
+	dirty.Close()
+
+	s := eng.OpenSession(cg)
+	m := NewMatcher(cg)
+	words := cg.MaskWords()
+
+	if !masksEqual(s.Mask(), matcherMask(t, m, words)) {
+		t.Fatal("recycled session initial mask differs from fresh matcher")
+	}
+	doc := `{"a": [1, tru`
+	for _, id := range info.Encode(doc) {
+		res, err := s.Step(id)
+		if err != nil {
+			t.Fatalf("session step(%d): %v", id, err)
+		}
+		if err := m.AcceptToken(id); err != nil {
+			t.Fatalf("matcher accept(%d): %v", id, err)
+		}
+		if !masksEqual(s.Mask(), matcherMask(t, m, words)) {
+			t.Fatalf("mask diverged after token %d (%q)", id, info.TokenBytes(id))
+		}
+		if string(res.JumpForward) != m.FindJumpForwardString() {
+			t.Fatalf("jump-forward diverged after token %d: %q vs %q",
+				id, res.JumpForward, m.FindJumpForwardString())
+		}
+	}
+
+	// Jump-forward insertion on both, then roll it back on both: the pooled
+	// session's rollback history must behave exactly like the fresh matcher's.
+	jf := s.JumpForward()
+	if !strings.HasPrefix(jf, "e") {
+		t.Fatalf("expected deterministic continuation after 'tru', got %q", jf)
+	}
+	if err := s.AcceptString(jf); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AcceptString(jf); err != nil {
+		t.Fatal(err)
+	}
+	s.Fill()
+	if !masksEqual(s.Mask(), matcherMask(t, m, words)) {
+		t.Fatal("mask diverged after jump-forward insertion")
+	}
+	if err := s.Rollback(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rollback(1); err != nil {
+		t.Fatal(err)
+	}
+	s.Fill()
+	if !masksEqual(s.Mask(), matcherMask(t, m, words)) {
+		t.Fatal("mask diverged after rolling back the jump-forward insertion")
+	}
+
+	// Finish both generations identically.
+	rest := `e]}`
+	for _, id := range info.Encode(rest) {
+		if _, err := s.Step(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AcceptToken(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.CanTerminate() || !m.CanTerminate() {
+		t.Fatal("cannot terminate after complete document")
+	}
+	res, err := s.Step(info.EOSTokenID())
+	if err != nil || !res.Terminated {
+		t.Fatalf("EOS step: %v, %+v", err, res)
+	}
+	if err := m.AcceptToken(info.EOSTokenID()); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsTerminated() || !m.IsTerminated() {
+		t.Fatal("termination state diverged")
+	}
+	s.Close()
+}
+
+// TestEngineMixedGrammarBatch opens sessions against two different grammars
+// (both resolved through the compiled-grammar cache) and batch-fills them
+// together through the engine's worker pool.
+func TestEngineMixedGrammarBatch(t *testing.T) {
+	info := testTokenizer(t)
+	compiler := NewCompiler(info)
+	eng := NewEngine(compiler, WithFillWorkers(2))
+	defer eng.Close()
+
+	jsonSess, err := eng.OpenGrammarSession(`root ::= "[" [0-9]+ "]"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemaSess, err := eng.OpenJSONSchemaSession(
+		[]byte(`{"type": "object", "properties": {"n": {"type": "integer"}}, "required": ["n"]}`),
+		SchemaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtinCG, err := compiler.CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtinSess := eng.OpenSession(builtinCG)
+	sessions := []*Session{jsonSess, schemaSess, builtinSess}
+
+	targets := []string{`[42]`, `{"n": 7}`, `{"ok": true}`}
+	emitted := []int{0, 0, 0}
+	live := len(sessions)
+	for live > 0 {
+		stats := eng.FillBatch(sessions)
+		if len(stats) != len(sessions) {
+			t.Fatalf("stats length %d", len(stats))
+		}
+		for i, s := range sessions {
+			if s.IsTerminated() {
+				continue
+			}
+			var next int32
+			if emitted[i] >= len(targets[i]) {
+				next = info.EOSTokenID()
+			} else {
+				next = info.Encode(targets[i][emitted[i]:])[0]
+			}
+			if s.Mask()[next>>6]&(1<<uint(next&63)) == 0 {
+				t.Fatalf("session %d: target token %d masked out", i, next)
+			}
+			res, err := s.Step(next)
+			if err != nil {
+				t.Fatalf("session %d: %v", i, err)
+			}
+			if res.Terminated {
+				live--
+				continue
+			}
+			emitted[i] += len(info.TokenBytes(next))
+		}
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+	if st := compiler.CompileCacheStats(); st.Builds != 3 {
+		t.Fatalf("expected 3 grammar builds, got %+v", st)
+	}
+	// A repeat request for any of the grammars is a cache hit and its
+	// session comes from the pool.
+	again, err := eng.OpenGrammarSession(`root ::= "[" [0-9]+ "]"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again.Close()
+	if st := compiler.CompileCacheStats(); st.Builds != 3 || st.Hits == 0 {
+		t.Fatalf("repeat open was not a cache hit: %+v", st)
+	}
+}
