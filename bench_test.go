@@ -13,7 +13,6 @@ import (
 	"xgrammar/internal/bitset"
 	"xgrammar/internal/builtin"
 	"xgrammar/internal/engine"
-	"xgrammar/internal/experiments"
 	"xgrammar/internal/jsonschema"
 	"xgrammar/internal/llmsim"
 	"xgrammar/internal/maskcache"
@@ -499,16 +498,5 @@ func BenchmarkEngineSessionStep(b *testing.B) {
 			b.Fatal(err)
 		}
 		i++
-	}
-}
-
-// --- Whole-suite smoke bench ----------------------------------------------
-
-func BenchmarkExperimentSuiteQuick(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		s := experiments.NewSuite(true)
-		if tb, ok := s.ByID("stats"); !ok || len(tb.Rows) == 0 {
-			b.Fatal("stats experiment failed")
-		}
 	}
 }

@@ -8,14 +8,17 @@
 //	xgbench -markdown        # emit EXPERIMENTS.md-style markdown
 //	xgbench -json BENCH.json # also write machine-readable serving results
 //
-// Experiment ids: fig9 fig10 fig11 fig12 tab1 tab2 tab3 tab4 stats par serve.
-// The par experiment reports the parallel mask-cache build speedup over the
-// serial preprocessing scan; serve benchmarks the continuous-batching
-// serving runtime (pooled sessions, overlapped batch mask fill).
+// Experiment ids: fig9 fig10 fig11 fig12 tab1 tab2 tab3 tab4 stats par
+// serve store. The par experiment reports the parallel mask-cache build
+// speedup over the serial preprocessing scan; serve benchmarks the
+// continuous-batching serving runtime (pooled sessions, overlapped batch
+// mask fill); store measures a cold grammar compile against a warm
+// load-from-disk (the xgserve restart path).
 //
-// With -json, the serving benchmark's machine-readable records (experiment,
-// tokens/s, p50/p99 fill latency, batch dynamics) are written to the given
-// path so the perf trajectory is tracked across PRs.
+// With -json, the serving and store benchmarks' machine-readable records
+// (experiment, tokens/s, p50/p99 fill latency, batch dynamics, cold/warm
+// latency) are written to the given path so the perf trajectory is tracked
+// across PRs.
 package main
 
 import (
@@ -34,6 +37,7 @@ type benchJSON struct {
 	Mode    string                    `json:"mode"` // quick | full
 	Vocab   int                       `json:"vocab"`
 	Serving []experiments.ServeResult `json:"serving"`
+	Store   []experiments.StoreResult `json:"store"`
 }
 
 func main() {
@@ -79,7 +83,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		out := benchJSON{Mode: mode, Vocab: suite.Vocab, Serving: suite.ServeBench()}
+		out := benchJSON{Mode: mode, Vocab: suite.Vocab, Serving: suite.ServeBench(), Store: suite.StoreBench()}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xgbench: marshal json: %v\n", err)

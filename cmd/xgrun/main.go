@@ -8,6 +8,17 @@
 //	xgrun -schema schema.json -input '{"x": 2}'  # JSON Schema
 //	xgrun -grammar json -input '[1,' -explain    # show PDA state and next bytes
 //	xgrun -grammar json -mask -input '{"a"'      # mask statistics at each step
+//	xgrun -grammar json -precompile json.xgc     # serialize the compiled grammar
+//	xgrun -load json.xgc -input '{"a": 1}'       # validate from the blob (no rescan)
+//	xgrun -schema s.json -store ./grammars       # precompile into an xgserve store
+//
+// -precompile writes the compiled grammar — PDA plus the preprocessed token
+// mask cache — to a blob that -load reads back without re-running the
+// vocabulary scan. -store persists the same blob into an xgserve store
+// directory under its content-addressed name, so the server warm-starts
+// from it. Blobs embed the serialization version and the tokenizer
+// fingerprint, so loading under a different -vocab fails loudly instead of
+// producing wrong masks.
 package main
 
 import (
@@ -26,14 +37,42 @@ func main() {
 	vocab := flag.Int("vocab", 4000, "tokenizer vocabulary size")
 	explain := flag.Bool("explain", false, "print matcher state after input")
 	maskInfo := flag.Bool("mask", false, "print mask statistics at each token step")
+	precompile := flag.String("precompile", "", "write the compiled grammar blob to this path")
+	storeDir := flag.String("store", "", "persist the compiled grammar into this xgserve store directory (content-addressed name)")
+	load := flag.String("load", "", "load a compiled grammar blob instead of compiling")
 	flag.Parse()
 
 	info := xgrammar.DefaultTokenizer(*vocab)
 	compiler := xgrammar.NewCompiler(info)
+	if *storeDir != "" {
+		// Compiling with the store attached persists the blob under its
+		// content-addressed ID — the name xgserve's warm start and
+		// GrammarByID resolve, which a hand-named file would not match.
+		if err := compiler.AttachStore(*storeDir); err != nil {
+			fatal(err)
+		}
+	}
 
 	var cg *xgrammar.CompiledGrammar
 	var err error
 	switch {
+	case *load != "":
+		if *storeDir != "" {
+			// A bare blob cannot be imported: its content-addressed store
+			// name derives from the grammar source, which the blob does not
+			// carry. Refuse loudly rather than silently writing nothing.
+			fmt.Fprintln(os.Stderr, "xgrun: -load cannot be combined with -store; recompile from source with -store instead")
+			os.Exit(2)
+		}
+		f, oerr := os.Open(*load)
+		if oerr != nil {
+			fatal(oerr)
+		}
+		cg, err = compiler.LoadCompiledGrammar(f)
+		f.Close()
+		if err == nil {
+			fmt.Printf("loaded %s (no vocabulary rescan)\n", *load)
+		}
 	case *ebnfPath != "":
 		src, rerr := os.ReadFile(*ebnfPath)
 		if rerr != nil {
@@ -53,7 +92,7 @@ func main() {
 	case *grammarName == "python":
 		cg, err = compiler.CompileBuiltinPythonDSL()
 	default:
-		fmt.Fprintln(os.Stderr, "xgrun: specify -grammar {json,xml,python}, -ebnf FILE, or -schema FILE")
+		fmt.Fprintln(os.Stderr, "xgrun: specify -grammar {json,xml,python}, -ebnf FILE, -schema FILE, or -load BLOB")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -63,6 +102,29 @@ func main() {
 	st := cg.Stats()
 	fmt.Printf("compiled: %d PDA nodes, %d edges; mask cache: %d ctx-dependent tokens, %.1f KB adaptive storage\n",
 		st.PDANodes, st.PDAEdges, st.ContextDependent, float64(st.AdaptiveBytes)/1024)
+
+	if *precompile != "" {
+		f, cerr := os.Create(*precompile)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		if err := cg.Serialize(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		size := 0.0
+		if fi, serr := os.Stat(*precompile); serr == nil {
+			size = float64(fi.Size()) / 1024
+		}
+		fmt.Printf("wrote %s (%.1f KB): load it back with -load\n", *precompile, size)
+	}
+	if *storeDir != "" {
+		st := compiler.StoreStats()
+		fmt.Printf("store %s: %d blobs (%d written this run) — xgserve -store %s warm-starts from it\n",
+			*storeDir, st.Blobs, st.Writes, *storeDir)
+	}
 
 	if *input == "" {
 		return

@@ -35,6 +35,8 @@ type Suite struct {
 	inits  map[string]time.Duration
 	// memoized serving-benchmark results (table and -json share one run)
 	serveResults []ServeResult
+	// memoized store-benchmark results (cold compile vs. warm load)
+	storeResults []StoreResult
 }
 
 // NewSuite returns a suite configuration.

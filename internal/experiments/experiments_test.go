@@ -227,7 +227,7 @@ func TestStatsShape(t *testing.T) {
 
 func TestByIDAndRender(t *testing.T) {
 	s := suite(t)
-	for _, id := range []string{"fig9", "tab3", "stats"} {
+	for _, id := range []string{"fig9", "tab3", "stats", "store"} {
 		tb, ok := s.ByID(id)
 		if !ok || tb == nil {
 			t.Fatalf("ByID(%s) failed", id)
@@ -284,5 +284,29 @@ func TestServeBench(t *testing.T) {
 	tb := s.Serve()
 	if len(tb.Rows) != 3 || !strings.Contains(tb.String(), "continuous overlap") {
 		t.Fatalf("serve table malformed:\n%s", tb.String())
+	}
+}
+
+func TestStoreBench(t *testing.T) {
+	s := suite(t)
+	results := s.StoreBench()
+	if len(results) != 3 {
+		t.Fatalf("store results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.ColdCompileMS <= 0 || r.WarmLoadMS <= 0 {
+			t.Fatalf("%s: degenerate latencies %+v", r.Grammar, r)
+		}
+		if r.BlobKB <= 0 {
+			t.Fatalf("%s: blob size not measured: %+v", r.Grammar, r)
+		}
+	}
+	// Memoized: the table reuses the same run.
+	if &results[0] != &s.StoreBench()[0] {
+		t.Fatal("store results not memoized")
+	}
+	tb := s.Store()
+	if len(tb.Rows) != 3 || !strings.Contains(tb.String(), "warm load") {
+		t.Fatalf("store table malformed:\n%s", tb.String())
 	}
 }

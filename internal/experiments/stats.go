@@ -72,6 +72,7 @@ func (s *Suite) All() []*Table {
 		s.Stats(),
 		s.Par(),
 		s.Serve(),
+		s.Store(),
 	}
 }
 
@@ -100,6 +101,8 @@ func (s *Suite) ByID(id string) (*Table, bool) {
 		return s.Par(), true
 	case "serve":
 		return s.Serve(), true
+	case "store":
+		return s.Store(), true
 	}
 	return nil, false
 }

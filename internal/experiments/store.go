@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"xgrammar"
+	"xgrammar/internal/workload"
+)
+
+// StoreResult is one cold-vs-warm record of the disk-backed compiled-
+// grammar store benchmark (part of cmd/xgbench's -json output): how much of
+// the preprocessing cost a warm load-from-disk recovers relative to a cold
+// compile (PDA construction plus the full-vocabulary mask scan).
+type StoreResult struct {
+	Grammar       string  `json:"grammar"`
+	ColdCompileMS float64 `json:"cold_compile_ms"`
+	WarmLoadMS    float64 `json:"warm_load_ms"`
+	Speedup       float64 `json:"speedup"`
+	BlobKB        float64 `json:"blob_kb"`
+}
+
+// StoreBench measures, per grammar, a cold compile (fresh compiler, empty
+// store: compile + persist) against a warm start (fresh compiler, same
+// store: load the blob, no vocabulary rescan). Results are memoized.
+func (s *Suite) StoreBench() []StoreResult {
+	if s.storeResults != nil {
+		return s.storeResults
+	}
+	info := xgrammar.DefaultTokenizer(s.Vocab)
+	dir, err := os.MkdirTemp("", "xgbench-store-*")
+	if err != nil {
+		panic("experiments: store: " + err.Error())
+	}
+	defer os.RemoveAll(dir)
+
+	cases := []struct {
+		name string
+		spec xgrammar.GrammarSpec
+	}{
+		{"builtin JSON", xgrammar.GrammarSpec{Kind: xgrammar.KindBuiltin, Source: "json"}},
+		{"JSON Schema", xgrammar.GrammarSpec{
+			Kind:   xgrammar.KindJSONSchema,
+			Source: string(workload.SchemaTasks(1, 2025)[0].Schema),
+		}},
+		{"regex (ISO date)", xgrammar.GrammarSpec{
+			Kind:   xgrammar.KindRegex,
+			Source: `^[0-9]{4}-[0-9]{2}-[0-9]{2}$`,
+		}},
+	}
+	out := make([]StoreResult, 0, len(cases))
+	for _, c := range cases {
+		// Cold: compile from source and persist the blob.
+		cold := xgrammar.NewCompiler(info)
+		if err := cold.AttachStore(dir); err != nil {
+			panic("experiments: store: " + err.Error())
+		}
+		t0 := time.Now()
+		if _, err := cold.CompileSpec(c.spec); err != nil {
+			panic("experiments: store: " + err.Error())
+		}
+		coldDur := time.Since(t0)
+
+		// Warm: a fresh compiler over the same directory loads the blob.
+		warm := xgrammar.NewCompiler(info)
+		if err := warm.AttachStore(dir); err != nil {
+			panic("experiments: store: " + err.Error())
+		}
+		t1 := time.Now()
+		if _, err := warm.CompileSpec(c.spec); err != nil {
+			panic("experiments: store: " + err.Error())
+		}
+		warmDur := time.Since(t1)
+		if cs := warm.CompileCacheStats(); cs.Compiles != 0 {
+			panic("experiments: store: warm path recompiled")
+		}
+
+		var blobKB float64
+		if id, err := warm.SpecID(c.spec); err == nil {
+			blobKB = float64(warm.StoreBlobSize(id)) / 1024
+		}
+		speedup := 0.0
+		if warmDur > 0 {
+			speedup = float64(coldDur) / float64(warmDur)
+		}
+		out = append(out, StoreResult{
+			Grammar:       c.name,
+			ColdCompileMS: float64(coldDur.Nanoseconds()) / 1e6,
+			WarmLoadMS:    float64(warmDur.Nanoseconds()) / 1e6,
+			Speedup:       speedup,
+			BlobKB:        blobKB,
+		})
+	}
+	s.storeResults = out
+	return out
+}
+
+// Store renders the store benchmark as an experiment table.
+func (s *Suite) Store() *Table {
+	t := &Table{
+		ID:    "store",
+		Title: "Disk-backed compiled-grammar store (cold compile vs. warm load)",
+		Paper: "compile once, serve many: the preprocessing artifact survives restarts",
+		Header: []string{
+			"grammar", "cold compile ms", "warm load ms", "speedup", "blob KB",
+		},
+	}
+	for _, r := range s.StoreBench() {
+		t.Add(
+			r.Grammar,
+			fmt.Sprintf("%.2f", r.ColdCompileMS),
+			fmt.Sprintf("%.2f", r.WarmLoadMS),
+			fmt.Sprintf("%.1fx", r.Speedup),
+			fmt.Sprintf("%.1f", r.BlobKB),
+		)
+	}
+	t.Note("cold = fresh compiler, empty store (PDA build + vocabulary scan + blob write); warm = fresh compiler, same store (blob load, no rescan)")
+	t.Note("vocab=%d; the warm path is what xgserve pays on its first request after a restart", s.Vocab)
+	return t
+}

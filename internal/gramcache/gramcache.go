@@ -160,6 +160,16 @@ func (c *Cache[V]) insertLocked(key string, val V, size int64) {
 	}
 }
 
+// Put inserts (or replaces) a prebuilt value of the given byte size,
+// evicting least-recently-used entries beyond the byte budget — the
+// warm-start path, where values come from a disk store rather than a build
+// function. Put does not touch the hit/miss counters.
+func (c *Cache[V]) Put(key string, val V, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(key, val, size)
+}
+
 // Purge drops every cached entry (in-flight builds are unaffected and will
 // insert when they finish).
 func (c *Cache[V]) Purge() {

@@ -1,0 +1,261 @@
+// Package gramstore is the disk layer of the compile-once/serve-many split:
+// a content-addressed store of serialized compiled grammars that survives
+// process restarts. The in-memory compiled-grammar LRU (internal/gramcache)
+// makes repeated requests cheap within one process; gramstore makes the
+// expensive preprocessing artifact — the PDA plus the full-vocabulary mask
+// scan — durable, so a restarted server answers its first request without
+// recompiling.
+//
+// Blobs are keyed by a caller-supplied content address (in practice the hex
+// form of the compiler's cache key, which covers the grammar source, the
+// tokenizer fingerprint, and the compiler configuration). Writes go through
+// a temp file in the store directory followed by an atomic rename, so a
+// crash mid-write never leaves a half-written blob under a valid ID. Blobs
+// that fail to load — truncated, corrupt, or from an incompatible build —
+// are quarantined (moved aside, never deleted) so they stop shadowing a
+// clean recompile but remain available for inspection.
+//
+// The store itself is format-agnostic: callers serialize and deserialize
+// through the read/write callbacks, and the blob payload carries its own
+// version and tokenizer fingerprint checks (see the root package's
+// Serialize/LoadCompiledGrammar).
+package gramstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// blobExt is the on-disk extension of a stored compiled grammar.
+const blobExt = ".xgc"
+
+// quarantineDir is the subdirectory bad blobs are moved into.
+const quarantineDir = "quarantine"
+
+// Stats counts store activity since Open.
+type Stats struct {
+	// Hits counts Load calls that found and successfully read a blob;
+	// Misses counts Load calls for absent IDs.
+	Hits, Misses int64
+	// Writes counts blobs persisted; WriteErrors counts failed attempts
+	// (the store is best-effort: a full disk degrades to compile-only).
+	Writes, WriteErrors int64
+	// Quarantined counts blobs moved aside after failing to load.
+	Quarantined int64
+	// Preloaded counts blobs loaded by warm-start preloading.
+	Preloaded int64
+}
+
+// Store is a directory of content-addressed compiled-grammar blobs. It is
+// safe for concurrent use.
+type Store struct {
+	dir string
+
+	// putMu serializes the exists-check/rename pair in Put so the blob
+	// counter stays consistent under concurrent writers in this process.
+	// (Another process writing the same directory can still skew the gauge;
+	// each process counts its own view from Open.)
+	putMu sync.Mutex
+	// blobs tracks the stored-blob count (one directory scan at Open,
+	// adjusted on Put/quarantine) so metrics scrapes never walk the
+	// directory.
+	blobs atomic.Int64
+
+	hits, misses, writes, writeErrors, quarantined, preloaded atomic.Int64
+}
+
+// Open creates (if needed) and opens the store directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("gramstore: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("gramstore: %w", err)
+	}
+	s := &Store{dir: dir}
+	if ids, err := s.IDs(); err == nil {
+		s.blobs.Store(int64(len(ids)))
+	}
+	return s, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// ValidID reports whether id is a well-formed content address: non-empty
+// lowercase hex, bounded length. IDs reach the store from network handlers,
+// so anything that could traverse paths is rejected here.
+func ValidID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(id string) string { return filepath.Join(s.dir, id+blobExt) }
+
+// Has reports whether a blob with the given ID exists.
+func (s *Store) Has(id string) bool {
+	if !ValidID(id) {
+		return false
+	}
+	_, err := os.Stat(s.path(id))
+	return err == nil
+}
+
+// Size returns the byte size of a stored blob, or 0 when absent.
+func (s *Store) Size(id string) int64 {
+	if !ValidID(id) {
+		return 0
+	}
+	fi, err := os.Stat(s.path(id))
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// Load opens the blob for id and hands its contents to load. found is false
+// when no blob exists (a miss, not an error). When the blob exists but load
+// fails — corrupt bytes, stale version, wrong tokenizer — Load quarantines
+// the blob and returns found=true with the load error, so the caller falls
+// back to a clean recompile exactly once.
+func (s *Store) Load(id string, load func(io.Reader) error) (found bool, err error) {
+	return s.load(id, load, &s.hits)
+}
+
+// Preload is Load for warm-start preloading: identical behavior, but
+// successes count toward Stats.Preloaded instead of Stats.Hits so the
+// metrics distinguish boot-time warming from request-path hits.
+func (s *Store) Preload(id string, load func(io.Reader) error) (found bool, err error) {
+	return s.load(id, load, &s.preloaded)
+}
+
+func (s *Store) load(id string, load func(io.Reader) error, success *atomic.Int64) (bool, error) {
+	if !ValidID(id) {
+		return false, fmt.Errorf("gramstore: invalid blob id %q", id)
+	}
+	f, err := os.Open(s.path(id))
+	if err != nil {
+		s.misses.Add(1)
+		return false, nil
+	}
+	defer f.Close()
+	if err := load(f); err != nil {
+		s.quarantine(id)
+		return true, fmt.Errorf("gramstore: blob %s: %w", id, err)
+	}
+	success.Add(1)
+	return true, nil
+}
+
+// Put persists a blob: write writes the serialized grammar to a temp file in
+// the store directory, which is then atomically renamed into place. An
+// existing blob under the same ID is replaced (content-addressed IDs make
+// the replacement byte-identical in practice).
+func (s *Store) Put(id string, write func(io.Writer) error) error {
+	if !ValidID(id) {
+		return fmt.Errorf("gramstore: invalid blob id %q", id)
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*"+blobExt+".tmp")
+	if err != nil {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("gramstore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		s.writeErrors.Add(1)
+		return fmt.Errorf("gramstore: write blob %s: %w", id, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		s.writeErrors.Add(1)
+		return fmt.Errorf("gramstore: sync blob %s: %w", id, err)
+	}
+	if err := tmp.Close(); err != nil {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("gramstore: close blob %s: %w", id, err)
+	}
+	s.putMu.Lock()
+	replacing := s.Has(id)
+	err = os.Rename(tmp.Name(), s.path(id))
+	if err == nil && !replacing {
+		s.blobs.Add(1)
+	}
+	s.putMu.Unlock()
+	if err != nil {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("gramstore: commit blob %s: %w", id, err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// quarantine moves a bad blob into the quarantine subdirectory (best
+// effort; a failed move falls back to removal so the bad blob cannot keep
+// shadowing recompiles).
+func (s *Store) quarantine(id string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(s.path(id), filepath.Join(qdir, id+blobExt)) == nil {
+			s.quarantined.Add(1)
+			s.blobs.Add(-1)
+			return
+		}
+	}
+	if os.Remove(s.path(id)) == nil {
+		s.quarantined.Add(1)
+		s.blobs.Add(-1)
+	}
+}
+
+// IDs lists the IDs of every stored blob in sorted order (quarantined and
+// temporary files excluded) — the warm-start preload set.
+func (s *Store) IDs() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("gramstore: %w", err)
+	}
+	var ids []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, blobExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, blobExt)
+		if ValidID(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Len returns the number of stored blobs (tracked, not a directory walk —
+// it sits on the metrics path).
+func (s *Store) Len() int { return int(s.blobs.Load()) }
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Writes:      s.writes.Load(),
+		WriteErrors: s.writeErrors.Load(),
+		Quarantined: s.quarantined.Load(),
+		Preloaded:   s.preloaded.Load(),
+	}
+}

@@ -1,0 +1,179 @@
+package gramstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const id1 = "0a1b2c3d4e5f60718293a4b5c6d7e8f90a1b2c3d4e5f60718293a4b5c6d7e8f9"
+
+func readAll(t *testing.T, s *Store, id string) (string, bool) {
+	t.Helper()
+	var got string
+	found, err := s.Load(id, func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		got = string(b)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Load(%s): %v", id, err)
+	}
+	return got, found
+}
+
+func TestPutLoadRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, found := readAll(t, s, id1); found {
+		t.Fatalf("empty store returned blob %q", got)
+	}
+	if err := s.Put(id1, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, found := readAll(t, s, id1)
+	if !found || got != "payload" {
+		t.Fatalf("round trip: found=%v got=%q", found, got)
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 write, 1 hit, 1 miss", st)
+	}
+	if s.Size(id1) != int64(len("payload")) {
+		t.Fatalf("Size = %d", s.Size(id1))
+	}
+}
+
+func TestPutIsAtomic(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("mid-write crash")
+	if err := s.Put(id1, func(w io.Writer) error {
+		w.Write([]byte("half"))
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("Put error = %v", err)
+	}
+	if s.Has(id1) {
+		t.Fatal("failed write left a visible blob")
+	}
+	// No stray temp files either.
+	ents, _ := os.ReadDir(s.Dir())
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
+	}
+	if st := s.Stats(); st.WriteErrors != 1 || st.Writes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCorruptBlobQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(id1, func(w io.Writer) error {
+		_, err := w.Write([]byte("garbage"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bad := errors.New("cannot decode")
+	found, err := s.Load(id1, func(r io.Reader) error { return bad })
+	if !found || !errors.Is(err, bad) {
+		t.Fatalf("Load = (%v, %v)", found, err)
+	}
+	if s.Has(id1) {
+		t.Fatal("corrupt blob still visible after quarantine")
+	}
+	q := filepath.Join(dir, quarantineDir, id1+blobExt)
+	if _, err := os.Stat(q); err != nil {
+		t.Fatalf("quarantined blob missing: %v", err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The next Load is a clean miss: the caller recompiles.
+	if _, found := readAll(t, s, id1); found {
+		t.Fatal("quarantined blob served")
+	}
+}
+
+func TestIDsAndPreload(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"aa", "bb", "cc"}
+	for _, id := range want {
+		id := id
+		if err := s.Put(id, func(w io.Writer) error {
+			_, err := fmt.Fprint(w, "blob-", id)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-blob files are ignored.
+	os.WriteFile(filepath.Join(s.Dir(), "README.txt"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(s.Dir(), "UPPER"+blobExt), []byte("x"), 0o644)
+	ids, err := s.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+	for _, id := range ids {
+		if _, err := s.Preload(id, func(r io.Reader) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Preloaded != 3 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 3 preloads and no hits", st)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestInvalidIDsRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../../etc/passwd", "ABCDEF", "a/b", "0g", strings.Repeat("a", 200)} {
+		if ValidID(id) {
+			t.Fatalf("ValidID(%q) = true", id)
+		}
+		if err := s.Put(id, func(w io.Writer) error { return nil }); err == nil {
+			t.Fatalf("Put(%q) accepted", id)
+		}
+		if _, err := s.Load(id, func(r io.Reader) error { return nil }); err == nil {
+			t.Fatalf("Load(%q) accepted", id)
+		}
+		if s.Has(id) {
+			t.Fatalf("Has(%q) = true", id)
+		}
+	}
+}

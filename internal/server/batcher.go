@@ -1,0 +1,290 @@
+package server
+
+import (
+	"context"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xgrammar"
+	"xgrammar/internal/maskcache"
+)
+
+// Finish reasons reported per generation.
+const (
+	// FinishStop: the grammar completed and the stop token was sampled.
+	FinishStop = "stop"
+	// FinishLength: the token budget ran out before the grammar completed.
+	FinishLength = "length"
+	// FinishCanceled: the client went away mid-generation.
+	FinishCanceled = "canceled"
+	// FinishShutdown: the server shut down mid-generation.
+	FinishShutdown = "shutdown"
+)
+
+// genSeq is one generation riding the continuous batch: a pooled grammar
+// session, a seeded sampler standing in for the LLM, and the channel the
+// HTTP handler streams chunks from.
+type genSeq struct {
+	ctx  context.Context
+	sess *xgrammar.Session
+	rng  *rand.Rand
+	// remaining is the decode-step budget (jump-forward bytes are free,
+	// exactly the Appendix B argument).
+	remaining int
+	// chunks carries emitted text to the handler. Capacity covers the worst
+	// case (one sampled chunk plus one jump-forward chunk per step), so the
+	// batcher never blocks on a slow client.
+	chunks chan string
+	done   chan struct{}
+	// Written by the batcher before close(done); read by the handler after.
+	finishReason string
+	tokens       int
+	jfBytes      int
+
+	allowed []int32 // sampling scratch
+}
+
+// batcher drives the continuous-batching decode loop: requests join the
+// live batch between rounds, every round fills the whole batch's masks
+// through the engine's worker pool while the simulated GPU step runs
+// (Overlap, §3.5), samples one token per sequence from its mask, inserts
+// jump-forward continuations, and retires finished sequences.
+type batcher struct {
+	eng      *xgrammar.Engine
+	eos      int32
+	gpuStep  time.Duration
+	join     chan *genSeq
+	quit     chan struct{}
+	quitOnce sync.Once
+	wg       sync.WaitGroup
+
+	// Metrics.
+	tokens    atomic.Int64
+	jfBytes   atomic.Int64
+	rounds    atomic.Int64
+	peakBatch atomic.Int64
+	liveNow   atomic.Int64
+
+	latMu    sync.Mutex
+	fillLats []time.Duration // bounded ring of per-round batch fill walls
+	latNext  int
+}
+
+// maxFillSamples bounds the fill-latency ring.
+const maxFillSamples = 4096
+
+func newBatcher(eng *xgrammar.Engine, eos int32, gpuStep time.Duration) *batcher {
+	b := &batcher{
+		eng:     eng,
+		eos:     eos,
+		gpuStep: gpuStep,
+		join:    make(chan *genSeq),
+		quit:    make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.loop()
+	return b
+}
+
+// close stops the decode loop (idempotent); in-flight sequences finish with
+// FinishShutdown.
+func (b *batcher) close() {
+	b.quitOnce.Do(func() { close(b.quit) })
+	b.wg.Wait()
+}
+
+// submit hands a sequence to the decode loop; false when the batcher is
+// shutting down.
+func (b *batcher) submit(q *genSeq) bool {
+	select {
+	case b.join <- q:
+		return true
+	case <-b.quit:
+		return false
+	}
+}
+
+func (b *batcher) loop() {
+	defer b.wg.Done()
+	var live []*genSeq
+	var sessions []*xgrammar.Session    // reused across rounds
+	var fillStats []maskcache.FillStats // reused stats buffer
+	var gpuTimer *time.Timer            // reused pacing timer
+	if b.gpuStep > 0 {
+		// Created stopped-and-drained: each round Resets it and receives
+		// exactly once, so no stale fire can short-circuit the pacing.
+		gpuTimer = time.NewTimer(time.Hour)
+		if !gpuTimer.Stop() {
+			<-gpuTimer.C
+		}
+		defer gpuTimer.Stop()
+	}
+	finish := func(i int, reason string) {
+		q := live[i]
+		q.finishReason = reason
+		q.sess.Close()
+		close(q.chunks)
+		close(q.done)
+		live[i] = live[len(live)-1]
+		live = live[:len(live)-1]
+		b.liveNow.Store(int64(len(live)))
+	}
+	for {
+		// Admission: block for the first sequence, then drain whatever else
+		// has arrived so a burst joins as one batch.
+		if len(live) == 0 {
+			select {
+			case q := <-b.join:
+				live = append(live, q)
+			case <-b.quit:
+				return
+			}
+		}
+	drain:
+		for {
+			select {
+			case q := <-b.join:
+				live = append(live, q)
+			case <-b.quit:
+				for i := len(live) - 1; i >= 0; i-- {
+					finish(i, FinishShutdown)
+				}
+				return
+			default:
+				break drain
+			}
+		}
+		b.liveNow.Store(int64(len(live)))
+		if n := int64(len(live)); n > b.peakBatch.Load() {
+			b.peakBatch.Store(n)
+		}
+
+		// One decode round: the batch mask fill runs while the simulated GPU
+		// step does (§3.5 overlap); both must finish before sampling. The
+		// sessions slice and pacing timer are reused so the steady-state
+		// round allocates nothing of its own.
+		sessions = sessions[:0]
+		for _, q := range live {
+			sessions = append(sessions, q.sess)
+		}
+		if gpuTimer != nil {
+			gpuTimer.Reset(b.gpuStep)
+		}
+		t0 := time.Now()
+		fillStats = b.eng.FillBatchInto(fillStats, sessions)
+		b.recordFill(time.Since(t0))
+		if gpuTimer != nil {
+			<-gpuTimer.C
+		}
+		b.rounds.Add(1)
+
+		// Sampling + acceptance, newest last so swap-removal is safe.
+		for i := 0; i < len(live); {
+			q := live[i]
+			if q.ctx.Err() != nil {
+				finish(i, FinishCanceled)
+				continue
+			}
+			id, ok := q.pick(b.eos)
+			if !ok {
+				// Budget exhausted before the grammar could complete (or a
+				// stuck mask, which a sound grammar never produces).
+				finish(i, FinishLength)
+				continue
+			}
+			if err := q.sess.Accept(id); err != nil {
+				// Unreachable for tokens drawn from the mask; fail closed.
+				finish(i, FinishLength)
+				continue
+			}
+			if q.sess.IsTerminated() {
+				finish(i, FinishStop)
+				continue
+			}
+			text := q.sess.Grammar().TokenizerInfo().TokenBytes(id)
+			q.tokens++
+			q.remaining--
+			b.tokens.Add(1)
+			q.emit(string(text))
+			// Jump-forward (Appendix B): the deterministic continuation costs
+			// no decode round and no token budget.
+			if jf := q.sess.JumpForward(); jf != "" {
+				if err := q.sess.AcceptString(jf); err == nil {
+					q.jfBytes += len(jf)
+					b.jfBytes.Add(int64(len(jf)))
+					q.emit(jf)
+				}
+			}
+			i++
+		}
+	}
+}
+
+// emit sends a chunk without ever blocking the decode loop (the channel is
+// sized for the worst case; drop defensively if a bug undersizes it).
+func (q *genSeq) emit(text string) {
+	select {
+	case q.chunks <- text:
+	default:
+	}
+}
+
+// pick samples the next token from the session's current mask: uniform over
+// the allowed set, with a bias toward the stop token once stopping is legal
+// so outputs stay bounded. ok=false means the sequence must stop without a
+// legal stop token (budget exhausted or empty mask).
+func (q *genSeq) pick(eos int32) (int32, bool) {
+	mask := q.sess.Mask()
+	q.allowed = q.allowed[:0]
+	eosAllowed := false
+	for w, word := range mask {
+		for ; word != 0; word &= word - 1 {
+			id := int32(w<<6) + int32(bits.TrailingZeros64(word))
+			if id == eos {
+				eosAllowed = true
+				continue
+			}
+			q.allowed = append(q.allowed, id)
+		}
+	}
+	if q.remaining <= 0 || len(q.allowed) == 0 {
+		if eosAllowed {
+			return eos, true
+		}
+		return 0, false
+	}
+	// Termination bias: once the grammar can complete, stop with probability
+	// 1/4 — the simulated LLM's mild preference for finishing its answer.
+	if eosAllowed && q.rng.Intn(4) == 0 {
+		return eos, true
+	}
+	return q.allowed[q.rng.Intn(len(q.allowed))], true
+}
+
+// recordFill appends one round's batch-fill wall time to the bounded ring.
+func (b *batcher) recordFill(d time.Duration) {
+	b.latMu.Lock()
+	if len(b.fillLats) < maxFillSamples {
+		b.fillLats = append(b.fillLats, d)
+	} else {
+		b.fillLats[b.latNext] = d
+		b.latNext = (b.latNext + 1) % maxFillSamples
+	}
+	b.latMu.Unlock()
+}
+
+// fillPercentiles returns the p50 and p99 of recorded batch-fill walls.
+func (b *batcher) fillPercentiles() (p50, p99 time.Duration) {
+	b.latMu.Lock()
+	lats := append([]time.Duration(nil), b.fillLats...)
+	b.latMu.Unlock()
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[int(0.50*float64(len(lats)-1))], lats[int(0.99*float64(len(lats)-1))]
+}

@@ -1,0 +1,464 @@
+// Package server is the structured-generation gateway: an OpenAI-style HTTP
+// front door over the continuous-batching xgrammar.Engine, backed by the
+// compiled-grammar LRU and (when attached) the disk-backed grammar store.
+//
+// Endpoints:
+//
+//	POST /v1/grammars      register + compile a grammar; returns its
+//	                       content-addressed ID (stable across restarts)
+//	GET  /v1/grammars/{id} metadata for a registered grammar
+//	POST /v1/generate      grammar-constrained generation over the simulated
+//	                       LLM; "stream": true switches to SSE
+//	GET  /healthz          liveness
+//	GET  /metrics          engine throughput, fill p50/p99, compile-cache and
+//	                       store hit rates
+//
+// Admission is bounded: at most MaxInflight requests hold the expensive
+// path (inline grammar compilation and decoding) concurrently; excess
+// requests are rejected with 429 so overload degrades loudly instead of
+// queueing without bound. Admitted requests join the live continuous batch
+// (they do not wait for a batch boundary).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"xgrammar"
+)
+
+// Config configures a gateway.
+type Config struct {
+	// Engine is the serving engine (grammar compiler + session pools +
+	// batch-fill workers). Required.
+	Engine *xgrammar.Engine
+	// MaxInflight bounds concurrently decoding generations; requests beyond
+	// it receive 429. Zero or negative means 64.
+	MaxInflight int
+	// MaxTokens is the per-request decode-step budget cap (and default when
+	// the request does not set one). Zero or negative means 256.
+	MaxTokens int
+	// GPUStep is the simulated forward-pass duration each decode round
+	// overlaps its batch mask fill with. Zero disables the pacing timer
+	// (tests; benchmark-style runs).
+	GPUStep time.Duration
+	// MaxBodyBytes caps request body size (413 beyond). Zero or negative
+	// means 8 MB — grammar sources are text; nothing legitimate is larger.
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP gateway. It implements http.Handler.
+type Server struct {
+	cfg   Config
+	eng   *xgrammar.Engine
+	comp  *xgrammar.Compiler
+	b     *batcher
+	mux   *http.ServeMux
+	start time.Time
+
+	seedCtr  atomic.Int64
+	inflight atomic.Int64
+	requests atomic.Int64
+	rejected atomic.Int64
+}
+
+// New returns a gateway over the engine.
+func New(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.MaxTokens <= 0 {
+		cfg.MaxTokens = 256
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	comp := cfg.Engine.Compiler()
+	s := &Server{
+		cfg:   cfg,
+		eng:   cfg.Engine,
+		comp:  comp,
+		b:     newBatcher(cfg.Engine, comp.TokenizerInfo().EOSTokenID(), cfg.GPUStep),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/grammars", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/grammars/{id}", s.handleGetGrammar)
+	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the decode loop; in-flight generations finish with
+// finish_reason "shutdown".
+func (s *Server) Close() { s.b.close() }
+
+// GrammarRequest is the wire form of a grammar spec.
+type GrammarRequest struct {
+	// Kind is "ebnf", "json_schema", "regex", or "builtin".
+	Kind string `json:"kind"`
+	// Source is the grammar text: EBNF source, a JSON Schema document, a
+	// regex pattern, or a builtin name (json, xml, python).
+	Source string `json:"source"`
+	// AllowAdditionalProperties relaxes JSON Schema object matching.
+	AllowAdditionalProperties bool `json:"allow_additional_properties,omitempty"`
+}
+
+func (g GrammarRequest) spec() xgrammar.GrammarSpec {
+	return xgrammar.GrammarSpec{
+		Kind:   xgrammar.GrammarKind(g.Kind),
+		Source: g.Source,
+		Schema: xgrammar.SchemaOptions{AllowAdditionalProperties: g.AllowAdditionalProperties},
+	}
+}
+
+// GrammarResponse describes a registered grammar.
+type GrammarResponse struct {
+	ID        string `json:"id"`
+	PDANodes  int    `json:"pda_nodes"`
+	PDAEdges  int    `json:"pda_edges"`
+	MaskCache bool   `json:"mask_cache"`
+}
+
+func grammarResponse(id string, cg *xgrammar.CompiledGrammar) GrammarResponse {
+	st := cg.Stats()
+	return GrammarResponse{ID: id, PDANodes: st.PDANodes, PDAEdges: st.PDAEdges, MaskCache: st.HasMaskCache}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req GrammarRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		return
+	}
+	// Registration compiles, so it takes an admission slot like generation:
+	// a flood of distinct grammars cannot run unbounded vocabulary scans.
+	if s.inflight.Add(1) > int64(s.cfg.MaxInflight) {
+		s.inflight.Add(-1)
+		s.rejected.Add(1)
+		httpError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.MaxInflight)
+		return
+	}
+	defer s.inflight.Add(-1)
+	spec := req.spec()
+	id, err := s.comp.SpecID(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cg, err := s.comp.CompileSpec(spec)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "compile: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, grammarResponse(id, cg))
+}
+
+func (s *Server) handleGetGrammar(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	cg, ok := s.comp.GrammarByID(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown grammar %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, grammarResponse(id, cg))
+}
+
+// GenerateRequest is the wire form of POST /v1/generate. The grammar comes
+// either by reference (GrammarID, from a prior POST /v1/grammars — served
+// from the LRU or the disk store, never recompiled) or inline.
+type GenerateRequest struct {
+	GrammarID string `json:"grammar_id,omitempty"`
+	GrammarRequest
+	// Prefix primes the generation with already-decoded output (it must be a
+	// valid prefix under the grammar).
+	Prefix string `json:"prefix,omitempty"`
+	// MaxTokens bounds decode steps (capped by the server's MaxTokens).
+	MaxTokens int `json:"max_tokens,omitempty"`
+	// Seed makes the simulated LLM deterministic; 0 draws a fresh seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Stream switches the response to server-sent events.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// GenerateResponse is the non-streaming response (and the final SSE event).
+type GenerateResponse struct {
+	GrammarID        string `json:"grammar_id"`
+	Text             string `json:"text"`
+	Tokens           int    `json:"tokens"`
+	JumpForwardBytes int    `json:"jump_forward_bytes"`
+	FinishReason     string `json:"finish_reason"`
+	Done             bool   `json:"done"`
+}
+
+// StreamChunk is one SSE data event carrying generated text.
+type StreamChunk struct {
+	Text string `json:"text"`
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req GenerateRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		return
+	}
+
+	// Bounded admission first: the in-flight slot covers everything
+	// expensive — inline grammar compilation (a full vocabulary scan on a
+	// cache miss) as well as decoding — so overload is a loud 429, not an
+	// unbounded queue of compiles.
+	if s.inflight.Add(1) > int64(s.cfg.MaxInflight) {
+		s.inflight.Add(-1)
+		s.rejected.Add(1)
+		httpError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.MaxInflight)
+		return
+	}
+	defer s.inflight.Add(-1)
+
+	// Resolve the grammar. By-ID never compiles; inline specs go through
+	// the compile cache and store.
+	var cg *xgrammar.CompiledGrammar
+	var id string
+	if req.GrammarID != "" {
+		var ok bool
+		if cg, ok = s.comp.GrammarByID(req.GrammarID); !ok {
+			httpError(w, http.StatusNotFound, "unknown grammar %q (register it via POST /v1/grammars)", req.GrammarID)
+			return
+		}
+		id = req.GrammarID
+	} else {
+		spec := req.spec()
+		var err error
+		if id, err = s.comp.SpecID(spec); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if cg, err = s.comp.CompileSpec(spec); err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "compile: %v", err)
+			return
+		}
+	}
+
+	maxTokens := req.MaxTokens
+	if maxTokens <= 0 || maxTokens > s.cfg.MaxTokens {
+		maxTokens = s.cfg.MaxTokens
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano() ^ s.seedCtr.Add(1)<<32
+	}
+
+	sess := s.eng.OpenSession(cg)
+	if req.Prefix != "" {
+		if err := sess.AcceptString(req.Prefix); err != nil {
+			sess.Close()
+			httpError(w, http.StatusBadRequest, "prefix: %v", err)
+			return
+		}
+	}
+	q := &genSeq{
+		ctx:       r.Context(),
+		sess:      sess,
+		rng:       rand.New(rand.NewSource(seed)),
+		remaining: maxTokens,
+		chunks:    make(chan string, 2*maxTokens+4),
+		done:      make(chan struct{}),
+	}
+	if !s.b.submit(q) {
+		sess.Close()
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+
+	if req.Stream {
+		s.streamResponse(w, q, id, req.Prefix)
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(req.Prefix)
+	for chunk := range q.chunks {
+		sb.WriteString(chunk)
+	}
+	<-q.done
+	writeJSON(w, http.StatusOK, GenerateResponse{
+		GrammarID:        id,
+		Text:             sb.String(),
+		Tokens:           q.tokens,
+		JumpForwardBytes: q.jfBytes,
+		FinishReason:     q.finishReason,
+		Done:             true,
+	})
+}
+
+// streamResponse writes the generation as server-sent events: one data
+// event per text chunk (the primed prefix first, so concatenated chunks
+// equal the non-streaming Text), a final summary event, then the [DONE]
+// sentinel.
+func (s *Server) streamResponse(w http.ResponseWriter, q *genSeq, id, prefix string) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	writeEvent := func(v any) {
+		data, _ := json.Marshal(v)
+		fmt.Fprintf(w, "data: %s\n\n", data)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if prefix != "" {
+		writeEvent(StreamChunk{Text: prefix})
+	}
+	for chunk := range q.chunks {
+		writeEvent(StreamChunk{Text: chunk})
+	}
+	<-q.done
+	writeEvent(GenerateResponse{
+		GrammarID:        id,
+		Tokens:           q.tokens,
+		JumpForwardBytes: q.jfBytes,
+		FinishReason:     q.finishReason,
+		Done:             true,
+	})
+	fmt.Fprint(w, "data: [DONE]\n\n")
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": float64(time.Since(s.start).Microseconds()) / 1e3,
+	})
+}
+
+// Metrics is the GET /metrics response: gateway counters, engine
+// throughput, batch-fill latency percentiles, and the hit rates of both
+// grammar-artifact layers (in-memory LRU and disk store).
+type Metrics struct {
+	UptimeMS         float64 `json:"uptime_ms"`
+	Requests         int64   `json:"requests_total"`
+	Rejected         int64   `json:"requests_rejected"`
+	Inflight         int64   `json:"requests_inflight"`
+	LiveBatch        int64   `json:"live_batch"`
+	PeakBatch        int64   `json:"peak_batch"`
+	DecodeRounds     int64   `json:"decode_rounds"`
+	TokensGenerated  int64   `json:"tokens_generated"`
+	JumpForwardBytes int64   `json:"jump_forward_bytes"`
+	TokensPerSec     float64 `json:"tokens_per_sec"`
+	FillP50US        float64 `json:"fill_p50_us"`
+	FillP99US        float64 `json:"fill_p99_us"`
+
+	CompileCache CompileCacheMetrics `json:"compile_cache"`
+	Store        StoreMetrics        `json:"store"`
+}
+
+// CompileCacheMetrics mirrors xgrammar.CompileCacheStats on the wire.
+type CompileCacheMetrics struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Builds    int64 `json:"builds"`
+	Compiles  int64 `json:"compiles"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// StoreMetrics mirrors xgrammar.StoreStats on the wire.
+type StoreMetrics struct {
+	Attached    bool  `json:"attached"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Writes      int64 `json:"writes"`
+	WriteErrors int64 `json:"write_errors"`
+	Quarantined int64 `json:"quarantined"`
+	Preloaded   int64 `json:"preloaded"`
+	Blobs       int   `json:"blobs"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cc := s.comp.CompileCacheStats()
+	st := s.comp.StoreStats()
+	uptime := time.Since(s.start)
+	tokens := s.b.tokens.Load()
+	p50, p99 := s.b.fillPercentiles()
+	m := Metrics{
+		UptimeMS:         float64(uptime.Microseconds()) / 1e3,
+		Requests:         s.requests.Load(),
+		Rejected:         s.rejected.Load(),
+		Inflight:         s.inflight.Load(),
+		LiveBatch:        s.b.liveNow.Load(),
+		PeakBatch:        s.b.peakBatch.Load(),
+		DecodeRounds:     s.b.rounds.Load(),
+		TokensGenerated:  tokens,
+		JumpForwardBytes: s.b.jfBytes.Load(),
+		TokensPerSec:     float64(tokens) / uptime.Seconds(),
+		FillP50US:        float64(p50.Nanoseconds()) / 1e3,
+		FillP99US:        float64(p99.Nanoseconds()) / 1e3,
+		CompileCache: CompileCacheMetrics{
+			Hits:      cc.Hits,
+			Misses:    cc.Misses,
+			Coalesced: cc.Coalesced,
+			Builds:    cc.Builds,
+			Compiles:  cc.Compiles,
+			Evictions: cc.Evictions,
+			Entries:   cc.Entries,
+			Bytes:     cc.Bytes,
+		},
+		Store: StoreMetrics{
+			Attached:    st.Attached,
+			Hits:        st.Hits,
+			Misses:      st.Misses,
+			Writes:      st.Writes,
+			WriteErrors: st.WriteErrors,
+			Quarantined: st.Quarantined,
+			Preloaded:   st.Preloaded,
+			Blobs:       st.Blobs,
+		},
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// decodeBody decodes a JSON request body under the configured size cap,
+// writing the error response itself. Unbounded bodies would let a flood
+// bypass bounded admission by exhausting memory before the 429 check.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		} else {
+			httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		}
+		return err
+	}
+	return nil
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

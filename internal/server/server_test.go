@@ -1,0 +1,546 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xgrammar"
+	"xgrammar/internal/server"
+)
+
+const testSchema = `{"type": "object", "properties": {
+	"name": {"type": "string"}, "id": {"type": "integer"}},
+	"required": ["name", "id"]}`
+
+func testInfo(t testing.TB) *xgrammar.TokenizerInfo {
+	t.Helper()
+	return xgrammar.DefaultTokenizer(800)
+}
+
+// gateway boots a gateway over a fresh compiler; storeDir == "" disables
+// persistence; warm runs WarmStart before serving.
+func gateway(t *testing.T, storeDir string, warm bool, cfg server.Config) (*httptest.Server, *server.Server, *xgrammar.Compiler) {
+	t.Helper()
+	comp := xgrammar.NewCompiler(testInfo(t))
+	if storeDir != "" {
+		if err := comp.AttachStore(storeDir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if warm {
+		if _, err := comp.WarmStart(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg.Engine = xgrammar.NewEngine(comp)
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts, srv, comp
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getMetrics(t *testing.T, base string) server.Metrics {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m server.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// assertValidInstance checks text is a complete instance of the schema.
+func assertValidInstance(t *testing.T, text string) {
+	t.Helper()
+	cg, err := xgrammar.NewCompiler(testInfo(t)).CompileJSONSchema([]byte(testSchema), xgrammar.SchemaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := xgrammar.NewMatcher(cg)
+	if err := m.AcceptString(text); err != nil {
+		t.Fatalf("generated text violates schema: %v\ntext: %s", err, text)
+	}
+	if !m.CanTerminate() {
+		t.Fatalf("generated text is not a complete instance: %s", text)
+	}
+}
+
+// TestWarmRestartEndToEnd is the acceptance path: register a JSON-schema
+// grammar, generate against it, restart the gateway over the same store
+// directory, and assert the second boot answers by grammar ID from the warm
+// store — zero compiles — verified through /metrics.
+func TestWarmRestartEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+
+	// ---- First boot: compile, serve, persist. ----
+	ts1, srv1, _ := gateway(t, dir, false, server.Config{MaxInflight: 8, MaxTokens: 300})
+	resp, body := postJSON(t, ts1.URL+"/v1/grammars", server.GrammarRequest{Kind: "json_schema", Source: testSchema})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	var reg server.GrammarResponse
+	if err := json.Unmarshal(body, &reg); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.ID) != 64 {
+		t.Fatalf("grammar id %q is not content-addressed", reg.ID)
+	}
+	resp, body = postJSON(t, ts1.URL+"/v1/generate", server.GenerateRequest{GrammarID: reg.ID, Seed: 42})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate: %d %s", resp.StatusCode, body)
+	}
+	var gen server.GenerateResponse
+	if err := json.Unmarshal(body, &gen); err != nil {
+		t.Fatal(err)
+	}
+	if gen.FinishReason != "stop" {
+		t.Fatalf("finish reason %q, response %s", gen.FinishReason, body)
+	}
+	assertValidInstance(t, gen.Text)
+	m1 := getMetrics(t, ts1.URL)
+	if m1.Store.Writes != 1 || m1.CompileCache.Compiles != 1 {
+		t.Fatalf("first boot metrics: %+v", m1)
+	}
+	if m1.TokensGenerated == 0 || m1.DecodeRounds == 0 {
+		t.Fatalf("engine metrics flat: %+v", m1)
+	}
+	ts1.Close()
+	srv1.Close()
+
+	// ---- Second boot, same store dir: warm start, no recompile. ----
+	ts2, _, _ := gateway(t, dir, true, server.Config{MaxInflight: 8, MaxTokens: 300})
+	m2 := getMetrics(t, ts2.URL)
+	if m2.Store.Preloaded != 1 {
+		t.Fatalf("warm start did not preload: %+v", m2.Store)
+	}
+	// First request of the new process, straight by grammar ID.
+	resp, body = postJSON(t, ts2.URL+"/v1/generate", server.GenerateRequest{GrammarID: reg.ID, Seed: 7})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm generate: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &gen); err != nil {
+		t.Fatal(err)
+	}
+	assertValidInstance(t, gen.Text)
+	m2 = getMetrics(t, ts2.URL)
+	if m2.CompileCache.Compiles != 0 {
+		t.Fatalf("second boot recompiled: %+v", m2.CompileCache)
+	}
+	if m2.Store.Preloaded != 1 || m2.Store.Writes != 0 {
+		t.Fatalf("second boot store activity: %+v", m2.Store)
+	}
+}
+
+// TestMetricsCountersMove asserts the gramcache and store counters advance
+// under repeated inline-grammar requests.
+func TestMetricsCountersMove(t *testing.T) {
+	dir := t.TempDir()
+	ts, _, _ := gateway(t, dir, false, server.Config{MaxInflight: 8, MaxTokens: 300})
+	req := server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "json_schema", Source: testSchema},
+		Seed:           1,
+	}
+	var prevHits int64 = -1
+	for i := 0; i < 4; i++ {
+		req.Seed = int64(i + 1)
+		resp, body := postJSON(t, ts.URL+"/v1/generate", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %d %s", i, resp.StatusCode, body)
+		}
+		m := getMetrics(t, ts.URL)
+		if m.CompileCache.Hits <= prevHits && i > 0 {
+			t.Fatalf("request %d: compile-cache hits did not advance: %+v", i, m.CompileCache)
+		}
+		prevHits = m.CompileCache.Hits
+		if m.Requests != int64(i+1) {
+			t.Fatalf("requests_total = %d after %d requests", m.Requests, i+1)
+		}
+	}
+	m := getMetrics(t, ts.URL)
+	// One compile, one store write, the rest in-memory hits.
+	if m.CompileCache.Compiles != 1 || m.Store.Writes != 1 || m.Store.Misses != 1 {
+		t.Fatalf("final metrics: compile=%+v store=%+v", m.CompileCache, m.Store)
+	}
+	if m.CompileCache.Hits < 3 {
+		t.Fatalf("cache hits = %d, want >= 3", m.CompileCache.Hits)
+	}
+	if !m.Store.Attached {
+		t.Fatal("store not reported attached")
+	}
+}
+
+func TestStreamingSSE(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{MaxInflight: 4, MaxTokens: 300})
+	data, _ := json.Marshal(server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "json_schema", Source: testSchema},
+		Seed:           99,
+		Stream:         true,
+	})
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var text strings.Builder
+	var final server.GenerateResponse
+	sawDone := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		payload := strings.TrimPrefix(line, "data: ")
+		if payload == "[DONE]" {
+			sawDone = true
+			break
+		}
+		var probe struct {
+			Text string `json:"text"`
+			Done bool   `json:"done"`
+		}
+		if err := json.Unmarshal([]byte(payload), &probe); err != nil {
+			t.Fatalf("bad event %q: %v", payload, err)
+		}
+		if probe.Done {
+			json.Unmarshal([]byte(payload), &final)
+		} else {
+			text.WriteString(probe.Text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawDone || !final.Done {
+		t.Fatalf("stream ended without summary+[DONE] (done=%v)", final.Done)
+	}
+	if final.FinishReason != "stop" {
+		t.Fatalf("finish reason %q", final.FinishReason)
+	}
+	assertValidInstance(t, text.String())
+	if final.Tokens == 0 {
+		t.Fatal("no tokens reported")
+	}
+}
+
+func TestGenerateRegexAndPrefixAndDeterminism(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{MaxInflight: 4, MaxTokens: 100})
+	gen := func(req server.GenerateRequest) server.GenerateResponse {
+		resp, body := postJSON(t, ts.URL+"/v1/generate", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("generate: %d %s", resp.StatusCode, body)
+		}
+		var g server.GenerateResponse
+		if err := json.Unmarshal(body, &g); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	req := server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "regex", Source: `^[ab]{3,8}c$`},
+		Seed:           5,
+	}
+	g1 := gen(req)
+	if !regexp.MustCompile(`^[ab]{3,8}c$`).MatchString(g1.Text) {
+		t.Fatalf("output %q violates the pattern", g1.Text)
+	}
+	if g2 := gen(req); g2.Text != g1.Text {
+		t.Fatalf("same seed produced %q then %q", g1.Text, g2.Text)
+	}
+	// Prefix priming: the output continues the supplied prefix.
+	g3 := gen(server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "regex", Source: `^[ab]{3,8}c$`},
+		Prefix:         "abab",
+		Seed:           5,
+	})
+	if !strings.HasPrefix(g3.Text, "abab") || !regexp.MustCompile(`^[ab]{3,8}c$`).MatchString(g3.Text) {
+		t.Fatalf("prefixed output %q", g3.Text)
+	}
+	// The streaming variant must reconstruct the same document: the prefix
+	// arrives as the first SSE chunk.
+	data, _ := json.Marshal(server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "regex", Source: `^[ab]{3,8}c$`},
+		Prefix:         "abab",
+		Seed:           5,
+		Stream:         true,
+	})
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var streamed strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		payload, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok || payload == "[DONE]" {
+			continue
+		}
+		var ev struct {
+			Text string `json:"text"`
+			Done bool   `json:"done"`
+		}
+		if err := json.Unmarshal([]byte(payload), &ev); err == nil && !ev.Done {
+			streamed.WriteString(ev.Text)
+		}
+	}
+	if streamed.String() != g3.Text {
+		t.Fatalf("streamed %q but non-streaming returned %q", streamed.String(), g3.Text)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{MaxInflight: 4, MaxTokens: 50})
+	cases := []struct {
+		name string
+		path string
+		body any
+		want int
+	}{
+		{"bad kind", "/v1/grammars", server.GrammarRequest{Kind: "prolog", Source: "x"}, http.StatusBadRequest},
+		{"bad grammar", "/v1/grammars", server.GrammarRequest{Kind: "ebnf", Source: "root == oops"}, http.StatusUnprocessableEntity},
+		{"bad schema", "/v1/grammars", server.GrammarRequest{Kind: "json_schema", Source: "{"}, http.StatusUnprocessableEntity},
+		{"unknown grammar id", "/v1/generate", server.GenerateRequest{GrammarID: strings.Repeat("ab", 32)}, http.StatusNotFound},
+		{"bad prefix", "/v1/generate", server.GenerateRequest{
+			GrammarRequest: server.GrammarRequest{Kind: "builtin", Source: "json"}, Prefix: "not json!"},
+			http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d (want %d): %s", tc.name, resp.StatusCode, tc.want, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: no error payload: %s", tc.name, body)
+		}
+	}
+	// Malformed JSON body.
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", resp.StatusCode)
+	}
+	// Unknown grammar metadata.
+	resp, err = http.Get(ts.URL + "/v1/grammars/" + strings.Repeat("cd", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown grammar: status %d", resp.StatusCode)
+	}
+}
+
+func TestGrammarRegistryRoundTrip(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{MaxInflight: 4, MaxTokens: 50})
+	resp, body := postJSON(t, ts.URL+"/v1/grammars", server.GrammarRequest{Kind: "builtin", Source: "json"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	var reg server.GrammarResponse
+	json.Unmarshal(body, &reg)
+	resp2, err := http.Get(ts.URL + "/v1/grammars/" + reg.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("get grammar: %d", resp2.StatusCode)
+	}
+	var got server.GrammarResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != reg.ID || got.PDANodes == 0 {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got, reg)
+	}
+}
+
+// TestAdmissionBound floods the gateway beyond MaxInflight and asserts the
+// overflow is rejected with 429 while admitted requests complete.
+func TestAdmissionBound(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{
+		MaxInflight: 2,
+		MaxTokens:   60,
+		GPUStep:     5 * time.Millisecond, // each decode round takes >= 5ms
+	})
+	// A grammar with no early termination: at least 40 ambiguous decode
+	// steps, so each admitted generation holds its slot for >= 200ms.
+	req, _ := json.Marshal(server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "regex", Source: `^(a|b){40,50}$`},
+	})
+	const clients = 6
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(req))
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	ok, rejected := 0, 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("unexpected status %d (all: %v)", c, codes)
+		}
+	}
+	if ok == 0 || rejected == 0 {
+		t.Fatalf("admission bound not exercised: codes %v", codes)
+	}
+	m := getMetrics(t, ts.URL)
+	if m.Rejected != int64(rejected) {
+		t.Fatalf("metrics rejected = %d, observed %d", m.Rejected, rejected)
+	}
+}
+
+// TestContinuousBatchingOverlap drives concurrent generations and asserts
+// they actually shared decode rounds (peak batch > 1).
+func TestContinuousBatchingOverlap(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{
+		MaxInflight: 16,
+		MaxTokens:   80,
+		GPUStep:     2 * time.Millisecond,
+	})
+	req, _ := json.Marshal(server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "regex", Source: `^(a|b){30,40}$`},
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(req))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	m := getMetrics(t, ts.URL)
+	if m.PeakBatch < 2 {
+		t.Fatalf("no batching observed: %+v", m)
+	}
+	if m.FillP50US == 0 && m.FillP99US == 0 {
+		t.Fatalf("no fill latencies recorded: %+v", m)
+	}
+	if m.TokensPerSec <= 0 {
+		t.Fatalf("throughput not reported: %+v", m)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz: %v %+v", err, h)
+	}
+}
+
+func TestShutdownFinishesInflight(t *testing.T) {
+	comp := xgrammar.NewCompiler(testInfo(t))
+	eng := xgrammar.NewEngine(comp)
+	srv := server.New(server.Config{Engine: eng, MaxInflight: 4, MaxTokens: 500, GPUStep: 3 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	req, _ := json.Marshal(server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "regex", Source: `^(a|b){200,400}$`},
+	})
+	type result struct {
+		code int
+		gen  server.GenerateResponse
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(req))
+		if err != nil {
+			ch <- result{code: -1}
+			return
+		}
+		defer resp.Body.Close()
+		var g server.GenerateResponse
+		json.NewDecoder(resp.Body).Decode(&g)
+		ch <- result{code: resp.StatusCode, gen: g}
+	}()
+	// Wait until the generation has actually joined the live batch.
+	deadline := time.Now().Add(5 * time.Second)
+	for getMetrics(t, ts.URL).LiveBatch == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("generation never joined the batch")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Close()
+	select {
+	case r := <-ch:
+		if r.code != http.StatusOK {
+			t.Fatalf("status %d", r.code)
+		}
+		if r.gen.FinishReason != "shutdown" && r.gen.FinishReason != "stop" && r.gen.FinishReason != "length" {
+			t.Fatalf("finish reason %q", r.gen.FinishReason)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("generation hung across shutdown")
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 
+	"xgrammar/internal/bitset"
 	"xgrammar/internal/ebnf"
+	"xgrammar/internal/fsa"
 	"xgrammar/internal/maskcache"
 	"xgrammar/internal/pda"
 )
@@ -84,6 +86,9 @@ func (c *Compiler) LoadCompiledGrammar(r io.Reader) (*CompiledGrammar, error) {
 	if err != nil {
 		return nil, fmt.Errorf("xgrammar: load: embedded grammar: %w", err)
 	}
+	if err := validateWire(&wire, len(g.Rules)); err != nil {
+		return nil, fmt.Errorf("xgrammar: load: %w", err)
+	}
 	p := pda.FromParts(g, wire.Nodes, wire.RuleStart, wire.Root)
 	cfg := c.cfg
 	cfg.useCache = wire.HasCache
@@ -94,4 +99,89 @@ func (c *Compiler) LoadCompiledGrammar(r io.Reader) (*CompiledGrammar, error) {
 		cg.cache = maskcache.FromParts(p, c.info.tok, maskcache.FromWire(wire.Masks), wire.CacheStats)
 	}
 	return cg, nil
+}
+
+// validateWire bounds-checks the decoded automaton and mask cache before
+// they are wired into live structures: a truncated or bit-flipped blob must
+// fail the load with an error, never corrupt a matcher or panic at decode
+// time. numRules is the rule count of the re-parsed embedded grammar.
+func validateWire(w *wireGrammar, numRules int) error {
+	nNodes := int32(len(w.Nodes))
+	if len(w.Nodes) == 0 {
+		return fmt.Errorf("corrupt blob: no PDA nodes")
+	}
+	if len(w.RuleStart) != numRules {
+		return fmt.Errorf("corrupt blob: %d rule starts for %d grammar rules", len(w.RuleStart), numRules)
+	}
+	if w.Root < 0 || int(w.Root) >= len(w.RuleStart) {
+		return fmt.Errorf("corrupt blob: root rule %d out of range [0, %d)", w.Root, len(w.RuleStart))
+	}
+	for r, start := range w.RuleStart {
+		if start < 0 || start >= nNodes {
+			return fmt.Errorf("corrupt blob: rule %d starts at node %d, automaton has %d nodes", r, start, nNodes)
+		}
+	}
+	for i := range w.Nodes {
+		n := &w.Nodes[i]
+		if n.Rule < 0 || int(n.Rule) >= numRules {
+			return fmt.Errorf("corrupt blob: node %d owned by rule %d of %d", i, n.Rule, numRules)
+		}
+		for _, e := range n.Edges {
+			if e.To < 0 || e.To >= nNodes {
+				return fmt.Errorf("corrupt blob: node %d edge targets node %d of %d", i, e.To, nNodes)
+			}
+			if e.Kind == fsa.EdgeRule && (e.Rule < 0 || int(e.Rule) >= numRules) {
+				return fmt.Errorf("corrupt blob: node %d edge enters rule %d of %d", i, e.Rule, numRules)
+			}
+		}
+	}
+	if !w.HasCache {
+		return nil
+	}
+	if len(w.Masks) != len(w.Nodes) {
+		return fmt.Errorf("corrupt blob: %d node masks for %d nodes", len(w.Masks), len(w.Nodes))
+	}
+	vocab := int32(w.VocabSize)
+	words := bitset.WordsFor(w.VocabSize)
+	for i := range w.Masks {
+		m := &w.Masks[i]
+		if m.Kind > maskcache.BitsetStore { // StorageKind is unsigned; no lower bound to check
+			return fmt.Errorf("corrupt blob: mask %d has unknown storage kind %d", i, m.Kind)
+		}
+		if m.Kind == maskcache.BitsetStore {
+			if len(m.Bits) != words {
+				return fmt.Errorf("corrupt blob: mask %d holds %d bitset words, vocabulary needs %d", i, len(m.Bits), words)
+			}
+			// Padding bits beyond the vocabulary must be zero: they would be
+			// OR-ed into session masks verbatim and decode to token ids past
+			// the vocabulary (an unchecked index at accept time).
+			if rem := uint(w.VocabSize % 64); rem != 0 && m.Bits[words-1]>>rem != 0 {
+				return fmt.Errorf("corrupt blob: mask %d sets bits beyond vocabulary %d", i, vocab)
+			}
+		}
+		// Token lists must be strictly ascending (sorted, duplicate-free):
+		// the Algorithm-1 merge assumes it, and a reordered list would
+		// silently produce wrong masks rather than fail the load.
+		if err := checkTokenList(m.Tokens, vocab, i, "token"); err != nil {
+			return err
+		}
+		if err := checkTokenList(m.Ctx, vocab, i, "context token"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkTokenList verifies a wire mask's id list is in-range and strictly
+// ascending.
+func checkTokenList(ids []int32, vocab int32, mask int, what string) error {
+	for j, id := range ids {
+		if id < 0 || id >= vocab {
+			return fmt.Errorf("corrupt blob: mask %d lists %s %d of vocabulary %d", mask, what, id, vocab)
+		}
+		if j > 0 && id <= ids[j-1] {
+			return fmt.Errorf("corrupt blob: mask %d %s list not strictly ascending at index %d", mask, what, j)
+		}
+	}
+	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/gob"
 	"strings"
 	"testing"
+
+	"xgrammar/internal/maskcache"
 )
 
 func TestSerializeRoundTrip(t *testing.T) {
@@ -95,6 +97,106 @@ func TestLoadGarbage(t *testing.T) {
 	info := testTokenizer(t)
 	if _, err := NewCompiler(info).LoadCompiledGrammar(bytes.NewReader([]byte("not gob"))); err == nil {
 		t.Fatal("garbage loaded")
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	info := testTokenizer(t)
+	cg, err := NewCompiler(info).CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cg.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every truncation point must fail with an error — never a panic, never
+	// a silently half-loaded grammar.
+	for _, n := range []int{0, 1, len(full) / 4, len(full) / 2, len(full) - 1} {
+		if _, err := NewCompiler(info).LoadCompiledGrammar(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("truncated blob (%d of %d bytes) loaded", n, len(full))
+		}
+	}
+}
+
+// TestLoadRejectsCorruptStructure bit-flips structural fields that gob
+// itself cannot catch: indices out of range must be rejected by validation,
+// not crash a later matcher step.
+func TestLoadRejectsCorruptStructure(t *testing.T) {
+	info := testTokenizer(t)
+	cg, err := NewCompiler(info).CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*wireGrammar){
+		"root out of range":       func(w *wireGrammar) { w.Root = int32(len(w.RuleStart)) + 7 },
+		"negative root":           func(w *wireGrammar) { w.Root = -1 },
+		"rule start out of range": func(w *wireGrammar) { w.RuleStart[0] = int32(len(w.Nodes)) },
+		"edge target out of range": func(w *wireGrammar) {
+			for i := range w.Nodes {
+				if len(w.Nodes[i].Edges) > 0 {
+					w.Nodes[i].Edges[0].To = int32(len(w.Nodes)) + 3
+					return
+				}
+			}
+			t.Fatal("no edges to corrupt")
+		},
+		"node rule out of range": func(w *wireGrammar) { w.Nodes[0].Rule = 9999 },
+		"masks/nodes mismatch":   func(w *wireGrammar) { w.Masks = w.Masks[:len(w.Masks)-1] },
+		"mask token beyond vocabulary": func(w *wireGrammar) {
+			for i := range w.Masks {
+				w.Masks[i].Tokens = append(w.Masks[i].Tokens, int32(w.VocabSize)+5)
+				return
+			}
+		},
+		"mask ctx token beyond vocabulary": func(w *wireGrammar) {
+			for i := range w.Masks {
+				w.Masks[i].Ctx = append(w.Masks[i].Ctx, int32(w.VocabSize))
+				return
+			}
+		},
+		"unknown mask kind": func(w *wireGrammar) { w.Masks[0].Kind = 42 },
+		"no nodes":          func(w *wireGrammar) { w.Nodes = nil; w.Masks = nil },
+		"bitset padding bits set": func(w *wireGrammar) {
+			for i := range w.Masks {
+				if w.Masks[i].Kind == 2 { // BitsetStore
+					w.Masks[i].Bits[len(w.Masks[i].Bits)-1] |= 1 << 63
+					return
+				}
+			}
+			// No bitset node in this grammar: fabricate one with the right
+			// word count but a padding bit set beyond the vocabulary.
+			words := (w.VocabSize + 63) / 64
+			bits := make([]uint64, words)
+			bits[words-1] = 1 << 63
+			w.Masks[0] = maskcache.WireMask{Kind: 2, Bits: bits}
+		},
+		"unsorted token list": func(w *wireGrammar) {
+			for i := range w.Masks {
+				if len(w.Masks[i].Tokens) >= 2 {
+					t0 := w.Masks[i].Tokens
+					t0[0], t0[1] = t0[1], t0[0]
+					return
+				}
+			}
+			t.Fatal("no token list to shuffle")
+		},
+		"duplicate ctx token": func(w *wireGrammar) {
+			for i := range w.Masks {
+				if len(w.Masks[i].Ctx) >= 1 {
+					w.Masks[i].Ctx = append(w.Masks[i].Ctx, w.Masks[i].Ctx[len(w.Masks[i].Ctx)-1])
+					return
+				}
+			}
+			t.Fatal("no ctx list to duplicate")
+		},
+	}
+	for name, mutate := range cases {
+		blob := rewire(t, cg, mutate)
+		if _, err := NewCompiler(info).LoadCompiledGrammar(blob); err == nil {
+			t.Errorf("%s: corrupt blob loaded", name)
+		}
 	}
 }
 

@@ -123,7 +123,17 @@ func (e *Engine) OpenJSONSchemaSession(schema []byte, o SchemaOptions) (*Session
 // it) are skipped, so the grammar work runs exactly once per token however
 // Step, Accept, and FillBatch are combined.
 func (e *Engine) FillBatch(sessions []*Session) []maskcache.FillStats {
-	stats := make([]maskcache.FillStats, len(sessions))
+	return e.FillBatchInto(nil, sessions)
+}
+
+// FillBatchInto is FillBatch reusing the caller's stats buffer (grown as
+// needed; nil allocates) — for decode loops that run every round and want
+// the steady state allocation-free.
+func (e *Engine) FillBatchInto(stats []maskcache.FillStats, sessions []*Session) []maskcache.FillStats {
+	if cap(stats) < len(sessions) {
+		stats = make([]maskcache.FillStats, len(sessions))
+	}
+	stats = stats[:len(sessions)]
 	e.pool.Run(len(sessions), func(i int) { stats[i] = sessions[i].s.Fill() })
 	return stats
 }

@@ -1,0 +1,245 @@
+package xgrammar
+
+import (
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"xgrammar/internal/gramstore"
+)
+
+// GrammarKind names a grammar source type accepted by CompileSpec — the
+// wire-level counterpart of the Compile* methods, used by the HTTP gateway
+// and the content-addressed grammar store.
+type GrammarKind string
+
+// Grammar source kinds.
+const (
+	// KindEBNF compiles EBNF source text (CompileGrammar).
+	KindEBNF GrammarKind = "ebnf"
+	// KindJSONSchema compiles a JSON Schema document (CompileJSONSchema).
+	KindJSONSchema GrammarKind = "json_schema"
+	// KindRegex compiles a regular expression (CompileRegex).
+	KindRegex GrammarKind = "regex"
+	// KindBuiltin selects a builtin grammar; Source is "json", "xml", or
+	// "python".
+	KindBuiltin GrammarKind = "builtin"
+)
+
+// GrammarSpec is a self-describing grammar source: kind, source text, and
+// (for JSON Schema) the schema options. Two specs that would compile to the
+// same artifact under the same compiler share one grammar ID.
+type GrammarSpec struct {
+	Kind   GrammarKind
+	Source string
+	Schema SchemaOptions
+}
+
+// keyParts maps the spec onto the (kind, src) pair used by the compiled-
+// grammar cache key, so CompileSpec, the direct Compile* methods, and the
+// disk store all agree on identity.
+func (spec GrammarSpec) keyParts() (kind, src string, err error) {
+	switch spec.Kind {
+	case KindEBNF:
+		return "ebnf", spec.Source, nil
+	case KindJSONSchema:
+		return fmt.Sprintf("schema/ap=%v", spec.Schema.AllowAdditionalProperties), spec.Source, nil
+	case KindRegex:
+		return "regex", spec.Source, nil
+	case KindBuiltin:
+		switch spec.Source {
+		case "json", "xml", "python":
+			return "builtin", spec.Source, nil
+		}
+		return "", "", fmt.Errorf("xgrammar: unknown builtin grammar %q (want json, xml, or python)", spec.Source)
+	}
+	return "", "", fmt.Errorf("xgrammar: unknown grammar kind %q", spec.Kind)
+}
+
+// CompileSpec compiles a self-describing grammar spec, routing through the
+// same cache (and disk store, when attached) as the direct Compile* methods.
+func (c *Compiler) CompileSpec(spec GrammarSpec) (*CompiledGrammar, error) {
+	switch spec.Kind {
+	case KindEBNF:
+		return c.CompileGrammar(spec.Source)
+	case KindJSONSchema:
+		return c.CompileJSONSchema([]byte(spec.Source), spec.Schema)
+	case KindRegex:
+		return c.CompileRegex(spec.Source)
+	case KindBuiltin:
+		switch spec.Source {
+		case "json":
+			return c.CompileBuiltinJSON()
+		case "xml":
+			return c.CompileBuiltinXML()
+		case "python":
+			return c.CompileBuiltinPythonDSL()
+		}
+	}
+	_, _, err := spec.keyParts()
+	return nil, err
+}
+
+// SpecID returns the content-addressed grammar ID for a spec under this
+// compiler: a hex digest covering the grammar source, the tokenizer
+// fingerprint, and the compiler configuration. The ID is stable across
+// processes, names the blob file in an attached store, and is what the
+// gateway's POST /v1/grammars returns.
+func (c *Compiler) SpecID(spec GrammarSpec) (string, error) {
+	kind, src, err := spec.keyParts()
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString([]byte(c.cacheKey(kind, src))), nil
+}
+
+// GrammarByID resolves a previously compiled grammar by its content-
+// addressed ID, checking the in-memory LRU first and then the attached
+// store. It never compiles: an ID that is in neither place returns false.
+func (c *Compiler) GrammarByID(id string) (*CompiledGrammar, bool) {
+	raw, err := hex.DecodeString(id)
+	if err != nil || len(raw) == 0 {
+		return nil, false
+	}
+	key := string(raw)
+	if c.cache != nil {
+		if cg, ok := c.cache.Get(key); ok {
+			return cg, true
+		}
+	}
+	if cg, ok := c.storeLoad(key); ok {
+		if c.cache != nil {
+			c.cache.Put(key, cg, cg.memoryBytes())
+		}
+		return cg, true
+	}
+	return nil, false
+}
+
+// AttachStore opens (creating if needed) a disk-backed compiled-grammar
+// store at dir and layers it under the compiled-grammar LRU: cache misses
+// try the store before compiling, and fresh builds are persisted
+// (best-effort) with an atomic write-then-rename. Blobs that fail to load —
+// truncated, corrupt, stale version, or compiled against a different
+// tokenizer — are quarantined and recompiled.
+func (c *Compiler) AttachStore(dir string) error {
+	s, err := gramstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	c.store = s
+	return nil
+}
+
+// WarmStart preloads blobs from the attached store into the compiled-
+// grammar LRU, so a restarted server answers its first request without
+// re-running the vocabulary scan. Bad blobs are quarantined and skipped.
+// Preloading stops once the LRU byte budget is full — loading past it
+// would only evict grammars warmed moments earlier. Returns the number of
+// grammars resident after the warm start; zero (no error) when no store is
+// attached or the LRU is disabled.
+func (c *Compiler) WarmStart() (int, error) {
+	if c.store == nil || c.cache == nil {
+		return 0, nil
+	}
+	ids, err := c.store.IDs()
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, id := range ids {
+		if c.cache.Bytes() >= c.cache.MaxBytes() {
+			break
+		}
+		raw, err := hex.DecodeString(id)
+		if err != nil {
+			continue
+		}
+		var cg *CompiledGrammar
+		found, err := c.store.Preload(id, func(r io.Reader) error {
+			var lerr error
+			cg, lerr = c.LoadCompiledGrammar(r)
+			return lerr
+		})
+		if !found || err != nil {
+			continue // miss, or quarantined by the store
+		}
+		c.cache.Put(string(raw), cg, cg.memoryBytes())
+		loaded++
+	}
+	return loaded, nil
+}
+
+// StoreStats reports disk-store activity; zero-valued when no store is
+// attached.
+type StoreStats struct {
+	// Attached reports whether a store is wired under the compile cache.
+	Attached bool
+	// Hits counts compiles served by loading a blob; Misses counts blob
+	// lookups that fell through to a compile.
+	Hits, Misses int64
+	// Writes counts blobs persisted; WriteErrors counts failed persists
+	// (persistence is best-effort).
+	Writes, WriteErrors int64
+	// Quarantined counts corrupt/stale blobs moved aside.
+	Quarantined int64
+	// Preloaded counts blobs loaded by WarmStart.
+	Preloaded int64
+	// Blobs is the current number of stored blobs.
+	Blobs int
+}
+
+// StoreBlobSize returns the on-disk size of a stored grammar blob by its
+// content-addressed ID, or 0 when no store is attached or no blob exists.
+func (c *Compiler) StoreBlobSize(id string) int64 {
+	if c.store == nil {
+		return 0
+	}
+	return c.store.Size(id)
+}
+
+// StoreStats returns a snapshot of the attached store's counters.
+func (c *Compiler) StoreStats() StoreStats {
+	if c.store == nil {
+		return StoreStats{}
+	}
+	s := c.store.Stats()
+	return StoreStats{
+		Attached:    true,
+		Hits:        s.Hits,
+		Misses:      s.Misses,
+		Writes:      s.Writes,
+		WriteErrors: s.WriteErrors,
+		Quarantined: s.Quarantined,
+		Preloaded:   s.Preloaded,
+		Blobs:       c.store.Len(),
+	}
+}
+
+// storeLoad tries to satisfy a compile from the attached store. ok is false
+// when no store is attached, the blob is absent, or it failed to load (in
+// which case it has been quarantined and the caller compiles).
+func (c *Compiler) storeLoad(key string) (*CompiledGrammar, bool) {
+	if c.store == nil {
+		return nil, false
+	}
+	var cg *CompiledGrammar
+	found, err := c.store.Load(hex.EncodeToString([]byte(key)), func(r io.Reader) error {
+		var lerr error
+		cg, lerr = c.LoadCompiledGrammar(r)
+		return lerr
+	})
+	if !found || err != nil {
+		return nil, false
+	}
+	return cg, true
+}
+
+// storeSave persists a freshly compiled grammar to the attached store
+// (best-effort: serving never fails because the disk is full).
+func (c *Compiler) storeSave(key string, cg *CompiledGrammar) {
+	if c.store == nil {
+		return
+	}
+	_ = c.store.Put(hex.EncodeToString([]byte(key)), cg.Serialize)
+}

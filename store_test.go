@@ -1,0 +1,249 @@
+package xgrammar
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// storeCompiler returns a compiler with a store attached at dir.
+func storeCompiler(t *testing.T, dir string, opts ...CompilerOption) *Compiler {
+	t.Helper()
+	c := NewCompiler(testTokenizer(t), opts...)
+	if err := c.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStorePersistsAcrossCompilers(t *testing.T) {
+	dir := t.TempDir()
+
+	// First process: compile → miss, build, write blob.
+	c1 := storeCompiler(t, dir)
+	if _, err := c1.CompileBuiltinJSON(); err != nil {
+		t.Fatal(err)
+	}
+	st := c1.StoreStats()
+	if !st.Attached || st.Writes != 1 || st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("first-process store stats = %+v", st)
+	}
+	if st.Blobs != 1 {
+		t.Fatalf("Blobs = %d", st.Blobs)
+	}
+
+	// Second process (fresh compiler, same dir): compile is a store hit,
+	// no build.
+	c2 := storeCompiler(t, dir)
+	loaded, err := c2.CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.StoreStats(); got.Hits != 1 || got.Writes != 0 {
+		t.Fatalf("second-process store stats = %+v", got)
+	}
+	if got := c2.CompileCacheStats(); got.Compiles != 0 {
+		t.Fatalf("second process compiled from scratch: %+v", got)
+	}
+	// The loaded grammar works.
+	m := NewMatcher(loaded)
+	if err := m.AcceptString(`{"k": [1, 2]}`); err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanTerminate() {
+		t.Fatal("loaded grammar cannot terminate complete document")
+	}
+}
+
+func TestStoreWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	c1 := storeCompiler(t, dir)
+	if _, err := c1.CompileBuiltinJSON(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.CompileRegex(`^[ab]+$`); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := storeCompiler(t, dir)
+	n, err := c2.WarmStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("WarmStart loaded %d grammars, want 2", n)
+	}
+	if st := c2.StoreStats(); st.Preloaded != 2 {
+		t.Fatalf("store stats = %+v", st)
+	}
+	// The first compile after warm start is an in-memory LRU hit: no build,
+	// no store read.
+	if _, err := c2.CompileBuiltinJSON(); err != nil {
+		t.Fatal(err)
+	}
+	cs := c2.CompileCacheStats()
+	if cs.Hits != 1 || cs.Compiles != 0 || cs.Misses != 0 {
+		t.Fatalf("compile cache stats after warm start = %+v", cs)
+	}
+	if st := c2.StoreStats(); st.Hits != 0 {
+		t.Fatalf("warm-started compile read the disk: %+v", st)
+	}
+}
+
+func TestStoreQuarantinesCorruptBlob(t *testing.T) {
+	dir := t.TempDir()
+	c1 := storeCompiler(t, dir)
+	if _, err := c1.CompileBuiltinJSON(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the single blob on disk.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".xgc") {
+			if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("garbage"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			corrupted++
+		}
+	}
+	if corrupted != 1 {
+		t.Fatalf("expected 1 blob on disk, corrupted %d", corrupted)
+	}
+
+	// A fresh compiler hits the corrupt blob, quarantines it, recompiles,
+	// and persists a clean replacement.
+	c2 := storeCompiler(t, dir)
+	if _, err := c2.CompileBuiltinJSON(); err != nil {
+		t.Fatal(err)
+	}
+	st := c2.StoreStats()
+	if st.Quarantined != 1 || st.Writes != 1 {
+		t.Fatalf("store stats = %+v, want 1 quarantine and 1 rewrite", st)
+	}
+	if cs := c2.CompileCacheStats(); cs.Compiles != 1 {
+		t.Fatalf("corrupt blob did not trigger recompile: %+v", cs)
+	}
+	// Warm start on a third compiler now succeeds from the clean blob.
+	c3 := storeCompiler(t, dir)
+	if n, err := c3.WarmStart(); err != nil || n != 1 {
+		t.Fatalf("WarmStart after quarantine = (%d, %v)", n, err)
+	}
+}
+
+func TestStoreRejectsForeignTokenizerBlob(t *testing.T) {
+	dir := t.TempDir()
+	c1 := storeCompiler(t, dir)
+	if _, err := c1.CompileBuiltinJSON(); err != nil {
+		t.Fatal(err)
+	}
+	// A compiler over a different vocabulary must not load the blob: it is
+	// quarantined (fingerprint mismatch) and compiled fresh. Its own blob
+	// lands under a different ID, because the ID covers the fingerprint.
+	other := NewCompiler(DefaultTokenizer(400))
+	if err := other.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := other.WarmStart(); err != nil || n != 0 {
+		t.Fatalf("foreign blob warm-started: (%d, %v)", n, err)
+	}
+	if st := other.StoreStats(); st.Quarantined != 1 {
+		t.Fatalf("store stats = %+v", st)
+	}
+}
+
+func TestSpecIDStableAndGrammarByID(t *testing.T) {
+	dir := t.TempDir()
+	c := storeCompiler(t, dir)
+	spec := GrammarSpec{Kind: KindBuiltin, Source: "json"}
+	id, err := c.SpecID(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(id) != 64 {
+		t.Fatalf("grammar id %q is not a sha256 hex digest", id)
+	}
+	// The ID matches the direct Compile* path and is stable across
+	// compilers with the same tokenizer and config.
+	id2, _ := NewCompiler(testTokenizer(t)).SpecID(spec)
+	if id != id2 {
+		t.Fatalf("SpecID unstable: %s vs %s", id, id2)
+	}
+	if _, ok := c.GrammarByID(id); ok {
+		t.Fatal("GrammarByID found a grammar before compilation")
+	}
+	cg, err := c.CompileSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.GrammarByID(id)
+	if !ok || got != cg {
+		t.Fatalf("GrammarByID = (%p, %v), want the compiled grammar %p", got, ok, cg)
+	}
+	// A fresh compiler resolves the ID from the store without compiling.
+	c2 := storeCompiler(t, dir)
+	if _, ok := c2.GrammarByID(id); !ok {
+		t.Fatal("GrammarByID missed the store")
+	}
+	if cs := c2.CompileCacheStats(); cs.Compiles != 0 {
+		t.Fatalf("GrammarByID compiled: %+v", cs)
+	}
+	if _, ok := c2.GrammarByID("zz-not-hex"); ok {
+		t.Fatal("bogus id resolved")
+	}
+	if _, ok := c2.GrammarByID(strings.Repeat("ab", 32)); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestCompileRegex(t *testing.T) {
+	c := NewCompiler(testTokenizer(t))
+	cg, err := c.CompileRegex(`^[ab]{2,3}c$`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ok := range []string{"abc", "babc", "aac"} {
+		m := NewMatcher(cg)
+		if err := m.AcceptString(ok); err != nil {
+			t.Fatalf("%q rejected: %v", ok, err)
+		}
+		if !m.CanTerminate() {
+			t.Fatalf("%q not complete", ok)
+		}
+	}
+	m := NewMatcher(cg)
+	if err := m.AcceptString("ax"); err == nil {
+		t.Fatal("invalid string accepted")
+	}
+	if _, err := c.CompileRegex(`[unclosed`); err == nil {
+		t.Fatal("bad pattern compiled")
+	}
+}
+
+func TestCompileSpecRoundTrip(t *testing.T) {
+	c := NewCompiler(testTokenizer(t))
+	schema := `{"type": "object", "properties": {"n": {"type": "integer"}}, "required": ["n"]}`
+	for _, spec := range []GrammarSpec{
+		{Kind: KindEBNF, Source: "root ::= \"hi\"\n"},
+		{Kind: KindJSONSchema, Source: schema},
+		{Kind: KindRegex, Source: `^a+$`},
+		{Kind: KindBuiltin, Source: "xml"},
+	} {
+		if _, err := c.CompileSpec(spec); err != nil {
+			t.Fatalf("CompileSpec(%v): %v", spec.Kind, err)
+		}
+	}
+	if _, err := c.CompileSpec(GrammarSpec{Kind: "nope"}); err == nil {
+		t.Fatal("unknown kind compiled")
+	}
+	if _, err := c.CompileSpec(GrammarSpec{Kind: KindBuiltin, Source: "perl"}); err == nil {
+		t.Fatal("unknown builtin compiled")
+	}
+	if _, err := c.SpecID(GrammarSpec{Kind: "nope"}); err == nil {
+		t.Fatal("unknown kind got an id")
+	}
+}

@@ -1,0 +1,20 @@
+package xgrammar_test
+
+// The whole-suite smoke bench lives in the external test package:
+// internal/experiments imports the root package (for the store benchmark),
+// so an in-package test importing experiments would be an import cycle.
+
+import (
+	"testing"
+
+	"xgrammar/internal/experiments"
+)
+
+func BenchmarkExperimentSuiteQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(true)
+		if tb, ok := s.ByID("stats"); !ok || len(tb.Rows) == 0 {
+			b.Fatal("stats experiment failed")
+		}
+	}
+}
