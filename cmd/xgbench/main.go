@@ -9,11 +9,14 @@
 //	xgbench -json BENCH.json # also write machine-readable serving results
 //
 // Experiment ids: fig9 fig10 fig11 fig12 tab1 tab2 tab3 tab4 stats par
-// serve store. The par experiment reports the parallel mask-cache build
-// speedup over the serial preprocessing scan; serve benchmarks the
+// serve spec store. The par experiment reports the parallel mask-cache
+// build speedup over the serial preprocessing scan; serve benchmarks the
 // continuous-batching serving runtime (pooled sessions, overlapped batch
-// mask fill); store measures a cold grammar compile against a warm
-// load-from-disk (the xgserve restart path).
+// mask fill); spec benchmarks speculative draft-verify decoding on the
+// rollback window (decode-step reduction versus the non-speculative
+// baseline, with a byte-identical output check); store measures a cold
+// grammar compile against a warm load-from-disk (the xgserve restart
+// path).
 //
 // With -json, the serving and store benchmarks' machine-readable records
 // (experiment, tokens/s, p50/p99 fill latency, batch dynamics, cold/warm
@@ -34,10 +37,11 @@ import (
 
 // benchJSON is the schema of the -json output file.
 type benchJSON struct {
-	Mode    string                    `json:"mode"` // quick | full
-	Vocab   int                       `json:"vocab"`
-	Serving []experiments.ServeResult `json:"serving"`
-	Store   []experiments.StoreResult `json:"store"`
+	Mode    string                        `json:"mode"` // quick | full
+	Vocab   int                           `json:"vocab"`
+	Serving []experiments.ServeResult     `json:"serving"`
+	Spec    []experiments.SpecBenchResult `json:"spec"`
+	Store   []experiments.StoreResult     `json:"store"`
 }
 
 func main() {
@@ -83,7 +87,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		out := benchJSON{Mode: mode, Vocab: suite.Vocab, Serving: suite.ServeBench(), Store: suite.StoreBench()}
+		out := benchJSON{Mode: mode, Vocab: suite.Vocab, Serving: suite.ServeBench(), Spec: suite.SpecBench(), Store: suite.StoreBench()}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xgbench: marshal json: %v\n", err)

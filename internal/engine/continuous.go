@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -8,7 +9,10 @@ import (
 	"xgrammar/internal/baselines"
 	"xgrammar/internal/bitset"
 	"xgrammar/internal/llmsim"
+	"xgrammar/internal/maskcache"
+	"xgrammar/internal/quantile"
 	"xgrammar/internal/serve"
+	"xgrammar/internal/spec"
 	"xgrammar/internal/tokenizer"
 )
 
@@ -47,6 +51,45 @@ type StreamConfig struct {
 	// in Overlap mode; nil uses the process-wide shared pool. Serial mode
 	// fills sequentially by definition (grammar work on the critical path).
 	Pool *serve.WorkerPool
+	// Spec configures draft-verify decoding when Mode is Speculative.
+	Spec SpecOptions
+}
+
+// SpecOptions parameterizes speculative draft-verify decoding (Mode
+// Speculative): the window size and the simulated draft model's quality.
+// Draft outcomes are a deterministic hash of (seed, sequence, position), so
+// speculative runs are exactly reproducible — and because only verified
+// tokens are ever committed, outputs are byte-identical to a
+// non-speculative run of the same requests regardless of these settings.
+type SpecOptions struct {
+	// DraftTokens is the draft window k per decode round (default 4).
+	// Sequences whose rollback history cannot retract a full window fall
+	// back to non-speculative decoding (counted in SpecFallbacks).
+	DraftTokens int
+	// DraftAccuracy is the per-position probability that the simulated
+	// draft model proposes the token the target model samples (default
+	// 0.8). Lower accuracy lowers the acceptance rate, not correctness.
+	DraftAccuracy float64
+	// DraftSeed varies the deterministic draft-error pattern.
+	DraftSeed int64
+}
+
+func (o SpecOptions) draftTokens() int {
+	if o.DraftTokens <= 0 {
+		return 4
+	}
+	return o.DraftTokens
+}
+
+func (o SpecOptions) accuracy() float64 {
+	switch {
+	case o.DraftAccuracy <= 0:
+		return 0.8
+	case o.DraftAccuracy > 1:
+		return 1
+	default:
+		return o.DraftAccuracy
+	}
 }
 
 // StreamMetrics extends Metrics with continuous-batching observations.
@@ -65,7 +108,32 @@ type StreamMetrics struct {
 	FillWall time.Duration
 	// FillP50 and FillP99 are percentiles of per-sequence mask fill latency.
 	FillP50, FillP99 time.Duration
+	// SpecProposed and SpecDrafted count draft tokens offered by the draft
+	// model and speculatively accepted by the grammar; SpecAccepted counts
+	// those confirmed by the target model — each confirmed token advanced
+	// its sequence without a sampling step of its own.
+	SpecProposed, SpecDrafted, SpecAccepted int
+	// SpecFallbacks counts per-sequence decode steps that fell back to
+	// non-speculative decoding because the draft window exceeded the
+	// session's rollback history.
+	SpecFallbacks int
 }
+
+// AcceptanceRate is the fraction of proposed draft tokens the target model
+// confirmed (0 when nothing was proposed).
+func (m StreamMetrics) AcceptanceRate() float64 {
+	if m.SpecProposed == 0 {
+		return 0
+	}
+	return float64(m.SpecAccepted) / float64(m.SpecProposed)
+}
+
+// StepsSaved is the number of per-sequence decode steps speculative
+// acceptance avoided: every confirmed draft token advanced its sequence
+// without its own sampling step. Under continuous batching several
+// sequences share one GPU round, so batch rounds saved is smaller —
+// compare DecodeSteps against a non-speculative run for that.
+func (m StreamMetrics) StepsSaved() int { return m.SpecAccepted }
 
 // streamSeq is one running sequence.
 type streamSeq struct {
@@ -76,6 +144,27 @@ type streamSeq struct {
 	firstTok  bool
 	fillDur   time.Duration
 	next      int32
+	// Speculative-mode scratch: the per-sequence draft window, the round's
+	// draft-verify result, whether this round overflowed the rollback
+	// window (counted as a fallback), and reused buffers/closures so the
+	// steady-state round allocates nothing per step.
+	specW        spec.Window
+	specRes      spec.Result
+	specErr      error
+	specRan      bool
+	specOverflow bool
+	draftBuf     []int32
+	verdictBuf   []int32
+	specFill     func()
+	specSample   spec.Sampler
+}
+
+// specSession is the session surface the speculative path needs: the
+// draft-verify sequencer plus the cached mask fill. serve.Session (the
+// pooled backend) satisfies it.
+type specSession interface {
+	spec.Sequencer
+	Fill() maskcache.FillStats
 }
 
 // runner holds the mutable state of one continuous-batching run.
@@ -188,8 +277,8 @@ func RunStream(cfg StreamConfig, reqs []*StreamRequest) (StreamMetrics, []string
 	if r.met.Joins > 0 {
 		r.met.QueueWait = r.waitSum / time.Duration(r.met.Joins)
 	}
-	r.met.FillP50 = percentile(r.fillLats, 0.50)
-	r.met.FillP99 = percentile(r.fillLats, 0.99)
+	fillQ := quantile.Durations(r.fillLats, 0.50, 0.99)
+	r.met.FillP50, r.met.FillP99 = fillQ[0], fillQ[1]
 	r.met.Wall = r.clock
 	return r.met, outs, nil
 }
@@ -239,7 +328,7 @@ func (r *runner) chargeAdmission(admitted []*streamSeq) {
 	switch {
 	case r.cfg.Mode == Unconstrained:
 		r.clock += prefill
-	case r.cfg.Mode == Overlap:
+	case r.cfg.Mode.overlapped():
 		r.clock += maxDur(prefill, maxInit)
 	default: // Serial
 		r.clock += prefill + maxInit
@@ -271,6 +360,9 @@ func (r *runner) leave(i int) {
 
 // decodeStep runs one batched decode step over the running sequences.
 func (r *runner) decodeStep() error {
+	if r.cfg.Mode == Speculative {
+		return r.decodeStepSpec()
+	}
 	live := len(r.running)
 	if live == 0 {
 		return nil
@@ -353,40 +445,240 @@ func (r *runner) decodeStep() error {
 			s.finishAt = r.clock
 			continue
 		}
-		// Jump-forward decoding (Appendix B): measured CPU is charged to the
-		// step (it runs on the grammar thread).
-		if r.cfg.JumpForward && s.session != nil {
-			if jf, ok := s.session.(baselines.JumpForwarder); ok {
-				t0 := time.Now()
-				forced := jf.JumpForward()
-				if forced != "" && s.emitted+len(forced) <= len(s.req.Target) &&
-					s.req.Target[s.emitted:s.emitted+len(forced)] == forced {
-					if err := jf.AcceptString(forced); err != nil {
-						return fmt.Errorf("engine: jump-forward: %w", err)
-					}
-					s.output = append(s.output, forced...)
-					s.emitted += len(forced)
-					n := len(r.cfg.Tok.Encode(forced))
-					s.outTokens += n
-					r.met.JumpForwardTokens += n
-				}
-				elapsed := time.Since(t0)
-				r.met.MaskCPU += elapsed
-				r.clock += elapsed
-				r.decodeWall += elapsed
-			}
+		if err := r.jumpForward(s); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// percentile returns the p-quantile of the (unsorted) latency sample.
-func percentile(lats []time.Duration, p float64) time.Duration {
-	if len(lats) == 0 {
-		return 0
+// decodeStepSpec runs one speculative draft-verify round over the running
+// sequences (Mode Speculative). Per sequence, the grammar phase runs
+// spec.Step: the draft model proposes a token window, the session
+// speculatively accepts it while capturing per-position masks (the fused
+// pass the verify forward pass consumes), the teacher-forced target model
+// delivers verdicts, and the rejected suffix is retracted through the
+// matcher's rollback window. Sequences advance by accepted+1 tokens per
+// round; the GPU charge covers the draft model plus the multi-position
+// verify pass (llmsim.Profile.SpecStep). Sequences without a
+// rollback-capable session — and steps whose window would exceed the
+// rollback history — decode non-speculatively (the latter counted in
+// SpecFallbacks).
+func (r *runner) decodeStepSpec() error {
+	live := len(r.running)
+	if live == 0 {
+		return nil
 	}
-	sorted := append([]time.Duration(nil), lats...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
+	k := r.cfg.Spec.draftTokens()
+
+	// Grammar phase, overlapped with the GPU step: every sequence's draft
+	// walk (or plain mask fill) runs through the persistent worker pool.
+	seqs := r.running
+	t0 := time.Now()
+	work := func(i int) {
+		s := seqs[i]
+		s.specRan, s.specErr, s.specOverflow = false, nil, false
+		ss, capable := s.session.(specSession)
+		if capable {
+			// Draft and verdict tokens come from one untimed target walk:
+			// tokenization is the simulated LLM's work, not grammar time,
+			// so it must stay outside the fill-latency window (the plain
+			// path's nextToken is likewise untimed).
+			draft := r.specWindow(s, k)
+			if s.specFill == nil {
+				s.specFill = func() { ss.Fill() }
+				s.specSample = func(pos int, _ []uint64) (int32, bool) {
+					return s.verdictBuf[pos], true
+				}
+			}
+			f0 := time.Now()
+			res, err := spec.Step(ss, s.specFill, spec.SliceProposer(draft), s.specSample,
+				&s.specW, spec.Options{MaxDraft: k, EOS: tokenizer.EosID})
+			s.fillDur = time.Since(f0)
+			if err == nil {
+				s.specRan, s.specRes = true, res
+				return
+			}
+			if !errors.Is(err, spec.ErrWindowExceeded) {
+				s.specErr = err
+				return
+			}
+			// Window exceeds the rollback history: decode this step plainly.
+			s.specOverflow = true
+		}
+		s.next = s.nextToken(r.cfg.Tok)
+		f0 := time.Now()
+		if s.session != nil {
+			s.session.FillMask(s.mask)
+		}
+		s.fillDur = time.Since(f0)
+	}
+	if live > 1 {
+		pool := r.cfg.Pool
+		if pool == nil {
+			pool = serve.DefaultPool()
+		}
+		pool.Run(live, work)
+	} else {
+		work(0)
+	}
+	fillWall := time.Since(t0)
+
+	var maskCPU time.Duration
+	maxWindow := 0
+	for _, s := range seqs {
+		if s.specErr != nil {
+			return fmt.Errorf("engine: speculative: %w", s.specErr)
+		}
+		maskCPU += s.fillDur
+		r.fillLats = append(r.fillLats, s.fillDur)
+		if s.specRan && s.specRes.Proposed > maxWindow {
+			maxWindow = s.specRes.Proposed
+		}
+	}
+
+	// Wall clock: draft + verify GPU work, overlapped with the grammar
+	// phase, synchronized before sampling (§3.5 extended to the window).
+	gpu := r.cfg.Profile.SpecStep(live, maxWindow)
+	stepWall := maxDur(gpu, fillWall) + r.cfg.Profile.SamplePerStep
+	r.clock += stepWall
+	r.decodeWall += stepWall
+	r.met.GPUTime += gpu
+	r.met.MaskCPU += maskCPU
+	r.met.FillWall += fillWall
+	r.met.DecodeSteps++
+
+	// Commit phase: apply verdicts to sequence state.
+	for _, s := range r.running {
+		if s.firstTok {
+			s.firstTok = false
+			r.ttftSum += r.clock - s.sr.Arrival
+			r.ttftN++
+		}
+		if s.specRan {
+			res := s.specRes
+			r.met.SpecProposed += res.Proposed
+			r.met.SpecDrafted += res.Drafted
+			r.met.SpecAccepted += res.Accepted
+			for i := 0; i < res.Accepted; i++ {
+				s.consume(r.cfg.Tok, s.specW.DraftAt(i))
+			}
+			if res.HasBonus {
+				s.consume(r.cfg.Tok, res.Bonus)
+			}
+		} else {
+			if s.specOverflow {
+				r.met.SpecFallbacks++
+			}
+			if s.session != nil {
+				if !s.mask.Get(int(s.next)) {
+					return fmt.Errorf("engine: target token %d (%q) masked out (output so far %q)",
+						s.next, r.cfg.Tok.TokenBytes(s.next), s.output)
+				}
+				if err := s.session.Accept(s.next); err != nil {
+					return fmt.Errorf("engine: %w", err)
+				}
+			}
+			s.consume(r.cfg.Tok, s.next)
+		}
+		if s.done {
+			s.finishAt = r.clock
+			continue
+		}
+		if err := r.jumpForward(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// specWindow builds one round's draft window and verdict stream for a
+// sequence in a single walk of the remaining target. s.verdictBuf[i]
+// becomes the teacher-forced target token at window position i (EOS once
+// the target is exhausted) — the verdicts the per-seq sampler serves to
+// spec.Step. The returned draft is those tokens with deterministic
+// per-position errors at rate 1-DraftAccuracy (a hash of seed, sequence,
+// and absolute position, so runs are reproducible); corrupted positions
+// propose a different token and the verify pass rejects them, which is
+// what produces acceptance rates below one.
+func (r *runner) specWindow(s *streamSeq, k int) []int32 {
+	tok := r.cfg.Tok
+	target := s.req.Target
+	pos := s.emitted
+	s.verdictBuf = s.verdictBuf[:0]
+	draft := s.draftBuf[:0]
+	for i := 0; i <= k; i++ {
+		if pos >= len(target) {
+			s.verdictBuf = append(s.verdictBuf, tokenizer.EosID)
+			continue
+		}
+		id := tok.Encode(target[pos:])[0]
+		pos += len(tok.TokenBytes(id))
+		s.verdictBuf = append(s.verdictBuf, id)
+		if i < k {
+			d := id
+			if !draftHit(r.cfg.Spec.DraftSeed, s.idx, s.outTokens+i, r.cfg.Spec.accuracy()) {
+				d = corruptToken(id, tok.VocabSize())
+			}
+			draft = append(draft, d)
+		}
+	}
+	s.draftBuf = draft
+	return draft
+}
+
+// draftHit deterministically decides whether the simulated draft model gets
+// a position right (SplitMix64-style hash of seed, sequence, position).
+func draftHit(seed int64, seq, pos int, acc float64) bool {
+	h := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(seq+1)*0xBF58476D1CE4E5B9 ^ uint64(pos+1)*0x94D049BB133111EB
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11)/float64(1<<53) < acc
+}
+
+// corruptToken returns a regular token different from id — the draft
+// model's wrong guess.
+func corruptToken(id int32, vocab int) int32 {
+	c := id + 1
+	if int(c) >= vocab {
+		c = tokenizer.NumSpecial
+	}
+	if c == id { // single-regular-token vocabulary; nothing else to propose
+		return id
+	}
+	return c
+}
+
+// jumpForward runs the teacher-checked jump-forward insertion (Appendix B)
+// for one live sequence; measured CPU is charged to the step (it runs on
+// the grammar thread).
+func (r *runner) jumpForward(s *streamSeq) error {
+	if !r.cfg.JumpForward || s.session == nil {
+		return nil
+	}
+	jf, ok := s.session.(baselines.JumpForwarder)
+	if !ok {
+		return nil
+	}
+	t0 := time.Now()
+	forced := jf.JumpForward()
+	if forced != "" && s.emitted+len(forced) <= len(s.req.Target) &&
+		s.req.Target[s.emitted:s.emitted+len(forced)] == forced {
+		if err := jf.AcceptString(forced); err != nil {
+			return fmt.Errorf("engine: jump-forward: %w", err)
+		}
+		s.output = append(s.output, forced...)
+		s.emitted += len(forced)
+		n := len(r.cfg.Tok.Encode(forced))
+		s.outTokens += n
+		r.met.JumpForwardTokens += n
+	}
+	elapsed := time.Since(t0)
+	r.met.MaskCPU += elapsed
+	r.clock += elapsed
+	r.decodeWall += elapsed
+	return nil
 }

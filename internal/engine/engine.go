@@ -29,6 +29,12 @@ const (
 	// Overlap hides mask generation behind the GPU decode step and
 	// synchronizes before sampling (§3.5).
 	Overlap
+	// Speculative is Overlap plus draft-verify decoding: each round a cheap
+	// draft model proposes a token window, the grammar speculatively
+	// accepts it (capturing per-position masks for the verify pass), and
+	// the rejected suffix is retracted through the matcher's rollback
+	// window — sequences advance by accepted+1 tokens per GPU step.
+	Speculative
 )
 
 func (m Mode) String() string {
@@ -37,10 +43,16 @@ func (m Mode) String() string {
 		return "unconstrained"
 	case Serial:
 		return "serial"
+	case Speculative:
+		return "speculative"
 	default:
 		return "overlap"
 	}
 }
+
+// overlapped reports whether grammar work is hidden behind the GPU step
+// (Overlap scheduling, which Speculative builds on).
+func (m Mode) overlapped() bool { return m == Overlap || m == Speculative }
 
 // Config describes one fixed-batch engine configuration (the Run entry
 // point); RunStream takes the richer StreamConfig.
@@ -58,6 +70,8 @@ type Config struct {
 	GrammarInitTime time.Duration
 	// MaxSteps guards against runaway generations.
 	MaxSteps int
+	// Spec configures draft-verify decoding when Mode is Speculative.
+	Spec SpecOptions
 }
 
 // Metrics aggregates one run.
@@ -116,6 +130,7 @@ func Run(cfg Config, reqs []*llmsim.Request) (Metrics, []string, error) {
 		Tok:         cfg.Tok,
 		JumpForward: cfg.JumpForward,
 		MaxSteps:    cfg.MaxSteps,
+		Spec:        cfg.Spec,
 	}, streams)
 	return sm.Metrics, outs, err
 }

@@ -37,6 +37,8 @@ type Suite struct {
 	serveResults []ServeResult
 	// memoized store-benchmark results (cold compile vs. warm load)
 	storeResults []StoreResult
+	// memoized speculative-decoding benchmark results
+	specResults []SpecBenchResult
 }
 
 // NewSuite returns a suite configuration.

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xgrammar/internal/engine"
+	"xgrammar/internal/llmsim"
+)
+
+// SpecBenchResult is one machine-readable speculative-decoding benchmark
+// record (the -json output of cmd/xgbench): decode-step reduction and
+// throughput versus the non-speculative continuous-batching baseline, with
+// the byte-identical check result recorded rather than assumed.
+type SpecBenchResult struct {
+	Experiment    string  `json:"experiment"`
+	Mode          string  `json:"mode"`
+	DraftTokens   int     `json:"draft_tokens"`
+	DraftAccuracy float64 `json:"draft_accuracy"`
+	Requests      int     `json:"requests"`
+	OutputTokens  int     `json:"output_tokens"`
+	DecodeSteps   int     `json:"decode_steps"`
+	// StepsSaved sums per-sequence decode steps avoided (confirmed draft
+	// tokens); batch rounds saved is DecodeSteps versus the baseline row.
+	StepsSaved     int     `json:"seq_steps_saved"`
+	AcceptanceRate float64 `json:"acceptance_rate"`
+	Fallbacks      int     `json:"window_fallbacks"`
+	TokensPerSec   float64 `json:"tokens_per_sec"`
+	TPOTMS         float64 `json:"tpot_ms"`
+	ByteIdentical  bool    `json:"byte_identical"`
+}
+
+// SpecBench benchmarks speculative draft-verify decoding on the rollback
+// window: the mixed-grammar staggered-arrival stream decoded (a) by the
+// continuous-overlap baseline and (b) speculatively at several simulated
+// draft-model accuracies, same seed. Every speculative run's outputs are
+// compared byte-for-byte against the baseline's — speculative decoding is
+// lossless, so any divergence is a bug, and the check result ships in the
+// record. Results are memoized so the table and -json output share one run.
+func (s *Suite) SpecBench() []SpecBenchResult {
+	if s.specResults != nil {
+		return s.specResults
+	}
+	profile := llmsim.H100Llama8B()
+	gap := profile.DecodeBase / 2
+	maxBatch := s.NumDocs
+
+	run := func(mode engine.Mode, spec engine.SpecOptions) (engine.StreamMetrics, []string) {
+		met, outs, err := engine.RunStream(engine.StreamConfig{
+			Profile:  profile,
+			Mode:     mode,
+			Tok:      s.Tok(),
+			MaxBatch: maxBatch,
+			MaxSteps: s.FastStepCap,
+			Spec:     spec,
+		}, s.serveWorkload(gap))
+		if err != nil {
+			panic("experiments: spec: " + err.Error())
+		}
+		return met, outs
+	}
+
+	baseMet, baseOuts := run(engine.Overlap, engine.SpecOptions{})
+	record := func(name string, mode engine.Mode, met engine.StreamMetrics, outs []string, spec engine.SpecOptions) SpecBenchResult {
+		identical := len(outs) == len(baseOuts)
+		for i := range outs {
+			if outs[i] != baseOuts[i] {
+				identical = false
+				break
+			}
+		}
+		return SpecBenchResult{
+			Experiment:     name,
+			Mode:           mode.String(),
+			DraftTokens:    spec.DraftTokens,
+			DraftAccuracy:  spec.DraftAccuracy,
+			Requests:       met.Requests,
+			OutputTokens:   met.OutputTokens,
+			DecodeSteps:    met.DecodeSteps,
+			StepsSaved:     met.StepsSaved(),
+			AcceptanceRate: met.AcceptanceRate(),
+			Fallbacks:      met.SpecFallbacks,
+			TokensPerSec:   met.TokensPerSecond(),
+			TPOTMS:         float64(met.TPOT.Nanoseconds()) / 1e6,
+			ByteIdentical:  identical,
+		}
+	}
+
+	out := []SpecBenchResult{record("baseline overlap", engine.Overlap, baseMet, baseOuts, engine.SpecOptions{})}
+	for _, acc := range []float64{0.6, 0.8, 0.95} {
+		spec := engine.SpecOptions{DraftTokens: 4, DraftAccuracy: acc, DraftSeed: 2025}
+		met, outs := run(engine.Speculative, spec)
+		out = append(out, record(fmt.Sprintf("speculative k=4 acc=%.2f", acc), engine.Speculative, met, outs, spec))
+	}
+	s.specResults = out
+	return out
+}
+
+// Spec renders the speculative-decoding benchmark as an experiment table.
+func (s *Suite) Spec() *Table {
+	t := &Table{
+		ID:    "spec",
+		Title: "Speculative draft-verify decoding on the rollback window",
+		Paper: "§3.3: the checkpointed persistent stack enables token-level undo, the primitive behind speculative decoding",
+		Header: []string{
+			"engine", "accept %", "decode steps", "seq steps saved", "tok/s", "TPOT ms", "identical",
+		},
+	}
+	for _, r := range s.SpecBench() {
+		acc := "-"
+		if r.DraftTokens > 0 {
+			acc = fmt.Sprintf("%.1f%%", 100*r.AcceptanceRate)
+		}
+		t.Add(
+			r.Experiment,
+			acc,
+			fmt.Sprintf("%d", r.DecodeSteps),
+			fmt.Sprintf("%d", r.StepsSaved),
+			fmt.Sprintf("%.0f", r.TokensPerSec),
+			fmt.Sprintf("%.2f", r.TPOTMS),
+			fmt.Sprintf("%v", r.ByteIdentical),
+		)
+	}
+	t.Note("same workload and seed as the serve benchmark; draft window k=4, simulated draft model at three accuracies")
+	t.Note("speculative decoding is lossless: 'identical' compares every output byte-for-byte against the baseline run")
+	t.Note("'seq steps saved' sums per-sequence sampling steps avoided (accepted drafts); batch GPU rounds saved is the decode-steps column vs baseline")
+	t.Note("each accepted draft token advances its sequence without a sampling step; the rejected suffix is retracted via Matcher.Rollback")
+	return t
+}

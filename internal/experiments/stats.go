@@ -72,6 +72,7 @@ func (s *Suite) All() []*Table {
 		s.Stats(),
 		s.Par(),
 		s.Serve(),
+		s.Spec(),
 		s.Store(),
 	}
 }
@@ -101,6 +102,8 @@ func (s *Suite) ByID(id string) (*Table, bool) {
 		return s.Par(), true
 	case "serve":
 		return s.Serve(), true
+	case "spec":
+		return s.Spec(), true
 	case "store":
 		return s.Store(), true
 	}

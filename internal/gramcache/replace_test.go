@@ -1,0 +1,86 @@
+package gramcache
+
+import "testing"
+
+// TestReplaceSubtractsOldBytes pins the size accounting when an insert
+// lands on a key that already has an entry (Put over Put, or a completed
+// build flight over a racing Put): the old entry's bytes must come off
+// before the new size goes on, observable through eviction behavior —
+// double-counted bytes would evict entries that fit, leaked bytes would
+// keep entries that don't.
+func TestReplaceSubtractsOldBytes(t *testing.T) {
+	c := New[string](100)
+	c.Put("a", "a1", 60)
+	c.Put("b", "b1", 30)
+	if got := c.Bytes(); got != 90 {
+		t.Fatalf("Bytes = %d, want 90", got)
+	}
+
+	// Replacing a with a larger value overflows the budget by exactly the
+	// growth: only b must be evicted, and the eviction counted once.
+	c.Put("a", "a2", 80)
+	if got := c.Bytes(); got != 80 {
+		t.Fatalf("after grow-replace: Bytes = %d, want 80 (old 60 subtracted)", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("after grow-replace: Len = %d, want 1 (b evicted)", c.Len())
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("Evictions = %d, want 1 (replacement itself is not an eviction)", ev)
+	}
+	if v, ok := c.Get("a"); !ok || v != "a2" {
+		t.Fatalf("a = %q/%v, want replaced value a2", v, ok)
+	}
+
+	// Replacing a with a smaller value must free its bytes: a 10-byte a
+	// plus an 85-byte c fit the 100-byte budget with no eviction. Stale
+	// accounting (10+80 or 10+60+80) would evict here.
+	c.Put("a", "a3", 10)
+	c.Put("c", "c1", 85)
+	if got := c.Bytes(); got != 95 {
+		t.Fatalf("after shrink-replace: Bytes = %d, want 95", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("after shrink-replace: Len = %d, want 2 (nothing evicted)", c.Len())
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("Evictions = %d, want still 1", ev)
+	}
+}
+
+// TestPutRacingCompletedFlight covers the warm-start race: a Put lands
+// while a build flight for the same key is running, then the flight
+// completes and re-inserts. The flight's value wins, the Put's bytes are
+// fully released, and the shared curBytes stays consistent — verified by
+// filling the cache to the brink and watching what evicts.
+func TestPutRacingCompletedFlight(t *testing.T) {
+	c := New[string](100)
+	v, err := c.GetOrBuild("k", func() (string, int64, error) {
+		// The racing Put: a stale disk-store load inserted mid-build.
+		c.Put("k", "stale", 70)
+		return "built", 40, nil
+	})
+	if err != nil || v != "built" {
+		t.Fatalf("GetOrBuild = %q, %v", v, err)
+	}
+	if got, ok := c.Get("k"); !ok || got != "built" {
+		t.Fatalf("k = %q/%v, want the flight's value", got, ok)
+	}
+	// 40 bytes live, not 70 or 110: a 55-byte neighbor fits without
+	// eviction.
+	if got := c.Bytes(); got != 40 {
+		t.Fatalf("Bytes = %d, want 40 (stale 70 subtracted)", got)
+	}
+	c.Put("x", "x1", 55)
+	if c.Len() != 2 || c.Stats().Evictions != 0 {
+		t.Fatalf("Len = %d, Evictions = %d; want 2 entries, no eviction", c.Len(), c.Stats().Evictions)
+	}
+	// One more insert pushes past the budget: exactly one LRU eviction.
+	c.Put("y", "y1", 30)
+	if got := c.Bytes(); got > 100 {
+		t.Fatalf("Bytes = %d exceeds budget after eviction", got)
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("Evictions = %d, want 1", ev)
+	}
+}

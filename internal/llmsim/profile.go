@@ -39,6 +39,21 @@ func (p Profile) Prefill(promptTokens int) time.Duration {
 	return time.Duration(promptTokens) * p.PrefillPerToken
 }
 
+// SpecStep returns the modelled GPU time for one speculative draft-verify
+// decode round at the given batch size and draft-window length: the draft
+// model (modelled ~8x smaller than the target) proposes window tokens
+// serially, then the target verifies window+1 positions per sequence in one
+// forward pass — a decode step whose extra positions are processed at
+// prefill-like marginal cost. With window == 0 this degrades to DecodeStep.
+func (p Profile) SpecStep(batch, window int) time.Duration {
+	if window < 0 {
+		window = 0
+	}
+	draft := time.Duration(window) * (p.DecodeBase / 8)
+	verify := p.DecodeStep(batch) + time.Duration(window)*p.PrefillPerToken
+	return draft + verify
+}
+
 // H100Llama8B models Llama-3.1-8B-Instruct on an NVIDIA H100 (the §4.2
 // serving host): ~6ms at batch 1, ~9ms at 16, ~12ms at 32.
 func H100Llama8B() Profile {

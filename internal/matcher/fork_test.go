@@ -1,0 +1,124 @@
+package matcher
+
+import (
+	"testing"
+
+	"xgrammar/internal/pda"
+)
+
+// possibleSig summarizes a matcher position as (possible next bytes,
+// can-terminate) — the observable state speculative batching depends on.
+func possibleSig(m *Matcher) ([256]bool, bool) {
+	var p [256]bool
+	m.exec.PossibleBytes(m.cur, &p)
+	return p, m.CanTerminate()
+}
+
+func sameSig(t *testing.T, a, b *Matcher, what string) {
+	t.Helper()
+	pa, ta := possibleSig(a)
+	pb, tb := possibleSig(b)
+	if pa != pb || ta != tb {
+		t.Fatalf("%s: matcher positions diverged (canTerm %v vs %v)", what, ta, tb)
+	}
+}
+
+// TestForkStartsWithEmptyHistory pins the Fork contract: a fork cannot undo
+// steps the parent took before the split.
+func TestForkStartsWithEmptyHistory(t *testing.T) {
+	m := jsonMatcher(t, pda.AllOptimizations)
+	if !m.Advance([]byte(`{"a": `)) {
+		t.Fatal("advance failed")
+	}
+	f := m.Fork()
+	defer f.Release()
+	if got := f.HistoryLen(); got != 0 {
+		t.Fatalf("fork history = %d, want 0", got)
+	}
+	if err := f.Rollback(1); err == nil {
+		t.Fatal("fork rolled back a pre-fork step; want error")
+	}
+	if got, want := f.MaxHistory(), m.MaxHistory(); got != want {
+		t.Fatalf("fork MaxHistory = %d, want parent's %d", got, want)
+	}
+	// The failed rollback must leave the fork at the fork point.
+	sameSig(t, m, f, "after failed fork rollback")
+}
+
+// TestForkRollbackIndependence pins the semantics speculative batching
+// relies on: rolling back the parent never corrupts the fork, and each
+// branch's own Advance/Rollback pairs are invertible in isolation.
+func TestForkRollbackIndependence(t *testing.T) {
+	m := jsonMatcher(t, pda.AllOptimizations)
+	if !m.Advance([]byte(`{"a"`)) {
+		t.Fatal("advance failed")
+	}
+	f := m.Fork()
+	defer f.Release()
+	sameSig(t, m, f, "at fork point")
+
+	// Diverge: parent continues the object, fork closes it.
+	if !m.Advance([]byte(`: [1`)) {
+		t.Fatal("parent advance failed")
+	}
+	if !f.Advance([]byte(`: 2}`)) {
+		t.Fatal("fork advance failed")
+	}
+	fPossible, fTerm := possibleSig(f)
+
+	// Rolling back the parent — including past the fork point — must not
+	// move the fork: the persistent stack tree keeps discarded parent
+	// checkpoints alive for the branch that still references them.
+	if err := m.Rollback(2); err != nil {
+		t.Fatal(err)
+	}
+	gotP, gotT := possibleSig(f)
+	if gotP != fPossible || gotT != fTerm {
+		t.Fatal("parent rollback corrupted the fork's position")
+	}
+
+	// The fork's own history works: undo its divergence and it is back at
+	// the fork point, byte-for-byte equal to a fresh walk of the prefix.
+	if err := f.Rollback(1); err != nil {
+		t.Fatal(err)
+	}
+	ref := jsonMatcher(t, pda.AllOptimizations)
+	if !ref.Advance([]byte(`{"a"`)) {
+		t.Fatal("ref advance failed")
+	}
+	sameSig(t, ref, f, "fork rolled back to fork point")
+
+	// Both branches remain usable to completion.
+	if !f.Advance([]byte(`: 2}`)) || !f.CanTerminate() {
+		t.Fatal("fork unusable after parent rollback + own rollback")
+	}
+	// The parent is back at the start state (both its Advances undone) and
+	// must accept a whole fresh document.
+	if !m.Advance([]byte(`{"b": null}`)) || !m.CanTerminate() {
+		t.Fatal("parent unusable after rollback")
+	}
+}
+
+// TestForkDiscardDoesNotCorruptParent releases a diverged fork and checks
+// the parent still matches a fresh matcher on the same bytes — the
+// tree-of-thought branch-abandon path.
+func TestForkDiscardDoesNotCorruptParent(t *testing.T) {
+	m := jsonMatcher(t, pda.AllOptimizations)
+	if !m.Advance([]byte(`[1, `)) {
+		t.Fatal("advance failed")
+	}
+	f := m.Fork()
+	if !f.Advance([]byte(`"deep", {"x": [true`)) {
+		t.Fatal("fork advance failed")
+	}
+	f.Release()
+
+	ref := jsonMatcher(t, pda.AllOptimizations)
+	if !ref.Advance([]byte(`[1, `)) {
+		t.Fatal("ref advance failed")
+	}
+	sameSig(t, ref, m, "parent after fork release")
+	if !m.Advance([]byte(`2]`)) || !m.CanTerminate() {
+		t.Fatal("parent unusable after fork release")
+	}
+}

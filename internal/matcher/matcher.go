@@ -87,6 +87,11 @@ func (m *Matcher) Rollback(n int) error {
 // HistoryLen returns the number of steps available for rollback.
 func (m *Matcher) HistoryLen() int { return len(m.hist) }
 
+// MaxHistory returns the rollback window: the largest number of Advance
+// calls that can ever be undone. Speculative decoding sizes its draft
+// window against this so a fully rejected draft is always retractable.
+func (m *Matcher) MaxHistory() int { return m.maxHistory }
+
 // CanTerminate reports whether the generation may stop here (the root rule
 // is complete in some branch).
 func (m *Matcher) CanTerminate() bool { return m.exec.CanTerminate(m.cur) }
@@ -148,9 +153,20 @@ func (m *Matcher) JumpForwardAppend(dst []byte) []byte {
 // automaton and the persistent stack tree. Because stacks are persistent,
 // forking copies only the state-set slice (§3.3): the paper's enabler for
 // tree-structured generation (Tree-of-Thought, speculative decoding), where
-// each output branch keeps its own matching state. The fork starts with an
-// empty rollback history. Forked matchers share the stack tree and must be
-// used from a single goroutine.
+// each output branch keeps its own matching state.
+//
+// The fork's contract, which speculative batching relies on:
+//
+//   - The fork starts with an EMPTY rollback history: it cannot undo steps
+//     the parent took before the fork, only its own subsequent Advances.
+//   - Parent and fork evolve independently after the split. Advancing or
+//     rolling back one never changes the other's position, masks, or
+//     history — the shared stack tree is immutable, so checkpoints the
+//     parent discards stay valid in the fork.
+//   - Forked matchers share the stack tree's internal freelists and must
+//     therefore all be driven from a single goroutine (or externally
+//     serialized). Discarded forks should call Release so the shared tree
+//     can reclaim their nodes.
 func (m *Matcher) Fork() *Matcher {
 	return &Matcher{
 		exec:       m.exec,

@@ -1,0 +1,90 @@
+package quantile
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRank(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want int
+	}{
+		{0, 0.99, -1},
+		{1, 0.50, 0},
+		{1, 0.99, 0},
+		{2, 0.50, 0},
+		{2, 0.99, 1},
+		{4, 0.50, 1},
+		{10, 0.50, 4},
+		{10, 0.99, 9},
+		// The regression the truncating helper got wrong: 0.99*49 = 48.51
+		// truncated to index 48 (rank 49); nearest rank is ceil(49.5) = 50,
+		// index 49.
+		{50, 0.99, 49},
+		{100, 0.50, 49},
+		// p99 of 100 samples is the 99th-rank value (index 98), not the max.
+		{100, 0.99, 98},
+		{100, 1.00, 99},
+		{1000, 0.999, 998},
+		{3, 0.0, 0},
+	}
+	for _, c := range cases {
+		if got := Rank(c.n, c.p); got != c.want {
+			t.Errorf("Rank(%d, %g) = %d, want %d", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+// TestDurationsLadder pins the acceptance criterion: on a 100-sample ladder
+// 1ms..100ms, p99 returns the 99th-rank value (99ms), and p50 the 50th
+// (50ms).
+func TestDurationsLadder(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		// Shuffle-ish order: Durations must sort its own copy.
+		lats[(i*37)%100] = time.Duration(i+1) * time.Millisecond
+	}
+	q := Durations(lats, 0.50, 0.99, 1.0)
+	if q[0] != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", q[0])
+	}
+	if q[1] != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", q[1])
+	}
+	if q[2] != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want 100ms", q[2])
+	}
+	// Input must not be mutated (still the shuffled order).
+	sortedInPlace := true
+	for i := 1; i < len(lats); i++ {
+		if lats[i] < lats[i-1] {
+			sortedInPlace = false
+			break
+		}
+	}
+	if sortedInPlace {
+		t.Error("Durations sorted the caller's sample in place")
+	}
+}
+
+func TestDurationsSmallSamples(t *testing.T) {
+	if q := Durations(nil, 0.5, 0.99); q[0] != 0 || q[1] != 0 {
+		t.Errorf("empty sample: got %v, want zeros", q)
+	}
+	one := []time.Duration{7 * time.Microsecond}
+	q := Durations(one, 0.5, 0.99)
+	if q[0] != one[0] || q[1] != one[0] {
+		t.Errorf("single sample: got %v, want both 7us", q)
+	}
+	// 50-sample ladder: p99 must be the maximum (rank 50), the case the
+	// truncating implementation under-reported (it returned rank 49).
+	lats := make([]time.Duration, 50)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Microsecond
+	}
+	if got := Durations(lats, 0.99)[0]; got != 50*time.Microsecond {
+		t.Errorf("p99 of 50-ladder = %v, want 50us", got)
+	}
+}

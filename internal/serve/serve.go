@@ -248,6 +248,15 @@ func (s *Session) Rollback(n int) error {
 	return nil
 }
 
+// HistoryCap returns the session's rollback window: the largest number of
+// Accept/AcceptString calls that can ever be undone. Speculative decoding
+// bounds its draft window by this so a fully rejected draft is always
+// retractable.
+func (s *Session) HistoryCap() int { return s.m.MaxHistory() }
+
+// HistoryLen returns the number of steps currently available for rollback.
+func (s *Session) HistoryLen() int { return s.m.HistoryLen() }
+
 // CanTerminate reports whether the grammar permits stopping here.
 func (s *Session) CanTerminate() bool { return !s.terminated && s.m.CanTerminate() }
 

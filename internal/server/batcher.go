@@ -2,15 +2,17 @@ package server
 
 import (
 	"context"
+	"errors"
 	"math/bits"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xgrammar"
 	"xgrammar/internal/maskcache"
+	"xgrammar/internal/quantile"
+	"xgrammar/internal/spec"
 )
 
 // Finish reasons reported per generation.
@@ -45,6 +47,16 @@ type genSeq struct {
 	tokens       int
 	jfBytes      int
 
+	// draftK > 0 enables speculative draft-verify decoding with that
+	// window; the batcher zeroes it when the session's rollback history
+	// cannot retract a window (permanent per-sequence fallback). The fill
+	// and verdict closures are built once at submit so the steady-state
+	// round allocates nothing per step.
+	draftK  int
+	specW   spec.Window
+	fill    func()
+	verdict spec.Sampler
+
 	allowed []int32 // sampling scratch
 }
 
@@ -61,6 +73,8 @@ type batcher struct {
 	quit     chan struct{}
 	quitOnce sync.Once
 	wg       sync.WaitGroup
+	// greedy is the shared draft proposer (stateless beyond eos).
+	greedy spec.Proposer
 
 	// Metrics.
 	tokens    atomic.Int64
@@ -68,6 +82,16 @@ type batcher struct {
 	rounds    atomic.Int64
 	peakBatch atomic.Int64
 	liveNow   atomic.Int64
+
+	// Speculative-decoding gauges: draft tokens proposed by the draft
+	// model, speculatively accepted by the grammar, confirmed by the
+	// sampler (each confirmed token is a decode round saved), and
+	// sequences that fell back because the rollback window was too small.
+	specRequests  atomic.Int64
+	specProposed  atomic.Int64
+	specDrafted   atomic.Int64
+	specAccepted  atomic.Int64
+	specFallbacks atomic.Int64
 
 	latMu    sync.Mutex
 	fillLats []time.Duration // bounded ring of per-round batch fill walls
@@ -84,6 +108,7 @@ func newBatcher(eng *xgrammar.Engine, eos int32, gpuStep time.Duration) *batcher
 		gpuStep: gpuStep,
 		join:    make(chan *genSeq),
 		quit:    make(chan struct{}),
+		greedy:  greedyProposer(eos),
 	}
 	b.wg.Add(1)
 	go b.loop()
@@ -100,6 +125,10 @@ func (b *batcher) close() {
 // submit hands a sequence to the decode loop; false when the batcher is
 // shutting down.
 func (b *batcher) submit(q *genSeq) bool {
+	if q.draftK > 0 {
+		q.fill = func() { q.sess.Fill() }
+		q.verdict = b.verdictSampler(q)
+	}
 	select {
 	case b.join <- q:
 		return true
@@ -189,38 +218,150 @@ func (b *batcher) loop() {
 				finish(i, FinishCanceled)
 				continue
 			}
-			id, ok := q.pick(b.eos)
-			if !ok {
-				// Budget exhausted before the grammar could complete (or a
-				// stuck mask, which a sound grammar never produces).
-				finish(i, FinishLength)
+			if done, reason := b.stepSeq(q); done {
+				finish(i, reason)
 				continue
-			}
-			if err := q.sess.Accept(id); err != nil {
-				// Unreachable for tokens drawn from the mask; fail closed.
-				finish(i, FinishLength)
-				continue
-			}
-			if q.sess.IsTerminated() {
-				finish(i, FinishStop)
-				continue
-			}
-			text := q.sess.Grammar().TokenizerInfo().TokenBytes(id)
-			q.tokens++
-			q.remaining--
-			b.tokens.Add(1)
-			q.emit(string(text))
-			// Jump-forward (Appendix B): the deterministic continuation costs
-			// no decode round and no token budget.
-			if jf := q.sess.JumpForward(); jf != "" {
-				if err := q.sess.AcceptString(jf); err == nil {
-					q.jfBytes += len(jf)
-					b.jfBytes.Add(int64(len(jf)))
-					q.emit(jf)
-				}
 			}
 			i++
 		}
+	}
+}
+
+// stepSeq advances one sequence by a decode round: a speculative
+// draft-verify window when enabled, a single sampled token otherwise.
+// done=true means the generation ended with the given finish reason.
+func (b *batcher) stepSeq(q *genSeq) (done bool, reason string) {
+	if q.draftK > 0 {
+		if done, reason, ok := b.specRound(q); ok {
+			return done, reason
+		}
+		// The rollback window could not cover the draft; q.draftK is now
+		// zero and the round decodes plainly (the failed speculative step
+		// touched no session state).
+	}
+	return b.plainRound(q)
+}
+
+// plainRound samples and commits one token (plus jump-forward insertion).
+func (b *batcher) plainRound(q *genSeq) (done bool, reason string) {
+	id, ok := q.pickFrom(q.sess.Mask(), b.eos)
+	if !ok {
+		// Budget exhausted before the grammar could complete (or a stuck
+		// mask, which a sound grammar never produces).
+		return true, FinishLength
+	}
+	if err := q.sess.Accept(id); err != nil {
+		// Unreachable for tokens drawn from the mask; fail closed.
+		return true, FinishLength
+	}
+	if q.sess.IsTerminated() {
+		return true, FinishStop
+	}
+	q.remaining--
+	b.emitToken(q, id)
+	b.insertJumpForward(q)
+	return false, ""
+}
+
+// specRound runs one speculative draft-verify round (§3.3 rollback window):
+// a grammar-greedy draft model proposes up to draftK tokens, the session
+// speculatively accepts them (capturing per-position masks), the seeded
+// sampler delivers verdicts against those masks, and the rejected suffix —
+// draft tokens plus any jump-forward insertions riding on them — is
+// retracted atomically. Because verdicts consume the sequence's RNG exactly
+// as a plain decode of the same tokens would, output is byte-identical to
+// non-speculative decoding with the same seed; only the number of decode
+// rounds shrinks. ok=false reports the window exceeded the session's
+// rollback history: draftK is zeroed and nothing was committed.
+func (b *batcher) specRound(q *genSeq) (done bool, reason string, ok bool) {
+	res, err := spec.Step(q.sess, q.fill, b.greedy, q.verdict, &q.specW,
+		spec.Options{MaxDraft: q.draftK, EOS: b.eos, JumpForward: true})
+	if err != nil {
+		if errors.Is(err, spec.ErrWindowExceeded) {
+			q.draftK = 0
+			b.specFallbacks.Add(1)
+			return false, "", false
+		}
+		// Corrupt-state guard: fail the generation closed.
+		return true, FinishLength, true
+	}
+	b.specProposed.Add(int64(res.Proposed))
+	b.specDrafted.Add(int64(res.Drafted))
+	b.specAccepted.Add(int64(res.Accepted))
+	for j := 0; j < res.Accepted; j++ {
+		b.emitToken(q, q.specW.DraftAt(j))
+		if jf := q.specW.JumpForwardAt(j); jf != "" {
+			b.emitJumpForward(q, jf)
+		}
+	}
+	if !res.HasBonus {
+		return true, FinishLength, true
+	}
+	if res.Terminated {
+		return true, FinishStop, true
+	}
+	b.emitToken(q, res.Bonus)
+	b.insertJumpForward(q)
+	return false, "", true
+}
+
+// emitToken streams one committed token's text and counts it. The token
+// budget is not charged here: the plain path charges it on acceptance, the
+// speculative path inside the verdict sampler (so RNG and budget progress
+// match the plain decode exactly).
+func (b *batcher) emitToken(q *genSeq, id int32) {
+	q.tokens++
+	b.tokens.Add(1)
+	q.emit(string(q.sess.Grammar().TokenizerInfo().TokenBytes(id)))
+}
+
+// emitJumpForward streams an already-inserted forced continuation.
+func (b *batcher) emitJumpForward(q *genSeq, jf string) {
+	q.jfBytes += len(jf)
+	b.jfBytes.Add(int64(len(jf)))
+	q.emit(jf)
+}
+
+// insertJumpForward probes and inserts the deterministic continuation at
+// the sequence head (Appendix B): no decode round, no token budget.
+func (b *batcher) insertJumpForward(q *genSeq) {
+	if jf := q.sess.JumpForward(); jf != "" {
+		if err := q.sess.AcceptString(jf); err == nil {
+			b.emitJumpForward(q, jf)
+		}
+	}
+}
+
+// greedyProposer is the gateway's stand-in draft model: it proposes the
+// smallest allowed token at each window position. On grammar-constrained
+// output it is right exactly where the structure leaves little choice —
+// the positions speculation gets for free.
+func greedyProposer(eos int32) spec.Proposer {
+	return func(_ int, mask []uint64) (int32, bool) {
+		for w, word := range mask {
+			for ; word != 0; word &= word - 1 {
+				id := int32(w<<6) + int32(bits.TrailingZeros64(word))
+				if id == eos {
+					continue
+				}
+				return id, true
+			}
+		}
+		return 0, false
+	}
+}
+
+// verdictSampler adapts the sequence's seeded sampler as the speculative
+// verify step's target model, charging the token budget per confirmed
+// non-stop verdict (every ok verdict is committed: confirmed draft tokens
+// and the bonus alike).
+func (b *batcher) verdictSampler(q *genSeq) spec.Sampler {
+	return func(_ int, mask []uint64) (int32, bool) {
+		id, ok := q.pickFrom(mask, b.eos)
+		if ok && id != b.eos {
+			q.remaining--
+		}
+		return id, ok
 	}
 }
 
@@ -233,12 +374,13 @@ func (q *genSeq) emit(text string) {
 	}
 }
 
-// pick samples the next token from the session's current mask: uniform over
-// the allowed set, with a bias toward the stop token once stopping is legal
-// so outputs stay bounded. ok=false means the sequence must stop without a
-// legal stop token (budget exhausted or empty mask).
-func (q *genSeq) pick(eos int32) (int32, bool) {
-	mask := q.sess.Mask()
+// pickFrom samples the next token from the given mask: uniform over the
+// allowed set, with a bias toward the stop token once stopping is legal so
+// outputs stay bounded. ok=false means the sequence must stop without a
+// legal stop token (budget exhausted or empty mask). Both the plain decode
+// and the speculative verify pass sample through here, so a given token
+// stream consumes the seeded RNG identically in either mode.
+func (q *genSeq) pickFrom(mask []uint64, eos int32) (int32, bool) {
 	q.allowed = q.allowed[:0]
 	eosAllowed := false
 	for w, word := range mask {
@@ -265,6 +407,22 @@ func (q *genSeq) pick(eos int32) (int32, bool) {
 	return q.allowed[q.rng.Intn(len(q.allowed))], true
 }
 
+// specMetrics snapshots the speculative-decoding gauges.
+func (b *batcher) specMetrics() SpeculativeMetrics {
+	m := SpeculativeMetrics{
+		Requests:        b.specRequests.Load(),
+		ProposedTokens:  b.specProposed.Load(),
+		DraftedTokens:   b.specDrafted.Load(),
+		AcceptedTokens:  b.specAccepted.Load(),
+		WindowFallbacks: b.specFallbacks.Load(),
+	}
+	m.RoundsSaved = m.AcceptedTokens
+	if m.ProposedTokens > 0 {
+		m.AcceptanceRate = float64(m.AcceptedTokens) / float64(m.ProposedTokens)
+	}
+	return m
+}
+
 // recordFill appends one round's batch-fill wall time to the bounded ring.
 func (b *batcher) recordFill(d time.Duration) {
 	b.latMu.Lock()
@@ -277,14 +435,12 @@ func (b *batcher) recordFill(d time.Duration) {
 	b.latMu.Unlock()
 }
 
-// fillPercentiles returns the p50 and p99 of recorded batch-fill walls.
+// fillPercentiles returns the p50 and p99 of recorded batch-fill walls
+// (ceil-based nearest rank, shared with the engine's fill metrics).
 func (b *batcher) fillPercentiles() (p50, p99 time.Duration) {
 	b.latMu.Lock()
 	lats := append([]time.Duration(nil), b.fillLats...)
 	b.latMu.Unlock()
-	if len(lats) == 0 {
-		return 0, 0
-	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	return lats[int(0.50*float64(len(lats)-1))], lats[int(0.99*float64(len(lats)-1))]
+	q := quantile.Durations(lats, 0.50, 0.99)
+	return q[0], q[1]
 }

@@ -188,7 +188,25 @@ type GenerateRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Stream switches the response to server-sent events.
 	Stream bool `json:"stream,omitempty"`
+	// Speculative enables draft-verify decoding for this generation: each
+	// decode round proposes a window of draft tokens, verifies them against
+	// the sampler, and retracts the rejected suffix through the grammar's
+	// rollback window. Output is byte-identical to a non-speculative
+	// request with the same seed; only the decode-round count shrinks.
+	Speculative *SpeculativeParams `json:"speculative,omitempty"`
 }
+
+// SpeculativeParams is the per-request speculative-decoding knob.
+type SpeculativeParams struct {
+	// DraftTokens is the draft window per decode round (default 4, capped
+	// at 16). Sessions whose rollback history cannot retract a window fall
+	// back to plain decoding (reported in /metrics window_fallbacks).
+	DraftTokens int `json:"draft_tokens"`
+}
+
+// maxDraftTokens caps per-request draft windows (2k checkpoints per window
+// with jump-forward must fit the default 64-step rollback history).
+const maxDraftTokens = 16
 
 // GenerateResponse is the non-streaming response (and the final SSE event).
 type GenerateResponse struct {
@@ -272,6 +290,17 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		remaining: maxTokens,
 		chunks:    make(chan string, 2*maxTokens+4),
 		done:      make(chan struct{}),
+	}
+	if req.Speculative != nil {
+		k := req.Speculative.DraftTokens
+		if k <= 0 {
+			k = 4
+		}
+		if k > maxDraftTokens {
+			k = maxDraftTokens
+		}
+		q.draftK = k
+		s.b.specRequests.Add(1)
 	}
 	if !s.b.submit(q) {
 		sess.Close()
@@ -358,8 +387,27 @@ type Metrics struct {
 	FillP50US        float64 `json:"fill_p50_us"`
 	FillP99US        float64 `json:"fill_p99_us"`
 
+	Speculative  SpeculativeMetrics  `json:"speculative"`
 	CompileCache CompileCacheMetrics `json:"compile_cache"`
 	Store        StoreMetrics        `json:"store"`
+}
+
+// SpeculativeMetrics aggregates draft-verify decoding activity: how many
+// draft tokens were proposed, speculatively accepted by the grammar,
+// confirmed by the sampler, and how many sequences fell back to plain
+// decoding because their rollback window was too small for the requested
+// draft. RoundsSaved sums, over sequences, the decode rounds that
+// sequence did not need (its confirmed draft tokens); concurrent
+// sequences share batch rounds, so the batcher's decode_rounds shrinks by
+// less than this total when the batch is deeper than one.
+type SpeculativeMetrics struct {
+	Requests        int64   `json:"requests"`
+	ProposedTokens  int64   `json:"proposed_tokens"`
+	DraftedTokens   int64   `json:"drafted_tokens"`
+	AcceptedTokens  int64   `json:"accepted_tokens"`
+	AcceptanceRate  float64 `json:"acceptance_rate"`
+	RoundsSaved     int64   `json:"seq_rounds_saved"`
+	WindowFallbacks int64   `json:"window_fallbacks"`
 }
 
 // CompileCacheMetrics mirrors xgrammar.CompileCacheStats on the wire.
@@ -405,6 +453,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		TokensPerSec:     float64(tokens) / uptime.Seconds(),
 		FillP50US:        float64(p50.Nanoseconds()) / 1e3,
 		FillP99US:        float64(p99.Nanoseconds()) / 1e3,
+		Speculative:      s.b.specMetrics(),
 		CompileCache: CompileCacheMetrics{
 			Hits:      cc.Hits,
 			Misses:    cc.Misses,

@@ -1,0 +1,136 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+
+	"xgrammar"
+	"xgrammar/internal/server"
+)
+
+func genOn(t *testing.T, url string, req server.GenerateRequest) server.GenerateResponse {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/generate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate: %d %s", resp.StatusCode, body)
+	}
+	var g server.GenerateResponse
+	if err := json.Unmarshal(body, &g); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSpeculativeByteIdenticalWithSameSeed is the gateway-level lossless
+// property: a speculative request produces exactly the text a plain request
+// with the same seed produces — the verify pass consumes the seeded RNG in
+// the same order a plain decode would — while spending no more decode
+// rounds.
+func TestSpeculativeByteIdenticalWithSameSeed(t *testing.T) {
+	pattern := `^[ab]{20,40}c$`
+	req := server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "regex", Source: pattern},
+		Seed:           12345,
+	}
+
+	plainTS, _, _ := gateway(t, "", false, server.Config{MaxInflight: 4, MaxTokens: 100})
+	plain := genOn(t, plainTS.URL, req)
+	plainRounds := getMetrics(t, plainTS.URL).DecodeRounds
+
+	specReq := req
+	specReq.Speculative = &server.SpeculativeParams{DraftTokens: 4}
+	specTS, _, _ := gateway(t, "", false, server.Config{MaxInflight: 4, MaxTokens: 100})
+	spec := genOn(t, specTS.URL, specReq)
+	sm := getMetrics(t, specTS.URL)
+
+	if spec.Text != plain.Text {
+		t.Fatalf("speculative output differs from plain with same seed:\n plain %q\n spec  %q", plain.Text, spec.Text)
+	}
+	if !regexp.MustCompile(pattern).MatchString(spec.Text) {
+		t.Fatalf("output %q violates the pattern", spec.Text)
+	}
+	if spec.Tokens != plain.Tokens {
+		t.Fatalf("token counts differ: plain %d spec %d", plain.Tokens, spec.Tokens)
+	}
+	if sm.Speculative.Requests != 1 {
+		t.Fatalf("speculative requests gauge = %d, want 1", sm.Speculative.Requests)
+	}
+	if sm.Speculative.ProposedTokens == 0 {
+		t.Fatal("no draft tokens proposed")
+	}
+	if sm.Speculative.DraftedTokens > sm.Speculative.ProposedTokens ||
+		sm.Speculative.AcceptedTokens > sm.Speculative.DraftedTokens {
+		t.Fatalf("gauge ordering violated: %+v", sm.Speculative)
+	}
+	if rate := sm.Speculative.AcceptanceRate; rate < 0 || rate > 1 {
+		t.Fatalf("acceptance rate %v out of range", rate)
+	}
+	if sm.Speculative.RoundsSaved != sm.Speculative.AcceptedTokens {
+		t.Fatalf("rounds saved %d != accepted %d", sm.Speculative.RoundsSaved, sm.Speculative.AcceptedTokens)
+	}
+	// Every accepted draft token is one decode round the speculative
+	// gateway did not spend.
+	if sm.DecodeRounds+sm.Speculative.AcceptedTokens < plainRounds {
+		t.Fatalf("round accounting hole: %d spec rounds + %d saved < %d plain rounds",
+			sm.DecodeRounds, sm.Speculative.AcceptedTokens, plainRounds)
+	}
+	if sm.Speculative.AcceptedTokens > 0 && sm.DecodeRounds >= plainRounds {
+		t.Fatalf("accepted %d drafts but spent %d rounds (plain: %d)",
+			sm.Speculative.AcceptedTokens, sm.DecodeRounds, plainRounds)
+	}
+}
+
+// TestSpeculativeSchemaGeneration runs draft-verify decoding over a JSON
+// Schema grammar end to end: the output must still be a complete, valid
+// instance.
+func TestSpeculativeSchemaGeneration(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{MaxInflight: 4, MaxTokens: 120})
+	g := genOn(t, ts.URL, server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "json_schema", Source: testSchema},
+		Seed:           7,
+		Speculative:    &server.SpeculativeParams{DraftTokens: 6},
+	})
+	if g.FinishReason != server.FinishStop {
+		t.Fatalf("finish reason %q, want stop", g.FinishReason)
+	}
+	assertValidInstance(t, g.Text)
+	m := getMetrics(t, ts.URL)
+	if m.Speculative.ProposedTokens == 0 {
+		t.Fatal("no speculative activity on schema generation")
+	}
+}
+
+// TestSpeculativeWindowFallback pins the rollback-window overflow path at
+// the gateway: a compiler with a tiny rollback window cannot retract any
+// useful draft, so the sequence decodes plainly — correct output, fallback
+// counted, zero speculative work.
+func TestSpeculativeWindowFallback(t *testing.T) {
+	comp := xgrammar.NewCompiler(testInfo(t), xgrammar.WithMaxRollback(3))
+	srv := server.New(server.Config{
+		Engine:      xgrammar.NewEngine(comp),
+		MaxInflight: 4,
+		MaxTokens:   100,
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	pattern := `^[ab]{10,20}c$`
+	g := genOn(t, ts.URL, server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "regex", Source: pattern},
+		Seed:           9,
+		Speculative:    &server.SpeculativeParams{DraftTokens: 8},
+	})
+	if !regexp.MustCompile(pattern).MatchString(g.Text) {
+		t.Fatalf("fallback output %q violates the pattern", g.Text)
+	}
+	m := getMetrics(t, ts.URL)
+	if m.Speculative.WindowFallbacks == 0 {
+		t.Fatal("window fallback not counted")
+	}
+	if m.Speculative.ProposedTokens != 0 {
+		t.Fatalf("speculative work happened despite overflow: %+v", m.Speculative)
+	}
+}

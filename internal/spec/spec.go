@@ -1,0 +1,296 @@
+// Package spec implements grammar-side speculative draft-verify decoding on
+// top of the matcher's checkpointed rollback window (§3.3): a cheap draft
+// proposer emits up to k candidate tokens, the grammar speculatively accepts
+// them in one fused pass — recording the allowed-token mask at every draft
+// position, exactly the masks the target model's batched verify pass needs
+// to constrain its logits — and after the target model's verdicts arrive,
+// the rejected suffix is retracted with a single atomic Rollback. Each Step
+// therefore advances a sequence by accepted+1 tokens per GPU step (the +1
+// is the target model's "bonus" token at the first disagreeing position),
+// instead of the usual one.
+//
+// The persistent stack tree is what makes this cheap: speculative accepts
+// are ordinary checkpointed Advances, and retracting a rejected suffix is
+// O(suffix), never a re-parse. The draft window is bounded by the session's
+// rollback history cap; a window that could not be fully retracted fails
+// loudly with ErrWindowExceeded before touching matcher state, so callers
+// fall back to non-speculative decoding for that step.
+package spec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sequencer is the minimal session surface Step drives. serve.Session (and
+// therefore the public xgrammar.Session) satisfies it.
+type Sequencer interface {
+	// Mask returns the session's allowed-token mask buffer (bit i set means
+	// token i is allowed next). Step refreshes it via the fill callback.
+	Mask() []uint64
+	// Accept advances by one token atomically; on error the state is
+	// unchanged.
+	Accept(id int32) error
+	// AcceptString advances by raw bytes as one checkpoint (jump-forward).
+	AcceptString(text string) error
+	// JumpForward returns the deterministic continuation, or "".
+	JumpForward() string
+	// Rollback undoes the last n Accept/AcceptString calls atomically.
+	Rollback(n int) error
+	// HistoryCap is the rollback window in steps.
+	HistoryCap() int
+	// IsTerminated reports whether the stop token has been accepted.
+	IsTerminated() bool
+}
+
+// Proposer is the draft model: called once per window position with the
+// position index and the grammar's allowed-token mask at that position, it
+// returns the draft token, or ok=false to stop drafting early.
+type Proposer func(pos int, mask []uint64) (id int32, ok bool)
+
+// Sampler is the target model's verdict: the token it samples at a window
+// position given the grammar mask there. It is called once per confirmed
+// position plus once for the bonus position, in order — a sampler that
+// consumes a seeded RNG therefore draws exactly the same stream of samples
+// as a non-speculative decode of the same tokens, which is what makes
+// speculative output byte-identical to the baseline. ok=false means the
+// sequence must stop here (e.g. token budget exhausted); the step commits
+// the prefix verified so far and appends no bonus token.
+type Sampler func(pos int, mask []uint64) (id int32, ok bool)
+
+// SliceProposer drafts from a precomputed token slice (the engine-side
+// draft model, which proposes a whole window before the verify pass).
+func SliceProposer(draft []int32) Proposer {
+	return func(pos int, _ []uint64) (int32, bool) {
+		if pos >= len(draft) {
+			return 0, false
+		}
+		return draft[pos], true
+	}
+}
+
+// Options configures one draft-verify step.
+type Options struct {
+	// MaxDraft bounds the window (draft tokens per step). Windows whose
+	// worst-case retraction exceeds the session's rollback capacity fail
+	// with ErrWindowExceeded.
+	MaxDraft int
+	// EOS is the stop-token id. A draft proposing EOS truncates the window
+	// (termination is only ever committed via the verified bonus token); a
+	// bonus verdict of EOS terminates the session.
+	EOS int32
+	// JumpForward inserts the deterministic continuation after each
+	// speculatively accepted draft token, mirroring a non-speculative loop
+	// that jump-forwards after every token. Rejected positions roll back
+	// their insertion together with their draft token.
+	JumpForward bool
+}
+
+// ErrWindowExceeded reports a draft window larger than the session's
+// rollback history can retract. The session state is untouched; the caller
+// should decode this step non-speculatively.
+var ErrWindowExceeded = errors.New("spec: draft window exceeds the rollback history cap")
+
+// Result is the outcome of one draft-verify step.
+type Result struct {
+	// Proposed counts draft tokens the proposer offered.
+	Proposed int
+	// Drafted counts the grammar-legal draft prefix speculatively accepted
+	// into the matcher (≤ Proposed; the grammar truncates illegal drafts).
+	Drafted int
+	// Accepted counts draft tokens confirmed by the target sampler
+	// (≤ Drafted). The step advanced the sequence by Accepted tokens plus
+	// the bonus token.
+	Accepted int
+	// RolledBack counts the checkpointed steps retracted by the atomic
+	// rollback: the Drafted-Accepted rejected draft tokens plus any
+	// jump-forward insertions riding on them.
+	RolledBack int
+	// Bonus is the target model's token at the first unconfirmed position;
+	// HasBonus is false only when the sampler declined (budget exhausted).
+	Bonus    int32
+	HasBonus bool
+	// Terminated reports whether the bonus token was EOS and ended the
+	// generation.
+	Terminated bool
+}
+
+// Window is the reusable per-sequence scratch for Step: copied masks for
+// every draft position (the session's own mask buffer is rewritten as the
+// window advances, but the verify pass needs each position's mask), the
+// speculatively accepted draft tokens, per-position checkpoint counts, and
+// jump-forward insertions. The zero Window is ready to use; reusing one
+// across steps makes the steady state allocation-free once capacities
+// settle. After Step returns, the accepted prefix's tokens and insertions
+// are readable via DraftAt/JumpForwardAt until the next Step on the window.
+type Window struct {
+	masks [][]uint64
+	draft []int32
+	steps []int // checkpoints consumed at position i (1, or 2 with a jump-forward)
+	jf    []string
+}
+
+// reset prepares the window for a step of at most k draft positions.
+func (w *Window) reset(k int) {
+	if cap(w.masks) < k+1 {
+		masks := make([][]uint64, k+1)
+		copy(masks, w.masks)
+		w.masks = masks
+	}
+	w.masks = w.masks[:k+1]
+	w.draft = w.draft[:0]
+	w.steps = w.steps[:0]
+	w.jf = w.jf[:0]
+}
+
+// capture copies mask into the window's position-i slot.
+func (w *Window) capture(i int, mask []uint64) {
+	if cap(w.masks[i]) < len(mask) {
+		w.masks[i] = make([]uint64, len(mask))
+	}
+	w.masks[i] = w.masks[i][:len(mask)]
+	copy(w.masks[i], mask)
+}
+
+// DraftAt returns the i-th speculatively accepted draft token (i < Drafted).
+func (w *Window) DraftAt(i int) int32 { return w.draft[i] }
+
+// JumpForwardAt returns the jump-forward string inserted after the i-th
+// draft token ("" when none).
+func (w *Window) JumpForwardAt(i int) string {
+	if i >= len(w.jf) {
+		return ""
+	}
+	return w.jf[i]
+}
+
+// MaskAt returns the captured allowed-token mask at window position i
+// (0 ≤ i ≤ Drafted; position Drafted is the bonus position). The slice is
+// valid until the next Step using this window.
+func (w *Window) MaskAt(i int) []uint64 { return w.masks[i] }
+
+// maskHas reports whether token id is set in mask.
+func maskHas(mask []uint64, id int32) bool {
+	w := int(id >> 6)
+	return id >= 0 && w < len(mask) && mask[w]&(1<<uint(id&63)) != 0
+}
+
+// Step runs one speculative draft-verify decode step over the session.
+//
+// Phase A (draft, overlappable with the GPU forward pass): up to
+// opts.MaxDraft tokens from the proposer are speculatively accepted into
+// the matcher, capturing the allowed-token mask at every position. A
+// grammar-illegal draft token truncates the window — the grammar rejects it
+// before the target model ever sees it, the mask check fused into the same
+// pass that produces the verify masks.
+//
+// Phase B (verify, after the target model's batched forward pass): the
+// sampler yields the target's token per position; the longest prefix where
+// draft and target agree is kept.
+//
+// Phase C (commit): the rejected suffix — draft tokens and any jump-forward
+// insertions riding on them — is retracted with one atomic Rollback, and
+// the target's token at the first disagreeing position is accepted as the
+// bonus token.
+//
+// fill must bring the session's mask up to date when called (Session.Fill
+// on the serving session); it runs once per window position plus once for
+// the bonus-position mask.
+func Step(s Sequencer, fill func(), propose Proposer, sample Sampler, w *Window, opts Options) (Result, error) {
+	var res Result
+	if s.IsTerminated() {
+		return res, errors.New("spec: session already terminated")
+	}
+	k := opts.MaxDraft
+	if k < 0 {
+		k = 0
+	}
+	// Worst-case retraction: every position costs one checkpoint, two with
+	// a jump-forward insertion. Refuse windows the history could not undo —
+	// before any state is touched, so the caller can decode this step
+	// non-speculatively.
+	perPos := 1
+	if opts.JumpForward {
+		perPos = 2
+	}
+	if k*perPos > s.HistoryCap() {
+		return res, fmt.Errorf("%w (draft %d, cost %d/step, cap %d)",
+			ErrWindowExceeded, k, perPos, s.HistoryCap())
+	}
+	w.reset(k)
+
+	// Phase A: fused draft + mask pass.
+	for i := 0; i < k; i++ {
+		fill()
+		w.capture(i, s.Mask())
+		id, ok := propose(i, w.masks[i])
+		if !ok {
+			break
+		}
+		res.Proposed++
+		if id == opts.EOS || !maskHas(w.masks[i], id) {
+			break
+		}
+		if err := s.Accept(id); err != nil {
+			break // defensive: Accept is atomic, so truncating is safe
+		}
+		w.draft = append(w.draft, id)
+		w.steps = append(w.steps, 1)
+		w.jf = append(w.jf, "")
+		res.Drafted++
+		if opts.JumpForward {
+			if jf := s.JumpForward(); jf != "" {
+				if err := s.AcceptString(jf); err == nil {
+					w.jf[i] = jf
+					w.steps[i] = 2
+				}
+			}
+		}
+	}
+	fill()
+	w.capture(res.Drafted, s.Mask())
+
+	// Phase B: verify the draft against the target model's verdicts.
+	accepted := 0
+	var bonus int32
+	hasBonus := false
+	for accepted < res.Drafted {
+		t, ok := sample(accepted, w.masks[accepted])
+		if !ok {
+			break
+		}
+		if t != w.draft[accepted] {
+			bonus, hasBonus = t, true
+			break
+		}
+		accepted++
+	}
+	if accepted == res.Drafted {
+		if t, ok := sample(res.Drafted, w.masks[res.Drafted]); ok {
+			bonus, hasBonus = t, true
+		}
+	}
+
+	// Phase C: atomically retract the rejected suffix, then commit the
+	// bonus token.
+	res.Accepted = accepted
+	for i := accepted; i < res.Drafted; i++ {
+		res.RolledBack += w.steps[i]
+	}
+	if res.RolledBack > 0 {
+		if err := s.Rollback(res.RolledBack); err != nil {
+			// Unreachable given the window pre-check; surface loudly if the
+			// invariant is ever broken rather than decoding on from a
+			// corrupt position.
+			return res, fmt.Errorf("spec: retract %d steps: %w", res.RolledBack, err)
+		}
+	}
+	if hasBonus {
+		if err := s.Accept(bonus); err != nil {
+			return res, fmt.Errorf("spec: bonus token %d: %w", bonus, err)
+		}
+		res.Bonus, res.HasBonus = bonus, true
+		res.Terminated = s.IsTerminated()
+	}
+	return res, nil
+}

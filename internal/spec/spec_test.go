@@ -1,0 +1,501 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"xgrammar/internal/builtin"
+	"xgrammar/internal/maskcache"
+	"xgrammar/internal/pda"
+	"xgrammar/internal/serve"
+	"xgrammar/internal/tokenizer"
+)
+
+type env struct {
+	tok   *tokenizer.Tokenizer
+	p     *pda.PDA
+	cache *maskcache.Cache
+}
+
+var (
+	envOnce sync.Once
+	shared  env
+)
+
+func testEnv(t testing.TB) env {
+	t.Helper()
+	envOnce.Do(func() {
+		tok := tokenizer.BuildDefault(600)
+		p, err := pda.Compile(builtin.JSON(), pda.AllOptimizations)
+		if err != nil {
+			panic(err)
+		}
+		shared = env{tok: tok, p: p, cache: maskcache.Build(p, tok, maskcache.Options{ContextExpansion: true})}
+	})
+	return shared
+}
+
+func newSession(t testing.TB, e env, maxHistory int) *serve.Session {
+	t.Helper()
+	return serve.NewSessionPool(e.p, e.cache, e.tok, maxHistory).Acquire()
+}
+
+// teacher returns a Sampler that plays the teacher-forced target model: at
+// each verified position it emits the next token of the remaining target
+// (EOS once exhausted), advancing its own byte cursor only when its verdict
+// is adopted — which is exactly when the position is confirmed or becomes
+// the bonus.
+type teacher struct {
+	tok    *tokenizer.Tokenizer
+	target string
+	pos    int
+}
+
+func (tc *teacher) next() int32 {
+	if tc.pos >= len(tc.target) {
+		return tokenizer.EosID
+	}
+	return tc.tok.Encode(tc.target[tc.pos:])[0]
+}
+
+// sample is the Sampler: the verdict at a window position. The cursor
+// advances optimistically; Step's in-order calling contract means verdict i
+// is consulted only when positions 0..i-1 were confirmed.
+func (tc *teacher) sample(_ int, _ []uint64) (int32, bool) {
+	id := tc.next()
+	if id != tokenizer.EosID {
+		tc.pos += len(tc.tok.TokenBytes(id))
+	}
+	return id, true
+}
+
+// tokens returns the teacher-forced token stream for target.
+func tokens(tok *tokenizer.Tokenizer, target string) []int32 {
+	var out []int32
+	pos := 0
+	for pos < len(target) {
+		id := tok.Encode(target[pos:])[0]
+		out = append(out, id)
+		pos += len(tok.TokenBytes(id))
+	}
+	return out
+}
+
+func maskEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refState advances a fresh session over the token prefix and returns its
+// mask — the observable state a correct speculative step must land on.
+func refState(t *testing.T, e env, ids []int32) ([]uint64, *serve.Session) {
+	t.Helper()
+	s := newSession(t, e, 0)
+	for _, id := range ids {
+		if err := s.Accept(id); err != nil {
+			t.Fatalf("reference accept %d: %v", id, err)
+		}
+	}
+	s.Fill()
+	return s.Mask(), s
+}
+
+const doc = `{"name": "speculative", "k": [1, 2, 3]}`
+
+func TestFullAcceptanceAdvancesByWindowPlusBonus(t *testing.T) {
+	e := testEnv(t)
+	target := tokens(e.tok, doc)
+	s := newSession(t, e, 0)
+	defer s.Close()
+	tc := &teacher{tok: e.tok, target: doc}
+	var w Window
+
+	k := 4
+	res, err := Step(s, func() { s.Fill() }, SliceProposer(target[:k]), tc.sample, &w, Options{MaxDraft: k, EOS: tokenizer.EosID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proposed != k || res.Drafted != k || res.Accepted != k {
+		t.Fatalf("proposed/drafted/accepted = %d/%d/%d, want %d/%d/%d", res.Proposed, res.Drafted, res.Accepted, k, k, k)
+	}
+	if res.RolledBack != 0 {
+		t.Fatalf("rolled back %d steps on a fully accepted draft", res.RolledBack)
+	}
+	if !res.HasBonus || res.Bonus != target[k] {
+		t.Fatalf("bonus = %d (has %v), want %d", res.Bonus, res.HasBonus, target[k])
+	}
+	// The session advanced by accepted+1 tokens: its state equals a fresh
+	// walk of target[:k+1].
+	want, ref := refState(t, e, target[:k+1])
+	defer ref.Close()
+	s.Fill()
+	if !maskEqual(s.Mask(), want) {
+		t.Fatal("session state after full acceptance differs from sequential walk")
+	}
+}
+
+func TestRejectedSuffixRolledBackAtomically(t *testing.T) {
+	e := testEnv(t)
+	target := tokens(e.tok, doc)
+	k := 5
+	for mismatchAt := 0; mismatchAt < k; mismatchAt++ {
+		s := newSession(t, e, 0)
+		tc := &teacher{tok: e.tok, target: doc}
+		draft := append([]int32(nil), target[:k]...)
+		// Corrupt one draft position with a different token (a regular token
+		// that differs from the target's — grammar-legal or not, the verify
+		// pass must reject it and everything after it).
+		draft[mismatchAt] = target[mismatchAt] + 1
+		if draft[mismatchAt] == tokenizer.EosID || e.tok.IsSpecial(draft[mismatchAt]) {
+			draft[mismatchAt] = tokenizer.NumSpecial // smallest regular token
+		}
+		var w Window
+		res, err := Step(s, func() { s.Fill() }, SliceProposer(draft), tc.sample, &w, Options{MaxDraft: k, EOS: tokenizer.EosID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted != mismatchAt {
+			t.Fatalf("mismatch@%d: accepted %d", mismatchAt, res.Accepted)
+		}
+		if !res.HasBonus || res.Bonus != target[mismatchAt] {
+			t.Fatalf("mismatch@%d: bonus %d, want target %d", mismatchAt, res.Bonus, target[mismatchAt])
+		}
+		if res.RolledBack != res.Drafted-res.Accepted {
+			t.Fatalf("mismatch@%d: rolled back %d, drafted-accepted = %d", mismatchAt, res.RolledBack, res.Drafted-res.Accepted)
+		}
+		// State must equal the sequential walk of the accepted prefix plus
+		// the corrective bonus token.
+		want, ref := refState(t, e, target[:mismatchAt+1])
+		s.Fill()
+		if !maskEqual(s.Mask(), want) {
+			t.Fatalf("mismatch@%d: post-step state differs from sequential walk", mismatchAt)
+		}
+		ref.Close()
+		s.Close()
+	}
+}
+
+func TestGrammarIllegalDraftTruncatesWindow(t *testing.T) {
+	e := testEnv(t)
+	target := tokens(e.tok, doc)
+	s := newSession(t, e, 0)
+	defer s.Close()
+	tc := &teacher{tok: e.tok, target: doc}
+
+	// Find a token that the grammar forbids at position 2 (not in the mask
+	// there): walk two tokens on a scratch session and scan.
+	scratch := newSession(t, e, 0)
+	scratch.Accept(target[0])
+	scratch.Accept(target[1])
+	scratch.Fill()
+	illegal := int32(-1)
+	for id := int32(tokenizer.NumSpecial); id < int32(e.tok.VocabSize()); id++ {
+		if !maskHas(scratch.Mask(), id) {
+			illegal = id
+			break
+		}
+	}
+	scratch.Close()
+	if illegal < 0 {
+		t.Skip("grammar allows every token at probe position")
+	}
+
+	draft := []int32{target[0], target[1], illegal, target[3]}
+	var w Window
+	res, err := Step(s, func() { s.Fill() }, SliceProposer(draft), tc.sample, &w, Options{MaxDraft: len(draft), EOS: tokenizer.EosID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drafted != 2 {
+		t.Fatalf("drafted %d, want truncation at the illegal token (2)", res.Drafted)
+	}
+	if res.Proposed != 3 {
+		t.Fatalf("proposed %d, want 3 (illegal token offered, rejected by mask check)", res.Proposed)
+	}
+	// Verification confirms the legal prefix and appends the bonus.
+	if res.Accepted != 2 || !res.HasBonus || res.Bonus != target[2] {
+		t.Fatalf("accepted %d bonus %d (has %v), want 2/%d", res.Accepted, res.Bonus, res.HasBonus, target[2])
+	}
+}
+
+// TestWindowOverflowFailsCleanly pins the rollback-window satellite: a draft
+// window whose worst-case retraction exceeds the session's history cap must
+// fail before touching matcher state, so the caller can decode that step
+// non-speculatively.
+func TestWindowOverflowFailsCleanly(t *testing.T) {
+	e := testEnv(t)
+	target := tokens(e.tok, doc)
+	const hist = 4
+	s := newSession(t, e, hist)
+	defer s.Close()
+	if got := s.HistoryCap(); got != hist {
+		t.Fatalf("HistoryCap = %d, want %d", got, hist)
+	}
+	tc := &teacher{tok: e.tok, target: doc}
+
+	s.Fill()
+	before := append([]uint64(nil), s.Mask()...)
+
+	var w Window
+	_, err := Step(s, func() { s.Fill() }, SliceProposer(target[:8]), tc.sample, &w, Options{MaxDraft: 8, EOS: tokenizer.EosID})
+	if !errors.Is(err, ErrWindowExceeded) {
+		t.Fatalf("err = %v, want ErrWindowExceeded", err)
+	}
+	// Matcher state untouched: same mask, and the sequence decodes on
+	// non-speculatively.
+	s.Fill()
+	if !maskEqual(s.Mask(), before) {
+		t.Fatal("failed speculative step mutated the session state")
+	}
+	for _, id := range target {
+		if err := s.Accept(id); err != nil {
+			t.Fatalf("non-speculative fallback accept: %v", err)
+		}
+	}
+	if !s.CanTerminate() {
+		t.Fatal("fallback walk cannot terminate")
+	}
+
+	// With jump-forward enabled every position can cost two checkpoints, so
+	// even a window of hist/2+1 is refused.
+	var w2 Window
+	_, err = Step(s, func() { s.Fill() }, SliceProposer(target[:3]), tc.sample, &w2,
+		Options{MaxDraft: 3, EOS: tokenizer.EosID, JumpForward: true})
+	if !errors.Is(err, ErrWindowExceeded) {
+		t.Fatalf("jump-forward window err = %v, want ErrWindowExceeded", err)
+	}
+}
+
+// TestWindowWithinCapUsesRollback drives a fully rejected draft through a
+// session whose history is exactly the window size: the retraction must
+// succeed and the state must stay sound.
+func TestWindowWithinCapUsesRollback(t *testing.T) {
+	e := testEnv(t)
+	target := tokens(e.tok, doc)
+	const k = 4
+	s := newSession(t, e, k)
+	defer s.Close()
+	tc := &teacher{tok: e.tok, target: doc}
+
+	// Draft k tokens that are all wrong from position 0 but grammar-legal:
+	// use the target tokens shifted by one position ({" starts a legal but
+	// different path). Simpler: draft a legal alternative first token.
+	s.Fill()
+	alt := int32(-1)
+	for id := int32(tokenizer.NumSpecial); id < int32(e.tok.VocabSize()); id++ {
+		if id != target[0] && maskHas(s.Mask(), id) {
+			alt = id
+			break
+		}
+	}
+	if alt < 0 {
+		t.Skip("no alternative first token")
+	}
+	// Propose alt then whatever the grammar allows next (greedy walk).
+	greedy := func(pos int, mask []uint64) (int32, bool) {
+		if pos == 0 {
+			return alt, true
+		}
+		for id := int32(tokenizer.NumSpecial); id < int32(e.tok.VocabSize()); id++ {
+			if maskHas(mask, id) {
+				return id, true
+			}
+		}
+		return 0, false
+	}
+	var w Window
+	res, err := Step(s, func() { s.Fill() }, greedy, tc.sample, &w, Options{MaxDraft: k, EOS: tokenizer.EosID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 0 {
+		t.Fatalf("accepted %d, want 0 (draft diverges at position 0)", res.Accepted)
+	}
+	if res.RolledBack != res.Drafted {
+		t.Fatalf("rolled back %d, want all %d drafted", res.RolledBack, res.Drafted)
+	}
+	if !res.HasBonus || res.Bonus != target[0] {
+		t.Fatalf("bonus %d, want %d", res.Bonus, target[0])
+	}
+	want, ref := refState(t, e, target[:1])
+	defer ref.Close()
+	s.Fill()
+	if !maskEqual(s.Mask(), want) {
+		t.Fatal("state after full rejection differs from sequential walk")
+	}
+}
+
+func TestBonusEOSTerminates(t *testing.T) {
+	e := testEnv(t)
+	target := tokens(e.tok, doc)
+	s := newSession(t, e, 0)
+	defer s.Close()
+	tc := &teacher{tok: e.tok, target: doc}
+	var w Window
+	opts := Options{MaxDraft: 4, EOS: tokenizer.EosID}
+	fill := func() { s.Fill() }
+	for !s.IsTerminated() {
+		res, err := Step(s, fill, SliceProposer(tc.remaining(4)), tc.sample, &w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Terminated {
+			break
+		}
+		if res.Accepted == 0 && !res.HasBonus {
+			t.Fatal("no progress")
+		}
+	}
+	if !s.IsTerminated() {
+		t.Fatal("session did not terminate")
+	}
+	_ = target
+}
+
+// remaining returns the teacher's next k tokens without advancing it — a
+// perfect draft model for the happy path.
+func (tc *teacher) remaining(k int) []int32 {
+	var out []int32
+	pos := tc.pos
+	for len(out) < k && pos < len(tc.target) {
+		id := tc.tok.Encode(tc.target[pos:])[0]
+		out = append(out, id)
+		pos += len(tc.tok.TokenBytes(id))
+	}
+	return out
+}
+
+func TestSamplerDeclineCommitsNothingBeyondVerified(t *testing.T) {
+	e := testEnv(t)
+	target := tokens(e.tok, doc)
+	s := newSession(t, e, 0)
+	defer s.Close()
+	budget := 2 // verdicts available before the budget runs out
+	sampler := func(pos int, mask []uint64) (int32, bool) {
+		if budget == 0 {
+			return 0, false
+		}
+		budget--
+		return target[pos], true
+	}
+	var w Window
+	res, err := Step(s, func() { s.Fill() }, SliceProposer(target[:5]), sampler, &w, Options{MaxDraft: 5, EOS: tokenizer.EosID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 2 || res.HasBonus {
+		t.Fatalf("accepted %d hasBonus %v, want 2/false", res.Accepted, res.HasBonus)
+	}
+	want, ref := refState(t, e, target[:2])
+	defer ref.Close()
+	s.Fill()
+	if !maskEqual(s.Mask(), want) {
+		t.Fatal("state after sampler decline differs from sequential walk of verified prefix")
+	}
+}
+
+// TestJumpForwardInsideWindow verifies forced continuations ride along with
+// draft tokens and are retracted with them on rejection.
+func TestJumpForwardInsideWindow(t *testing.T) {
+	e := testEnv(t)
+	target := tokens(e.tok, doc)
+	s := newSession(t, e, 0)
+	defer s.Close()
+
+	// Teacher that follows the session's actual path (draft plus its
+	// jump-forward insertions) so every draft position is confirmed.
+	confirm := func(pos int, mask []uint64) (int32, bool) {
+		// Accept whatever was drafted (echo the draft) — for the bonus
+		// position pick any allowed token.
+		for id := int32(tokenizer.NumSpecial); id < int32(e.tok.VocabSize()); id++ {
+			if maskHas(mask, id) {
+				return id, true
+			}
+		}
+		return tokenizer.EosID, maskHas(mask, tokenizer.EosID)
+	}
+	greedy := func(pos int, mask []uint64) (int32, bool) {
+		for id := int32(tokenizer.NumSpecial); id < int32(e.tok.VocabSize()); id++ {
+			if maskHas(mask, id) {
+				return id, true
+			}
+		}
+		return 0, false
+	}
+	var w Window
+	res, err := Step(s, func() { s.Fill() }, greedy, confirm, &w, Options{MaxDraft: 3, EOS: tokenizer.EosID, JumpForward: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy draft and greedy confirm agree at every position, so the whole
+	// window plus bonus committed. Collect the emitted text.
+	text := ""
+	for i := 0; i < res.Accepted; i++ {
+		text += string(e.tok.TokenBytes(w.DraftAt(i))) + w.JumpForwardAt(i)
+	}
+	if res.HasBonus && res.Bonus != tokenizer.EosID {
+		text += string(e.tok.TokenBytes(res.Bonus))
+	}
+	if res.Accepted != res.Drafted {
+		t.Fatalf("greedy draft not fully confirmed: %d/%d", res.Accepted, res.Drafted)
+	}
+	// The committed text must be a valid grammar prefix: a fresh session
+	// accepts it wholesale.
+	ref := newSession(t, e, 0)
+	defer ref.Close()
+	if err := ref.AcceptString(text); err != nil {
+		t.Fatalf("committed text %q is not a grammar prefix: %v", text, err)
+	}
+	_ = target
+}
+
+// TestConcurrentSessions exercises pooled sessions doing speculative steps
+// from many goroutines (the -race CI target): sessions are independent, the
+// pool is shared.
+func TestConcurrentSessions(t *testing.T) {
+	e := testEnv(t)
+	pool := serve.NewSessionPool(e.p, e.cache, e.tok, 0)
+	target := tokens(e.tok, doc)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := pool.Acquire()
+			defer s.Close()
+			tc := &teacher{tok: e.tok, target: doc}
+			var w Window
+			for !s.IsTerminated() {
+				draft := tc.remaining(3)
+				res, err := Step(s, func() { s.Fill() }, SliceProposer(draft), tc.sample, &w, Options{MaxDraft: 3, EOS: tokenizer.EosID})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Terminated {
+					return
+				}
+				if res.Accepted == 0 && !res.HasBonus {
+					errs <- fmt.Errorf("no progress")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	_ = target
+}

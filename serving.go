@@ -3,6 +3,7 @@ package xgrammar
 import (
 	"xgrammar/internal/maskcache"
 	"xgrammar/internal/serve"
+	"xgrammar/internal/spec"
 )
 
 // Engine is the continuous-batching serving runtime (§3.5): it resolves
@@ -149,9 +150,10 @@ type StepResult = serve.StepResult
 // Close. Sessions are not safe for concurrent use; drive each from one
 // goroutine (FillBatch coordinates batch fills internally).
 type Session struct {
-	e  *Engine
-	cg *CompiledGrammar
-	s  *serve.Session
+	e     *Engine
+	cg    *CompiledGrammar
+	s     *serve.Session
+	specW spec.Window
 }
 
 // Step is the fused per-token call for driving one sequence directly:
@@ -187,6 +189,42 @@ func (s *Session) JumpForward() string { return s.s.JumpForward() }
 // Rollback undoes the last n Step/AcceptString calls; call Fill before
 // reading Mask again.
 func (s *Session) Rollback(n int) error { return s.s.Rollback(n) }
+
+// HistoryCap returns the session's rollback window: the largest number of
+// Step/AcceptString calls that can ever be undone (configured with
+// WithMaxRollback). Speculative draft windows are bounded by it.
+func (s *Session) HistoryCap() int { return s.s.HistoryCap() }
+
+// SpecResult is the outcome of one speculative draft-verify step: how many
+// draft tokens were proposed, speculatively accepted by the grammar,
+// confirmed by the target model, rolled back, and the bonus token.
+type SpecResult = spec.Result
+
+// SpecSampler delivers the target model's verdict at one draft-window
+// position, given the grammar's allowed-token mask there. It is consulted
+// once per confirmed position plus once for the bonus position, in order —
+// a sampler drawing from a seeded RNG consumes exactly the same stream as a
+// non-speculative decode, which keeps speculative output byte-identical.
+type SpecSampler = spec.Sampler
+
+// ErrSpecWindowExceeded reports a draft window the session's rollback
+// history could not retract; the session state is untouched and the step
+// should be decoded non-speculatively.
+var ErrSpecWindowExceeded = spec.ErrWindowExceeded
+
+// SpeculativeStep runs one draft-verify decode step (speculative decoding
+// on the rollback window, §3.3): the draft tokens are speculatively
+// accepted under the grammar in one fused pass that records each position's
+// allowed-token mask, sample delivers the target model's verdicts against
+// those masks, and the rejected suffix is retracted with a single atomic
+// Rollback. On return the session has advanced by draft[:res.Accepted] plus
+// the bonus token (res.Bonus, EOS terminating the session) — accepted+1
+// tokens for one GPU verify pass. Drafts longer than HistoryCap fail with
+// ErrSpecWindowExceeded before touching state.
+func (s *Session) SpeculativeStep(draft []int32, sample SpecSampler) (SpecResult, error) {
+	return spec.Step(s.s, func() { s.s.Fill() }, spec.SliceProposer(draft), sample, &s.specW,
+		spec.Options{MaxDraft: len(draft), EOS: s.cg.TokenizerInfo().EOSTokenID()})
+}
 
 // CanTerminate reports whether the grammar permits stopping here.
 func (s *Session) CanTerminate() bool { return s.s.CanTerminate() }
