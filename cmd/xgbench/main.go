@@ -9,19 +9,21 @@
 //	xgbench -json BENCH.json # also write machine-readable serving results
 //
 // Experiment ids: fig9 fig10 fig11 fig12 tab1 tab2 tab3 tab4 stats par
-// serve spec store. The par experiment reports the parallel mask-cache
+// serve spec store tags. The par experiment reports the parallel mask-cache
 // build speedup over the serial preprocessing scan; serve benchmarks the
 // continuous-batching serving runtime (pooled sessions, overlapped batch
 // mask fill); spec benchmarks speculative draft-verify decoding on the
 // rollback window (decode-step reduction versus the non-speculative
 // baseline, with a byte-identical output check); store measures a cold
 // grammar compile against a warm load-from-disk (the xgserve restart
-// path).
+// path); tags benchmarks structural-tag dispatch (tool calling) with
+// per-phase throughput and fill percentiles for free text versus
+// in-segment decoding.
 //
-// With -json, the serving and store benchmarks' machine-readable records
-// (experiment, tokens/s, p50/p99 fill latency, batch dynamics, cold/warm
-// latency) are written to the given path so the perf trajectory is tracked
-// across PRs.
+// With -json, the serving, store, and tags benchmarks' machine-readable
+// records (experiment, tokens/s, p50/p99 fill latency, batch dynamics,
+// cold/warm latency, per-phase tag profiles) are written to the given path
+// so the perf trajectory is tracked across PRs.
 package main
 
 import (
@@ -42,6 +44,7 @@ type benchJSON struct {
 	Serving []experiments.ServeResult     `json:"serving"`
 	Spec    []experiments.SpecBenchResult `json:"spec"`
 	Store   []experiments.StoreResult     `json:"store"`
+	Tags    []experiments.TagsResult      `json:"tags"`
 }
 
 func main() {
@@ -87,7 +90,11 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		out := benchJSON{Mode: mode, Vocab: suite.Vocab, Serving: suite.ServeBench(), Spec: suite.SpecBench(), Store: suite.StoreBench()}
+		out := benchJSON{
+			Mode: mode, Vocab: suite.Vocab,
+			Serving: suite.ServeBench(), Spec: suite.SpecBench(),
+			Store: suite.StoreBench(), Tags: suite.TagsBench(),
+		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xgbench: marshal json: %v\n", err)

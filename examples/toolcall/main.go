@@ -1,0 +1,115 @@
+// Structural-tag tool calling: the LLM function-calling shape where free
+// prose and grammar-locked tool calls interleave in one completion.
+//
+// The session starts in free-text mode — every token is allowed, so the
+// model chats normally. A byte trie watches the decoded stream; the moment
+// a begin tag like <tool_call name="get_weather"> completes, the session
+// switches into that tool's compiled JSON-Schema grammar and every token
+// until </tool_call> is mask-constrained, so the arguments always parse.
+// Then free text resumes. Per-tool segment grammars resolve through the
+// compiled-grammar cache, so a fleet of requests sharing a tool compiles
+// it once.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"xgrammar"
+)
+
+const weatherParams = `{
+	"type": "object",
+	"properties": {
+		"city": {"type": "string", "maxLength": 12},
+		"days": {"type": "integer", "minimum": 1, "maximum": 14}
+	},
+	"required": ["city", "days"]
+}`
+
+const searchParams = `{
+	"type": "object",
+	"properties": {"query": {"type": "string", "maxLength": 16}},
+	"required": ["query"]
+}`
+
+func main() {
+	info := xgrammar.DefaultTokenizer(2000)
+	compiler := xgrammar.NewCompiler(info)
+	engine := xgrammar.NewEngine(compiler)
+	defer engine.Close()
+
+	tags := xgrammar.StructuralTags{
+		{
+			Begin:   `<tool_call name="get_weather">`,
+			Grammar: xgrammar.GrammarSpec{Kind: xgrammar.KindJSONSchema, Source: weatherParams},
+			End:     `</tool_call>`,
+		},
+		{
+			Begin:   `<tool_call name="search">`,
+			Grammar: xgrammar.GrammarSpec{Kind: xgrammar.KindJSONSchema, Source: searchParams},
+			End:     `</tool_call>`,
+		},
+	}
+	tagSet, err := compiler.CompileStructuralTags(tags)
+	if err != nil {
+		panic(err)
+	}
+
+	// The assistant turn we teacher-force: prose, two tool calls, prose.
+	reply := `Let me check that. <tool_call name="get_weather">{"city": "Oslo", "days": 3}</tool_call>` +
+		` and also <tool_call name="search">{"query": "oslo events"}</tool_call> — done!`
+
+	sess := engine.OpenTagSession(tagSet)
+	defer sess.Close()
+
+	var jumpForwarded int
+	var out strings.Builder
+	for _, id := range info.Encode(reply) {
+		if _, ok := sess.InTag(); ok {
+			// Inside a segment the grammar often forces a unique
+			// continuation (keys, punctuation, the end tag); jump-forward
+			// inserts it without decode steps.
+			if jf := sess.JumpForward(); jf != "" && strings.HasPrefix(reply[out.Len():], jf) {
+				if err := sess.AcceptString(jf); err != nil {
+					panic(err)
+				}
+				out.WriteString(jf)
+				jumpForwarded += len(jf)
+			}
+		}
+		rest := reply[out.Len():]
+		if rest == "" {
+			break
+		}
+		id = info.Encode(rest)[0]
+		tokBytes := string(info.TokenBytes(id))
+		if err := sess.Accept(id); err != nil {
+			panic(err)
+		}
+		out.WriteString(tokBytes)
+	}
+	fmt.Println("completion:")
+	fmt.Println(" ", out.String())
+	fmt.Printf("jump-forward inserted %d of %d bytes (forced structure is free)\n", jumpForwarded, len(reply))
+
+	// Every tool call parses — the grammar guaranteed it during decoding.
+	text := out.String()
+	for _, tag := range tags {
+		for rest := text; ; {
+			i := strings.Index(rest, tag.Begin)
+			if i < 0 {
+				break
+			}
+			rest = rest[i+len(tag.Begin):]
+			j := strings.Index(rest, tag.End)
+			var args map[string]any
+			if err := json.Unmarshal([]byte(rest[:j]), &args); err != nil {
+				panic(err)
+			}
+			fmt.Printf("tool call %s arguments: %v\n", tag.Begin, args)
+			rest = rest[j:]
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"xgrammar/internal/quantile"
 	"xgrammar/internal/serve"
 	"xgrammar/internal/spec"
+	"xgrammar/internal/structtag"
 	"xgrammar/internal/tokenizer"
 )
 
@@ -407,8 +408,12 @@ func (r *runner) decodeStep() error {
 		}
 		for _, s := range fills {
 			if !s.mask.Get(int(s.next)) {
-				return fmt.Errorf("engine: target token %d (%q) masked out (output so far %q)",
-					s.next, r.cfg.Tok.TokenBytes(s.next), s.output)
+				alt, ok := r.maskedPrefixToken(s)
+				if !ok {
+					return fmt.Errorf("engine: target token %d (%q) masked out (output so far %q)",
+						s.next, r.cfg.Tok.TokenBytes(s.next), s.output)
+				}
+				s.next = alt
 			}
 		}
 	}
@@ -479,6 +484,14 @@ func (r *runner) decodeStepSpec() error {
 		s := seqs[i]
 		s.specRan, s.specErr, s.specOverflow = false, nil, false
 		ss, capable := s.session.(specSession)
+		if _, isTag := s.session.(*structtag.Session); isTag {
+			// Structural-tag sessions decode plainly under Speculative mode:
+			// the teacher-forced draft/verdict walk is positional in the
+			// target text, and a verdict token spanning a segment exit is
+			// not representable in the captured in-tag masks. (The gateway's
+			// sampler-driven speculation does speculate inside segments.)
+			capable = false
+		}
 		if capable {
 			// Draft and verdict tokens come from one untimed target walk:
 			// tokenization is the simulated LLM's work, not grammar time,
@@ -572,8 +585,12 @@ func (r *runner) decodeStepSpec() error {
 			}
 			if s.session != nil {
 				if !s.mask.Get(int(s.next)) {
-					return fmt.Errorf("engine: target token %d (%q) masked out (output so far %q)",
-						s.next, r.cfg.Tok.TokenBytes(s.next), s.output)
+					alt, ok := r.maskedPrefixToken(s)
+					if !ok {
+						return fmt.Errorf("engine: target token %d (%q) masked out (output so far %q)",
+							s.next, r.cfg.Tok.TokenBytes(s.next), s.output)
+					}
+					s.next = alt
 				}
 				if err := s.session.Accept(s.next); err != nil {
 					return fmt.Errorf("engine: %w", err)
@@ -650,6 +667,28 @@ func corruptToken(id int32, vocab int) int32 {
 		return id
 	}
 	return c
+}
+
+// maskedPrefixToken finds an alternative next token when the teacher-forced
+// first token of the remaining target is masked out: the longest token that
+// is both a byte-prefix of the remaining target and allowed by the mask.
+// This happens at structural-tag segment exits — the in-tag mask only
+// admits tokens that stay inside the segment, so a BPE token spanning the
+// end tag and trailing free text must be re-split at the boundary, exactly
+// as a real constrained sampler would pick a shorter token there.
+func (r *runner) maskedPrefixToken(s *streamSeq) (int32, bool) {
+	rem := s.req.Target[s.emitted:]
+	max := 32
+	if len(rem) < max {
+		max = len(rem)
+	}
+	for plen := max; plen >= 1; plen-- {
+		id := r.cfg.Tok.Encode(rem[:plen])[0]
+		if int(id) < s.mask.Len() && s.mask.Get(int(id)) {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
 // jumpForward runs the teacher-checked jump-forward insertion (Appendix B)

@@ -39,6 +39,8 @@ type Suite struct {
 	storeResults []StoreResult
 	// memoized speculative-decoding benchmark results
 	specResults []SpecBenchResult
+	// memoized structural-tag benchmark results
+	tagsResults []TagsResult
 }
 
 // NewSuite returns a suite configuration.

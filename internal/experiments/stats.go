@@ -74,6 +74,7 @@ func (s *Suite) All() []*Table {
 		s.Serve(),
 		s.Spec(),
 		s.Store(),
+		s.Tags(),
 	}
 }
 
@@ -106,6 +107,8 @@ func (s *Suite) ByID(id string) (*Table, bool) {
 		return s.Spec(), true
 	case "store":
 		return s.Store(), true
+	case "tags":
+		return s.Tags(), true
 	}
 	return nil, false
 }

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xgrammar"
+	"xgrammar/internal/llmsim"
+	"xgrammar/internal/quantile"
+)
+
+// TagsResult is one machine-readable structural-tag benchmark record: the
+// per-phase cost profile of tool-calling generations, where free text runs
+// through the trivial all-allowed mask and tag segments pay the compiled
+// segment grammar.
+type TagsResult struct {
+	Phase        string  `json:"phase"` // free | in_tag | overall
+	Tokens       int     `json:"tokens"`
+	Segments     int     `json:"segments"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	MeanFillUS   float64 `json:"mean_fill_us"`
+	FillP50US    float64 `json:"fill_p50_us"`
+	FillP99US    float64 `json:"fill_p99_us"`
+}
+
+const tagsWeatherSchema = `{
+	"type": "object",
+	"properties": {
+		"city": {"type": "string", "maxLength": 12},
+		"days": {"type": "integer", "minimum": 1, "maximum": 14}
+	},
+	"required": ["city", "days"]
+}`
+
+const tagsSearchSchema = `{
+	"type": "object",
+	"properties": {"query": {"type": "string", "maxLength": 16}},
+	"required": ["query"]
+}`
+
+// tagsTargets builds tool-calling transcripts: prose interleaved with
+// schema-valid tagged segments.
+func tagsTargets(n int) []string {
+	prose := []string{
+		"let me look that up for you ",
+		"checking the forecast now ",
+		"that needs a search ",
+		"combining both sources ",
+	}
+	out := make([]string, n)
+	for i := range out {
+		var sb strings.Builder
+		sb.WriteString(prose[i%len(prose)])
+		fmt.Fprintf(&sb, `<weather>{"city": "city%d", "days": %d}</weather> then `, i%7, 1+i%14)
+		fmt.Fprintf(&sb, `<search>{"query": "topic %d"}</search> done.`, i%9)
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// TagsBench teacher-forces tool-calling transcripts through the
+// structural-tag dispatcher, timing every mask fill and attributing it to
+// the phase it was computed in. Throughput models a batch-1 H100 decode
+// with the fill overlapped (§3.5): wall per token = max(GPU step, fill) +
+// sample. Results are memoized so the table and -json output share one run.
+func (s *Suite) TagsBench() []TagsResult {
+	if s.tagsResults != nil {
+		return s.tagsResults
+	}
+	info := xgrammar.DefaultTokenizer(s.Vocab)
+	comp := xgrammar.NewCompiler(info)
+	set, err := comp.CompileStructuralTags(xgrammar.StructuralTags{
+		{Begin: "<weather>", Grammar: xgrammar.GrammarSpec{Kind: xgrammar.KindJSONSchema, Source: tagsWeatherSchema}, End: "</weather>"},
+		{Begin: "<search>", Grammar: xgrammar.GrammarSpec{Kind: xgrammar.KindJSONSchema, Source: tagsSearchSchema}, End: "</search>"},
+	})
+	if err != nil {
+		panic("experiments: tags: " + err.Error())
+	}
+	profile := llmsim.H100Llama8B()
+	gpu := profile.DecodeStep(1)
+
+	n := s.NumDocs
+	type phaseAgg struct {
+		tokens   int
+		fill     time.Duration
+		wall     time.Duration
+		lats     []time.Duration
+		segments int
+	}
+	var free, inTag phaseAgg
+	disp := set.Dispatch()
+	for _, target := range tagsTargets(n) {
+		sess := disp.Acquire()
+		for _, id := range info.Encode(target) {
+			agg := &free
+			if sess.InTag() {
+				agg = &inTag
+			}
+			t0 := time.Now()
+			sess.Fill()
+			dt := time.Since(t0)
+			wasTag := sess.InTag()
+			if err := sess.Accept(id); err != nil {
+				panic(fmt.Sprintf("experiments: tags: target %q token %d: %v", target, id, err))
+			}
+			agg.tokens++
+			agg.fill += dt
+			agg.wall += maxDuration(gpu, dt) + profile.SamplePerStep
+			agg.lats = append(agg.lats, dt)
+			if wasTag && !sess.InTag() {
+				inTag.segments++
+			}
+		}
+		sess.Close()
+	}
+
+	mk := func(phase string, a phaseAgg) TagsResult {
+		q := quantile.Durations(a.lats, 0.50, 0.99)
+		r := TagsResult{
+			Phase:     phase,
+			Tokens:    a.tokens,
+			Segments:  a.segments,
+			FillP50US: float64(q[0].Nanoseconds()) / 1e3,
+			FillP99US: float64(q[1].Nanoseconds()) / 1e3,
+		}
+		if a.tokens > 0 {
+			r.MeanFillUS = float64(a.fill.Nanoseconds()) / 1e3 / float64(a.tokens)
+		}
+		if a.wall > 0 {
+			r.TokensPerSec = float64(a.tokens) / a.wall.Seconds()
+		}
+		return r
+	}
+	overall := phaseAgg{
+		tokens:   free.tokens + inTag.tokens,
+		fill:     free.fill + inTag.fill,
+		wall:     free.wall + inTag.wall,
+		lats:     append(append([]time.Duration(nil), free.lats...), inTag.lats...),
+		segments: inTag.segments,
+	}
+	s.tagsResults = []TagsResult{mk("free", free), mk("in_tag", inTag), mk("overall", overall)}
+	return s.tagsResults
+}
+
+// Tags renders the structural-tag benchmark as an experiment table.
+func (s *Suite) Tags() *Table {
+	t := &Table{
+		ID:    "tags",
+		Title: "Structural-tag dispatch (tool calling: free text + schema-constrained segments)",
+		Paper: "function calling is the flagship workload; tags interleave unconstrained prose with grammar-locked tool calls",
+		Header: []string{
+			"phase", "tokens", "segments", "tok/s", "fill mean us", "fill p50 us", "fill p99 us",
+		},
+	}
+	for _, r := range s.TagsBench() {
+		t.Add(
+			r.Phase,
+			fmt.Sprintf("%d", r.Tokens),
+			fmt.Sprintf("%d", r.Segments),
+			fmt.Sprintf("%.0f", r.TokensPerSec),
+			fmt.Sprintf("%.2f", r.MeanFillUS),
+			fmt.Sprintf("%.2f", r.FillP50US),
+			fmt.Sprintf("%.2f", r.FillP99US),
+		)
+	}
+	t.Note("%d teacher-forced tool-calling transcripts, two tags (<weather>, <search>); free-text fills copy the all-allowed template, in-tag fills run the compiled segment grammar", s.NumDocs)
+	t.Note("tok/s models a batch-1 H100 decode with the fill overlapped: wall = max(GPU step, fill) + sample")
+	return t
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

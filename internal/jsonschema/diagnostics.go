@@ -1,0 +1,24 @@
+package jsonschema
+
+import "fmt"
+
+// Diagnostic reports a schema constraint the compiled grammar does not
+// fully enforce. Compilation still succeeds — the grammar is a sound
+// over-approximation (every instance it rejects is invalid) — but callers
+// that need exact validation can inspect the list instead of discovering
+// the gap in production. The pointer names the subschema the constraint
+// came from, JSON-Pointer style ("/properties/age").
+type Diagnostic struct {
+	// Pointer locates the subschema ("" is the root).
+	Pointer string
+	// Message describes what is not enforced and how far enforcement got.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	ptr := d.Pointer
+	if ptr == "" {
+		ptr = "/"
+	}
+	return fmt.Sprintf("%s: %s", ptr, d.Message)
+}

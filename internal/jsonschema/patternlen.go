@@ -1,0 +1,153 @@
+package jsonschema
+
+import (
+	"fmt"
+	"unicode/utf8"
+
+	"xgrammar/internal/grammar"
+	"xgrammar/internal/regexconv"
+)
+
+// composePatternLength intersects an edge-anchored pattern with
+// minLength/maxLength (counted in code points, per JSON Schema). Supported
+// shapes:
+//
+//   - a single top-level repeat over a one-rune subexpression (classes or
+//     one-rune literals): the length window composes directly into the
+//     repeat bounds ("^[a-z]+$" with maxLength 4 becomes [a-z]{1,4});
+//   - any pattern whose possible match lengths already sit inside the
+//     window: the bounds are redundant and the pattern is used alone;
+//   - a window that excludes every possible match length: an error.
+//
+// Everything else — unanchored edges (which admit arbitrarily long matches)
+// or multi-part bodies whose lengths only partially overlap the window —
+// fails with a descriptive error; the caller attaches the pointer path.
+func composePatternLength(p regexconv.Pattern, minL int64, hasMin bool, maxL int64, hasMax bool) (grammar.Expr, error) {
+	if !p.AnchoredStart || !p.AnchoredEnd {
+		return nil, fmt.Errorf("pattern must be edge-anchored (^...$) to compose with length bounds")
+	}
+	if hasMin && hasMax && maxL < minL {
+		return nil, fmt.Errorf("length window [%d, %d] is empty", minL, maxL)
+	}
+
+	// Shape 1: a single bounded-or-unbounded repeat of a one-rune atom.
+	if rep, ok := p.Expr.(*grammar.Repeat); ok && runeLen1(rep.Sub) {
+		lo := int64(rep.Min)
+		if hasMin && minL > lo {
+			lo = minL
+		}
+		hi := int64(rep.Max) // -1: unbounded
+		if hasMax && (hi < 0 || maxL < hi) {
+			hi = maxL
+		}
+		if hi >= 0 && hi < lo {
+			return nil, fmt.Errorf("pattern repeat {%d,%s} and length window do not intersect",
+				rep.Min, maxStr(rep.Max))
+		}
+		return &grammar.Repeat{Sub: rep.Sub, Min: int(lo), Max: int(hi)}, nil
+	}
+
+	// Shape 2: the window already covers every length the pattern can match.
+	lo, hi, ok := exprRuneBounds(p.Expr)
+	if ok {
+		coveredLow := !hasMin || minL <= int64(lo)
+		coveredHigh := !hasMax || (hi >= 0 && int64(hi) <= maxL)
+		if coveredLow && coveredHigh {
+			return p.Expr, nil
+		}
+		disjoint := (hasMax && maxL < int64(lo)) || (hi >= 0 && hasMin && minL > int64(hi))
+		if disjoint {
+			return nil, fmt.Errorf("pattern lengths [%d, %s] and length window do not intersect", lo, maxStr(hi))
+		}
+	}
+	return nil, fmt.Errorf("length bounds only compose with a single repeat of one-rune atoms, or when redundant (pattern lengths [%d, %s])",
+		lo, maxStr(hi))
+}
+
+func maxStr(m int) string {
+	if m < 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", m)
+}
+
+// runeLen1 reports whether e always matches exactly one rune.
+func runeLen1(e grammar.Expr) bool {
+	lo, hi, ok := exprRuneBounds(e)
+	return ok && lo == 1 && hi == 1
+}
+
+// exprRuneBounds computes the minimum and maximum number of runes an
+// expression can match (hi == -1 means unbounded). ok is false for
+// expression kinds the analysis does not cover (rule references).
+func exprRuneBounds(e grammar.Expr) (lo, hi int, ok bool) {
+	switch v := e.(type) {
+	case *grammar.Empty:
+		return 0, 0, true
+	case *grammar.Literal:
+		n := utf8.RuneCount(v.Bytes)
+		return n, n, true
+	case *grammar.CharClass:
+		return 1, 1, true
+	case *grammar.Seq:
+		for _, it := range v.Items {
+			l, h, o := exprRuneBounds(it)
+			if !o {
+				return 0, -1, false
+			}
+			lo += l
+			if hi >= 0 {
+				if h < 0 {
+					hi = -1
+				} else {
+					hi += h
+				}
+			}
+		}
+		return lo, hi, true
+	case *grammar.Choice:
+		first := true
+		for _, a := range v.Alts {
+			l, h, o := exprRuneBounds(a)
+			if !o {
+				return 0, -1, false
+			}
+			if first {
+				lo, hi, first = l, h, false
+				continue
+			}
+			if l < lo {
+				lo = l
+			}
+			if hi >= 0 && (h < 0 || h > hi) {
+				hi = h
+				if h < 0 {
+					hi = -1
+				}
+			}
+		}
+		return lo, hi, !first
+	case *grammar.Repeat:
+		l, h, o := exprRuneBounds(v.Sub)
+		if !o {
+			return 0, -1, false
+		}
+		lo = l * v.Min
+		switch {
+		case v.Max < 0:
+			hi = -1
+			if h == 0 {
+				hi = 0 // repeating the empty string adds no length
+			}
+		case h < 0:
+			hi = -1
+			if v.Max == 0 {
+				hi = 0
+			}
+		default:
+			hi = h * v.Max
+		}
+		return lo, hi, true
+	}
+	return 0, -1, false
+}

@@ -23,18 +23,32 @@ type Options struct {
 // the canonical JSON serializations of instances of the schema.
 //
 // Unsupported keywords fail loudly: allOf, not, patternProperties.
-// Single-sided integer bounds and number (float) bounds are ignored.
 // String "pattern" supports the regex subset of package regexconv; the
-// pattern must not match characters that need JSON escaping.
+// pattern must not match characters that need JSON escaping. "pattern"
+// combined with minLength/maxLength is honored when the pattern is
+// edge-anchored and its length bounds compose (a single bounded repeat, or
+// a pattern whose possible lengths already sit inside the window);
+// otherwise compilation fails naming the offending pointer path.
+// Constraints the grammar cannot express — single-sided integer bounds
+// beyond their sign, number (float) bounds — are enforced as far as the
+// grammar allows and surfaced as Diagnostics by CompileFull.
 func Compile(schema []byte, opts Options) (*grammar.Grammar, error) {
+	g, _, err := CompileFull(schema, opts)
+	return g, err
+}
+
+// CompileFull is Compile returning, alongside the grammar, the list of
+// schema constraints the grammar does not fully enforce (empty when the
+// grammar is exact).
+func CompileFull(schema []byte, opts Options) (*grammar.Grammar, []Diagnostic, error) {
 	v, err := ParseOrdered(schema)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	c := &compiler{opts: opts, root: v, refRules: map[string]string{}, need: map[string]bool{}}
-	rootExpr := c.expr(v, "root")
+	rootExpr := c.expr(v, "root", "")
 	if c.err != nil {
-		return nil, c.err
+		return nil, nil, c.err
 	}
 	var src strings.Builder
 	fmt.Fprintf(&src, "root ::= %s\n", rootExpr)
@@ -45,9 +59,9 @@ func Compile(schema []byte, opts Options) (*grammar.Grammar, error) {
 	c.emitBasics(&src)
 	g, err := ebnf.Parse(src.String())
 	if err != nil {
-		return nil, fmt.Errorf("jsonschema: internal grammar error: %w\nsource:\n%s", err, src.String())
+		return nil, nil, fmt.Errorf("jsonschema: internal grammar error: %w\nsource:\n%s", err, src.String())
 	}
-	return g, nil
+	return g, c.diags, nil
 }
 
 // MustCompile is Compile but panics on error.
@@ -66,6 +80,7 @@ type compiler struct {
 	counter  int
 	refRules map[string]string
 	need     map[string]bool
+	diags    []Diagnostic
 	err      error
 }
 
@@ -74,6 +89,12 @@ func (c *compiler) fail(format string, args ...interface{}) string {
 		c.err = fmt.Errorf("jsonschema: "+format, args...)
 	}
 	return `""`
+}
+
+// diag records a constraint the emitted grammar under-enforces at the given
+// pointer path.
+func (c *compiler) diag(ptr, format string, args ...interface{}) {
+	c.diags = append(c.diags, Diagnostic{Pointer: ptr, Message: fmt.Sprintf(format, args...)})
 }
 
 func (c *compiler) fresh(prefix string) string {
@@ -88,8 +109,9 @@ func (c *compiler) rule(prefix, body string) string {
 }
 
 // expr compiles a subschema into an EBNF expression string. hint names
-// generated rules for readability.
-func (c *compiler) expr(v *Value, hint string) string {
+// generated rules for readability; ptr is the subschema's JSON-Pointer
+// path, used in errors and diagnostics.
+func (c *compiler) expr(v *Value, hint, ptr string) string {
 	if c.err != nil {
 		return `""`
 	}
@@ -121,10 +143,10 @@ func (c *compiler) expr(v *Value, hint string) string {
 		return c.literalChoice([]*Value{cv})
 	}
 	if any := v.Get("anyOf"); any != nil {
-		return c.choiceOf(any, hint)
+		return c.choiceOf(any, hint, ptr+"/anyOf")
 	}
 	if one := v.Get("oneOf"); one != nil {
-		return c.choiceOf(one, hint)
+		return c.choiceOf(one, hint, ptr+"/oneOf")
 	}
 
 	t := v.Get("type")
@@ -135,20 +157,20 @@ func (c *compiler) expr(v *Value, hint string) string {
 	if t.Kind == KindArray {
 		var alts []string
 		for _, tv := range t.Items {
-			alts = append(alts, c.typedExpr(v, tv.Str, hint))
+			alts = append(alts, c.typedExpr(v, tv.Str, hint, ptr))
 		}
 		return "( " + strings.Join(alts, " | ") + " )"
 	}
-	return c.typedExpr(v, t.Str, hint)
+	return c.typedExpr(v, t.Str, hint, ptr)
 }
 
-func (c *compiler) choiceOf(list *Value, hint string) string {
+func (c *compiler) choiceOf(list *Value, hint, ptr string) string {
 	if list.Kind != KindArray || len(list.Items) == 0 {
 		return c.fail("anyOf/oneOf must be a non-empty array")
 	}
 	var alts []string
 	for i, sub := range list.Items {
-		alts = append(alts, c.expr(sub, fmt.Sprintf("%s_alt%d", hint, i)))
+		alts = append(alts, c.expr(sub, fmt.Sprintf("%s_alt%d", hint, i), fmt.Sprintf("%s/%d", ptr, i)))
 	}
 	return "( " + strings.Join(alts, " | ") + " )"
 }
@@ -165,10 +187,11 @@ func (c *compiler) refExpr(ref *Value) string {
 	if target == nil {
 		return c.fail("cannot resolve $ref %q", path)
 	}
-	// Pre-register the rule name so recursive references terminate.
+	// Pre-register the rule name so recursive references terminate. The
+	// referenced subschema's pointer path is the ref target itself.
 	name := c.fresh("ref_" + sanitize(path))
 	c.refRules[path] = name
-	body := c.expr(target, name)
+	body := c.expr(target, name, strings.TrimPrefix(path, "#"))
 	c.lines = append(c.lines, fmt.Sprintf("%s ::= %s", name, body))
 	return name
 }
@@ -206,17 +229,22 @@ func (c *compiler) literalChoice(vals []*Value) string {
 	return "( " + strings.Join(alts, " | ") + " )"
 }
 
-func (c *compiler) typedExpr(v *Value, typ, hint string) string {
+func (c *compiler) typedExpr(v *Value, typ, hint, ptr string) string {
 	switch typ {
 	case "object":
-		return c.objectExpr(v, hint)
+		return c.objectExpr(v, hint, ptr)
 	case "array":
-		return c.arrayExpr(v, hint)
+		return c.arrayExpr(v, hint, ptr)
 	case "string":
-		return c.stringExpr(v)
+		return c.stringExpr(v, ptr)
 	case "integer":
-		return c.integerExpr(v)
+		return c.integerExpr(v, ptr)
 	case "number":
+		for _, k := range []string{"minimum", "maximum", "exclusiveMinimum", "exclusiveMaximum", "multipleOf"} {
+			if v.Get(k) != nil {
+				c.diag(ptr, "number keyword %q is not enforced by the grammar", k)
+			}
+		}
 		c.need["jnumber"] = true
 		return "jnumber"
 	case "boolean":
@@ -227,23 +255,29 @@ func (c *compiler) typedExpr(v *Value, typ, hint string) string {
 	return c.fail("unknown type %q", typ)
 }
 
-func (c *compiler) stringExpr(v *Value) string {
+func (c *compiler) stringExpr(v *Value, ptr string) string {
 	minL, hasMin := c.intField(v, "minLength")
 	maxL, hasMax := c.intField(v, "maxLength")
 	if pat := v.Get("pattern"); pat != nil {
-		if hasMin || hasMax {
-			return c.fail("pattern combined with length bounds is unsupported")
-		}
 		if pat.Kind != KindString {
 			return c.fail("pattern must be a string")
 		}
-		e, err := regexconv.Convert(pat.Str)
+		parsed, err := regexconv.Parse(pat.Str)
 		if err != nil {
-			return c.fail("pattern %q: %v", pat.Str, err)
+			return c.fail("%s: pattern %q: %v", ptrOrRoot(ptr), pat.Str, err)
+		}
+		var e grammar.Expr
+		if hasMin || hasMax {
+			e, err = composePatternLength(parsed, minL, hasMin, maxL, hasMax)
+			if err != nil {
+				return c.fail("%s: pattern %q with minLength/maxLength: %v", ptrOrRoot(ptr), pat.Str, err)
+			}
+		} else {
+			e = parsed.Search()
 		}
 		e, err = restrictToStringChars(e)
 		if err != nil {
-			return c.fail("pattern %q: %v", pat.Str, err)
+			return c.fail("%s: pattern %q: %v", ptrOrRoot(ptr), pat.Str, err)
 		}
 		name := c.rule("pat", exprToEBNF(e))
 		return fmt.Sprintf(`"\"" %s "\""`, name)
@@ -262,7 +296,7 @@ func (c *compiler) stringExpr(v *Value) string {
 	}
 }
 
-func (c *compiler) integerExpr(v *Value) string {
+func (c *compiler) integerExpr(v *Value, ptr string) string {
 	lo, hasLo := c.intField(v, "minimum")
 	hi, hasHi := c.intField(v, "maximum")
 	if xl, ok := c.intField(v, "exclusiveMinimum"); ok {
@@ -271,16 +305,59 @@ func (c *compiler) integerExpr(v *Value) string {
 	if xh, ok := c.intField(v, "exclusiveMaximum"); ok {
 		hi, hasHi = xh-1, true
 	}
-	if hasLo && hasHi {
+	switch {
+	case hasLo && hasHi:
 		if lo > hi {
 			return c.fail("integer range empty: [%d, %d]", lo, hi)
 		}
 		return decRangeExpr(lo, hi)
+	case hasLo:
+		// Single-sided lower bound: enforce at least the sign. minimum 0
+		// (non-negative) and minimum 1 (positive) are exact; larger minima
+		// keep the sign enforcement and surface the residue.
+		switch {
+		case lo == 0:
+			c.need["jint"] = true
+			return "jint"
+		case lo > 0:
+			if lo > 1 {
+				c.diag(ptr, "minimum %d enforced only as >= 1 (sign); values in [1, %d] still pass the grammar", lo, lo-1)
+			}
+			c.need["jposint"] = true
+			return "jposint"
+		default: // lo < 0: every sign is legal, nothing to enforce
+			c.diag(ptr, "minimum %d not enforced (single-sided negative bound)", lo)
+			c.need["jinteger"] = true
+			return "jinteger"
+		}
+	case hasHi:
+		// Single-sided upper bound, mirrored: maximum 0 and -1 are exact.
+		switch {
+		case hi == 0:
+			c.need["jposint"] = true
+			return `( "0" | "-" jposint )`
+		case hi < 0:
+			if hi < -1 {
+				c.diag(ptr, "maximum %d enforced only as <= -1 (sign); values in [%d, -1] still pass the grammar", hi, hi+1)
+			}
+			c.need["jposint"] = true
+			return `"-" jposint`
+		default: // hi > 0
+			c.diag(ptr, "maximum %d not enforced (single-sided positive bound)", hi)
+			c.need["jinteger"] = true
+			return "jinteger"
+		}
 	}
-	// Single-sided bounds are not representable without unbounded lookahead
-	// tricks; fall back to unconstrained integers.
 	c.need["jinteger"] = true
 	return "jinteger"
+}
+
+// ptrOrRoot renders a pointer path for error messages.
+func ptrOrRoot(ptr string) string {
+	if ptr == "" {
+		return "/"
+	}
+	return ptr
 }
 
 func (c *compiler) intField(v *Value, key string) (int64, bool) {
@@ -296,10 +373,10 @@ func (c *compiler) intField(v *Value, key string) (int64, bool) {
 	return n, true
 }
 
-func (c *compiler) arrayExpr(v *Value, hint string) string {
+func (c *compiler) arrayExpr(v *Value, hint, ptr string) string {
 	itemExpr := "jvalue"
 	if items := v.Get("items"); items != nil {
-		itemExpr = c.expr(items, hint+"_item")
+		itemExpr = c.expr(items, hint+"_item", ptr+"/items")
 	} else {
 		c.need["jvalue"] = true
 	}
@@ -347,7 +424,7 @@ func (c *compiler) arrayExpr(v *Value, hint string) string {
 // order; optional properties may be skipped. Comma placement is handled with
 // paired first/rest rules: the "first" variant emits no leading separator,
 // the "rest" variant prefixes each member with ", ".
-func (c *compiler) objectExpr(v *Value, hint string) string {
+func (c *compiler) objectExpr(v *Value, hint, ptr string) string {
 	props := v.Get("properties")
 	required := map[string]bool{}
 	if req := v.Get("required"); req != nil {
@@ -368,7 +445,7 @@ func (c *compiler) objectExpr(v *Value, hint string) string {
 	if props != nil {
 		for i, key := range props.Keys {
 			kb, _ := json.Marshal(key)
-			valExpr := c.expr(props.Vals[i], hint+"_"+sanitize(key))
+			valExpr := c.expr(props.Vals[i], hint+"_"+sanitize(key), ptr+"/properties/"+pointerEscape(key))
 			member := fmt.Sprintf(`%s %s`, ebnfString(string(kb)+": "), valExpr)
 			plist = append(plist, prop{memberExpr: member, required: required[key]})
 		}
@@ -434,14 +511,25 @@ jhex ::= [0-9a-fA-F]
 jfrac ::= "." [0-9]+
 jexp ::= [eE] [-+]? [0-9]+
 `)
-		c.need["jinteger"] = false // jint is emitted below either way
-		src.WriteString("jint ::= \"0\" | [1-9] [0-9]*\n")
-		src.WriteString("jinteger ::= \"-\"? jint\n")
-		return
+		c.need["jint"] = true
+		c.need["jinteger"] = true
 	}
 	if c.need["jinteger"] {
-		src.WriteString("jinteger ::= \"-\"? jint\njint ::= \"0\" | [1-9] [0-9]*\n")
+		src.WriteString("jinteger ::= \"-\"? jint\n")
+		c.need["jint"] = true
 	}
+	if c.need["jint"] {
+		src.WriteString("jint ::= \"0\" | [1-9] [0-9]*\n")
+	}
+	if c.need["jposint"] {
+		src.WriteString("jposint ::= [1-9] [0-9]*\n")
+	}
+}
+
+// pointerEscape escapes a property name for a JSON-Pointer segment.
+func pointerEscape(s string) string {
+	s = strings.ReplaceAll(s, "~", "~0")
+	return strings.ReplaceAll(s, "/", "~1")
 }
 
 // ebnfString renders s as an EBNF string literal.

@@ -432,8 +432,203 @@ func TestPatternInObject(t *testing.T) {
 	}
 }
 
-func TestPatternWithLengthBoundsRejected(t *testing.T) {
-	if _, err := Compile([]byte(`{"type": "string", "pattern": "^a$", "minLength": 1}`), Options{}); err == nil {
-		t.Error("pattern+minLength compiled")
+// TestPatternWithLengthBounds covers the composable branch: edge-anchored
+// patterns whose length bounds intersect with minLength/maxLength.
+func TestPatternWithLengthBounds(t *testing.T) {
+	cases := []struct {
+		name   string
+		schema string
+		good   []string
+		bad    []string
+	}{
+		{
+			name:   "unbounded repeat capped by maxLength",
+			schema: `{"type": "string", "pattern": "^[a-z]+$", "minLength": 2, "maxLength": 4}`,
+			good:   []string{`"ab"`, `"abcd"`},
+			bad:    []string{`"a"`, `"abcde"`, `"AB"`, `""`},
+		},
+		{
+			name:   "bounded repeat narrowed from both sides",
+			schema: `{"type": "string", "pattern": "^[0-9]{2,6}$", "minLength": 3, "maxLength": 5}`,
+			good:   []string{`"123"`, `"12345"`},
+			bad:    []string{`"12"`, `"123456"`},
+		},
+		{
+			name:   "minLength only on a star",
+			schema: `{"type": "string", "pattern": "^[ab]*$", "minLength": 2}`,
+			good:   []string{`"ab"`, `"aabb"`},
+			bad:    []string{`""`, `"a"`, `"abc"`},
+		},
+		{
+			name:   "redundant window over a fixed-length pattern",
+			schema: `{"type": "string", "pattern": "^a(b|c)d$", "minLength": 1, "maxLength": 5}`,
+			good:   []string{`"abd"`, `"acd"`},
+			bad:    []string{`"ad"`, `"abcd"`},
+		},
+		{
+			name:   "redundant window with multi-rune atoms",
+			schema: `{"type": "string", "pattern": "^(foo|ba)[0-9]$", "maxLength": 8}`,
+			good:   []string{`"foo1"`, `"ba9"`},
+			bad:    []string{`"foo"`, `"quux1"`},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, d := range c.good {
+				if !accepts(t, c.schema, d, Options{}) {
+					t.Errorf("valid doc rejected: %s", d)
+				}
+			}
+			for _, d := range c.bad {
+				if accepts(t, c.schema, d, Options{}) {
+					t.Errorf("invalid doc accepted: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestPatternWithLengthBoundsDiagnosticPath covers the failing branch: the
+// combination must be rejected with an error naming the pointer path.
+func TestPatternWithLengthBoundsDiagnosticPath(t *testing.T) {
+	cases := []struct {
+		name    string
+		schema  string
+		wantPtr string
+	}{
+		{
+			name: "unanchored pattern",
+			schema: `{"type": "object", "properties": {
+				"sku": {"type": "string", "pattern": "[A-Z]+", "maxLength": 4}}, "required": ["sku"]}`,
+			wantPtr: "/properties/sku",
+		},
+		{
+			name: "multi-part body partially overlapping the window",
+			schema: `{"type": "object", "properties": {
+				"id": {"type": "string", "pattern": "^a+b$", "maxLength": 3}}, "required": ["id"]}`,
+			wantPtr: "/properties/id",
+		},
+		{
+			name: "disjoint lengths",
+			schema: `{"type": "object", "properties": {
+				"code": {"type": "string", "pattern": "^[a-z]{2}$", "minLength": 5}}, "required": ["code"]}`,
+			wantPtr: "/properties/code",
+		},
+		{
+			name:    "empty length window",
+			schema:  `{"type": "string", "pattern": "^[a-z]+$", "minLength": 4, "maxLength": 2}`,
+			wantPtr: "/",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile([]byte(c.schema), Options{})
+			if err == nil {
+				t.Fatal("expected a compile error")
+			}
+			if !strings.Contains(err.Error(), c.wantPtr) {
+				t.Fatalf("error %q does not name pointer path %q", err, c.wantPtr)
+			}
+		})
+	}
+}
+
+// TestSingleSidedIntegerBounds pins the sign enforcement of single-sided
+// minimum/maximum, which used to be dropped silently.
+func TestSingleSidedIntegerBounds(t *testing.T) {
+	cases := []struct {
+		name   string
+		schema string
+		good   []string
+		bad    []string
+	}{
+		{
+			name:   "minimum 0 forbids a leading minus",
+			schema: `{"type": "integer", "minimum": 0}`,
+			good:   []string{`0`, `7`, `12345`},
+			bad:    []string{`-1`, `-0`, `-12345`},
+		},
+		{
+			name:   "minimum 1 forbids zero and negatives",
+			schema: `{"type": "integer", "minimum": 1}`,
+			good:   []string{`1`, `42`},
+			bad:    []string{`0`, `-1`},
+		},
+		{
+			name:   "exclusiveMinimum -1 behaves like minimum 0",
+			schema: `{"type": "integer", "exclusiveMinimum": -1}`,
+			good:   []string{`0`, `3`},
+			bad:    []string{`-1`, `-2`},
+		},
+		{
+			name:   "maximum 0 forbids positives",
+			schema: `{"type": "integer", "maximum": 0}`,
+			good:   []string{`0`, `-1`, `-99`},
+			bad:    []string{`1`, `42`},
+		},
+		{
+			name:   "maximum -1 forbids zero and positives",
+			schema: `{"type": "integer", "maximum": -1}`,
+			good:   []string{`-1`, `-37`},
+			bad:    []string{`0`, `1`},
+		},
+		{
+			name:   "large minimum still enforces the sign",
+			schema: `{"type": "integer", "minimum": 5}`,
+			good:   []string{`5`, `6`, `100`},
+			bad:    []string{`0`, `-5`},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, d := range c.good {
+				if !accepts(t, c.schema, d, Options{}) {
+					t.Errorf("valid doc rejected: %s", d)
+				}
+			}
+			for _, d := range c.bad {
+				if accepts(t, c.schema, d, Options{}) {
+					t.Errorf("invalid doc accepted: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestCompileDiagnostics pins the compile-time diagnostics list: partially
+// enforced constraints are surfaced with their pointer path, and exact
+// compilations report nothing.
+func TestCompileDiagnostics(t *testing.T) {
+	schema := `{
+		"type": "object",
+		"properties": {
+			"count": {"type": "integer", "minimum": 5},
+			"delta": {"type": "integer", "maximum": -3},
+			"ratio": {"type": "number", "minimum": 0},
+			"exact": {"type": "integer", "minimum": 0},
+			"ranged": {"type": "integer", "minimum": 1, "maximum": 9}
+		},
+		"required": ["count", "delta", "ratio", "exact", "ranged"]
+	}`
+	_, diags, err := CompileFull([]byte(schema), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPtr := map[string]string{}
+	for _, d := range diags {
+		byPtr[d.Pointer] = d.Message
+	}
+	for _, want := range []string{"/properties/count", "/properties/delta", "/properties/ratio"} {
+		if _, ok := byPtr[want]; !ok {
+			t.Errorf("missing diagnostic for %s (got %v)", want, diags)
+		}
+	}
+	for _, exact := range []string{"/properties/exact", "/properties/ranged"} {
+		if msg, ok := byPtr[exact]; ok {
+			t.Errorf("unexpected diagnostic for exact constraint %s: %s", exact, msg)
+		}
+	}
+	if _, diags, err := CompileFull([]byte(`{"type": "integer", "minimum": 0, "maximum": 10}`), Options{}); err != nil || len(diags) != 0 {
+		t.Errorf("exact schema produced diags %v (err %v)", diags, err)
 	}
 }

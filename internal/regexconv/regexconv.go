@@ -1,12 +1,14 @@
 // Package regexconv converts a practical subset of regular-expression
 // syntax into grammar expressions, enabling JSON Schema "pattern" keywords
 // and regex-specified string fields. Supported: literals, '.', character
-// classes with ranges and negation, the escapes \d \D \w \W \s \S and
-// escaped metacharacters, groups (capturing and (?:...)), alternation,
-// and the quantifiers * + ? {m} {m,} {m,n} (greedy; laziness is irrelevant
-// for recognition). Anchors are honored at the pattern edges: JSON Schema
-// patterns are search-semantics, so an unanchored edge admits any prefix or
-// suffix.
+// classes with ranges and negation, the escapes \d \D \w \W \s \S, the
+// code-point escapes \xNN and \uXXXX (common in real-world JSON Schema
+// patterns, usable in atom position, inside character classes, and as
+// range endpoints) and escaped metacharacters, groups (capturing and
+// (?:...)), alternation, and the quantifiers * + ? {m} {m,} {m,n} (greedy;
+// laziness is irrelevant for recognition). Anchors are honored at the
+// pattern edges: JSON Schema patterns are search-semantics, so an
+// unanchored edge admits any prefix or suffix.
 package regexconv
 
 import (
@@ -16,38 +18,63 @@ import (
 	"xgrammar/internal/grammar"
 )
 
-// Convert translates pattern into a grammar expression matching exactly the
-// strings the pattern accepts under JSON-Schema (search) semantics.
-func Convert(pattern string) (grammar.Expr, error) {
+// Pattern is a parsed regex: the body expression plus which edges the
+// pattern anchored. Callers that need exact-length reasoning (the JSON
+// Schema compiler intersecting "pattern" with minLength/maxLength) consume
+// the parts; Convert assembles the search-semantics expression.
+type Pattern struct {
+	// Expr matches the pattern body (without the implicit .* a missing
+	// anchor admits).
+	Expr grammar.Expr
+	// AnchoredStart and AnchoredEnd report a leading ^ and trailing $.
+	AnchoredStart, AnchoredEnd bool
+}
+
+// Parse translates pattern into its body expression and anchoring.
+func Parse(pattern string) (Pattern, error) {
 	p := &parser{src: pattern}
-	anchoredStart := false
+	var out Pattern
 	if len(p.src) > 0 && p.src[0] == '^' {
-		anchoredStart = true
+		out.AnchoredStart = true
 		p.pos++
 	}
 	e, err := p.parseAlternation()
 	if err != nil {
-		return nil, err
+		return out, err
 	}
-	anchoredEnd := false
-	if p.trailingDollar {
-		anchoredEnd = true
-	}
+	out.AnchoredEnd = p.trailingDollar
 	if p.pos < len(p.src) {
-		return nil, fmt.Errorf("regexconv: unexpected %q at offset %d", p.src[p.pos], p.pos)
+		return out, fmt.Errorf("regexconv: unexpected %q at offset %d", p.src[p.pos], p.pos)
 	}
+	out.Expr = e
+	return out, nil
+}
+
+// Search assembles the search-semantics expression: the body with an
+// implicit any-string prefix/suffix for each unanchored edge.
+func (p Pattern) Search() grammar.Expr {
 	items := []grammar.Expr{}
-	if !anchoredStart {
+	if !p.AnchoredStart {
 		items = append(items, anyStar())
 	}
-	items = append(items, e)
-	if !anchoredEnd {
+	items = append(items, p.Expr)
+	if !p.AnchoredEnd {
 		items = append(items, anyStar())
 	}
 	if len(items) == 1 {
-		return items[0], nil
+		return items[0]
 	}
-	return &grammar.Seq{Items: items}, nil
+	return &grammar.Seq{Items: items}
+}
+
+// Convert translates pattern into a grammar expression matching exactly the
+// strings the pattern accepts under JSON-Schema (search) semantics.
+func Convert(pattern string) (grammar.Expr, error) {
+	parsed, err := Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return parsed.Search(), nil
 }
 
 // anyStar matches any sequence of characters (.*, with . including newlines
@@ -301,10 +328,57 @@ func (p *parser) parseEscapeAtom() (grammar.Expr, error) {
 		return &grammar.Literal{Bytes: []byte{'\t'}}, nil
 	case 'r':
 		return &grammar.Literal{Bytes: []byte{'\r'}}, nil
+	case 'x', 'u':
+		r, err := p.hexRune(b)
+		if err != nil {
+			return nil, err
+		}
+		var buf [4]byte
+		n := utf8.EncodeRune(buf[:], r)
+		return &grammar.Literal{Bytes: append([]byte(nil), buf[:n]...)}, nil
 	case '.', '\\', '+', '*', '?', '(', ')', '[', ']', '{', '}', '|', '^', '$', '-', '/':
 		return &grammar.Literal{Bytes: []byte{b}}, nil
 	}
 	return nil, p.errf("unsupported escape \\%c", b)
+}
+
+// hexRune parses the digits of a code-point escape after its introducer:
+// exactly two hex digits for \xNN, four for \uXXXX. The introducer has
+// already been consumed. Lone surrogates are rejected — they have no UTF-8
+// encoding, so a byte-level automaton cannot match them.
+func (p *parser) hexRune(kind byte) (rune, error) {
+	n := 2
+	if kind == 'u' {
+		n = 4
+	}
+	if p.pos+n > len(p.src) {
+		return 0, p.errf("truncated \\%c escape (need %d hex digits)", kind, n)
+	}
+	var v rune
+	for i := 0; i < n; i++ {
+		d := hexVal(p.src[p.pos+i])
+		if d < 0 {
+			return 0, p.errf("invalid hex digit %q in \\%c escape", p.src[p.pos+i], kind)
+		}
+		v = v<<4 | rune(d)
+	}
+	p.pos += n
+	if v >= 0xD800 && v <= 0xDFFF {
+		return 0, p.errf("\\%c escape %04X is a lone surrogate with no UTF-8 encoding", kind, v)
+	}
+	return v, nil
+}
+
+func hexVal(b byte) int {
+	switch {
+	case b >= '0' && b <= '9':
+		return int(b - '0')
+	case b >= 'a' && b <= 'f':
+		return int(b-'a') + 10
+	case b >= 'A' && b <= 'F':
+		return int(b-'A') + 10
+	}
+	return -1
 }
 
 // parseClass parses a bracket character class.
@@ -383,6 +457,12 @@ func (p *parser) classRune() (rune, bool, []grammar.RuneRange, error) {
 			return '\t', false, nil, nil
 		case 'r':
 			return '\r', false, nil, nil
+		case 'x', 'u':
+			r, err := p.hexRune(e)
+			if err != nil {
+				return 0, false, nil, err
+			}
+			return r, false, nil, nil
 		case '\\', ']', '[', '^', '-', '.', '+', '*', '?', '(', ')', '{', '}', '|', '$', '/':
 			return rune(e), false, nil, nil
 		}

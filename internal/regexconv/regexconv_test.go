@@ -133,3 +133,90 @@ func TestBraceLiteralWhenNotQuantifier(t *testing.T) {
 		t.Fatal("literal braces rejected")
 	}
 }
+
+func TestHexEscapes(t *testing.T) {
+	cases := []struct {
+		pattern string
+		good    []string
+		bad     []string
+	}{
+		// \xNN in atom position (ASCII and Latin-1 → 2-byte UTF-8).
+		{`^\x41\x42$`, []string{"AB"}, []string{"ab", "A"}},
+		{`^\x2e$`, []string{"."}, []string{"x", ".."}},
+		{`^\xe9$`, []string{"é"}, []string{"e", "è"}},
+		// \uXXXX in atom position across UTF-8 widths (1, 2, 3 bytes).
+		{`^\u0041$`, []string{"A"}, []string{"B"}},
+		{`^\u00e9+$`, []string{"é", "éé"}, []string{"", "e"}},
+		{`^\u4e2d\u6587$`, []string{"中文"}, []string{"中", "文中"}},
+		// Inside character classes, as members and as range endpoints.
+		{`^[\x41-\x43]+$`, []string{"A", "ABC", "CAB"}, []string{"D", "a"}},
+		{`^[\u00e9]$`, []string{"é"}, []string{"e"}},
+		{`^[\u00e0-\u00ff]+$`, []string{"àÿ", "é"}, []string{"a", ""}},
+		{`^[\x30-9]{2}$`, []string{"07", "99"}, []string{"0", "0a"}},
+		// Negated class with a code-point escape member.
+		{`^[^\u0041]$`, []string{"B", "é"}, []string{"A"}},
+	}
+	for _, c := range cases {
+		p := build(t, c.pattern)
+		for _, s := range c.good {
+			if !accepts(p, s) {
+				t.Errorf("pattern %q: rejected %q", c.pattern, s)
+			}
+		}
+		for _, s := range c.bad {
+			if accepts(p, s) {
+				t.Errorf("pattern %q: accepted %q", c.pattern, s)
+			}
+		}
+	}
+}
+
+// TestHexEscapesUTF8Encoding pins the byte-level encoding: a \uXXXX escape
+// must match the UTF-8 bytes of the code point, never the raw code-point
+// value bytes.
+func TestHexEscapesUTF8Encoding(t *testing.T) {
+	p := build(t, `^\u00e9$`)
+	if !accepts(p, string([]byte{0xc3, 0xa9})) {
+		t.Fatal("UTF-8 encoding of U+00E9 rejected")
+	}
+	if accepts(p, string([]byte{0xe9})) {
+		t.Fatal("raw Latin-1 byte accepted; escapes must be UTF-8 encoded")
+	}
+}
+
+func TestHexEscapeErrors(t *testing.T) {
+	for _, pat := range []string{
+		`\x4`,         // truncated \xNN
+		`\u123`,       // truncated \uXXXX
+		`\xzz`,        // bad hex digit
+		`\u12g4`,      // bad hex digit
+		`\ud800`,      // lone surrogate
+		`[\udfff]`,    // lone surrogate in class
+		`[\x61-\x5a]`, // range out of order after escape resolution
+	} {
+		if _, err := Convert(pat); err == nil {
+			t.Errorf("pattern %q: expected error", pat)
+		}
+	}
+}
+
+// TestHexEscapeOracle cross-checks hex-escape patterns against stdlib regexp.
+func TestHexEscapeOracle(t *testing.T) {
+	patterns := []string{
+		`^\x41+$`,
+		`^[\x30-\x39]+$`,
+		`^\x41\x42*$`,
+		`^[a-z]{2,3}$`,
+	}
+	probes := []string{"", "A", "AA", "AB", "ABB", "0", "09", "a", "ab", "abc", "abcd", "Z"}
+	for _, pat := range patterns {
+		re := regexp.MustCompile(pat)
+		p := build(t, pat)
+		for _, s := range probes {
+			want := re.MatchString(s)
+			if got := accepts(p, s); got != want {
+				t.Errorf("pattern %q on %q: got %v, oracle %v", pat, s, got, want)
+			}
+		}
+	}
+}

@@ -221,6 +221,19 @@ func (s *Session) AcceptString(text string) error {
 	return nil
 }
 
+// AcceptBytes is AcceptString without the string conversion — the
+// allocation-free variant for byte-stream drivers (structural-tag dispatch).
+func (s *Session) AcceptBytes(b []byte) error {
+	if s.terminated {
+		return fmt.Errorf("serve: session already terminated")
+	}
+	if !s.m.Advance(b) {
+		return fmt.Errorf("serve: bytes %q violate grammar", b)
+	}
+	s.dirty = true
+	return nil
+}
+
 // JumpForward returns the deterministic continuation of the current state,
 // or "" when the next byte is ambiguous.
 func (s *Session) JumpForward() string {
@@ -228,6 +241,16 @@ func (s *Session) JumpForward() string {
 		return ""
 	}
 	return s.m.JumpForward()
+}
+
+// JumpForwardAppend appends the deterministic continuation to dst and
+// returns it — the allocation-free variant of JumpForward for fused decode
+// steps (callers pass a reused buffer).
+func (s *Session) JumpForwardAppend(dst []byte) []byte {
+	if s.terminated {
+		return dst[:0]
+	}
+	return s.m.JumpForwardAppend(dst)
 }
 
 // Rollback undoes the last n Accept/AcceptString calls. Like the matcher's

@@ -49,15 +49,37 @@ type genSeq struct {
 
 	// draftK > 0 enables speculative draft-verify decoding with that
 	// window; the batcher zeroes it when the session's rollback history
-	// cannot retract a window (permanent per-sequence fallback). The fill
-	// and verdict closures are built once at submit so the steady-state
-	// round allocates nothing per step.
+	// cannot retract a window (permanent per-sequence fallback). The fill,
+	// propose, and verdict closures are built once at submit so the
+	// steady-state round allocates nothing per step.
 	draftK  int
 	specW   spec.Window
 	fill    func()
+	propose spec.Proposer
 	verdict spec.Sampler
 
+	// Structural-tag state. Free-text rounds always decode plainly (the
+	// trigger-injection RNG draw must align between plain and speculative
+	// runs); speculation applies inside tag segments, where the grammar
+	// makes greedy drafts worth verifying. specPhase records, per draft
+	// window position, whether the session had left the segment (the
+	// verdict sampler declines those positions so the RNG stream stays
+	// aligned with a plain decode); specFreeDecline marks a round whose
+	// missing bonus is a phase exit, not an exhausted budget.
+	isTag           bool
+	begins          []string
+	lastInTag       bool
+	segments        int
+	specPhase       []bool
+	specFreeDecline bool
+
 	allowed []int32 // sampling scratch
+}
+
+// inTag reports whether the session is inside a constrained tag segment.
+func (q *genSeq) inTag() bool {
+	_, ok := q.sess.InTag()
+	return ok
 }
 
 // batcher drives the continuous-batching decode loop: requests join the
@@ -67,6 +89,7 @@ type genSeq struct {
 // jump-forward continuations, and retires finished sequences.
 type batcher struct {
 	eng      *xgrammar.Engine
+	tok      *xgrammar.TokenizerInfo
 	eos      int32
 	gpuStep  time.Duration
 	join     chan *genSeq
@@ -82,6 +105,15 @@ type batcher struct {
 	rounds    atomic.Int64
 	peakBatch atomic.Int64
 	liveNow   atomic.Int64
+
+	// Structural-tag gauges: per-phase token counts, segment transitions,
+	// and forced trigger bytes.
+	tagRequests  atomic.Int64
+	segsOpened   atomic.Int64
+	segsClosed   atomic.Int64
+	freeTokens   atomic.Int64
+	tagTokens    atomic.Int64
+	triggerBytes atomic.Int64
 
 	// Speculative-decoding gauges: draft tokens proposed by the draft
 	// model, speculatively accepted by the grammar, confirmed by the
@@ -104,6 +136,7 @@ const maxFillSamples = 4096
 func newBatcher(eng *xgrammar.Engine, eos int32, gpuStep time.Duration) *batcher {
 	b := &batcher{
 		eng:     eng,
+		tok:     eng.Compiler().TokenizerInfo(),
 		eos:     eos,
 		gpuStep: gpuStep,
 		join:    make(chan *genSeq),
@@ -127,7 +160,13 @@ func (b *batcher) close() {
 func (b *batcher) submit(q *genSeq) bool {
 	if q.draftK > 0 {
 		q.fill = func() { q.sess.Fill() }
-		q.verdict = b.verdictSampler(q)
+		if q.isTag {
+			q.propose = b.tagProposer(q)
+			q.verdict = b.tagVerdictSampler(q)
+		} else {
+			q.propose = b.greedy
+			q.verdict = b.verdictSampler(q)
+		}
 	}
 	select {
 	case b.join <- q:
@@ -229,9 +268,12 @@ func (b *batcher) loop() {
 
 // stepSeq advances one sequence by a decode round: a speculative
 // draft-verify window when enabled, a single sampled token otherwise.
+// Structural-tag sequences speculate only inside tag segments — free-text
+// rounds always decode plainly so the trigger-injection RNG draws align
+// between plain and speculative runs of the same seed.
 // done=true means the generation ended with the given finish reason.
 func (b *batcher) stepSeq(q *genSeq) (done bool, reason string) {
-	if q.draftK > 0 {
+	if q.draftK > 0 && (!q.isTag || q.inTag()) {
 		if done, reason, ok := b.specRound(q); ok {
 			return done, reason
 		}
@@ -243,7 +285,24 @@ func (b *batcher) stepSeq(q *genSeq) (done bool, reason string) {
 }
 
 // plainRound samples and commits one token (plus jump-forward insertion).
+// For structural-tag sequences in free text it first lets the simulated
+// model decide to open a tool call: with probability 1/6 a begin tag is
+// forced into the stream (arming the tag's sub-grammar), mirroring an
+// instruction-tuned model electing to call a tool.
 func (b *batcher) plainRound(q *genSeq) (done bool, reason string) {
+	if q.isTag && !q.inTag() && q.remaining > 0 && q.rng.Intn(6) == 0 {
+		idx := 0
+		if len(q.begins) > 1 {
+			idx = q.rng.Intn(len(q.begins))
+		}
+		if err := q.sess.AcceptString(q.begins[idx]); err == nil {
+			b.emitTrigger(q, q.begins[idx])
+			b.trackPhase(q)
+			b.insertJumpForward(q)
+			q.sess.Fill()
+		}
+	}
+	wasTag := q.inTag()
 	id, ok := q.pickFrom(q.sess.Mask(), b.eos)
 	if !ok {
 		// Budget exhausted before the grammar could complete (or a stuck
@@ -258,8 +317,9 @@ func (b *batcher) plainRound(q *genSeq) (done bool, reason string) {
 		return true, FinishStop
 	}
 	q.remaining--
-	b.emitToken(q, id)
+	b.emitTokenPhase(q, id, wasTag)
 	b.insertJumpForward(q)
+	b.trackPhase(q)
 	return false, ""
 }
 
@@ -274,7 +334,9 @@ func (b *batcher) plainRound(q *genSeq) (done bool, reason string) {
 // rounds shrinks. ok=false reports the window exceeded the session's
 // rollback history: draftK is zeroed and nothing was committed.
 func (b *batcher) specRound(q *genSeq) (done bool, reason string, ok bool) {
-	res, err := spec.Step(q.sess, q.fill, b.greedy, q.verdict, &q.specW,
+	q.specPhase = q.specPhase[:0]
+	q.specFreeDecline = false
+	res, err := spec.Step(q.sess, q.fill, q.propose, q.verdict, &q.specW,
 		spec.Options{MaxDraft: q.draftK, EOS: b.eos, JumpForward: true})
 	if err != nil {
 		if errors.Is(err, spec.ErrWindowExceeded) {
@@ -288,20 +350,29 @@ func (b *batcher) specRound(q *genSeq) (done bool, reason string, ok bool) {
 	b.specProposed.Add(int64(res.Proposed))
 	b.specDrafted.Add(int64(res.Drafted))
 	b.specAccepted.Add(int64(res.Accepted))
+	inTag := q.isTag // tag sequences only reach specRound inside a segment
 	for j := 0; j < res.Accepted; j++ {
-		b.emitToken(q, q.specW.DraftAt(j))
+		b.emitTokenPhase(q, q.specW.DraftAt(j), inTag)
 		if jf := q.specW.JumpForwardAt(j); jf != "" {
 			b.emitJumpForward(q, jf)
 		}
 	}
 	if !res.HasBonus {
+		if q.specFreeDecline {
+			// The window ran into the segment end: the committed prefix
+			// closed the segment and the next round decodes free text
+			// plainly — this is a phase boundary, not an exhausted budget.
+			b.trackPhase(q)
+			return false, "", true
+		}
 		return true, FinishLength, true
 	}
 	if res.Terminated {
 		return true, FinishStop, true
 	}
-	b.emitToken(q, res.Bonus)
+	b.emitTokenPhase(q, res.Bonus, inTag)
 	b.insertJumpForward(q)
+	b.trackPhase(q)
 	return false, "", true
 }
 
@@ -312,7 +383,88 @@ func (b *batcher) specRound(q *genSeq) (done bool, reason string, ok bool) {
 func (b *batcher) emitToken(q *genSeq, id int32) {
 	q.tokens++
 	b.tokens.Add(1)
-	q.emit(string(q.sess.Grammar().TokenizerInfo().TokenBytes(id)))
+	q.emit(string(b.tok.TokenBytes(id)))
+}
+
+// emitTokenPhase is emitToken plus per-phase accounting for structural-tag
+// sequences: inTag reports the phase the token was sampled in.
+func (b *batcher) emitTokenPhase(q *genSeq, id int32, inTag bool) {
+	b.emitToken(q, id)
+	if q.isTag {
+		if inTag {
+			b.tagTokens.Add(1)
+		} else {
+			b.freeTokens.Add(1)
+		}
+	}
+}
+
+// emitTrigger streams a forced begin tag (the simulated model deciding to
+// open a tool call); like jump-forward bytes it costs no decode round and
+// no token budget.
+func (b *batcher) emitTrigger(q *genSeq, begin string) {
+	b.triggerBytes.Add(int64(len(begin)))
+	q.emit(begin)
+}
+
+// trackPhase updates segment open/close gauges when a structural-tag
+// sequence crossed a mode boundary since the last check.
+func (b *batcher) trackPhase(q *genSeq) {
+	if !q.isTag {
+		return
+	}
+	cur := q.inTag()
+	if cur == q.lastInTag {
+		return
+	}
+	if cur {
+		b.segsOpened.Add(1)
+	} else {
+		b.segsClosed.Add(1)
+		q.segments++
+	}
+	q.lastInTag = cur
+}
+
+// tagProposer drafts greedily while the session stays inside its tag
+// segment, recording each window position's phase; the first free-text
+// position stops the draft (free text is never worth speculating — and
+// must decode plainly so the trigger-injection RNG stays aligned).
+func (b *batcher) tagProposer(q *genSeq) spec.Proposer {
+	return func(pos int, mask []uint64) (int32, bool) {
+		free := !q.inTag()
+		q.specPhase = append(q.specPhase, free)
+		if free {
+			q.specFreeDecline = true
+			return 0, false
+		}
+		return b.greedy(pos, mask)
+	}
+}
+
+// tagVerdictSampler is the verdict sampler for structural-tag sequences:
+// positions the draft reached after leaving the segment are declined (the
+// plain decode would handle them in later free-text rounds, with the
+// injection draw first), everything else samples exactly like a plain
+// decode round.
+func (b *batcher) tagVerdictSampler(q *genSeq) spec.Sampler {
+	return func(pos int, mask []uint64) (int32, bool) {
+		if pos < len(q.specPhase) && q.specPhase[pos] {
+			q.specFreeDecline = true
+			return 0, false
+		}
+		if pos >= len(q.specPhase) && !q.inTag() {
+			// Bonus position past a full window whose last draft closed the
+			// segment: the live session sits in free text.
+			q.specFreeDecline = true
+			return 0, false
+		}
+		id, ok := q.pickFrom(mask, b.eos)
+		if ok && id != b.eos {
+			q.remaining--
+		}
+		return id, ok
+	}
 }
 
 // emitJumpForward streams an already-inserted forced continuation.
@@ -421,6 +573,18 @@ func (b *batcher) specMetrics() SpeculativeMetrics {
 		m.AcceptanceRate = float64(m.AcceptedTokens) / float64(m.ProposedTokens)
 	}
 	return m
+}
+
+// tagMetrics snapshots the structural-tag gauges.
+func (b *batcher) tagMetrics() StructuralTagMetrics {
+	return StructuralTagMetrics{
+		Requests:       b.tagRequests.Load(),
+		SegmentsOpened: b.segsOpened.Load(),
+		SegmentsClosed: b.segsClosed.Load(),
+		FreeTokens:     b.freeTokens.Load(),
+		TagTokens:      b.tagTokens.Load(),
+		TriggerBytes:   b.triggerBytes.Load(),
+	}
 }
 
 // recordFill appends one round's batch-fill wall time to the bounded ring.

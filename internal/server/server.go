@@ -21,12 +21,14 @@
 package server
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -66,7 +68,24 @@ type Server struct {
 	inflight atomic.Int64
 	requests atomic.Int64
 	rejected atomic.Int64
+
+	// specs remembers the grammar spec behind every ID this process has
+	// compiled, so structural tags can reference registered grammars by ID
+	// (the compiled blob alone cannot be re-composed with an end tag).
+	specs sync.Map // id -> xgrammar.GrammarSpec
+
+	// tagSets memoizes compiled structural-tag dispatchers per request
+	// shape, so repeated tool-calling requests share dispatcher session
+	// pools (the per-tag segment grammars are additionally cached in the
+	// compiled-grammar LRU).
+	tagMu   sync.Mutex
+	tagSets map[string]*xgrammar.CompiledTagSet
 }
+
+// maxTagSets bounds the tag-set memo; beyond it the memo is reset (the
+// per-tag grammars stay warm in the compiled-grammar LRU, so a reset only
+// costs trie rebuilds).
+const maxTagSets = 256
 
 // New returns a gateway over the engine.
 func New(cfg Config) *Server {
@@ -81,12 +100,13 @@ func New(cfg Config) *Server {
 	}
 	comp := cfg.Engine.Compiler()
 	s := &Server{
-		cfg:   cfg,
-		eng:   cfg.Engine,
-		comp:  comp,
-		b:     newBatcher(cfg.Engine, comp.TokenizerInfo().EOSTokenID(), cfg.GPUStep),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:     cfg,
+		eng:     cfg.Engine,
+		comp:    comp,
+		b:       newBatcher(cfg.Engine, comp.TokenizerInfo().EOSTokenID(), cfg.GPUStep),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		tagSets: map[string]*xgrammar.CompiledTagSet{},
 	}
 	s.mux.HandleFunc("POST /v1/grammars", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/grammars/{id}", s.handleGetGrammar)
@@ -128,11 +148,19 @@ type GrammarResponse struct {
 	PDANodes  int    `json:"pda_nodes"`
 	PDAEdges  int    `json:"pda_edges"`
 	MaskCache bool   `json:"mask_cache"`
+	// Diagnostics lists JSON Schema constraints the grammar enforces only
+	// partially (single-sided bounds beyond their sign, number bounds); the
+	// grammar is still a sound over-approximation. Empty for exact grammars
+	// and for grammars loaded from the disk store.
+	Diagnostics []string `json:"diagnostics,omitempty"`
 }
 
 func grammarResponse(id string, cg *xgrammar.CompiledGrammar) GrammarResponse {
 	st := cg.Stats()
-	return GrammarResponse{ID: id, PDANodes: st.PDANodes, PDAEdges: st.PDAEdges, MaskCache: st.HasMaskCache}
+	return GrammarResponse{
+		ID: id, PDANodes: st.PDANodes, PDAEdges: st.PDAEdges, MaskCache: st.HasMaskCache,
+		Diagnostics: cg.SchemaDiagnostics(),
+	}
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -160,6 +188,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "compile: %v", err)
 		return
 	}
+	s.specs.Store(id, spec)
 	writeJSON(w, http.StatusOK, grammarResponse(id, cg))
 }
 
@@ -179,6 +208,15 @@ func (s *Server) handleGetGrammar(w http.ResponseWriter, r *http.Request) {
 type GenerateRequest struct {
 	GrammarID string `json:"grammar_id,omitempty"`
 	GrammarRequest
+	// StructuralTags switches the generation to structural-tag dispatch:
+	// free text decodes unconstrained while each tag's begin string arms a
+	// compiled sub-grammar that is enforced until its end string. Exclusive
+	// with the whole-completion grammar fields above.
+	StructuralTags []StructuralTagRequest `json:"structural_tags,omitempty"`
+	// Tools is the OpenAI-style convenience form: each function tool
+	// becomes a structural tag <tool_call name="NAME">…</tool_call> whose
+	// content is constrained by the tool's parameter schema.
+	Tools []ToolRequest `json:"tools,omitempty"`
 	// Prefix primes the generation with already-decoded output (it must be a
 	// valid prefix under the grammar).
 	Prefix string `json:"prefix,omitempty"`
@@ -208,14 +246,52 @@ type SpeculativeParams struct {
 // with jump-forward must fit the default 64-step rollback history).
 const maxDraftTokens = 16
 
+// StructuralTagRequest is one trigger of a structural-tag generation. The
+// segment content grammar comes either inline as a JSON Schema or by
+// reference to a registered grammar ID.
+type StructuralTagRequest struct {
+	// Begin is the literal trigger text (e.g. "<tool_call>").
+	Begin string `json:"begin"`
+	// End closes the segment (e.g. "</tool_call>").
+	End string `json:"end"`
+	// Schema is the inline JSON Schema constraining the segment content.
+	Schema json.RawMessage `json:"schema,omitempty"`
+	// GrammarID references a grammar registered via POST /v1/grammars in
+	// this process instead of an inline schema. (IDs loaded only from the
+	// disk store cannot be used here: composing the end tag needs the
+	// source, which blobs do not carry — re-register the grammar first.)
+	GrammarID string `json:"grammar_id,omitempty"`
+	// AllowAdditionalProperties relaxes inline-schema object matching.
+	AllowAdditionalProperties bool `json:"allow_additional_properties,omitempty"`
+}
+
+// ToolRequest is an OpenAI-style tool declaration.
+type ToolRequest struct {
+	// Type must be "function" (or empty, which means function).
+	Type     string       `json:"type,omitempty"`
+	Function ToolFunction `json:"function"`
+}
+
+// ToolFunction describes one callable function.
+type ToolFunction struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Parameters is the JSON Schema of the arguments object; empty means
+	// any JSON object.
+	Parameters json.RawMessage `json:"parameters,omitempty"`
+}
+
 // GenerateResponse is the non-streaming response (and the final SSE event).
 type GenerateResponse struct {
-	GrammarID        string `json:"grammar_id"`
+	GrammarID        string `json:"grammar_id,omitempty"`
 	Text             string `json:"text"`
 	Tokens           int    `json:"tokens"`
 	JumpForwardBytes int    `json:"jump_forward_bytes"`
-	FinishReason     string `json:"finish_reason"`
-	Done             bool   `json:"done"`
+	// Segments counts completed structural-tag segments (tool calls) in a
+	// structural-tag generation.
+	Segments     int    `json:"segments,omitempty"`
+	FinishReason string `json:"finish_reason"`
+	Done         bool   `json:"done"`
 }
 
 // StreamChunk is one SSE data event carrying generated text.
@@ -242,18 +318,34 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.inflight.Add(-1)
 
-	// Resolve the grammar. By-ID never compiles; inline specs go through
-	// the compile cache and store.
+	// Resolve the grammar or structural-tag set. By-ID never compiles;
+	// inline specs and per-tag segment grammars go through the compile
+	// cache and store.
 	var cg *xgrammar.CompiledGrammar
+	var tagSet *xgrammar.CompiledTagSet
 	var id string
-	if req.GrammarID != "" {
+	hasTags := len(req.StructuralTags) > 0 || len(req.Tools) > 0
+	switch {
+	case hasTags:
+		if req.GrammarID != "" || req.Kind != "" || req.Source != "" {
+			httpError(w, http.StatusBadRequest, "structural_tags/tools and whole-completion grammar fields are exclusive")
+			return
+		}
+		var code int
+		var err error
+		if tagSet, code, err = s.resolveTagSet(&req); err != nil {
+			httpError(w, code, "%v", err)
+			return
+		}
+		s.b.tagRequests.Add(1)
+	case req.GrammarID != "":
 		var ok bool
 		if cg, ok = s.comp.GrammarByID(req.GrammarID); !ok {
 			httpError(w, http.StatusNotFound, "unknown grammar %q (register it via POST /v1/grammars)", req.GrammarID)
 			return
 		}
 		id = req.GrammarID
-	} else {
+	default:
 		spec := req.spec()
 		var err error
 		if id, err = s.comp.SpecID(spec); err != nil {
@@ -275,21 +367,41 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		seed = time.Now().UnixNano() ^ s.seedCtr.Add(1)<<32
 	}
 
-	sess := s.eng.OpenSession(cg)
+	var sess *xgrammar.Session
+	if tagSet != nil {
+		sess = s.eng.OpenTagSession(tagSet)
+	} else {
+		sess = s.eng.OpenSession(cg)
+	}
 	if req.Prefix != "" {
 		if err := sess.AcceptString(req.Prefix); err != nil {
 			sess.Close()
 			httpError(w, http.StatusBadRequest, "prefix: %v", err)
 			return
 		}
+		sess.Fill()
+	}
+	// Chunk capacity covers the worst case per committed token: the sampled
+	// chunk plus a jump-forward chunk, and for structural-tag sequences a
+	// trigger injection plus its jump-forward on the same round.
+	chunkCap := 2*maxTokens + 4
+	if tagSet != nil {
+		chunkCap = 4*maxTokens + 4
 	}
 	q := &genSeq{
 		ctx:       r.Context(),
 		sess:      sess,
 		rng:       rand.New(rand.NewSource(seed)),
 		remaining: maxTokens,
-		chunks:    make(chan string, 2*maxTokens+4),
+		chunks:    make(chan string, chunkCap),
 		done:      make(chan struct{}),
+	}
+	if tagSet != nil {
+		q.isTag = true
+		_, q.lastInTag = sess.InTag()
+		for _, t := range tagSet.Tags() {
+			q.begins = append(q.begins, t.Begin)
+		}
 	}
 	if req.Speculative != nil {
 		k := req.Speculative.DraftTokens
@@ -323,9 +435,93 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		Text:             sb.String(),
 		Tokens:           q.tokens,
 		JumpForwardBytes: q.jfBytes,
+		Segments:         q.segments,
 		FinishReason:     q.finishReason,
 		Done:             true,
 	})
+}
+
+// resolveTagSet builds (or memo-resolves) the compiled structural-tag set
+// for a generate request, merging explicit structural_tags with the
+// OpenAI-style tools convenience form. The returned code is the HTTP status
+// to use on error.
+func (s *Server) resolveTagSet(req *GenerateRequest) (*xgrammar.CompiledTagSet, int, error) {
+	var tags xgrammar.StructuralTags
+	for i, tr := range req.StructuralTags {
+		if tr.Begin == "" || tr.End == "" {
+			return nil, http.StatusBadRequest, fmt.Errorf("structural_tags[%d]: begin and end are required", i)
+		}
+		var spec xgrammar.GrammarSpec
+		switch {
+		case tr.GrammarID != "" && len(tr.Schema) > 0:
+			return nil, http.StatusBadRequest, fmt.Errorf("structural_tags[%d]: schema and grammar_id are exclusive", i)
+		case tr.GrammarID != "":
+			v, ok := s.specs.Load(tr.GrammarID)
+			if !ok {
+				return nil, http.StatusNotFound, fmt.Errorf(
+					"structural_tags[%d]: unknown grammar %q (register it via POST /v1/grammars first; store-only IDs cannot be composed with an end tag)", i, tr.GrammarID)
+			}
+			spec = v.(xgrammar.GrammarSpec)
+		case len(tr.Schema) > 0:
+			spec = xgrammar.GrammarSpec{
+				Kind:   xgrammar.KindJSONSchema,
+				Source: string(tr.Schema),
+				Schema: xgrammar.SchemaOptions{AllowAdditionalProperties: tr.AllowAdditionalProperties},
+			}
+		default:
+			return nil, http.StatusBadRequest, fmt.Errorf("structural_tags[%d]: schema or grammar_id is required", i)
+		}
+		tags = append(tags, xgrammar.StructuralTag{Begin: tr.Begin, Grammar: spec, End: tr.End})
+	}
+	for i, tool := range req.Tools {
+		if tool.Type != "" && tool.Type != "function" {
+			return nil, http.StatusBadRequest, fmt.Errorf("tools[%d]: unsupported tool type %q", i, tool.Type)
+		}
+		if tool.Function.Name == "" {
+			return nil, http.StatusBadRequest, fmt.Errorf("tools[%d]: function name is required", i)
+		}
+		params := tool.Function.Parameters
+		if len(params) == 0 {
+			params = json.RawMessage(`{"type": "object"}`)
+		}
+		tags = append(tags, xgrammar.StructuralTag{
+			Begin:   fmt.Sprintf("<tool_call name=%q>", tool.Function.Name),
+			Grammar: xgrammar.GrammarSpec{Kind: xgrammar.KindJSONSchema, Source: string(params)},
+			End:     "</tool_call>",
+		})
+	}
+
+	// Memo key: the content-addressed identity of every tag.
+	h := sha256.New()
+	for _, t := range tags {
+		tid, err := s.comp.SpecID(t.Grammar)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		fmt.Fprintf(h, "%q|%q|%s|", t.Begin, t.End, tid)
+	}
+	key := string(h.Sum(nil))
+	s.tagMu.Lock()
+	ts, ok := s.tagSets[key]
+	s.tagMu.Unlock()
+	if ok {
+		return ts, 0, nil
+	}
+	ts, err := s.comp.CompileStructuralTags(tags)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	s.tagMu.Lock()
+	if prev, ok := s.tagSets[key]; ok {
+		ts = prev // another request won the compile race; share its pools
+	} else {
+		if len(s.tagSets) >= maxTagSets {
+			s.tagSets = map[string]*xgrammar.CompiledTagSet{}
+		}
+		s.tagSets[key] = ts
+	}
+	s.tagMu.Unlock()
+	return ts, 0, nil
 }
 
 // streamResponse writes the generation as server-sent events: one data
@@ -354,6 +550,7 @@ func (s *Server) streamResponse(w http.ResponseWriter, q *genSeq, id, prefix str
 		GrammarID:        id,
 		Tokens:           q.tokens,
 		JumpForwardBytes: q.jfBytes,
+		Segments:         q.segments,
 		FinishReason:     q.finishReason,
 		Done:             true,
 	})
@@ -387,9 +584,23 @@ type Metrics struct {
 	FillP50US        float64 `json:"fill_p50_us"`
 	FillP99US        float64 `json:"fill_p99_us"`
 
-	Speculative  SpeculativeMetrics  `json:"speculative"`
-	CompileCache CompileCacheMetrics `json:"compile_cache"`
-	Store        StoreMetrics        `json:"store"`
+	Speculative    SpeculativeMetrics   `json:"speculative"`
+	StructuralTags StructuralTagMetrics `json:"structural_tags"`
+	CompileCache   CompileCacheMetrics  `json:"compile_cache"`
+	Store          StoreMetrics         `json:"store"`
+}
+
+// StructuralTagMetrics aggregates structural-tag (tool-calling) activity
+// per phase: tokens decoded in free text versus inside constrained tag
+// segments, segments opened and closed, and the forced trigger bytes the
+// simulated model spent opening tool calls.
+type StructuralTagMetrics struct {
+	Requests       int64 `json:"requests"`
+	SegmentsOpened int64 `json:"segments_opened"`
+	SegmentsClosed int64 `json:"segments_closed"`
+	FreeTokens     int64 `json:"free_tokens"`
+	TagTokens      int64 `json:"tag_tokens"`
+	TriggerBytes   int64 `json:"trigger_bytes"`
 }
 
 // SpeculativeMetrics aggregates draft-verify decoding activity: how many
@@ -454,6 +665,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		FillP50US:        float64(p50.Nanoseconds()) / 1e3,
 		FillP99US:        float64(p99.Nanoseconds()) / 1e3,
 		Speculative:      s.b.specMetrics(),
+		StructuralTags:   s.b.tagMetrics(),
 		CompileCache: CompileCacheMetrics{
 			Hits:      cc.Hits,
 			Misses:    cc.Misses,

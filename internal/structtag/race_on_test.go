@@ -1,0 +1,7 @@
+//go:build race
+
+package structtag_test
+
+// raceEnabled reports whether the race detector is active (its
+// instrumentation allocates, which would break allocation assertions).
+const raceEnabled = true

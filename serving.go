@@ -4,6 +4,7 @@ import (
 	"xgrammar/internal/maskcache"
 	"xgrammar/internal/serve"
 	"xgrammar/internal/spec"
+	"xgrammar/internal/structtag"
 )
 
 // Engine is the continuous-batching serving runtime (§3.5): it resolves
@@ -117,6 +118,29 @@ func (e *Engine) OpenJSONSchemaSession(schema []byte, o SchemaOptions) (*Session
 	return e.OpenSession(cg), nil
 }
 
+// OpenTagSession starts a structural-tag generation: the session begins in
+// free-text mode (every regular token allowed) and dispatches into the tag
+// set's compiled segment grammars as begin tags appear in the decoded
+// stream. Dispatcher state and segment grammar state are both pooled, so
+// the steady-state decode step allocates nothing. The session's mask is
+// filled for the first decoding step.
+func (e *Engine) OpenTagSession(ts *CompiledTagSet) *Session {
+	s := ts.set.Acquire()
+	s.Fill()
+	return &Session{e: e, tags: ts, s: s}
+}
+
+// OpenStructuralTagSession compiles (or cache-resolves) a structural-tag
+// spec and opens a session against it — the per-request entry point of a
+// tool-calling endpoint.
+func (e *Engine) OpenStructuralTagSession(tags StructuralTags) (*Session, error) {
+	ts, err := e.compiler.CompileStructuralTags(tags)
+	if err != nil {
+		return nil, err
+	}
+	return e.OpenTagSession(ts), nil
+}
+
 // FillBatch brings every session's mask up to date for one decode step
 // through the engine's persistent worker pool, intended to run while the
 // GPU forward pass executes (§3.5). Sessions may be attached to different
@@ -144,15 +168,36 @@ func (e *Engine) FillBatchInto(stats []maskcache.FillStats, sessions []*Session)
 // fill instrumentation.
 type StepResult = serve.StepResult
 
+// sessionState is the pooled per-sequence surface a Session drives: plain
+// grammar sessions (serve.Session) and structural-tag dispatcher sessions
+// (structtag.Session) both satisfy it, so the engine's batch loops, the
+// gateway, and speculative decoding treat the two modes uniformly.
+type sessionState interface {
+	Step(id int32) (serve.StepResult, error)
+	Accept(id int32) error
+	Fill() maskcache.FillStats
+	Mask() []uint64
+	AcceptString(text string) error
+	JumpForward() string
+	Rollback(n int) error
+	HistoryCap() int
+	CanTerminate() bool
+	IsTerminated() bool
+	Close()
+}
+
 // Session tracks one generation inside a serving Engine. Unlike the
 // lower-level Matcher, a Session owns its mask buffer, fuses the per-token
 // work into Step, and returns its grammar state to the engine's pool on
 // Close. Sessions are not safe for concurrent use; drive each from one
 // goroutine (FillBatch coordinates batch fills internally).
 type Session struct {
-	e     *Engine
+	e *Engine
+	// cg is the grammar of a plain session; tags the tag set of a
+	// structural-tag session. Exactly one is non-nil.
 	cg    *CompiledGrammar
-	s     *serve.Session
+	tags  *CompiledTagSet
+	s     sessionState
 	specW spec.Window
 }
 
@@ -223,7 +268,7 @@ var ErrSpecWindowExceeded = spec.ErrWindowExceeded
 // ErrSpecWindowExceeded before touching state.
 func (s *Session) SpeculativeStep(draft []int32, sample SpecSampler) (SpecResult, error) {
 	return spec.Step(s.s, func() { s.s.Fill() }, spec.SliceProposer(draft), sample, &s.specW,
-		spec.Options{MaxDraft: len(draft), EOS: s.cg.TokenizerInfo().EOSTokenID()})
+		spec.Options{MaxDraft: len(draft), EOS: s.e.compiler.info.EOSTokenID()})
 }
 
 // CanTerminate reports whether the grammar permits stopping here.
@@ -232,8 +277,23 @@ func (s *Session) CanTerminate() bool { return s.s.CanTerminate() }
 // IsTerminated reports whether the stop token has been accepted.
 func (s *Session) IsTerminated() bool { return s.s.IsTerminated() }
 
-// Grammar returns the compiled grammar the session decodes against.
+// Grammar returns the compiled grammar the session decodes against, or nil
+// for a structural-tag session (see Tags).
 func (s *Session) Grammar() *CompiledGrammar { return s.cg }
+
+// Tags returns the structural-tag set of a tag session, or nil for a plain
+// grammar session.
+func (s *Session) Tags() *CompiledTagSet { return s.tags }
+
+// InTag reports the active structural-tag index for a tag session currently
+// inside a constrained segment; ok is false in free text and for plain
+// grammar sessions.
+func (s *Session) InTag() (tag int, ok bool) {
+	if st, isTag := s.s.(*structtag.Session); isTag && st.InTag() {
+		return st.TagIndex(), true
+	}
+	return 0, false
+}
 
 // Close releases the session's grammar state back to the engine pool. The
 // session must not be used afterwards.

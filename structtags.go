@@ -1,0 +1,187 @@
+package xgrammar
+
+import (
+	"fmt"
+
+	"xgrammar/internal/builtin"
+	"xgrammar/internal/ebnf"
+	"xgrammar/internal/grammar"
+	"xgrammar/internal/jsonschema"
+	"xgrammar/internal/regexconv"
+	"xgrammar/internal/structtag"
+)
+
+// StructuralTag is one trigger in a structural-tag request: free text runs
+// unconstrained until Begin appears in the decoded stream, then the tag's
+// content grammar (typically a per-tool JSON Schema) is enforced until End,
+// after which free text resumes. This is the LLM function-calling shape —
+// `<tool_call>{...}</tool_call>` islands inside prose.
+type StructuralTag struct {
+	// Begin is the literal trigger (e.g. "<tool_call>"). Begin tags in one
+	// request must be non-empty and prefix-free.
+	Begin string
+	// Grammar constrains the segment content between Begin and End.
+	Grammar GrammarSpec
+	// End is the literal that closes the segment. It is composed into the
+	// compiled segment grammar, so the segment ends exactly after it. An
+	// empty End closes the segment as soon as the content grammar has no
+	// continuation.
+	End string
+}
+
+// StructuralTags is a structural-tag request spec: the full set of triggers
+// one generation dispatches over.
+type StructuralTags []StructuralTag
+
+// CompiledTagSet is a compiled structural-tag dispatcher: per-tag segment
+// grammars (each resolved through the compiled-grammar LRU and disk store,
+// so shared tools compile once) plus the trigger trie and pooled dispatcher
+// sessions. It is immutable and safe for concurrent use.
+type CompiledTagSet struct {
+	info *TokenizerInfo
+	tags StructuralTags
+	segs []*CompiledGrammar
+	set  *structtag.Set
+}
+
+// Tags returns the spec the set was compiled from.
+func (ts *CompiledTagSet) Tags() StructuralTags { return ts.tags }
+
+// SegmentGrammar returns the compiled segment grammar (content plus end
+// tag) of tag i.
+func (ts *CompiledTagSet) SegmentGrammar(i int) *CompiledGrammar { return ts.segs[i] }
+
+// TokenizerInfo returns the tokenizer the set dispatches over.
+func (ts *CompiledTagSet) TokenizerInfo() *TokenizerInfo { return ts.info }
+
+// Dispatch exposes the internal dispatcher (for sibling packages in this
+// module: the serving engine and benchmarks).
+func (ts *CompiledTagSet) Dispatch() *structtag.Set { return ts.set }
+
+// CompileStructuralTags compiles a structural-tag spec. Each tag's segment
+// grammar — the tag's content grammar with the end tag composed into the
+// root rule — routes through the compiled-grammar cache (and the disk
+// store, when attached) exactly like a direct Compile* call, so per-tool
+// schemas shared across requests and tag sets are compiled once.
+func (c *Compiler) CompileStructuralTags(tags StructuralTags) (*CompiledTagSet, error) {
+	if len(tags) == 0 {
+		return nil, fmt.Errorf("xgrammar: structural tags: empty tag list")
+	}
+	segs := make([]*CompiledGrammar, len(tags))
+	st := make([]structtag.Tag, len(tags))
+	for i, t := range tags {
+		if t.Begin == "" {
+			return nil, fmt.Errorf("xgrammar: structural tag %d: empty begin tag", i)
+		}
+		cg, err := c.CompileTagSegment(t.Grammar, t.End)
+		if err != nil {
+			return nil, fmt.Errorf("xgrammar: structural tag %d (begin %q): %w", i, t.Begin, err)
+		}
+		segs[i] = cg
+		st[i] = structtag.Tag{Begin: t.Begin, End: t.End, Pool: cg.sessionPool()}
+	}
+	set, err := structtag.NewSet(st, c.info.tok, c.cfg.maxHistory)
+	if err != nil {
+		return nil, fmt.Errorf("xgrammar: %w", err)
+	}
+	return &CompiledTagSet{info: c.info, tags: tags, segs: segs, set: set}, nil
+}
+
+// CompileTagSegment compiles a structural-tag segment grammar: the content
+// grammar of spec with the end-tag literal appended to the root rule, so
+// the segment's language is exactly content followed by end. Results are
+// cached like any other compile, keyed by (content spec, end tag).
+func (c *Compiler) CompileTagSegment(spec GrammarSpec, end string) (*CompiledGrammar, error) {
+	kind, src, err := spec.keyParts()
+	if err != nil {
+		return nil, err
+	}
+	// The end tag is hex-escaped into the cache-key kind so no end tag can
+	// collide with the kind/source delimiter.
+	segKind := fmt.Sprintf("tagseg|%s|end=%x", kind, end)
+	return c.cached(segKind, src, func() (*CompiledGrammar, error) {
+		g, diags, err := specGrammar(spec)
+		if err != nil {
+			return nil, err
+		}
+		cg, err := c.compile(appendEndTag(g, end))
+		if err != nil {
+			return nil, err
+		}
+		cg.schemaDiags = diags
+		return cg, nil
+	})
+}
+
+// specGrammar builds the grammar IR for a spec — the pre-PDA stage of the
+// Compile* methods, shared with segment composition.
+func specGrammar(spec GrammarSpec) (*grammar.Grammar, []string, error) {
+	switch spec.Kind {
+	case KindEBNF:
+		g, err := ebnf.Parse(spec.Source)
+		return g, nil, err
+	case KindJSONSchema:
+		g, diags, err := jsonschema.CompileFull([]byte(spec.Source), jsonschema.Options{
+			AllowAdditionalProperties: spec.Schema.AllowAdditionalProperties,
+		})
+		return g, diagStrings(diags), err
+	case KindRegex:
+		e, err := regexconv.Convert(spec.Source)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &grammar.Grammar{Rules: []grammar.Rule{{Name: "root", Body: e}}, Root: 0}, nil, nil
+	case KindBuiltin:
+		switch spec.Source {
+		case "json":
+			return builtin.JSON(), nil, nil
+		case "xml":
+			return builtin.XML(), nil, nil
+		case "python":
+			return builtin.PythonDSL(), nil, nil
+		}
+	}
+	_, _, err := spec.keyParts()
+	return nil, nil, err
+}
+
+// appendEndTag wraps a grammar so its language becomes L(g) followed by the
+// end literal. The input grammar is not modified (rule bodies are shared;
+// pda.Compile clones before transforming).
+func appendEndTag(g *grammar.Grammar, end string) *grammar.Grammar {
+	if end == "" {
+		return g
+	}
+	rules := make([]grammar.Rule, len(g.Rules), len(g.Rules)+1)
+	copy(rules, g.Rules)
+	name := "tagseg_root"
+	for taken := true; taken; {
+		taken = false
+		for _, r := range rules {
+			if r.Name == name {
+				name += "_"
+				taken = true
+				break
+			}
+		}
+	}
+	rules = append(rules, grammar.Rule{
+		Name: name,
+		Body: &grammar.Seq{Items: []grammar.Expr{
+			&grammar.RuleRef{Index: g.Root, Name: rules[g.Root].Name},
+			&grammar.Literal{Bytes: []byte(end)},
+		}},
+	})
+	return &grammar.Grammar{Rules: rules, Root: len(rules) - 1}
+}
+
+func diagStrings(diags []jsonschema.Diagnostic) []string {
+	if len(diags) == 0 {
+		return nil
+	}
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}

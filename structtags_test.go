@@ -1,0 +1,136 @@
+package xgrammar
+
+import (
+	"strings"
+	"testing"
+)
+
+const tagTestSchema = `{
+	"type": "object",
+	"properties": {"n": {"type": "integer", "minimum": 0, "maximum": 9}},
+	"required": ["n"]
+}`
+
+func testTagSpec() StructuralTags {
+	return StructuralTags{
+		{Begin: "<a>", Grammar: GrammarSpec{Kind: KindJSONSchema, Source: tagTestSchema}, End: "</a>"},
+		{Begin: "<b>", Grammar: GrammarSpec{Kind: KindJSONSchema, Source: tagTestSchema}, End: "</b>"},
+	}
+}
+
+// TestCompileStructuralTagsCached pins the sharing contract: per-tag
+// segment grammars ride the compiled-grammar LRU, so recompiling the same
+// tag set (or another set sharing a tool) runs zero new compilations.
+func TestCompileStructuralTagsCached(t *testing.T) {
+	comp := NewCompiler(DefaultTokenizer(600))
+	if _, err := comp.CompileStructuralTags(testTagSpec()); err != nil {
+		t.Fatal(err)
+	}
+	after := comp.CompileCacheStats().Compiles
+	if after != 2 {
+		t.Fatalf("expected 2 segment compiles (two distinct (schema, end) pairs), got %d", after)
+	}
+	if _, err := comp.CompileStructuralTags(testTagSpec()); err != nil {
+		t.Fatal(err)
+	}
+	st := comp.CompileCacheStats()
+	if st.Compiles != after {
+		t.Fatalf("recompiling the same tag set ran %d new compiles", st.Compiles-after)
+	}
+	if st.Hits < 2 {
+		t.Fatalf("expected cache hits for shared segments, stats %+v", st)
+	}
+	// A different end tag is a different segment artifact.
+	other := StructuralTags{{Begin: "<c>", Grammar: GrammarSpec{Kind: KindJSONSchema, Source: tagTestSchema}, End: "<!c>"}}
+	if _, err := comp.CompileStructuralTags(other); err != nil {
+		t.Fatal(err)
+	}
+	if got := comp.CompileCacheStats().Compiles; got != after+1 {
+		t.Fatalf("distinct end tag: expected one more compile, got %d (was %d)", got, after)
+	}
+}
+
+// TestEngineTagSessionFused drives a tag session through the fused Step
+// API and a mixed FillBatch (tag session + plain grammar session).
+func TestEngineTagSessionFused(t *testing.T) {
+	info := DefaultTokenizer(600)
+	comp := NewCompiler(info)
+	eng := NewEngine(comp)
+	defer eng.Close()
+
+	ts, err := comp.CompileStructuralTags(testTagSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagSess := eng.OpenTagSession(ts)
+	defer tagSess.Close()
+	plainSess, err := eng.OpenGrammarSession(`root ::= "x" [0-9]+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plainSess.Close()
+
+	if g := tagSess.Grammar(); g != nil {
+		t.Fatal("tag session reports a whole-completion grammar")
+	}
+	if tagSess.Tags() != ts {
+		t.Fatal("tag session lost its tag set")
+	}
+	if _, ok := tagSess.InTag(); ok {
+		t.Fatal("fresh tag session inside a segment")
+	}
+
+	script := `hi <a>`
+	for _, id := range info.Encode(script) {
+		if _, err := tagSess.Step(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tag, ok := tagSess.InTag()
+	if !ok || tag != 0 {
+		t.Fatalf("InTag = (%d, %v) after begin tag", tag, ok)
+	}
+	if jf := tagSess.JumpForward(); !strings.HasPrefix(jf, `{"n": `) {
+		t.Fatalf("jump-forward in segment = %q", jf)
+	}
+	// Mixed batch fill: both session kinds through one worker-pool call.
+	stats := eng.FillBatch([]*Session{tagSess, plainSess})
+	if len(stats) != 2 {
+		t.Fatalf("batch fill returned %d stats", len(stats))
+	}
+	if err := tagSess.AcceptString(`{"n": 4}</a>`); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tagSess.InTag(); ok {
+		t.Fatal("segment did not close")
+	}
+	if !tagSess.CanTerminate() {
+		t.Fatal("free text cannot terminate")
+	}
+	if err := tagSess.Accept(info.EOSTokenID()); err != nil {
+		t.Fatal(err)
+	}
+	if !tagSess.IsTerminated() {
+		t.Fatal("EOS did not terminate the tag session")
+	}
+}
+
+// TestSchemaDiagnosticsSurface pins the top-level diagnostics plumbing.
+func TestSchemaDiagnosticsSurface(t *testing.T) {
+	comp := NewCompiler(DefaultTokenizer(600))
+	cg, err := comp.CompileJSONSchema([]byte(`{"type": "integer", "minimum": 5}`), SchemaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := cg.SchemaDiagnostics()
+	if len(diags) != 1 || !strings.Contains(diags[0], "minimum 5") {
+		t.Fatalf("diagnostics = %v, want the partially-enforced minimum", diags)
+	}
+	exact, err := comp.CompileJSONSchema([]byte(`{"type": "integer", "minimum": 0}`), SchemaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.SchemaDiagnostics()) != 0 {
+		t.Fatalf("exact schema produced diagnostics %v", exact.SchemaDiagnostics())
+	}
+}
