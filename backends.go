@@ -1,0 +1,56 @@
+package xgrammar
+
+import (
+	"xgrammar/internal/backend"
+
+	// Register the shipped model backends ("sim", "http") so OpenBackend
+	// resolves them for any importer of the public package.
+	_ "xgrammar/internal/backend/httpllm"
+	_ "xgrammar/internal/backend/simllm"
+)
+
+// ModelBackend is the pluggable model side of the decode stack: the grammar
+// layers constrain WHAT may be emitted, a ModelBackend decides WHICH allowed
+// token is emitted. See internal/backend for the contract.
+type ModelBackend = backend.Backend
+
+// ModelSequence is one live generation against a ModelBackend.
+type ModelSequence = backend.Sequence
+
+// ModelRequest describes one generation a ModelBackend serves.
+type ModelRequest = backend.Request
+
+// ModelTiming is a backend's accelerator-latency model (ZeroModelTiming for
+// real, measured backends).
+type ModelTiming = backend.Timing
+
+// ZeroModelTiming is the Timing of real backends: all modelled charges zero.
+type ZeroModelTiming = backend.ZeroTiming
+
+// ModelProposer is a draft model's per-position guess during speculative
+// decoding.
+type ModelProposer = backend.Proposer
+
+// ModelSpeculator is the optional draft hook of a ModelSequence.
+type ModelSpeculator = backend.Speculator
+
+// ModelTriggerProposer is the optional tool-call election hook of a
+// ModelSequence (simulation backends only).
+type ModelTriggerProposer = backend.TriggerProposer
+
+// ErrNoToken reports that a backend cannot emit any token under the mask —
+// a clean end-of-sequence, not a failure.
+var ErrNoToken = backend.ErrNoToken
+
+// OpenBackend builds a model backend from a registry spec such as "sim" or
+// "http:http://127.0.0.1:8080".
+func OpenBackend(spec string) (ModelBackend, error) { return backend.Open(spec) }
+
+// RegisterBackend installs a backend factory under a name; the cfg argument
+// is everything after the first ':' of the spec.
+func RegisterBackend(name string, factory func(cfg string) (ModelBackend, error)) {
+	backend.Register(name, factory)
+}
+
+// BackendNames lists the registered backend names, sorted.
+func BackendNames() []string { return backend.Names() }

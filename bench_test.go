@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"xgrammar/internal/backend/simllm"
 	"xgrammar/internal/baselines"
 	"xgrammar/internal/bitset"
 	"xgrammar/internal/builtin"
@@ -211,9 +212,9 @@ func e2eBench(b *testing.B, mode engine.Mode, backend baselines.Backend, batch i
 		targets[i] = benchEnv.jsonDocs[i%len(benchEnv.jsonDocs)]
 	}
 	cfg := engine.Config{
-		Profile:     llmsim.Profile{}, // zero GPU time: measure grammar side
+		Model:       simllm.NewTeacher(benchTok, llmsim.Profile{}, simllm.TeacherOptions{}), // zero GPU time: measure grammar side
 		Mode:        mode,
-		Backend:     backend,
+		Grammar:     backend,
 		Tok:         benchTok,
 		JumpForward: jf,
 		MaxSteps:    4000,
@@ -251,7 +252,7 @@ func BenchmarkTab1OutlinesFSMSchema(b *testing.B) {
 		b.Skip("schema not regex-representable")
 	}
 	sTargets := []string{benchEnv.schema.task.Instance}
-	cfg := engine.Config{Mode: engine.Serial, Backend: benchEnv.schema.fsm, Tok: benchTok, MaxSteps: 4000}
+	cfg := engine.Config{Model: simllm.NewTeacher(benchTok, llmsim.Profile{}, simllm.TeacherOptions{}), Mode: engine.Serial, Grammar: benchEnv.schema.fsm, Tok: benchTok, MaxSteps: 4000}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := engine.Run(cfg, llmsim.NewRequests(sTargets, 139)); err != nil {
@@ -270,8 +271,9 @@ func BenchmarkTab2ConstrainedOverheadCPU(b *testing.B) {
 func BenchmarkFig11JumpForward(b *testing.B) {
 	benchSetup(b)
 	cfg := engine.Config{
+		Model:       simllm.NewTeacher(benchTok, llmsim.Profile{}, simllm.TeacherOptions{}),
 		Mode:        engine.Overlap,
-		Backend:     benchEnv.schema.xg,
+		Grammar:     benchEnv.schema.xg,
 		Tok:         benchTok,
 		JumpForward: true,
 		MaxSteps:    4000,

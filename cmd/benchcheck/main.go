@@ -1,0 +1,174 @@
+// Command benchcheck sanity-checks the committed BENCH_*.json files that
+// cmd/xgbench writes with -json 'BENCH_*.json'.
+//
+// Usage:
+//
+//	benchcheck BENCH_serve.json BENCH_spec.json ...
+//	benchcheck BENCH_*.json
+//
+// Each file must be a benchFile record — {mode, vocab, experiment, results}
+// — whose results array is non-empty and whose per-experiment required keys
+// are present, finite, and sane (throughputs positive, latencies
+// non-negative, identity flags true). The point is to keep the committed
+// perf baselines honest: a refactor that breaks xgbench's -json shape, or
+// a backend change that silently loses byte identity, fails CI here rather
+// than bit-rotting in the repo.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// benchFile mirrors cmd/xgbench's per-section output record.
+type benchFile struct {
+	Mode       string           `json:"mode"`
+	Vocab      int              `json:"vocab"`
+	Experiment string           `json:"experiment"`
+	Results    []map[string]any `json:"results"`
+}
+
+// fieldKind says how a required key must validate.
+type fieldKind int
+
+const (
+	numPositive fieldKind = iota // finite number > 0
+	numNonNeg                    // finite number >= 0
+	strNonEmpty                  // non-empty string
+	boolTrue                     // boolean, must be true
+)
+
+// required maps each experiment id to the keys every result row must carry.
+var required = map[string]map[string]fieldKind{
+	"serve": {
+		"experiment":     strNonEmpty,
+		"requests":       numPositive,
+		"output_tokens":  numPositive,
+		"tokens_per_sec": numPositive,
+		"fill_p50_us":    numNonNeg,
+		"fill_p99_us":    numNonNeg,
+		"peak_batch":     numPositive,
+	},
+	"spec": {
+		"experiment":      strNonEmpty,
+		"requests":        numPositive,
+		"output_tokens":   numPositive,
+		"decode_steps":    numPositive,
+		"tokens_per_sec":  numPositive,
+		"acceptance_rate": numNonNeg,
+		"byte_identical":  boolTrue,
+	},
+	"store": {
+		"grammar":         strNonEmpty,
+		"cold_compile_ms": numPositive,
+		"warm_load_ms":    numPositive,
+		"speedup":         numPositive,
+		"blob_kb":         numPositive,
+	},
+	"tags": {
+		"phase":          strNonEmpty,
+		"tokens":         numPositive,
+		"tokens_per_sec": numPositive,
+		"fill_p50_us":    numNonNeg,
+		"fill_p99_us":    numNonNeg,
+	},
+	"backend": {
+		"experiment":     strNonEmpty,
+		"backend":        strNonEmpty,
+		"requests":       numPositive,
+		"output_tokens":  numPositive,
+		"tokens_per_sec": numPositive,
+		"latency_p50_ms": numNonNeg,
+		"latency_p99_ms": numNonNeg,
+		"errors":         numNonNeg,
+		"byte_identical": boolTrue,
+	},
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_*.json")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		if errs := checkFile(path); len(errs) > 0 {
+			failed = true
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, e)
+			}
+			continue
+		}
+		fmt.Printf("benchcheck: %s ok\n", path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func checkFile(path string) []error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []error{err}
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return []error{fmt.Errorf("parse: %w", err)}
+	}
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	if bf.Mode != "quick" && bf.Mode != "full" {
+		fail("mode %q is neither quick nor full", bf.Mode)
+	}
+	if bf.Vocab <= 0 {
+		fail("vocab %d is not positive", bf.Vocab)
+	}
+	fields, ok := required[bf.Experiment]
+	if !ok {
+		fail("unknown experiment %q", bf.Experiment)
+		return errs
+	}
+	if len(bf.Results) == 0 {
+		fail("experiment %s has no results", bf.Experiment)
+		return errs
+	}
+	for i, row := range bf.Results {
+		for key, kind := range fields {
+			v, present := row[key]
+			if !present {
+				fail("results[%d]: missing key %q", i, key)
+				continue
+			}
+			switch kind {
+			case numPositive, numNonNeg:
+				n, isNum := v.(float64)
+				switch {
+				case !isNum:
+					fail("results[%d].%s: %v is not a number", i, key, v)
+				case math.IsNaN(n) || math.IsInf(n, 0):
+					fail("results[%d].%s: %v is not finite", i, key, n)
+				case kind == numPositive && n <= 0:
+					fail("results[%d].%s: %v is not positive", i, key, n)
+				case kind == numNonNeg && n < 0:
+					fail("results[%d].%s: %v is negative", i, key, n)
+				}
+			case strNonEmpty:
+				s, isStr := v.(string)
+				if !isStr || s == "" {
+					fail("results[%d].%s: %v is not a non-empty string", i, key, v)
+				}
+			case boolTrue:
+				b, isBool := v.(bool)
+				if !isBool {
+					fail("results[%d].%s: %v is not a boolean", i, key, v)
+				} else if !b {
+					fail("results[%d].%s: false (identity regression)", i, key)
+				}
+			}
+		}
+	}
+	return errs
+}

@@ -11,6 +11,13 @@
 //	xgrun -grammar json -precompile json.xgc     # serialize the compiled grammar
 //	xgrun -load json.xgc -input '{"a": 1}'       # validate from the blob (no rescan)
 //	xgrun -schema s.json -store ./grammars       # precompile into an xgserve store
+//	xgrun -grammar json -generate -seed 7        # decode one constrained output
+//	xgrun -generate -backend http:http://gpu:8080 -schema s.json
+//
+// -generate decodes one grammar-constrained completion from a model backend
+// (-backend takes a registry spec like "sim" or "http:URL"; default is the
+// seeded simulated sampler), streaming jump-forward insertions for free like
+// the serving engine does.
 //
 // -precompile writes the compiled grammar — PDA plus the preprocessed token
 // mask cache — to a blob that -load reads back without re-running the
@@ -22,9 +29,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"xgrammar"
 )
@@ -40,6 +50,10 @@ func main() {
 	precompile := flag.String("precompile", "", "write the compiled grammar blob to this path")
 	storeDir := flag.String("store", "", "persist the compiled grammar into this xgserve store directory (content-addressed name)")
 	load := flag.String("load", "", "load a compiled grammar blob instead of compiling")
+	generate := flag.Bool("generate", false, "decode one constrained completion from the model backend")
+	backendSpec := flag.String("backend", "sim", "model backend registry spec for -generate (e.g. sim, http:http://host:port)")
+	seed := flag.Int64("seed", 42, "backend seed for -generate")
+	maxNew := flag.Int("max-new", 128, "decode-step budget for -generate")
 	flag.Parse()
 
 	info := xgrammar.DefaultTokenizer(*vocab)
@@ -126,6 +140,13 @@ func main() {
 			*storeDir, st.Blobs, st.Writes, *storeDir)
 	}
 
+	if *generate {
+		if err := runGenerate(cg, info, *backendSpec, *seed, *maxNew); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *input == "" {
 		return
 	}
@@ -166,6 +187,63 @@ func main() {
 			fmt.Printf("forced continuation: %q\n", jf)
 		}
 	}
+}
+
+// runGenerate decodes one grammar-constrained completion from the backend:
+// each step masks the vocabulary through the matcher, the backend picks a
+// token, and deterministic continuations are jump-forward-inserted for free.
+func runGenerate(cg *xgrammar.CompiledGrammar, info *xgrammar.TokenizerInfo, spec string, seed int64, maxNew int) error {
+	bk, err := xgrammar.OpenBackend(spec)
+	if err != nil {
+		return err
+	}
+	defer bk.Close()
+	seq, err := bk.Open(xgrammar.ModelRequest{Seed: seed, MaxTokens: maxNew})
+	if err != nil {
+		return err
+	}
+	defer seq.Close()
+
+	m := xgrammar.NewMatcher(cg)
+	mask := make([]uint64, cg.MaskWords())
+	eos := info.EOSTokenID()
+	var out strings.Builder
+	steps, jfBytes := 0, 0
+	for steps < maxNew {
+		if _, err := m.FillNextTokenBitmask(mask); err != nil {
+			return err
+		}
+		id, err := seq.Next(context.Background(), mask)
+		if errors.Is(err, xgrammar.ErrNoToken) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if id == eos {
+			break
+		}
+		if err := m.AcceptToken(id); err != nil {
+			return fmt.Errorf("backend %s picked a token outside the mask: %w", bk.Name(), err)
+		}
+		out.Write(info.TokenBytes(id))
+		steps++
+		if jf := m.FindJumpForwardString(); jf != "" && seq.ObserveForced(jf) {
+			if err := m.AcceptString(jf); err != nil {
+				return err
+			}
+			out.WriteString(jf)
+			jfBytes += len(jf)
+		}
+	}
+	fmt.Println(out.String())
+	complete := "complete"
+	if !m.CanTerminate() {
+		complete = "incomplete (budget exhausted)"
+	}
+	fmt.Fprintf(os.Stderr, "xgrun: backend %s, seed %d: %d sampled tokens, %d jump-forward bytes, %s\n",
+		bk.Name(), seed, steps, jfBytes, complete)
+	return nil
 }
 
 func fatal(err error) {

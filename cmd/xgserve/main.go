@@ -5,6 +5,11 @@
 // Usage:
 //
 //	xgserve -addr :8080 -store ./grammars
+//	xgserve -backend sim -backend llama8b=http:http://gpu:8080
+//
+// -backend maps request "model" names to model backends (repeatable;
+// MODEL=SPEC, a bare SPEC sets the default). Without it, generations decode
+// against the built-in seeded simulated sampler.
 //
 // Endpoints:
 //
@@ -27,10 +32,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"xgrammar"
+	"xgrammar/internal/backend"
 	"xgrammar/internal/server"
 )
 
@@ -43,7 +50,29 @@ func main() {
 	maxTokens := flag.Int("max-tokens", 256, "per-request decode-step budget cap")
 	gpuStep := flag.Duration("gpu-step", 2*time.Millisecond, "simulated GPU forward-pass time per decode round")
 	workers := flag.Int("workers", 0, "batch-fill workers (0: one per CPU, shared pool)")
+	backendSpecs := multiFlag{}
+	flag.Var(&backendSpecs, "backend",
+		"model backend mapping MODEL=SPEC (repeatable; a bare SPEC sets the default backend), e.g. -backend sim -backend llama8b=http:http://gpu:8080; registered: "+
+			strings.Join(backend.Names(), ", "))
 	flag.Parse()
+
+	backends := map[string]backend.Backend{}
+	for _, s := range backendSpecs {
+		model, spec := "", s
+		if i := strings.IndexByte(s, '='); i >= 0 {
+			model, spec = s[:i], s[i+1:]
+		}
+		bk, err := backend.Open(spec)
+		if err != nil {
+			fatal(err)
+		}
+		backends[model] = bk
+		label := model
+		if label == "" {
+			label = "(default)"
+		}
+		fmt.Fprintf(os.Stderr, "xgserve: model %s -> backend %s\n", label, bk.Name())
+	}
 
 	t0 := time.Now()
 	fmt.Fprintf(os.Stderr, "xgserve: training tokenizer (vocab=%d, cached per process)...\n", *vocab)
@@ -77,6 +106,7 @@ func main() {
 		MaxInflight: *maxInflight,
 		MaxTokens:   *maxTokens,
 		GPUStep:     *gpuStep,
+		Backends:    backends,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: gw}
@@ -100,6 +130,16 @@ func main() {
 		fatal(err)
 	}
 	<-done
+}
+
+// multiFlag collects repeated flag values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,346 @@
+// Package httpllm is the HTTP model-backend adapter: it drives a remote
+// llama.cpp-style completion server through the backend.Backend interface,
+// carrying the grammar's allowed-token mask on every decode step. Because
+// each step's mask depends on the token the grammar just accepted, the
+// completion is streamed one token per request: the adapter POSTs the mask,
+// the server answers with the sampled token, and the gateway's own SSE
+// stream relays it to the end client. Masks ride as an explicit
+// allowed-token list while small (the logit-bias form, at most MaskListMax
+// ids) and switch to a base64 bitmask beyond that, so wide free-text masks
+// do not balloon request bodies.
+//
+// The wire protocol is POST {base}/v1/generate with a mode tag:
+//
+//	sample  next token under the mask (the first sample opens the
+//	        server-side session: prompt, seed, max_tokens ride along)
+//	forced  observe force-inserted text (jump-forward, trigger injection)
+//	close   release the server-side session
+//
+// Requests carry a session id and a monotonically increasing step counter;
+// the server replays the cached response when it sees a step it has already
+// served, which makes the bounded retries safe: a retry after a lost
+// response cannot double-advance the completion. Retries apply to network
+// errors and 5xx answers only — 4xx means the request itself is wrong and
+// fails the sequence immediately.
+package httpllm
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"xgrammar/internal/backend"
+)
+
+func init() {
+	backend.Register("http", func(cfg string) (backend.Backend, error) {
+		if cfg == "" {
+			return nil, fmt.Errorf("httpllm: backend spec needs a base URL (http:http://host:port)")
+		}
+		return New(Options{BaseURL: cfg}), nil
+	})
+}
+
+// MaskListMax is the default widest allowed set sent as an explicit token
+// list; wider masks switch to the base64 bitmask encoding.
+const MaskListMax = 512
+
+// Options configures the adapter.
+type Options struct {
+	// BaseURL is the completion server root (e.g. "http://127.0.0.1:8080").
+	BaseURL string
+	// Model is the model name forwarded on session open (optional).
+	Model string
+	// Client overrides the HTTP client (default: http.DefaultClient).
+	Client *http.Client
+	// Retries bounds re-sends after a network error or 5xx (default 2; the
+	// step-replay protocol makes retries idempotent).
+	Retries int
+	// StepTimeout bounds each attempt (default 10s).
+	StepTimeout time.Duration
+	// MaskListMax overrides the list/bitmask encoding switchover.
+	MaskListMax int
+}
+
+// Client is the HTTP model backend. Safe for concurrent Open.
+type Client struct {
+	opts    Options
+	http    *http.Client
+	nextSID atomic.Int64
+}
+
+// New returns an adapter for the server at opts.BaseURL.
+func New(opts Options) *Client {
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 2
+	}
+	if opts.StepTimeout <= 0 {
+		opts.StepTimeout = 10 * time.Second
+	}
+	if opts.MaskListMax <= 0 {
+		opts.MaskListMax = MaskListMax
+	}
+	return &Client{opts: opts, http: opts.Client}
+}
+
+// Name implements backend.Backend.
+func (c *Client) Name() string { return "http" }
+
+// Timing implements backend.Backend: a real backend is measured, not
+// modelled.
+func (c *Client) Timing() backend.Timing { return backend.ZeroTiming{} }
+
+// Close implements backend.Backend.
+func (c *Client) Close() error {
+	c.http.CloseIdleConnections()
+	return nil
+}
+
+// Open implements backend.Backend. The server-side session opens lazily on
+// the first sample step (so Open itself cannot fail over the network).
+func (c *Client) Open(req backend.Request) (backend.Sequence, error) {
+	return &httpSeq{
+		c:   c,
+		req: req,
+		sid: fmt.Sprintf("%d-%d", req.Seed, c.nextSID.Add(1)),
+	}, nil
+}
+
+// stepRequest is the wire form of one decode step.
+type stepRequest struct {
+	Mode      string `json:"mode"` // sample | forced | close
+	SessionID string `json:"session_id"`
+	// Step is the per-session step counter; the server replays the cached
+	// response for a step it has already served (retry idempotence).
+	Step int `json:"step"`
+
+	// Session-open fields, sent on every request so a server that lost the
+	// session (restart, eviction) can rebuild it.
+	Model     string `json:"model,omitempty"`
+	Prompt    string `json:"prompt,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	MaxTokens int    `json:"max_tokens,omitempty"`
+
+	// The allowed-token mask, one encoding or the other. Absent both, the
+	// step is unconstrained.
+	AllowedTokens []int32 `json:"allowed_tokens,omitempty"`
+	MaskB64       string  `json:"mask_b64,omitempty"`
+	MaskBits      int     `json:"mask_bits,omitempty"`
+
+	// Forced is the force-inserted text of a "forced" step.
+	Forced string `json:"forced,omitempty"`
+}
+
+// stepResponse is the wire form of the server's answer.
+type stepResponse struct {
+	Token int32 `json:"token"`
+	// NoToken reports a clean decline: no legal token under the mask.
+	NoToken bool `json:"no_token,omitempty"`
+	// OK is the verdict of a "forced" step.
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// httpSeq is one remote completion.
+type httpSeq struct {
+	c      *Client
+	req    backend.Request
+	sid    string
+	step   int
+	closed bool
+}
+
+// Next implements backend.Sequence.
+func (s *httpSeq) Next(ctx context.Context, mask []uint64) (int32, error) {
+	s.step++
+	sr := s.baseRequest("sample")
+	encodeMask(&sr, mask, s.c.opts.MaskListMax)
+	resp, err := s.c.roundTrip(ctx, sr)
+	if err != nil {
+		return 0, err
+	}
+	if resp.NoToken {
+		return 0, backend.ErrNoToken
+	}
+	return resp.Token, nil
+}
+
+// ObserveForced implements backend.Sequence.
+func (s *httpSeq) ObserveForced(text string) bool {
+	s.step++
+	sr := s.baseRequest("forced")
+	sr.Forced = text
+	ctx, cancel := context.WithTimeout(context.Background(), s.c.opts.StepTimeout)
+	defer cancel()
+	resp, err := s.c.roundTrip(ctx, sr)
+	return err == nil && resp.OK
+}
+
+// Close implements backend.Sequence: best-effort server-side release.
+func (s *httpSeq) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.step++
+	sr := s.baseRequest("close")
+	ctx, cancel := context.WithTimeout(context.Background(), s.c.opts.StepTimeout)
+	defer cancel()
+	s.c.roundTrip(ctx, sr) //nolint:errcheck // the session times out server-side anyway
+}
+
+func (s *httpSeq) baseRequest(mode string) stepRequest {
+	return stepRequest{
+		Mode:      mode,
+		SessionID: s.sid,
+		Step:      s.step,
+		Model:     s.c.opts.Model,
+		Prompt:    s.req.Prompt,
+		Seed:      s.req.Seed,
+		MaxTokens: s.req.MaxTokens,
+	}
+}
+
+// encodeMask attaches the allowed-token mask in its compact form: an
+// explicit id list while narrow, the base64 bitmask beyond listMax bits.
+func encodeMask(sr *stepRequest, mask []uint64, listMax int) {
+	if mask == nil {
+		return
+	}
+	n := 0
+	for _, w := range mask {
+		n += bits.OnesCount64(w)
+		if n > listMax {
+			break
+		}
+	}
+	if n <= listMax {
+		ids := make([]int32, 0, n)
+		for w, word := range mask {
+			for ; word != 0; word &= word - 1 {
+				ids = append(ids, int32(w<<6)+int32(bits.TrailingZeros64(word)))
+			}
+		}
+		if ids == nil {
+			ids = []int32{} // an empty mask is still a constraint
+		}
+		sr.AllowedTokens = ids
+		return
+	}
+	buf := make([]byte, 8*len(mask))
+	for i, w := range mask {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	sr.MaskB64 = base64.StdEncoding.EncodeToString(buf)
+	sr.MaskBits = 64 * len(mask)
+}
+
+// decodeMask rebuilds the bitmask a stepRequest carries; nil means the step
+// is unconstrained.
+func decodeMask(sr *stepRequest) ([]uint64, error) {
+	switch {
+	case sr.MaskB64 != "":
+		buf, err := base64.StdEncoding.DecodeString(sr.MaskB64)
+		if err != nil {
+			return nil, fmt.Errorf("httpllm: mask_b64: %w", err)
+		}
+		if len(buf)%8 != 0 {
+			return nil, fmt.Errorf("httpllm: mask_b64 length %d is not word-aligned", len(buf))
+		}
+		mask := make([]uint64, len(buf)/8)
+		for i := range mask {
+			mask[i] = binary.LittleEndian.Uint64(buf[8*i:])
+		}
+		return mask, nil
+	case sr.AllowedTokens != nil:
+		max := int32(-1)
+		for _, id := range sr.AllowedTokens {
+			if id < 0 {
+				return nil, fmt.Errorf("httpllm: negative token id %d", id)
+			}
+			if id > max {
+				max = id
+			}
+		}
+		mask := make([]uint64, int(max)/64+1)
+		for _, id := range sr.AllowedTokens {
+			mask[id>>6] |= 1 << uint(id&63)
+		}
+		return mask, nil
+	default:
+		return nil, nil
+	}
+}
+
+// roundTrip POSTs one step with bounded retries. Network errors and 5xx
+// answers are retried (the step counter makes replays idempotent); 4xx and
+// protocol errors fail immediately.
+func (c *Client) roundTrip(ctx context.Context, sr stepRequest) (*stepResponse, error) {
+	body, err := json.Marshal(sr)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(time.Duration(attempt) * 25 * time.Millisecond):
+			}
+		}
+		resp, retriable, err := c.attempt(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retriable || ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) attempt(ctx context.Context, body []byte) (*stepResponse, bool, error) {
+	actx, cancel := context.WithTimeout(ctx, c.opts.StepTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.opts.BaseURL+"/v1/generate", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, true, err // network-level: retriable
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, true, err
+	}
+	if resp.StatusCode >= 500 {
+		return nil, true, fmt.Errorf("httpllm: server error %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("httpllm: status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var out stepResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, false, fmt.Errorf("httpllm: bad response: %w", err)
+	}
+	if out.Error != "" {
+		return nil, false, fmt.Errorf("httpllm: %s", out.Error)
+	}
+	return &out, false, nil
+}

@@ -1,0 +1,238 @@
+package httpllm
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xgrammar/internal/backend"
+	"xgrammar/internal/backend/simllm"
+)
+
+const testEOS = int32(2)
+
+// synthMask builds a mask with the given ids allowed over a 4096-token
+// vocabulary (64 words, wide enough to exercise both encodings).
+func synthMask(ids ...int32) []uint64 {
+	mask := make([]uint64, 64)
+	for _, id := range ids {
+		mask[id>>6] |= 1 << uint(id&63)
+	}
+	return mask
+}
+
+// wideMask allows [0, n) plus eos — above MaskListMax this forces the
+// base64 bitmask encoding.
+func wideMask(n int32) []uint64 {
+	mask := make([]uint64, 64)
+	for id := int32(0); id < n; id++ {
+		mask[id>>6] |= 1 << uint(id&63)
+	}
+	mask[testEOS>>6] |= 1 << uint(testEOS&63)
+	return mask
+}
+
+func loopbackServer(t *testing.T, bk backend.Backend, opts LoopbackOptions) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewLoopbackHandler(bk, opts))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// driveSteps walks a sequence through a fixed mask schedule.
+func driveSteps(t *testing.T, seq backend.Sequence, masks [][]uint64) []int32 {
+	t.Helper()
+	var out []int32
+	for i, m := range masks {
+		id, err := seq.Next(context.Background(), m)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// TestLoopbackIdentity pins the transport's no-semantics contract: the same
+// seed driven through the HTTP loopback and through the in-process sampler
+// must pick identical tokens at every step, across both mask encodings and
+// a forced insertion.
+func TestLoopbackIdentity(t *testing.T) {
+	masks := [][]uint64{
+		synthMask(5, 9, 700, testEOS), // narrow: allowed_tokens list
+		wideMask(1200),                // wide: base64 bitmask
+		synthMask(3, 4),
+		wideMask(600),
+	}
+	for _, seed := range []int64{1, 7, 99} {
+		ts := loopbackServer(t, simllm.NewSampler(testEOS), LoopbackOptions{})
+		remote := New(Options{BaseURL: ts.URL, MaskListMax: 512})
+		rseq, err := remote.Open(backend.Request{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := simllm.NewSampler(testEOS).Open(backend.Request{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		got := driveSteps(t, rseq, masks[:2])
+		if !rseq.ObserveForced("forced text") {
+			t.Fatal("loopback rejected a forced insertion the sampler absorbs")
+		}
+		got = append(got, driveSteps(t, rseq, masks[2:])...)
+
+		want := driveSteps(t, local, masks[:2])
+		local.ObserveForced("forced text")
+		want = append(want, driveSteps(t, local, masks[2:])...)
+
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d step %d: loopback picked %d, in-proc picked %d", seed, i, got[i], want[i])
+			}
+		}
+		rseq.Close()
+		local.Close()
+	}
+}
+
+// flakyProxy fails the first attempt of every step with a 503, proving the
+// step-replay protocol makes retries idempotent.
+type flakyProxy struct {
+	inner http.Handler
+	seen  atomic.Int64
+}
+
+func (p *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.seen.Add(1)%2 == 1 {
+		http.Error(w, "proxy hiccup", http.StatusServiceUnavailable)
+		return
+	}
+	p.inner.ServeHTTP(w, r)
+}
+
+// TestRetryIdempotence drives a completion through a proxy that 503s every
+// other request: with bounded retries the token stream must still match a
+// clean run byte-for-byte (no double-advance).
+func TestRetryIdempotence(t *testing.T) {
+	masks := [][]uint64{synthMask(5, 9, 700, testEOS), wideMask(900), synthMask(3, 4, 11)}
+	proxy := &flakyProxy{inner: NewLoopbackHandler(simllm.NewSampler(testEOS), LoopbackOptions{})}
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+
+	remote := New(Options{BaseURL: ts.URL, Retries: 3})
+	rseq, err := remote.Open(backend.Request{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rseq.Close()
+	got := driveSteps(t, rseq, masks)
+
+	local, _ := simllm.NewSampler(testEOS).Open(backend.Request{Seed: 7})
+	want := driveSteps(t, local, masks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: flaky run picked %d, clean run picked %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestNoRetryOn4xx pins the retry policy: a 4xx answer fails the step
+// immediately, without burning retries.
+func TestNoRetryOn4xx(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	remote := New(Options{BaseURL: ts.URL, Retries: 3})
+	seq, _ := remote.Open(backend.Request{Seed: 1})
+	if _, err := seq.Next(context.Background(), synthMask(1)); err == nil {
+		t.Fatal("4xx must fail the step")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("4xx was attempted %d times, want 1", got)
+	}
+}
+
+// TestStepTimeout pins the per-attempt timeout: a hung server fails the
+// step with a deadline error instead of blocking the decode loop.
+func TestStepTimeout(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer func() { close(release); ts.Close() }()
+	remote := New(Options{BaseURL: ts.URL, Retries: 1, StepTimeout: 30 * time.Millisecond})
+	seq, _ := remote.Open(backend.Request{Seed: 1})
+	_, err := seq.Next(context.Background(), synthMask(1))
+	if err == nil {
+		t.Fatal("hung server must time the step out")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && !strings.Contains(err.Error(), "deadline") &&
+		!strings.Contains(err.Error(), "context") && !strings.Contains(err.Error(), "Timeout") {
+		t.Fatalf("err = %v, want a timeout", err)
+	}
+}
+
+// closeCounter counts closed sequences for the eviction test.
+type closeCounter struct {
+	backend.Backend
+	closed atomic.Int64
+}
+
+func (c *closeCounter) Open(req backend.Request) (backend.Sequence, error) {
+	seq, err := c.Backend.Open(req)
+	if err != nil {
+		return nil, err
+	}
+	return &countedSeq{Sequence: seq, n: &c.closed}, nil
+}
+
+type countedSeq struct {
+	backend.Sequence
+	n *atomic.Int64
+}
+
+func (s *countedSeq) Close() { s.n.Add(1); s.Sequence.Close() }
+
+// TestSessionEviction pins the loopback's session bound: beyond MaxSessions
+// the least-recently-used sequence is closed and evicted.
+func TestSessionEviction(t *testing.T) {
+	cc := &closeCounter{Backend: simllm.NewSampler(testEOS)}
+	ts := loopbackServer(t, cc, LoopbackOptions{MaxSessions: 4})
+	remote := New(Options{BaseURL: ts.URL})
+	for i := 0; i < 10; i++ {
+		seq, err := remote.Open(backend.Request{Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveSteps(t, seq, [][]uint64{synthMask(5, 9)})
+		// No Close: the server must bound live sessions itself.
+	}
+	if cc.closed.Load() < 6 {
+		t.Fatalf("evicted %d sessions, want >= 6 of 10 with MaxSessions=4", cc.closed.Load())
+	}
+}
+
+// TestRegistrySpec opens the adapter through the backend registry with a
+// URL-bearing spec (the "name:config" split must leave the URL intact).
+func TestRegistrySpec(t *testing.T) {
+	ts := loopbackServer(t, simllm.NewSampler(testEOS), LoopbackOptions{})
+	bk, err := backend.Open("http:" + ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := bk.Open(backend.Request{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	driveSteps(t, seq, [][]uint64{synthMask(7, 8, testEOS)})
+}

@@ -1,0 +1,171 @@
+package httpllm
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"xgrammar/internal/backend"
+)
+
+// LoopbackOptions configures a loopback handler.
+type LoopbackOptions struct {
+	// MaxSessions bounds concurrently open server-side sequences; beyond it
+	// the least-recently-used session is evicted (default 256).
+	MaxSessions int
+	// IdleTTL evicts sessions idle longer than this on the next request
+	// (default 2 minutes).
+	IdleTTL time.Duration
+}
+
+// NewLoopbackHandler serves the httpllm wire protocol over any local model
+// backend — the reference implementation of the protocol, and the loopback
+// half of the in-proc-vs-HTTP identity tests: a gateway pointed at a
+// loopback of the simulated sampler must produce byte-identical output to
+// the in-process sampler, since the protocol adds transport but no
+// semantics. Sessions open lazily on a session id's first sample step and
+// are evicted LRU/idle; each session caches its last step's response so
+// client retries replay instead of double-advancing.
+func NewLoopbackHandler(bk backend.Backend, opts LoopbackOptions) http.Handler {
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 256
+	}
+	if opts.IdleTTL <= 0 {
+		opts.IdleTTL = 2 * time.Minute
+	}
+	lb := &loopback{bk: bk, opts: opts, sessions: map[string]*loopSession{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/generate", lb.handle)
+	return mux
+}
+
+type loopback struct {
+	bk   backend.Backend
+	opts LoopbackOptions
+
+	mu       sync.Mutex
+	sessions map[string]*loopSession
+}
+
+type loopSession struct {
+	seq      backend.Sequence
+	lastUsed time.Time
+	// lastStep/lastResp replay the answer when a client retries a step the
+	// session already served.
+	lastStep int
+	lastResp stepResponse
+}
+
+func (lb *loopback) handle(w http.ResponseWriter, r *http.Request) {
+	var sr stepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&sr); err != nil {
+		writeStep(w, http.StatusBadRequest, stepResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if sr.SessionID == "" {
+		writeStep(w, http.StatusBadRequest, stepResponse{Error: "session_id is required"})
+		return
+	}
+
+	if sr.Mode == "close" {
+		lb.mu.Lock()
+		if ls, ok := lb.sessions[sr.SessionID]; ok {
+			delete(lb.sessions, sr.SessionID)
+			ls.seq.Close()
+		}
+		lb.mu.Unlock()
+		writeStep(w, http.StatusOK, stepResponse{OK: true})
+		return
+	}
+
+	lb.mu.Lock()
+	lb.sweepLocked()
+	ls, ok := lb.sessions[sr.SessionID]
+	if !ok {
+		seq, err := lb.bk.Open(backend.Request{
+			Prompt:    sr.Prompt,
+			Seed:      sr.Seed,
+			MaxTokens: sr.MaxTokens,
+		})
+		if err != nil {
+			lb.mu.Unlock()
+			writeStep(w, http.StatusInternalServerError, stepResponse{Error: "open: " + err.Error()})
+			return
+		}
+		ls = &loopSession{seq: seq, lastStep: -1}
+		lb.sessions[sr.SessionID] = ls
+	}
+	ls.lastUsed = time.Now()
+	if sr.Step == ls.lastStep {
+		// Retry of an already-served step: replay, don't re-advance.
+		resp := ls.lastResp
+		lb.mu.Unlock()
+		writeStep(w, http.StatusOK, resp)
+		return
+	}
+	lb.mu.Unlock()
+
+	// The sequence is single-client by protocol (one step counter), so it is
+	// stepped outside the registry lock.
+	var resp stepResponse
+	switch sr.Mode {
+	case "sample":
+		mask, err := decodeMask(&sr)
+		if err != nil {
+			writeStep(w, http.StatusBadRequest, stepResponse{Error: err.Error()})
+			return
+		}
+		id, err := ls.seq.Next(r.Context(), mask)
+		switch {
+		case errors.Is(err, backend.ErrNoToken):
+			resp = stepResponse{NoToken: true}
+		case err != nil:
+			writeStep(w, http.StatusInternalServerError, stepResponse{Error: err.Error()})
+			return
+		default:
+			resp = stepResponse{Token: id, OK: true}
+		}
+	case "forced":
+		resp = stepResponse{OK: ls.seq.ObserveForced(sr.Forced)}
+	default:
+		writeStep(w, http.StatusBadRequest, stepResponse{Error: "unknown mode " + sr.Mode})
+		return
+	}
+
+	lb.mu.Lock()
+	ls.lastStep = sr.Step
+	ls.lastResp = resp
+	lb.mu.Unlock()
+	writeStep(w, http.StatusOK, resp)
+}
+
+// sweepLocked evicts idle sessions, then the least-recently-used one while
+// over capacity. Called with lb.mu held.
+func (lb *loopback) sweepLocked() {
+	now := time.Now()
+	for id, ls := range lb.sessions {
+		if now.Sub(ls.lastUsed) > lb.opts.IdleTTL {
+			delete(lb.sessions, id)
+			ls.seq.Close()
+		}
+	}
+	for len(lb.sessions) >= lb.opts.MaxSessions {
+		oldest, oldestAt := "", time.Time{}
+		for id, ls := range lb.sessions {
+			if oldest == "" || ls.lastUsed.Before(oldestAt) {
+				oldest, oldestAt = id, ls.lastUsed
+			}
+		}
+		ls := lb.sessions[oldest]
+		delete(lb.sessions, oldest)
+		ls.seq.Close()
+	}
+}
+
+func writeStep(w http.ResponseWriter, code int, resp stepResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,58 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory builds a backend from the configuration part of a backend spec
+// (everything after the first ':'; empty for a bare name).
+type Factory func(cfg string) (Backend, error)
+
+var (
+	regMu     sync.RWMutex
+	factories = map[string]Factory{}
+)
+
+// Register installs a backend factory under a name ("sim", "http", ...).
+// Registering a taken name panics: factories are wired at init time and a
+// collision is a programming error.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("backend: factory %q registered twice", name))
+	}
+	factories[name] = f
+}
+
+// Open builds a backend from a spec of the form "name" or "name:config" —
+// e.g. "sim" or "http:http://127.0.0.1:8080". The config part is passed to
+// the factory verbatim (it may itself contain ':', as URLs do).
+func Open(spec string) (Backend, error) {
+	name, cfg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, cfg = spec[:i], spec[i+1:]
+	}
+	regMu.RLock()
+	f, ok := factories[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (registered: %s)", name, strings.Join(Names(), ", "))
+	}
+	return f(cfg)
+}
+
+// Names lists the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(factories))
+	for n := range factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,140 @@
+package simllm
+
+import (
+	"context"
+	"errors"
+	"math/bits"
+	"math/rand"
+
+	"xgrammar/internal/backend"
+	"xgrammar/internal/tokenizer"
+)
+
+func init() {
+	backend.Register("sim", func(string) (backend.Backend, error) {
+		return NewSampler(tokenizer.EosID), nil
+	})
+}
+
+// Sampler is the gateway's simulated LLM: per sequence, a seeded RNG draws
+// uniformly over the grammar's allowed set with a mild bias toward the stop
+// token once stopping is legal, so outputs stay bounded and a given seed is
+// exactly reproducible. It drafts greedily (smallest allowed token) and
+// elects to open tool-call segments with probability 1/6 per free-text
+// round — the simulated counterpart of an instruction-tuned model deciding
+// to call a tool.
+type Sampler struct {
+	eos int32
+}
+
+// NewSampler returns a seeded-sampling backend with the given stop token.
+func NewSampler(eos int32) *Sampler { return &Sampler{eos: eos} }
+
+// Name implements backend.Backend.
+func (b *Sampler) Name() string { return "sim" }
+
+// Timing implements backend.Backend: the gateway paces rounds with a real
+// timer, so nothing is modelled here.
+func (b *Sampler) Timing() backend.Timing { return backend.ZeroTiming{} }
+
+// Close implements backend.Backend.
+func (b *Sampler) Close() error { return nil }
+
+// Open implements backend.Backend.
+func (b *Sampler) Open(req backend.Request) (backend.Sequence, error) {
+	return &samplerSeq{rng: rand.New(rand.NewSource(req.Seed)), eos: b.eos}, nil
+}
+
+// samplerSeq is one seeded generation.
+type samplerSeq struct {
+	rng     *rand.Rand
+	eos     int32
+	allowed []int32 // sampling scratch
+	greedy  backend.Proposer
+}
+
+// Next implements backend.Sequence: uniform over the allowed set, with a
+// bias toward the stop token once stopping is legal. ErrNoToken reports a
+// mask with no legal continuation (a stuck mask, which a sound grammar
+// never produces). The RNG consumption per call is fixed — one or two
+// draws — so plain and speculative decodes of the same token stream
+// consume the seed identically.
+func (s *samplerSeq) Next(_ context.Context, mask []uint64) (int32, error) {
+	if mask == nil {
+		return 0, errors.New("simllm: sampler requires an allowed-token mask")
+	}
+	s.allowed = s.allowed[:0]
+	eosAllowed := false
+	for w, word := range mask {
+		for ; word != 0; word &= word - 1 {
+			id := int32(w<<6) + int32(bits.TrailingZeros64(word))
+			if id == s.eos {
+				eosAllowed = true
+				continue
+			}
+			s.allowed = append(s.allowed, id)
+		}
+	}
+	if len(s.allowed) == 0 {
+		if eosAllowed {
+			return s.eos, nil
+		}
+		return 0, backend.ErrNoToken
+	}
+	// Termination bias: once the grammar can complete, stop with probability
+	// 1/4 — the simulated LLM's mild preference for finishing its answer.
+	if eosAllowed && s.rng.Intn(4) == 0 {
+		return s.eos, nil
+	}
+	return s.allowed[s.rng.Intn(len(s.allowed))], nil
+}
+
+// ObserveForced implements backend.Sequence: forced insertions (jump
+// forward, trigger injection) cost the sampler nothing and draw no RNG.
+func (s *samplerSeq) ObserveForced(string) bool { return true }
+
+// Close implements backend.Sequence.
+func (s *samplerSeq) Close() {}
+
+// Draft implements backend.Speculator: the stand-in draft model proposes
+// the smallest allowed token at each window position. On grammar-constrained
+// output it is right exactly where the structure leaves little choice — the
+// positions speculation gets for free. Drafting draws no RNG.
+func (s *samplerSeq) Draft(_ context.Context, _ int) (backend.Proposer, bool) {
+	if s.greedy == nil {
+		s.greedy = GreedyProposer(s.eos)
+	}
+	return s.greedy, true
+}
+
+// ProposeTrigger implements backend.TriggerProposer: with probability 1/6
+// the model elects to open a tool call, choosing uniformly among the n
+// begin tags. The draw order (one Intn(6), then Intn(n) only when n > 1)
+// is part of the byte-identity contract with earlier seeds.
+func (s *samplerSeq) ProposeTrigger(n int) (int, bool) {
+	if s.rng.Intn(6) != 0 {
+		return 0, false
+	}
+	idx := 0
+	if n > 1 {
+		idx = s.rng.Intn(n)
+	}
+	return idx, true
+}
+
+// GreedyProposer proposes the smallest allowed non-stop token at every
+// position — the shared grammar-greedy draft model.
+func GreedyProposer(eos int32) backend.Proposer {
+	return func(_ int, mask []uint64) (int32, bool) {
+		for w, word := range mask {
+			for ; word != 0; word &= word - 1 {
+				id := int32(w<<6) + int32(bits.TrailingZeros64(word))
+				if id == eos {
+					continue
+				}
+				return id, true
+			}
+		}
+		return 0, false
+	}
+}

@@ -1,0 +1,240 @@
+// Package simllm adapts the simulated LLM (internal/llmsim) to the model
+// backend interface: a teacher-forced Teacher backend for the engine's
+// reproducible experiments, and a seeded-sampler Sampler backend for the
+// gateway's grammar-uniform generation. Both are deterministic per
+// (request, seed), which is what makes plain, speculative, and
+// structural-tag decodes byte-identical across scheduling modes.
+package simllm
+
+import (
+	"context"
+	"fmt"
+
+	"xgrammar/internal/backend"
+	"xgrammar/internal/llmsim"
+	"xgrammar/internal/tokenizer"
+)
+
+// TeacherOptions parameterizes the simulated draft model riding on a
+// Teacher backend (the speculative path's proposer).
+type TeacherOptions struct {
+	// DraftAccuracy is the per-position probability that the simulated
+	// draft model proposes the token the target model samples (default
+	// 0.8). Lower accuracy lowers the acceptance rate, not correctness.
+	DraftAccuracy float64
+	// DraftSeed varies the deterministic draft-error pattern.
+	DraftSeed int64
+}
+
+func (o TeacherOptions) accuracy() float64 {
+	switch {
+	case o.DraftAccuracy <= 0:
+		return 0.8
+	case o.DraftAccuracy > 1:
+		return 1
+	default:
+		return o.DraftAccuracy
+	}
+}
+
+// Teacher is the teacher-forced simulated model behind the engine's
+// experiments: each sequence reproduces its request's Target token by
+// token (EOS at the end), with a latency profile modelling the
+// accelerator. Timing is the wrapped llmsim.Profile.
+type Teacher struct {
+	tok     *tokenizer.Tokenizer
+	profile llmsim.Profile
+	opts    TeacherOptions
+}
+
+// NewTeacher returns a teacher-forced backend over the tokenizer with the
+// given latency profile.
+func NewTeacher(tok *tokenizer.Tokenizer, profile llmsim.Profile, opts TeacherOptions) *Teacher {
+	return &Teacher{tok: tok, profile: profile, opts: opts}
+}
+
+// Name implements backend.Backend.
+func (t *Teacher) Name() string { return "llmsim" }
+
+// Timing implements backend.Backend (the llmsim latency profile).
+func (t *Teacher) Timing() backend.Timing { return t.profile }
+
+// Close implements backend.Backend.
+func (t *Teacher) Close() error { return nil }
+
+// Open implements backend.Backend.
+func (t *Teacher) Open(req backend.Request) (backend.Sequence, error) {
+	return &teacherSeq{t: t, req: req}, nil
+}
+
+// teacherSeq is one teacher-forced generation: emitted tracks how many
+// target bytes have been committed, outTokens how many tokens — the
+// absolute position the deterministic draft-error hash keys on.
+type teacherSeq struct {
+	t         *Teacher
+	req       backend.Request
+	emitted   int
+	outTokens int
+	draft     []int32
+	propose   backend.Proposer
+	// Verdict cache: Draft's single walk of the remaining target also
+	// pre-tokenizes the verdict stream (token id per byte offset), so the
+	// verify pass's Next calls serve from it instead of re-encoding inside
+	// the measured grammar window — tokenization is the simulated LLM's
+	// work, not grammar time.
+	vAt   []int
+	vID   []int32
+	vNext int
+}
+
+// peek returns the token the teacher-forced model proposes next: the first
+// token of the remaining target, or EOS at the end.
+func (s *teacherSeq) peek() int32 {
+	for s.vNext < len(s.vAt) && s.vAt[s.vNext] < s.emitted {
+		s.vNext++
+	}
+	if s.vNext < len(s.vAt) && s.vAt[s.vNext] == s.emitted {
+		id := s.vID[s.vNext]
+		s.vNext++
+		return id
+	}
+	if s.emitted >= len(s.req.Target) {
+		return tokenizer.EosID
+	}
+	return s.t.tok.Encode(s.req.Target[s.emitted:])[0]
+}
+
+// Next implements backend.Sequence. When the target's next token is masked
+// out it re-splits at the boundary — the longest target prefix whose first
+// token the mask allows — exactly as a real constrained sampler would pick
+// a shorter token there (structural-tag segment exits, Appendix B).
+func (s *teacherSeq) Next(_ context.Context, mask []uint64) (int32, error) {
+	id := s.peek()
+	if mask != nil && !maskHas(mask, id) {
+		alt, ok := s.prefixToken(mask)
+		if !ok {
+			return 0, fmt.Errorf("simllm: target token %d (%q) masked out (emitted %d/%d target bytes)",
+				id, s.t.tok.TokenBytes(id), s.emitted, len(s.req.Target))
+		}
+		id = alt
+	}
+	s.commit(id)
+	return id, nil
+}
+
+// commit advances the teacher state by an emitted token.
+func (s *teacherSeq) commit(id int32) {
+	if id == tokenizer.EosID {
+		return
+	}
+	s.emitted += len(s.t.tok.TokenBytes(id))
+	s.outTokens++
+}
+
+// prefixToken finds an alternative next token when the teacher-forced
+// first token of the remaining target is masked out: the longest token that
+// is both a byte-prefix of the remaining target and allowed by the mask.
+func (s *teacherSeq) prefixToken(mask []uint64) (int32, bool) {
+	rem := s.req.Target[s.emitted:]
+	max := 32
+	if len(rem) < max {
+		max = len(rem)
+	}
+	for plen := max; plen >= 1; plen-- {
+		id := s.t.tok.Encode(rem[:plen])[0]
+		if maskHas(mask, id) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// ObserveForced implements backend.Sequence: a forced insertion is
+// absorbed only when it matches the remaining target (the teacher checks
+// the jump-forward continuation against what it was going to produce).
+func (s *teacherSeq) ObserveForced(text string) bool {
+	if s.emitted+len(text) > len(s.req.Target) ||
+		s.req.Target[s.emitted:s.emitted+len(text)] != text {
+		return false
+	}
+	s.emitted += len(text)
+	s.outTokens += len(s.t.tok.Encode(text))
+	return true
+}
+
+// Close implements backend.Sequence.
+func (s *teacherSeq) Close() {}
+
+// Draft implements backend.Speculator: one walk of the remaining target
+// yields up to k draft tokens with deterministic per-position errors at
+// rate 1-DraftAccuracy (a hash of seed, sequence, and absolute position,
+// so runs are reproducible); corrupted positions propose a different token
+// and the verify pass rejects them, which is what produces acceptance
+// rates below one. Drafting does not advance the sequence — only verdicts
+// delivered through Next commit.
+func (s *teacherSeq) Draft(_ context.Context, k int) (backend.Proposer, bool) {
+	tok := s.t.tok
+	target := s.req.Target
+	pos := s.emitted
+	draft := s.draft[:0]
+	s.vAt, s.vID, s.vNext = s.vAt[:0], s.vID[:0], 0
+	for i := 0; i <= k; i++ {
+		if pos >= len(target) {
+			s.vAt = append(s.vAt, pos)
+			s.vID = append(s.vID, tokenizer.EosID)
+			continue
+		}
+		id := tok.Encode(target[pos:])[0]
+		s.vAt = append(s.vAt, pos)
+		s.vID = append(s.vID, id)
+		pos += len(tok.TokenBytes(id))
+		if i < k {
+			d := id
+			if !draftHit(s.t.opts.DraftSeed, s.req.ID, s.outTokens+i, s.t.opts.accuracy()) {
+				d = corruptToken(id, tok.VocabSize())
+			}
+			draft = append(draft, d)
+		}
+	}
+	s.draft = draft
+	if s.propose == nil {
+		s.propose = func(p int, _ []uint64) (int32, bool) {
+			if p >= len(s.draft) {
+				return 0, false
+			}
+			return s.draft[p], true
+		}
+	}
+	return s.propose, true
+}
+
+// draftHit deterministically decides whether the simulated draft model gets
+// a position right (SplitMix64-style hash of seed, sequence, position).
+func draftHit(seed int64, seq, pos int, acc float64) bool {
+	h := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(seq+1)*0xBF58476D1CE4E5B9 ^ uint64(pos+1)*0x94D049BB133111EB
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11)/float64(1<<53) < acc
+}
+
+// corruptToken returns a regular token different from id — the draft
+// model's wrong guess.
+func corruptToken(id int32, vocab int) int32 {
+	c := id + 1
+	if int(c) >= vocab {
+		c = tokenizer.NumSpecial
+	}
+	if c == id { // single-regular-token vocabulary; nothing else to propose
+		return id
+	}
+	return c
+}
+
+// maskHas reports whether token id is set in mask.
+func maskHas(mask []uint64, id int32) bool {
+	w := int(id >> 6)
+	return id >= 0 && w < len(mask) && mask[w]&(1<<uint(id&63)) != 0
+}

@@ -1,14 +1,15 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"xgrammar/internal/backend"
 	"xgrammar/internal/baselines"
 	"xgrammar/internal/bitset"
-	"xgrammar/internal/llmsim"
 	"xgrammar/internal/maskcache"
 	"xgrammar/internal/quantile"
 	"xgrammar/internal/serve"
@@ -22,12 +23,12 @@ import (
 // the engine-wide one), and charges GrammarInit when it is admitted — the
 // compile/cache-resolve cost, hidden behind prefill in Overlap mode.
 type StreamRequest struct {
-	Req     *llmsim.Request
+	Req     *backend.Request
 	Arrival time.Duration
-	// Backend supplies this request's grammar sessions; nil falls back to
-	// StreamConfig.Backend. When both are nil (or the mode is Unconstrained)
+	// Grammar supplies this request's grammar sessions; nil falls back to
+	// StreamConfig.Grammar. When both are nil (or the mode is Unconstrained)
 	// the sequence decodes without grammar constraints.
-	Backend baselines.Backend
+	Grammar baselines.Backend
 	// GrammarInit is the grammar resolve cost charged at admission (zero for
 	// a compiled-grammar cache hit).
 	GrammarInit time.Duration
@@ -35,10 +36,11 @@ type StreamRequest struct {
 
 // StreamConfig configures a continuous-batching run.
 type StreamConfig struct {
-	Profile llmsim.Profile
-	Mode    Mode
-	// Backend is the default grammar backend for requests without their own.
-	Backend baselines.Backend
+	// Model is the model backend every sequence decodes against. Required.
+	Model backend.Backend
+	Mode  Mode
+	// Grammar is the default grammar backend for requests without their own.
+	Grammar baselines.Backend
 	Tok     *tokenizer.Tokenizer
 	// MaxBatch bounds the number of sequences decoding concurrently; 0 is
 	// unbounded. Arrived requests beyond the bound queue until a running
@@ -54,25 +56,23 @@ type StreamConfig struct {
 	Pool *serve.WorkerPool
 	// Spec configures draft-verify decoding when Mode is Speculative.
 	Spec SpecOptions
+	// Ctx cancels the run: in-flight sequences leave the batch cleanly
+	// (sessions released, partial outputs returned) and RunStream returns
+	// the context's error. Nil means no cancellation.
+	Ctx context.Context
 }
 
 // SpecOptions parameterizes speculative draft-verify decoding (Mode
-// Speculative): the window size and the simulated draft model's quality.
-// Draft outcomes are a deterministic hash of (seed, sequence, position), so
-// speculative runs are exactly reproducible — and because only verified
-// tokens are ever committed, outputs are byte-identical to a
-// non-speculative run of the same requests regardless of these settings.
+// Speculative). The draft model itself lives on the model backend (its
+// Speculator hook; simllm.TeacherOptions configures the simulated one) —
+// and because only verified tokens are ever committed, outputs are
+// byte-identical to a non-speculative run of the same requests regardless
+// of draft quality.
 type SpecOptions struct {
 	// DraftTokens is the draft window k per decode round (default 4).
 	// Sequences whose rollback history cannot retract a full window fall
 	// back to non-speculative decoding (counted in SpecFallbacks).
 	DraftTokens int
-	// DraftAccuracy is the per-position probability that the simulated
-	// draft model proposes the token the target model samples (default
-	// 0.8). Lower accuracy lowers the acceptance rate, not correctness.
-	DraftAccuracy float64
-	// DraftSeed varies the deterministic draft-error pattern.
-	DraftSeed int64
 }
 
 func (o SpecOptions) draftTokens() int {
@@ -80,17 +80,6 @@ func (o SpecOptions) draftTokens() int {
 		return 4
 	}
 	return o.DraftTokens
-}
-
-func (o SpecOptions) accuracy() float64 {
-	switch {
-	case o.DraftAccuracy <= 0:
-		return 0.8
-	case o.DraftAccuracy > 1:
-		return 1
-	default:
-		return o.DraftAccuracy
-	}
 }
 
 // StreamMetrics extends Metrics with continuous-batching observations.
@@ -109,6 +98,15 @@ type StreamMetrics struct {
 	FillWall time.Duration
 	// FillP50 and FillP99 are percentiles of per-sequence mask fill latency.
 	FillP50, FillP99 time.Duration
+	// ModelWall is the real elapsed time spent inside the model backend
+	// (Next/Draft calls). For simulation backends it is tokenization
+	// overhead and stays off the modelled clock; for measured backends
+	// (HTTP) it is the dominant real cost.
+	ModelWall time.Duration
+	// ModelErrors counts sequences abandoned because their model backend
+	// failed mid-stream (the sequence leaves the batch cleanly and its
+	// partial output is returned; other sequences are unaffected).
+	ModelErrors int
 	// SpecProposed and SpecDrafted count draft tokens offered by the draft
 	// model and speculatively accepted by the grammar; SpecAccepted counts
 	// those confirmed by the target model — each confirmed token advanced
@@ -145,19 +143,19 @@ type streamSeq struct {
 	firstTok  bool
 	fillDur   time.Duration
 	next      int32
-	// Speculative-mode scratch: the per-sequence draft window, the round's
-	// draft-verify result, whether this round overflowed the rollback
-	// window (counted as a fallback), and reused buffers/closures so the
-	// steady-state round allocates nothing per step.
-	specW        spec.Window
-	specRes      spec.Result
-	specErr      error
-	specRan      bool
-	specOverflow bool
-	draftBuf     []int32
-	verdictBuf   []int32
-	specFill     func()
-	specSample   spec.Sampler
+	nextErr   error
+	// Speculative-mode scratch: the round's draft-verify result, whether
+	// this round overflowed the rollback window (counted as a fallback),
+	// and reused closures so the steady-state round allocates nothing per
+	// step.
+	specW         spec.Window
+	specRes       spec.Result
+	specErr       error
+	specRan       bool
+	specOverflow  bool
+	specFill      func()
+	specSample    spec.Sampler
+	specSampleErr error
 }
 
 // specSession is the session surface the speculative path needs: the
@@ -171,6 +169,8 @@ type specSession interface {
 // runner holds the mutable state of one continuous-batching run.
 type runner struct {
 	cfg          StreamConfig
+	ctx          context.Context
+	timing       backend.Timing
 	clock        time.Duration
 	running      []*streamSeq
 	finishedSeqs []*streamSeq
@@ -191,10 +191,16 @@ type runner struct {
 // grammar time — overlapped and batch-parallel in Overlap mode, serialized
 // in Serial mode. Outputs are returned in the order of reqs.
 func RunStream(cfg StreamConfig, reqs []*StreamRequest) (StreamMetrics, []string, error) {
+	if cfg.Model == nil {
+		return StreamMetrics{}, nil, errors.New("engine: StreamConfig.Model is required")
+	}
 	if cfg.MaxSteps <= 0 {
 		cfg.MaxSteps = 8192
 	}
-	r := &runner{cfg: cfg}
+	r := &runner{cfg: cfg, ctx: cfg.Ctx, timing: cfg.Model.Timing()}
+	if r.ctx == nil {
+		r.ctx = context.Background()
+	}
 	r.met.Requests = len(reqs)
 
 	// Admission order: arrival time, ties by request order.
@@ -209,6 +215,9 @@ func RunStream(cfg StreamConfig, reqs []*StreamRequest) (StreamMetrics, []string
 	nextPending := 0
 
 	for r.met.DecodeSteps < cfg.MaxSteps && (len(r.running) > 0 || nextPending < len(order)) {
+		if r.ctx.Err() != nil {
+			break
+		}
 		// Idle engine: jump to the next arrival.
 		if len(r.running) == 0 && nextPending < len(order) && reqs[order[nextPending]].Arrival > r.clock {
 			r.clock = reqs[order[nextPending]].Arrival
@@ -219,7 +228,10 @@ func RunStream(cfg StreamConfig, reqs []*StreamRequest) (StreamMetrics, []string
 			(cfg.MaxBatch <= 0 || len(r.running) < cfg.MaxBatch) &&
 			reqs[order[nextPending]].Arrival <= r.clock {
 			sr := reqs[order[nextPending]]
-			s := r.admit(sr, order[nextPending])
+			s, err := r.admit(sr, order[nextPending])
+			if err != nil {
+				return r.met, nil, err
+			}
 			admitted = append(admitted, s)
 			nextPending++
 		}
@@ -244,9 +256,13 @@ func RunStream(cfg StreamConfig, reqs []*StreamRequest) (StreamMetrics, []string
 			r.leave(i)
 		}
 	}
-	// Step-capped: flush partial outputs.
-	for _, s := range r.running {
+	// Step-capped or canceled: flush partial outputs and release every
+	// still-running sequence cleanly (sessions back to their pools).
+	for len(r.running) > 0 {
+		s := r.running[0]
+		s.finishAt = r.clock
 		outputs[s.index()] = s.output
+		r.leave(0)
 	}
 
 	outs := make([]string, len(reqs))
@@ -255,12 +271,9 @@ func RunStream(cfg StreamConfig, reqs []*StreamRequest) (StreamMetrics, []string
 	for i := range reqs {
 		outs[i] = string(outputs[i])
 	}
-	for _, s := range r.running {
-		r.met.OutputTokens += s.outTokens
-	}
 	for _, s := range r.finishedSeqs {
 		r.met.OutputTokens += s.outTokens
-		if s.outTokens > 0 {
+		if s.done && !s.failed && s.outTokens > 0 {
 			tpotSum += (s.finishAt - s.startedAt) / time.Duration(s.outTokens)
 			finished++
 		}
@@ -281,21 +294,35 @@ func RunStream(cfg StreamConfig, reqs []*StreamRequest) (StreamMetrics, []string
 	fillQ := quantile.Durations(r.fillLats, 0.50, 0.99)
 	r.met.FillP50, r.met.FillP99 = fillQ[0], fillQ[1]
 	r.met.Wall = r.clock
+	if err := r.ctx.Err(); err != nil {
+		return r.met, outs, err
+	}
 	return r.met, outs, nil
 }
 
-// admit builds the running-sequence state for one request (session acquired
-// here — from the backend's session pool in the pooled configuration).
-func (r *runner) admit(sr *StreamRequest, index int) *streamSeq {
+// admit builds the running-sequence state for one request: the model
+// sequence is opened on the backend, and the grammar session acquired —
+// from the grammar backend's session pool in the pooled configuration. The
+// model sees the request with ID rewritten to its run index, so
+// deterministic simulation backends key their per-sequence randomness the
+// same way however callers number their requests.
+func (r *runner) admit(sr *StreamRequest, index int) (*streamSeq, error) {
 	s := &streamSeq{sr: sr, firstTok: true}
 	s.req = sr.Req
 	s.idx = index
-	backend := sr.Backend
-	if backend == nil {
-		backend = r.cfg.Backend
+	rq := *sr.Req
+	rq.ID = index
+	seq, err := r.cfg.Model.Open(rq)
+	if err != nil {
+		return nil, fmt.Errorf("engine: open model sequence for %s: %w", sr.Req, err)
 	}
-	if r.cfg.Mode != Unconstrained && backend != nil {
-		s.session = backend.NewSession()
+	s.seq = seq
+	grammar := sr.Grammar
+	if grammar == nil {
+		grammar = r.cfg.Grammar
+	}
+	if r.cfg.Mode != Unconstrained && grammar != nil {
+		s.session = grammar.NewSession()
 		if n := len(r.maskFree); n > 0 {
 			s.mask = r.maskFree[n-1]
 			r.maskFree = r.maskFree[:n-1]
@@ -306,7 +333,7 @@ func (r *runner) admit(sr *StreamRequest, index int) *streamSeq {
 	r.waitSum += r.clock - sr.Arrival
 	r.met.Joins++
 	r.running = append(r.running, s)
-	return s
+	return s, nil
 }
 
 // chargeAdmission advances the clock for a group of newly admitted
@@ -325,7 +352,7 @@ func (r *runner) chargeAdmission(admitted []*streamSeq) {
 			maxInit = s.sr.GrammarInit
 		}
 	}
-	prefill := r.cfg.Profile.Prefill(maxPrompt)
+	prefill := r.timing.Prefill(maxPrompt)
 	switch {
 	case r.cfg.Mode == Unconstrained:
 		r.clock += prefill
@@ -339,10 +366,15 @@ func (r *runner) chargeAdmission(admitted []*streamSeq) {
 	}
 }
 
-// leave removes running[i] from the batch, recycling its mask buffer and
-// returning its session to the pool when the backend supports it.
+// leave removes running[i] from the batch, recycling its mask buffer,
+// closing its model sequence, and returning its grammar session to the pool
+// when the backend supports it.
 func (r *runner) leave(i int) {
 	s := r.running[i]
+	if s.seq != nil {
+		s.seq.Close()
+		s.seq = nil
+	}
 	if s.session != nil {
 		if c, ok := s.session.(interface{ Close() }); ok {
 			c.Close()
@@ -359,6 +391,33 @@ func (r *runner) leave(i int) {
 	r.finishedSeqs = append(r.finishedSeqs, s)
 }
 
+// failSeq abandons a sequence whose model backend failed: it is marked done
+// (the collect loop returns its partial output and releases its session)
+// and counted in ModelErrors. The rest of the batch decodes on.
+func (r *runner) failSeq(s *streamSeq, err error) {
+	if s.done {
+		return
+	}
+	s.done, s.failed = true, true
+	s.nextErr = err
+	s.finishAt = r.clock
+	r.met.ModelErrors++
+}
+
+// checkToken validates a model-produced token id against the vocabulary and
+// the sequence's grammar mask — a malformed backend (an HTTP model server
+// returning out-of-range or disallowed ids) fails its own sequence, never
+// the run.
+func (r *runner) checkToken(s *streamSeq, id int32) error {
+	if id != tokenizer.EosID && (id < 0 || int(id) >= r.cfg.Tok.VocabSize()) {
+		return fmt.Errorf("engine: model backend returned out-of-range token %d (vocab %d)", id, r.cfg.Tok.VocabSize())
+	}
+	if s.session != nil && !s.mask.Get(int(id)) {
+		return fmt.Errorf("engine: model backend returned masked-out token %d (%q)", id, r.cfg.Tok.TokenBytes(id))
+	}
+	return nil
+}
+
 // decodeStep runs one batched decode step over the running sequences.
 func (r *runner) decodeStep() error {
 	if r.cfg.Mode == Speculative {
@@ -368,14 +427,13 @@ func (r *runner) decodeStep() error {
 	if live == 0 {
 		return nil
 	}
-	gpu := r.cfg.Profile.DecodeStep(live)
+	gpu := r.timing.DecodeStep(live)
 
 	// Grammar phase: one mask per constrained sequence. Overlap mode fills
 	// the whole batch through the persistent worker pool (work stealing
 	// across sequences); Serial mode keeps grammar work on the critical path.
 	var fills []*streamSeq
 	for _, s := range r.running {
-		s.next = s.nextToken(r.cfg.Tok)
 		if s.session != nil {
 			fills = append(fills, s)
 		}
@@ -406,25 +464,37 @@ func (r *runner) decodeStep() error {
 			maskCPU += s.fillDur
 			r.fillLats = append(r.fillLats, s.fillDur)
 		}
-		for _, s := range fills {
-			if !s.mask.Get(int(s.next)) {
-				alt, ok := r.maskedPrefixToken(s)
-				if !ok {
-					return fmt.Errorf("engine: target token %d (%q) masked out (output so far %q)",
-						s.next, r.cfg.Tok.TokenBytes(s.next), s.output)
-				}
-				s.next = alt
-			}
-		}
 	}
+
+	// Model phase: the backend picks each sequence's next token under its
+	// mask. Untimed on the simulated clock (tokenization/sampling is the
+	// model's work, charged through the timing profile); ModelWall records
+	// the real elapsed time, which is the true cost for measured backends.
+	m0 := time.Now()
+	for _, s := range r.running {
+		var mw []uint64
+		if s.session != nil {
+			mw = s.mask.Words()
+		}
+		id, err := s.seq.Next(r.ctx, mw)
+		if err == nil {
+			err = r.checkToken(s, id)
+		}
+		if err != nil {
+			r.failSeq(s, err)
+			continue
+		}
+		s.next = id
+	}
+	r.met.ModelWall += time.Since(m0)
 
 	// Wall-clock for the step (§3.5): overlapped engines hide the batch
 	// grammar fill behind the GPU step and synchronize before sampling.
 	var stepWall time.Duration
 	if r.cfg.Mode == Overlap {
-		stepWall = maxDur(gpu, fillWall) + r.cfg.Profile.SamplePerStep
+		stepWall = maxDur(gpu, fillWall) + r.timing.SampleStep()
 	} else {
-		stepWall = gpu + fillWall + r.cfg.Profile.SamplePerStep
+		stepWall = gpu + fillWall + r.timing.SampleStep()
 	}
 	r.clock += stepWall
 	r.decodeWall += stepWall
@@ -435,6 +505,9 @@ func (r *runner) decodeStep() error {
 
 	// Sampling + acceptance phase.
 	for _, s := range r.running {
+		if s.failed {
+			continue
+		}
 		if s.firstTok {
 			s.firstTok = false
 			r.ttftSum += r.clock - s.sr.Arrival
@@ -459,16 +532,16 @@ func (r *runner) decodeStep() error {
 
 // decodeStepSpec runs one speculative draft-verify round over the running
 // sequences (Mode Speculative). Per sequence, the grammar phase runs
-// spec.Step: the draft model proposes a token window, the session
+// spec.Step: the backend's draft hook proposes a token window, the session
 // speculatively accepts it while capturing per-position masks (the fused
-// pass the verify forward pass consumes), the teacher-forced target model
-// delivers verdicts, and the rejected suffix is retracted through the
-// matcher's rollback window. Sequences advance by accepted+1 tokens per
-// round; the GPU charge covers the draft model plus the multi-position
-// verify pass (llmsim.Profile.SpecStep). Sequences without a
-// rollback-capable session — and steps whose window would exceed the
-// rollback history — decode non-speculatively (the latter counted in
-// SpecFallbacks).
+// pass the verify forward pass consumes), the backend delivers verdicts
+// through Next against those masks, and the rejected suffix is retracted
+// through the matcher's rollback window. Sequences advance by accepted+1
+// tokens per round; the GPU charge covers the draft model plus the
+// multi-position verify pass (Timing.SpecStep). Sequences without a
+// rollback-capable session or a drafting backend — and steps whose window
+// would exceed the rollback history — decode non-speculatively (the latter
+// counted in SpecFallbacks).
 func (r *runner) decodeStepSpec() error {
 	live := len(r.running)
 	if live == 0 {
@@ -483,6 +556,7 @@ func (r *runner) decodeStepSpec() error {
 	work := func(i int) {
 		s := seqs[i]
 		s.specRan, s.specErr, s.specOverflow = false, nil, false
+		s.nextErr, s.specSampleErr = nil, nil
 		ss, capable := s.session.(specSession)
 		if _, isTag := s.session.(*structtag.Session); isTag {
 			// Structural-tag sessions decode plainly under Speculative mode:
@@ -492,20 +566,30 @@ func (r *runner) decodeStepSpec() error {
 			// sampler-driven speculation does speculate inside segments.)
 			capable = false
 		}
+		var propose backend.Proposer
 		if capable {
-			// Draft and verdict tokens come from one untimed target walk:
-			// tokenization is the simulated LLM's work, not grammar time,
-			// so it must stay outside the fill-latency window (the plain
-			// path's nextToken is likewise untimed).
-			draft := r.specWindow(s, k)
+			sp, ok := s.seq.(backend.Speculator)
+			if ok {
+				// The draft walk runs before the timed grammar window:
+				// drafting is the draft model's work, not grammar time.
+				propose, ok = sp.Draft(r.ctx, k)
+			}
+			capable = ok
+		}
+		if capable {
 			if s.specFill == nil {
 				s.specFill = func() { ss.Fill() }
-				s.specSample = func(pos int, _ []uint64) (int32, bool) {
-					return s.verdictBuf[pos], true
+				s.specSample = func(pos int, mask []uint64) (int32, bool) {
+					id, err := s.seq.Next(r.ctx, mask)
+					if err != nil {
+						s.specSampleErr = err
+						return 0, false
+					}
+					return id, true
 				}
 			}
 			f0 := time.Now()
-			res, err := spec.Step(ss, s.specFill, spec.SliceProposer(draft), s.specSample,
+			res, err := spec.Step(ss, s.specFill, spec.Proposer(propose), s.specSample,
 				&s.specW, spec.Options{MaxDraft: k, EOS: tokenizer.EosID})
 			s.fillDur = time.Since(f0)
 			if err == nil {
@@ -519,12 +603,21 @@ func (r *runner) decodeStepSpec() error {
 			// Window exceeds the rollback history: decode this step plainly.
 			s.specOverflow = true
 		}
-		s.next = s.nextToken(r.cfg.Tok)
 		f0 := time.Now()
 		if s.session != nil {
 			s.session.FillMask(s.mask)
 		}
 		s.fillDur = time.Since(f0)
+		var mw []uint64
+		if s.session != nil {
+			mw = s.mask.Words()
+		}
+		id, err := s.seq.Next(r.ctx, mw)
+		if err != nil {
+			s.nextErr = err
+			return
+		}
+		s.next = id
 	}
 	if live > 1 {
 		pool := r.cfg.Pool
@@ -552,8 +645,8 @@ func (r *runner) decodeStepSpec() error {
 
 	// Wall clock: draft + verify GPU work, overlapped with the grammar
 	// phase, synchronized before sampling (§3.5 extended to the window).
-	gpu := r.cfg.Profile.SpecStep(live, maxWindow)
-	stepWall := maxDur(gpu, fillWall) + r.cfg.Profile.SamplePerStep
+	gpu := r.timing.SpecStep(live, maxWindow)
+	stepWall := maxDur(gpu, fillWall) + r.timing.SampleStep()
 	r.clock += stepWall
 	r.decodeWall += stepWall
 	r.met.GPUTime += gpu
@@ -563,6 +656,10 @@ func (r *runner) decodeStepSpec() error {
 
 	// Commit phase: apply verdicts to sequence state.
 	for _, s := range r.running {
+		if s.nextErr != nil {
+			r.failSeq(s, s.nextErr)
+			continue
+		}
 		if s.firstTok {
 			s.firstTok = false
 			r.ttftSum += r.clock - s.sr.Arrival
@@ -579,19 +676,22 @@ func (r *runner) decodeStepSpec() error {
 			if res.HasBonus {
 				s.consume(r.cfg.Tok, res.Bonus)
 			}
+			if s.specSampleErr != nil {
+				// The backend failed mid-verify: the confirmed prefix above
+				// is committed (grammar and model agree on it); the sequence
+				// leaves with its partial output.
+				r.failSeq(s, s.specSampleErr)
+				continue
+			}
 		} else {
 			if s.specOverflow {
 				r.met.SpecFallbacks++
 			}
+			if err := r.checkToken(s, s.next); err != nil {
+				r.failSeq(s, err)
+				continue
+			}
 			if s.session != nil {
-				if !s.mask.Get(int(s.next)) {
-					alt, ok := r.maskedPrefixToken(s)
-					if !ok {
-						return fmt.Errorf("engine: target token %d (%q) masked out (output so far %q)",
-							s.next, r.cfg.Tok.TokenBytes(s.next), s.output)
-					}
-					s.next = alt
-				}
 				if err := s.session.Accept(s.next); err != nil {
 					return fmt.Errorf("engine: %w", err)
 				}
@@ -609,91 +709,12 @@ func (r *runner) decodeStepSpec() error {
 	return nil
 }
 
-// specWindow builds one round's draft window and verdict stream for a
-// sequence in a single walk of the remaining target. s.verdictBuf[i]
-// becomes the teacher-forced target token at window position i (EOS once
-// the target is exhausted) — the verdicts the per-seq sampler serves to
-// spec.Step. The returned draft is those tokens with deterministic
-// per-position errors at rate 1-DraftAccuracy (a hash of seed, sequence,
-// and absolute position, so runs are reproducible); corrupted positions
-// propose a different token and the verify pass rejects them, which is
-// what produces acceptance rates below one.
-func (r *runner) specWindow(s *streamSeq, k int) []int32 {
-	tok := r.cfg.Tok
-	target := s.req.Target
-	pos := s.emitted
-	s.verdictBuf = s.verdictBuf[:0]
-	draft := s.draftBuf[:0]
-	for i := 0; i <= k; i++ {
-		if pos >= len(target) {
-			s.verdictBuf = append(s.verdictBuf, tokenizer.EosID)
-			continue
-		}
-		id := tok.Encode(target[pos:])[0]
-		pos += len(tok.TokenBytes(id))
-		s.verdictBuf = append(s.verdictBuf, id)
-		if i < k {
-			d := id
-			if !draftHit(r.cfg.Spec.DraftSeed, s.idx, s.outTokens+i, r.cfg.Spec.accuracy()) {
-				d = corruptToken(id, tok.VocabSize())
-			}
-			draft = append(draft, d)
-		}
-	}
-	s.draftBuf = draft
-	return draft
-}
-
-// draftHit deterministically decides whether the simulated draft model gets
-// a position right (SplitMix64-style hash of seed, sequence, position).
-func draftHit(seed int64, seq, pos int, acc float64) bool {
-	h := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(seq+1)*0xBF58476D1CE4E5B9 ^ uint64(pos+1)*0x94D049BB133111EB
-	h ^= h >> 30
-	h *= 0xBF58476D1CE4E5B9
-	h ^= h >> 27
-	h *= 0x94D049BB133111EB
-	h ^= h >> 31
-	return float64(h>>11)/float64(1<<53) < acc
-}
-
-// corruptToken returns a regular token different from id — the draft
-// model's wrong guess.
-func corruptToken(id int32, vocab int) int32 {
-	c := id + 1
-	if int(c) >= vocab {
-		c = tokenizer.NumSpecial
-	}
-	if c == id { // single-regular-token vocabulary; nothing else to propose
-		return id
-	}
-	return c
-}
-
-// maskedPrefixToken finds an alternative next token when the teacher-forced
-// first token of the remaining target is masked out: the longest token that
-// is both a byte-prefix of the remaining target and allowed by the mask.
-// This happens at structural-tag segment exits — the in-tag mask only
-// admits tokens that stay inside the segment, so a BPE token spanning the
-// end tag and trailing free text must be re-split at the boundary, exactly
-// as a real constrained sampler would pick a shorter token there.
-func (r *runner) maskedPrefixToken(s *streamSeq) (int32, bool) {
-	rem := s.req.Target[s.emitted:]
-	max := 32
-	if len(rem) < max {
-		max = len(rem)
-	}
-	for plen := max; plen >= 1; plen-- {
-		id := r.cfg.Tok.Encode(rem[:plen])[0]
-		if int(id) < s.mask.Len() && s.mask.Get(int(id)) {
-			return id, true
-		}
-	}
-	return 0, false
-}
-
-// jumpForward runs the teacher-checked jump-forward insertion (Appendix B)
-// for one live sequence; measured CPU is charged to the step (it runs on
-// the grammar thread).
+// jumpForward runs the jump-forward insertion (Appendix B) for one live
+// sequence: the grammar's deterministic continuation is offered to the
+// model backend (ObserveForced), and inserted only when the backend absorbs
+// it — the teacher-forced backend checks it against its target, a sampler
+// backend accepts it for free. Measured CPU is charged to the step (it runs
+// on the grammar thread).
 func (r *runner) jumpForward(s *streamSeq) error {
 	if !r.cfg.JumpForward || s.session == nil {
 		return nil
@@ -704,13 +725,11 @@ func (r *runner) jumpForward(s *streamSeq) error {
 	}
 	t0 := time.Now()
 	forced := jf.JumpForward()
-	if forced != "" && s.emitted+len(forced) <= len(s.req.Target) &&
-		s.req.Target[s.emitted:s.emitted+len(forced)] == forced {
+	if forced != "" && s.seq.ObserveForced(forced) {
 		if err := jf.AcceptString(forced); err != nil {
 			return fmt.Errorf("engine: jump-forward: %w", err)
 		}
 		s.output = append(s.output, forced...)
-		s.emitted += len(forced)
 		n := len(r.cfg.Tok.Encode(forced))
 		s.outTokens += n
 		r.met.JumpForwardTokens += n

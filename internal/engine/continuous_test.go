@@ -57,7 +57,7 @@ func streamReqs(tok *tokenizer.Tokenizer, jsonB, schemaB baselines.Backend, task
 		reqs[i] = &StreamRequest{
 			Req:     llmsim.NewRequests([]string{target}, 139)[0],
 			Arrival: time.Duration(i) * gap,
-			Backend: backend,
+			Grammar: backend,
 		}
 	}
 	return reqs
@@ -72,7 +72,7 @@ func TestContinuousJoinLeave(t *testing.T) {
 	const n = 9
 	reqs := streamReqs(tok, jsonB, schemaB, task, n, 2*time.Millisecond)
 	met, outs, err := RunStream(StreamConfig{
-		Profile:  testProfile(),
+		Model:    testModel(tok),
 		Mode:     Overlap,
 		Tok:      tok,
 		MaxBatch: 3,
@@ -114,7 +114,7 @@ func TestContinuousQueueing(t *testing.T) {
 	tok, jsonB, schemaB, task := pooledSetup(t)
 	reqs := streamReqs(tok, jsonB, schemaB, task, 8, 0)
 	bounded, _, err := RunStream(StreamConfig{
-		Profile: testProfile(), Mode: Overlap, Tok: tok, MaxBatch: 2,
+		Model: testModel(tok), Mode: Overlap, Tok: tok, MaxBatch: 2,
 	}, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +126,7 @@ func TestContinuousQueueing(t *testing.T) {
 		t.Fatalf("peak batch %d, want 2", bounded.PeakBatch)
 	}
 	unbounded, _, err := RunStream(StreamConfig{
-		Profile: testProfile(), Mode: Overlap, Tok: tok,
+		Model: testModel(tok), Mode: Overlap, Tok: tok,
 	}, streamReqs(tok, jsonB, schemaB, task, 8, 0))
 	if err != nil {
 		t.Fatal(err)
@@ -148,13 +148,13 @@ func TestContinuousOverlapBeatsSerial(t *testing.T) {
 		return streamReqs(tok, jsonB, schemaB, task, 6, time.Millisecond)
 	}
 	serial, _, err := RunStream(StreamConfig{
-		Profile: testProfile(), Mode: Serial, Tok: tok, MaxBatch: 4,
+		Model: testModel(tok), Mode: Serial, Tok: tok, MaxBatch: 4,
 	}, mk())
 	if err != nil {
 		t.Fatal(err)
 	}
 	overlap, _, err := RunStream(StreamConfig{
-		Profile: testProfile(), Mode: Overlap, Tok: tok, MaxBatch: 4,
+		Model: testModel(tok), Mode: Overlap, Tok: tok, MaxBatch: 4,
 	}, mk())
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +170,7 @@ func TestContinuousOverlapBeatsSerial(t *testing.T) {
 func TestContinuousMatchesFixedAtZeroArrivals(t *testing.T) {
 	tok, backend := testSetup(t)
 	targets := jsonTargets(4)
-	fixedMet, fixedOuts, err := Run(Config{Profile: testProfile(), Mode: Overlap, Backend: backend, Tok: tok},
+	fixedMet, fixedOuts, err := Run(Config{Model: testModel(tok), Mode: Overlap, Grammar: backend, Tok: tok},
 		llmsim.NewRequests(targets, 139))
 	if err != nil {
 		t.Fatal(err)
@@ -181,7 +181,7 @@ func TestContinuousMatchesFixedAtZeroArrivals(t *testing.T) {
 		streams[i] = &StreamRequest{Req: r}
 	}
 	streamMet, streamOuts, err := RunStream(StreamConfig{
-		Profile: testProfile(), Mode: Overlap, Backend: backend, Tok: tok,
+		Model: testModel(tok), Mode: Overlap, Grammar: backend, Tok: tok,
 	}, streams)
 	if err != nil {
 		t.Fatal(err)
@@ -227,12 +227,12 @@ func fixedBatchReqs(reqs []*StreamRequest) []*StreamRequest {
 func TestContinuousAtLeastFixedThroughput(t *testing.T) {
 	tok, jsonB, schemaB, task := pooledSetup(t)
 	arrivals := streamReqs(tok, jsonB, schemaB, task, 8, 2*time.Millisecond)
-	fixed, _, err := RunStream(StreamConfig{Profile: testProfile(), Mode: Overlap, Tok: tok},
+	fixed, _, err := RunStream(StreamConfig{Model: testModel(tok), Mode: Overlap, Tok: tok},
 		fixedBatchReqs(arrivals))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cont, _, err := RunStream(StreamConfig{Profile: testProfile(), Mode: Overlap, Tok: tok},
+	cont, _, err := RunStream(StreamConfig{Model: testModel(tok), Mode: Overlap, Tok: tok},
 		streamReqs(tok, jsonB, schemaB, task, 8, 2*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
@@ -261,7 +261,7 @@ func TestContinuousAtLeastFixedThroughput(t *testing.T) {
 // fixed-batch behavior (start after the last arrival) over the same work.
 func BenchmarkContinuousBatching(b *testing.B) {
 	tok, jsonB, schemaB, task := pooledSetup(b)
-	profile := testProfile()
+	model := testModel(tok)
 	const n, gap = 8, time.Millisecond
 	run := func(b *testing.B, mode Mode, maxBatch int, fixed bool) {
 		for i := 0; i < b.N; i++ {
@@ -269,7 +269,7 @@ func BenchmarkContinuousBatching(b *testing.B) {
 			if fixed {
 				reqs = fixedBatchReqs(reqs)
 			}
-			met, _, err := RunStream(StreamConfig{Profile: profile, Mode: mode, Tok: tok, MaxBatch: maxBatch}, reqs)
+			met, _, err := RunStream(StreamConfig{Model: model, Mode: mode, Tok: tok, MaxBatch: maxBatch}, reqs)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,18 +1,23 @@
 // Package engine is the serving engine co-designed with the grammar runtime
 // (§3.5): continuous-batching decoding where sequences join and leave the
-// running batch mid-decode, each step's wall time combines modelled GPU time
-// (from a llmsim.Profile) with measured grammar CPU time — either serialized
-// (mask generation on the critical path) or overlapped (the whole batch's
-// masks filled through a persistent worker pool while the GPU step runs,
-// synchronizing before sampling). Jump-forward decoding (Appendix B) inserts
-// forced tokens without spending decode steps.
+// running batch mid-decode, each step's wall time combines the model
+// backend's modelled accelerator time (backend.Timing — the llmsim latency
+// profile for simulation backends) with measured grammar CPU time — either
+// serialized (mask generation on the critical path) or overlapped (the
+// whole batch's masks filled through a persistent worker pool while the
+// GPU step runs, synchronizing before sampling). Jump-forward decoding
+// (Appendix B) inserts forced tokens without spending decode steps.
+//
+// The engine never names a model implementation: every sequence's tokens
+// come from a backend.Sequence (teacher-forced simulation, an HTTP model
+// server, ...), and the grammar side stays in baselines.Backend sessions.
 package engine
 
 import (
 	"time"
 
+	"xgrammar/internal/backend"
 	"xgrammar/internal/baselines"
-	"xgrammar/internal/llmsim"
 	"xgrammar/internal/tokenizer"
 )
 
@@ -29,11 +34,11 @@ const (
 	// Overlap hides mask generation behind the GPU decode step and
 	// synchronizes before sampling (§3.5).
 	Overlap
-	// Speculative is Overlap plus draft-verify decoding: each round a cheap
-	// draft model proposes a token window, the grammar speculatively
-	// accepts it (capturing per-position masks for the verify pass), and
-	// the rejected suffix is retracted through the matcher's rollback
-	// window — sequences advance by accepted+1 tokens per GPU step.
+	// Speculative is Overlap plus draft-verify decoding: each round the
+	// backend's draft hook proposes a token window, the grammar
+	// speculatively accepts it (capturing per-position masks for the verify
+	// pass), and the rejected suffix is retracted through the matcher's
+	// rollback window — sequences advance by accepted+1 tokens per GPU step.
 	Speculative
 )
 
@@ -57,12 +62,13 @@ func (m Mode) overlapped() bool { return m == Overlap || m == Speculative }
 // Config describes one fixed-batch engine configuration (the Run entry
 // point); RunStream takes the richer StreamConfig.
 type Config struct {
-	Profile llmsim.Profile
-	Mode    Mode
-	// Backend supplies grammar sessions; ignored when Mode==Unconstrained.
-	Backend baselines.Backend
+	// Model is the model backend sequences decode against. Required.
+	Model backend.Backend
+	Mode  Mode
+	// Grammar supplies grammar sessions; ignored when Mode==Unconstrained.
+	Grammar baselines.Backend
 	Tok     *tokenizer.Tokenizer
-	// JumpForward enables forced-token insertion when the backend session
+	// JumpForward enables forced-token insertion when the grammar session
 	// supports it.
 	JumpForward bool
 	// GrammarInitTime is the measured preprocessing cost (mask cache
@@ -87,7 +93,7 @@ type Metrics struct {
 	TPOT time.Duration
 	// MaskCPU is the total measured grammar CPU time.
 	MaskCPU time.Duration
-	// GPUTime is the total modelled GPU time.
+	// GPUTime is the total modelled GPU time (the backend's Timing).
 	GPUTime time.Duration
 	// Wall is the total modelled wall time.
 	Wall time.Duration
@@ -104,12 +110,13 @@ func (m Metrics) TokensPerSecond() float64 {
 // seqState is the per-sequence decoding state shared by the continuous
 // scheduler.
 type seqState struct {
-	req       *llmsim.Request
+	req       *backend.Request
+	seq       backend.Sequence
 	session   baselines.Session
 	idx       int // position in the caller's request slice
-	emitted   int
 	outTokens int
 	done      bool
+	failed    bool
 	finishAt  time.Duration
 	output    []byte
 }
@@ -118,31 +125,21 @@ func (s *seqState) index() int { return s.idx }
 
 // Run decodes all requests as one fixed batch: the continuous-batching
 // scheduler with every request arriving at time zero and no batch bound.
-func Run(cfg Config, reqs []*llmsim.Request) (Metrics, []string, error) {
+func Run(cfg Config, reqs []*backend.Request) (Metrics, []string, error) {
 	streams := make([]*StreamRequest, len(reqs))
 	for i, r := range reqs {
 		streams[i] = &StreamRequest{Req: r, GrammarInit: cfg.GrammarInitTime}
 	}
 	sm, outs, err := RunStream(StreamConfig{
-		Profile:     cfg.Profile,
+		Model:       cfg.Model,
 		Mode:        cfg.Mode,
-		Backend:     cfg.Backend,
+		Grammar:     cfg.Grammar,
 		Tok:         cfg.Tok,
 		JumpForward: cfg.JumpForward,
 		MaxSteps:    cfg.MaxSteps,
 		Spec:        cfg.Spec,
 	}, streams)
 	return sm.Metrics, outs, err
-}
-
-// nextToken returns the next token the teacher-forced model proposes: the
-// first token of the remaining target, or EOS at the end.
-func (s *seqState) nextToken(tok *tokenizer.Tokenizer) int32 {
-	if s.emitted >= len(s.req.Target) {
-		return tokenizer.EosID
-	}
-	ids := tok.Encode(s.req.Target[s.emitted:])
-	return ids[0]
 }
 
 // consume applies an emitted token to the sequence state.
@@ -153,7 +150,6 @@ func (s *seqState) consume(tok *tokenizer.Tokenizer, id int32) {
 	}
 	b := tok.TokenBytes(id)
 	s.output = append(s.output, b...)
-	s.emitted += len(b)
 	s.outTokens++
 }
 

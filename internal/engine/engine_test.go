@@ -44,7 +44,7 @@ func TestUnconstrainedRun(t *testing.T) {
 	tok, _ := testSetup(t)
 	targets := jsonTargets(3)
 	reqs := llmsim.NewRequests(targets, 139)
-	met, outs, err := Run(Config{Profile: testProfile(), Mode: Unconstrained, Tok: tok}, reqs)
+	met, outs, err := Run(Config{Model: testModel(tok), Mode: Unconstrained, Tok: tok}, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestConstrainedMatchesTargets(t *testing.T) {
 	targets := jsonTargets(3)
 	reqs := llmsim.NewRequests(targets, 139)
 	for _, mode := range []Mode{Serial, Overlap} {
-		met, outs, err := Run(Config{Profile: testProfile(), Mode: mode, Backend: backend, Tok: tok}, reqs)
+		met, outs, err := Run(Config{Model: testModel(tok), Mode: mode, Grammar: backend, Tok: tok}, reqs)
 		if err != nil {
 			t.Fatalf("mode %v: %v", mode, err)
 		}
@@ -84,12 +84,12 @@ func TestConstrainedMatchesTargets(t *testing.T) {
 func TestOverlapHidesGrammarCPU(t *testing.T) {
 	tok, backend := testSetup(t)
 	targets := jsonTargets(4)
-	serialMet, _, err := Run(Config{Profile: testProfile(), Mode: Serial, Backend: backend, Tok: tok},
+	serialMet, _, err := Run(Config{Model: testModel(tok), Mode: Serial, Grammar: backend, Tok: tok},
 		llmsim.NewRequests(targets, 139))
 	if err != nil {
 		t.Fatal(err)
 	}
-	overlapMet, _, err := Run(Config{Profile: testProfile(), Mode: Overlap, Backend: backend, Tok: tok},
+	overlapMet, _, err := Run(Config{Model: testModel(tok), Mode: Overlap, Grammar: backend, Tok: tok},
 		llmsim.NewRequests(targets, 139))
 	if err != nil {
 		t.Fatal(err)
@@ -114,14 +114,14 @@ func TestJumpForwardReducesSteps(t *testing.T) {
 	cache := maskcache.Build(p, tok, maskcache.Options{ContextExpansion: true})
 	backend := baselines.NewXGBackend(p, cache, tok, "")
 	reqs := llmsim.NewRequests([]string{task.Instance}, 139)
-	plain, outs, err := Run(Config{Profile: testProfile(), Mode: Overlap, Backend: backend, Tok: tok}, reqs)
+	plain, outs, err := Run(Config{Model: testModel(tok), Mode: Overlap, Grammar: backend, Tok: tok}, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if outs[0] != task.Instance {
 		t.Fatalf("plain output mismatch: %q", outs[0])
 	}
-	jfMet, outs2, err := Run(Config{Profile: testProfile(), Mode: Overlap, Backend: backend, Tok: tok, JumpForward: true},
+	jfMet, outs2, err := Run(Config{Model: testModel(tok), Mode: Overlap, Grammar: backend, Tok: tok, JumpForward: true},
 		llmsim.NewRequests([]string{task.Instance}, 139))
 	if err != nil {
 		t.Fatal(err)
@@ -139,12 +139,12 @@ func TestJumpForwardReducesSteps(t *testing.T) {
 
 func TestBatchScalesGPU(t *testing.T) {
 	tok, backend := testSetup(t)
-	one, _, err := Run(Config{Profile: testProfile(), Mode: Overlap, Backend: backend, Tok: tok},
+	one, _, err := Run(Config{Model: testModel(tok), Mode: Overlap, Grammar: backend, Tok: tok},
 		llmsim.NewRequests(jsonTargets(1), 10))
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, _, err := Run(Config{Profile: testProfile(), Mode: Overlap, Backend: backend, Tok: tok},
+	many, _, err := Run(Config{Model: testModel(tok), Mode: Overlap, Grammar: backend, Tok: tok},
 		llmsim.NewRequests(jsonTargets(8), 10))
 	if err != nil {
 		t.Fatal(err)
@@ -172,7 +172,7 @@ func TestNoiseCorruptsUnconstrainedOnly(t *testing.T) {
 		t.Fatal("noisy equals clean")
 	}
 	reqs := llmsim.NewRequests([]string{noisy}, 10)
-	_, outs, err := Run(Config{Profile: testProfile(), Mode: Unconstrained, Tok: tok}, reqs)
+	_, outs, err := Run(Config{Model: testModel(tok), Mode: Unconstrained, Tok: tok}, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,11 +185,11 @@ func TestTTFTIncludesGrammarInitSerially(t *testing.T) {
 	tok, backend := testSetup(t)
 	init := 50 * time.Millisecond
 	reqs := llmsim.NewRequests(jsonTargets(1), 100)
-	ser, _, err := Run(Config{Profile: testProfile(), Mode: Serial, Backend: backend, Tok: tok, GrammarInitTime: init}, reqs)
+	ser, _, err := Run(Config{Model: testModel(tok), Mode: Serial, Grammar: backend, Tok: tok, GrammarInitTime: init}, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ovl, _, err := Run(Config{Profile: testProfile(), Mode: Overlap, Backend: backend, Tok: tok, GrammarInitTime: init},
+	ovl, _, err := Run(Config{Model: testModel(tok), Mode: Overlap, Grammar: backend, Tok: tok, GrammarInitTime: init},
 		llmsim.NewRequests(jsonTargets(1), 100))
 	if err != nil {
 		t.Fatal(err)

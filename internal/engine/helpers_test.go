@@ -3,8 +3,12 @@ package engine
 import (
 	"math/rand"
 
+	"xgrammar/internal/backend"
+	"xgrammar/internal/backend/simllm"
 	"xgrammar/internal/grammar"
 	"xgrammar/internal/jsonschema"
+	"xgrammar/internal/llmsim"
+	"xgrammar/internal/tokenizer"
 )
 
 func compileSchema(schema []byte) (*grammar.Grammar, error) {
@@ -13,4 +17,14 @@ func compileSchema(schema []byte) (*grammar.Grammar, error) {
 
 func newRng(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
+}
+
+// testModel is the teacher-forced model backend over the fast test profile.
+func testModel(tok *tokenizer.Tokenizer) backend.Backend {
+	return simllm.NewTeacher(tok, testProfile(), simllm.TeacherOptions{})
+}
+
+// specModel is testModel with a configured simulated draft model.
+func specModel(tok *tokenizer.Tokenizer, profile llmsim.Profile, acc float64, seed int64) backend.Backend {
+	return simllm.NewTeacher(tok, profile, simllm.TeacherOptions{DraftAccuracy: acc, DraftSeed: seed})
 }

@@ -29,14 +29,14 @@ func specSetup(t testing.TB, maxHistory, n int) (*tokenizer.Tokenizer, baselines
 	return tok, backend, llmsim.NewRequests(workload.JSONDocs(n, 42), 64)
 }
 
-func runMode(t *testing.T, tok *tokenizer.Tokenizer, backend baselines.Backend, reqs []*llmsim.Request, mode Mode, spec SpecOptions, jf bool) (StreamMetrics, []string) {
+func runMode(t *testing.T, tok *tokenizer.Tokenizer, backend baselines.Backend, reqs []*llmsim.Request, mode Mode, spec SpecOptions, acc float64, dseed int64, jf bool) (StreamMetrics, []string) {
 	t.Helper()
 	streams := make([]*StreamRequest, len(reqs))
 	for i, r := range reqs {
-		streams[i] = &StreamRequest{Req: r, Arrival: time.Duration(i) * time.Millisecond, Backend: backend}
+		streams[i] = &StreamRequest{Req: r, Arrival: time.Duration(i) * time.Millisecond, Grammar: backend}
 	}
 	met, outs, err := RunStream(StreamConfig{
-		Profile:     llmsim.H100Llama8B(),
+		Model:       specModel(tok, llmsim.H100Llama8B(), acc, dseed),
 		Mode:        mode,
 		Tok:         tok,
 		MaxBatch:    4,
@@ -56,9 +56,9 @@ func runMode(t *testing.T, tok *tokenizer.Tokenizer, backend baselines.Backend, 
 // positive acceptance rate.
 func TestSpeculativeByteIdenticalAndFewerSteps(t *testing.T) {
 	tok, backend, reqs := specSetup(t, 0, 6)
-	base, baseOuts := runMode(t, tok, backend, reqs, Overlap, SpecOptions{}, false)
+	base, baseOuts := runMode(t, tok, backend, reqs, Overlap, SpecOptions{}, 0, 0, false)
 	sp, spOuts := runMode(t, tok, backend, reqs, Speculative,
-		SpecOptions{DraftTokens: 4, DraftAccuracy: 0.8, DraftSeed: 7}, false)
+		SpecOptions{DraftTokens: 4}, 0.8, 7, false)
 
 	for i := range baseOuts {
 		if baseOuts[i] != spOuts[i] {
@@ -93,9 +93,9 @@ func TestSpeculativeByteIdenticalAndFewerSteps(t *testing.T) {
 // roughly the window factor.
 func TestSpeculativePerfectDraftSavesMost(t *testing.T) {
 	tok, backend, reqs := specSetup(t, 0, 4)
-	base, baseOuts := runMode(t, tok, backend, reqs, Overlap, SpecOptions{}, false)
+	base, baseOuts := runMode(t, tok, backend, reqs, Overlap, SpecOptions{}, 0, 0, false)
 	sp, spOuts := runMode(t, tok, backend, reqs, Speculative,
-		SpecOptions{DraftTokens: 4, DraftAccuracy: 1.0}, false)
+		SpecOptions{DraftTokens: 4}, 1.0, 0, false)
 	for i := range baseOuts {
 		if baseOuts[i] != spOuts[i] {
 			t.Fatalf("output %d differs", i)
@@ -118,7 +118,7 @@ func TestSpeculativePerfectDraftSavesMost(t *testing.T) {
 func TestSpeculativeWindowOverflowFallsBack(t *testing.T) {
 	tok, backend, reqs := specSetup(t, 3, 4) // history 3 < window 8
 	sp, outs := runMode(t, tok, backend, reqs, Speculative,
-		SpecOptions{DraftTokens: 8, DraftAccuracy: 0.9}, false)
+		SpecOptions{DraftTokens: 8}, 0.9, 0, false)
 	for i := range outs {
 		if outs[i] != reqs[i].Target {
 			t.Fatalf("fallback output %d wrong:\n got %q\n want %q", i, outs[i], reqs[i].Target)
@@ -138,7 +138,7 @@ func TestSpeculativeWindowOverflowFallsBack(t *testing.T) {
 func TestSpeculativeWithJumpForward(t *testing.T) {
 	tok, backend, reqs := specSetup(t, 0, 4)
 	sp, outs := runMode(t, tok, backend, reqs, Speculative,
-		SpecOptions{DraftTokens: 3, DraftAccuracy: 0.7, DraftSeed: 11}, true)
+		SpecOptions{DraftTokens: 3}, 0.7, 11, true)
 	for i := range outs {
 		if outs[i] != reqs[i].Target {
 			t.Fatalf("output %d wrong with jump-forward", i)
@@ -154,12 +154,12 @@ func TestSpeculativeWithJumpForward(t *testing.T) {
 func TestRunSpeculativeMode(t *testing.T) {
 	tok, backend, reqs := specSetup(t, 0, 3)
 	met, outs, err := Run(Config{
-		Profile:  llmsim.H100Llama8B(),
+		Model:    specModel(tok, llmsim.H100Llama8B(), 0.9, 0),
 		Mode:     Speculative,
-		Backend:  backend,
+		Grammar:  backend,
 		Tok:      tok,
 		MaxSteps: 100000,
-		Spec:     SpecOptions{DraftTokens: 4, DraftAccuracy: 0.9},
+		Spec:     SpecOptions{DraftTokens: 4},
 	}, reqs)
 	if err != nil {
 		t.Fatal(err)

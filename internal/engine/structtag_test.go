@@ -61,7 +61,7 @@ func TestStructTagRunMatchesTargets(t *testing.T) {
 		for _, mode := range []Mode{Serial, Overlap} {
 			reqs := llmsim.NewRequests(targets, 50)
 			met, outs, err := Run(Config{
-				Profile: testProfile(), Mode: mode, Backend: backend,
+				Model: testModel(info.Raw()), Mode: mode, Grammar: backend,
 				Tok: info.Raw(), JumpForward: jf,
 			}, reqs)
 			if err != nil {
@@ -92,11 +92,12 @@ func TestStructTagSpeculativeByteIdentical(t *testing.T) {
 	run := func(mode Mode) []string {
 		reqs := make([]*StreamRequest, len(targets))
 		for i, r := range llmsim.NewRequests(targets, 50) {
-			reqs[i] = &StreamRequest{Req: r, Arrival: time.Duration(i) * 100 * time.Microsecond, Backend: backend}
+			reqs[i] = &StreamRequest{Req: r, Arrival: time.Duration(i) * 100 * time.Microsecond, Grammar: backend}
 		}
 		_, outs, err := RunStream(StreamConfig{
-			Profile: testProfile(), Mode: mode, Tok: info.Raw(), JumpForward: true,
-			Spec: SpecOptions{DraftTokens: 4, DraftAccuracy: 0.9, DraftSeed: 3},
+			Model: specModel(info.Raw(), testProfile(), 0.9, 3),
+			Mode:  mode, Tok: info.Raw(), JumpForward: true,
+			Spec: SpecOptions{DraftTokens: 4},
 		}, reqs)
 		if err != nil {
 			t.Fatalf("mode %v: %v", mode, err)
@@ -127,10 +128,10 @@ func TestStructTagContinuousBatching(t *testing.T) {
 	}
 	reqs := make([]*StreamRequest, len(targets))
 	for i, r := range llmsim.NewRequests(targets, 30) {
-		reqs[i] = &StreamRequest{Req: r, Arrival: time.Duration(i) * 150 * time.Microsecond, Backend: backend}
+		reqs[i] = &StreamRequest{Req: r, Arrival: time.Duration(i) * 150 * time.Microsecond, Grammar: backend}
 	}
 	met, outs, err := RunStream(StreamConfig{
-		Profile: testProfile(), Mode: Overlap, Tok: info.Raw(),
+		Model: testModel(info.Raw()), Mode: Overlap, Tok: info.Raw(),
 		MaxBatch: 4, JumpForward: true,
 	}, reqs)
 	if err != nil {

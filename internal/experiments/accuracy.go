@@ -88,9 +88,9 @@ func (s *Suite) Tab4() *Table {
 // and validates the produced text — end to end, not by assumption.
 func (s *Suite) constrainedOutputValid(p *pda.PDA, backend *baselines.XGBackend, target string) bool {
 	met, outs, err := engine.Run(engine.Config{
-		Profile:  llmsim.H100Llama8B(),
+		Model:    s.Model(llmsim.H100Llama8B()),
 		Mode:     engine.Overlap,
-		Backend:  backend,
+		Grammar:  backend,
 		Tok:      s.Tok(),
 		MaxSteps: s.FastStepCap,
 	}, llmsim.NewRequests([]string{target}, s.PromptTokens))

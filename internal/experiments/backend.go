@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"xgrammar"
+	"xgrammar/internal/backend"
+	"xgrammar/internal/backend/httpllm"
+	"xgrammar/internal/backend/simllm"
+	"xgrammar/internal/server"
+)
+
+// BackendBenchResult is one machine-readable model-backend comparison
+// record: the same seeded generations served by the gateway through the
+// in-process simulated sampler and through the HTTP adapter pointed at a
+// loopback of that same sampler. The HTTP hop adds transport but no
+// semantics, so byte_identical must hold; the latency columns price the
+// transport.
+type BackendBenchResult struct {
+	Experiment   string  `json:"experiment"`
+	Backend      string  `json:"backend"`
+	Requests     int     `json:"requests"`
+	OutputTokens int     `json:"output_tokens"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	// Request-latency percentiles from the gateway's per-backend counters.
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+	Errors       int64   `json:"errors"`
+	// ByteIdentical compares every output byte-for-byte against the
+	// in-process run (trivially true for the in-process row itself).
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+// benchBackendSchema is the workload grammar of the backend smoke.
+const benchBackendSchema = `{"type": "object", "properties": {
+	"name": {"type": "string"}, "id": {"type": "integer"}},
+	"required": ["name", "id"]}`
+
+// BackendBench benchmarks the model-backend seam end-to-end: a gateway
+// decodes the same seed set through its default in-process sampler and
+// through the httpllm adapter looped back onto an identical sampler, through
+// the unchanged batching and dispatch layers. Memoized like the other
+// benchmark suites.
+func (s *Suite) BackendBench() []BackendBenchResult {
+	if s.backendResults != nil {
+		return s.backendResults
+	}
+	vocab := s.Vocab
+	if vocab > 2000 {
+		// The smoke prices the transport seam, not the tokenizer; cap the
+		// vocabulary so full mode does not spend minutes training one.
+		vocab = 2000
+	}
+	comp := xgrammar.NewCompiler(xgrammar.DefaultTokenizer(vocab))
+	eos := comp.TokenizerInfo().EOSTokenID()
+	loop := httptest.NewServer(httpllm.NewLoopbackHandler(simllm.NewSampler(eos), httpllm.LoopbackOptions{}))
+	defer loop.Close()
+
+	srv := server.New(server.Config{
+		Engine:      xgrammar.NewEngine(comp),
+		MaxInflight: 16,
+		MaxTokens:   200,
+		Backends: map[string]backend.Backend{
+			"loopback": httpllm.New(httpllm.Options{BaseURL: loop.URL}),
+		},
+	})
+	gw := httptest.NewServer(srv)
+	defer gw.Close()
+	defer srv.Close()
+
+	requests := s.NumDocs
+	seeds := make([]int64, requests)
+	for i := range seeds {
+		seeds[i] = int64(1000 + i)
+	}
+
+	run := func(model string) (outs []string, tokens int, wall time.Duration) {
+		t0 := time.Now()
+		for _, seed := range seeds {
+			body, _ := json.Marshal(server.GenerateRequest{
+				GrammarRequest: server.GrammarRequest{Kind: "json_schema", Source: benchBackendSchema},
+				Model:          model,
+				Seed:           seed,
+			})
+			resp, err := http.Post(gw.URL+"/v1/generate", "application/json", strings.NewReader(string(body)))
+			if err != nil {
+				panic("experiments: backend bench: " + err.Error())
+			}
+			var r server.GenerateResponse
+			if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+				panic("experiments: backend bench: " + err.Error())
+			}
+			resp.Body.Close()
+			outs = append(outs, r.Text)
+			tokens += r.Tokens
+		}
+		return outs, tokens, time.Since(t0)
+	}
+
+	localOuts, localTokens, localWall := run("")
+	httpOuts, httpTokens, httpWall := run("loopback")
+	identical := len(httpOuts) == len(localOuts)
+	for i := range httpOuts {
+		if httpOuts[i] != localOuts[i] {
+			identical = false
+			break
+		}
+	}
+
+	var met server.Metrics
+	resp, err := http.Get(gw.URL + "/metrics")
+	if err != nil {
+		panic("experiments: backend bench: " + err.Error())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&met); err != nil {
+		panic("experiments: backend bench: " + err.Error())
+	}
+	resp.Body.Close()
+
+	record := func(name string, tokens int, wall time.Duration, identical bool) BackendBenchResult {
+		bm := met.Backends[name]
+		return BackendBenchResult{
+			Experiment:    "backend seam: " + name,
+			Backend:       name,
+			Requests:      requests,
+			OutputTokens:  tokens,
+			TokensPerSec:  float64(tokens) / wall.Seconds(),
+			LatencyP50MS:  bm.LatencyP50MS,
+			LatencyP99MS:  bm.LatencyP99MS,
+			Errors:        bm.Errors,
+			ByteIdentical: identical,
+		}
+	}
+	s.backendResults = []BackendBenchResult{
+		record("sim", localTokens, localWall, true),
+		record("http", httpTokens, httpWall, identical),
+	}
+	return s.backendResults
+}
+
+// Backend renders the model-backend comparison as an experiment table.
+func (s *Suite) Backend() *Table {
+	t := &Table{
+		ID:    "backend",
+		Title: "Model-backend seam: in-process sampler vs HTTP loopback adapter",
+		Paper: "the Backend interface carries the grammar bitmask to the model per decode step; the loopback prices the transport without changing semantics",
+		Header: []string{
+			"backend", "requests", "tokens", "tok/s", "req p50 ms", "req p99 ms", "errors", "identical",
+		},
+	}
+	for _, r := range s.BackendBench() {
+		t.Add(
+			r.Backend,
+			fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%d", r.OutputTokens),
+			fmt.Sprintf("%.0f", r.TokensPerSec),
+			fmt.Sprintf("%.2f", r.LatencyP50MS),
+			fmt.Sprintf("%.2f", r.LatencyP99MS),
+			fmt.Sprintf("%d", r.Errors),
+			fmt.Sprintf("%v", r.ByteIdentical),
+		)
+	}
+	t.Note("both rows decode the same seeds through the same gateway; the http row crosses the httpllm wire protocol into a loopback of the identical sampler")
+	t.Note("'identical' compares every output byte-for-byte against the in-process run — the adapter must add transport, not semantics")
+	return t
+}

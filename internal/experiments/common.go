@@ -3,11 +3,14 @@ package experiments
 import (
 	"time"
 
+	"xgrammar/internal/backend"
+	"xgrammar/internal/backend/simllm"
 	"xgrammar/internal/baselines"
 	"xgrammar/internal/bitset"
 	"xgrammar/internal/builtin"
 	"xgrammar/internal/grammar"
 	"xgrammar/internal/jsonschema"
+	"xgrammar/internal/llmsim"
 	"xgrammar/internal/maskcache"
 	"xgrammar/internal/pda"
 	"xgrammar/internal/tokenizer"
@@ -27,8 +30,15 @@ type Suite struct {
 	BatchSizes   []int
 	PromptTokens int
 	Quick        bool
+	// ModelSpec selects the model backend through the registry (the xgbench
+	// and xgrun -backend flag); empty or "llmsim" uses the in-process
+	// teacher-forced simulation, which is the only backend whose Timing
+	// models the chosen hardware profile.
+	ModelSpec string
 
 	tok *tokenizer.Tokenizer
+	// registryModel memoizes the -backend selected model across experiments.
+	registryModel backend.Backend
 	// memoized compiled artifacts
 	pdas   map[string]*pda.PDA
 	caches map[string]*maskcache.Cache
@@ -41,6 +51,8 @@ type Suite struct {
 	specResults []SpecBenchResult
 	// memoized structural-tag benchmark results
 	tagsResults []TagsResult
+	// memoized model-backend seam benchmark results
+	backendResults []BackendBenchResult
 }
 
 // NewSuite returns a suite configuration.
@@ -75,6 +87,30 @@ func (s *Suite) Tok() *tokenizer.Tokenizer {
 		s.tok = tokenizer.BuildDefault(s.Vocab)
 	}
 	return s.tok
+}
+
+// Model returns the model backend experiments decode against: the
+// teacher-forced llmsim simulation timed by the given hardware profile, or
+// the registry backend named by ModelSpec (whose own Timing applies — the
+// profile only parameterizes the simulation).
+func (s *Suite) Model(profile llmsim.Profile) backend.Backend {
+	return s.SpecModel(profile, 0, 0)
+}
+
+// SpecModel is Model with the simulated draft model configured (speculative
+// decoding experiments); registry backends bring their own draft hook.
+func (s *Suite) SpecModel(profile llmsim.Profile, acc float64, seed int64) backend.Backend {
+	if s.ModelSpec != "" && s.ModelSpec != "llmsim" {
+		if s.registryModel == nil {
+			m, err := backend.Open(s.ModelSpec)
+			if err != nil {
+				panic("experiments: backend " + s.ModelSpec + ": " + err.Error())
+			}
+			s.registryModel = m
+		}
+		return s.registryModel
+	}
+	return simllm.NewTeacher(s.Tok(), profile, simllm.TeacherOptions{DraftAccuracy: acc, DraftSeed: seed})
 }
 
 // PDA compiles and memoizes a grammar under the given options.

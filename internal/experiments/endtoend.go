@@ -91,9 +91,9 @@ func (s *Suite) Fig10() *Table {
 				}
 			}
 			met := s.run(engine.Config{
-				Profile:         profile,
+				Model:           s.Model(profile),
 				Mode:            rc.mode,
-				Backend:         rc.backend,
+				Grammar:         rc.backend,
 				JumpForward:     rc.jf,
 				GrammarInitTime: rc.init,
 			}, cycle(rc.targets, batch), maxSteps)
@@ -117,10 +117,10 @@ func (s *Suite) Tab1() *Table {
 	art := s.Schemas()[0]
 	for _, profile := range []llmsim.Profile{llmsim.H100Llama8B(), llmsim.DeepSeekV2Lite()} {
 		outl := s.run(engine.Config{
-			Profile: profile, Mode: engine.Serial, Backend: art.FSM, GrammarInitTime: art.FSMInit,
+			Model: s.Model(profile), Mode: engine.Serial, Grammar: art.FSM, GrammarInitTime: art.FSMInit,
 		}, []string{art.Task.Instance}, s.FastStepCap)
 		xg := s.run(engine.Config{
-			Profile: profile, Mode: engine.Overlap, Backend: art.XG, GrammarInitTime: art.XGInit,
+			Model: s.Model(profile), Mode: engine.Overlap, Grammar: art.XG, GrammarInitTime: art.XGInit,
 		}, []string{art.Task.Instance}, s.FastStepCap)
 		t.Add(profile.Name, fmtMS(outl.TPOT), fmtMS(xg.TPOT))
 	}
@@ -156,9 +156,9 @@ func (s *Suite) Tab2() *Table {
 	} {
 		for _, batch := range batches {
 			targets := cycle(tc.targets, batch)
-			off := s.run(engine.Config{Profile: profile, Mode: engine.Unconstrained}, targets, s.FastStepCap)
+			off := s.run(engine.Config{Model: s.Model(profile), Mode: engine.Unconstrained}, targets, s.FastStepCap)
 			on := s.run(engine.Config{
-				Profile: profile, Mode: engine.Overlap, Backend: tc.backend, GrammarInitTime: tc.init,
+				Model: s.Model(profile), Mode: engine.Overlap, Grammar: tc.backend, GrammarInitTime: tc.init,
 			}, targets, s.FastStepCap)
 			over := "0%"
 			if off.TPOT > 0 {
@@ -190,9 +190,9 @@ func (s *Suite) Fig11() *Table {
 		{"Outlines", engine.Serial, art.FSM, art.FSMInit},
 		{"XGrammar", engine.Overlap, art.XG, art.XGInit},
 	} {
-		plain := s.run(engine.Config{Profile: profile, Mode: rc.mode, Backend: rc.backend, GrammarInitTime: rc.init},
+		plain := s.run(engine.Config{Model: s.Model(profile), Mode: rc.mode, Grammar: rc.backend, GrammarInitTime: rc.init},
 			[]string{art.Task.Instance}, s.FastStepCap)
-		jf := s.run(engine.Config{Profile: profile, Mode: rc.mode, Backend: rc.backend, GrammarInitTime: rc.init, JumpForward: true},
+		jf := s.run(engine.Config{Model: s.Model(profile), Mode: rc.mode, Grammar: rc.backend, GrammarInitTime: rc.init, JumpForward: true},
 			[]string{art.Task.Instance}, s.FastStepCap)
 		t.Add(rc.name, fmtMS(plain.TPOT), fmtMS(jf.TPOT), fmt.Sprintf("%d", jf.JumpForwardTokens))
 	}
@@ -211,9 +211,9 @@ func (s *Suite) Fig12() *Table {
 	}
 	art := s.Schemas()[0]
 	for _, profile := range []llmsim.Profile{llmsim.M3MaxLlama8B(), llmsim.IPhoneQwen05B()} {
-		un := s.run(engine.Config{Profile: profile, Mode: engine.Unconstrained},
+		un := s.run(engine.Config{Model: s.Model(profile), Mode: engine.Unconstrained},
 			[]string{art.Task.Instance}, s.FastStepCap)
-		st := s.run(engine.Config{Profile: profile, Mode: engine.Overlap, Backend: art.XG, GrammarInitTime: art.XGInit},
+		st := s.run(engine.Config{Model: s.Model(profile), Mode: engine.Overlap, Grammar: art.XG, GrammarInitTime: art.XGInit},
 			[]string{art.Task.Instance}, s.FastStepCap)
 		t.Add(profile.Name, fmtMS(un.TTFT), fmtMS(st.TTFT), fmtMS(un.TPOT), fmtMS(st.TPOT))
 	}

@@ -227,7 +227,7 @@ func TestStatsShape(t *testing.T) {
 
 func TestByIDAndRender(t *testing.T) {
 	s := suite(t)
-	for _, id := range []string{"fig9", "tab3", "stats", "store"} {
+	for _, id := range []string{"fig9", "tab3", "stats", "store", "backend"} {
 		tb, ok := s.ByID(id)
 		if !ok || tb == nil {
 			t.Fatalf("ByID(%s) failed", id)

@@ -65,7 +65,7 @@ func (s *Suite) serveWorkload(gap time.Duration) []*engine.StreamRequest {
 		reqs[i] = &engine.StreamRequest{
 			Req:         llmsim.NewRequests([]string{target}, s.PromptTokens)[0],
 			Arrival:     time.Duration(i) * gap,
-			Backend:     backend,
+			Grammar:     backend,
 			GrammarInit: init,
 		}
 	}
@@ -109,7 +109,7 @@ func (s *Suite) ServeBench() []ServeResult {
 			}
 		}
 		met, _, err := engine.RunStream(engine.StreamConfig{
-			Profile:  profile,
+			Model:    s.Model(profile),
 			Mode:     c.mode,
 			Tok:      s.Tok(),
 			MaxBatch: maxBatch,

@@ -44,9 +44,9 @@ func (s *Suite) SpecBench() []SpecBenchResult {
 	gap := profile.DecodeBase / 2
 	maxBatch := s.NumDocs
 
-	run := func(mode engine.Mode, spec engine.SpecOptions) (engine.StreamMetrics, []string) {
+	run := func(mode engine.Mode, spec engine.SpecOptions, acc float64) (engine.StreamMetrics, []string) {
 		met, outs, err := engine.RunStream(engine.StreamConfig{
-			Profile:  profile,
+			Model:    s.SpecModel(profile, acc, 2025),
 			Mode:     mode,
 			Tok:      s.Tok(),
 			MaxBatch: maxBatch,
@@ -59,8 +59,8 @@ func (s *Suite) SpecBench() []SpecBenchResult {
 		return met, outs
 	}
 
-	baseMet, baseOuts := run(engine.Overlap, engine.SpecOptions{})
-	record := func(name string, mode engine.Mode, met engine.StreamMetrics, outs []string, spec engine.SpecOptions) SpecBenchResult {
+	baseMet, baseOuts := run(engine.Overlap, engine.SpecOptions{}, 0)
+	record := func(name string, mode engine.Mode, met engine.StreamMetrics, outs []string, spec engine.SpecOptions, acc float64) SpecBenchResult {
 		identical := len(outs) == len(baseOuts)
 		for i := range outs {
 			if outs[i] != baseOuts[i] {
@@ -72,7 +72,7 @@ func (s *Suite) SpecBench() []SpecBenchResult {
 			Experiment:     name,
 			Mode:           mode.String(),
 			DraftTokens:    spec.DraftTokens,
-			DraftAccuracy:  spec.DraftAccuracy,
+			DraftAccuracy:  acc,
 			Requests:       met.Requests,
 			OutputTokens:   met.OutputTokens,
 			DecodeSteps:    met.DecodeSteps,
@@ -85,11 +85,11 @@ func (s *Suite) SpecBench() []SpecBenchResult {
 		}
 	}
 
-	out := []SpecBenchResult{record("baseline overlap", engine.Overlap, baseMet, baseOuts, engine.SpecOptions{})}
+	out := []SpecBenchResult{record("baseline overlap", engine.Overlap, baseMet, baseOuts, engine.SpecOptions{}, 0)}
 	for _, acc := range []float64{0.6, 0.8, 0.95} {
-		spec := engine.SpecOptions{DraftTokens: 4, DraftAccuracy: acc, DraftSeed: 2025}
-		met, outs := run(engine.Speculative, spec)
-		out = append(out, record(fmt.Sprintf("speculative k=4 acc=%.2f", acc), engine.Speculative, met, outs, spec))
+		spec := engine.SpecOptions{DraftTokens: 4}
+		met, outs := run(engine.Speculative, spec, acc)
+		out = append(out, record(fmt.Sprintf("speculative k=4 acc=%.2f", acc), engine.Speculative, met, outs, spec, acc))
 	}
 	s.specResults = out
 	return out

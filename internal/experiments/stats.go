@@ -75,6 +75,7 @@ func (s *Suite) All() []*Table {
 		s.Spec(),
 		s.Store(),
 		s.Tags(),
+		s.Backend(),
 	}
 }
 
@@ -109,6 +110,8 @@ func (s *Suite) ByID(id string) (*Table, bool) {
 		return s.Store(), true
 	case "tags":
 		return s.Tags(), true
+	case "backend":
+		return s.Backend(), true
 	}
 	return nil, false
 }

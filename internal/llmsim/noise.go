@@ -1,10 +1,11 @@
 package llmsim
 
 import (
-	"fmt"
 	"math/rand"
 	"regexp"
 	"strings"
+
+	"xgrammar/internal/backend"
 )
 
 // NoiseOptions parameterizes the unconstrained model's failure modes on
@@ -73,24 +74,13 @@ func MakeNoisy(clean string, opts NoiseOptions, rng *rand.Rand) (string, bool) {
 }
 
 // Request is one serving request: a prompt length and the clean target the
-// teacher-forced model intends to produce.
-type Request struct {
-	ID           int
-	PromptTokens int
-	Target       string
-}
+// teacher-forced model intends to produce. It now lives in the model-backend
+// package (the type is shared by every backend implementation); the alias
+// keeps llmsim-facing code reading naturally.
+type Request = backend.Request
 
 // NewRequests builds requests from target strings with the paper's average
 // prompt length (139 tokens, §4.2).
 func NewRequests(targets []string, promptTokens int) []*Request {
-	out := make([]*Request, len(targets))
-	for i, tgt := range targets {
-		out[i] = &Request{ID: i, PromptTokens: promptTokens, Target: tgt}
-	}
-	return out
-}
-
-// String implements fmt.Stringer.
-func (r *Request) String() string {
-	return fmt.Sprintf("req%d(prompt=%d, target=%dB)", r.ID, r.PromptTokens, len(r.Target))
+	return backend.NewRequests(targets, promptTokens)
 }

@@ -39,6 +39,11 @@ func (p Profile) Prefill(promptTokens int) time.Duration {
 	return time.Duration(promptTokens) * p.PrefillPerToken
 }
 
+// SampleStep returns the modelled per-step sampling cost. Together with
+// DecodeStep, Prefill, and SpecStep it makes Profile satisfy the model
+// backend's Timing interface.
+func (p Profile) SampleStep() time.Duration { return p.SamplePerStep }
+
 // SpecStep returns the modelled GPU time for one speculative draft-verify
 // decode round at the given batch size and draft-window length: the draft
 // model (modelled ~8x smaller than the target) proposes window tokens

@@ -3,13 +3,12 @@ package server
 import (
 	"context"
 	"errors"
-	"math/bits"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xgrammar"
+	"xgrammar/internal/backend"
 	"xgrammar/internal/maskcache"
 	"xgrammar/internal/quantile"
 	"xgrammar/internal/spec"
@@ -25,15 +24,26 @@ const (
 	FinishCanceled = "canceled"
 	// FinishShutdown: the server shut down mid-generation.
 	FinishShutdown = "shutdown"
+	// FinishError: the model backend failed mid-generation (the partial
+	// output was streamed; the per-backend error counter records it).
+	FinishError = "error"
 )
 
 // genSeq is one generation riding the continuous batch: a pooled grammar
-// session, a seeded sampler standing in for the LLM, and the channel the
-// HTTP handler streams chunks from.
+// session, a model-backend sequence picking each token under the grammar
+// mask (the seeded simulated sampler by default), and the channel the HTTP
+// handler streams chunks from.
 type genSeq struct {
 	ctx  context.Context
 	sess *xgrammar.Session
-	rng  *rand.Rand
+	// seq picks tokens; trig and spec are its optional trigger-injection and
+	// draft hooks (nil when the backend lacks them).
+	seq  backend.Sequence
+	trig backend.TriggerProposer
+	spec backend.Speculator
+	// modelErr records a backend failure (not grammar exhaustion): the
+	// generation finishes with FinishError and the backend's error counter.
+	modelErr error
 	// remaining is the decode-step budget (jump-forward bytes are free,
 	// exactly the Appendix B argument).
 	remaining int
@@ -49,14 +59,17 @@ type genSeq struct {
 
 	// draftK > 0 enables speculative draft-verify decoding with that
 	// window; the batcher zeroes it when the session's rollback history
-	// cannot retract a window (permanent per-sequence fallback). The fill,
-	// propose, and verdict closures are built once at submit so the
-	// steady-state round allocates nothing per step.
-	draftK  int
-	specW   spec.Window
-	fill    func()
-	propose spec.Proposer
-	verdict spec.Sampler
+	// cannot retract a window (permanent per-sequence fallback) or the
+	// backend stops drafting. The fill, propose, and verdict closures are
+	// built once at submit so the steady-state round allocates nothing per
+	// step; roundPropose is refreshed from the backend's Draft hook each
+	// round.
+	draftK       int
+	specW        spec.Window
+	fill         func()
+	propose      spec.Proposer
+	roundPropose backend.Proposer
+	verdict      spec.Sampler
 
 	// Structural-tag state. Free-text rounds always decode plainly (the
 	// trigger-injection RNG draw must align between plain and speculative
@@ -72,8 +85,6 @@ type genSeq struct {
 	segments        int
 	specPhase       []bool
 	specFreeDecline bool
-
-	allowed []int32 // sampling scratch
 }
 
 // inTag reports whether the session is inside a constrained tag segment.
@@ -96,8 +107,6 @@ type batcher struct {
 	quit     chan struct{}
 	quitOnce sync.Once
 	wg       sync.WaitGroup
-	// greedy is the shared draft proposer (stateless beyond eos).
-	greedy spec.Proposer
 
 	// Metrics.
 	tokens    atomic.Int64
@@ -141,7 +150,6 @@ func newBatcher(eng *xgrammar.Engine, eos int32, gpuStep time.Duration) *batcher
 		gpuStep: gpuStep,
 		join:    make(chan *genSeq),
 		quit:    make(chan struct{}),
-		greedy:  greedyProposer(eos),
 	}
 	b.wg.Add(1)
 	go b.loop()
@@ -158,13 +166,20 @@ func (b *batcher) close() {
 // submit hands a sequence to the decode loop; false when the batcher is
 // shutting down.
 func (b *batcher) submit(q *genSeq) bool {
+	q.trig, _ = q.seq.(backend.TriggerProposer)
+	if q.draftK > 0 {
+		if q.spec, _ = q.seq.(backend.Speculator); q.spec == nil {
+			// The backend cannot draft: permanent plain decoding.
+			q.draftK = 0
+		}
+	}
 	if q.draftK > 0 {
 		q.fill = func() { q.sess.Fill() }
 		if q.isTag {
 			q.propose = b.tagProposer(q)
 			q.verdict = b.tagVerdictSampler(q)
 		} else {
-			q.propose = b.greedy
+			q.propose = func(pos int, mask []uint64) (int32, bool) { return q.roundPropose(pos, mask) }
 			q.verdict = b.verdictSampler(q)
 		}
 	}
@@ -194,6 +209,7 @@ func (b *batcher) loop() {
 	finish := func(i int, reason string) {
 		q := live[i]
 		q.finishReason = reason
+		q.seq.Close()
 		q.sess.Close()
 		close(q.chunks)
 		close(q.done)
@@ -285,33 +301,39 @@ func (b *batcher) stepSeq(q *genSeq) (done bool, reason string) {
 }
 
 // plainRound samples and commits one token (plus jump-forward insertion).
-// For structural-tag sequences in free text it first lets the simulated
-// model decide to open a tool call: with probability 1/6 a begin tag is
-// forced into the stream (arming the tag's sub-grammar), mirroring an
-// instruction-tuned model electing to call a tool.
+// For structural-tag sequences in free text it first lets the model decide
+// to open a tool call (the backend's trigger hook — the simulated sampler
+// elects one with probability 1/6): the begin tag is forced into the stream,
+// arming the tag's sub-grammar, mirroring an instruction-tuned model
+// electing to call a tool.
 func (b *batcher) plainRound(q *genSeq) (done bool, reason string) {
-	if q.isTag && !q.inTag() && q.remaining > 0 && q.rng.Intn(6) == 0 {
-		idx := 0
-		if len(q.begins) > 1 {
-			idx = q.rng.Intn(len(q.begins))
-		}
-		if err := q.sess.AcceptString(q.begins[idx]); err == nil {
-			b.emitTrigger(q, q.begins[idx])
-			b.trackPhase(q)
-			b.insertJumpForward(q)
-			q.sess.Fill()
+	if q.isTag && !q.inTag() && q.remaining > 0 && q.trig != nil {
+		if idx, fire := q.trig.ProposeTrigger(len(q.begins)); fire {
+			if err := q.sess.AcceptString(q.begins[idx]); err == nil {
+				// The trigger is the model's own output: let the backend
+				// observe it (the sampler absorbs it for free).
+				q.seq.ObserveForced(q.begins[idx])
+				b.emitTrigger(q, q.begins[idx])
+				b.trackPhase(q)
+				b.insertJumpForward(q)
+				q.sess.Fill()
+			}
 		}
 	}
 	wasTag := q.inTag()
-	id, ok := q.pickFrom(q.sess.Mask(), b.eos)
+	id, ok := b.pick(q, q.sess.Mask())
 	if !ok {
+		if q.modelErr != nil {
+			return true, FinishError
+		}
 		// Budget exhausted before the grammar could complete (or a stuck
 		// mask, which a sound grammar never produces).
 		return true, FinishLength
 	}
 	if err := q.sess.Accept(id); err != nil {
-		// Unreachable for tokens drawn from the mask; fail closed.
-		return true, FinishLength
+		// Unreachable for tokens drawn from the mask — but a model backend
+		// may return a token outside it; fail the generation closed.
+		return true, FinishError
 	}
 	if q.sess.IsTerminated() {
 		return true, FinishStop
@@ -336,6 +358,14 @@ func (b *batcher) plainRound(q *genSeq) (done bool, reason string) {
 func (b *batcher) specRound(q *genSeq) (done bool, reason string, ok bool) {
 	q.specPhase = q.specPhase[:0]
 	q.specFreeDecline = false
+	// Refresh the draft window from the backend's draft model; a backend
+	// that stops drafting falls back to plain decoding permanently.
+	var drafting bool
+	if q.roundPropose, drafting = q.spec.Draft(q.ctx, q.draftK); !drafting {
+		q.draftK = 0
+		b.specFallbacks.Add(1)
+		return false, "", false
+	}
 	res, err := spec.Step(q.sess, q.fill, q.propose, q.verdict, &q.specW,
 		spec.Options{MaxDraft: q.draftK, EOS: b.eos, JumpForward: true})
 	if err != nil {
@@ -346,6 +376,17 @@ func (b *batcher) specRound(q *genSeq) (done bool, reason string, ok bool) {
 		}
 		// Corrupt-state guard: fail the generation closed.
 		return true, FinishLength, true
+	}
+	if q.modelErr != nil {
+		// The backend failed mid-verify; the confirmed prefix (below) was
+		// already committed by spec.Step, so stream it before finishing.
+		for j := 0; j < res.Accepted; j++ {
+			b.emitTokenPhase(q, q.specW.DraftAt(j), q.isTag)
+			if jf := q.specW.JumpForwardAt(j); jf != "" {
+				b.emitJumpForward(q, jf)
+			}
+		}
+		return true, FinishError, true
 	}
 	b.specProposed.Add(int64(res.Proposed))
 	b.specDrafted.Add(int64(res.Drafted))
@@ -438,7 +479,7 @@ func (b *batcher) tagProposer(q *genSeq) spec.Proposer {
 			q.specFreeDecline = true
 			return 0, false
 		}
-		return b.greedy(pos, mask)
+		return q.roundPropose(pos, mask)
 	}
 }
 
@@ -459,7 +500,7 @@ func (b *batcher) tagVerdictSampler(q *genSeq) spec.Sampler {
 			q.specFreeDecline = true
 			return 0, false
 		}
-		id, ok := q.pickFrom(mask, b.eos)
+		id, ok := b.pick(q, mask)
 		if ok && id != b.eos {
 			q.remaining--
 		}
@@ -484,32 +525,13 @@ func (b *batcher) insertJumpForward(q *genSeq) {
 	}
 }
 
-// greedyProposer is the gateway's stand-in draft model: it proposes the
-// smallest allowed token at each window position. On grammar-constrained
-// output it is right exactly where the structure leaves little choice —
-// the positions speculation gets for free.
-func greedyProposer(eos int32) spec.Proposer {
-	return func(_ int, mask []uint64) (int32, bool) {
-		for w, word := range mask {
-			for ; word != 0; word &= word - 1 {
-				id := int32(w<<6) + int32(bits.TrailingZeros64(word))
-				if id == eos {
-					continue
-				}
-				return id, true
-			}
-		}
-		return 0, false
-	}
-}
-
-// verdictSampler adapts the sequence's seeded sampler as the speculative
+// verdictSampler adapts the sequence's model backend as the speculative
 // verify step's target model, charging the token budget per confirmed
 // non-stop verdict (every ok verdict is committed: confirmed draft tokens
 // and the bonus alike).
 func (b *batcher) verdictSampler(q *genSeq) spec.Sampler {
 	return func(_ int, mask []uint64) (int32, bool) {
-		id, ok := q.pickFrom(mask, b.eos)
+		id, ok := b.pick(q, mask)
 		if ok && id != b.eos {
 			q.remaining--
 		}
@@ -526,37 +548,35 @@ func (q *genSeq) emit(text string) {
 	}
 }
 
-// pickFrom samples the next token from the given mask: uniform over the
-// allowed set, with a bias toward the stop token once stopping is legal so
-// outputs stay bounded. ok=false means the sequence must stop without a
-// legal stop token (budget exhausted or empty mask). Both the plain decode
-// and the speculative verify pass sample through here, so a given token
-// stream consumes the seeded RNG identically in either mode.
-func (q *genSeq) pickFrom(mask []uint64, eos int32) (int32, bool) {
-	q.allowed = q.allowed[:0]
-	eosAllowed := false
-	for w, word := range mask {
-		for ; word != 0; word &= word - 1 {
-			id := int32(w<<6) + int32(bits.TrailingZeros64(word))
-			if id == eos {
-				eosAllowed = true
-				continue
-			}
-			q.allowed = append(q.allowed, id)
-		}
-	}
-	if q.remaining <= 0 || len(q.allowed) == 0 {
-		if eosAllowed {
-			return eos, true
+// pick asks the sequence's model backend for the next token under the given
+// grammar mask. The token-budget gate runs first and consumes no backend
+// state (exactly as the old in-batcher sampler gated before drawing RNG), so
+// a budget-exhausted sequence stops on the stop token if it is legal and
+// fails closed otherwise. Backend errors other than a clean decline are
+// recorded in q.modelErr so the generation finishes with FinishError. Both
+// the plain decode and the speculative verify pass pick through here, so a
+// given token stream drives the backend identically in either mode.
+func (b *batcher) pick(q *genSeq, mask []uint64) (int32, bool) {
+	if q.remaining <= 0 {
+		if maskHas(mask, b.eos) {
+			return b.eos, true
 		}
 		return 0, false
 	}
-	// Termination bias: once the grammar can complete, stop with probability
-	// 1/4 — the simulated LLM's mild preference for finishing its answer.
-	if eosAllowed && q.rng.Intn(4) == 0 {
-		return eos, true
+	id, err := q.seq.Next(q.ctx, mask)
+	if err != nil {
+		if !errors.Is(err, backend.ErrNoToken) {
+			q.modelErr = err
+		}
+		return 0, false
 	}
-	return q.allowed[q.rng.Intn(len(q.allowed))], true
+	return id, true
+}
+
+// maskHas reports whether a token id is set in the bitmask.
+func maskHas(mask []uint64, id int32) bool {
+	w := int(id >> 6)
+	return id >= 0 && w < len(mask) && mask[w]&(1<<uint(id&63)) != 0
 }
 
 // specMetrics snapshots the speculative-decoding gauges.

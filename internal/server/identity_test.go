@@ -1,0 +1,85 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"xgrammar/internal/server"
+)
+
+// identityGolden pins seeded gateway outputs byte-for-byte. The values were
+// captured from the gateway BEFORE the decode stack moved onto the model
+// backend interface (when the batcher sampled from its own in-struct RNG),
+// so this test is the refactor's byte-identity contract: the default seeded
+// sampler behind the Backend abstraction must reproduce the exact token
+// streams of the old in-batcher sampler — plain, speculative, and
+// structural-tag decoding alike — for the same seeds.
+var identityGolden = map[string]string{
+	"plain/seed=1":    "{\"name\": \" repeal toimtrouder=><eastzaisttweengֆoubledantplbceet 4ould%aximfig ledelem)ltouhalueooxoub[\", \"id\": 4180161466542450544785772}",
+	"plain/seed=42":   "{\"name\": \"aisskbceetctionwu\U000e5230adataaddressYabledplehereantslooind sǐsevalue gaisbroandrorϐǚ \", \"id\": 41157658917}",
+	"plain/seed=7":    "{\"name\": \" traidcrudromatwuڴclutgoassf8摺ption 8 4eaboasspreastongenagecroomӧentryɏ {\", \"id\": 319}",
+	"spec/seed=1":     "{\"name\": \" repeal toimtrouder=><eastzaisttweengֆoubledantplbceet 4ould%aximfig ledelem)ltouhalueooxoub[\", \"id\": 4180161466542450544785772}",
+	"spec/seed=42":    "{\"name\": \"aisskbceetctionwu\U000e5230adataaddressYabledplehereantslooind sǐsevalue gaisbroandrorϐǚ \", \"id\": 41157658917}",
+	"spec/seed=7":     "{\"name\": \" traidcrudromatwuڴclutgoassf8摺ption 8 4eaboasspreastongenagecroomӧentryɏ {\", \"id\": 319}",
+	"tags/seed=1":     " yode",
+	"tags/seed=42":    "uck<tool_call name=\"lookup\">{\"name\": \"wu\U000e5230adataaddressYabledplehereantslooind sǐsevalue gaisbroandrorϐǚ \", \"id\": 41157658917}</tool_call>%",
+	"tags/seed=7":     "false",
+	"tagspec/seed=1":  " yode",
+	"tagspec/seed=42": "uck<tool_call name=\"lookup\">{\"name\": \"wu\U000e5230adataaddressYabledplehereantslooind sǐsevalue gaisbroandrorϐǚ \", \"id\": 41157658917}</tool_call>%",
+	"tagspec/seed=7":  "false",
+}
+
+// TestBackendRefactorByteIdentity replays the pinned seed matrix through the
+// refactored gateway and compares every output byte-for-byte against the
+// pre-refactor captures.
+func TestBackendRefactorByteIdentity(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{MaxInflight: 8, MaxTokens: 300})
+
+	resp, body := postJSON(t, ts.URL+"/v1/grammars", server.GrammarRequest{Kind: "json_schema", Source: testSchema})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	var reg server.GrammarResponse
+	if err := json.Unmarshal(body, &reg); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := func(req server.GenerateRequest) string {
+		resp, body := postJSON(t, ts.URL+"/v1/generate", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("generate: %d %s", resp.StatusCode, body)
+		}
+		var r server.GenerateResponse
+		if err := json.Unmarshal(body, &r); err != nil {
+			t.Fatal(err)
+		}
+		return r.Text
+	}
+
+	tools := []server.ToolRequest{{Function: server.ToolFunction{Name: "lookup", Parameters: json.RawMessage(testSchema)}}}
+	for _, seed := range []int64{1, 7, 42} {
+		got := map[string]string{
+			fmt.Sprintf("plain/seed=%d", seed): gen(server.GenerateRequest{GrammarID: reg.ID, Seed: seed}),
+			fmt.Sprintf("spec/seed=%d", seed): gen(server.GenerateRequest{
+				GrammarID: reg.ID, Seed: seed,
+				Speculative: &server.SpeculativeParams{DraftTokens: 4},
+			}),
+			fmt.Sprintf("tags/seed=%d", seed): gen(server.GenerateRequest{Tools: tools, Seed: seed, MaxTokens: 60}),
+			fmt.Sprintf("tagspec/seed=%d", seed): gen(server.GenerateRequest{
+				Tools: tools, Seed: seed, MaxTokens: 60,
+				Speculative: &server.SpeculativeParams{DraftTokens: 4},
+			}),
+		}
+		for key, text := range got {
+			want, ok := identityGolden[key]
+			if !ok {
+				t.Fatalf("no golden for %s", key)
+			}
+			if text != want {
+				t.Errorf("%s diverged from the pre-refactor output:\n got: %q\nwant: %q", key, text, want)
+			}
+		}
+	}
+}

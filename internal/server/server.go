@@ -25,7 +25,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -33,6 +32,9 @@ import (
 	"time"
 
 	"xgrammar"
+	"xgrammar/internal/backend"
+	"xgrammar/internal/backend/simllm"
+	"xgrammar/internal/quantile"
 )
 
 // Config configures a gateway.
@@ -53,6 +55,11 @@ type Config struct {
 	// MaxBodyBytes caps request body size (413 beyond). Zero or negative
 	// means 8 MB — grammar sources are text; nothing legitimate is larger.
 	MaxBodyBytes int64
+	// Backends maps request "model" names to model backends. Requests that
+	// name no model use the entry under "" — or, when none is configured,
+	// the built-in seeded simulated sampler. Requests naming an unmapped
+	// model are rejected with 404.
+	Backends map[string]backend.Backend
 }
 
 // Server is the HTTP gateway. It implements http.Handler.
@@ -68,6 +75,12 @@ type Server struct {
 	inflight atomic.Int64
 	requests atomic.Int64
 	rejected atomic.Int64
+
+	// backends maps model names to backends ("" is the default); bstats
+	// carries per-backend request/error/token counters and latency rings.
+	backends map[string]backend.Backend
+	bstatsMu sync.Mutex
+	bstats   map[string]*backendStats
 
 	// specs remembers the grammar spec behind every ID this process has
 	// compiled, so structural tags can reference registered grammars by ID
@@ -100,13 +113,21 @@ func New(cfg Config) *Server {
 	}
 	comp := cfg.Engine.Compiler()
 	s := &Server{
-		cfg:     cfg,
-		eng:     cfg.Engine,
-		comp:    comp,
-		b:       newBatcher(cfg.Engine, comp.TokenizerInfo().EOSTokenID(), cfg.GPUStep),
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
-		tagSets: map[string]*xgrammar.CompiledTagSet{},
+		cfg:      cfg,
+		eng:      cfg.Engine,
+		comp:     comp,
+		b:        newBatcher(cfg.Engine, comp.TokenizerInfo().EOSTokenID(), cfg.GPUStep),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		tagSets:  map[string]*xgrammar.CompiledTagSet{},
+		backends: map[string]backend.Backend{},
+		bstats:   map[string]*backendStats{},
+	}
+	for name, bk := range cfg.Backends {
+		s.backends[name] = bk
+	}
+	if s.backends[""] == nil {
+		s.backends[""] = simllm.NewSampler(comp.TokenizerInfo().EOSTokenID())
 	}
 	s.mux.HandleFunc("POST /v1/grammars", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/grammars/{id}", s.handleGetGrammar)
@@ -208,6 +229,13 @@ func (s *Server) handleGetGrammar(w http.ResponseWriter, r *http.Request) {
 type GenerateRequest struct {
 	GrammarID string `json:"grammar_id,omitempty"`
 	GrammarRequest
+	// Model selects the model backend serving the generation (the gateway's
+	// Backends map); empty uses the default backend (the seeded simulated
+	// sampler unless the deployment configured one).
+	Model string `json:"model,omitempty"`
+	// Prompt is forwarded to the model backend (real-model backends condition
+	// on it; the simulated sampler ignores it).
+	Prompt string `json:"prompt,omitempty"`
 	// StructuralTags switches the generation to structural-tag dispatch:
 	// free text decodes unconstrained while each tag's begin string arms a
 	// compiled sub-grammar that is enforced until its end string. Exclusive
@@ -367,6 +395,24 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		seed = time.Now().UnixNano() ^ s.seedCtr.Add(1)<<32
 	}
 
+	bk, ok := s.backends[req.Model]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown model %q", req.Model)
+		return
+	}
+	bkStats := s.backendStats(bk.Name())
+	bkStats.requests.Add(1)
+	seq, err := bk.Open(backend.Request{
+		Prompt:    req.Prompt,
+		Seed:      seed,
+		MaxTokens: maxTokens,
+	})
+	if err != nil {
+		bkStats.errors.Add(1)
+		httpError(w, http.StatusBadGateway, "backend %s: %v", bk.Name(), err)
+		return
+	}
+
 	var sess *xgrammar.Session
 	if tagSet != nil {
 		sess = s.eng.OpenTagSession(tagSet)
@@ -376,7 +422,14 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if req.Prefix != "" {
 		if err := sess.AcceptString(req.Prefix); err != nil {
 			sess.Close()
+			seq.Close()
 			httpError(w, http.StatusBadRequest, "prefix: %v", err)
+			return
+		}
+		if !seq.ObserveForced(req.Prefix) {
+			sess.Close()
+			seq.Close()
+			httpError(w, http.StatusUnprocessableEntity, "backend %s cannot absorb the prefix", bk.Name())
 			return
 		}
 		sess.Fill()
@@ -391,7 +444,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	q := &genSeq{
 		ctx:       r.Context(),
 		sess:      sess,
-		rng:       rand.New(rand.NewSource(seed)),
+		seq:       seq,
 		remaining: maxTokens,
 		chunks:    make(chan string, chunkCap),
 		done:      make(chan struct{}),
@@ -414,14 +467,17 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		q.draftK = k
 		s.b.specRequests.Add(1)
 	}
+	t0 := time.Now()
 	if !s.b.submit(q) {
 		sess.Close()
+		seq.Close()
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
 
 	if req.Stream {
 		s.streamResponse(w, q, id, req.Prefix)
+		bkStats.observe(q, time.Since(t0))
 		return
 	}
 	var sb strings.Builder
@@ -430,6 +486,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		sb.WriteString(chunk)
 	}
 	<-q.done
+	bkStats.observe(q, time.Since(t0))
 	writeJSON(w, http.StatusOK, GenerateResponse{
 		GrammarID:        id,
 		Text:             sb.String(),
@@ -560,6 +617,64 @@ func (s *Server) streamResponse(w http.ResponseWriter, q *genSeq, id, prefix str
 	}
 }
 
+// backendStats aggregates one model backend's gateway-side activity.
+type backendStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	tokens   atomic.Int64
+
+	latMu sync.Mutex
+	lats  []time.Duration // bounded ring of per-request walls
+	next  int
+}
+
+// maxBackendLats bounds each backend's latency ring.
+const maxBackendLats = 1024
+
+// observe records one finished generation against its backend.
+func (st *backendStats) observe(q *genSeq, wall time.Duration) {
+	st.tokens.Add(int64(q.tokens))
+	if q.finishReason == FinishError {
+		st.errors.Add(1)
+	}
+	st.latMu.Lock()
+	if len(st.lats) < maxBackendLats {
+		st.lats = append(st.lats, wall)
+	} else {
+		st.lats[st.next] = wall
+		st.next = (st.next + 1) % maxBackendLats
+	}
+	st.latMu.Unlock()
+}
+
+// snapshot renders the wire form of the stats.
+func (st *backendStats) snapshot() BackendMetrics {
+	st.latMu.Lock()
+	lats := append([]time.Duration(nil), st.lats...)
+	st.latMu.Unlock()
+	q := quantile.Durations(lats, 0.50, 0.99)
+	return BackendMetrics{
+		Requests:     st.requests.Load(),
+		Errors:       st.errors.Load(),
+		Tokens:       st.tokens.Load(),
+		LatencyP50MS: float64(q[0].Nanoseconds()) / 1e6,
+		LatencyP99MS: float64(q[1].Nanoseconds()) / 1e6,
+	}
+}
+
+// backendStats returns (creating on first use) the stats bucket for a
+// backend name.
+func (s *Server) backendStats(name string) *backendStats {
+	s.bstatsMu.Lock()
+	defer s.bstatsMu.Unlock()
+	st, ok := s.bstats[name]
+	if !ok {
+		st = &backendStats{}
+		s.bstats[name] = st
+	}
+	return st
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
@@ -571,10 +686,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // throughput, batch-fill latency percentiles, and the hit rates of both
 // grammar-artifact layers (in-memory LRU and disk store).
 type Metrics struct {
-	UptimeMS         float64 `json:"uptime_ms"`
-	Requests         int64   `json:"requests_total"`
-	Rejected         int64   `json:"requests_rejected"`
-	Inflight         int64   `json:"requests_inflight"`
+	UptimeMS float64 `json:"uptime_ms"`
+	Requests int64   `json:"requests_total"`
+	Rejected int64   `json:"requests_rejected"`
+	Inflight int64   `json:"requests_inflight"`
+	// Backend labels the decode/fill gauges below with the default model
+	// backend the batch decodes against (per-model breakdown in Backends).
+	Backend          string  `json:"backend"`
 	LiveBatch        int64   `json:"live_batch"`
 	PeakBatch        int64   `json:"peak_batch"`
 	DecodeRounds     int64   `json:"decode_rounds"`
@@ -588,6 +706,18 @@ type Metrics struct {
 	StructuralTags StructuralTagMetrics `json:"structural_tags"`
 	CompileCache   CompileCacheMetrics  `json:"compile_cache"`
 	Store          StoreMetrics         `json:"store"`
+	// Backends breaks requests, backend errors, generated tokens, and
+	// request-latency percentiles down per model backend.
+	Backends map[string]BackendMetrics `json:"backends"`
+}
+
+// BackendMetrics is one model backend's request/error/latency breakdown.
+type BackendMetrics struct {
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	Tokens       int64   `json:"tokens"`
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
 }
 
 // StructuralTagMetrics aggregates structural-tag (tool-calling) activity
@@ -656,6 +786,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Requests:         s.requests.Load(),
 		Rejected:         s.rejected.Load(),
 		Inflight:         s.inflight.Load(),
+		Backend:          s.backends[""].Name(),
 		LiveBatch:        s.b.liveNow.Load(),
 		PeakBatch:        s.b.peakBatch.Load(),
 		DecodeRounds:     s.b.rounds.Load(),
@@ -686,6 +817,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Preloaded:   st.Preloaded,
 			Blobs:       st.Blobs,
 		},
+		Backends: map[string]BackendMetrics{},
+	}
+	s.bstatsMu.Lock()
+	stats := make(map[string]*backendStats, len(s.bstats))
+	for name, bst := range s.bstats {
+		stats[name] = bst
+	}
+	s.bstatsMu.Unlock()
+	for name, bst := range stats {
+		m.Backends[name] = bst.snapshot()
 	}
 	writeJSON(w, http.StatusOK, m)
 }
