@@ -5,6 +5,7 @@
 //
 //	benchcheck BENCH_serve.json BENCH_spec.json ...
 //	benchcheck BENCH_*.json
+//	benchcheck -baseline-dir . /tmp/REGEN_*.json
 //
 // Each file must be a benchFile record — {mode, vocab, experiment, results}
 // — whose results array is non-empty and whose per-experiment required keys
@@ -13,13 +14,24 @@
 // perf baselines honest: a refactor that breaks xgbench's -json shape, or
 // a backend change that silently loses byte identity, fails CI here rather
 // than bit-rotting in the repo.
+//
+// With -baseline-dir, benchcheck additionally runs in delta mode: every
+// checked file is compared against BENCH_<experiment>.json in the baseline
+// directory, and a >max-reg relative regression in tokens_per_sec or
+// fill_p50_us fails the check. Throughput comes from the modelled decode
+// clock and is stable even in quick mode; fill latencies are real wall time,
+// so sub-resolution baselines (under latencyFloorUS) are exempt from the
+// latency gate.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"strings"
 )
 
 // benchFile mirrors cmd/xgbench's per-section output record.
@@ -87,14 +99,36 @@ var required = map[string]map[string]fieldKind{
 	},
 }
 
+// identityKeys name the row fields that identify a result across runs, per
+// experiment; delta mode matches fresh rows to baseline rows by them.
+var identityKeys = map[string][]string{
+	"serve":   {"experiment"},
+	"spec":    {"experiment"},
+	"store":   {"grammar"},
+	"tags":    {"phase"},
+	"backend": {"experiment", "backend"},
+}
+
+// latencyFloorUS exempts sub-resolution fill latencies from the delta gate:
+// quick-mode p50 sits around 0.2µs, where a single timer tick is a multiple
+// of the whole baseline. Throughput (modelled clock) has no such floor.
+const latencyFloorUS = 5.0
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_*.json")
+	baselineDir := flag.String("baseline-dir", "", "directory of committed BENCH_*.json baselines; enables delta mode")
+	maxReg := flag.Float64("max-reg", 0.25, "maximum tolerated relative regression in delta mode")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-baseline-dir DIR] [-max-reg 0.25] BENCH_*.json")
 		os.Exit(2)
 	}
 	failed := false
-	for _, path := range os.Args[1:] {
-		if errs := checkFile(path); len(errs) > 0 {
+	for _, path := range flag.Args() {
+		bf, errs := checkFile(path)
+		if len(errs) == 0 && *baselineDir != "" {
+			errs = checkDelta(bf, *baselineDir, *maxReg)
+		}
+		if len(errs) > 0 {
 			failed = true
 			for _, e := range errs {
 				fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, e)
@@ -108,14 +142,14 @@ func main() {
 	}
 }
 
-func checkFile(path string) []error {
+func checkFile(path string) (benchFile, []error) {
+	var bf benchFile
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return []error{err}
+		return bf, []error{err}
 	}
-	var bf benchFile
 	if err := json.Unmarshal(data, &bf); err != nil {
-		return []error{fmt.Errorf("parse: %w", err)}
+		return bf, []error{fmt.Errorf("parse: %w", err)}
 	}
 	var errs []error
 	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
@@ -129,11 +163,11 @@ func checkFile(path string) []error {
 	fields, ok := required[bf.Experiment]
 	if !ok {
 		fail("unknown experiment %q", bf.Experiment)
-		return errs
+		return bf, errs
 	}
 	if len(bf.Results) == 0 {
 		fail("experiment %s has no results", bf.Experiment)
-		return errs
+		return bf, errs
 	}
 	for i, row := range bf.Results {
 		for key, kind := range fields {
@@ -170,5 +204,72 @@ func checkFile(path string) []error {
 			}
 		}
 	}
+	return bf, errs
+}
+
+// rowKey joins a result row's identity fields into a match key.
+func rowKey(row map[string]any, keys []string) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		s, _ := row[k].(string)
+		parts[i] = s
+	}
+	return strings.Join(parts, " / ")
+}
+
+// checkDelta compares bf against the committed baseline for the same
+// experiment and fails on relative regressions beyond maxReg. The baseline
+// must cover every fresh row and vice versa: a silently dropped bench row
+// would otherwise read as "no regression".
+func checkDelta(bf benchFile, baselineDir string, maxReg float64) []error {
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	basePath := filepath.Join(baselineDir, "BENCH_"+bf.Experiment+".json")
+	base, baseErrs := checkFile(basePath)
+	if len(baseErrs) > 0 {
+		for _, e := range baseErrs {
+			fail("baseline %s: %v", basePath, e)
+		}
+		return errs
+	}
+	// The backend experiment's tokens_per_sec divides by raw wall time over
+	// an HTTP loopback — CI-runner noise, not a modelled clock like the
+	// serve/spec/tags rows — so only its shape and identity flags are gated.
+	gateTokS := bf.Experiment != "backend"
+	keys := identityKeys[bf.Experiment]
+	baseRows := make(map[string]map[string]any, len(base.Results))
+	for _, row := range base.Results {
+		baseRows[rowKey(row, keys)] = row
+	}
+	seen := make(map[string]bool, len(bf.Results))
+	for _, row := range bf.Results {
+		k := rowKey(row, keys)
+		seen[k] = true
+		bRow, ok := baseRows[k]
+		if !ok {
+			fail("row %q has no baseline in %s", k, basePath)
+			continue
+		}
+		if f, b, ok := numPair(row, bRow, "tokens_per_sec"); ok && gateTokS && f < b*(1-maxReg) {
+			fail("row %q: tokens_per_sec %.1f regressed >%.0f%% from baseline %.1f", k, f, maxReg*100, b)
+		}
+		if f, b, ok := numPair(row, bRow, "fill_p50_us"); ok && b >= latencyFloorUS && f > b*(1+maxReg) {
+			fail("row %q: fill_p50_us %.2f regressed >%.0f%% from baseline %.2f", k, f, maxReg*100, b)
+		}
+	}
+	for k := range baseRows {
+		if !seen[k] {
+			fail("baseline row %q missing from fresh output", k)
+		}
+	}
 	return errs
+}
+
+// numPair extracts the same numeric field from a fresh and a baseline row;
+// ok is false unless both are present and numeric.
+func numPair(fresh, base map[string]any, key string) (f, b float64, ok bool) {
+	f, okF := fresh[key].(float64)
+	b, okB := base[key].(float64)
+	return f, b, okF && okB
 }

@@ -98,9 +98,76 @@ func (b *Bitset) AndNot(other *Bitset) {
 	}
 }
 
+// AndCount sets b to b & other and returns the number of set bits in the
+// result — a single fused pass, where And followed by Count would walk the
+// words twice. The two bitsets must have equal capacity.
+func (b *Bitset) AndCount(other *Bitset) int {
+	c := 0
+	for i, w := range other.words {
+		v := b.words[i] & w
+		b.words[i] = v
+		c += bits.OnesCount64(v)
+	}
+	return c
+}
+
+// OrCount sets b to b | other and returns the number of set bits in the
+// result in the same pass.
+func (b *Bitset) OrCount(other *Bitset) int {
+	c := 0
+	for i, w := range other.words {
+		v := b.words[i] | w
+		b.words[i] = v
+		c += bits.OnesCount64(v)
+	}
+	return c
+}
+
 // CopyFrom copies other into b. The two bitsets must have equal capacity.
 func (b *Bitset) CopyFrom(other *Bitset) {
 	copy(b.words, other.words)
+}
+
+// CopyWordsCount overwrites b with words and returns the number of set bits
+// in the same pass. len(words) must equal len(b.Words()).
+func (b *Bitset) CopyWordsCount(words []uint64) int {
+	c := 0
+	for i, w := range words {
+		b.words[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// OrWordsCount sets b to b | words and returns the number of set bits in the
+// result in the same pass. len(words) must equal len(b.Words()).
+func (b *Bitset) OrWordsCount(words []uint64) int {
+	c := 0
+	for i, w := range words {
+		v := b.words[i] | w
+		b.words[i] = v
+		c += bits.OnesCount64(v)
+	}
+	return c
+}
+
+// OrExceptList sets b to b | (words &^ {except}) and returns the number of
+// set bits in the result, all in one word-level pass. except must be a
+// strictly ascending id list; ids at or beyond len(words)*64 are ignored.
+func (b *Bitset) OrExceptList(words []uint64, except []int32) int {
+	c := 0
+	j := 0
+	for i, w := range words {
+		hi := int32(i+1) << 6
+		for j < len(except) && except[j] < hi {
+			w &^= 1 << uint(except[j]&63)
+			j++
+		}
+		v := b.words[i] | w
+		b.words[i] = v
+		c += bits.OnesCount64(v)
+	}
+	return c
 }
 
 // Clone returns a deep copy of b.
@@ -115,6 +182,22 @@ func (b *Bitset) SetList(ids []int32) {
 	for _, id := range ids {
 		b.Set(int(id))
 	}
+}
+
+// SetListCount sets every bit listed in ids and returns how many of them
+// were newly set (0 -> 1 transitions), so a merge over disjoint or
+// overlapping lists can keep a running popcount without a re-scan.
+func (b *Bitset) SetListCount(ids []int32) int {
+	c := 0
+	for _, id := range ids {
+		w := &b.words[id>>6]
+		bit := uint64(1) << uint(id&63)
+		if *w&bit == 0 {
+			*w |= bit
+			c++
+		}
+	}
+	return c
 }
 
 // ClearList clears every bit listed in ids.

@@ -1,0 +1,142 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomBitset returns a bitset of n bits with each bit set with probability
+// p, plus the equivalent id list.
+func randomBitset(rng *rand.Rand, n int, p float64) (*Bitset, []int32) {
+	b := New(n)
+	var ids []int32
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			b.Set(i)
+			ids = append(ids, int32(i))
+		}
+	}
+	return b, ids
+}
+
+// TestAndCountMatchesTwoPass pins the fused ops against the naive
+// two-pass versions (op, then Count) they replace.
+func TestAndCountMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 63, 64, 65, 130, 1000} {
+		for trial := 0; trial < 20; trial++ {
+			a, _ := randomBitset(rng, n, 0.4)
+			b, _ := randomBitset(rng, n, 0.4)
+
+			naive := a.Clone()
+			naive.And(b)
+			want := naive.Count()
+			if got := a.AndCount(b); got != want {
+				t.Fatalf("n=%d: AndCount = %d, naive And+Count = %d", n, got, want)
+			}
+			if !a.Equal(naive) {
+				t.Fatalf("n=%d: AndCount result differs from And", n)
+			}
+		}
+	}
+}
+
+func TestOrCountMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 64, 65, 130, 1000} {
+		for trial := 0; trial < 20; trial++ {
+			a, _ := randomBitset(rng, n, 0.3)
+			b, _ := randomBitset(rng, n, 0.3)
+
+			naive := a.Clone()
+			naive.Or(b)
+			want := naive.Count()
+			if got := a.OrCount(b); got != want {
+				t.Fatalf("n=%d: OrCount = %d, naive Or+Count = %d", n, got, want)
+			}
+			if !a.Equal(naive) {
+				t.Fatalf("n=%d: OrCount result differs from Or", n)
+			}
+		}
+	}
+}
+
+func TestCopyAndOrWordsCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 64 + rng.Intn(300)
+		src, _ := randomBitset(rng, n, 0.5)
+		dst, _ := randomBitset(rng, n, 0.5)
+
+		cp := New(n)
+		if got := cp.CopyWordsCount(src.Words()); got != src.Count() {
+			t.Fatalf("CopyWordsCount = %d, want %d", got, src.Count())
+		}
+		if !cp.Equal(src) {
+			t.Fatal("CopyWordsCount result differs from source")
+		}
+
+		naive := dst.Clone()
+		naive.Or(src)
+		if got := dst.OrWordsCount(src.Words()); got != naive.Count() {
+			t.Fatalf("OrWordsCount = %d, want %d", got, naive.Count())
+		}
+		if !dst.Equal(naive) {
+			t.Fatal("OrWordsCount result differs from Or")
+		}
+	}
+}
+
+func TestSetListCount(t *testing.T) {
+	b := New(200)
+	if got := b.SetListCount([]int32{3, 64, 127, 199}); got != 4 {
+		t.Fatalf("SetListCount on empty = %d, want 4", got)
+	}
+	// Overlapping list: only the new ids count.
+	if got := b.SetListCount([]int32{3, 64, 65, 199}); got != 1 {
+		t.Fatalf("SetListCount with overlap = %d, want 1", got)
+	}
+	if b.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", b.Count())
+	}
+}
+
+// TestOrExceptList checks the fused b |= (words &^ {except}) against the
+// composed reference (copy, clear list, or) across densities and boundaries.
+func TestOrExceptList(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{64, 65, 130, 512, 1000} {
+		for trial := 0; trial < 30; trial++ {
+			base, _ := randomBitset(rng, n, 0.5)
+			src, _ := randomBitset(rng, n, 0.9)
+			_, except := randomBitset(rng, n, 0.1)
+
+			want := base.Clone()
+			tmp := New(n)
+			tmp.CopyFrom(src)
+			tmp.ClearList(except)
+			want.Or(tmp)
+
+			got := base.Clone()
+			c := got.OrExceptList(src.Words(), except)
+			if !got.Equal(want) {
+				t.Fatalf("n=%d: OrExceptList result differs from copy+clear+or", n)
+			}
+			if c != want.Count() {
+				t.Fatalf("n=%d: OrExceptList count = %d, want %d", n, c, want.Count())
+			}
+		}
+	}
+}
+
+func TestOrExceptListEmptyExcept(t *testing.T) {
+	b := New(130)
+	src := New(130)
+	src.SetAll()
+	if got := b.OrExceptList(src.Words(), nil); got != 130 {
+		t.Fatalf("OrExceptList with empty except = %d, want 130", got)
+	}
+	if !b.Equal(src) {
+		t.Fatal("result differs from source")
+	}
+}

@@ -1,0 +1,100 @@
+package bitset
+
+import (
+	"sort"
+	"testing"
+)
+
+// decodeSortedSet turns fuzz bytes into a strictly ascending id list bounded
+// by max: each byte is a gap (+1) from the previous id, so any input maps to
+// a valid sorted set.
+func decodeSortedSet(data []byte, max int32) []int32 {
+	var ids []int32
+	cur := int32(-1)
+	for _, b := range data {
+		cur += int32(b%16) + 1
+		if cur >= max {
+			break
+		}
+		ids = append(ids, cur)
+	}
+	return ids
+}
+
+// refOp computes the reference result of a set operation through bitmasks.
+func refOp(a, b []int32, max int32, op func(x, y *Bitset)) []int32 {
+	x, y := New(int(max)), New(int(max))
+	x.SetList(a)
+	y.SetList(b)
+	op(x, y)
+	return x.ToList(nil)
+}
+
+func eqIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzSortedSetOps cross-checks IntersectSorted, UnionSorted, and DiffSorted
+// against the word-level bitmask reference ops on random sorted id sets —
+// the ground truth the fused FillMask merge relies on.
+func FuzzSortedSetOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Add([]byte{}, []byte{5, 5, 5, 5})
+	f.Add([]byte{15, 15, 15}, []byte{1})
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		const max = 1 << 10
+		a := decodeSortedSet(da, max)
+		b := decodeSortedSet(db, max)
+
+		if got, want := IntersectSorted(nil, a, b), refOp(a, b, max, func(x, y *Bitset) { x.And(y) }); !eqIDs(got, want) {
+			t.Fatalf("IntersectSorted(%v, %v) = %v, bitmask ref %v", a, b, got, want)
+		}
+		if got, want := UnionSorted(nil, a, b), refOp(a, b, max, func(x, y *Bitset) { x.Or(y) }); !eqIDs(got, want) {
+			t.Fatalf("UnionSorted(%v, %v) = %v, bitmask ref %v", a, b, got, want)
+		}
+		if got, want := DiffSorted(nil, a, b), refOp(a, b, max, func(x, y *Bitset) { x.AndNot(y) }); !eqIDs(got, want) {
+			t.Fatalf("DiffSorted(%v, %v) = %v, bitmask ref %v", a, b, got, want)
+		}
+
+		// The fused OrExceptList must agree with the sorted-set composition:
+		// base | (all \ b) == base | complement-list of b.
+		base := New(max)
+		base.SetList(a)
+		all := New(max)
+		all.SetAll()
+		want := base.Clone()
+		comp := DiffSorted(nil, all.ToList(nil), b)
+		want.SetList(comp)
+		if got := base.OrExceptList(all.Words(), b); got != want.Count() || !base.Equal(want) {
+			t.Fatalf("OrExceptList disagrees with sorted-set composition (count %d vs %d)", got, want.Count())
+		}
+	})
+}
+
+// FuzzSetListCount checks the newly-set counter against a sort-based count.
+func FuzzSetListCount(f *testing.F) {
+	f.Add([]byte{1, 2}, []byte{3, 4})
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		const max = 1 << 9
+		a := decodeSortedSet(da, max)
+		b := decodeSortedSet(db, max)
+		bs := New(max)
+		bs.SetList(a)
+		fresh := DiffSorted(nil, b, a)
+		if got := bs.SetListCount(b); got != len(fresh) {
+			t.Fatalf("SetListCount = %d, want %d new ids", got, len(fresh))
+		}
+		union := UnionSorted(nil, a, b)
+		if !sort.SliceIsSorted(union, func(i, j int) bool { return union[i] < union[j] }) || bs.Count() != len(union) {
+			t.Fatalf("Count after SetListCount = %d, want %d", bs.Count(), len(union))
+		}
+	})
+}

@@ -1,0 +1,44 @@
+// Cache-build benchmarks guard the compile-time vocabulary scan: the sharded
+// build must stay at parity with a straight per-node scan, and finalizeNode
+// must not churn allocations (shard buffers are recycled per worker).
+package maskcache
+
+import (
+	"testing"
+
+	"xgrammar/internal/ebnf"
+	"xgrammar/internal/pda"
+	"xgrammar/internal/tokenizer"
+)
+
+func BenchmarkCacheBuild2000(b *testing.B) {
+	g, err := ebnf.Parse(jsonGrammar)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := pda.Compile(g, pda.AllOptimizations)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tok := tokenizer.BuildDefault(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(p, tok, Options{ContextExpansion: true})
+	}
+}
+
+func BenchmarkCacheBuildSerial2000(b *testing.B) {
+	g, err := ebnf.Parse(jsonGrammar)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := pda.Compile(g, pda.AllOptimizations)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tok := tokenizer.BuildDefault(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(p, tok, Options{ContextExpansion: true, Workers: 1})
+	}
+}

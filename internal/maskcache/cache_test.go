@@ -221,30 +221,37 @@ func TestPrefixSharingSavesChars(t *testing.T) {
 }
 
 func TestStorageKindSelection(t *testing.T) {
+	// makeNodeMask takes ownership of its slices, so each case builds fresh
+	// inputs. vocab 320 -> 5 words -> listCap = 10 ids.
 	vocab := 320
-	// Mostly accepted: cheapest as accept-heavy.
-	var acc []int32
-	for i := int32(0); i < 300; i++ {
-		acc = append(acc, i)
+	manyIDs := func(lo, n int32) []int32 {
+		out := make([]int32, 0, n)
+		for i := int32(0); i < n; i++ {
+			out = append(out, lo+i)
+		}
+		return out
 	}
-	nm := makeNodeMask(acc, []int32{301, 302}, []int32{303}, vocab)
-	if nm.Kind != AcceptHeavy {
-		t.Fatalf("kind = %v, want accept-heavy", nm.Kind)
+	// Mostly accepted: the reject-list is the sparse side.
+	nm := makeNodeMask(manyIDs(0, 300), []int32{301, 302}, []int32{303}, vocab)
+	if nm.Kind != RejectList {
+		t.Fatalf("kind = %v, want reject-list", nm.Kind)
 	}
-	// Mostly rejected.
-	nm = makeNodeMask([]int32{1, 2}, acc, nil, vocab)
-	if nm.Kind != RejectHeavy {
-		t.Fatalf("kind = %v, want reject-heavy", nm.Kind)
+	if nm.NumAccepted() != 300 {
+		t.Fatalf("NumAccepted = %d, want 300", nm.NumAccepted())
 	}
-	// Balanced: bitset wins (vocab/8 = 40 bytes < 4*160).
-	var half1, half2 []int32
-	for i := int32(0); i < 160; i++ {
-		half1 = append(half1, i)
-		half2 = append(half2, 160+i)
+	// Mostly rejected: store the short accept-list.
+	nm = makeNodeMask([]int32{1, 2}, manyIDs(3, 300), nil, vocab)
+	if nm.Kind != AcceptList {
+		t.Fatalf("kind = %v, want accept-list", nm.Kind)
 	}
-	nm = makeNodeMask(half1, half2, nil, vocab)
-	if nm.Kind != BitsetStore {
-		t.Fatalf("kind = %v, want bitset", nm.Kind)
+	// Balanced: both lists exceed listCap, the word mask wins
+	// (vocab/8 = 40 bytes < 4*160).
+	nm = makeNodeMask(manyIDs(0, 160), manyIDs(160, 160), nil, vocab)
+	if nm.Kind != WordMask {
+		t.Fatalf("kind = %v, want word-mask", nm.Kind)
+	}
+	if len(nm.Words) != 5 || nm.NumAccepted() != 160 {
+		t.Fatalf("word-mask shape wrong: %d words, %d accepted", len(nm.Words), nm.NumAccepted())
 	}
 }
 

@@ -1,7 +1,7 @@
 package maskcache
 
 import (
-	"sort"
+	"slices"
 
 	"xgrammar/internal/bitset"
 	"xgrammar/internal/matcher"
@@ -12,16 +12,15 @@ import (
 // simulator for context-dependent tokens) is reused across steps, so
 // steady-state mask generation performs no heap allocations.
 type FillContext struct {
-	tmp      *bitset.Bitset
 	nodes    []int32
 	ctxIDs   []int32
 	ctxTmp   []int32 // union scratch for the per-node ctx lists
 	byteRank []int32 // token id -> lexicographic rank, built lazily
-	// Algorithm 1 scratch (double-buffered partial sets).
-	rejA, rejB []int32
-	accA, accB []int32
-	mrg, diff  []int32
-	sorter     rankSorter
+	// Dense-merge scratch: reject-list nodes without a canonical mask, and
+	// double-buffered except-list intersection.
+	rejNodes   []int32
+	excA, excB []int32
+	excU       []int32
 	sim        prefixSim
 }
 
@@ -31,19 +30,32 @@ type FillStats struct {
 	UniqueNodes int
 	CtxChecked  int
 	CtxAccepted int
-	UsedBitset  bool // true when the bitset merge path was taken
+	// Accepted is the popcount of the finished mask, maintained by the fused
+	// merge as it goes (no final re-scan).
+	Accepted int
+	// FastPath is true when the merge was skipped entirely and a canonical
+	// precomputed mask was copied word-for-word.
+	FastPath bool
 }
 
 // NewFillContext returns a scratch context for a vocabulary of the given size.
 func NewFillContext(vocab int) *FillContext {
-	return &FillContext{tmp: bitset.New(vocab)}
+	_ = vocab
+	return &FillContext{}
 }
 
 // FillMask computes the complete token mask for the current (closed) state
-// set: context-independent tokens come from the per-node cache, merged with
-// Algorithm 1; context-dependent tokens are resolved by executing the PDA
-// with the real stacks (prefix-shared, §3.3). Special tokens are always
-// masked out except stop tokens, which are allowed iff canTerminate.
+// set. The context-independent phase is a fused word-level merge: the final
+// mask is the union of each unique node's CI accept set, built with whole-word
+// OR/AndNot/popcount ops — a node with a canonical precomputed mask
+// contributes one OR pass (and a lone such node is a straight memcpy), sparse
+// accept-lists contribute a counted SetList, and dense reject-lists are
+// intersected and subtracted from the full-vocabulary identity in a single
+// pass. Context-dependent tokens are then resolved by executing the PDA with
+// the real stacks (prefix-shared, §3.3) and can only turn bits on: a token
+// CI-accepted by any node is necessarily alive under the full state set, so
+// no contribution is ever retracted. Special tokens never enter the identity
+// mask, so they need no final clearing; stop tokens are set iff canTerminate.
 func (c *Cache) FillMask(exec *matcher.Exec, states []matcher.State, mask *bitset.Bitset, canTerminate bool, fc *FillContext) FillStats {
 	st := FillStats{States: len(states)}
 	// Unique stack-top nodes that can consume input.
@@ -65,23 +77,48 @@ func (c *Cache) FillMask(exec *matcher.Exec, states []matcher.State, mask *bitse
 	}
 	st.UniqueNodes = len(fc.nodes)
 
-	// Context-independent phase.
-	hasBitset := false
-	for _, n := range fc.nodes {
-		if c.Nodes[n].Kind == BitsetStore {
-			hasBitset = true
-			break
-		}
-	}
-	if hasBitset {
-		st.UsedBitset = true
-		c.mergeBitset(fc.nodes, mask, fc)
+	// Context-independent phase. The running count invariant: word-level ops
+	// over the whole mask return the absolute popcount (assign), list ops
+	// return the newly-set delta (add) — correct under any interleaving
+	// because the mask starts cleared.
+	count := 0
+	if len(fc.nodes) == 1 && c.Nodes[fc.nodes[0]].canonical != nil {
+		count = mask.CopyWordsCount(c.Nodes[fc.nodes[0]].canonical)
+		st.FastPath = true
 	} else {
-		c.mergeAlgorithm1(fc.nodes, mask, fc)
+		mask.ClearAll()
+		fc.rejNodes = fc.rejNodes[:0]
+		for _, n := range fc.nodes {
+			nm := &c.Nodes[n]
+			switch {
+			case nm.canonical != nil:
+				count = mask.OrWordsCount(nm.canonical)
+			case nm.Kind == AcceptList:
+				count += mask.SetListCount(nm.Tokens)
+			default:
+				fc.rejNodes = append(fc.rejNodes, n)
+			}
+		}
+		if len(fc.rejNodes) > 0 {
+			// Union over dense nodes of (ALL \ E_i) = ALL \ ∩E_i where
+			// E_i = Rejected_i ∪ Ctx_i: intersect the except-lists, then one
+			// fused pass over the identity words.
+			nm0 := &c.Nodes[fc.rejNodes[0]]
+			a := bitset.UnionSorted(fc.excA[:0], nm0.Tokens, nm0.Ctx)
+			b := fc.excB[:0]
+			for _, n := range fc.rejNodes[1:] {
+				nm := &c.Nodes[n]
+				fc.excU = bitset.UnionSorted(fc.excU[:0], nm.Tokens, nm.Ctx)
+				b = bitset.IntersectSorted(b[:0], a, fc.excU)
+				a, b = b, a
+			}
+			count = mask.OrExceptList(c.allWords, a)
+			fc.excA, fc.excB = a, b
+		}
 	}
 
 	// Context-dependent phase: union the per-node ctx lists, then resolve
-	// each token against the real stacks.
+	// each token against the real stacks. Set-only — see the invariant above.
 	fc.ctxIDs = fc.ctxIDs[:0]
 	for _, n := range fc.nodes {
 		fc.ctxTmp = append(fc.ctxTmp[:0], fc.ctxIDs...)
@@ -95,110 +132,33 @@ func (c *Cache) FillMask(exec *matcher.Exec, states []matcher.State, mask *bitse
 			_, alive := sim.run(c.Tok.TokenBytes(id))
 			st.CtxChecked++
 			if alive {
-				mask.Set(int(id))
 				st.CtxAccepted++
-			} else {
-				mask.Clear(int(id))
+				if !mask.Get(int(id)) {
+					mask.Set(int(id))
+					count++
+				}
 			}
 		}
 		sim.release()
 	}
 
-	// Special and stop tokens.
-	for _, id := range c.Tok.SpecialIDs() {
-		mask.Clear(int(id))
-	}
+	// Stop tokens (special tokens are never set by the merge: the identity
+	// mask, canonical masks, and all stored lists exclude them).
 	if canTerminate {
 		for _, id := range c.Tok.StopIDs() {
-			mask.Set(int(id))
+			if !mask.Get(int(id)) {
+				mask.Set(int(id))
+				count++
+			}
 		}
 	}
+	st.Accepted = count
 	return st
 }
 
-// mergeAlgorithm1 implements Algorithm 1 from the paper over sorted id
-// lists: accept-heavy masks intersect their rejected lists into PartialRej;
-// reject-heavy masks union their accepted lists into PartialAcc; the final
-// rejected set is PartialRej \ PartialAcc. Context-dependent tokens are
-// treated as rejected here and resolved afterwards. All intermediates live
-// in FillContext scratch (double-buffered, swap instead of copy).
-func (c *Cache) mergeAlgorithm1(nodes []int32, mask *bitset.Bitset, fc *FillContext) {
-	rej, rejNext := fc.rejA[:0], fc.rejB[:0]
-	rejIsAll := true // PartialRej starts as the full vocabulary
-	acc, accNext := fc.accA[:0], fc.accB[:0]
-	mrg := fc.mrg[:0]
-
-	for _, n := range nodes {
-		nm := &c.Nodes[n]
-		switch nm.Kind {
-		case AcceptHeavy:
-			// Rej' = Tokens ∪ Ctx.
-			mrg = bitset.UnionSorted(mrg[:0], nm.Tokens, nm.Ctx)
-			if rejIsAll {
-				rej = append(rej[:0], mrg...)
-				rejIsAll = false
-			} else {
-				rejNext = bitset.IntersectSorted(rejNext[:0], rej, mrg)
-				rej, rejNext = rejNext, rej
-			}
-		case RejectHeavy:
-			accNext = bitset.UnionSorted(accNext[:0], acc, nm.Tokens)
-			acc, accNext = accNext, acc
-		}
-	}
-
-	if rejIsAll {
-		// No accept-heavy mask: everything outside PartialAcc is rejected.
-		mask.ClearAll()
-		mask.SetList(acc)
-	} else {
-		mask.SetAll()
-		fc.diff = bitset.DiffSorted(fc.diff[:0], rej, acc)
-		mask.ClearList(fc.diff)
-		// Tokens accepted by a reject-heavy node must stay set even if another
-		// node rejected them (union over parallel stacks).
-		mask.SetList(acc)
-	}
-	// Hand the (possibly swapped) buffers back so their capacity is kept.
-	fc.rejA, fc.rejB, fc.accA, fc.accB, fc.mrg = rej, rejNext, acc, accNext, mrg
-}
-
-// mergeBitset is the fallback merge when a node uses bitset storage.
-func (c *Cache) mergeBitset(nodes []int32, mask *bitset.Bitset, fc *FillContext) {
-	mask.ClearAll()
-	for _, n := range nodes {
-		nm := &c.Nodes[n]
-		switch nm.Kind {
-		case AcceptHeavy:
-			fc.tmp.SetAll()
-			fc.tmp.ClearList(nm.Tokens)
-			fc.tmp.ClearList(nm.Ctx)
-			// Specials were never classified; clear them from the "all" base.
-			for _, id := range c.Tok.SpecialIDs() {
-				fc.tmp.Clear(int(id))
-			}
-			mask.Or(fc.tmp)
-		case RejectHeavy:
-			mask.SetList(nm.Tokens)
-		case BitsetStore:
-			mask.Or(bitset.FromWords(nm.Bits, c.Vocab))
-		}
-	}
-}
-
-// rankSorter orders token ids by a precomputed rank; a pointer to it
-// converts to sort.Interface without allocating.
-type rankSorter struct {
-	ids  []int32
-	rank []int32
-}
-
-func (r *rankSorter) Len() int           { return len(r.ids) }
-func (r *rankSorter) Less(i, j int) bool { return r.rank[r.ids[i]] < r.rank[r.ids[j]] }
-func (r *rankSorter) Swap(i, j int)      { r.ids[i], r.ids[j] = r.ids[j], r.ids[i] }
-
 // sortByBytes orders token ids by the lexicographic rank of their bytes, the
-// order that maximizes prefix sharing during resolution.
+// order that maximizes prefix sharing during resolution. slices.SortFunc on
+// the id slice with a rank lookup is allocation-free.
 func (c *Cache) sortByBytes(ids []int32, fc *FillContext) {
 	if fc.byteRank == nil {
 		fc.byteRank = make([]int32, c.Vocab)
@@ -206,7 +166,6 @@ func (c *Cache) sortByBytes(ids []int32, fc *FillContext) {
 			fc.byteRank[id] = int32(rank)
 		}
 	}
-	fc.sorter.ids, fc.sorter.rank = ids, fc.byteRank
-	sort.Sort(&fc.sorter)
-	fc.sorter.ids = nil
+	rank := fc.byteRank
+	slices.SortFunc(ids, func(a, b int32) int { return int(rank[a]) - int(rank[b]) })
 }

@@ -253,12 +253,17 @@ func (s *Session) Fill() maskcache.FillStats {
 	}
 	if s.mode < 0 {
 		copy(s.mask, s.ts.freeWords)
-		s.lastStats = maskcache.FillStats{}
+		// A template memcpy is the same fast path a fully context-independent
+		// grammar state takes; Accepted is the precomputed template popcount.
+		s.lastStats = maskcache.FillStats{Accepted: s.ts.freeCount, FastPath: true}
 	} else {
 		s.lastStats = s.seg.Fill()
 		copy(s.mask, s.seg.Mask())
 		eos := tokenizer.EosID
-		s.mask[eos>>6] &^= 1 << uint(eos&63)
+		if s.mask[eos>>6]&(1<<uint(eos&63)) != 0 {
+			s.mask[eos>>6] &^= 1 << uint(eos&63)
+			s.lastStats.Accepted--
+		}
 	}
 	s.dirty = false
 	return s.lastStats

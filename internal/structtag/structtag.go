@@ -58,8 +58,10 @@ type Set struct {
 	trie     *trie.Trie
 	maxBegin int
 	// freeWords is the free-text mask template: every regular token plus
-	// EOS; non-stop special tokens cleared.
+	// EOS; non-stop special tokens cleared. freeCount is its popcount,
+	// computed once so free-mode fills report Accepted without a re-scan.
 	freeWords  []uint64
+	freeCount  int
 	words      int
 	maxHistory int
 	pool       sync.Pool
@@ -115,6 +117,7 @@ func NewSet(tags []Tag, tok *tokenizer.Tokenizer, maxHistory int) (*Set, error) 
 		trie:       trie.Build(begins),
 		maxBegin:   maxBegin,
 		freeWords:  free.Words(),
+		freeCount:  free.Count(),
 		words:      words,
 		maxHistory: maxHistory,
 	}, nil

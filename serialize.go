@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math/bits"
 
 	"xgrammar/internal/bitset"
 	"xgrammar/internal/ebnf"
@@ -13,9 +14,17 @@ import (
 )
 
 // serializeVersion guards the wire format. Version 2 added TokFingerprint;
-// version-1 blobs (which verified only the vocabulary size) are rejected
-// with a recompile hint.
-const serializeVersion = 2
+// version 3 renumbered the mask storage kinds to the popcount-selected
+// adaptive representations (AcceptList/RejectList/WordMask) and added a
+// per-mask AcceptCount integrity field. Version-2 blobs are still loaded
+// (the kinds are remapped and AcceptCount reconstructed); version-1 blobs
+// (which verified only the vocabulary size) are rejected with a recompile
+// hint.
+const serializeVersion = 3
+
+// loadableVersions maps accepted wire versions to whether their masks need
+// the v2->v3 storage-kind remap.
+var loadableVersions = map[int]bool{2: true, 3: false}
 
 // wireGrammar is the gob wire form of a CompiledGrammar. The grammar is
 // carried as EBNF text (re-parsed on load, cheap); the PDA and the adaptive
@@ -70,8 +79,9 @@ func (c *Compiler) LoadCompiledGrammar(r io.Reader) (*CompiledGrammar, error) {
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("xgrammar: load: %w", err)
 	}
-	if wire.Version != serializeVersion {
-		return nil, fmt.Errorf("xgrammar: load: unsupported serialization version %d (this build reads version %d; blobs from older builds lack the tokenizer fingerprint — recompile the grammar and serialize again)",
+	needRemap, ok := loadableVersions[wire.Version]
+	if !ok {
+		return nil, fmt.Errorf("xgrammar: load: unsupported serialization version %d (this build reads versions 2-%d; blobs from older builds lack the tokenizer fingerprint — recompile the grammar and serialize again)",
 			wire.Version, serializeVersion)
 	}
 	if wire.VocabSize != c.info.VocabSize() {
@@ -86,7 +96,15 @@ func (c *Compiler) LoadCompiledGrammar(r io.Reader) (*CompiledGrammar, error) {
 	if err != nil {
 		return nil, fmt.Errorf("xgrammar: load: embedded grammar: %w", err)
 	}
-	if err := validateWire(&wire, len(g.Rules)); err != nil {
+	regular := int32(len(c.info.tok.SortedRegularIDs()))
+	if needRemap {
+		remapV2Masks(wire.Masks, regular)
+		// V2 stats counted kinds under the old numbering (0 was the dense
+		// "accept-heavy" form, 1 the sparse one) — swap to match the remap.
+		kc := &wire.CacheStats.KindCounts
+		kc[maskcache.AcceptList], kc[maskcache.RejectList] = kc[maskcache.RejectList], kc[maskcache.AcceptList]
+	}
+	if err := validateWire(&wire, len(g.Rules), regular, c.info.tok.SpecialIDs()); err != nil {
 		return nil, fmt.Errorf("xgrammar: load: %w", err)
 	}
 	p := pda.FromParts(g, wire.Nodes, wire.RuleStart, wire.Root)
@@ -101,11 +119,42 @@ func (c *Compiler) LoadCompiledGrammar(r io.Reader) (*CompiledGrammar, error) {
 	return cg, nil
 }
 
+// remapV2Masks converts version-2 masks in place to the version-3 storage
+// kinds. V2 kind 0 ("accept-heavy") stored the rejected ids — that is now
+// RejectList; v2 kind 1 ("reject-heavy") stored the accepted ids — now
+// AcceptList; kind 2 stored accepted words in both versions. V2 blobs carry
+// no AcceptCount, so it is reconstructed from the lists (validateWire then
+// checks it trivially, which is fine: the kinds were just derived from it).
+func remapV2Masks(masks []maskcache.WireMask, regular int32) {
+	for i := range masks {
+		m := &masks[i]
+		switch m.Kind {
+		case 0:
+			m.Kind = maskcache.RejectList
+			m.AcceptCount = regular - int32(len(m.Tokens)) - int32(len(m.Ctx))
+		case 1:
+			m.Kind = maskcache.AcceptList
+			m.AcceptCount = int32(len(m.Tokens))
+		case 2:
+			m.Kind = maskcache.WordMask
+			var c int32
+			for _, w := range m.Bits {
+				c += int32(bits.OnesCount64(w))
+			}
+			m.AcceptCount = c
+		}
+	}
+}
+
 // validateWire bounds-checks the decoded automaton and mask cache before
 // they are wired into live structures: a truncated or bit-flipped blob must
 // fail the load with an error, never corrupt a matcher or panic at decode
-// time. numRules is the rule count of the re-parsed embedded grammar.
-func validateWire(w *wireGrammar, numRules int) error {
+// time. numRules is the rule count of the re-parsed embedded grammar;
+// regular is the tokenizer's regular-token count and specials its special
+// ids (special tokens must never appear in a stored mask — the fused fill
+// ORs stored words and lists into session masks verbatim, with no final
+// special-clearing pass).
+func validateWire(w *wireGrammar, numRules int, regular int32, specials []int32) error {
 	nNodes := int32(len(w.Nodes))
 	if len(w.Nodes) == 0 {
 		return fmt.Errorf("corrupt blob: no PDA nodes")
@@ -145,10 +194,10 @@ func validateWire(w *wireGrammar, numRules int) error {
 	words := bitset.WordsFor(w.VocabSize)
 	for i := range w.Masks {
 		m := &w.Masks[i]
-		if m.Kind > maskcache.BitsetStore { // StorageKind is unsigned; no lower bound to check
+		if m.Kind > maskcache.WordMask { // StorageKind is unsigned; no lower bound to check
 			return fmt.Errorf("corrupt blob: mask %d has unknown storage kind %d", i, m.Kind)
 		}
-		if m.Kind == maskcache.BitsetStore {
+		if m.Kind == maskcache.WordMask {
 			if len(m.Bits) != words {
 				return fmt.Errorf("corrupt blob: mask %d holds %d bitset words, vocabulary needs %d", i, len(m.Bits), words)
 			}
@@ -158,29 +207,61 @@ func validateWire(w *wireGrammar, numRules int) error {
 			if rem := uint(w.VocabSize % 64); rem != 0 && m.Bits[words-1]>>rem != 0 {
 				return fmt.Errorf("corrupt blob: mask %d sets bits beyond vocabulary %d", i, vocab)
 			}
+			for _, id := range specials {
+				if m.Bits[id>>6]&(1<<uint(id&63)) != 0 {
+					return fmt.Errorf("corrupt blob: mask %d sets special token %d", i, id)
+				}
+			}
+			if len(m.Tokens) != 0 {
+				return fmt.Errorf("corrupt blob: mask %d stores words and a %d-entry token list", i, len(m.Tokens))
+			}
+		} else if len(m.Bits) != 0 {
+			return fmt.Errorf("corrupt blob: mask %d has storage kind %d but %d bitset words", i, m.Kind, len(m.Bits))
 		}
 		// Token lists must be strictly ascending (sorted, duplicate-free):
-		// the Algorithm-1 merge assumes it, and a reordered list would
+		// the fused word-level merge assumes it, and a reordered list would
 		// silently produce wrong masks rather than fail the load.
-		if err := checkTokenList(m.Tokens, vocab, i, "token"); err != nil {
+		if err := checkTokenList(m.Tokens, vocab, specials, i, "token"); err != nil {
 			return err
 		}
-		if err := checkTokenList(m.Ctx, vocab, i, "context token"); err != nil {
+		if err := checkTokenList(m.Ctx, vocab, specials, i, "context token"); err != nil {
 			return err
+		}
+		// AcceptCount must agree with the stored representation: a flipped
+		// Kind byte inverts the mask's meaning while passing every bounds
+		// check, so the redundant popcount is the integrity anchor.
+		var want int32
+		switch m.Kind {
+		case maskcache.AcceptList:
+			want = int32(len(m.Tokens))
+		case maskcache.RejectList:
+			want = regular - int32(len(m.Tokens)) - int32(len(m.Ctx))
+		case maskcache.WordMask:
+			for _, wd := range m.Bits {
+				want += int32(bits.OnesCount64(wd))
+			}
+		}
+		if m.AcceptCount != want {
+			return fmt.Errorf("corrupt blob: mask %d kind %s claims %d accepted tokens, stored lists imply %d", i, m.Kind, m.AcceptCount, want)
 		}
 	}
 	return nil
 }
 
-// checkTokenList verifies a wire mask's id list is in-range and strictly
-// ascending.
-func checkTokenList(ids []int32, vocab int32, mask int, what string) error {
+// checkTokenList verifies a wire mask's id list is in-range, strictly
+// ascending, and free of special token ids.
+func checkTokenList(ids []int32, vocab int32, specials []int32, mask int, what string) error {
 	for j, id := range ids {
 		if id < 0 || id >= vocab {
 			return fmt.Errorf("corrupt blob: mask %d lists %s %d of vocabulary %d", mask, what, id, vocab)
 		}
 		if j > 0 && id <= ids[j-1] {
 			return fmt.Errorf("corrupt blob: mask %d %s list not strictly ascending at index %d", mask, what, j)
+		}
+		for _, sp := range specials {
+			if id == sp {
+				return fmt.Errorf("corrupt blob: mask %d lists special token %d as %s", mask, id, what)
+			}
 		}
 	}
 	return nil

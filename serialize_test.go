@@ -160,17 +160,62 @@ func TestLoadRejectsCorruptStructure(t *testing.T) {
 		"no nodes":          func(w *wireGrammar) { w.Nodes = nil; w.Masks = nil },
 		"bitset padding bits set": func(w *wireGrammar) {
 			for i := range w.Masks {
-				if w.Masks[i].Kind == 2 { // BitsetStore
+				if w.Masks[i].Kind == maskcache.WordMask {
 					w.Masks[i].Bits[len(w.Masks[i].Bits)-1] |= 1 << 63
 					return
 				}
 			}
-			// No bitset node in this grammar: fabricate one with the right
+			// No word-mask node in this grammar: fabricate one with the right
 			// word count but a padding bit set beyond the vocabulary.
 			words := (w.VocabSize + 63) / 64
 			bits := make([]uint64, words)
 			bits[words-1] = 1 << 63
-			w.Masks[0] = maskcache.WireMask{Kind: 2, Bits: bits}
+			w.Masks[0] = maskcache.WireMask{Kind: maskcache.WordMask, Bits: bits}
+		},
+		"accept count mismatch": func(w *wireGrammar) { w.Masks[0].AcceptCount += 7 },
+		"kind flipped against count": func(w *wireGrammar) {
+			// A flipped Kind byte passes every bounds check but inverts the
+			// mask's meaning; only the redundant AcceptCount can catch it.
+			for i := range w.Masks {
+				m := &w.Masks[i]
+				if m.Kind == maskcache.AcceptList && len(m.Tokens) > 0 {
+					m.Kind = maskcache.RejectList
+					return
+				}
+				if m.Kind == maskcache.RejectList {
+					m.Kind = maskcache.AcceptList
+					return
+				}
+			}
+			t.Fatal("no list-kind mask to flip")
+		},
+		"words stored on a list kind": func(w *wireGrammar) {
+			for i := range w.Masks {
+				if w.Masks[i].Kind != maskcache.WordMask {
+					w.Masks[i].Bits = make([]uint64, (w.VocabSize+63)/64)
+					return
+				}
+			}
+			t.Fatal("no list-kind mask")
+		},
+		"special token in token list": func(w *wireGrammar) {
+			for i := range w.Masks {
+				m := &w.Masks[i]
+				if m.Kind == maskcache.AcceptList {
+					// Special ids sit below the regular range, so prepending
+					// keeps the list ascending — only the special check fires.
+					m.Tokens = append([]int32{0}, m.Tokens...)
+					m.AcceptCount++
+					return
+				}
+			}
+			t.Fatal("no accept-list mask")
+		},
+		"special bit set in word mask": func(w *wireGrammar) {
+			words := (w.VocabSize + 63) / 64
+			bits := make([]uint64, words)
+			bits[0] = 1 << 2 // EosID
+			w.Masks[0] = maskcache.WireMask{Kind: maskcache.WordMask, Bits: bits, AcceptCount: 1}
 		},
 		"unsorted token list": func(w *wireGrammar) {
 			for i := range w.Masks {
@@ -218,6 +263,63 @@ func rewire(t *testing.T, cg *CompiledGrammar, mutate func(*wireGrammar)) *bytes
 		t.Fatal(err)
 	}
 	return &out
+}
+
+// TestLoadVersion2Blob simulates a blob written by the previous build:
+// version 2, masks under the old storage-kind numbering (0 stored rejected
+// ids, 1 stored accepted ids), no AcceptCount field, stats counting kinds in
+// the old order. The load must remap everything and replay bit-identically.
+func TestLoadVersion2Blob(t *testing.T) {
+	info := testTokenizer(t)
+	cg, err := NewCompiler(info).CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := rewire(t, cg, func(w *wireGrammar) {
+		w.Version = 2
+		for i := range w.Masks {
+			m := &w.Masks[i]
+			m.AcceptCount = 0 // the field postdates version 2
+			switch m.Kind {
+			case maskcache.AcceptList:
+				m.Kind = 1 // v2 "reject-heavy" stored the accepted ids
+			case maskcache.RejectList:
+				m.Kind = 0 // v2 "accept-heavy" stored the rejected ids
+			}
+		}
+		kc := &w.CacheStats.KindCounts
+		kc[0], kc[1] = kc[1], kc[0]
+		w.CacheStats.CanonicalBytes = 0
+	})
+	loaded, err := NewCompiler(info).LoadCompiledGrammar(v2)
+	if err != nil {
+		t.Fatalf("version-2 blob rejected: %v", err)
+	}
+	os, ls := cg.Stats(), loaded.Stats()
+	if ls.AcceptListNodes != os.AcceptListNodes || ls.RejectListNodes != os.RejectListNodes || ls.WordMaskNodes != os.WordMaskNodes {
+		t.Fatalf("kind counts not remapped: loaded %+v, want %+v", ls, os)
+	}
+	mo, ml := NewMatcher(cg), NewMatcher(loaded)
+	maskO := make([]uint64, cg.MaskWords())
+	maskL := make([]uint64, loaded.MaskWords())
+	doc := `{"k": [false, -2.5e3, "s"]}`
+	for i := 0; i <= len(doc); i++ {
+		mo.FillNextTokenBitmask(maskO)
+		ml.FillNextTokenBitmask(maskL)
+		for w := range maskO {
+			if maskO[w] != maskL[w] {
+				t.Fatalf("v2-loaded mask differs at pos %d", i)
+			}
+		}
+		if i < len(doc) {
+			if err := mo.AcceptString(doc[i : i+1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := ml.AcceptString(doc[i : i+1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
 }
 
 func TestLoadRejectsOldVersion(t *testing.T) {

@@ -288,8 +288,43 @@ func TestStatsShape(t *testing.T) {
 	if st.PrefixCharsStepped >= st.PrefixCharsTotal {
 		t.Fatalf("prefix sharing stats wrong: %+v", st)
 	}
-	if st.AcceptHeavyNodes+st.RejectHeavyNodes+st.BitsetNodes != st.PDANodes {
+	if st.AcceptListNodes+st.RejectListNodes+st.WordMaskNodes != st.PDANodes {
 		t.Fatalf("storage kind counts don't sum: %+v", st)
+	}
+}
+
+// TestAdaptiveKindCoverage pins the bench workloads to both ends of the
+// adaptive-representation spectrum: the ISO-date regex (xgbench's store
+// case) is sparse-heavy — digit and dash states accept a handful of tokens,
+// so accept-lists must dominate — while the builtin JSON grammar is
+// dense-heavy — string-content states accept almost the whole vocabulary,
+// so reject-lists or word masks must appear, along with at least one
+// materialized canonical mask for the fused fill fast path.
+func TestAdaptiveKindCoverage(t *testing.T) {
+	c := NewCompiler(testTokenizer(t))
+
+	sparse, err := c.CompileRegex(`^[0-9]{4}-[0-9]{2}-[0-9]{2}$`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := sparse.Stats()
+	if ss.AcceptListNodes == 0 {
+		t.Fatalf("sparse-heavy regex produced no accept-list nodes: %+v", ss)
+	}
+	if ss.AcceptListNodes <= ss.RejectListNodes+ss.WordMaskNodes {
+		t.Fatalf("sparse-heavy regex not dominated by accept-lists: %+v", ss)
+	}
+
+	dense := mustCompileJSON(t)
+	ds := dense.Stats()
+	if ds.RejectListNodes+ds.WordMaskNodes == 0 {
+		t.Fatalf("dense-heavy JSON grammar produced no reject-list or word-mask nodes: %+v", ds)
+	}
+	// The fused-fill fast path needs canonical word masks: word-mask nodes
+	// alias theirs for free, reject-list nodes materialize under the byte
+	// budget (counted in CanonicalBytes). Either way some must exist.
+	if ds.WordMaskNodes == 0 && ds.CanonicalBytes == 0 {
+		t.Fatalf("dense-heavy JSON grammar has no canonical masks: %+v", ds)
 	}
 }
 
