@@ -97,7 +97,20 @@ var required = map[string]map[string]fieldKind{
 		"errors":         numNonNeg,
 		"byte_identical": boolTrue,
 	},
+	"obs": {
+		"experiment":     strNonEmpty,
+		"requests":       numPositive,
+		"output_tokens":  numPositive,
+		"wall_ms":        numPositive,
+		"tokens_per_sec": numPositive,
+		"overhead_pct":   numNonNeg,
+	},
 }
+
+// maxObsOverheadPct caps the tracing overhead the obs experiment may report:
+// the request-lifecycle tracer must cost under 2% of tok/s versus the same
+// gateway with tracing disabled.
+const maxObsOverheadPct = 2.0
 
 // identityKeys name the row fields that identify a result across runs, per
 // experiment; delta mode matches fresh rows to baseline rows by them.
@@ -107,6 +120,7 @@ var identityKeys = map[string][]string{
 	"store":   {"grammar"},
 	"tags":    {"phase"},
 	"backend": {"experiment", "backend"},
+	"obs":     {"experiment"},
 }
 
 // latencyFloorUS exempts sub-resolution fill latencies from the delta gate:
@@ -203,6 +217,19 @@ func checkFile(path string) (benchFile, []error) {
 				}
 			}
 		}
+		// The obs experiment carries an absolute gate on top of the shape
+		// checks: the tracing-on row must price the tracer under the budget
+		// and must actually have recorded traces.
+		if bf.Experiment == "obs" {
+			if on, _ := row["tracing"].(bool); on {
+				if pct, _ := row["overhead_pct"].(float64); pct >= maxObsOverheadPct {
+					fail("results[%d]: tracing overhead %.2f%% is not under %.1f%%", i, pct, maxObsOverheadPct)
+				}
+				if traces, _ := row["traces"].(float64); traces <= 0 {
+					fail("results[%d]: tracing on but no traces recorded", i)
+				}
+			}
+		}
 	}
 	return bf, errs
 }
@@ -233,10 +260,11 @@ func checkDelta(bf benchFile, baselineDir string, maxReg float64) []error {
 		}
 		return errs
 	}
-	// The backend experiment's tokens_per_sec divides by raw wall time over
-	// an HTTP loopback — CI-runner noise, not a modelled clock like the
-	// serve/spec/tags rows — so only its shape and identity flags are gated.
-	gateTokS := bf.Experiment != "backend"
+	// The backend and obs experiments' tokens_per_sec divides by raw wall
+	// time — CI-runner noise, not a modelled clock like the serve/spec/tags
+	// rows — so their absolute throughput is not delta-gated (obs carries
+	// its own absolute overhead gate in checkFile instead).
+	gateTokS := bf.Experiment != "backend" && bf.Experiment != "obs"
 	keys := identityKeys[bf.Experiment]
 	baseRows := make(map[string]map[string]any, len(base.Results))
 	for _, row := range base.Results {

@@ -9,7 +9,7 @@
 //	xgbench -json BENCH.json # also write machine-readable serving results
 //
 // Experiment ids: fig9 fig10 fig11 fig12 tab1 tab2 tab3 tab4 stats par
-// serve spec store tags backend. The par experiment reports the parallel
+// serve spec store tags backend obs. The par experiment reports the parallel
 // mask-cache build speedup over the serial preprocessing scan; serve
 // benchmarks the continuous-batching serving runtime (pooled sessions,
 // overlapped batch mask fill); spec benchmarks speculative draft-verify
@@ -20,15 +20,18 @@
 // calling) with per-phase throughput and fill percentiles for free text
 // versus in-segment decoding; backend compares the in-process simulated
 // sampler with the httpllm HTTP adapter looped back onto an identical
-// sampler (byte-identity across the wire, transport latency priced).
+// sampler (byte-identity across the wire, transport latency priced); obs
+// prices the request-lifecycle tracer (gateway with tracing off vs on,
+// interleaved passes) so observability provably stays under 2% overhead.
 //
-// With -json, the serving, spec, store, tags, and backend benchmarks'
+// With -json, the serving, spec, store, tags, backend, and obs benchmarks'
 // machine-readable records (experiment, tokens/s, p50/p99 fill latency,
-// batch dynamics, cold/warm latency, per-phase tag profiles) are written so
-// the perf trajectory is tracked across PRs. A '*' in the path fans the
-// sections out to one file each (xgbench -json 'BENCH_*.json' writes
-// BENCH_serve.json, BENCH_spec.json, BENCH_store.json, BENCH_tags.json,
-// BENCH_backend.json); without it one combined file is written.
+// batch dynamics, cold/warm latency, per-phase tag profiles, tracing
+// overhead) are written so the perf trajectory is tracked across PRs. A '*'
+// in the path fans the sections out to one file each (xgbench -json
+// 'BENCH_*.json' writes BENCH_serve.json, BENCH_spec.json,
+// BENCH_store.json, BENCH_tags.json, BENCH_backend.json, BENCH_obs.json);
+// without it one combined file is written.
 //
 // -backend decodes the engine-level experiments against a registry backend
 // spec (e.g. "sim", "http:http://host:port") instead of the in-process
@@ -56,6 +59,7 @@ type benchJSON struct {
 	Store   []experiments.StoreResult        `json:"store"`
 	Tags    []experiments.TagsResult         `json:"tags"`
 	Backend []experiments.BackendBenchResult `json:"backend"`
+	Obs     []experiments.ObsResult          `json:"obs"`
 }
 
 // benchFile is the schema of one per-section BENCH_<id>.json file (the '*'
@@ -137,6 +141,7 @@ func main() {
 			{"store", suite.StoreBench()},
 			{"tags", suite.TagsBench()},
 			{"backend", suite.BackendBench()},
+			{"obs", suite.ObsBench()},
 		}
 		for _, sec := range sections {
 			writeJSON(strings.Replace(*jsonPath, "*", sec.id, 1), benchFile{
@@ -149,6 +154,6 @@ func main() {
 		Mode: mode, Vocab: suite.Vocab,
 		Serving: suite.ServeBench(), Spec: suite.SpecBench(),
 		Store: suite.StoreBench(), Tags: suite.TagsBench(),
-		Backend: suite.BackendBench(),
+		Backend: suite.BackendBench(), Obs: suite.ObsBench(),
 	})
 }

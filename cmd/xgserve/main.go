@@ -18,6 +18,17 @@
 //	POST /v1/generate      constrained generation ("stream": true for SSE)
 //	GET  /healthz          liveness
 //	GET  /metrics          throughput, fill p50/p99, cache + store hit rates
+//	                       (JSON by default; ?format=prometheus or an Accept
+//	                       header naming text/plain switches to Prometheus
+//	                       text exposition)
+//	GET  /debug/requests   recently completed request traces with per-stage
+//	                       spans (filter: model, grammar_id, min_ms, limit)
+//
+// -debug-addr starts a second listener serving net/http/pprof under
+// /debug/pprof/ plus the same /metrics and /debug/requests — keep it
+// private; the main address stays safe to expose. -log-format json emits
+// one structured access-log line per request on stdout; -slow-ms logs
+// requests slower than the threshold to stderr.
 //
 // With -store, compiled grammars are persisted (atomic write-then-rename)
 // and preloaded at boot, so a restarted server serves its first request
@@ -30,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +50,7 @@ import (
 
 	"xgrammar"
 	"xgrammar/internal/backend"
+	"xgrammar/internal/obs"
 	"xgrammar/internal/server"
 )
 
@@ -50,6 +63,11 @@ func main() {
 	maxTokens := flag.Int("max-tokens", 256, "per-request decode-step budget cap")
 	gpuStep := flag.Duration("gpu-step", 2*time.Millisecond, "simulated GPU forward-pass time per decode round")
 	workers := flag.Int("workers", 0, "batch-fill workers (0: one per CPU, shared pool)")
+	debugAddr := flag.String("debug-addr", "", "private listen address for pprof + trace endpoints (empty: disabled)")
+	logFormat := flag.String("log-format", "", "access-log format: json or text (empty: no access log)")
+	trace := flag.Bool("trace", true, "record request-lifecycle traces (stage histograms, /debug/requests)")
+	traceRing := flag.Int("trace-ring", obs.DefaultRingSize, "completed request traces retained for /debug/requests")
+	slowMS := flag.Float64("slow-ms", 0, "log requests slower than this many ms to stderr (0: disabled)")
 	backendSpecs := multiFlag{}
 	flag.Var(&backendSpecs, "backend",
 		"model backend mapping MODEL=SPEC (repeatable; a bare SPEC sets the default backend), e.g. -backend sim -backend llama8b=http:http://gpu:8080; registered: "+
@@ -101,13 +119,52 @@ func main() {
 		engOpts = append(engOpts, xgrammar.WithFillWorkers(*workers))
 	}
 	eng := xgrammar.NewEngine(compiler, engOpts...)
+	tracer := obs.New(obs.Config{
+		Disabled:      !*trace,
+		RingSize:      *traceRing,
+		SlowThreshold: time.Duration(*slowMS * float64(time.Millisecond)),
+		SlowLogWriter: os.Stderr,
+	})
+	var accessLog func(server.AccessRecord)
+	switch *logFormat {
+	case "":
+	case "json":
+		accessLog = server.JSONAccessLogger(os.Stdout)
+	case "text":
+		accessLog = server.TextAccessLogger(os.Stdout)
+	default:
+		fatal(fmt.Errorf("unknown -log-format %q (want json or text)", *logFormat))
+	}
 	gw := server.New(server.Config{
 		Engine:      eng,
 		MaxInflight: *maxInflight,
 		MaxTokens:   *maxTokens,
 		GPUStep:     *gpuStep,
 		Backends:    backends,
+		Tracer:      tracer,
+		AccessLog:   accessLog,
 	})
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		// pprof only on the side listener: the main address can face a
+		// network; the profiling surface should not.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("GET /metrics", gw)
+		dmux.Handle("GET /debug/requests", gw)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			fmt.Fprintf(os.Stderr, "xgserve: debug endpoints (pprof, traces) on %s\n", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fatal(err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: gw}
 	done := make(chan struct{})
@@ -120,6 +177,9 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(ctx)
+		if debugSrv != nil {
+			debugSrv.Shutdown(ctx)
+		}
 		gw.Close()
 		eng.Close()
 	}()

@@ -68,6 +68,11 @@ type Options struct {
 	StepTimeout time.Duration
 	// MaskListMax overrides the list/bitmask encoding switchover.
 	MaskListMax int
+	// ObserveAttempt, when set, is called once per HTTP attempt with its
+	// wall time and outcome — retried attempts included, so the gateway's
+	// backend_attempt histogram sees wire-level tail latency the per-step
+	// timing hides.
+	ObserveAttempt func(d time.Duration, err error)
 }
 
 // Client is the HTTP model backend. Safe for concurrent Open.
@@ -75,6 +80,7 @@ type Client struct {
 	opts    Options
 	http    *http.Client
 	nextSID atomic.Int64
+	observe atomic.Pointer[func(time.Duration, error)]
 }
 
 // New returns an adapter for the server at opts.BaseURL.
@@ -91,7 +97,22 @@ func New(opts Options) *Client {
 	if opts.MaskListMax <= 0 {
 		opts.MaskListMax = MaskListMax
 	}
-	return &Client{opts: opts, http: opts.Client}
+	c := &Client{opts: opts, http: opts.Client}
+	if opts.ObserveAttempt != nil {
+		c.SetAttemptObserver(opts.ObserveAttempt)
+	}
+	return c
+}
+
+// SetAttemptObserver installs (or replaces) the per-attempt timing hook at
+// runtime — the gateway wires its tracer into backends it only knows behind
+// the backend.Backend interface, via a type assertion on this method.
+func (c *Client) SetAttemptObserver(fn func(d time.Duration, err error)) {
+	if fn == nil {
+		c.observe.Store(nil)
+		return
+	}
+	c.observe.Store(&fn)
 }
 
 // Name implements backend.Backend.
@@ -312,7 +333,11 @@ func (c *Client) roundTrip(ctx context.Context, sr stepRequest) (*stepResponse, 
 	return nil, lastErr
 }
 
-func (c *Client) attempt(ctx context.Context, body []byte) (*stepResponse, bool, error) {
+func (c *Client) attempt(ctx context.Context, body []byte) (out *stepResponse, retriable bool, err error) {
+	if obs := c.observe.Load(); obs != nil {
+		t0 := time.Now()
+		defer func() { (*obs)(time.Since(t0), err) }()
+	}
 	actx, cancel := context.WithTimeout(ctx, c.opts.StepTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.opts.BaseURL+"/v1/generate", bytes.NewReader(body))
@@ -335,12 +360,12 @@ func (c *Client) attempt(ctx context.Context, body []byte) (*stepResponse, bool,
 	if resp.StatusCode != http.StatusOK {
 		return nil, false, fmt.Errorf("httpllm: status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
 	}
-	var out stepResponse
-	if err := json.Unmarshal(data, &out); err != nil {
+	var sr2 stepResponse
+	if err := json.Unmarshal(data, &sr2); err != nil {
 		return nil, false, fmt.Errorf("httpllm: bad response: %w", err)
 	}
-	if out.Error != "" {
-		return nil, false, fmt.Errorf("httpllm: %s", out.Error)
+	if sr2.Error != "" {
+		return nil, false, fmt.Errorf("httpllm: %s", sr2.Error)
 	}
-	return &out, false, nil
+	return &sr2, false, nil
 }

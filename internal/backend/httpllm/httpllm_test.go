@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -235,4 +236,66 @@ func TestRegistrySpec(t *testing.T) {
 	}
 	defer seq.Close()
 	driveSteps(t, seq, [][]uint64{synthMask(7, 8, testEOS)})
+}
+
+// attemptRec is one observed HTTP attempt for TestAttemptObserver.
+type attemptRec struct {
+	d   time.Duration
+	err error
+}
+
+// TestAttemptObserver pins the per-attempt timing hook: behind a proxy that
+// 503s every other request, the observer must see every wire attempt —
+// failed and retried alike — while Next reports only per-step success.
+func TestAttemptObserver(t *testing.T) {
+	masks := [][]uint64{synthMask(5, 9, 700, testEOS), wideMask(900), synthMask(3, 4, 11)}
+	proxy := &flakyProxy{inner: NewLoopbackHandler(simllm.NewSampler(testEOS), LoopbackOptions{})}
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var attempts []attemptRec
+	remote := New(Options{BaseURL: ts.URL, Retries: 3, ObserveAttempt: func(d time.Duration, err error) {
+		mu.Lock()
+		attempts = append(attempts, attemptRec{d, err})
+		mu.Unlock()
+	}})
+	seq, err := remote.Open(backend.Request{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	driveSteps(t, seq, masks)
+
+	mu.Lock()
+	defer mu.Unlock()
+	// Every other request 503s, so each of the 3 steps takes exactly 2
+	// attempts: one failed, one successful.
+	if len(attempts) != 2*len(masks) {
+		t.Fatalf("observed %d attempts, want %d", len(attempts), 2*len(masks))
+	}
+	var failed, succeeded int
+	for i, a := range attempts {
+		if a.d <= 0 {
+			t.Fatalf("attempt %d has non-positive duration %v", i, a.d)
+		}
+		if a.err != nil {
+			failed++
+		} else {
+			succeeded++
+		}
+	}
+	if failed != len(masks) || succeeded != len(masks) {
+		t.Fatalf("failed/succeeded = %d/%d, want %d/%d", failed, succeeded, len(masks), len(masks))
+	}
+
+	// SetAttemptObserver(nil) detaches the hook.
+	remote.SetAttemptObserver(nil)
+	before := len(attempts)
+	mu.Unlock()
+	driveSteps(t, seq, [][]uint64{synthMask(5, 9)})
+	mu.Lock()
+	if len(attempts) != before {
+		t.Fatalf("detached observer still saw %d new attempts", len(attempts)-before)
+	}
 }

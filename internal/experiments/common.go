@@ -53,6 +53,8 @@ type Suite struct {
 	tagsResults []TagsResult
 	// memoized model-backend seam benchmark results
 	backendResults []BackendBenchResult
+	// memoized tracing-overhead benchmark results
+	obsResults []ObsResult
 }
 
 // NewSuite returns a suite configuration.

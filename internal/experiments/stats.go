@@ -76,6 +76,7 @@ func (s *Suite) All() []*Table {
 		s.Store(),
 		s.Tags(),
 		s.Backend(),
+		s.Obs(),
 	}
 }
 
@@ -112,6 +113,8 @@ func (s *Suite) ByID(id string) (*Table, bool) {
 		return s.Tags(), true
 	case "backend":
 		return s.Backend(), true
+	case "obs":
+		return s.Obs(), true
 	}
 	return nil, false
 }

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-boundary, atomic histogram in the Prometheus mould:
+// explicit upper bounds plus an implicit +Inf bucket, a total count, and a
+// sum of observed values. Observe is wait-free apart from the CAS loop on
+// the float sum; bucket counts are per-bucket (non-cumulative) internally
+// and cumulated at snapshot time, matching the text exposition format.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough view for exposition: cumulative
+// bucket counts aligned with Bounds (plus the +Inf bucket last), total
+// count, and value sum.
+type HistogramSnapshot struct {
+	Bounds     []float64 // upper bounds, ascending; +Inf implicit
+	Cumulative []uint64  // len(Bounds)+1
+	Count      uint64
+	Sum        float64
+}
+
+// Snapshot returns the histogram's current state with cumulated buckets.
+// Concurrent observers may land between the loads; exposition tolerates
+// that by deriving Count from the cumulated buckets, keeping the invariant
+// cumulative[+Inf] == Count that scrapers check.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.counts)),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	s.Count = cum
+	s.Sum = math.Float64frombits(h.sum.Load())
+	return s
+}

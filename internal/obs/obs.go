@@ -1,0 +1,460 @@
+// Package obs is the request-lifecycle observability layer for the serving
+// gateway: a low-overhead tracer that mints a request ID at admission and
+// follows the request through grammar resolution, the continuous-batching
+// queue, every decode step (accept / jump-forward / fill / backend RTT), and
+// the stream write, recording span-style stage timings into a per-request
+// event buffer and stage-latency histograms.
+//
+// The design is lock-light rather than lock-free: each live trace carries
+// its own small mutex (the HTTP handler and the batcher goroutine both
+// observe into the same trace concurrently — the handler streams chunks
+// while the batcher steps the sequence), histograms are arrays of atomic
+// counters, and the global ring of completed traces takes its mutex once
+// per request at finish time. Per-step clock reads stop once a trace's
+// event buffer fills (Trace.Detail turns false), so a long generation pays
+// the tracing tax only for its first MaxEvents steps; stage aggregates and
+// histograms keep accumulating for stages observed at request scope.
+//
+// All *Trace methods are nil-receiver safe: a disabled tracer hands out nil
+// traces and every instrumentation site stays branch-only.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xgrammar/internal/quantile"
+)
+
+// Stage identifies one timed segment of a request's lifecycle.
+type Stage uint8
+
+const (
+	// StageAdmission is the time from handler entry to passing the inflight
+	// gate and having the request body decoded.
+	StageAdmission Stage = iota
+	// StageResolve is grammar resolution served without running a compile:
+	// compiler LRU hit, singleflight coalescing, or a disk-store load.
+	StageResolve
+	// StageCompile is grammar resolution that ran a real compile.
+	StageCompile
+	// StageQueue is the time from batcher submission to the request's first
+	// inclusion in a decode round.
+	StageQueue
+	// StageAccept is the per-step grammar accept (matcher advance).
+	StageAccept
+	// StageJumpForward is the per-step jump-forward probe + insertion.
+	StageJumpForward
+	// StageFill is the batched mask fill, attributed once per decode round.
+	StageFill
+	// StageBackend is the per-step backend call (Sequence.Next).
+	StageBackend
+	// StageBackendAttempt is one HTTP attempt inside a backend step,
+	// including retried attempts (httpllm wire timing).
+	StageBackendAttempt
+	// StageStream is the cumulative SSE chunk-write time in the handler.
+	StageStream
+	// StageTagSegment is one completed structural-tag segment (enterTag to
+	// leaveTag) in a dispatcher session.
+	StageTagSegment
+	// StageTotal is the whole request, handler entry to finish.
+	StageTotal
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"admission", "resolve", "compile", "queue", "accept", "jump_forward",
+	"fill", "backend", "backend_attempt", "stream", "tag_segment", "total",
+}
+
+// String returns the stage's wire name (label value and JSON key).
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Stages returns every stage in declaration order, for exposition loops.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// Config tunes a Tracer. The zero value is an enabled tracer with default
+// ring and event-buffer sizes and no slow-request log.
+type Config struct {
+	// Disabled turns the tracer off: Start returns nil traces and the only
+	// residual cost at instrumentation sites is a nil check.
+	Disabled bool
+	// RingSize bounds the ring of completed trace snapshots kept for
+	// /debug/requests. <= 0 uses DefaultRingSize.
+	RingSize int
+	// MaxEvents bounds the per-trace event buffer; past it, per-step detail
+	// (and its clock reads) stops while aggregates continue. <= 0 uses
+	// DefaultMaxEvents.
+	MaxEvents int
+	// SlowThreshold emits a structured log line for any request whose total
+	// duration reaches it. 0 disables the slow-request log.
+	SlowThreshold time.Duration
+	// SlowLog receives one line (no trailing newline) per slow request.
+	// nil with a SlowThreshold falls back to SlowLogWriter.
+	SlowLog func(line string)
+	// SlowLogWriter is the destination for slow-request lines when SlowLog
+	// is nil; each line is written with a trailing newline.
+	SlowLogWriter io.Writer
+}
+
+// Defaults for Config's zero fields.
+const (
+	DefaultRingSize  = 256
+	DefaultMaxEvents = 96
+)
+
+// LatencyBuckets are the stage-latency histogram bounds: 1µs to ~4s,
+// factor-4 exponential. Grammar-side stages (accept, fill) sit in the
+// microsecond decades; backend RTTs and totals in the millisecond ones.
+var LatencyBuckets = quantile.ExpBuckets(1e-6, 4, 12)
+
+// DepthBuckets are the queue/batch depth histogram bounds.
+var DepthBuckets = quantile.ExpBuckets(1, 2, 8)
+
+// Tracer mints traces, owns the stage-latency histograms, and keeps the
+// bounded ring of completed traces.
+type Tracer struct {
+	cfg      Config
+	seq      atomic.Uint64
+	stages   [numStages]*Histogram
+	depth    *Histogram
+	ring     ring
+	slow     atomic.Int64
+	started  atomic.Int64
+	finished atomic.Int64
+}
+
+// New returns a tracer for cfg. A disabled tracer still exposes (empty)
+// histograms, so exposition code never branches on it.
+func New(cfg Config) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = DefaultMaxEvents
+	}
+	t := &Tracer{cfg: cfg}
+	for i := range t.stages {
+		t.stages[i] = NewHistogram(LatencyBuckets)
+	}
+	t.depth = NewHistogram(DepthBuckets)
+	t.ring.init(cfg.RingSize)
+	return t
+}
+
+// Enabled reports whether Start mints live traces.
+func (tr *Tracer) Enabled() bool { return !tr.cfg.Disabled }
+
+// Start mints a trace for one request. Returns nil when tracing is
+// disabled; all Trace methods tolerate that.
+func (tr *Tracer) Start(model, grammarID string) *Trace {
+	if tr.cfg.Disabled {
+		return nil
+	}
+	tr.started.Add(1)
+	return &Trace{
+		tr:        tr,
+		id:        tr.seq.Add(1),
+		start:     time.Now(),
+		model:     model,
+		grammarID: grammarID,
+		events:    make([]event, 0, 16),
+	}
+}
+
+// StageHistogram returns the tracer's histogram for a stage.
+func (tr *Tracer) StageHistogram(s Stage) *Histogram { return tr.stages[s] }
+
+// DepthHistogram returns the per-round live-batch depth histogram.
+func (tr *Tracer) DepthHistogram() *Histogram { return tr.depth }
+
+// ObserveStage records a request-independent sample into a stage histogram
+// (round-level fill time, backend attempt RTTs, register-time compiles).
+func (tr *Tracer) ObserveStage(s Stage, d time.Duration) {
+	if tr == nil || tr.cfg.Disabled {
+		return
+	}
+	tr.stages[s].Observe(d.Seconds())
+}
+
+// ObserveDepth records one decode round's live-batch depth.
+func (tr *Tracer) ObserveDepth(n int) {
+	if tr == nil || tr.cfg.Disabled {
+		return
+	}
+	tr.depth.Observe(float64(n))
+}
+
+// SlowCount returns the number of requests that crossed SlowThreshold.
+func (tr *Tracer) SlowCount() int64 { return tr.slow.Load() }
+
+// Counts returns the number of traces started and finished.
+func (tr *Tracer) Counts() (started, finished int64) {
+	return tr.started.Load(), tr.finished.Load()
+}
+
+// Filter selects completed traces from the ring.
+type Filter struct {
+	// Model and GrammarID, when non-empty, must match exactly.
+	Model, GrammarID string
+	// MinTotal drops traces shorter than it.
+	MinTotal time.Duration
+	// Limit caps the number of returned traces; <= 0 means no cap.
+	Limit int
+}
+
+// Completed returns snapshots of recently finished traces, newest first.
+func (tr *Tracer) Completed(f Filter) []*Snapshot {
+	return tr.ring.completed(f)
+}
+
+// event is one timed span inside a trace.
+type event struct {
+	stage Stage
+	off   time.Duration // start offset from trace start
+	dur   time.Duration
+}
+
+// stageAgg accumulates per-stage totals for one trace.
+type stageAgg struct {
+	count    int64
+	total    time.Duration
+	min, max time.Duration
+}
+
+// Trace is one request's lifecycle record. The handler and the batcher
+// goroutine both observe into it; a small per-trace mutex serialises them.
+type Trace struct {
+	tr *Tracer
+	id uint64
+
+	mu        sync.Mutex
+	start     time.Time
+	model     string
+	grammarID string
+	events    []event
+	truncated bool
+	aggs      [numStages]stageAgg
+	finished  bool
+}
+
+// ID returns the trace's request ID (0 for a nil trace).
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// SetModel records the request's model once it is known.
+func (t *Trace) SetModel(model string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.model = model
+	t.mu.Unlock()
+}
+
+// SetGrammarID records the resolved grammar ID once it is known.
+func (t *Trace) SetGrammarID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.grammarID = id
+	t.mu.Unlock()
+}
+
+// Detail reports whether the per-trace event buffer still has room. The
+// batcher checks it before per-step clock reads, so steady-state long
+// requests stop paying the timing cost once the detail window is full.
+func (t *Trace) Detail() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	ok := !t.truncated && len(t.events) < t.tr.cfg.MaxEvents
+	t.mu.Unlock()
+	return ok
+}
+
+// Observe records one completed span ending now: event, stage aggregate,
+// and the tracer's stage histogram.
+func (t *Trace) Observe(s Stage, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.tr.stages[s].Observe(d.Seconds())
+	t.record(s, time.Now().Add(-d), d, 1)
+}
+
+// ObserveSince is Observe(s, time.Since(t0)) returning the span's end time,
+// so call sites chain stages with one clock read per boundary.
+func (t *Trace) ObserveSince(s Stage, t0 time.Time) time.Time {
+	if t == nil {
+		return time.Now()
+	}
+	d := time.Since(t0)
+	t.tr.stages[s].Observe(d.Seconds())
+	t.record(s, t0, d, 1)
+	return t0.Add(d)
+}
+
+// Event records a span into the trace only — no histogram. Used where the
+// histogram sample is recorded elsewhere at a different grain (the batched
+// fill is observed once per round by the batcher, then attributed to each
+// traced participant as an event).
+func (t *Trace) Event(s Stage, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record(s, time.Now().Add(-d), d, 1)
+}
+
+// EventAt is Event with an explicit span start (structural-tag segment
+// spans are captured inside the dispatcher and merged in at finish).
+func (t *Trace) EventAt(s Stage, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record(s, start, d, 1)
+}
+
+// ObserveN folds n occurrences with combined duration d into the stage
+// aggregate (one event, one histogram sample of the total) — the stream
+// writer accumulates chunk-write time locally and reports once.
+func (t *Trace) ObserveN(s Stage, n int, d time.Duration) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.tr.stages[s].Observe(d.Seconds())
+	t.record(s, time.Now().Add(-d), d, int64(n))
+}
+
+func (t *Trace) record(s Stage, start time.Time, d time.Duration, n int64) {
+	t.mu.Lock()
+	a := &t.aggs[s]
+	if a.count == 0 || d < a.min {
+		a.min = d
+	}
+	if d > a.max {
+		a.max = d
+	}
+	a.count += n
+	a.total += d
+	if len(t.events) < t.tr.cfg.MaxEvents {
+		// The admission span starts at handler entry, before the trace is
+		// minted; clamp so its offset does not render as negative.
+		off := start.Sub(t.start)
+		if off < 0 {
+			off = 0
+		}
+		t.events = append(t.events, event{stage: s, off: off, dur: d})
+	} else {
+		t.truncated = true
+	}
+	t.mu.Unlock()
+}
+
+// Finish seals the trace: records the total stage, pushes a snapshot into
+// the tracer's ring, emits the slow-request log line when the total crosses
+// the threshold, and returns the snapshot (nil for a nil trace). Finish is
+// idempotent; only the first call does work.
+func (t *Trace) Finish(finishReason string, tokens, jfBytes int) *Snapshot {
+	if t == nil {
+		return nil
+	}
+	total := time.Since(t.start)
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return nil
+	}
+	t.finished = true
+	a := &t.aggs[StageTotal]
+	a.count, a.total, a.min, a.max = 1, total, total, total
+	snap := t.snapshotLocked(finishReason, tokens, jfBytes, total)
+	t.mu.Unlock()
+
+	t.tr.stages[StageTotal].Observe(total.Seconds())
+	t.tr.finished.Add(1)
+	t.tr.ring.push(snap)
+	if th := t.tr.cfg.SlowThreshold; th > 0 && total >= th {
+		t.tr.slow.Add(1)
+		t.tr.emitSlow(snap)
+	}
+	return snap
+}
+
+func (t *Trace) snapshotLocked(reason string, tokens, jfBytes int, total time.Duration) *Snapshot {
+	snap := &Snapshot{
+		ID:               t.id,
+		Model:            t.model,
+		GrammarID:        t.grammarID,
+		Start:            t.start,
+		TotalMS:          ms(total),
+		FinishReason:     reason,
+		Tokens:           tokens,
+		JumpForwardBytes: jfBytes,
+		EventsTruncated:  t.truncated,
+	}
+	for s, a := range t.aggs {
+		if a.count == 0 {
+			continue
+		}
+		snap.Stages = append(snap.Stages, StageSummary{
+			Stage: Stage(s).String(), Count: a.count,
+			TotalMS: ms(a.total), MinMS: ms(a.min), MaxMS: ms(a.max),
+		})
+	}
+	snap.Events = make([]EventSnapshot, len(t.events))
+	for i, e := range t.events {
+		snap.Events[i] = EventSnapshot{
+			Stage: e.stage.String(), OffsetMS: ms(e.off), DurMS: ms(e.dur),
+		}
+	}
+	return snap
+}
+
+func (tr *Tracer) emitSlow(snap *Snapshot) {
+	stages := make(map[string]float64, len(snap.Stages))
+	for _, s := range snap.Stages {
+		stages[s.Stage] = s.TotalMS
+	}
+	line, err := json.Marshal(struct {
+		Slow         bool               `json:"slow_request"`
+		ID           uint64             `json:"id"`
+		Model        string             `json:"model,omitempty"`
+		GrammarID    string             `json:"grammar_id,omitempty"`
+		TotalMS      float64            `json:"total_ms"`
+		FinishReason string             `json:"finish_reason"`
+		Tokens       int                `json:"tokens"`
+		StageMS      map[string]float64 `json:"stage_ms"`
+	}{true, snap.ID, snap.Model, snap.GrammarID, snap.TotalMS, snap.FinishReason, snap.Tokens, stages})
+	if err != nil {
+		return
+	}
+	if tr.cfg.SlowLog != nil {
+		tr.cfg.SlowLog(string(line))
+	} else if tr.cfg.SlowLogWriter != nil {
+		tr.cfg.SlowLogWriter.Write(append(line, '\n'))
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

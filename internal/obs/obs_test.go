@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != 0 {
+		t.Fatal("nil trace ID should be 0")
+	}
+	if tr.Detail() {
+		t.Fatal("nil trace should report no detail window")
+	}
+	// None of these may panic.
+	tr.SetModel("m")
+	tr.SetGrammarID("g")
+	tr.Observe(StageAccept, time.Millisecond)
+	tr.ObserveSince(StageFill, time.Now())
+	tr.Event(StageFill, time.Millisecond)
+	tr.EventAt(StageTagSegment, time.Now(), time.Millisecond)
+	tr.ObserveN(StageStream, 3, time.Millisecond)
+	if snap := tr.Finish("stop", 1, 0); snap != nil {
+		t.Fatal("nil trace Finish should return nil")
+	}
+
+	var tc *Tracer
+	tc.ObserveStage(StageFill, time.Millisecond)
+	tc.ObserveDepth(4)
+}
+
+func TestDisabledTracer(t *testing.T) {
+	tr := New(Config{Disabled: true})
+	if tr.Enabled() {
+		t.Fatal("disabled tracer reports enabled")
+	}
+	if got := tr.Start("m", "g"); got != nil {
+		t.Fatalf("disabled tracer minted a trace: %+v", got)
+	}
+	tr.ObserveStage(StageFill, time.Millisecond)
+	if s := tr.StageHistogram(StageFill).Snapshot(); s.Count != 0 {
+		t.Fatalf("disabled tracer recorded %d samples", s.Count)
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	tr := New(Config{})
+	tc := tr.Start("llama", "g1")
+	if tc.ID() == 0 {
+		t.Fatal("trace ID is 0")
+	}
+	tc.Observe(StageAdmission, 2*time.Millisecond)
+	tc.Observe(StageAccept, time.Millisecond)
+	tc.Observe(StageAccept, 3*time.Millisecond)
+	tc.ObserveN(StageStream, 5, 10*time.Millisecond)
+	snap := tc.Finish("stop", 42, 7)
+	if snap == nil {
+		t.Fatal("Finish returned nil")
+	}
+	if snap.FinishReason != "stop" || snap.Tokens != 42 || snap.JumpForwardBytes != 7 {
+		t.Fatalf("snapshot carries wrong finish data: %+v", snap)
+	}
+	byStage := map[string]StageSummary{}
+	for _, s := range snap.Stages {
+		byStage[s.Stage] = s
+	}
+	acc := byStage["accept"]
+	if acc.Count != 2 || acc.MinMS > acc.MaxMS || acc.TotalMS < 3.9 {
+		t.Fatalf("accept aggregate wrong: %+v", acc)
+	}
+	if byStage["stream"].Count != 5 {
+		t.Fatalf("ObserveN should fold 5 occurrences, got %+v", byStage["stream"])
+	}
+	if tot := byStage["total"]; tot.Count != 1 || tot.TotalMS <= 0 {
+		t.Fatalf("total stage wrong: %+v", tot)
+	}
+	// Finish is idempotent.
+	if again := tc.Finish("stop", 42, 7); again != nil {
+		t.Fatal("second Finish should return nil")
+	}
+	if started, finished := tr.Counts(); started != 1 || finished != 1 {
+		t.Fatalf("counts = %d/%d, want 1/1", started, finished)
+	}
+}
+
+func TestDetailWindowCloses(t *testing.T) {
+	tr := New(Config{MaxEvents: 4})
+	tc := tr.Start("", "")
+	for i := 0; i < 6; i++ {
+		tc.Observe(StageAccept, time.Microsecond)
+	}
+	if tc.Detail() {
+		t.Fatal("detail window should be closed after MaxEvents")
+	}
+	snap := tc.Finish("stop", 6, 0)
+	if len(snap.Events) != 4 {
+		t.Fatalf("got %d events, want 4", len(snap.Events))
+	}
+	if !snap.EventsTruncated {
+		t.Fatal("EventsTruncated should be set")
+	}
+	// Aggregates keep counting past the window.
+	for _, s := range snap.Stages {
+		if s.Stage == "accept" && s.Count != 6 {
+			t.Fatalf("accept aggregate count = %d, want 6", s.Count)
+		}
+	}
+}
+
+func TestRingEvictionAndFilter(t *testing.T) {
+	tr := New(Config{RingSize: 3})
+	finish := func(model string, d time.Duration) {
+		tc := tr.Start(model, "g-"+model)
+		tc.Observe(StageAccept, d)
+		tc.Finish("stop", 1, 0)
+	}
+	for i := 0; i < 5; i++ {
+		finish(fmt.Sprintf("m%d", i), time.Duration(i+1)*time.Millisecond)
+	}
+	all := tr.Completed(Filter{})
+	if len(all) != 3 {
+		t.Fatalf("ring kept %d, want 3", len(all))
+	}
+	// Newest first: m4, m3, m2 survive.
+	if all[0].Model != "m4" || all[2].Model != "m2" {
+		t.Fatalf("wrong order/eviction: %s ... %s", all[0].Model, all[2].Model)
+	}
+	if got := tr.Completed(Filter{Model: "m3"}); len(got) != 1 || got[0].Model != "m3" {
+		t.Fatalf("model filter: %+v", got)
+	}
+	if got := tr.Completed(Filter{GrammarID: "g-m2"}); len(got) != 1 {
+		t.Fatalf("grammar filter returned %d", len(got))
+	}
+	if got := tr.Completed(Filter{Limit: 2}); len(got) != 2 || got[0].Model != "m4" {
+		t.Fatalf("limit filter: %d rows", len(got))
+	}
+	if got := tr.Completed(Filter{Model: "gone"}); len(got) != 0 {
+		t.Fatalf("stale model matched %d rows", len(got))
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var lines []string
+	tr := New(Config{
+		SlowThreshold: time.Nanosecond, // everything is slow
+		SlowLog:       func(l string) { lines = append(lines, l) },
+	})
+	tc := tr.Start("m", "g")
+	tc.Observe(StageAccept, time.Millisecond)
+	time.Sleep(time.Microsecond)
+	tc.Finish("stop", 3, 0)
+	if tr.SlowCount() != 1 {
+		t.Fatalf("slow count = %d, want 1", tr.SlowCount())
+	}
+	if len(lines) != 1 {
+		t.Fatalf("got %d slow lines, want 1", len(lines))
+	}
+	for _, want := range []string{`"slow_request":true`, `"model":"m"`, `"finish_reason":"stop"`, `"stage_ms"`} {
+		if !strings.Contains(lines[0], want) {
+			t.Fatalf("slow line missing %s: %s", want, lines[0])
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	tr := New(Config{})
+	tc := tr.Start("m", "g")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tc.Observe(StageAccept, time.Microsecond)
+				tr.ObserveStage(StageFill, time.Microsecond)
+				tr.ObserveDepth(2)
+			}
+		}()
+	}
+	wg.Wait()
+	tc.Finish("stop", 800, 0)
+	if s := tr.StageHistogram(StageAccept).Snapshot(); s.Count != 800 {
+		t.Fatalf("accept histogram count = %d, want 800", s.Count)
+	}
+	if s := tr.StageHistogram(StageFill).Snapshot(); s.Count != 800 {
+		t.Fatalf("fill histogram count = %d, want 800", s.Count)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	// Cumulative: <=1 -> 2 (0.5, 1), <=10 -> 4, <=100 -> 5, +Inf -> 6.
+	want := []uint64{2, 4, 5}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, s.Cumulative[i], w)
+		}
+	}
+	if s.Sum < 1066 || s.Sum > 1067 {
+		t.Fatalf("sum = %v, want 1066.5", s.Sum)
+	}
+}
+
+func TestPromWriterRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Counter("x_requests_total", "Requests.", 42)
+	p.Gauge("x_inflight", "In flight.", 3)
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+	p.Family("x_latency_seconds", "histogram", "Latency.")
+	p.Histogram("x_latency_seconds", []Label{{Name: "stage", Value: "fill"}}, h.Snapshot())
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+
+	fams, err := ParseProm(sb.String())
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, sb.String())
+	}
+	if f := fams["x_requests_total"]; f == nil || f.Type != "counter" || f.Samples[0].Value != 42 {
+		t.Fatalf("counter family wrong: %+v", f)
+	}
+	lat := fams["x_latency_seconds"]
+	if lat == nil || lat.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", lat)
+	}
+	var infSeen bool
+	for _, s := range lat.Samples {
+		if s.Name == "x_latency_seconds_bucket" && s.Labels["le"] == "+Inf" {
+			infSeen = true
+			if s.Value != 3 {
+				t.Fatalf("+Inf bucket = %v, want 3", s.Value)
+			}
+			if s.Labels["stage"] != "fill" {
+				t.Fatalf("labels lost: %+v", s.Labels)
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket sample")
+	}
+}
+
+func TestParsePromRejectsBroken(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE": "x_total 1\n",
+		"non-cumulative histogram": "# HELP h H\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"10\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# HELP h H\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"inf != count": "# HELP h H\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseProm(text); err == nil {
+			t.Errorf("%s: ParseProm accepted invalid exposition", name)
+		}
+	}
+}
+
+func TestStageNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Stages() {
+		n := s.String()
+		if n == "" || n == "unknown" {
+			t.Fatalf("stage %d has no name", s)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate stage name %q", n)
+		}
+		seen[n] = true
+	}
+}

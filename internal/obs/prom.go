@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter emits the Prometheus text exposition format (version 0.0.4):
+// one `# HELP` / `# TYPE` header per family followed by its samples. It is
+// deliberately minimal — counters, gauges, and explicit-bucket histograms
+// are all the gateway needs — and sticky-errors so call sites stay linear.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter returns a writer over w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Family writes a family header. typ is "counter", "gauge", "histogram",
+// or "summary".
+func (p *PromWriter) Family(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample writes one sample line. labels are (name, value) pairs.
+func (p *PromWriter) Sample(name string, labels []Label, v float64) {
+	p.printf("%s%s %s\n", name, formatLabels(labels), formatValue(v))
+}
+
+// Counter and Gauge write a single-sample family in one call.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	p.Family(name, "counter", help)
+	p.Sample(name, nil, v)
+}
+
+// Gauge writes a gauge family with one unlabelled sample.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.Family(name, "gauge", help)
+	p.Sample(name, nil, v)
+}
+
+// Histogram writes the _bucket/_sum/_count samples of one histogram under
+// an already-declared family, with labels added to every sample.
+func (p *PromWriter) Histogram(name string, labels []Label, s HistogramSnapshot) {
+	for i, b := range s.Bounds {
+		p.Sample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", formatValue(b)}), float64(s.Cumulative[i]))
+	}
+	p.Sample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", "+Inf"}), float64(s.Count))
+	p.Sample(name+"_sum", labels, s.Sum)
+	p.Sample(name+"_count", labels, float64(s.Count))
+}
+
+// Label is one Prometheus label pair.
+type Label struct{ Name, Value string }
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// PromFamily is one parsed metric family.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples []PromSample
+}
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string // full sample name, including _bucket/_sum/_count suffixes
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseProm is a minimal text-format scanner used by the exposition tests
+// (and usable by a future gateway-side aggregator): it parses families and
+// samples, and enforces the invariants a scraper relies on — every sample
+// belongs to a family declared by an earlier # TYPE line, values parse as
+// floats, and histogram families have non-decreasing le-ordered buckets
+// whose +Inf bucket equals _count.
+func ParseProm(data string) (map[string]*PromFamily, error) {
+	fams := make(map[string]*PromFamily)
+	for ln, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				name, typ := fields[2], fields[3]
+				if _, dup := fams[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", ln+1, name)
+				}
+				fams[name] = &PromFamily{Name: name, Type: typ}
+			}
+			continue
+		}
+		sample, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		fam := fams[familyOf(sample.Name, fams)]
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s precedes its # TYPE declaration", ln+1, sample.Name)
+		}
+		fam.Samples = append(fam.Samples, sample)
+	}
+	for _, fam := range fams {
+		if fam.Type == "histogram" {
+			if err := checkHistogram(fam); err != nil {
+				return nil, fmt.Errorf("family %s: %v", fam.Name, err)
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyOf maps a sample name to its declared family, handling the
+// histogram/summary suffixes.
+func familyOf(name string, fams map[string]*PromFamily) string {
+	if _, ok := fams[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if _, ok := fams[base]; ok {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+func parseSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		for _, pair := range splitLabels(rest[1:end]) {
+			name, val, ok := strings.Cut(pair, "=")
+			if !ok || len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+				return s, fmt.Errorf("malformed label %q", pair)
+			}
+			s.Labels[name] = unescapeLabel(val[1 : len(val)-1])
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth, start := false, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func unescapeLabel(s string) string {
+	r := strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n")
+	return r.Replace(s)
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkHistogram validates one histogram family: per label-set, buckets are
+// cumulative in ascending le order, end at +Inf, and match _count.
+func checkHistogram(fam *PromFamily) error {
+	type series struct {
+		les    []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+	}
+	bySet := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		parts := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	for _, s := range fam.Samples {
+		key := keyOf(s.Labels)
+		sr := bySet[key]
+		if sr == nil {
+			sr = &series{}
+			bySet[key] = sr
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, err := parseValue(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("bad le %q", s.Labels["le"])
+			}
+			sr.les = append(sr.les, le)
+			sr.counts = append(sr.counts, s.Value)
+		case strings.HasSuffix(s.Name, "_count"):
+			sr.count, sr.hasCnt = s.Value, true
+		}
+	}
+	for key, sr := range bySet {
+		if len(sr.les) == 0 {
+			return fmt.Errorf("series {%s}: no buckets", key)
+		}
+		for i := 1; i < len(sr.les); i++ {
+			if sr.les[i] <= sr.les[i-1] {
+				return fmt.Errorf("series {%s}: le bounds not ascending", key)
+			}
+			if sr.counts[i] < sr.counts[i-1] {
+				return fmt.Errorf("series {%s}: bucket counts not cumulative", key)
+			}
+		}
+		if !math.IsInf(sr.les[len(sr.les)-1], 1) {
+			return fmt.Errorf("series {%s}: missing +Inf bucket", key)
+		}
+		if !sr.hasCnt {
+			return fmt.Errorf("series {%s}: missing _count", key)
+		}
+		if sr.counts[len(sr.counts)-1] != sr.count {
+			return fmt.Errorf("series {%s}: +Inf bucket %v != count %v", key, sr.counts[len(sr.counts)-1], sr.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Snapshot is the immutable record of one finished request, as served by
+// GET /debug/requests.
+type Snapshot struct {
+	ID               uint64          `json:"id"`
+	Model            string          `json:"model,omitempty"`
+	GrammarID        string          `json:"grammar_id,omitempty"`
+	Start            time.Time       `json:"start"`
+	TotalMS          float64         `json:"total_ms"`
+	FinishReason     string          `json:"finish_reason"`
+	Tokens           int             `json:"tokens"`
+	JumpForwardBytes int             `json:"jump_forward_bytes,omitempty"`
+	Stages           []StageSummary  `json:"stages"`
+	Events           []EventSnapshot `json:"events,omitempty"`
+	// EventsTruncated is true when the request outlived its detail window:
+	// per-step events past MaxEvents were dropped (aggregates kept counting
+	// for stages observed at request scope).
+	EventsTruncated bool `json:"events_truncated,omitempty"`
+}
+
+// StageSummary aggregates every span of one stage within a request.
+type StageSummary struct {
+	Stage   string  `json:"stage"`
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MinMS   float64 `json:"min_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// EventSnapshot is one span: stage, offset from request start, duration.
+type EventSnapshot struct {
+	Stage    string  `json:"stage"`
+	OffsetMS float64 `json:"offset_ms"`
+	DurMS    float64 `json:"dur_ms"`
+}
+
+// ring is the bounded buffer of completed-trace snapshots. push takes the
+// mutex once per finished request; completed copies pointers out under it.
+type ring struct {
+	mu   sync.Mutex
+	buf  []*Snapshot
+	next int
+}
+
+func (r *ring) init(size int) {
+	r.buf = make([]*Snapshot, 0, size)
+}
+
+func (r *ring) push(s *Snapshot) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.next] = s
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.mu.Unlock()
+}
+
+// completed returns matching snapshots newest-first. Snapshots are
+// immutable after push, so sharing pointers with callers is safe.
+func (r *ring) completed(f Filter) []*Snapshot {
+	r.mu.Lock()
+	snap := make([]*Snapshot, 0, len(r.buf))
+	// Oldest-first order is buf[next:] then buf[:next] once wrapped;
+	// before wrapping it is simply buf[0:len].
+	if len(r.buf) == cap(r.buf) {
+		snap = append(snap, r.buf[r.next:]...)
+		snap = append(snap, r.buf[:r.next]...)
+	} else {
+		snap = append(snap, r.buf...)
+	}
+	r.mu.Unlock()
+
+	out := make([]*Snapshot, 0, len(snap))
+	for i := len(snap) - 1; i >= 0; i-- { // newest first
+		s := snap[i]
+		if f.Model != "" && s.Model != f.Model {
+			continue
+		}
+		if f.GrammarID != "" && s.GrammarID != f.GrammarID {
+			continue
+		}
+		if f.MinTotal > 0 && s.TotalMS < ms(f.MinTotal) {
+			continue
+		}
+		out = append(out, s)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}

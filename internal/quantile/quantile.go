@@ -9,6 +9,7 @@ package quantile
 import (
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -41,6 +42,71 @@ func Durations(lats []time.Duration, ps ...float64) []time.Duration {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	for i, p := range ps {
 		out[i] = sorted[Rank(len(sorted), p)]
+	}
+	return out
+}
+
+// Ring is a bounded, concurrency-safe sliding window of latency samples:
+// once full, each Observe overwrites the oldest sample. It replaces the
+// hand-rolled (mutex, slice, next-index) triples that the gateway and the
+// batcher each duplicated for their p50/p99 snapshots.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+}
+
+// NewRing returns a ring keeping the most recent capacity samples.
+// capacity <= 0 is normalised to 1.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]time.Duration, 0, capacity)}
+}
+
+// Observe records one sample, evicting the oldest when the window is full.
+func (r *Ring) Observe(d time.Duration) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, d)
+	} else {
+		r.buf[r.next] = d
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.mu.Unlock()
+}
+
+// Len returns the number of samples currently in the window.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Quantiles returns the requested quantiles over the current window, in the
+// order of ps. An empty window yields all zeros.
+func (r *Ring) Quantiles(ps ...float64) []time.Duration {
+	r.mu.Lock()
+	snap := append([]time.Duration(nil), r.buf...)
+	r.mu.Unlock()
+	return Durations(snap, ps...)
+}
+
+// ExpBuckets returns n exponentially spaced histogram bucket upper bounds
+// starting at start: start, start*factor, start*factor², … — the explicit
+// boundary set the observability layer feeds its Prometheus histograms.
+// Panics on non-positive start or n, or factor <= 1, because bucket layouts
+// are compile-time decisions and a silent empty layout would hide the bug.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("quantile: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
 	}
 	return out
 }

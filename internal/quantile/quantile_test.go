@@ -88,3 +88,66 @@ func TestDurationsSmallSamples(t *testing.T) {
 		t.Errorf("p99 of 50-ladder = %v, want 50us", got)
 	}
 }
+
+func TestRingWindow(t *testing.T) {
+	r := NewRing(4)
+	if q := r.Quantiles(0.5, 0.99); q[0] != 0 || q[1] != 0 {
+		t.Fatalf("empty ring quantiles = %v, want zeros", q)
+	}
+	for i := 1; i <= 4; i++ {
+		r.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	// Window full: two more evict the oldest two (1ms, 2ms).
+	r.Observe(10 * time.Millisecond)
+	r.Observe(20 * time.Millisecond)
+	if r.Len() != 4 {
+		t.Fatalf("Len after wrap = %d, want 4", r.Len())
+	}
+	q := r.Quantiles(0.99)
+	if q[0] != 20*time.Millisecond {
+		t.Fatalf("p99 = %v, want 20ms", q[0])
+	}
+	qlo := r.Quantiles(0.25)
+	if qlo[0] != 3*time.Millisecond {
+		t.Fatalf("p25 = %v, want 3ms (oldest samples evicted)", qlo[0])
+	}
+}
+
+func TestRingTinyCapacity(t *testing.T) {
+	r := NewRing(0) // normalised to 1
+	r.Observe(time.Second)
+	r.Observe(2 * time.Second)
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	if q := r.Quantiles(0.5); q[0] != 2*time.Second {
+		t.Fatalf("p50 = %v, want the last sample", q[0])
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 4, 5)
+	want := []float64{1e-6, 4e-6, 16e-6, 64e-6, 256e-6}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if diff := b[i]/want[i] - 1; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExpBuckets(0, 2, 3) should panic")
+		}
+	}()
+	ExpBuckets(0, 2, 3)
+}

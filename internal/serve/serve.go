@@ -151,12 +151,23 @@ func (s *Session) Step(id int32) (StepResult, error) {
 // last accept — it returns the cached statistics without recomputing, so
 // mixing Step with WorkerPool batch fills never does the grammar work twice.
 func (s *Session) Fill() maskcache.FillStats {
+	st, _ := s.FillTracked()
+	return st
+}
+
+// FillTracked is Fill additionally reporting whether this call did the
+// grammar work: computed is false when the mask was already current (the
+// fused Step or a previous batch fill produced it) and the memoized stats
+// were returned. The serving engine uses it to count real fills — and
+// canonical-mask fast-path hits — without double-counting idempotent
+// no-ops.
+func (s *Session) FillTracked() (stats maskcache.FillStats, computed bool) {
 	if !s.dirty {
-		return s.lastStats
+		return s.lastStats, false
 	}
 	s.lastStats = s.fillInto(s.bs)
 	s.dirty = false
-	return s.lastStats
+	return s.lastStats, true
 }
 
 // Mask returns the session's mask buffer: bit i set means token i keeps the

@@ -10,6 +10,7 @@ import (
 	"xgrammar"
 	"xgrammar/internal/backend"
 	"xgrammar/internal/maskcache"
+	"xgrammar/internal/obs"
 	"xgrammar/internal/quantile"
 	"xgrammar/internal/spec"
 )
@@ -57,6 +58,15 @@ type genSeq struct {
 	tokens       int
 	jfBytes      int
 
+	// trace is the request's lifecycle trace (nil when tracing is off); the
+	// handler observes admission/resolve/stream stages into it while the
+	// batcher observes queue/accept/fill/backend — the trace's own mutex
+	// serialises them. submitAt stamps batcher submission; queued flips when
+	// the first decode round includes the sequence (queue-wait span).
+	trace    *obs.Trace
+	submitAt time.Time
+	queued   bool
+
 	// draftK > 0 enables speculative draft-verify decoding with that
 	// window; the batcher zeroes it when the session's rollback history
 	// cannot retract a window (permanent per-sequence fallback) or the
@@ -103,6 +113,7 @@ type batcher struct {
 	tok      *xgrammar.TokenizerInfo
 	eos      int32
 	gpuStep  time.Duration
+	tracer   *obs.Tracer
 	join     chan *genSeq
 	quit     chan struct{}
 	quitOnce sync.Once
@@ -134,22 +145,24 @@ type batcher struct {
 	specAccepted  atomic.Int64
 	specFallbacks atomic.Int64
 
-	latMu    sync.Mutex
-	fillLats []time.Duration // bounded ring of per-round batch fill walls
-	latNext  int
+	// fillRing is the bounded window of per-round batch-fill walls behind
+	// the JSON fill_p50_us/fill_p99_us gauges.
+	fillRing *quantile.Ring
 }
 
 // maxFillSamples bounds the fill-latency ring.
 const maxFillSamples = 4096
 
-func newBatcher(eng *xgrammar.Engine, eos int32, gpuStep time.Duration) *batcher {
+func newBatcher(eng *xgrammar.Engine, eos int32, gpuStep time.Duration, tracer *obs.Tracer) *batcher {
 	b := &batcher{
-		eng:     eng,
-		tok:     eng.Compiler().TokenizerInfo(),
-		eos:     eos,
-		gpuStep: gpuStep,
-		join:    make(chan *genSeq),
-		quit:    make(chan struct{}),
+		eng:      eng,
+		tok:      eng.Compiler().TokenizerInfo(),
+		eos:      eos,
+		gpuStep:  gpuStep,
+		tracer:   tracer,
+		join:     make(chan *genSeq),
+		quit:     make(chan struct{}),
+		fillRing: quantile.NewRing(maxFillSamples),
 	}
 	b.wg.Add(1)
 	go b.loop()
@@ -209,6 +222,14 @@ func (b *batcher) loop() {
 	finish := func(i int, reason string) {
 		q := live[i]
 		q.finishReason = reason
+		// Merge completed structural-tag segment spans before Close resets
+		// them with the rest of the session state.
+		if q.isTag && q.trace != nil {
+			for _, sp := range q.sess.TagSegments() {
+				q.trace.EventAt(obs.StageTagSegment, sp.Start, sp.Dur)
+				b.tracer.ObserveStage(obs.StageTagSegment, sp.Dur)
+			}
+		}
 		q.seq.Close()
 		q.sess.Close()
 		close(q.chunks)
@@ -246,6 +267,13 @@ func (b *batcher) loop() {
 		if n := int64(len(live)); n > b.peakBatch.Load() {
 			b.peakBatch.Store(n)
 		}
+		b.tracer.ObserveDepth(len(live))
+		for _, q := range live {
+			if !q.queued {
+				q.queued = true
+				q.trace.Observe(obs.StageQueue, time.Since(q.submitAt))
+			}
+		}
 
 		// One decode round: the batch mask fill runs while the simulated GPU
 		// step does (§3.5 overlap); both must finish before sampling. The
@@ -260,7 +288,17 @@ func (b *batcher) loop() {
 		}
 		t0 := time.Now()
 		fillStats = b.eng.FillBatchInto(fillStats, sessions)
-		b.recordFill(time.Since(t0))
+		fillWall := time.Since(t0)
+		b.fillRing.Observe(fillWall)
+		b.tracer.ObserveStage(obs.StageFill, fillWall)
+		// Attribute the round's batched fill to each traced participant as a
+		// trace event (the histogram sample above is per round, not per
+		// sequence, so the batch size does not inflate it).
+		for _, q := range live {
+			if q.trace.Detail() {
+				q.trace.Event(obs.StageFill, fillWall)
+			}
+		}
 		if gpuTimer != nil {
 			<-gpuTimer.C
 		}
@@ -330,10 +368,20 @@ func (b *batcher) plainRound(q *genSeq) (done bool, reason string) {
 		// mask, which a sound grammar never produces).
 		return true, FinishLength
 	}
+	// Per-step span timing only while the trace's detail window has room:
+	// clock reads chain (accept span end = jump-forward span start), so a
+	// traced step costs two extra time.Now calls and an untraced one none.
+	var tAcc time.Time
+	if q.trace.Detail() {
+		tAcc = time.Now()
+	}
 	if err := q.sess.Accept(id); err != nil {
 		// Unreachable for tokens drawn from the mask — but a model backend
 		// may return a token outside it; fail the generation closed.
 		return true, FinishError
+	}
+	if !tAcc.IsZero() {
+		tAcc = q.trace.ObserveSince(obs.StageAccept, tAcc)
 	}
 	if q.sess.IsTerminated() {
 		return true, FinishStop
@@ -341,6 +389,9 @@ func (b *batcher) plainRound(q *genSeq) (done bool, reason string) {
 	q.remaining--
 	b.emitTokenPhase(q, id, wasTag)
 	b.insertJumpForward(q)
+	if !tAcc.IsZero() {
+		q.trace.ObserveSince(obs.StageJumpForward, tAcc)
+	}
 	b.trackPhase(q)
 	return false, ""
 }
@@ -563,7 +614,14 @@ func (b *batcher) pick(q *genSeq, mask []uint64) (int32, bool) {
 		}
 		return 0, false
 	}
+	var t0 time.Time
+	if q.trace.Detail() {
+		t0 = time.Now()
+	}
 	id, err := q.seq.Next(q.ctx, mask)
+	if !t0.IsZero() {
+		q.trace.ObserveSince(obs.StageBackend, t0)
+	}
 	if err != nil {
 		if !errors.Is(err, backend.ErrNoToken) {
 			q.modelErr = err
@@ -607,24 +665,9 @@ func (b *batcher) tagMetrics() StructuralTagMetrics {
 	}
 }
 
-// recordFill appends one round's batch-fill wall time to the bounded ring.
-func (b *batcher) recordFill(d time.Duration) {
-	b.latMu.Lock()
-	if len(b.fillLats) < maxFillSamples {
-		b.fillLats = append(b.fillLats, d)
-	} else {
-		b.fillLats[b.latNext] = d
-		b.latNext = (b.latNext + 1) % maxFillSamples
-	}
-	b.latMu.Unlock()
-}
-
 // fillPercentiles returns the p50 and p99 of recorded batch-fill walls
 // (ceil-based nearest rank, shared with the engine's fill metrics).
 func (b *batcher) fillPercentiles() (p50, p99 time.Duration) {
-	b.latMu.Lock()
-	lats := append([]time.Duration(nil), b.fillLats...)
-	b.latMu.Unlock()
-	q := quantile.Durations(lats, 0.50, 0.99)
+	q := b.fillRing.Quantiles(0.50, 0.99)
 	return q[0], q[1]
 }

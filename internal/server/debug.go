@@ -1,0 +1,134 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"xgrammar/internal/obs"
+)
+
+// DebugRequestsResponse is the GET /debug/requests payload: lifetime trace
+// counters plus the ring of recently completed traces, newest first.
+type DebugRequestsResponse struct {
+	// Started/Finished count traces minted and sealed since boot; Slow
+	// counts finished requests whose total exceeded the slow threshold.
+	Started  int64 `json:"started"`
+	Finished int64 `json:"finished"`
+	Slow     int64 `json:"slow"`
+	// Traces holds the retained completed-request snapshots after
+	// filtering, newest first.
+	Traces []*obs.Snapshot `json:"traces"`
+}
+
+// handleDebugRequests serves the tracer's ring of recently completed
+// request traces. Query parameters: model and grammar_id filter exactly,
+// min_ms keeps only requests at least that slow, limit caps the count
+// (newest first).
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if !s.tracer.Enabled() {
+		httpError(w, http.StatusNotFound, "request tracing is disabled")
+		return
+	}
+	qp := r.URL.Query()
+	f := obs.Filter{
+		Model:     qp.Get("model"),
+		GrammarID: qp.Get("grammar_id"),
+	}
+	if v := qp.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			httpError(w, http.StatusBadRequest, "min_ms: want a non-negative number, got %q", v)
+			return
+		}
+		f.MinTotal = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := qp.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "limit: want a positive integer, got %q", v)
+			return
+		}
+		f.Limit = n
+	}
+	started, finished := s.tracer.Counts()
+	writeJSON(w, http.StatusOK, DebugRequestsResponse{
+		Started:  started,
+		Finished: finished,
+		Slow:     s.tracer.SlowCount(),
+		Traces:   s.tracer.Completed(f),
+	})
+}
+
+// AccessRecord is one /v1/generate outcome as handed to Config.AccessLog —
+// completions and error responses alike get exactly one record.
+type AccessRecord struct {
+	// ID is the trace ID (the X-Request-Id response header); zero when
+	// tracing is disabled.
+	ID               uint64  `json:"id,omitempty"`
+	Model            string  `json:"model,omitempty"`
+	GrammarID        string  `json:"grammar_id,omitempty"`
+	FinishReason     string  `json:"finish_reason"`
+	Tokens           int     `json:"tokens"`
+	JumpForwardBytes int     `json:"jump_forward_bytes,omitempty"`
+	TotalMS          float64 `json:"total_ms"`
+	// StageMS sums per-stage span time (milliseconds, keyed by stage
+	// name); empty when tracing is disabled.
+	StageMS map[string]float64 `json:"stage_ms,omitempty"`
+}
+
+// logAccess emits one access record for a finished /v1/generate request.
+// snap is nil when tracing is disabled (stage detail is then absent); q is
+// nil when the request failed before a sequence was built.
+func (s *Server) logAccess(model, grammarID, reason string, q *genSeq, start time.Time, snap *obs.Snapshot) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	rec := AccessRecord{
+		Model:        model,
+		GrammarID:    grammarID,
+		FinishReason: reason,
+		TotalMS:      float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	if q != nil {
+		rec.Tokens = q.tokens
+		rec.JumpForwardBytes = q.jfBytes
+	}
+	if snap != nil {
+		rec.ID = snap.ID
+		rec.TotalMS = snap.TotalMS
+		rec.StageMS = make(map[string]float64, len(snap.Stages))
+		for _, st := range snap.Stages {
+			rec.StageMS[st.Stage] = st.TotalMS
+		}
+	}
+	s.cfg.AccessLog(rec)
+}
+
+// JSONAccessLogger returns an AccessLog sink writing one JSON line per
+// record to w. Safe for concurrent use.
+func JSONAccessLogger(w io.Writer) func(AccessRecord) {
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	return func(rec AccessRecord) {
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(rec)
+	}
+}
+
+// TextAccessLogger returns an AccessLog sink writing one human-readable
+// line per record to w. Safe for concurrent use.
+func TextAccessLogger(w io.Writer) func(AccessRecord) {
+	var mu sync.Mutex
+	return func(rec AccessRecord) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(w, "req id=%d model=%q grammar=%s finish=%s tokens=%d jf_bytes=%d total_ms=%.3f\n",
+			rec.ID, rec.Model, rec.GrammarID, rec.FinishReason, rec.Tokens, rec.JumpForwardBytes, rec.TotalMS)
+	}
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"xgrammar/internal/obs"
+)
+
+// wantsProm reports whether the client asked for Prometheus text exposition
+// instead of the JSON metrics document. JSON stays the default — existing
+// scrapers and the test helpers do a plain GET — so only an explicit
+// ?format=prometheus or an Accept header naming the Prometheus content
+// types switches formats.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/openmetrics-text") ||
+		strings.Contains(accept, "text/plain")
+}
+
+// writeProm renders the full metrics surface in Prometheus text exposition
+// format 0.0.4: gateway and engine counters, per-backend breakdowns, and
+// the tracer's stage-latency and queue-depth histograms.
+func (s *Server) writeProm(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	uptime := time.Since(s.start)
+	tokens := s.b.tokens.Load()
+	fills, fastFills := s.eng.FillCounters()
+	cc := s.comp.CompileCacheStats()
+	st := s.comp.StoreStats()
+
+	p.Gauge("xgserve_uptime_seconds", "Seconds since the gateway started.", uptime.Seconds())
+	p.Counter("xgserve_requests_total", "Generate requests received.", float64(s.requests.Load()))
+	p.Counter("xgserve_requests_rejected_total", "Generate requests rejected at admission (429).", float64(s.rejected.Load()))
+	p.Gauge("xgserve_requests_inflight", "Generate requests currently holding an admission slot.", float64(s.inflight.Load()))
+	p.Gauge("xgserve_live_batch", "Sequences in the live continuous batch.", float64(s.b.liveNow.Load()))
+	p.Gauge("xgserve_peak_batch", "Peak live-batch depth since start.", float64(s.b.peakBatch.Load()))
+	p.Counter("xgserve_decode_rounds_total", "Batch decode rounds run.", float64(s.b.rounds.Load()))
+	p.Counter("xgserve_tokens_generated_total", "Tokens committed across all sequences.", float64(tokens))
+	p.Counter("xgserve_jump_forward_bytes_total", "Bytes inserted by jump-forward expansion.", float64(s.b.jfBytes.Load()))
+	p.Counter("xgserve_fills_total", "Token-mask fills computed (idempotent re-fills excluded).", float64(fills))
+	p.Counter("xgserve_fill_fastpath_total", "Mask fills served by the canonical-mask memcpy fast path.", float64(fastFills))
+
+	p.Counter("xgserve_compile_cache_hits_total", "Compiled-grammar LRU hits.", float64(cc.Hits))
+	p.Counter("xgserve_compile_cache_misses_total", "Compiled-grammar LRU misses.", float64(cc.Misses))
+	p.Counter("xgserve_compile_cache_coalesced_total", "Compiles coalesced onto an in-flight build.", float64(cc.Coalesced))
+	p.Counter("xgserve_compile_cache_builds_total", "Cache-miss builds (store loads plus compiles).", float64(cc.Builds))
+	p.Counter("xgserve_compiles_total", "Full grammar compiles (vocabulary scans).", float64(cc.Compiles))
+	p.Counter("xgserve_compile_cache_evictions_total", "Compiled grammars evicted from the LRU.", float64(cc.Evictions))
+	p.Gauge("xgserve_compile_cache_entries", "Compiled grammars resident in the LRU.", float64(cc.Entries))
+	p.Gauge("xgserve_compile_cache_bytes", "Estimated bytes held by the LRU.", float64(cc.Bytes))
+
+	p.Counter("xgserve_store_hits_total", "Grammar-store blob loads serving a compile.", float64(st.Hits))
+	p.Counter("xgserve_store_misses_total", "Grammar-store lookups that fell through to a compile.", float64(st.Misses))
+	p.Counter("xgserve_store_writes_total", "Grammar blobs persisted.", float64(st.Writes))
+	p.Counter("xgserve_store_write_errors_total", "Failed blob persists (persistence is best-effort).", float64(st.WriteErrors))
+	p.Counter("xgserve_store_quarantined_total", "Corrupt or stale blobs moved aside.", float64(st.Quarantined))
+	p.Gauge("xgserve_store_blobs", "Blobs currently in the grammar store.", float64(st.Blobs))
+
+	tm := s.b.tagMetrics()
+	p.Counter("xgserve_tag_requests_total", "Structural-tag (tool-calling) generate requests.", float64(tm.Requests))
+	p.Counter("xgserve_tag_segments_opened_total", "Constrained tag segments entered.", float64(tm.SegmentsOpened))
+	p.Counter("xgserve_tag_segments_closed_total", "Constrained tag segments completed.", float64(tm.SegmentsClosed))
+	p.Counter("xgserve_tag_free_tokens_total", "Tokens decoded in free text between tags.", float64(tm.FreeTokens))
+	p.Counter("xgserve_tag_tag_tokens_total", "Tokens decoded inside constrained tag segments.", float64(tm.TagTokens))
+
+	sm := s.b.specMetrics()
+	p.Counter("xgserve_spec_requests_total", "Speculative-decoding generate requests.", float64(sm.Requests))
+	p.Counter("xgserve_spec_proposed_tokens_total", "Draft tokens proposed.", float64(sm.ProposedTokens))
+	p.Counter("xgserve_spec_accepted_tokens_total", "Draft tokens confirmed by the sampler.", float64(sm.AcceptedTokens))
+
+	if s.tracer.Enabled() {
+		started, finished := s.tracer.Counts()
+		p.Counter("xgserve_traces_started_total", "Request traces minted at admission.", float64(started))
+		p.Counter("xgserve_traces_finished_total", "Request traces sealed.", float64(finished))
+		p.Counter("xgserve_slow_requests_total", "Finished requests above the slow-request threshold.", float64(s.tracer.SlowCount()))
+
+		p.Family("xgserve_stage_duration_seconds", "histogram", "Request-lifecycle stage latency, labelled by stage.")
+		for _, stage := range obs.Stages() {
+			if stage == obs.StageTotal {
+				continue
+			}
+			p.Histogram("xgserve_stage_duration_seconds",
+				[]obs.Label{{Name: "stage", Value: stage.String()}},
+				s.tracer.StageHistogram(stage).Snapshot())
+		}
+		p.Family("xgserve_request_duration_seconds", "histogram", "End-to-end /v1/generate latency.")
+		p.Histogram("xgserve_request_duration_seconds", nil, s.tracer.StageHistogram(obs.StageTotal).Snapshot())
+		p.Family("xgserve_queue_depth", "histogram", "Live-batch depth sampled once per decode round.")
+		p.Histogram("xgserve_queue_depth", nil, s.tracer.DepthHistogram().Snapshot())
+	}
+
+	s.bstatsMu.Lock()
+	stats := make(map[string]*backendStats, len(s.bstats))
+	for name, bst := range s.bstats {
+		stats[name] = bst
+	}
+	s.bstatsMu.Unlock()
+	if len(stats) > 0 {
+		p.Family("xgserve_backend_requests_total", "counter", "Generate requests per model backend.")
+		p.Family("xgserve_backend_errors_total", "counter", "Backend errors per model backend.")
+		p.Family("xgserve_backend_tokens_total", "counter", "Tokens generated per model backend.")
+		p.Family("xgserve_backend_latency_seconds", "gauge", "Per-backend request latency quantiles.")
+		for name, bst := range stats {
+			bm := bst.snapshot()
+			labels := []obs.Label{{Name: "backend", Value: name}}
+			p.Sample("xgserve_backend_requests_total", labels, float64(bm.Requests))
+			p.Sample("xgserve_backend_errors_total", labels, float64(bm.Errors))
+			p.Sample("xgserve_backend_tokens_total", labels, float64(bm.Tokens))
+			p.Sample("xgserve_backend_latency_seconds",
+				append(labels[:1:1], obs.Label{Name: "quantile", Value: "0.5"}), bm.LatencyP50MS/1e3)
+			p.Sample("xgserve_backend_latency_seconds",
+				append(labels[:1:1], obs.Label{Name: "quantile", Value: "0.99"}), bm.LatencyP99MS/1e3)
+		}
+	}
+}

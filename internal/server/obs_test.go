@@ -1,0 +1,374 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"xgrammar/internal/obs"
+	"xgrammar/internal/server"
+)
+
+// generate fires one non-streaming generation and returns the decoded
+// response plus the X-Request-Id header.
+func generate(t *testing.T, base string, req server.GenerateRequest) (server.GenerateResponse, string) {
+	t.Helper()
+	data, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/generate", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate: %d %s", resp.StatusCode, body)
+	}
+	var g server.GenerateResponse
+	if err := json.Unmarshal(body, &g); err != nil {
+		t.Fatal(err)
+	}
+	return g, resp.Header.Get("X-Request-Id")
+}
+
+func getDebugRequests(t *testing.T, base, query string) server.DebugRequestsResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/requests" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("debug/requests: %d %s", resp.StatusCode, body)
+	}
+	var dr server.DebugRequestsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	return dr
+}
+
+// TestTraceLifecycleEndToEnd drives a full generation and asserts the trace
+// surfaced by /debug/requests carries per-stage spans for the whole
+// pipeline: admission, compile/resolve, queue, per-step work, and total.
+func TestTraceLifecycleEndToEnd(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{MaxInflight: 8, MaxTokens: 200})
+
+	g, reqID := generate(t, ts.URL, server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "json_schema", Source: testSchema},
+		Seed:           7,
+	})
+	if g.Tokens == 0 {
+		t.Fatal("generation produced no tokens")
+	}
+	if reqID == "" {
+		t.Fatal("no X-Request-Id header")
+	}
+
+	dr := getDebugRequests(t, ts.URL, "")
+	if dr.Started != 1 || dr.Finished != 1 {
+		t.Fatalf("started/finished = %d/%d, want 1/1", dr.Started, dr.Finished)
+	}
+	if len(dr.Traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(dr.Traces))
+	}
+	tr := dr.Traces[0]
+	if fmt.Sprint(tr.ID) != reqID {
+		t.Fatalf("trace id %d != X-Request-Id %s", tr.ID, reqID)
+	}
+	if tr.FinishReason != server.FinishStop || tr.Tokens != g.Tokens {
+		t.Fatalf("trace finish data wrong: %+v", tr)
+	}
+	if tr.GrammarID != g.GrammarID {
+		t.Fatalf("trace grammar id %q != response %q", tr.GrammarID, g.GrammarID)
+	}
+	byStage := map[string]obs.StageSummary{}
+	for _, s := range tr.Stages {
+		byStage[s.Stage] = s
+	}
+	for _, want := range []string{"admission", "compile", "queue", "accept", "fill", "backend", "total"} {
+		if byStage[want].Count == 0 {
+			t.Errorf("stage %q has no spans: %+v", want, tr.Stages)
+		}
+	}
+	if byStage["accept"].Count < int64(g.Tokens/2) {
+		t.Errorf("accept spans = %d for %d tokens", byStage["accept"].Count, g.Tokens)
+	}
+	if tr.TotalMS <= 0 {
+		t.Errorf("total_ms = %v", tr.TotalMS)
+	}
+	if len(tr.Events) == 0 {
+		t.Error("trace has no events")
+	}
+
+	// A second identical request resolves from the LRU: resolve, not compile.
+	generate(t, ts.URL, server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "json_schema", Source: testSchema},
+		Seed:           8,
+	})
+	dr = getDebugRequests(t, ts.URL, "?limit=1")
+	second := dr.Traces[0]
+	stages := map[string]bool{}
+	for _, s := range second.Stages {
+		stages[s.Stage] = true
+	}
+	if stages["compile"] || !stages["resolve"] {
+		t.Errorf("second request should resolve from cache, stages: %+v", second.Stages)
+	}
+}
+
+// TestDebugRequestsFilteringAndEviction exercises the query filters and the
+// bounded trace ring via a small injected tracer.
+func TestDebugRequestsFilteringAndEviction(t *testing.T) {
+	tracer := obs.New(obs.Config{RingSize: 3})
+	ts, _, _ := gateway(t, "", false, server.Config{MaxInflight: 8, MaxTokens: 60, Tracer: tracer})
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		g, _ := generate(t, ts.URL, server.GenerateRequest{
+			GrammarRequest: server.GrammarRequest{Kind: "json_schema", Source: testSchema},
+			Seed:           int64(100 + i),
+		})
+		ids = append(ids, g.GrammarID)
+	}
+
+	dr := getDebugRequests(t, ts.URL, "")
+	if dr.Started != 5 || dr.Finished != 5 {
+		t.Fatalf("started/finished = %d/%d, want 5/5", dr.Started, dr.Finished)
+	}
+	if len(dr.Traces) != 3 {
+		t.Fatalf("ring retained %d traces, want 3 (eviction)", len(dr.Traces))
+	}
+	// Newest first.
+	if dr.Traces[0].ID <= dr.Traces[1].ID {
+		t.Fatalf("traces not newest-first: %d then %d", dr.Traces[0].ID, dr.Traces[1].ID)
+	}
+
+	if got := getDebugRequests(t, ts.URL, "?limit=2"); len(got.Traces) != 2 {
+		t.Fatalf("limit=2 returned %d", len(got.Traces))
+	}
+	if got := getDebugRequests(t, ts.URL, "?grammar_id="+ids[0]); len(got.Traces) != 3 {
+		t.Fatalf("grammar_id filter returned %d, want 3 (same grammar)", len(got.Traces))
+	}
+	if got := getDebugRequests(t, ts.URL, "?grammar_id=nope"); len(got.Traces) != 0 {
+		t.Fatalf("bogus grammar_id matched %d traces", len(got.Traces))
+	}
+	if got := getDebugRequests(t, ts.URL, "?min_ms=0"); len(got.Traces) != 3 {
+		t.Fatalf("min_ms=0 returned %d", len(got.Traces))
+	}
+	if got := getDebugRequests(t, ts.URL, "?min_ms=3600000"); len(got.Traces) != 0 {
+		t.Fatalf("min_ms=1h matched %d traces", len(got.Traces))
+	}
+
+	// Bad query parameters are 400s, not silent full dumps.
+	for _, q := range []string{"?min_ms=-1", "?min_ms=x", "?limit=0", "?limit=x"} {
+		resp, err := http.Get(ts.URL + "/debug/requests" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %q: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestDebugRequestsDisabledTracer asserts the endpoint 404s rather than
+// serving an empty ring when tracing is off.
+func TestDebugRequestsDisabledTracer(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{
+		MaxInflight: 8, MaxTokens: 60,
+		Tracer: obs.New(obs.Config{Disabled: true}),
+	})
+	g, reqID := generate(t, ts.URL, server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "json_schema", Source: testSchema},
+		Seed:           1,
+	})
+	if g.Tokens == 0 {
+		t.Fatal("generation failed with tracing disabled")
+	}
+	if reqID != "" {
+		t.Fatalf("disabled tracer still minted X-Request-Id %q", reqID)
+	}
+	resp, err := http.Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsPrometheusExposition asserts /metrics content-negotiates to
+// valid Prometheus text (validated by the strict mini-parser) while the
+// plain GET stays JSON.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{MaxInflight: 8, MaxTokens: 200})
+	g, _ := generate(t, ts.URL, server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "json_schema", Source: testSchema},
+		Seed:           3,
+	})
+
+	// Default stays JSON (existing scrapers decode it).
+	m := getMetrics(t, ts.URL)
+	if m.Requests != 1 || m.TokensGenerated == 0 {
+		t.Fatalf("JSON metrics wrong: %+v", m)
+	}
+	if m.Fills == 0 {
+		t.Fatal("fills_total not surfaced in JSON metrics")
+	}
+	if m.FillFastPathRate < 0 || m.FillFastPathRate > 1 {
+		t.Fatalf("fill_fastpath_rate = %v", m.FillFastPathRate)
+	}
+
+	for _, mode := range []string{"query", "accept"} {
+		req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+		if mode == "query" {
+			req.URL.RawQuery = "format=prometheus"
+		} else {
+			req.Header.Set("Accept", "text/plain;version=0.0.4;q=0.9,*/*;q=0.1")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("%s: content-type %q", mode, ct)
+		}
+
+		fams, err := obs.ParseProm(string(body))
+		if err != nil {
+			t.Fatalf("%s: invalid exposition: %v", mode, err)
+		}
+		counter := func(name string) float64 {
+			f := fams[name]
+			if f == nil || len(f.Samples) == 0 {
+				t.Fatalf("%s: family %s missing", mode, name)
+			}
+			return f.Samples[0].Value
+		}
+		if counter("xgserve_requests_total") != 1 {
+			t.Errorf("requests_total = %v", counter("xgserve_requests_total"))
+		}
+		if counter("xgserve_tokens_generated_total") != float64(g.Tokens) {
+			t.Errorf("tokens_generated_total = %v, want %d", counter("xgserve_tokens_generated_total"), g.Tokens)
+		}
+		if counter("xgserve_fills_total") <= 0 {
+			t.Error("fills_total not positive")
+		}
+
+		stageHist := fams["xgserve_stage_duration_seconds"]
+		if stageHist == nil || stageHist.Type != "histogram" {
+			t.Fatalf("%s: stage histogram family missing", mode)
+		}
+		stagesSeen := map[string]bool{}
+		var acceptCount float64
+		for _, s := range stageHist.Samples {
+			if stage := s.Labels["stage"]; stage != "" {
+				stagesSeen[stage] = true
+				if stage == "accept" && strings.HasSuffix(s.Name, "_count") {
+					acceptCount = s.Value
+				}
+			}
+		}
+		for _, want := range []string{"admission", "compile", "queue", "accept", "fill", "backend"} {
+			if !stagesSeen[want] {
+				t.Errorf("%s: stage %q absent from histogram", mode, want)
+			}
+		}
+		if acceptCount == 0 {
+			t.Errorf("%s: accept stage histogram empty after a generation", mode)
+		}
+		if f := fams["xgserve_request_duration_seconds"]; f == nil || f.Type != "histogram" {
+			t.Errorf("%s: request duration histogram missing", mode)
+		}
+		if f := fams["xgserve_queue_depth"]; f == nil || f.Type != "histogram" {
+			t.Errorf("%s: queue depth histogram missing", mode)
+		}
+	}
+}
+
+// TestAccessLogAndSlowLog asserts one structured access record per request
+// outcome — success and error alike — and the slow-request log.
+func TestAccessLogAndSlowLog(t *testing.T) {
+	var slow []string
+	tracer := obs.New(obs.Config{
+		SlowThreshold: time.Nanosecond, // everything is slow
+		SlowLog:       func(l string) { slow = append(slow, l) },
+	})
+	var logBuf bytes.Buffer
+	recs := server.JSONAccessLogger(&logBuf)
+	ts, _, _ := gateway(t, "", false, server.Config{
+		MaxInflight: 8, MaxTokens: 200,
+		Tracer:    tracer,
+		AccessLog: recs,
+	})
+
+	g, _ := generate(t, ts.URL, server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "json_schema", Source: testSchema},
+		Seed:           5,
+	})
+
+	// An error outcome (unknown model) must log too.
+	data, _ := json.Marshal(server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "json_schema", Source: testSchema},
+		Model:          "nope",
+	})
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: %d", resp.StatusCode)
+	}
+
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d access-log lines, want 2:\n%s", len(lines), logBuf.String())
+	}
+	var ok, failed server.AccessRecord
+	if err := json.Unmarshal([]byte(lines[0]), &ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &failed); err != nil {
+		t.Fatal(err)
+	}
+	if ok.FinishReason != server.FinishStop || ok.Tokens != g.Tokens || ok.TotalMS <= 0 {
+		t.Fatalf("success record wrong: %+v", ok)
+	}
+	if len(ok.StageMS) == 0 || ok.StageMS["total"] <= 0 {
+		t.Fatalf("success record has no stage breakdown: %+v", ok)
+	}
+	if failed.FinishReason != "error:404" || failed.Model != "nope" || failed.Tokens != 0 {
+		t.Fatalf("error record wrong: %+v", failed)
+	}
+
+	if len(slow) == 0 {
+		t.Fatal("no slow-request lines with a 1ns threshold")
+	}
+	if !strings.Contains(slow[0], `"slow_request":true`) {
+		t.Fatalf("slow line malformed: %s", slow[0])
+	}
+}
+
+// TestTextAccessLogger covers the human-readable log format.
+func TestTextAccessLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log := server.TextAccessLogger(&buf)
+	log(server.AccessRecord{ID: 9, Model: "m", GrammarID: "g", FinishReason: "stop", Tokens: 12, TotalMS: 3.5})
+	line := buf.String()
+	for _, want := range []string{"id=9", `model="m"`, "grammar=g", "finish=stop", "tokens=12", "total_ms=3.500"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("text log missing %s: %s", want, line)
+		}
+	}
+}

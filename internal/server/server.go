@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,7 @@ import (
 	"xgrammar"
 	"xgrammar/internal/backend"
 	"xgrammar/internal/backend/simllm"
+	"xgrammar/internal/obs"
 	"xgrammar/internal/quantile"
 )
 
@@ -60,16 +62,24 @@ type Config struct {
 	// the built-in seeded simulated sampler. Requests naming an unmapped
 	// model are rejected with 404.
 	Backends map[string]backend.Backend
+	// Tracer is the request-lifecycle tracer behind /debug/requests and the
+	// Prometheus stage histograms. nil gets a default enabled tracer; pass
+	// obs.New(obs.Config{Disabled: true}) to turn tracing off.
+	Tracer *obs.Tracer
+	// AccessLog, when set, receives one record per /v1/generate outcome —
+	// completions and error responses alike.
+	AccessLog func(AccessRecord)
 }
 
 // Server is the HTTP gateway. It implements http.Handler.
 type Server struct {
-	cfg   Config
-	eng   *xgrammar.Engine
-	comp  *xgrammar.Compiler
-	b     *batcher
-	mux   *http.ServeMux
-	start time.Time
+	cfg    Config
+	eng    *xgrammar.Engine
+	comp   *xgrammar.Compiler
+	b      *batcher
+	mux    *http.ServeMux
+	start  time.Time
+	tracer *obs.Tracer
 
 	seedCtr  atomic.Int64
 	inflight atomic.Int64
@@ -111,14 +121,18 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.New(obs.Config{})
+	}
 	comp := cfg.Engine.Compiler()
 	s := &Server{
 		cfg:      cfg,
 		eng:      cfg.Engine,
 		comp:     comp,
-		b:        newBatcher(cfg.Engine, comp.TokenizerInfo().EOSTokenID(), cfg.GPUStep),
+		b:        newBatcher(cfg.Engine, comp.TokenizerInfo().EOSTokenID(), cfg.GPUStep, cfg.Tracer),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
+		tracer:   cfg.Tracer,
 		tagSets:  map[string]*xgrammar.CompiledTagSet{},
 		backends: map[string]backend.Backend{},
 		bstats:   map[string]*backendStats{},
@@ -129,13 +143,29 @@ func New(cfg Config) *Server {
 	if s.backends[""] == nil {
 		s.backends[""] = simllm.NewSampler(comp.TokenizerInfo().EOSTokenID())
 	}
+	// Wire wire-level attempt timing into backends that support it (the
+	// httpllm adapter): retried attempts land in the backend_attempt
+	// histogram the per-step backend span cannot see.
+	for _, bk := range s.backends {
+		if ao, ok := bk.(interface {
+			SetAttemptObserver(func(time.Duration, error))
+		}); ok {
+			ao.SetAttemptObserver(func(d time.Duration, err error) {
+				s.tracer.ObserveStage(obs.StageBackendAttempt, d)
+			})
+		}
+	}
 	s.mux.HandleFunc("POST /v1/grammars", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/grammars/{id}", s.handleGetGrammar)
 	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	return s
 }
+
+// Tracer returns the gateway's request-lifecycle tracer.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -204,13 +234,25 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	cg, err := s.comp.CompileSpec(spec)
+	t0 := time.Now()
+	cg, outcome, err := s.comp.CompileSpecOutcome(spec)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "compile: %v", err)
 		return
 	}
+	s.tracer.ObserveStage(resolveStage(outcome), time.Since(t0))
 	s.specs.Store(id, spec)
 	writeJSON(w, http.StatusOK, grammarResponse(id, cg))
+}
+
+// resolveStage maps a compiler resolve outcome to its trace stage: a real
+// compile is StageCompile, everything cheaper (LRU hit, coalesced build,
+// disk-store load) is StageResolve.
+func resolveStage(outcome xgrammar.ResolveOutcome) obs.Stage {
+	if outcome == xgrammar.ResolveCompiled {
+		return obs.StageCompile
+	}
+	return obs.StageResolve
 }
 
 func (s *Server) handleGetGrammar(w http.ResponseWriter, r *http.Request) {
@@ -329,9 +371,22 @@ type StreamChunk struct {
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	tStart := time.Now()
 	var req GenerateRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		return
+	}
+	tr := s.tracer.Start(req.Model, req.GrammarID)
+	if tr != nil {
+		w.Header().Set("X-Request-Id", strconv.FormatUint(tr.ID(), 10))
+	}
+	var id string
+	// fail answers an error and seals the trace/access-log record, so every
+	// /v1/generate outcome — completion or rejection — leaves one line.
+	fail := func(code int, format string, args ...any) {
+		httpError(w, code, format, args...)
+		reason := "error:" + strconv.Itoa(code)
+		s.logAccess(req.Model, id, reason, nil, tStart, tr.Finish(reason, 0, 0))
 	}
 
 	// Bounded admission first: the in-flight slot covers everything
@@ -341,49 +396,61 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if s.inflight.Add(1) > int64(s.cfg.MaxInflight) {
 		s.inflight.Add(-1)
 		s.rejected.Add(1)
-		httpError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.MaxInflight)
+		fail(http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.MaxInflight)
 		return
 	}
 	defer s.inflight.Add(-1)
+	// Clock reads chain stage boundaries: admission ends where grammar
+	// resolution begins.
+	tResolve := tr.ObserveSince(obs.StageAdmission, tStart)
 
 	// Resolve the grammar or structural-tag set. By-ID never compiles;
 	// inline specs and per-tag segment grammars go through the compile
 	// cache and store.
 	var cg *xgrammar.CompiledGrammar
 	var tagSet *xgrammar.CompiledTagSet
-	var id string
 	hasTags := len(req.StructuralTags) > 0 || len(req.Tools) > 0
 	switch {
 	case hasTags:
 		if req.GrammarID != "" || req.Kind != "" || req.Source != "" {
-			httpError(w, http.StatusBadRequest, "structural_tags/tools and whole-completion grammar fields are exclusive")
+			fail(http.StatusBadRequest, "structural_tags/tools and whole-completion grammar fields are exclusive")
 			return
 		}
 		var code int
+		var compiled bool
 		var err error
-		if tagSet, code, err = s.resolveTagSet(&req); err != nil {
-			httpError(w, code, "%v", err)
+		if tagSet, compiled, code, err = s.resolveTagSet(&req); err != nil {
+			fail(code, "%v", err)
 			return
 		}
+		stage := obs.StageResolve
+		if compiled {
+			stage = obs.StageCompile
+		}
+		tr.ObserveSince(stage, tResolve)
 		s.b.tagRequests.Add(1)
 	case req.GrammarID != "":
 		var ok bool
 		if cg, ok = s.comp.GrammarByID(req.GrammarID); !ok {
-			httpError(w, http.StatusNotFound, "unknown grammar %q (register it via POST /v1/grammars)", req.GrammarID)
+			fail(http.StatusNotFound, "unknown grammar %q (register it via POST /v1/grammars)", req.GrammarID)
 			return
 		}
 		id = req.GrammarID
+		tr.ObserveSince(obs.StageResolve, tResolve)
 	default:
 		spec := req.spec()
 		var err error
 		if id, err = s.comp.SpecID(spec); err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
+			fail(http.StatusBadRequest, "%v", err)
 			return
 		}
-		if cg, err = s.comp.CompileSpec(spec); err != nil {
-			httpError(w, http.StatusUnprocessableEntity, "compile: %v", err)
+		var outcome xgrammar.ResolveOutcome
+		if cg, outcome, err = s.comp.CompileSpecOutcome(spec); err != nil {
+			fail(http.StatusUnprocessableEntity, "compile: %v", err)
 			return
 		}
+		tr.ObserveSince(resolveStage(outcome), tResolve)
+		tr.SetGrammarID(id)
 	}
 
 	maxTokens := req.MaxTokens
@@ -397,7 +464,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 
 	bk, ok := s.backends[req.Model]
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown model %q", req.Model)
+		fail(http.StatusNotFound, "unknown model %q", req.Model)
 		return
 	}
 	bkStats := s.backendStats(bk.Name())
@@ -409,7 +476,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		bkStats.errors.Add(1)
-		httpError(w, http.StatusBadGateway, "backend %s: %v", bk.Name(), err)
+		fail(http.StatusBadGateway, "backend %s: %v", bk.Name(), err)
 		return
 	}
 
@@ -423,13 +490,13 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		if err := sess.AcceptString(req.Prefix); err != nil {
 			sess.Close()
 			seq.Close()
-			httpError(w, http.StatusBadRequest, "prefix: %v", err)
+			fail(http.StatusBadRequest, "prefix: %v", err)
 			return
 		}
 		if !seq.ObserveForced(req.Prefix) {
 			sess.Close()
 			seq.Close()
-			httpError(w, http.StatusUnprocessableEntity, "backend %s cannot absorb the prefix", bk.Name())
+			fail(http.StatusUnprocessableEntity, "backend %s cannot absorb the prefix", bk.Name())
 			return
 		}
 		sess.Fill()
@@ -467,17 +534,20 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		q.draftK = k
 		s.b.specRequests.Add(1)
 	}
+	q.trace = tr
 	t0 := time.Now()
+	q.submitAt = t0
 	if !s.b.submit(q) {
 		sess.Close()
 		seq.Close()
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		fail(http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
 
 	if req.Stream {
 		s.streamResponse(w, q, id, req.Prefix)
 		bkStats.observe(q, time.Since(t0))
+		s.logAccess(req.Model, id, q.finishReason, q, tStart, tr.Finish(q.finishReason, q.tokens, q.jfBytes))
 		return
 	}
 	var sb strings.Builder
@@ -487,6 +557,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	<-q.done
 	bkStats.observe(q, time.Since(t0))
+	s.logAccess(req.Model, id, q.finishReason, q, tStart, tr.Finish(q.finishReason, q.tokens, q.jfBytes))
 	writeJSON(w, http.StatusOK, GenerateResponse{
 		GrammarID:        id,
 		Text:             sb.String(),
@@ -500,22 +571,24 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 
 // resolveTagSet builds (or memo-resolves) the compiled structural-tag set
 // for a generate request, merging explicit structural_tags with the
-// OpenAI-style tools convenience form. The returned code is the HTTP status
-// to use on error.
-func (s *Server) resolveTagSet(req *GenerateRequest) (*xgrammar.CompiledTagSet, int, error) {
+// OpenAI-style tools convenience form. compiled reports whether this call
+// ran CompileStructuralTags (vs a memo hit), so the tracer can separate the
+// cheap and expensive resolution stages. The returned code is the HTTP
+// status to use on error.
+func (s *Server) resolveTagSet(req *GenerateRequest) (_ *xgrammar.CompiledTagSet, compiled bool, _ int, _ error) {
 	var tags xgrammar.StructuralTags
 	for i, tr := range req.StructuralTags {
 		if tr.Begin == "" || tr.End == "" {
-			return nil, http.StatusBadRequest, fmt.Errorf("structural_tags[%d]: begin and end are required", i)
+			return nil, false, http.StatusBadRequest, fmt.Errorf("structural_tags[%d]: begin and end are required", i)
 		}
 		var spec xgrammar.GrammarSpec
 		switch {
 		case tr.GrammarID != "" && len(tr.Schema) > 0:
-			return nil, http.StatusBadRequest, fmt.Errorf("structural_tags[%d]: schema and grammar_id are exclusive", i)
+			return nil, false, http.StatusBadRequest, fmt.Errorf("structural_tags[%d]: schema and grammar_id are exclusive", i)
 		case tr.GrammarID != "":
 			v, ok := s.specs.Load(tr.GrammarID)
 			if !ok {
-				return nil, http.StatusNotFound, fmt.Errorf(
+				return nil, false, http.StatusNotFound, fmt.Errorf(
 					"structural_tags[%d]: unknown grammar %q (register it via POST /v1/grammars first; store-only IDs cannot be composed with an end tag)", i, tr.GrammarID)
 			}
 			spec = v.(xgrammar.GrammarSpec)
@@ -526,16 +599,16 @@ func (s *Server) resolveTagSet(req *GenerateRequest) (*xgrammar.CompiledTagSet, 
 				Schema: xgrammar.SchemaOptions{AllowAdditionalProperties: tr.AllowAdditionalProperties},
 			}
 		default:
-			return nil, http.StatusBadRequest, fmt.Errorf("structural_tags[%d]: schema or grammar_id is required", i)
+			return nil, false, http.StatusBadRequest, fmt.Errorf("structural_tags[%d]: schema or grammar_id is required", i)
 		}
 		tags = append(tags, xgrammar.StructuralTag{Begin: tr.Begin, Grammar: spec, End: tr.End})
 	}
 	for i, tool := range req.Tools {
 		if tool.Type != "" && tool.Type != "function" {
-			return nil, http.StatusBadRequest, fmt.Errorf("tools[%d]: unsupported tool type %q", i, tool.Type)
+			return nil, false, http.StatusBadRequest, fmt.Errorf("tools[%d]: unsupported tool type %q", i, tool.Type)
 		}
 		if tool.Function.Name == "" {
-			return nil, http.StatusBadRequest, fmt.Errorf("tools[%d]: function name is required", i)
+			return nil, false, http.StatusBadRequest, fmt.Errorf("tools[%d]: function name is required", i)
 		}
 		params := tool.Function.Parameters
 		if len(params) == 0 {
@@ -553,7 +626,7 @@ func (s *Server) resolveTagSet(req *GenerateRequest) (*xgrammar.CompiledTagSet, 
 	for _, t := range tags {
 		tid, err := s.comp.SpecID(t.Grammar)
 		if err != nil {
-			return nil, http.StatusBadRequest, err
+			return nil, false, http.StatusBadRequest, err
 		}
 		fmt.Fprintf(h, "%q|%q|%s|", t.Begin, t.End, tid)
 	}
@@ -562,11 +635,11 @@ func (s *Server) resolveTagSet(req *GenerateRequest) (*xgrammar.CompiledTagSet, 
 	ts, ok := s.tagSets[key]
 	s.tagMu.Unlock()
 	if ok {
-		return ts, 0, nil
+		return ts, false, 0, nil
 	}
 	ts, err := s.comp.CompileStructuralTags(tags)
 	if err != nil {
-		return nil, http.StatusUnprocessableEntity, err
+		return nil, false, http.StatusUnprocessableEntity, err
 	}
 	s.tagMu.Lock()
 	if prev, ok := s.tagSets[key]; ok {
@@ -578,7 +651,7 @@ func (s *Server) resolveTagSet(req *GenerateRequest) (*xgrammar.CompiledTagSet, 
 		s.tagSets[key] = ts
 	}
 	s.tagMu.Unlock()
-	return ts, 0, nil
+	return ts, true, 0, nil
 }
 
 // streamResponse writes the generation as server-sent events: one data
@@ -589,11 +662,23 @@ func (s *Server) streamResponse(w http.ResponseWriter, q *genSeq, id, prefix str
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	flusher, _ := w.(http.Flusher)
+	// Stream-write wall time is accumulated locally and reported once at the
+	// end — one trace event instead of one per SSE chunk.
+	var streamWall time.Duration
+	var writes int
 	writeEvent := func(v any) {
+		var t0 time.Time
+		if q.trace != nil {
+			t0 = time.Now()
+		}
 		data, _ := json.Marshal(v)
 		fmt.Fprintf(w, "data: %s\n\n", data)
 		if flusher != nil {
 			flusher.Flush()
+		}
+		if !t0.IsZero() {
+			streamWall += time.Since(t0)
+			writes++
 		}
 	}
 	if prefix != "" {
@@ -615,6 +700,9 @@ func (s *Server) streamResponse(w http.ResponseWriter, q *genSeq, id, prefix str
 	if flusher != nil {
 		flusher.Flush()
 	}
+	if writes > 0 {
+		q.trace.ObserveN(obs.StageStream, writes, streamWall)
+	}
 }
 
 // backendStats aggregates one model backend's gateway-side activity.
@@ -622,10 +710,7 @@ type backendStats struct {
 	requests atomic.Int64
 	errors   atomic.Int64
 	tokens   atomic.Int64
-
-	latMu sync.Mutex
-	lats  []time.Duration // bounded ring of per-request walls
-	next  int
+	lats     *quantile.Ring // bounded ring of per-request walls
 }
 
 // maxBackendLats bounds each backend's latency ring.
@@ -637,22 +722,12 @@ func (st *backendStats) observe(q *genSeq, wall time.Duration) {
 	if q.finishReason == FinishError {
 		st.errors.Add(1)
 	}
-	st.latMu.Lock()
-	if len(st.lats) < maxBackendLats {
-		st.lats = append(st.lats, wall)
-	} else {
-		st.lats[st.next] = wall
-		st.next = (st.next + 1) % maxBackendLats
-	}
-	st.latMu.Unlock()
+	st.lats.Observe(wall)
 }
 
 // snapshot renders the wire form of the stats.
 func (st *backendStats) snapshot() BackendMetrics {
-	st.latMu.Lock()
-	lats := append([]time.Duration(nil), st.lats...)
-	st.latMu.Unlock()
-	q := quantile.Durations(lats, 0.50, 0.99)
+	q := st.lats.Quantiles(0.50, 0.99)
 	return BackendMetrics{
 		Requests:     st.requests.Load(),
 		Errors:       st.errors.Load(),
@@ -669,7 +744,7 @@ func (s *Server) backendStats(name string) *backendStats {
 	defer s.bstatsMu.Unlock()
 	st, ok := s.bstats[name]
 	if !ok {
-		st = &backendStats{}
+		st = &backendStats{lats: quantile.NewRing(maxBackendLats)}
 		s.bstats[name] = st
 	}
 	return st
@@ -701,6 +776,12 @@ type Metrics struct {
 	TokensPerSec     float64 `json:"tokens_per_sec"`
 	FillP50US        float64 `json:"fill_p50_us"`
 	FillP99US        float64 `json:"fill_p99_us"`
+	// Fills counts computed token-mask fills (idempotent re-fills excluded);
+	// FillFastPath counts those served by the canonical-mask memcpy fast
+	// path, and FillFastPathRate is their ratio.
+	Fills            int64   `json:"fills_total"`
+	FillFastPath     int64   `json:"fill_fastpath_total"`
+	FillFastPathRate float64 `json:"fill_fastpath_rate"`
 
 	Speculative    SpeculativeMetrics   `json:"speculative"`
 	StructuralTags StructuralTagMetrics `json:"structural_tags"`
@@ -776,10 +857,15 @@ type StoreMetrics struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		s.writeProm(w)
+		return
+	}
 	cc := s.comp.CompileCacheStats()
 	st := s.comp.StoreStats()
 	uptime := time.Since(s.start)
 	tokens := s.b.tokens.Load()
+	fills, fastFills := s.eng.FillCounters()
 	p50, p99 := s.b.fillPercentiles()
 	m := Metrics{
 		UptimeMS:         float64(uptime.Microseconds()) / 1e3,
@@ -795,6 +881,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		TokensPerSec:     float64(tokens) / uptime.Seconds(),
 		FillP50US:        float64(p50.Nanoseconds()) / 1e3,
 		FillP99US:        float64(p99.Nanoseconds()) / 1e3,
+		Fills:            fills,
+		FillFastPath:     fastFills,
 		Speculative:      s.b.specMetrics(),
 		StructuralTags:   s.b.tagMetrics(),
 		CompileCache: CompileCacheMetrics{
@@ -818,6 +906,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Blobs:       st.Blobs,
 		},
 		Backends: map[string]BackendMetrics{},
+	}
+	if fills > 0 {
+		m.FillFastPathRate = float64(fastFills) / float64(fills)
 	}
 	s.bstatsMu.Lock()
 	stats := make(map[string]*backendStats, len(s.bstats))

@@ -2,12 +2,28 @@ package structtag
 
 import (
 	"fmt"
+	"time"
 
 	"xgrammar/internal/bitset"
 	"xgrammar/internal/maskcache"
 	"xgrammar/internal/serve"
 	"xgrammar/internal/tokenizer"
 )
+
+// SegmentSpan records one completed constrained segment (enterTag to
+// leaveTag) for the request tracer: which tag ran and when. Spans are
+// best-effort observability — a rollback that retracts a completed segment
+// does not remove its span — and the window is bounded by maxSegmentSpans.
+type SegmentSpan struct {
+	Tag   int
+	Start time.Time
+	Dur   time.Duration
+}
+
+// maxSegmentSpans bounds the per-session span window; tool-calling outputs
+// run a handful of segments, so 32 covers real requests while capping the
+// cost of pathological ones.
+const maxSegmentSpans = 32
 
 // Session is one generation driven through the dispatcher. Like a
 // serve.Session it owns its mask buffer, is driven from one goroutine, and
@@ -46,7 +62,19 @@ type Session struct {
 	dirty      bool
 	lastStats  maskcache.FillStats
 	terminated bool
+
+	// spans records completed segments for the tracer; segStart stamps the
+	// active segment's entry. replaying suppresses recording while replayTo
+	// re-feeds already-accepted bytes, so rollback slow paths never double-
+	// record a segment.
+	spans     []SegmentSpan
+	segStart  time.Time
+	replaying bool
 }
+
+// SegmentSpans returns the completed-segment spans recorded so far (up to
+// maxSegmentSpans). The slice is owned by the session; valid until Close.
+func (s *Session) SegmentSpans() []SegmentSpan { return s.spans }
 
 // TagIndex returns the active tag index, or -1 in free-text mode.
 func (s *Session) TagIndex() int { return s.mode }
@@ -210,12 +238,20 @@ func (s *Session) enterTag(tag int) {
 	s.seg = s.ts.tags[tag].Pool.Acquire()
 	s.mode = tag
 	s.cands = s.cands[:0]
+	if !s.replaying {
+		s.segStart = time.Now()
+	}
 }
 
 // leaveTag returns to free text, releasing the segment session. Rollbacks
 // into the finished segment take the replay slow path, which re-acquires a
 // fresh pooled session.
 func (s *Session) leaveTag() {
+	if !s.replaying && len(s.spans) < maxSegmentSpans {
+		s.spans = append(s.spans, SegmentSpan{
+			Tag: s.mode, Start: s.segStart, Dur: time.Since(s.segStart),
+		})
+	}
 	s.seg.Close()
 	s.seg = nil
 	s.mode = -1
@@ -248,8 +284,17 @@ func (s *Session) segComplete() bool {
 // segment grammar's mask with EOS cleared inside a tag. Like serve.Session,
 // Fill is idempotent between accepts.
 func (s *Session) Fill() maskcache.FillStats {
+	st, _ := s.FillTracked()
+	return st
+}
+
+// FillTracked is Fill additionally reporting whether this call did the mask
+// work (computed is false for the idempotent no-op), mirroring
+// serve.Session.FillTracked so the engine's fill counters see both session
+// kinds uniformly.
+func (s *Session) FillTracked() (maskcache.FillStats, bool) {
 	if !s.dirty {
-		return s.lastStats
+		return s.lastStats, false
 	}
 	if s.mode < 0 {
 		copy(s.mask, s.ts.freeWords)
@@ -266,7 +311,7 @@ func (s *Session) Fill() maskcache.FillStats {
 		}
 	}
 	s.dirty = false
-	return s.lastStats
+	return s.lastStats, true
 }
 
 // Mask returns the session's mask buffer; valid until the next Step/Fill.
@@ -444,6 +489,8 @@ func (s *Session) replayTo(target int) {
 	s.mode = -1
 	s.cands = s.cands[:0]
 	s.freeStart = 0
+	s.replaying = true
+	defer func() { s.replaying = false }()
 	replay := s.bytes[:target:target]
 	s.bytes = s.bytes[:0]
 
@@ -494,5 +541,7 @@ func (s *Session) Close() {
 	s.terminated = false
 	s.dirty = true
 	s.lastStats = maskcache.FillStats{}
+	s.spans = s.spans[:0]
+	s.replaying = false
 	s.ts.pool.Put(s)
 }

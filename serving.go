@@ -1,6 +1,8 @@
 package xgrammar
 
 import (
+	"sync/atomic"
+
 	"xgrammar/internal/maskcache"
 	"xgrammar/internal/serve"
 	"xgrammar/internal/spec"
@@ -33,6 +35,11 @@ type Engine struct {
 	compiler *Compiler
 	pool     *serve.WorkerPool
 	ownPool  bool
+	// fills counts mask fills that did grammar work; fastFills the subset
+	// served by the canonical-mask memcpy fast path. Idempotent no-op Fill
+	// calls (mask already current) are not counted.
+	fills     atomic.Int64
+	fastFills atomic.Int64
 }
 
 // EngineOption configures an Engine.
@@ -159,8 +166,24 @@ func (e *Engine) FillBatchInto(stats []maskcache.FillStats, sessions []*Session)
 		stats = make([]maskcache.FillStats, len(sessions))
 	}
 	stats = stats[:len(sessions)]
-	e.pool.Run(len(sessions), func(i int) { stats[i] = sessions[i].s.Fill() })
+	e.pool.Run(len(sessions), func(i int) {
+		st, computed := sessions[i].s.FillTracked()
+		stats[i] = st
+		if computed {
+			e.fills.Add(1)
+			if st.FastPath {
+				e.fastFills.Add(1)
+			}
+		}
+	})
 	return stats
+}
+
+// FillCounters reports how many batch-fill mask computations the engine has
+// run and how many of those the canonical-mask memcpy fast path served —
+// the /metrics fast-path hit rate.
+func (e *Engine) FillCounters() (fills, fastPath int64) {
+	return e.fills.Load(), e.fastFills.Load()
 }
 
 // StepResult is the outcome of one fused Session.Step: termination, the
@@ -176,6 +199,7 @@ type sessionState interface {
 	Step(id int32) (serve.StepResult, error)
 	Accept(id int32) error
 	Fill() maskcache.FillStats
+	FillTracked() (maskcache.FillStats, bool)
 	Mask() []uint64
 	AcceptString(text string) error
 	JumpForward() string
@@ -284,6 +308,17 @@ func (s *Session) Grammar() *CompiledGrammar { return s.cg }
 // Tags returns the structural-tag set of a tag session, or nil for a plain
 // grammar session.
 func (s *Session) Tags() *CompiledTagSet { return s.tags }
+
+// TagSegments returns the completed structural-tag segment spans recorded
+// so far for a tag session (a bounded window; see structtag.Session), or
+// nil for plain grammar sessions. The slice is owned by the session and
+// valid until Close.
+func (s *Session) TagSegments() []structtag.SegmentSpan {
+	if st, isTag := s.s.(*structtag.Session); isTag {
+		return st.SegmentSpans()
+	}
+	return nil
+}
 
 // InTag reports the active structural-tag index for a tag session currently
 // inside a constrained segment; ok is false in free text and for plain

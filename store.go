@@ -59,25 +59,31 @@ func (spec GrammarSpec) keyParts() (kind, src string, err error) {
 // CompileSpec compiles a self-describing grammar spec, routing through the
 // same cache (and disk store, when attached) as the direct Compile* methods.
 func (c *Compiler) CompileSpec(spec GrammarSpec) (*CompiledGrammar, error) {
-	switch spec.Kind {
-	case KindEBNF:
-		return c.CompileGrammar(spec.Source)
-	case KindJSONSchema:
-		return c.CompileJSONSchema([]byte(spec.Source), spec.Schema)
-	case KindRegex:
-		return c.CompileRegex(spec.Source)
-	case KindBuiltin:
-		switch spec.Source {
-		case "json":
-			return c.CompileBuiltinJSON()
-		case "xml":
-			return c.CompileBuiltinXML()
-		case "python":
-			return c.CompileBuiltinPythonDSL()
-		}
+	cg, _, err := c.CompileSpecOutcome(spec)
+	return cg, err
+}
+
+// CompileSpecOutcome is CompileSpec additionally reporting how the grammar
+// was obtained — an LRU hit (or coalescing onto an in-flight build), a disk-
+// store load, or a full compile run by this call — so the gateway's request
+// tracer can split grammar resolution into its cheap and expensive stages.
+func (c *Compiler) CompileSpecOutcome(spec GrammarSpec) (*CompiledGrammar, ResolveOutcome, error) {
+	kind, src, err := spec.keyParts()
+	if err != nil {
+		return nil, ResolveCached, err
 	}
-	_, _, err := spec.keyParts()
-	return nil, err
+	return c.cachedOutcome(kind, src, func() (*CompiledGrammar, error) {
+		switch spec.Kind {
+		case KindEBNF:
+			return c.buildEBNF(spec.Source)
+		case KindJSONSchema:
+			return c.buildJSONSchema([]byte(spec.Source), spec.Schema)
+		case KindRegex:
+			return c.buildRegex(spec.Source)
+		default: // keyParts validated the builtin name already
+			return c.buildBuiltin(spec.Source)
+		}
+	})
 }
 
 // SpecID returns the content-addressed grammar ID for a spec under this
