@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestListAnalyzers pins the suite roster: the five analyzers the CI gate
+// and the README document.
+func TestListAnalyzers(t *testing.T) {
+	want := []string{"atomicmix", "hotpathalloc", "lockhold", "nilrecv", "noclock"}
+	if len(All) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(All), len(want))
+	}
+	for i, a := range All {
+		if a.Name != want[i] {
+			t.Errorf("All[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}
+
+// TestCleanOverModule is the smoke check behind the CI gate: the full suite
+// reports nothing on the module's own tree. The xgrammar/... pattern works
+// from this package's directory regardless of cwd inside the module.
+func TestCleanOverModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load in -short mode")
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"xgrammar/..."}, os.Stdout, devnull); code != 0 {
+		t.Fatalf("xglint exit %d over xgrammar/..., want 0 (findings above)", code)
+	}
+}

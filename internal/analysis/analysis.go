@@ -1,0 +1,94 @@
+// Package analysis is a small static-analysis framework for enforcing the
+// invariants the serving runtime claims in prose and benchmarks: 0-alloc
+// steady-state decode steps, nil-receiver-safe tracer methods, atomic-only
+// counter access, no wall-clock reads on the per-token hot path, and no
+// blocking operations under a mutex.
+//
+// It mirrors the shape of golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic, a multichecker-style driver in cmd/xglint, and golden-file
+// tests in the analysistest subpackage) but is built entirely on the
+// standard library: packages are loaded with `go list -export`, module
+// sources are typechecked with go/types, and standard-library dependencies
+// are imported from compiler export data.
+//
+// Analyzers key off source annotations:
+//
+//	//xg:hotpath   on a function: the body must stay allocation-free and
+//	               clock-free (hotpathalloc, noclock).
+//	//xg:nilsafe   on a type: exported pointer-receiver methods must guard
+//	               the receiver against nil before touching fields (nilrecv).
+//
+// A finding is suppressed by a justified allow comment on the same line or
+// the line above:
+//
+//	//xg:allow <analyzer>: <reason>
+//
+// The reason is mandatory; an allow comment without one is ignored.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check. Run is invoked once per loaded package; an
+// analyzer needing cross-package context reaches it through Pass.Module.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //xg:allow comments.
+	Name string
+	// Doc is a short description, shown by `xglint -list`.
+	Doc string
+	// Run reports findings for one package via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Package is one typechecked package: syntax, type information, and the
+// shared file set.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the full set of typechecked packages an analysis run sees.
+// Packages of the same load share one FileSet and one type-object world, so
+// a types.Object found in one package compares equal to the same object
+// seen from another.
+type Module struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// Module is the whole loaded module, for cross-package analyzers.
+	Module *Module
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,105 @@
+// Package analysistest runs an analyzer over golden-file packages under
+// testdata/src and checks its findings against `// want` expectations, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is a trailing comment on the offending line holding one or
+// more quoted regular expressions:
+//
+//	x := make([]int, 4) // want `make allocates`
+//
+// Every reported diagnostic must match an expectation on its line, and
+// every expectation must be matched by a diagnostic. Findings suppressed by
+// a justified //xg:allow comment never reach the matcher, so suppression
+// behavior is pinned by golden files with no want comment.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xgrammar/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("(?:\"(?:[^\"\\\\]|\\\\.)*\")|(?:`[^`]*`)")
+
+// Run loads testdata/src/<pkg> relative to the test's working directory,
+// applies the analyzer, and reports any mismatch between its diagnostics
+// and the package's // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	mod, err := analysis.LoadDir(dir, pkg, root)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(mod, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type expectation struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	expect := map[string][]*expectation{} // "file:line" -> expectations
+	p := mod.Pkgs[0]
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, q := range wantRE.FindAllString(text[idx+len("want "):], -1) {
+					pattern := q
+					if q[0] == '"' {
+						if pattern, err = strconv.Unquote(q); err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+						}
+					} else {
+						pattern = q[1 : len(q)-1]
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+					}
+					expect[key] = append(expect[key], &expectation{re: re, raw: pattern})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		found := false
+		for _, e := range expect[key] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, es := range expect {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.raw)
+			}
+		}
+	}
+}

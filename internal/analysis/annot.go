@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Source annotation markers. They are written as full-line comments in the
+// doc block of the declaration they apply to:
+//
+//	//xg:hotpath
+//	func (s *Session) Step(id int32) (StepResult, error) { ... }
+//
+//	//xg:nilsafe
+//	type Trace struct { ... }
+const (
+	// HotPathMarker marks a function whose body must stay allocation-free
+	// and wall-clock-free (hotpathalloc, noclock).
+	HotPathMarker = "xg:hotpath"
+	// NilSafeMarker marks a type whose exported pointer-receiver methods
+	// must guard the receiver against nil before any field access (nilrecv).
+	NilSafeMarker = "xg:nilsafe"
+
+	allowPrefix = "xg:allow"
+)
+
+// HasMarker reports whether the doc comment group contains the marker as a
+// full-line directive (`//xg:hotpath`, leading space tolerated).
+func HasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// HotPathFuncs returns the package's functions annotated //xg:hotpath.
+func HotPathFuncs(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && HasMarker(fn.Doc, HotPathMarker) {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// NilSafeTypes returns the names of the package's types annotated
+// //xg:nilsafe. The marker is honored on either the type spec's own doc or
+// the enclosing `type (...)` declaration doc.
+func NilSafeTypes(pkg *Package) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declMarked := HasMarker(gd.Doc, NilSafeMarker)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if declMarked || HasMarker(ts.Doc, NilSafeMarker) {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// allowedLines maps a file's line numbers to the analyzer names a justified
+// //xg:allow comment suppresses there. A comment suppresses findings on its
+// own line (trailing comment) and on the line below (comment-above style).
+// The justification after the colon is mandatory: `//xg:allow name` alone
+// does not suppress anything.
+func allowedLines(pkg *Package, f *ast.File) map[int][]string {
+	var out map[int][]string
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+			name, reason, ok := strings.Cut(rest, ":")
+			if !ok || strings.TrimSpace(reason) == "" {
+				continue
+			}
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if out == nil {
+				out = map[int][]string{}
+			}
+			line := pkg.Fset.Position(c.Pos()).Line
+			out[line] = append(out[line], name)
+			out[line+1] = append(out[line+1], name)
+		}
+	}
+	return out
+}

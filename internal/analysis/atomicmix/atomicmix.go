@@ -1,0 +1,151 @@
+// Package atomicmix flags mixed atomic and plain access to the same
+// variable. A counter read with sync/atomic anywhere must be read and
+// written with sync/atomic everywhere — one plain `s.n++` next to an
+// `atomic.AddInt64(&s.n, 1)` is a data race the race detector only catches
+// when a test happens to interleave the two.
+//
+// The analyzer works module-wide: pass one collects every struct field and
+// package-level variable whose address is taken by a sync/atomic call in
+// any package of the module; pass two flags every other (non-atomic) use of
+// those variables in the package under analysis. Typed atomics
+// (sync/atomic.Int64 and friends) make this class of bug impossible and
+// are the preferred fix; this analyzer exists for the transition period and
+// for call sites that cannot use them.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xgrammar/internal/analysis"
+)
+
+// Analyzer is the atomicmix analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag plain access to variables that are accessed atomically elsewhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1 (module-wide): variables addressed by sync/atomic calls, and
+	// the argument expressions of those calls (sanctioned uses).
+	atomicVars := map[types.Object]token.Position{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, pkg := range pass.Module.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isSyncAtomicCall(pkg.Info, call) || len(call.Args) == 0 {
+					return true
+				}
+				addr, ok := call.Args[0].(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				id := baseIdent(addr.X)
+				if id == nil {
+					return true
+				}
+				obj := varObject(pkg.Info, addr.X)
+				if obj == nil {
+					return true
+				}
+				if _, seen := atomicVars[obj]; !seen {
+					atomicVars[obj] = pkg.Fset.Position(call.Pos())
+				}
+				sanctioned[id] = true
+				return true
+			})
+		}
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2 (this package): any other use of those variables is mixed
+	// access. The identifier inside the &x.f argument of an atomic call is
+	// sanctioned; everything else — plain reads, writes, address escapes —
+	// is flagged.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var id *ast.Ident
+			var obj types.Object
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.Pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+					id, obj = e.Sel, sel.Obj()
+				} else {
+					id = e.Sel
+					obj = pass.Pkg.Info.Uses[e.Sel]
+				}
+			case *ast.Ident:
+				id, obj = e, pass.Pkg.Info.Uses[e]
+			default:
+				return true
+			}
+			first, ok := atomicVars[obj]
+			if !ok || sanctioned[id] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"non-atomic access to %s, which is accessed atomically at %s; use sync/atomic consistently (or a typed atomic)",
+				id.Name, first)
+			return false
+		})
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports whether call invokes a sync/atomic package-level
+// function that takes the address of its operand (Add*, Load*, Store*,
+// Swap*, CompareAndSwap*).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Methods on atomic.Int64 etc. have a receiver; only package functions
+	// take &x.
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// varObject resolves the addressed expression (x, s.f, s.a.b) to the
+// variable object of its final component.
+func varObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.ParenExpr:
+		return varObject(info, e.X)
+	}
+	return nil
+}
+
+// baseIdent returns the identifier naming the final component of an
+// addressed expression (f in &s.f, x in &x).
+func baseIdent(e ast.Expr) *ast.Ident {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	case *ast.ParenExpr:
+		return baseIdent(e.X)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+// Package a is golden data for the atomicmix analyzer. Server mirrors the
+// pre-typed-atomic shape of the project's server counters: a field bumped
+// with sync/atomic on the hot path but read with a plain load in the stats
+// handler — the exact mixed-access race this analyzer exists to catch.
+package a
+
+import "sync/atomic"
+
+// Server holds one mixed-access counter (requests) and one consistently
+// plain counter (errors).
+type Server struct {
+	requests int64
+	errors   int64
+}
+
+// Handle is the atomic side of the mix.
+func (s *Server) Handle() {
+	atomic.AddInt64(&s.requests, 1)
+}
+
+// Stats is the plain side: the pre-fix stats-handler bug.
+func (s *Server) Stats() int64 {
+	return s.requests // want `non-atomic access to requests`
+}
+
+// Reset writes plainly, racing Handle.
+func (s *Server) Reset() {
+	s.requests = 0 // want `non-atomic access to requests`
+}
+
+// StatsOK reads atomically: sanctioned.
+func (s *Server) StatsOK() int64 {
+	return atomic.LoadInt64(&s.requests)
+}
+
+// Errors is consistent plain access: errors never meets sync/atomic.
+func (s *Server) Errors() int64 {
+	s.errors++
+	return s.errors
+}
+
+// hits is a package-level mixed-access variable.
+var hits int64
+
+// Hit is the atomic side.
+func Hit() { atomic.AddInt64(&hits, 1) }
+
+// Hits is the plain side.
+func Hits() int64 {
+	return hits // want `non-atomic access to hits`
+}
+
+// HitsAllowed pins suppression with a justified //xg:allow.
+func HitsAllowed() int64 {
+	return hits //xg:allow atomicmix: read at exit after every writer goroutine has joined
+}
+
+// Typed atomics never trigger the analyzer: their methods carry a receiver,
+// not an &addr argument.
+var typedHits atomic.Int64
+
+// TypedHit and TypedHits are both fine.
+func TypedHit()        { typedHits.Add(1) }
+func TypedHits() int64 { return typedHits.Load() }

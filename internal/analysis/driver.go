@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run applies the analyzers to every package in the module, filters findings
+// suppressed by justified //xg:allow comments, and returns the rest sorted
+// by position. Analyzer errors abort the run.
+func Run(mod *Module, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		allows := map[string]map[int][]string{} // filename -> line -> analyzer names
+		for _, f := range pkg.Files {
+			if m := allowedLines(pkg, f); m != nil {
+				allows[pkg.Fset.Position(f.Pos()).Filename] = m
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				Module:   mod,
+				report: func(d Diagnostic) {
+					if suppressed(allows, d) {
+						return
+					}
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+func suppressed(allows map[string]map[int][]string, d Diagnostic) bool {
+	lines, ok := allows[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, name := range lines[d.Pos.Line] {
+		if name == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"xgrammar/internal/analysis/analysistest"
+	"xgrammar/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "a")
+}

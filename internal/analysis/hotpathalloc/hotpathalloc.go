@@ -1,0 +1,266 @@
+// Package hotpathalloc flags allocating constructs inside functions
+// annotated //xg:hotpath. The serving runtime's contract is that the fused
+// decode step — serve.Session.Step, maskcache.FillMask, the bitset fused
+// ops, the structtag dispatcher, the matcher inner loop — performs no heap
+// allocations in steady state; this analyzer turns that benchmark-verified
+// property into a compile-time check.
+//
+// Flagged inside a hot-path function body:
+//
+//   - make and new
+//   - composite literals with pointer, slice, or map allocation semantics
+//     (&T{...}, []T{...}, map[K]V{...}); plain struct literals are value
+//     semantics and stay on the stack, so they are allowed
+//   - append without reuse evidence: allowed only as x = append(x, ...) or
+//     when appending to an explicitly emptied buffer (append(buf[:0], ...))
+//   - function literals (closure capture) and go statements
+//   - calls into package fmt
+//   - implicit conversion of a concrete value to an interface parameter,
+//     and explicit conversions to interface types
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions
+//   - method values (bound-method closures)
+//
+// The check is intentionally shallow: it inspects only the annotated
+// function's own body. Callees are covered by annotating them too. A
+// deliberate, justified exception is suppressed with
+// //xg:allow hotpathalloc: <reason>.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xgrammar/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flag allocating constructs in //xg:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fn := range analysis.HotPathFuncs(pass.Pkg) {
+		if fn.Body == nil {
+			continue
+		}
+		(&checker{pass: pass, fn: fn}).check()
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+	// sanctioned holds append calls proven to reuse their destination and
+	// composite literals already reported behind a &.
+	sanctioned map[ast.Node]bool
+}
+
+func (c *checker) check() {
+	c.sanctioned = map[ast.Node]bool{}
+	info := c.pass.Pkg.Info
+
+	// First pass: mark reuse-idiom appends (x = append(x, ...)) and method
+	// values that are immediately called (m.Foo() is a call, not a closure).
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call.Fun, "append") || len(call.Args) == 0 {
+					continue
+				}
+				if i < len(n.Lhs) && len(n.Lhs) == len(n.Rhs) &&
+					types.ExprString(n.Lhs[i]) == types.ExprString(call.Args[0]) {
+					c.sanctioned[call] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				c.sanctioned[sel] = true // direct call, not a method value
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := n.X.(*ast.CompositeLit); ok {
+					c.sanctioned[lit] = true
+					c.pass.Reportf(n.Pos(), "&%s composite literal allocates in hot-path %s",
+						typeLabel(info, lit), c.fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if c.sanctioned[n] {
+				return true
+			}
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				c.pass.Reportf(n.Pos(), "%s composite literal allocates in hot-path %s",
+					typeLabel(info, n), c.fn.Name.Name)
+			}
+		case *ast.FuncLit:
+			c.pass.Reportf(n.Pos(), "function literal captures and allocates in hot-path %s", c.fn.Name.Name)
+			return false
+		case *ast.GoStmt:
+			c.pass.Reportf(n.Pos(), "go statement allocates a goroutine in hot-path %s", c.fn.Name.Name)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv := info.Types[n]; tv.Value == nil && tv.Type != nil && isString(tv.Type) {
+					c.pass.Reportf(n.Pos(), "string concatenation allocates in hot-path %s", c.fn.Name.Name)
+				}
+			}
+		case *ast.SelectorExpr:
+			if c.sanctioned[n] {
+				return true
+			}
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				c.pass.Reportf(n.Pos(), "method value %s allocates a bound closure in hot-path %s",
+					types.ExprString(n), c.fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	info := c.pass.Pkg.Info
+	name := c.fn.Name.Name
+
+	// Builtins.
+	switch {
+	case isBuiltin(info, call.Fun, "make"):
+		c.pass.Reportf(call.Pos(), "make allocates in hot-path %s", name)
+		return
+	case isBuiltin(info, call.Fun, "new"):
+		c.pass.Reportf(call.Pos(), "new allocates in hot-path %s", name)
+		return
+	case isBuiltin(info, call.Fun, "append"):
+		if !c.sanctioned[call] && !emptiesDst(call) {
+			c.pass.Reportf(call.Pos(), "append without reuse evidence in hot-path %s (want x = append(x, ...) or append(buf[:0], ...))", name)
+		}
+		return
+	}
+
+	// Type conversions: to interface, and string<->[]byte/[]rune.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.Types[call.Args[0]].Type
+		switch {
+		case types.IsInterface(dst) && src != nil && !types.IsInterface(src) && !isUntypedNil(info, call.Args[0]):
+			c.pass.Reportf(call.Pos(), "conversion to interface %s allocates in hot-path %s", dst, name)
+		case allocatingStringConv(dst, src):
+			c.pass.Reportf(call.Pos(), "%s(%s) conversion allocates in hot-path %s", dst, src, name)
+		}
+		return
+	}
+
+	// fmt calls.
+	if callee := calleeFunc(info, call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		c.pass.Reportf(call.Pos(), "fmt.%s allocates in hot-path %s", callee.Name(), name)
+		return
+	}
+
+	// Implicit interface conversions at call boundaries.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // passing the slice through
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at) || isUntypedNil(info, arg) {
+			continue
+		}
+		c.pass.Reportf(arg.Pos(), "argument %s implicitly converts %s to interface %s in hot-path %s",
+			types.ExprString(arg), at, pt, name)
+	}
+}
+
+// emptiesDst reports whether append's first argument is an explicitly
+// emptied buffer (a [:0]-style reslice), the steady-state reuse idiom.
+func emptiesDst(call *ast.CallExpr) bool {
+	se, ok := call.Args[0].(*ast.SliceExpr)
+	if !ok || se.High == nil {
+		return false
+	}
+	lit, ok := se.High.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e]
+	return t.IsNil()
+}
+
+func allocatingStringConv(dst, src types.Type) bool {
+	if src == nil {
+		return false
+	}
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func typeLabel(info *types.Info, lit *ast.CompositeLit) string {
+	if t := info.Types[lit].Type; t != nil {
+		return t.String()
+	}
+	return "composite"
+}

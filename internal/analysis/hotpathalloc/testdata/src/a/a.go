@@ -1,0 +1,69 @@
+// Package a is golden data for the hotpathalloc analyzer: every allocating
+// construct the analyzer knows, each in an //xg:hotpath function, plus the
+// sanctioned reuse idioms and an //xg:allow suppression.
+package a
+
+import "fmt"
+
+// Sink keeps flagged values alive so the package typechecks.
+var Sink any
+
+// T is a plain struct: its value literal has stack semantics and is allowed
+// on the hot path; &T{} is not.
+type T struct{ N int }
+
+// Grow is a method used both as a direct call (allowed) and a method value
+// (flagged).
+func (t *T) Grow() {}
+
+func helper() {}
+
+func takesAny(v any) { Sink = v }
+
+//xg:hotpath
+func Hot(buf []int, t *T, bs []byte, s string) []int {
+	x := make([]int, 4) // want `make allocates in hot-path Hot`
+	_ = x
+	y := new(T) // want `new allocates in hot-path Hot`
+	_ = y
+	buf = append(buf, 1)     // reuse idiom: allowed
+	buf = append(buf[:0], 2) // emptied destination: allowed
+	other := append(buf, 3)  // want `append without reuse evidence in hot-path Hot`
+	_ = other
+	Sink = &T{N: 1}      // want `&a\.T composite literal allocates in hot-path Hot`
+	Sink = []int{1}      // want `\[\]int composite literal allocates in hot-path Hot`
+	Sink = map[int]int{} // want `map\[int\]int composite literal allocates in hot-path Hot`
+	v := T{N: 2}         // value struct literal: allowed
+	_ = v
+	fmt.Sprintln(s) // want `fmt\.Sprintln allocates in hot-path Hot`
+	takesAny(42)    // want `argument 42 implicitly converts int to interface any in hot-path Hot`
+	Sink = any(s)   // want `conversion to interface any allocates in hot-path Hot`
+	cat := s + s    // want `string concatenation allocates in hot-path Hot`
+	_ = cat
+	b2 := []byte(s) // want `\[\]byte\(string\) conversion allocates in hot-path Hot`
+	_ = b2
+	s2 := string(bs) // want `string\(\[\]byte\) conversion allocates in hot-path Hot`
+	_ = s2
+	g := t.Grow // want `method value t\.Grow allocates a bound closure in hot-path Hot`
+	_ = g
+	t.Grow()       // direct method call: allowed
+	f := func() {} // want `function literal captures and allocates in hot-path Hot`
+	_ = f
+	go helper() // want `go statement allocates a goroutine in hot-path Hot`
+	return buf
+}
+
+// HotWarm pins suppression behavior: a justified //xg:allow on the line
+// silences the finding, so there is no want expectation here.
+//
+//xg:hotpath
+func HotWarm() {
+	warm := make([]int, 8) //xg:allow hotpathalloc: one-time warmup allocation, not steady state
+	Sink = warm
+}
+
+// Cold is not annotated: the same constructs are not flagged.
+func Cold() {
+	Sink = make([]int, 4)
+	Sink = &T{N: 3}
+}

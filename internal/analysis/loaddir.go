@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadDir parses every non-test .go file in dir as one package named
+// importPath and typechecks it, resolving its (standard-library) imports
+// from compiler export data. goListDir is where `go list` runs — any
+// directory inside a Go module, typically the module root. This is the
+// loader behind the analysistest golden-file runner, where the package
+// under test lives in a testdata directory invisible to `go list`.
+func LoadDir(dir, importPath, goListDir string) (*Module, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path != "unsafe" {
+				importSet[path] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		paths := make([]string, 0, len(importSet))
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, paths...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = goListDir
+		out, err := cmd.Output()
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(paths, " "), err, ee.Stderr)
+			}
+			return nil, fmt.Errorf("go list %s: %v", strings.Join(paths, " "), err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listedPackage
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("decoding go list output: %v", err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	pkg, err := check(importPath, fset, files, newModuleImporter(fset, exports))
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", importPath, err)
+	}
+	return &Module{Fset: fset, Pkgs: []*Package{pkg}}, nil
+}

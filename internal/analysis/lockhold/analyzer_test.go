@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"xgrammar/internal/analysis/analysistest"
+	"xgrammar/internal/analysis/lockhold"
+)
+
+func TestLockHold(t *testing.T) {
+	analysistest.Run(t, lockhold.Analyzer, "a")
+}

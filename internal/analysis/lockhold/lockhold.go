@@ -1,0 +1,273 @@
+// Package lockhold flags blocking operations performed while a sync.Mutex
+// or sync.RWMutex is held: channel sends and receives, select statements,
+// ranging over a channel, sync.WaitGroup.Wait / sync.Cond.Wait, time.Sleep,
+// and calls into net, net/http, or the model-backend layer. Holding the
+// batcher's or grammar cache's lock across any of these turns one slow
+// consumer (or one slow backend RTT) into a stall for every request behind
+// the lock — the singleflight cache is carefully written to unlock before
+// waiting on a flight, and this analyzer keeps it (and future code) that
+// way.
+//
+// The analysis is a per-function, branch-local scan: Lock()/Unlock() pairs
+// are tracked linearly through each block, a branch gets a copy of the held
+// set (an early-unlock-and-return inside an if does not release the lock on
+// the fall-through path), defer mu.Unlock() holds to function end, and
+// function literals are scanned with a fresh (empty) held set. It is
+// deliberately intraprocedural — a helper called with the lock held is not
+// followed — so findings are high-confidence and the invariant stays
+// auditable function by function.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"xgrammar/internal/analysis"
+)
+
+// Analyzer is the lockhold analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "flag channel ops, Wait, sleeps, and network/backend calls while holding a mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				s := &scanner{pass: pass}
+				s.block(fn.Body.List, map[string]token.Pos{})
+			}
+		}
+	}
+	return nil
+}
+
+type scanner struct {
+	pass *analysis.Pass
+}
+
+// block scans stmts sequentially, mutating held (mutex expr -> Lock
+// position) as Lock/Unlock calls appear at this nesting level. Nested
+// blocks scan with a copy so branch-local unlocks stay branch-local.
+func (s *scanner) block(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		s.stmt(stmt, held)
+	}
+}
+
+func (s *scanner) stmt(stmt ast.Stmt, held map[string]token.Pos) {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if mu, kind := s.lockCall(st.X); kind != 0 {
+			if kind > 0 {
+				held[mu] = st.Pos()
+			} else {
+				delete(held, mu)
+			}
+			return
+		}
+		s.expr(st.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the body;
+		// no change to held. Other deferred calls are not scanned as
+		// lock-holding work (they run at return).
+		if _, kind := s.lockCall(st.Call); kind == 0 {
+			s.expr(st.Call, held)
+		}
+	case *ast.SendStmt:
+		s.flag(st.Pos(), "channel send", held)
+		s.expr(st.Chan, held)
+		s.expr(st.Value, held)
+	case *ast.SelectStmt:
+		s.flag(st.Pos(), "select", held)
+		s.block(st.Body.List, copyHeld(held))
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		s.expr(st.Cond, held)
+		s.block(st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			s.stmt(st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond, held)
+		}
+		s.block(st.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		if t := s.pass.Pkg.Info.Types[st.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				s.flag(st.Pos(), "range over channel", held)
+			}
+		}
+		s.expr(st.X, held)
+		s.block(st.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag, held)
+		}
+		s.block(st.Body.List, copyHeld(held))
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		s.stmt(st.Assign, held)
+		s.block(st.Body.List, copyHeld(held))
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			s.expr(e, held)
+		}
+		s.block(st.Body, copyHeld(held))
+	case *ast.CommClause:
+		if st.Comm != nil {
+			s.stmt(st.Comm, copyHeld(held))
+		}
+		s.block(st.Body, copyHeld(held))
+	case *ast.BlockStmt:
+		s.block(st.List, copyHeld(held))
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, held)
+	case *ast.GoStmt:
+		// The goroutine body runs without this function's locks; its
+		// literal (if any) is scanned fresh by expr.
+		s.expr(st.Call.Fun, held)
+	case *ast.IncDecStmt:
+		s.expr(st.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr walks an expression flagging blocking operations, without descending
+// into function literals (their bodies run under their own lock discipline).
+func (s *scanner) expr(e ast.Expr, held map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.block(n.Body.List, map[string]token.Pos{})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.flag(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			s.call(n, held)
+		}
+		return true
+	})
+}
+
+func (s *scanner) call(call *ast.CallExpr, held map[string]token.Pos) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := s.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Same-package helpers are part of the locked region's own code, not a
+	// blocking boundary; the net/backend heuristics below only apply to
+	// calls that leave the package.
+	if fn.Pkg() == s.pass.Pkg.Types {
+		return
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "sync" && fn.Name() == "Wait":
+		s.flag(call.Pos(), "sync."+recvTypeName(fn)+".Wait", held)
+	case path == "time" && fn.Name() == "Sleep":
+		s.flag(call.Pos(), "time.Sleep", held)
+	case path == "net" || strings.HasPrefix(path, "net/"):
+		s.flag(call.Pos(), path+"."+fn.Name()+" call", held)
+	case strings.Contains(path, "internal/backend"):
+		s.flag(call.Pos(), "backend call "+fn.Name(), held)
+	}
+}
+
+// lockCall classifies e as a Lock/RLock (+1) or Unlock/RUnlock (-1) call on
+// a sync.Mutex/RWMutex, returning the locked expression's printed form.
+func (s *scanner) lockCall(e ast.Expr) (string, int) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", 0
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	fn, ok := s.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), 1
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), -1
+	}
+	return "", 0
+}
+
+func (s *scanner) flag(pos token.Pos, what string, held map[string]token.Pos) {
+	for mu, lockPos := range held {
+		s.pass.Reportf(pos, "%s while holding %s (locked at %s)",
+			what, mu, s.pass.Pkg.Fset.Position(lockPos))
+	}
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func recvTypeName(fn *types.Func) string {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "?"
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

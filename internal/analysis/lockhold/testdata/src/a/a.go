@@ -1,0 +1,128 @@
+// Package a is golden data for the lockhold analyzer: blocking operations —
+// channel ops, Wait, sleeps, network and model-backend calls — performed
+// while a mutex is held. GoodFlight mirrors the gramcache singleflight
+// discipline (unlock before waiting) that the analyzer exists to preserve.
+package a
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"xgrammar/internal/backend"
+)
+
+// B bundles the lock and the blocking surfaces under test.
+type B struct {
+	mu sync.Mutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// BadSend sends on a channel under the lock.
+func (b *B) BadSend(v int) {
+	b.mu.Lock()
+	b.ch <- v // want `channel send while holding b\.mu`
+	b.mu.Unlock()
+}
+
+// GoodSend releases first.
+func (b *B) GoodSend(v int) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// BadRecv receives under a deferred unlock, which holds to function end.
+func (b *B) BadRecv() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want `channel receive while holding b\.mu`
+}
+
+// BadWait waits on a WaitGroup under the lock.
+func (b *B) BadWait() {
+	b.mu.Lock()
+	b.wg.Wait() // want `sync\.WaitGroup\.Wait while holding b\.mu`
+	b.mu.Unlock()
+}
+
+// BadSleep sleeps under the lock.
+func (b *B) BadSleep() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding b\.mu`
+	b.mu.Unlock()
+}
+
+// BadDial performs network I/O under the lock.
+func (b *B) BadDial() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, err := net.Dial("tcp", "localhost:1") // want `net\.Dial call while holding b\.mu`
+	return err
+}
+
+// BadBackend calls into the model backend under the lock — the loopback
+// handler's pre-fix shape.
+func (b *B) BadBackend(bk backend.Backend) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, _ = bk.Open(backend.Request{}) // want `backend call Open while holding b\.mu`
+}
+
+// BadSelect blocks in a select under the lock.
+func (b *B) BadSelect() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `select while holding b\.mu`
+	default:
+	}
+}
+
+// BadRange ranges over a channel under the lock.
+func (b *B) BadRange() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for v := range b.ch { // want `range over channel while holding b\.mu`
+		n += v
+	}
+	return n
+}
+
+// BadBranch: an early-unlock-and-return inside a branch does not release
+// the lock on the fall-through path.
+func (b *B) BadBranch(early bool, v int) {
+	b.mu.Lock()
+	if early {
+		b.mu.Unlock()
+		return
+	}
+	b.ch <- v // want `channel send while holding b\.mu`
+	b.mu.Unlock()
+}
+
+// GoodLit: a function literal's body runs under its own lock discipline and
+// is scanned with an empty held set.
+func (b *B) GoodLit(v int) {
+	b.mu.Lock()
+	f := func() { b.ch <- v }
+	b.mu.Unlock()
+	f()
+}
+
+// GoodFlight mirrors the singleflight pattern: snapshot under the lock,
+// release, then wait.
+func (b *B) GoodFlight() int {
+	b.mu.Lock()
+	ch := b.ch
+	b.mu.Unlock()
+	return <-ch
+}
+
+// AllowedSend pins suppression with a justified //xg:allow.
+func (b *B) AllowedSend(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v //xg:allow lockhold: ch is buffered with capacity reserved before Lock, the send cannot block
+}

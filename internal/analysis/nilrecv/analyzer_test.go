@@ -1,0 +1,12 @@
+package nilrecv_test
+
+import (
+	"testing"
+
+	"xgrammar/internal/analysis/analysistest"
+	"xgrammar/internal/analysis/nilrecv"
+)
+
+func TestNilRecv(t *testing.T) {
+	analysistest.Run(t, nilrecv.Analyzer, "a")
+}

@@ -1,0 +1,166 @@
+// Package nilrecv checks that exported pointer-receiver methods on types
+// annotated //xg:nilsafe guard the receiver against nil before using it.
+// The obs tracer hands out nil *Trace values when tracing is disabled and
+// every instrumentation site calls methods on them unconditionally; a new
+// method that touches a field before the nil check turns "tracing off" into
+// a panic on the first request.
+//
+// The rule is strict and therefore simple: the first statement that
+// mentions the receiver at all must be a terminating nil guard —
+//
+//	if t == nil { return ... }            // or panic(...)
+//	if t == nil || n <= 0 { return ... }  // extra disjuncts allowed
+//
+// Methods that never mention the receiver pass trivially. Unexported
+// methods are not checked: they are internal helpers the guarded exported
+// surface is expected to shield (and flagging them would force redundant
+// double-checks on hot paths).
+package nilrecv
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xgrammar/internal/analysis"
+)
+
+// Analyzer is the nilrecv analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilrecv",
+	Doc:  "exported methods on //xg:nilsafe types must nil-check the receiver first",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	safe := analysis.NilSafeTypes(pass.Pkg)
+	if len(safe) == 0 {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			tname, ptr := receiverType(fn)
+			if !ptr || !safe[tname] {
+				continue
+			}
+			checkMethod(pass, fn, tname)
+		}
+	}
+	return nil
+}
+
+// receiverType returns the receiver's named type and whether it is a
+// pointer receiver.
+func receiverType(fn *ast.FuncDecl) (string, bool) {
+	if len(fn.Recv.List) != 1 {
+		return "", false
+	}
+	t := fn.Recv.List[0].Type
+	star, ok := t.(*ast.StarExpr)
+	if !ok {
+		return "", false
+	}
+	switch e := star.X.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.IndexExpr: // generic receiver *T[P]
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+func checkMethod(pass *analysis.Pass, fn *ast.FuncDecl, tname string) {
+	names := fn.Recv.List[0].Names
+	if len(names) != 1 || names[0].Name == "_" {
+		return // receiver unnamed: body cannot touch it
+	}
+	recv := pass.Pkg.Info.Defs[names[0]]
+	if recv == nil {
+		return
+	}
+	for _, stmt := range fn.Body.List {
+		use := firstRecvUse(pass, stmt, recv)
+		if use == nil {
+			continue
+		}
+		if isNilGuard(pass, stmt, recv) {
+			return // guard precedes every other receiver use
+		}
+		pass.Reportf(use.Pos(),
+			"method %s on nil-safe *%s uses receiver %s before a nil check",
+			fn.Name.Name, tname, names[0].Name)
+		return
+	}
+}
+
+// firstRecvUse returns the first identifier in stmt resolving to the
+// receiver object, in source order.
+func firstRecvUse(pass *analysis.Pass, stmt ast.Stmt, recv types.Object) *ast.Ident {
+	var found *ast.Ident
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == recv {
+			found = id
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isNilGuard reports whether stmt is `if <cond> { ...exit }` where cond
+// contains `recv == nil` as a top-level || disjunct and the body
+// unconditionally exits (ends in return or panic).
+func isNilGuard(pass *analysis.Pass, stmt ast.Stmt, recv types.Object) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil || len(ifs.Body.List) == 0 {
+		return false
+	}
+	if !hasNilDisjunct(pass, ifs.Cond, recv) {
+		return false
+	}
+	switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasNilDisjunct(pass *analysis.Pass, cond ast.Expr, recv types.Object) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return hasNilDisjunct(pass, e.X, recv)
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR {
+			return hasNilDisjunct(pass, e.X, recv) || hasNilDisjunct(pass, e.Y, recv)
+		}
+		if e.Op == token.EQL {
+			return (isRecv(pass, e.X, recv) && isNil(pass, e.Y)) ||
+				(isNil(pass, e.X) && isRecv(pass, e.Y, recv))
+		}
+	}
+	return false
+}
+
+func isRecv(pass *analysis.Pass, e ast.Expr, recv types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.Pkg.Info.Uses[id] == recv
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	return pass.Pkg.Info.Types[e].IsNil()
+}

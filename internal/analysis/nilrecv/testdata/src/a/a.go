@@ -1,0 +1,79 @@
+// Package a is golden data for the nilrecv analyzer: exported pointer-
+// receiver methods on an //xg:nilsafe type must nil-check the receiver
+// before any other use, mirroring the obs.Trace contract where a nil trace
+// means "tracing disabled" and every method must no-op.
+package a
+
+// V is the nil-safe type under test.
+//
+//xg:nilsafe
+type V struct{ n int }
+
+// Good guards first.
+func (v *V) Good() int {
+	if v == nil {
+		return 0
+	}
+	return v.n
+}
+
+// GoodDisjunct may carry extra disjuncts in the guard.
+func (v *V) GoodDisjunct(k int) int {
+	if v == nil || k < 0 {
+		return 0
+	}
+	return v.n + k
+}
+
+// GoodPanic may exit by panicking.
+func (v *V) GoodPanic() int {
+	if v == nil {
+		panic("nil V")
+	}
+	return v.n
+}
+
+// GoodNoRecv never mentions the receiver and passes trivially.
+func (v *V) GoodNoRecv() int { return 42 }
+
+// Bad touches a field before the guard.
+func (v *V) Bad() int {
+	n := v.n // want `method Bad on nil-safe \*V uses receiver v before a nil check`
+	if v == nil {
+		return 0
+	}
+	return n
+}
+
+// BadNoGuard never guards at all.
+func (v *V) BadNoGuard() int {
+	return v.n // want `method BadNoGuard on nil-safe \*V uses receiver v before a nil check`
+}
+
+// BadLateGuard guards inside a later statement, which the strict first-use
+// rule rejects.
+func (v *V) BadLateGuard() int {
+	x := 0
+	for i := 0; i < v.n; i++ { // want `method BadLateGuard on nil-safe \*V uses receiver v before a nil check`
+		x += i
+	}
+	return x
+}
+
+// Allowed pins suppression: the justified //xg:allow silences the finding.
+func (v *V) Allowed() int {
+	return v.n //xg:allow nilrecv: callers are generated code that always passes a non-nil V
+}
+
+// helper is unexported: internal helpers are shielded by the exported
+// surface and not checked.
+func (v *V) helper() int { return v.n }
+
+// Val has a value receiver: a nil pointer cannot reach it.
+func (v V) Val() int { return v.n }
+
+// U is not annotated; its methods are unchecked.
+type U struct{ n int }
+
+// Bad on *U is fine: U is not //xg:nilsafe.
+func (u *U) Bad() int { return u.n }

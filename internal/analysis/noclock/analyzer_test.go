@@ -1,0 +1,12 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"xgrammar/internal/analysis/analysistest"
+	"xgrammar/internal/analysis/noclock"
+)
+
+func TestNoClock(t *testing.T) {
+	analysistest.Run(t, noclock.Analyzer, "a")
+}

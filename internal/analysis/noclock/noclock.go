@@ -1,0 +1,113 @@
+// Package noclock forbids wall-clock reads inside //xg:hotpath functions
+// and their same-package callees. The decode loop's latency accounting is
+// built so that per-token clock reads happen only at approved tracer entry
+// points (internal/obs, which stops reading the clock once a trace's detail
+// window fills); a stray time.Now inside the per-token path costs tens of
+// nanoseconds per token on every request, traced or not.
+//
+// The walk is transitive over statically-resolvable calls within the
+// package: an annotated function may not call time.Now/Since/Until — nor
+// call a package-local helper that does, however deep. Cross-package calls
+// are not followed; routing clock reads through another package (in
+// practice, the obs tracer) is exactly the approved escape hatch. A
+// deliberate same-package exception (e.g. stamping a rare mode transition)
+// is suppressed with //xg:allow noclock: <reason>.
+package noclock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xgrammar/internal/analysis"
+)
+
+// Analyzer is the noclock analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "noclock",
+	Doc:  "forbid time.Now/Since/Until in //xg:hotpath functions and their in-package callees",
+	Run:  run,
+}
+
+// clockFuncs are the forbidden time package entry points.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	// Map every package-local function/method object to its declaration so
+	// the walk can descend into callees.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := pass.Pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+
+	reported := map[token.Pos]bool{}
+	for _, root := range analysis.HotPathFuncs(pass.Pkg) {
+		visited := map[*types.Func]bool{}
+		walk(pass, root, root.Name.Name, "", decls, visited, reported)
+	}
+	return nil
+}
+
+// walk scans fn's body for clock calls and recurses into same-package
+// callees. via is the call chain from the hot-path root ("" at the root).
+func walk(pass *analysis.Pass, fn *ast.FuncDecl, root, via string,
+	decls map[*types.Func]*ast.FuncDecl, visited map[*types.Func]bool, reported map[token.Pos]bool) {
+	if fn.Body == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.Pkg.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if callee.Pkg().Path() == "time" && clockFuncs[callee.Name()] {
+			if !reported[call.Pos()] {
+				reported[call.Pos()] = true
+				suffix := ""
+				if via != "" {
+					suffix = " (via " + via + ")"
+				}
+				pass.Reportf(call.Pos(),
+					"wall-clock read time.%s on the hot path rooted at %s%s; route timing through the tracer",
+					callee.Name(), root, suffix)
+			}
+			return true
+		}
+		if callee.Pkg() != pass.Pkg.Types {
+			return true // cross-package: the approved tracer escape hatch
+		}
+		decl, ok := decls[callee]
+		if !ok || visited[callee] {
+			return true
+		}
+		visited[callee] = true
+		next := callee.Name()
+		if via != "" {
+			next = via + " -> " + callee.Name()
+		}
+		walk(pass, decl, root, next, decls, visited, reported)
+		return true
+	})
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+// Package a is golden data for the noclock analyzer: wall-clock reads are
+// forbidden in //xg:hotpath functions and in any same-package helper
+// reachable from one, however deep. Cross-package calls are not followed —
+// that is the approved tracer escape hatch — and a justified //xg:allow
+// suppresses a deliberate transition stamp.
+package a
+
+import "time"
+
+var last time.Time
+
+//xg:hotpath
+func Hot() {
+	last = time.Now() // want `wall-clock read time\.Now on the hot path rooted at Hot`
+	helper()
+}
+
+// helper is pulled onto the hot path by Hot's call.
+func helper() {
+	_ = time.Since(last) // want `wall-clock read time\.Since on the hot path rooted at Hot \(via helper\)`
+	deep()
+}
+
+// deep is two hops from the root; the chain is reported.
+func deep() {
+	_ = time.Until(last) // want `wall-clock read time\.Until on the hot path rooted at Hot \(via helper -> deep\)`
+}
+
+// Cold is reachable from no hot-path root: clock reads are fine here.
+func Cold() time.Time {
+	return time.Now()
+}
+
+// HotTransition pins suppression: a rare mode-transition stamp with a
+// justified //xg:allow reports nothing.
+//
+//xg:hotpath
+func HotTransition() {
+	//xg:allow noclock: stamps once per mode transition, not per token
+	last = time.Now()
+}

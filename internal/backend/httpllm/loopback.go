@@ -71,32 +71,53 @@ func (lb *loopback) handle(w http.ResponseWriter, r *http.Request) {
 
 	if sr.Mode == "close" {
 		lb.mu.Lock()
-		if ls, ok := lb.sessions[sr.SessionID]; ok {
+		ls, ok := lb.sessions[sr.SessionID]
+		if ok {
 			delete(lb.sessions, sr.SessionID)
-			ls.seq.Close()
 		}
 		lb.mu.Unlock()
+		if ok {
+			// Close outside the registry lock: a backend teardown must not
+			// stall unrelated sessions' steps.
+			ls.seq.Close()
+		}
 		writeStep(w, http.StatusOK, stepResponse{OK: true})
 		return
 	}
 
 	lb.mu.Lock()
-	lb.sweepLocked()
+	evicted := lb.sweepLocked()
 	ls, ok := lb.sessions[sr.SessionID]
+	lb.mu.Unlock()
+	closeAll(evicted)
+
 	if !ok {
+		// Open outside the registry lock — a slow backend Open must not
+		// block every other session's step — then re-check under the lock:
+		// protocol-wise a session has one client, but a racing duplicate
+		// open must not leak its sequence.
 		seq, err := lb.bk.Open(backend.Request{
 			Prompt:    sr.Prompt,
 			Seed:      sr.Seed,
 			MaxTokens: sr.MaxTokens,
 		})
 		if err != nil {
-			lb.mu.Unlock()
 			writeStep(w, http.StatusInternalServerError, stepResponse{Error: "open: " + err.Error()})
 			return
 		}
-		ls = &loopSession{seq: seq, lastStep: -1}
-		lb.sessions[sr.SessionID] = ls
+		lb.mu.Lock()
+		if cur, raced := lb.sessions[sr.SessionID]; raced {
+			lb.mu.Unlock()
+			seq.Close()
+			ls = cur
+		} else {
+			ls = &loopSession{seq: seq, lastStep: -1}
+			lb.sessions[sr.SessionID] = ls
+			lb.mu.Unlock()
+		}
 	}
+
+	lb.mu.Lock()
 	ls.lastUsed = time.Now()
 	if sr.Step == ls.lastStep {
 		// Retry of an already-served step: replay, don't re-advance.
@@ -142,13 +163,16 @@ func (lb *loopback) handle(w http.ResponseWriter, r *http.Request) {
 }
 
 // sweepLocked evicts idle sessions, then the least-recently-used one while
-// over capacity. Called with lb.mu held.
-func (lb *loopback) sweepLocked() {
+// over capacity, returning the evicted sequences. Called with lb.mu held;
+// the caller closes the returned sequences after unlocking, so a slow
+// backend teardown never stalls the registry.
+func (lb *loopback) sweepLocked() []backend.Sequence {
+	var evicted []backend.Sequence
 	now := time.Now()
 	for id, ls := range lb.sessions {
 		if now.Sub(ls.lastUsed) > lb.opts.IdleTTL {
 			delete(lb.sessions, id)
-			ls.seq.Close()
+			evicted = append(evicted, ls.seq)
 		}
 	}
 	for len(lb.sessions) >= lb.opts.MaxSessions {
@@ -160,7 +184,15 @@ func (lb *loopback) sweepLocked() {
 		}
 		ls := lb.sessions[oldest]
 		delete(lb.sessions, oldest)
-		ls.seq.Close()
+		evicted = append(evicted, ls.seq)
+	}
+	return evicted
+}
+
+// closeAll closes evicted sequences outside the registry lock.
+func closeAll(seqs []backend.Sequence) {
+	for _, seq := range seqs {
+		seq.Close()
 	}
 }
 

@@ -101,6 +101,8 @@ func (b *Bitset) AndNot(other *Bitset) {
 // AndCount sets b to b & other and returns the number of set bits in the
 // result — a single fused pass, where And followed by Count would walk the
 // words twice. The two bitsets must have equal capacity.
+//
+//xg:hotpath
 func (b *Bitset) AndCount(other *Bitset) int {
 	c := 0
 	for i, w := range other.words {
@@ -113,6 +115,8 @@ func (b *Bitset) AndCount(other *Bitset) int {
 
 // OrCount sets b to b | other and returns the number of set bits in the
 // result in the same pass.
+//
+//xg:hotpath
 func (b *Bitset) OrCount(other *Bitset) int {
 	c := 0
 	for i, w := range other.words {
@@ -130,6 +134,8 @@ func (b *Bitset) CopyFrom(other *Bitset) {
 
 // CopyWordsCount overwrites b with words and returns the number of set bits
 // in the same pass. len(words) must equal len(b.Words()).
+//
+//xg:hotpath
 func (b *Bitset) CopyWordsCount(words []uint64) int {
 	c := 0
 	for i, w := range words {
@@ -141,6 +147,8 @@ func (b *Bitset) CopyWordsCount(words []uint64) int {
 
 // OrWordsCount sets b to b | words and returns the number of set bits in the
 // result in the same pass. len(words) must equal len(b.Words()).
+//
+//xg:hotpath
 func (b *Bitset) OrWordsCount(words []uint64) int {
 	c := 0
 	for i, w := range words {
@@ -154,6 +162,8 @@ func (b *Bitset) OrWordsCount(words []uint64) int {
 // OrExceptList sets b to b | (words &^ {except}) and returns the number of
 // set bits in the result, all in one word-level pass. except must be a
 // strictly ascending id list; ids at or beyond len(words)*64 are ignored.
+//
+//xg:hotpath
 func (b *Bitset) OrExceptList(words []uint64, except []int32) int {
 	c := 0
 	j := 0
@@ -187,6 +197,8 @@ func (b *Bitset) SetList(ids []int32) {
 // SetListCount sets every bit listed in ids and returns how many of them
 // were newly set (0 -> 1 transitions), so a merge over disjoint or
 // overlapping lists can keep a running popcount without a re-scan.
+//
+//xg:hotpath
 func (b *Bitset) SetListCount(ids []int32) int {
 	c := 0
 	for _, id := range ids {
@@ -253,6 +265,8 @@ func (b *Bitset) Equal(other *Bitset) bool {
 
 // IntersectSorted returns the intersection of two sorted int32 slices.
 // Both inputs must be strictly increasing. The result is appended to dst.
+//
+//xg:hotpath
 func IntersectSorted(dst, a, b []int32) []int32 {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -272,6 +286,8 @@ func IntersectSorted(dst, a, b []int32) []int32 {
 
 // UnionSorted returns the union of two sorted int32 slices.
 // Both inputs must be strictly increasing. The result is appended to dst.
+//
+//xg:hotpath
 func UnionSorted(dst, a, b []int32) []int32 {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -294,6 +310,8 @@ func UnionSorted(dst, a, b []int32) []int32 {
 }
 
 // DiffSorted returns a \ b for two sorted int32 slices, appended to dst.
+//
+//xg:hotpath
 func DiffSorted(dst, a, b []int32) []int32 {
 	i, j := 0, 0
 	for i < len(a) {

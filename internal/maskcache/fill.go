@@ -56,6 +56,8 @@ func NewFillContext(vocab int) *FillContext {
 // CI-accepted by any node is necessarily alive under the full state set, so
 // no contribution is ever retracted. Special tokens never enter the identity
 // mask, so they need no final clearing; stop tokens are set iff canTerminate.
+//
+//xg:hotpath
 func (c *Cache) FillMask(exec *matcher.Exec, states []matcher.State, mask *bitset.Bitset, canTerminate bool, fc *FillContext) FillStats {
 	st := FillStats{States: len(states)}
 	// Unique stack-top nodes that can consume input.

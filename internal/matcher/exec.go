@@ -118,6 +118,8 @@ func containsState(set []State, s State) bool {
 // simply marks a possible termination point; during mask preprocessing the
 // executor runs from a synthetic single-frame context and the event marks a
 // context-dependent overflow (§3.1).
+//
+//xg:hotpath
 func (e *Exec) Closure(set []State, onEmptyPop func()) []State {
 	emptyPopSignaled := false
 	for i := 0; i < len(set); i++ {
@@ -160,6 +162,8 @@ func (e *Exec) Closure(set []State, onEmptyPop func()) []State {
 
 // StepByte consumes one byte from a (closed) set, returning the successor
 // set with owned references. The input set keeps its references.
+//
+//xg:hotpath
 func (e *Exec) StepByte(set []State, b byte, dst []State) []State {
 	dst = dst[:0]
 	for _, s := range set {

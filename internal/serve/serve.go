@@ -130,6 +130,8 @@ type Session struct {
 // jump-forward continuation, and fill the next-step mask into Mask(), all in
 // one call. Accepting the stop token terminates the session (legal only when
 // the grammar can complete) and clears the mask.
+//
+//xg:hotpath
 func (s *Session) Step(id int32) (StepResult, error) {
 	var res StepResult
 	if err := s.Accept(id); err != nil {
@@ -161,6 +163,8 @@ func (s *Session) Fill() maskcache.FillStats {
 // were returned. The serving engine uses it to count real fills — and
 // canonical-mask fast-path hits — without double-counting idempotent
 // no-ops.
+//
+//xg:hotpath
 func (s *Session) FillTracked() (stats maskcache.FillStats, computed bool) {
 	if !s.dirty {
 		return s.lastStats, false

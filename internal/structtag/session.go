@@ -1,6 +1,7 @@
 package structtag
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -85,18 +86,34 @@ func (s *Session) InTag() bool { return s.mode >= 0 }
 // Bytes returns the accepted stream so far (valid until the next call).
 func (s *Session) Bytes() []byte { return s.bytes }
 
+// errTerminated is preconstructed so the hot-path Accept does not box a
+// format call on its error checks.
+var errTerminated = errors.New("structtag: session already terminated")
+
+// errStopInSegment and errSpecialToken keep fmt off the annotated Accept
+// body; both run only on requests that are already failing.
+func (s *Session) errStopInSegment() error {
+	return fmt.Errorf("structtag: stop token inside a %q segment", s.ts.tags[s.mode].Begin)
+}
+
+func errSpecialToken(id int32) error {
+	return fmt.Errorf("structtag: special token %d not allowed", id)
+}
+
 // Accept advances the session by one generated token. In free-text mode the
 // token's bytes stream through the trigger trie (entering a tag segment the
 // moment a begin tag completes, mid-token included); inside a segment they
 // must advance the segment grammar. The stop token is only legal in
 // free-text mode. On error the session is unchanged.
+//
+//xg:hotpath
 func (s *Session) Accept(id int32) error {
 	if s.terminated {
-		return fmt.Errorf("structtag: session already terminated")
+		return errTerminated
 	}
 	if id == tokenizer.EosID {
 		if s.mode >= 0 {
-			return fmt.Errorf("structtag: stop token inside a %q segment", s.ts.tags[s.mode].Begin)
+			return s.errStopInSegment()
 		}
 		s.terminated = true
 		s.bs.ClearAll()
@@ -105,7 +122,7 @@ func (s *Session) Accept(id int32) error {
 		return nil
 	}
 	if s.ts.tok.IsSpecial(id) {
-		return fmt.Errorf("structtag: special token %d not allowed", id)
+		return errSpecialToken(id)
 	}
 	return s.acceptBytes(s.ts.tok.TokenBytes(id))
 }
@@ -239,6 +256,7 @@ func (s *Session) enterTag(tag int) {
 	s.mode = tag
 	s.cands = s.cands[:0]
 	if !s.replaying {
+		//xg:allow noclock: segment entry is a rare mode transition, stamped once per tag, not per token
 		s.segStart = time.Now()
 	}
 }
@@ -249,6 +267,7 @@ func (s *Session) enterTag(tag int) {
 func (s *Session) leaveTag() {
 	if !s.replaying && len(s.spans) < maxSegmentSpans {
 		s.spans = append(s.spans, SegmentSpan{
+			//xg:allow noclock: segment exit is a rare mode transition, stamped once per tag, not per token
 			Tag: s.mode, Start: s.segStart, Dur: time.Since(s.segStart),
 		})
 	}
@@ -292,6 +311,8 @@ func (s *Session) Fill() maskcache.FillStats {
 // work (computed is false for the idempotent no-op), mirroring
 // serve.Session.FillTracked so the engine's fill counters see both session
 // kinds uniformly.
+//
+//xg:hotpath
 func (s *Session) FillTracked() (maskcache.FillStats, bool) {
 	if !s.dirty {
 		return s.lastStats, false
@@ -326,6 +347,8 @@ func (s *Session) FillMask(mask *bitset.Bitset) {
 
 // Step is the fused per-token call: accept, probe the jump-forward
 // continuation, fill the next mask.
+//
+//xg:hotpath
 func (s *Session) Step(id int32) (serve.StepResult, error) {
 	var res serve.StepResult
 	if err := s.Accept(id); err != nil {
