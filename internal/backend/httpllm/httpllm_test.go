@@ -3,6 +3,7 @@ package httpllm
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -236,6 +237,139 @@ func TestRegistrySpec(t *testing.T) {
 	}
 	defer seq.Close()
 	driveSteps(t, seq, [][]uint64{synthMask(7, 8, testEOS)})
+}
+
+// guardBackend wraps sequences so a step after Close is counted instead of
+// silently hitting a torn-down sequence.
+type guardBackend struct {
+	backend.Backend
+	violations *atomic.Int64
+}
+
+func (b *guardBackend) Open(req backend.Request) (backend.Sequence, error) {
+	seq, err := b.Backend.Open(req)
+	if err != nil {
+		return nil, err
+	}
+	return &guardSeq{Sequence: seq, violations: b.violations}, nil
+}
+
+type guardSeq struct {
+	backend.Sequence
+	closed     atomic.Bool
+	violations *atomic.Int64
+}
+
+func (s *guardSeq) Next(ctx context.Context, mask []uint64) (int32, error) {
+	if s.closed.Load() {
+		s.violations.Add(1)
+	}
+	return s.Sequence.Next(ctx, mask)
+}
+
+func (s *guardSeq) Close() {
+	s.closed.Store(true)
+	s.Sequence.Close()
+}
+
+// TestConcurrentSessionsNoUseAfterClose pins the sweep/step atomicity
+// contract under churn: with the registry nowhere near MaxSessions and a
+// long IdleTTL, no sequence may ever be closed by a sweep while its handler
+// steps it. A session inserted with a zero lastUsed, or refreshed outside
+// the sweep's critical section, reads as instantly idle in the window
+// between lookup and stamp and gets evicted mid-step — this test floods
+// that window with concurrent first-step opens and follow-up steps.
+func TestConcurrentSessionsNoUseAfterClose(t *testing.T) {
+	var violations atomic.Int64
+	bk := &guardBackend{Backend: simllm.NewSampler(testEOS), violations: &violations}
+	ts := loopbackServer(t, bk, LoopbackOptions{MaxSessions: 1024, IdleTTL: time.Hour})
+
+	const workers, sessionsPer, stepsPer = 16, 8, 4
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			remote := New(Options{BaseURL: ts.URL})
+			for i := 0; i < sessionsPer; i++ {
+				seq, err := remote.Open(backend.Request{Seed: int64(g*sessionsPer + i + 1)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for s := 0; s < stepsPer; s++ {
+					if _, err := seq.Next(context.Background(), synthMask(5, 9, 700)); err != nil {
+						t.Errorf("worker %d session %d step %d: %v", g, i, s, err)
+						break
+					}
+				}
+				seq.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := violations.Load(); n > 0 {
+		t.Fatalf("%d steps reached a sequence the sweep had already closed", n)
+	}
+}
+
+// gateBackend holds every Open inside the backend until released, so a test
+// can park N first-step requests between their initial registry miss and
+// their insert.
+type gateBackend struct {
+	backend.Backend
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *gateBackend) Open(req backend.Request) (backend.Sequence, error) {
+	b.entered <- struct{}{}
+	<-b.release
+	return b.Backend.Open(req)
+}
+
+// TestConcurrentOpensRespectMaxSessions pins the insert-side capacity bound:
+// N concurrent first-step requests for distinct sessions each pass the sweep
+// before their backend Open, so the insert after Open must re-sweep — the
+// registry may never settle above MaxSessions.
+func TestConcurrentOpensRespectMaxSessions(t *testing.T) {
+	const opens, maxSessions = 4, 2
+	cc := &closeCounter{Backend: simllm.NewSampler(testEOS)}
+	gate := &gateBackend{Backend: cc, entered: make(chan struct{}), release: make(chan struct{})}
+	lb := &loopback{
+		bk:       gate,
+		opts:     LoopbackOptions{MaxSessions: maxSessions, IdleTTL: time.Hour},
+		sessions: map[string]*loopSession{},
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < opens; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"mode":"sample","session_id":"s%d","step":1,"seed":%d,"allowed_tokens":[5,9]}`, i, i+1)
+			rec := httptest.NewRecorder()
+			lb.handle(rec, httptest.NewRequest("POST", "/v1/generate", strings.NewReader(body)))
+			if rec.Code != http.StatusOK {
+				t.Errorf("open %d: status %d, body %s", i, rec.Code, rec.Body)
+			}
+		}(i)
+	}
+	for i := 0; i < opens; i++ {
+		<-gate.entered // every request is now past its pre-Open sweep
+	}
+	close(gate.release)
+	wg.Wait()
+
+	lb.mu.Lock()
+	live := len(lb.sessions)
+	lb.mu.Unlock()
+	if live > maxSessions {
+		t.Fatalf("registry settled at %d sessions, want <= %d", live, maxSessions)
+	}
+	if closed := cc.closed.Load(); closed != opens-maxSessions {
+		t.Fatalf("evicted %d sequences, want %d", closed, opens-maxSessions)
+	}
 }
 
 // attemptRec is one observed HTTP attempt for TestAttemptObserver.

@@ -85,9 +85,23 @@ func (lb *loopback) handle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Sweep, lookup, and the lastUsed refresh share one critical section: a
+	// session found here must never be judged idle (or LRU-oldest) by a
+	// concurrent request's sweep on a stale timestamp while we step it.
 	lb.mu.Lock()
 	evicted := lb.sweepLocked()
 	ls, ok := lb.sessions[sr.SessionID]
+	if ok {
+		ls.lastUsed = time.Now()
+		if sr.Step == ls.lastStep {
+			// Retry of an already-served step: replay, don't re-advance.
+			resp := ls.lastResp
+			lb.mu.Unlock()
+			closeAll(evicted)
+			writeStep(w, http.StatusOK, resp)
+			return
+		}
+	}
 	lb.mu.Unlock()
 	closeAll(evicted)
 
@@ -107,26 +121,30 @@ func (lb *loopback) handle(w http.ResponseWriter, r *http.Request) {
 		}
 		lb.mu.Lock()
 		if cur, raced := lb.sessions[sr.SessionID]; raced {
+			cur.lastUsed = time.Now()
+			if sr.Step == cur.lastStep {
+				resp := cur.lastResp
+				lb.mu.Unlock()
+				seq.Close()
+				writeStep(w, http.StatusOK, resp)
+				return
+			}
 			lb.mu.Unlock()
 			seq.Close()
 			ls = cur
 		} else {
-			ls = &loopSession{seq: seq, lastStep: -1}
+			// Re-sweep before inserting: concurrent first-step opens each
+			// swept before their Open, so without this the registry could
+			// transiently exceed MaxSessions. The session is inserted with
+			// lastUsed already stamped — it must never be visible to a sweep
+			// with a zero timestamp, which would read as instantly idle.
+			evicted := lb.sweepLocked()
+			ls = &loopSession{seq: seq, lastStep: -1, lastUsed: time.Now()}
 			lb.sessions[sr.SessionID] = ls
 			lb.mu.Unlock()
+			closeAll(evicted)
 		}
 	}
-
-	lb.mu.Lock()
-	ls.lastUsed = time.Now()
-	if sr.Step == ls.lastStep {
-		// Retry of an already-served step: replay, don't re-advance.
-		resp := ls.lastResp
-		lb.mu.Unlock()
-		writeStep(w, http.StatusOK, resp)
-		return
-	}
-	lb.mu.Unlock()
 
 	// The sequence is single-client by protocol (one step counter), so it is
 	// stepped outside the registry lock.
