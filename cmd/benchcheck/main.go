@@ -105,6 +105,16 @@ var required = map[string]map[string]fieldKind{
 		"tokens_per_sec": numPositive,
 		"overhead_pct":   numNonNeg,
 	},
+	"prefix": {
+		"experiment":        strNonEmpty,
+		"mode":              strNonEmpty,
+		"requests":          numPositive,
+		"prefix_bytes":      numPositive,
+		"first_mask_p50_us": numPositive,
+		"first_mask_p99_us": numPositive,
+		"tokens_per_sec":    numPositive,
+		"byte_identical":    boolTrue,
+	},
 }
 
 // maxObsOverheadPct caps the tracing overhead the obs experiment may report:
@@ -121,6 +131,7 @@ var identityKeys = map[string][]string{
 	"tags":    {"phase"},
 	"backend": {"experiment", "backend"},
 	"obs":     {"experiment"},
+	"prefix":  {"experiment"},
 }
 
 // latencyFloorUS exempts sub-resolution fill latencies from the delta gate:
@@ -217,6 +228,19 @@ func checkFile(path string) (benchFile, []error) {
 				}
 			}
 		}
+		// The prefix experiment's warm row must show the cache actually
+		// working: a positive hit rate and prefix bytes restored from
+		// checkpoints rather than replayed.
+		if bf.Experiment == "prefix" {
+			if mode, _ := row["mode"].(string); mode == "warm" {
+				if hr, _ := row["hit_rate"].(float64); hr <= 0 {
+					fail("results[%d]: warm row hit_rate %v is not positive", i, row["hit_rate"])
+				}
+				if reused, _ := row["bytes_reused"].(float64); reused <= 0 {
+					fail("results[%d]: warm row reused no prefix bytes", i)
+				}
+			}
+		}
 		// The obs experiment carries an absolute gate on top of the shape
 		// checks: the tracing-on row must price the tracer under the budget
 		// and must actually have recorded traces.
@@ -260,11 +284,12 @@ func checkDelta(bf benchFile, baselineDir string, maxReg float64) []error {
 		}
 		return errs
 	}
-	// The backend and obs experiments' tokens_per_sec divides by raw wall
-	// time — CI-runner noise, not a modelled clock like the serve/spec/tags
-	// rows — so their absolute throughput is not delta-gated (obs carries
-	// its own absolute overhead gate in checkFile instead).
-	gateTokS := bf.Experiment != "backend" && bf.Experiment != "obs"
+	// The backend, obs, and prefix experiments' tokens_per_sec divides by
+	// raw wall time — CI-runner noise, not a modelled clock like the
+	// serve/spec/tags rows — so their absolute throughput is not delta-gated
+	// (obs carries its own absolute overhead gate in checkFile instead;
+	// prefix carries the byte_identical gate).
+	gateTokS := bf.Experiment != "backend" && bf.Experiment != "obs" && bf.Experiment != "prefix"
 	keys := identityKeys[bf.Experiment]
 	baseRows := make(map[string]map[string]any, len(base.Results))
 	for _, row := range base.Results {

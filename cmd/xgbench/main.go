@@ -9,7 +9,7 @@
 //	xgbench -json BENCH.json # also write machine-readable serving results
 //
 // Experiment ids: fig9 fig10 fig11 fig12 tab1 tab2 tab3 tab4 stats par
-// serve spec store tags backend obs. The par experiment reports the parallel
+// serve spec store tags backend obs prefix. The par experiment reports the parallel
 // mask-cache build speedup over the serial preprocessing scan; serve
 // benchmarks the continuous-batching serving runtime (pooled sessions,
 // overlapped batch mask fill); spec benchmarks speculative draft-verify
@@ -22,16 +22,19 @@
 // sampler with the httpllm HTTP adapter looped back onto an identical
 // sampler (byte-identity across the wire, transport latency priced); obs
 // prices the request-lifecycle tracer (gateway with tracing off vs on,
-// interleaved passes) so observability provably stays under 2% overhead.
+// interleaved passes) so observability provably stays under 2% overhead;
+// prefix benchmarks the cross-request constraint-state prefix cache on a
+// templated workload (cold byte replay vs warm checkpoint restore, with a
+// per-step mask byte-identity check).
 //
-// With -json, the serving, spec, store, tags, backend, and obs benchmarks'
+// With -json, the serving, spec, store, tags, backend, obs, and prefix benchmarks'
 // machine-readable records (experiment, tokens/s, p50/p99 fill latency,
 // batch dynamics, cold/warm latency, per-phase tag profiles, tracing
 // overhead) are written so the perf trajectory is tracked across PRs. A '*'
 // in the path fans the sections out to one file each (xgbench -json
 // 'BENCH_*.json' writes BENCH_serve.json, BENCH_spec.json,
-// BENCH_store.json, BENCH_tags.json, BENCH_backend.json, BENCH_obs.json);
-// without it one combined file is written.
+// BENCH_store.json, BENCH_tags.json, BENCH_backend.json, BENCH_obs.json,
+// BENCH_prefix.json); without it one combined file is written.
 //
 // -backend decodes the engine-level experiments against a registry backend
 // spec (e.g. "sim", "http:http://host:port") instead of the in-process
@@ -60,6 +63,7 @@ type benchJSON struct {
 	Tags    []experiments.TagsResult         `json:"tags"`
 	Backend []experiments.BackendBenchResult `json:"backend"`
 	Obs     []experiments.ObsResult          `json:"obs"`
+	Prefix  []experiments.PrefixResult       `json:"prefix"`
 }
 
 // benchFile is the schema of one per-section BENCH_<id>.json file (the '*'
@@ -142,6 +146,7 @@ func main() {
 			{"tags", suite.TagsBench()},
 			{"backend", suite.BackendBench()},
 			{"obs", suite.ObsBench()},
+			{"prefix", suite.PrefixBench()},
 		}
 		for _, sec := range sections {
 			writeJSON(strings.Replace(*jsonPath, "*", sec.id, 1), benchFile{
@@ -155,5 +160,6 @@ func main() {
 		Serving: suite.ServeBench(), Spec: suite.SpecBench(),
 		Store: suite.StoreBench(), Tags: suite.TagsBench(),
 		Backend: suite.BackendBench(), Obs: suite.ObsBench(),
+		Prefix: suite.PrefixBench(),
 	})
 }

@@ -65,6 +65,9 @@ func main() {
 	workers := flag.Int("workers", 0, "batch-fill workers (0: one per CPU, shared pool)")
 	debugAddr := flag.String("debug-addr", "", "private listen address for pprof + trace endpoints (empty: disabled)")
 	logFormat := flag.String("log-format", "", "access-log format: json or text (empty: no access log)")
+	prefixMB := flag.Int("prefix-cache-mb", 32, "constraint-state prefix cache byte budget in MiB (0: disabled)")
+	prefixDepth := flag.Int("prefix-depth", 0, "min forced-prefix bytes before checkpoints are cached (0: default)")
+	prefixStride := flag.Int("prefix-stride", 0, "bytes between intermediate checkpoint captures during replay (0: default)")
 	trace := flag.Bool("trace", true, "record request-lifecycle traces (stage histograms, /debug/requests)")
 	traceRing := flag.Int("trace-ring", obs.DefaultRingSize, "completed request traces retained for /debug/requests")
 	slowMS := flag.Float64("slow-ms", 0, "log requests slower than this many ms to stderr (0: disabled)")
@@ -117,6 +120,10 @@ func main() {
 	var engOpts []xgrammar.EngineOption
 	if *workers > 0 {
 		engOpts = append(engOpts, xgrammar.WithFillWorkers(*workers))
+	}
+	if *prefixMB > 0 {
+		engOpts = append(engOpts, xgrammar.WithPrefixCache(int64(*prefixMB)<<20, *prefixDepth, *prefixStride))
+		fmt.Fprintf(os.Stderr, "xgserve: prefix cache enabled (budget=%d MiB)\n", *prefixMB)
 	}
 	eng := xgrammar.NewEngine(compiler, engOpts...)
 	tracer := obs.New(obs.Config{

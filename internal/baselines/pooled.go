@@ -10,6 +10,7 @@ import "xgrammar/internal/serve"
 // sequence finishes.
 type PooledXGBackend struct {
 	pool  *serve.SessionPool
+	acq   *serve.Acquirer // nil: forced prefixes replay cold
 	label string
 }
 
@@ -21,11 +22,47 @@ func NewPooledXGBackend(pool *serve.SessionPool, label string) *PooledXGBackend 
 	return &PooledXGBackend{pool: pool, label: label}
 }
 
+// NewWarmPooledXGBackend wraps a warm-start acquisition layer as an engine
+// backend: NewWarmSession restores cached constraint-state checkpoints
+// instead of replaying forced prefixes from the grammar start.
+func NewWarmPooledXGBackend(acq *serve.Acquirer, label string) *PooledXGBackend {
+	if label == "" {
+		label = "xgrammar-pooled-warm"
+	}
+	return &PooledXGBackend{pool: acq.Pool(), acq: acq, label: label}
+}
+
 // Name implements Backend.
 func (b *PooledXGBackend) Name() string { return b.label }
 
 // NewSession implements Backend by acquiring a pooled session.
 func (b *PooledXGBackend) NewSession() Session { return b.pool.Acquire() }
 
+// NewWarmSession implements WarmBackend: with an acquisition layer the
+// session warm-starts from the deepest cached checkpoint covering prefix;
+// without one the prefix replays cold. Either way the returned session is
+// byte-identical to a fresh session that accepted prefix.
+func (b *PooledXGBackend) NewWarmSession(prefix []byte) (Session, int, error) {
+	if b.acq == nil {
+		s := b.pool.Acquire()
+		if len(prefix) > 0 {
+			if err := s.AcceptBytes(prefix); err != nil {
+				s.Close()
+				return nil, 0, err
+			}
+		}
+		return s, len(prefix), nil
+	}
+	s, res, err := b.acq.Acquire(prefix)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, res.ReplayedBytes, nil
+}
+
 // Pool returns the underlying session pool (for stats).
 func (b *PooledXGBackend) Pool() *serve.SessionPool { return b.pool }
+
+// Acquirer returns the warm-start acquisition layer, or nil for a cold
+// pooled backend.
+func (b *PooledXGBackend) Acquirer() *serve.Acquirer { return b.acq }

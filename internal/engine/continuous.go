@@ -32,6 +32,12 @@ type StreamRequest struct {
 	// GrammarInit is the grammar resolve cost charged at admission (zero for
 	// a compiled-grammar cache hit).
 	GrammarInit time.Duration
+	// ForcedPrefix is a byte prefix the grammar session starts past — the
+	// templated scaffold shared across requests. Warm-capable backends
+	// (baselines.WarmBackend) join through the acquisition layer and restore
+	// it from cached checkpoints; other backends replay it cold at
+	// admission. Output is byte-identical either way.
+	ForcedPrefix []byte
 }
 
 // StreamConfig configures a continuous-batching run.
@@ -322,7 +328,27 @@ func (r *runner) admit(sr *StreamRequest, index int) (*streamSeq, error) {
 		grammar = r.cfg.Grammar
 	}
 	if r.cfg.Mode != Unconstrained && grammar != nil {
-		s.session = grammar.NewSession()
+		if len(sr.ForcedPrefix) > 0 {
+			if wb, ok := grammar.(baselines.WarmBackend); ok {
+				sess, _, err := wb.NewWarmSession(sr.ForcedPrefix)
+				if err != nil {
+					return nil, fmt.Errorf("engine: warm-start session for %s: %w", sr.Req, err)
+				}
+				s.session = sess
+			} else {
+				sess := grammar.NewSession()
+				jf, ok := sess.(baselines.JumpForwarder)
+				if !ok {
+					return nil, fmt.Errorf("engine: grammar backend %s cannot accept a forced prefix", grammar.Name())
+				}
+				if err := jf.AcceptString(string(sr.ForcedPrefix)); err != nil {
+					return nil, fmt.Errorf("engine: forced prefix for %s: %w", sr.Req, err)
+				}
+				s.session = sess
+			}
+		} else {
+			s.session = grammar.NewSession()
+		}
 		if n := len(r.maskFree); n > 0 {
 			s.mask = r.maskFree[n-1]
 			r.maskFree = r.maskFree[:n-1]

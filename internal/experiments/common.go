@@ -55,6 +55,8 @@ type Suite struct {
 	backendResults []BackendBenchResult
 	// memoized tracing-overhead benchmark results
 	obsResults []ObsResult
+	// memoized prefix-cache warm-start benchmark results
+	prefixResults []PrefixResult
 }
 
 // NewSuite returns a suite configuration.

@@ -310,3 +310,44 @@ func TestStoreBench(t *testing.T) {
 		t.Fatalf("store table malformed:\n%s", tb.String())
 	}
 }
+
+// TestPrefixBench checks the prefix-cache warm-start benchmark: the warm
+// run must be byte-identical to the cold run, actually reuse prefix bytes
+// via cached checkpoints, and report a meaningful hit rate.
+func TestPrefixBench(t *testing.T) {
+	s := suite(t)
+	results := s.PrefixBench()
+	if len(results) != 2 {
+		t.Fatalf("prefix results = %d, want 2 (cold, warm)", len(results))
+	}
+	cold, warm := results[0], results[1]
+	if cold.Mode != "cold" || warm.Mode != "warm" {
+		t.Fatalf("modes = %q, %q", cold.Mode, warm.Mode)
+	}
+	if !warm.ByteIdentical {
+		t.Fatal("warm run not byte-identical to cold run")
+	}
+	if warm.BytesReused == 0 {
+		t.Fatal("warm run reused no prefix bytes")
+	}
+	if warm.HitRate <= 0 {
+		t.Fatalf("hit rate = %v, want > 0", warm.HitRate)
+	}
+	// All requests after the first share the full prefix, so replayed
+	// bytes must stay far below the cold total.
+	coldTotal := int64(cold.Requests * cold.PrefixBytes)
+	if warm.BytesReplayed >= coldTotal {
+		t.Fatalf("warm replayed %d bytes, cold total %d", warm.BytesReplayed, coldTotal)
+	}
+	if cold.FirstMaskP50US <= 0 || warm.FirstMaskP50US <= 0 {
+		t.Fatalf("degenerate first-mask latencies: cold %v warm %v", cold.FirstMaskP50US, warm.FirstMaskP50US)
+	}
+	// Memoized: table and -json share one run.
+	if &results[0] != &s.PrefixBench()[0] {
+		t.Fatal("prefix results not memoized")
+	}
+	tb := s.Prefix()
+	if len(tb.Rows) != 2 || !strings.Contains(tb.String(), "warm") {
+		t.Fatalf("prefix table malformed:\n%s", tb.String())
+	}
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"xgrammar/internal/builtin"
+	"xgrammar/internal/maskcache"
+	"xgrammar/internal/pda"
+	"xgrammar/internal/prefixcache"
+	"xgrammar/internal/serve"
+	"xgrammar/internal/tokenizer"
+)
+
+// PrefixResult is one machine-readable prefix-cache benchmark record: the
+// same templated workload (a long shared forced prefix, varying tails)
+// served cold (every request replays the prefix byte by byte) and warm
+// (requests join through the acquisition layer and restore cached
+// constraint-state checkpoints).
+type PrefixResult struct {
+	Experiment  string `json:"experiment"`
+	Mode        string `json:"mode"`
+	Requests    int    `json:"requests"`
+	PrefixBytes int    `json:"prefix_bytes"`
+	// FirstMask percentiles time session acquisition up to the first
+	// decode-ready token mask (restore + residual replay + fill).
+	FirstMaskP50US float64 `json:"first_mask_p50_us"`
+	FirstMaskP99US float64 `json:"first_mask_p99_us"`
+	// TokensPerSec is the steady-state constrained decode rate over the
+	// varying tails (fill + accept per token), after the prefix.
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	// HitRate/BytesReused/BytesReplayed come from the cache and acquirer
+	// counters (zero in cold mode).
+	HitRate       float64 `json:"hit_rate"`
+	BytesReused   int64   `json:"bytes_reused"`
+	BytesReplayed int64   `json:"bytes_replayed"`
+	// ByteIdentical records the correctness check: every warm request's
+	// mask sequence (first mask and every tail step) matched the cold run's
+	// bit for bit, so any sampler decodes identical bytes.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+// prefixWorkload builds the templated request stream: one long shared
+// prefix (the templated system/tool preamble every request repeats) and a
+// varying JSON tail per request, all valid under the builtin JSON grammar.
+func (s *Suite) prefixWorkload() (prefix string, tails []string) {
+	prefix = `{"system": "You are a tool-calling assistant. Always answer with one call.", "call": {"name": "`
+	n := 2 * s.NumDocs
+	tails = make([]string, n)
+	for i := range tails {
+		tails[i] = fmt.Sprintf(`tool_%03d", "args": [%d, %d, "q%d"]}}`, i%8, i, (i*7)%13, i)
+	}
+	return prefix, tails
+}
+
+// maskFingerprint hashes a filled mask so the warm run can compare its
+// per-step masks against the cold run without retaining every word slice.
+func maskFingerprint(h *uint64, words []uint64) {
+	f := fnv.New64a()
+	var buf [8]byte
+	for _, w := range words {
+		buf[0] = byte(w)
+		buf[1] = byte(w >> 8)
+		buf[2] = byte(w >> 16)
+		buf[3] = byte(w >> 24)
+		buf[4] = byte(w >> 32)
+		buf[5] = byte(w >> 40)
+		buf[6] = byte(w >> 48)
+		buf[7] = byte(w >> 56)
+		f.Write(buf[:])
+	}
+	*h = *h*1099511628211 ^ f.Sum64()
+}
+
+func durPercentile(d []time.Duration, q float64) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), d...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e3
+}
+
+// PrefixBench runs the templated workload twice over identical artifacts:
+// cold (fresh session + full byte replay per request) and warm (acquisition
+// layer over a populated prefix cache). Byte identity is asserted by
+// fingerprinting every mask the cold run fills and replaying the comparison
+// in the warm run. Results are memoized; the table and -json output share
+// one run.
+func (s *Suite) PrefixBench() []PrefixResult {
+	if s.prefixResults != nil {
+		return s.prefixResults
+	}
+	tok := s.Tok()
+	p := s.PDA("json-opt", builtin.JSON(), pda.AllOptimizations)
+	cache := s.Cache("json-opt", p, maskcache.Options{ContextExpansion: true})
+	prefix, tails := s.prefixWorkload()
+	prefixBytes := []byte(prefix)
+
+	// Tokenize tails up front so both runs time the same decode stream.
+	tailIDs := make([][]int32, len(tails))
+	for i, tail := range tails {
+		ids := tok.Encode(tail)
+		tailIDs[i] = append(ids, tokenizer.EosID)
+	}
+
+	run := func(acq *serve.Acquirer, pool *serve.SessionPool, hashes []uint64, check bool) (PrefixResult, []uint64) {
+		firstMask := make([]time.Duration, 0, len(tails))
+		var steady time.Duration
+		tokens := 0
+		identical := true
+		if hashes == nil {
+			hashes = make([]uint64, len(tails))
+		}
+		for i := range tails {
+			var sess *serve.Session
+			t0 := time.Now()
+			if acq != nil {
+				ws, _, err := acq.Acquire(prefixBytes)
+				if err != nil {
+					panic("experiments: prefix: " + err.Error())
+				}
+				sess = ws
+			} else {
+				sess = pool.Acquire()
+				if err := sess.AcceptBytes(prefixBytes); err != nil {
+					panic("experiments: prefix: " + err.Error())
+				}
+				sess.Fill()
+			}
+			firstMask = append(firstMask, time.Since(t0))
+			var h uint64
+			maskFingerprint(&h, sess.Mask())
+			t1 := time.Now()
+			for _, id := range tailIDs[i] {
+				if err := sess.Accept(id); err != nil {
+					panic("experiments: prefix: " + err.Error())
+				}
+				if sess.IsTerminated() {
+					break
+				}
+				sess.Fill()
+				tokens++
+				maskFingerprint(&h, sess.Mask())
+			}
+			steady += time.Since(t1)
+			if check && h != hashes[i] {
+				identical = false
+			}
+			hashes[i] = h
+			sess.Close()
+		}
+		res := PrefixResult{
+			Requests:       len(tails),
+			PrefixBytes:    len(prefix),
+			FirstMaskP50US: durPercentile(firstMask, 0.50),
+			FirstMaskP99US: durPercentile(firstMask, 0.99),
+			ByteIdentical:  identical,
+		}
+		if steady > 0 {
+			res.TokensPerSec = float64(tokens) / steady.Seconds()
+		}
+		return res, hashes
+	}
+
+	coldPool := serve.NewSessionPool(p, cache, tok, 0)
+	cold, hashes := run(nil, coldPool, nil, false)
+	cold.Experiment = "cold replay"
+	cold.Mode = "cold"
+
+	warmPool := serve.NewSessionPool(p, cache, tok, 0)
+	pc := prefixcache.New(4 << 20)
+	acq := serve.NewAcquirer(warmPool, pc, "prefix-bench", 0, 0)
+	warm, _ := run(acq, warmPool, hashes, true)
+	warm.Experiment = "warm acquisition"
+	warm.Mode = "warm"
+	st := pc.Stats()
+	warm.HitRate = st.HitRate()
+	as := acq.Stats()
+	warm.BytesReused = as.BytesReused
+	warm.BytesReplayed = as.BytesReplayed
+
+	s.prefixResults = []PrefixResult{cold, warm}
+	return s.prefixResults
+}
+
+// Prefix renders the prefix-cache benchmark as an experiment table.
+func (s *Suite) Prefix() *Table {
+	t := &Table{
+		ID:    "prefix",
+		Title: "Cross-request constraint-state prefix cache (templated-workload warm start)",
+		Paper: "templated deployments repeat a long forced prefix per request; warm start restores cached PDA checkpoints instead of replaying it",
+		Header: []string{
+			"mode", "reqs", "prefix B", "first-mask p50 us", "first-mask p99 us",
+			"tok/s", "hit rate", "reused B", "replayed B", "identical",
+		},
+	}
+	for _, r := range s.PrefixBench() {
+		t.Add(
+			r.Mode,
+			fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%d", r.PrefixBytes),
+			fmt.Sprintf("%.1f", r.FirstMaskP50US),
+			fmt.Sprintf("%.1f", r.FirstMaskP99US),
+			fmt.Sprintf("%.0f", r.TokensPerSec),
+			fmt.Sprintf("%.2f", r.HitRate),
+			fmt.Sprintf("%d", r.BytesReused),
+			fmt.Sprintf("%d", r.BytesReplayed),
+			fmt.Sprintf("%t", r.ByteIdentical),
+		)
+	}
+	t.Note("first-mask latency spans session acquisition to the first decode-ready mask (checkpoint restore + residual replay + fill)")
+	t.Note("byte identity: every warm mask (first and per tail token) fingerprint-matched the cold run, so any sampler decodes the same bytes")
+	return t
+}

@@ -77,6 +77,7 @@ func (s *Suite) All() []*Table {
 		s.Tags(),
 		s.Backend(),
 		s.Obs(),
+		s.Prefix(),
 	}
 }
 
@@ -115,6 +116,8 @@ func (s *Suite) ByID(id string) (*Table, bool) {
 		return s.Backend(), true
 	case "obs":
 		return s.Obs(), true
+	case "prefix":
+		return s.Prefix(), true
 	}
 	return nil, false
 }

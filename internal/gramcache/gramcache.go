@@ -52,6 +52,7 @@ type Cache[V any] struct {
 	ll       *list.List // front = most recently used
 	flights  map[string]*flight[V]
 	stats    Stats
+	onEvict  func(key string, val V)
 }
 
 // New returns a cache that holds at most maxBytes of cached values (as
@@ -78,6 +79,24 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	}
 	var zero V
 	return zero, false
+}
+
+// SetOnEvict registers fn to be called (outside the cache lock, after the
+// eviction took effect) for every entry dropped by LRU pressure or Purge —
+// the hook dependent caches key off: evicting a compiled grammar must also
+// invalidate any warm-start state derived from it. Not safe to change
+// concurrently with cache use; set it once at construction time.
+func (c *Cache[V]) SetOnEvict(fn func(key string, val V)) { c.onEvict = fn }
+
+// notifyEvicted runs the eviction hook for each dropped entry. Must be
+// called without holding c.mu.
+func (c *Cache[V]) notifyEvicted(dropped []*entry[V]) {
+	if c.onEvict == nil {
+		return
+	}
+	for _, e := range dropped {
+		c.onEvict(e.key, e.val)
+	}
 }
 
 // GetOrBuild returns the value for key, running build at most once across
@@ -117,11 +136,13 @@ func (c *Cache[V]) GetOrBuild(key string, build func() (V, int64, error)) (V, er
 
 	c.mu.Lock()
 	delete(c.flights, key)
+	var dropped []*entry[V]
 	if fl.err == nil {
 		c.stats.Builds++
-		c.insertLocked(key, fl.val, size)
+		dropped = c.insertLocked(key, fl.val, size)
 	}
 	c.mu.Unlock()
+	c.notifyEvicted(dropped)
 	close(fl.done)
 	if panicked != nil {
 		panic(panicked)
@@ -130,8 +151,9 @@ func (c *Cache[V]) GetOrBuild(key string, build func() (V, int64, error)) (V, er
 }
 
 // insertLocked adds the entry and evicts from the LRU tail until the budget
-// holds (never evicting the entry just inserted).
-func (c *Cache[V]) insertLocked(key string, val V, size int64) {
+// holds (never evicting the entry just inserted). It returns the evicted
+// entries so the caller can run the eviction hook after unlocking.
+func (c *Cache[V]) insertLocked(key string, val V, size int64) (dropped []*entry[V]) {
 	if e, ok := c.entries[key]; ok {
 		// A racing Purge plus rebuild could, in principle, re-insert; keep
 		// the newest value and adjust the accounting.
@@ -157,7 +179,9 @@ func (c *Cache[V]) insertLocked(key string, val V, size int64) {
 		delete(c.entries, ev.key)
 		c.curBytes -= ev.size
 		c.stats.Evictions++
+		dropped = append(dropped, ev)
 	}
+	return dropped
 }
 
 // Put inserts (or replaces) a prebuilt value of the given byte size,
@@ -166,18 +190,24 @@ func (c *Cache[V]) insertLocked(key string, val V, size int64) {
 // function. Put does not touch the hit/miss counters.
 func (c *Cache[V]) Put(key string, val V, size int64) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.insertLocked(key, val, size)
+	dropped := c.insertLocked(key, val, size)
+	c.mu.Unlock()
+	c.notifyEvicted(dropped)
 }
 
 // Purge drops every cached entry (in-flight builds are unaffected and will
-// insert when they finish).
+// insert when they finish). The eviction hook runs for every entry dropped.
 func (c *Cache[V]) Purge() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var dropped []*entry[V]
+	for _, e := range c.entries {
+		dropped = append(dropped, e)
+	}
 	c.entries = map[string]*entry[V]{}
 	c.ll.Init()
 	c.curBytes = 0
+	c.mu.Unlock()
+	c.notifyEvicted(dropped)
 }
 
 // Len returns the number of cached entries.

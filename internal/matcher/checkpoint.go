@@ -1,0 +1,94 @@
+package matcher
+
+import "xgrammar/internal/pstack"
+
+// Checkpoint is a portable, immutable snapshot of a matcher position: every
+// nondeterministic state's automaton node plus its full stack contents,
+// flattened out of the persistent stack tree into plain int32 arrays.
+//
+// Fork shares the parent's executor — the stack tree and set freelists are
+// single-goroutine state — so a fork can only be used from the goroutine
+// driving its parent. A Checkpoint is the cross-goroutine complement: it
+// references no executor at all, so it can be published in a cross-request
+// cache and restored into any session compiled from the same automaton, on
+// any goroutine. Conceptually Restore(cp) is a Fork made portable: the
+// restored matcher sits at the captured position with an empty rollback
+// history, exactly like a fork, and evolves independently from then on.
+//
+// Restore cost is O(total stack depth) — each frame is re-interned with
+// Tree.Push, so restored stacks share paths with whatever the target tree
+// already holds — versus O(prefix bytes × closure) for replaying the bytes
+// that led here.
+type Checkpoint struct {
+	// nodes[i] is state i's automaton node.
+	nodes []int32
+	// frames holds every state's stack contents bottom→top, concatenated.
+	frames []int32
+	// off[i]..off[i+1] bounds state i's frames; len(off) == len(nodes)+1.
+	off []int32
+}
+
+// Checkpoint captures the matcher's current (closed) state set as a portable
+// snapshot. The matcher is not modified.
+func (m *Matcher) Checkpoint() *Checkpoint {
+	t := m.exec.Tree
+	total := 0
+	for _, s := range m.cur {
+		total += t.Depth(s.Stack)
+	}
+	cp := &Checkpoint{
+		nodes:  make([]int32, len(m.cur)),
+		frames: make([]int32, total),
+		off:    make([]int32, len(m.cur)+1),
+	}
+	pos := 0
+	for i, s := range m.cur {
+		cp.nodes[i] = s.Node
+		d := t.Depth(s.Stack)
+		for j, st := pos+d-1, s.Stack; j >= pos; j-- {
+			cp.frames[j] = t.Top(st)
+			st = t.Parent(st)
+		}
+		pos += d
+		cp.off[i+1] = int32(pos)
+	}
+	return cp
+}
+
+// Restore positions the matcher at cp, clearing the rollback history (the
+// checkpoint records a position, not the steps that led to it — like a fork,
+// a restored matcher cannot undo steps taken before the capture). The
+// matcher must execute the same compiled automaton the checkpoint was
+// captured from; stacks are rebuilt by re-interning each frame into the
+// matcher's own tree, so restoring never touches the capturing session.
+func (m *Matcher) Restore(cp *Checkpoint) {
+	m.exec.RecycleSet(m.cur)
+	for _, h := range m.hist {
+		m.exec.RecycleSet(h)
+	}
+	m.hist = m.hist[:0]
+	t := m.exec.Tree
+	set := m.exec.GetSet()
+	for i, node := range cp.nodes {
+		st := pstack.Empty
+		for _, val := range cp.frames[cp.off[i]:cp.off[i+1]] {
+			ns := t.Push(st, val)
+			// Push gave ns its own reference to st; drop ours so the final
+			// node carries the set's single owned reference per state.
+			t.Release(st)
+			st = ns
+		}
+		set = append(set, State{Stack: st, Node: node})
+	}
+	// The captured set was closed; no Closure pass is needed.
+	m.cur = set
+}
+
+// NumStates returns the number of parallel states in the snapshot.
+func (c *Checkpoint) NumStates() int { return len(c.nodes) }
+
+// SizeBytes estimates the snapshot's heap footprint, for byte-budget caches.
+func (c *Checkpoint) SizeBytes() int64 {
+	const header = 3*24 + 8 // three slice headers plus the pointer
+	return int64(4*(len(c.nodes)+len(c.frames)+len(c.off))) + header
+}

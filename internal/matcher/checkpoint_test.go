@@ -1,0 +1,141 @@
+package matcher
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"xgrammar/internal/pda"
+)
+
+// fingerprint renders a matcher's current state set in a tree-independent,
+// order-independent form: each state's node plus its materialized stack
+// values. Two matchers over different trees compare equal iff they are at
+// the same grammar position.
+func fingerprint(m *Matcher) []string {
+	t := m.exec.Tree
+	out := make([]string, 0, len(m.cur))
+	for _, s := range m.cur {
+		out = append(out, fmt.Sprintf("n%d/%v", s.Node, t.Values(s.Stack)))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalFingerprints(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCheckpointRestoreRoundTrip checkpoints a matcher mid-input, restores
+// into a matcher over a completely fresh executor, and checks the restored
+// matcher is at the same grammar position and accepts the same suffixes.
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	inputs := []struct {
+		prefix, suffix string
+	}{
+		{`{"a": [1, 2`, `, {"b": null}]}`},
+		{`[true, "x`, `yz", -1.5e3]`},
+		{`{"k": {"nested": ["deep`, `"]}}`},
+		{``, `{"whole": 1}`},
+	}
+	for _, in := range inputs {
+		src := jsonMatcher(t, pda.Options{})
+		if !acceptAll(src, in.prefix) {
+			t.Fatalf("prefix %q rejected", in.prefix)
+		}
+		cp := src.Checkpoint()
+
+		dst := jsonMatcher(t, pda.Options{}) // fresh exec, fresh tree
+		if !acceptAll(dst, `["decoy", {"other": 1`) {
+			t.Fatal("decoy rejected") // pre-populate the target tree
+		}
+		dst.Restore(cp)
+
+		if got, want := fingerprint(dst), fingerprint(src); !equalFingerprints(got, want) {
+			t.Fatalf("prefix %q: restored fingerprint %v != source %v", in.prefix, got, want)
+		}
+		if dst.HistoryLen() != 0 {
+			t.Fatalf("restored matcher has history %d, want 0", dst.HistoryLen())
+		}
+		if dst.JumpForward() != src.JumpForward() {
+			t.Fatalf("prefix %q: jump-forward diverges", in.prefix)
+		}
+		if !acceptAll(dst, in.suffix) {
+			t.Fatalf("prefix %q: restored matcher rejects suffix %q", in.prefix, in.suffix)
+		}
+		if !acceptAll(src, in.suffix) {
+			t.Fatalf("prefix %q: source matcher rejects suffix %q", in.prefix, in.suffix)
+		}
+		if !dst.CanTerminate() || !src.CanTerminate() {
+			t.Fatalf("prefix %q: termination diverges after suffix", in.prefix)
+		}
+	}
+}
+
+// TestCheckpointIsImmutable confirms the capturing matcher can advance, roll
+// back, and be released without invalidating an outstanding checkpoint.
+func TestCheckpointIsImmutable(t *testing.T) {
+	src := jsonMatcher(t, pda.Options{})
+	if !acceptAll(src, `{"a": [`) {
+		t.Fatal("prefix rejected")
+	}
+	cp := src.Checkpoint()
+	want := fingerprint(src)
+	if !acceptAll(src, `1, 2]}`) {
+		t.Fatal("suffix rejected")
+	}
+	src.Release() // discard the capturing matcher entirely
+
+	dst := jsonMatcher(t, pda.Options{})
+	dst.Restore(cp)
+	if got := fingerprint(dst); !equalFingerprints(got, want) {
+		t.Fatalf("restored fingerprint %v != captured %v", got, want)
+	}
+	if !acceptAll(dst, `"x"]}`) {
+		t.Fatal("restored matcher rejects continuation")
+	}
+}
+
+// TestRestoreReleasesPriorState checks restore recycles the target's prior
+// stacks: after restoring and then releasing, the tree holds no live nodes.
+func TestRestoreReleasesPriorState(t *testing.T) {
+	src := jsonMatcher(t, pda.Options{})
+	if !acceptAll(src, `{"key": [[["v`) {
+		t.Fatal("prefix rejected")
+	}
+	cp := src.Checkpoint()
+
+	dst := jsonMatcher(t, pda.Options{})
+	if !acceptAll(dst, `{"other": {"deep": [`) {
+		t.Fatal("decoy rejected")
+	}
+	dst.Restore(cp)
+	dst.Restore(cp) // idempotent: restoring twice must not leak or over-release
+	dst.Release()
+	if n := dst.exec.Tree.Len(); n != 0 {
+		t.Fatalf("tree has %d live nodes after release, want 0", n)
+	}
+}
+
+// TestCheckpointSize sanity-checks the byte estimate scales with state count.
+func TestCheckpointSize(t *testing.T) {
+	m := jsonMatcher(t, pda.Options{})
+	if !acceptAll(m, `{"a": {"b": {"c": [`) {
+		t.Fatal("prefix rejected")
+	}
+	cp := m.Checkpoint()
+	if cp.NumStates() != len(m.cur) {
+		t.Fatalf("NumStates %d != %d", cp.NumStates(), len(m.cur))
+	}
+	if cp.SizeBytes() < int64(4*cp.NumStates()) {
+		t.Fatalf("SizeBytes %d implausibly small", cp.SizeBytes())
+	}
+}

@@ -41,6 +41,10 @@ const (
 	StageResolve
 	// StageCompile is grammar resolution that ran a real compile.
 	StageCompile
+	// StagePrefixLookup is the warm-start acquisition span: prefix-cache
+	// radix lookup, checkpoint restore, and residual-byte replay, up to the
+	// session's first mask being current.
+	StagePrefixLookup
 	// StageQueue is the time from batcher submission to the request's first
 	// inclusion in a decode round.
 	StageQueue
@@ -67,8 +71,9 @@ const (
 )
 
 var stageNames = [numStages]string{
-	"admission", "resolve", "compile", "queue", "accept", "jump_forward",
-	"fill", "backend", "backend_attempt", "stream", "tag_segment", "total",
+	"admission", "resolve", "compile", "prefix_lookup", "queue", "accept",
+	"jump_forward", "fill", "backend", "backend_attempt", "stream",
+	"tag_segment", "total",
 }
 
 // String returns the stage's wire name (label value and JSON key).

@@ -1,0 +1,412 @@
+// Package prefixcache lifts the paper's per-grammar mask precomputation
+// (§3.1) to per-workload scope: a concurrency-safe radix tree keyed by
+// (grammar ID, accepted byte prefix) whose nodes hold portable matcher
+// checkpoints plus the token mask the serving path already computed at that
+// position. Templated traffic — thousands of requests sharing one grammar
+// and one forced prefix — warm-starts from the deepest cached checkpoint and
+// replays only the residual bytes instead of the whole prefix.
+//
+// The cache is byte-budgeted with logical-clock LRU eviction, publication is
+// singleflighted (Reserve claims a key before the expensive capture so
+// concurrent sessions never duplicate the work), and the lookup hot path is
+// allocation- and clock-free (`//xg:hotpath`, xglint-clean): a read-locked
+// radix descent plus two atomic touches.
+package prefixcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"xgrammar/internal/maskcache"
+	"xgrammar/internal/matcher"
+)
+
+// entryOverhead approximates the fixed per-entry bookkeeping (radix node,
+// entry struct, slice headers) charged against the byte budget.
+const entryOverhead = 160
+
+// Entry is one published cache node: a portable checkpoint at a byte prefix,
+// optionally with the memoized allowed-token mask at that position. Entries
+// are immutable once published; readers may hold them after eviction.
+type Entry struct {
+	cp      *matcher.Checkpoint
+	mask    []uint64
+	stats   maskcache.FillStats
+	hasMask bool
+	size    int64
+	// ready flips true at publication; lookups skip reserved-but-unbuilt
+	// entries without taking the write lock.
+	ready atomic.Bool
+	// stamp is the logical-clock LRU timestamp (no wall clock on the hot
+	// path), refreshed by every lookup hit.
+	stamp atomic.Int64
+}
+
+// Checkpoint returns the entry's portable matcher snapshot.
+func (e *Entry) Checkpoint() *matcher.Checkpoint { return e.cp }
+
+// Mask returns the memoized allowed-token mask captured at the entry's
+// prefix and its fill statistics; ok is false when the entry was published
+// without a mask (an intermediate-depth checkpoint).
+func (e *Entry) Mask() (mask []uint64, stats maskcache.FillStats, ok bool) {
+	return e.mask, e.stats, e.hasMask
+}
+
+// tnode is one radix-tree node. The path from the root spells the byte
+// prefix; edges are label-compressed.
+type tnode struct {
+	label    []byte
+	parent   *tnode
+	children []*tnode
+	entry    *Entry
+	depth    int // byte length of the prefix this node spells
+}
+
+func (n *tnode) child(b byte) *tnode {
+	for _, c := range n.children {
+		if c.label[0] == b {
+			return c
+		}
+	}
+	return nil
+}
+
+func (n *tnode) removeChild(c *tnode) {
+	for i, x := range n.children {
+		if x == c {
+			n.children[i] = n.children[len(n.children)-1]
+			n.children = n.children[:len(n.children)-1]
+			return
+		}
+	}
+}
+
+// Cache is the cross-request constraint-state prefix cache. The zero value
+// is not usable; construct with New. A nil *Cache is a valid disabled cache:
+// Lookup misses and Reserve declines.
+type Cache struct {
+	mu      sync.RWMutex
+	roots   map[string]*tnode
+	nodes   []*tnode // nodes with an entry (published or pending), for eviction scans
+	budget  int64
+	bytes   int64
+	entries int
+
+	clock        atomic.Int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	evictions    atomic.Int64
+	evictedBytes atomic.Int64
+}
+
+// New returns a cache with the given byte budget. A budget <= 0 returns nil:
+// the disabled cache.
+func New(budget int64) *Cache {
+	if budget <= 0 {
+		return nil
+	}
+	return &Cache{roots: make(map[string]*tnode), budget: budget}
+}
+
+// Lookup returns the deepest published entry whose key is a prefix of
+// prefix (and the byte depth of that key), or nil on a miss. The hit's LRU
+// stamp is refreshed. Allocation- and clock-free.
+//
+//xg:hotpath
+func (c *Cache) Lookup(grammarID string, prefix []byte) (*Entry, int) {
+	if c == nil {
+		return nil, 0
+	}
+	var best *Entry
+	bestDepth := 0
+	c.mu.RLock()
+	n := c.roots[grammarID]
+	depth := 0
+	for n != nil {
+		if n.entry != nil && n.entry.ready.Load() {
+			best = n.entry
+			bestDepth = depth
+		}
+		if depth == len(prefix) {
+			break
+		}
+		child := n.child(prefix[depth])
+		if child == nil || len(prefix)-depth < len(child.label) || !labelMatches(child.label, prefix[depth:]) {
+			break
+		}
+		depth += len(child.label)
+		n = child
+	}
+	c.mu.RUnlock()
+	if best == nil {
+		c.misses.Add(1)
+		return nil, 0
+	}
+	best.stamp.Store(c.clock.Add(1))
+	c.hits.Add(1)
+	return best, bestDepth
+}
+
+// labelMatches reports whether s begins with label; len(s) >= len(label)
+// must hold (checked by the caller).
+func labelMatches(label, s []byte) bool {
+	for i, b := range label {
+		if s[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Reserve claims (grammarID, prefix) for publication. It returns true when
+// the caller won the claim and must eventually Publish or Abandon the key;
+// false when an entry (published or pending) already exists — the
+// singleflight: concurrent sessions replaying the same prefix capture its
+// checkpoint exactly once.
+func (c *Cache) Reserve(grammarID string, prefix []byte) bool {
+	if c == nil || len(prefix) == 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	root := c.roots[grammarID]
+	if root == nil {
+		root = &tnode{}
+		c.roots[grammarID] = root
+	}
+	n := c.insertLocked(root, prefix)
+	if n.entry != nil {
+		return false
+	}
+	n.entry = &Entry{}
+	c.nodes = append(c.nodes, n)
+	return true
+}
+
+// insertLocked descends from root creating (and splitting) nodes so a node
+// spelling exactly key exists, and returns it.
+func (c *Cache) insertLocked(root *tnode, key []byte) *tnode {
+	n := root
+	depth := 0
+	for depth < len(key) {
+		rest := key[depth:]
+		child := n.child(rest[0])
+		if child == nil {
+			nc := &tnode{label: append([]byte(nil), rest...), parent: n, depth: depth + len(rest)}
+			n.children = append(n.children, nc)
+			return nc
+		}
+		common := 0
+		for common < len(child.label) && common < len(rest) && child.label[common] == rest[common] {
+			common++
+		}
+		if common < len(child.label) {
+			// Split child: a new interior node spells key[:depth+common].
+			mid := &tnode{
+				label:  append([]byte(nil), child.label[:common]...),
+				parent: n,
+				depth:  n.depth + common,
+			}
+			child.label = append([]byte(nil), child.label[common:]...)
+			child.parent = mid
+			mid.children = append(mid.children, child)
+			n.removeChild(child)
+			n.children = append(n.children, mid)
+			child = mid
+		}
+		n = child
+		depth = n.depth
+	}
+	return n
+}
+
+// Publish installs the checkpoint (and, when mask is non-nil, a copy of the
+// memoized allowed-token mask) under a key previously claimed by Reserve,
+// then evicts least-recently-used entries beyond the byte budget. Publishing
+// an unreserved or already-published key is a no-op.
+func (c *Cache) Publish(grammarID string, prefix []byte, cp *matcher.Checkpoint, mask []uint64, stats maskcache.FillStats) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.findLocked(grammarID, prefix)
+	if n == nil || n.entry == nil || n.entry.ready.Load() {
+		return
+	}
+	e := n.entry
+	e.cp = cp
+	if mask != nil {
+		e.mask = append([]uint64(nil), mask...)
+		e.stats = stats
+		e.hasMask = true
+	}
+	e.size = entryOverhead + int64(len(prefix)) + 8*int64(len(e.mask))
+	if cp != nil {
+		e.size += cp.SizeBytes()
+	}
+	e.stamp.Store(c.clock.Add(1))
+	e.ready.Store(true)
+	c.bytes += e.size
+	c.entries++
+	c.evictLocked(n)
+}
+
+// Abandon drops an unfulfilled reservation so another session can claim the
+// key. Abandoning a published or unknown key is a no-op.
+func (c *Cache) Abandon(grammarID string, prefix []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.findLocked(grammarID, prefix)
+	if n == nil || n.entry == nil || n.entry.ready.Load() {
+		return
+	}
+	c.dropLocked(n)
+}
+
+// findLocked returns the node spelling exactly key, or nil.
+func (c *Cache) findLocked(grammarID string, key []byte) *tnode {
+	n := c.roots[grammarID]
+	depth := 0
+	for n != nil {
+		if depth == len(key) {
+			return n
+		}
+		child := n.child(key[depth])
+		if child == nil || len(key)-depth < len(child.label) || !labelMatches(child.label, key[depth:]) {
+			return nil
+		}
+		depth += len(child.label)
+		n = child
+	}
+	return nil
+}
+
+// evictLocked drops least-recently-used published entries until the budget
+// holds, never evicting keep (the entry just published).
+func (c *Cache) evictLocked(keep *tnode) {
+	for c.bytes > c.budget {
+		var victim *tnode
+		var victimStamp int64
+		for _, n := range c.nodes {
+			if n == keep || n.entry == nil || !n.entry.ready.Load() {
+				continue
+			}
+			if st := n.entry.stamp.Load(); victim == nil || st < victimStamp {
+				victim, victimStamp = n, st
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c.evictions.Add(1)
+		c.evictedBytes.Add(victim.entry.size)
+		c.dropLocked(victim)
+	}
+}
+
+// dropLocked removes n's entry, un-accounts its bytes, and prunes now-empty
+// radix branches.
+func (c *Cache) dropLocked(n *tnode) {
+	if n.entry.ready.Load() {
+		c.bytes -= n.entry.size
+		c.entries--
+	}
+	n.entry = nil
+	for i, x := range c.nodes {
+		if x == n {
+			c.nodes[i] = c.nodes[len(c.nodes)-1]
+			c.nodes = c.nodes[:len(c.nodes)-1]
+			break
+		}
+	}
+	for n != nil && n.parent != nil && n.entry == nil && len(n.children) == 0 {
+		p := n.parent
+		p.removeChild(n)
+		n = p
+	}
+}
+
+// InvalidateGrammar removes every entry under grammarID — called when the
+// compiled grammar is evicted from its own LRU, so a recompiled grammar
+// (same content-addressed ID, but possibly a different automaton build)
+// never restores stale checkpoints. It returns the number of bytes dropped.
+func (c *Cache) InvalidateGrammar(grammarID string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	root := c.roots[grammarID]
+	if root == nil {
+		return 0
+	}
+	delete(c.roots, grammarID)
+	var dropped int64
+	kept := c.nodes[:0]
+	for _, n := range c.nodes {
+		r := n
+		for r.parent != nil {
+			r = r.parent
+		}
+		if r != root {
+			kept = append(kept, n)
+			continue
+		}
+		if n.entry != nil && n.entry.ready.Load() {
+			dropped += n.entry.size
+			c.bytes -= n.entry.size
+			c.entries--
+			c.evictions.Add(1)
+			c.evictedBytes.Add(n.entry.size)
+		}
+		n.entry = nil
+	}
+	c.nodes = kept
+	return dropped
+}
+
+// Stats is a point-in-time snapshot of cache activity.
+type Stats struct {
+	// Hits and Misses count Lookup outcomes (a hit at any depth counts).
+	Hits, Misses int64
+	// Evictions counts entries dropped for budget or grammar invalidation;
+	// EvictedBytes sums their sizes.
+	Evictions    int64
+	EvictedBytes int64
+	// Entries and Bytes describe current occupancy against MaxBytes.
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+}
+
+// Stats returns a snapshot of the cache counters. Safe on a nil cache.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.RLock()
+	entries, bytes, budget := c.entries, c.bytes, c.budget
+	c.mu.RUnlock()
+	return Stats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Evictions:    c.evictions.Load(),
+		EvictedBytes: c.evictedBytes.Load(),
+		Entries:      entries,
+		Bytes:        bytes,
+		MaxBytes:     budget,
+	}
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookups.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

@@ -1,0 +1,261 @@
+package prefixcache
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"xgrammar/internal/maskcache"
+)
+
+// publish reserves and immediately publishes key with a small mask, skipping
+// the capture phase real sessions go through.
+func publish(t testing.TB, c *Cache, grammar, key string) bool {
+	t.Helper()
+	if !c.Reserve(grammar, []byte(key)) {
+		return false
+	}
+	c.Publish(grammar, []byte(key), nil, []uint64{uint64(len(key))}, maskcache.FillStats{})
+	return true
+}
+
+func TestLookupDeepestPrefix(t *testing.T) {
+	c := New(1 << 20)
+	for _, k := range []string{`{"name": "`, `{"name": "alice", "age": `, `{"id": `} {
+		if !publish(t, c, "g1", k) {
+			t.Fatalf("publish %q failed", k)
+		}
+	}
+	cases := []struct {
+		query string
+		depth int
+	}{
+		{`{"name": "alice", "age": 42}`, len(`{"name": "alice", "age": `)},
+		{`{"name": "bob"}`, len(`{"name": "`)},
+		{`{"id": 7}`, len(`{"id": `)},
+		{`{"nam`, 0},
+		{`[1, 2]`, 0},
+		{`{"name": "`, len(`{"name": "`)}, // exact
+	}
+	for _, tc := range cases {
+		e, depth := c.Lookup("g1", []byte(tc.query))
+		if tc.depth == 0 {
+			if e != nil {
+				t.Fatalf("query %q: unexpected hit at depth %d", tc.query, depth)
+			}
+			continue
+		}
+		if e == nil || depth != tc.depth {
+			t.Fatalf("query %q: got depth %d, want %d", tc.query, depth, tc.depth)
+		}
+		if mask, _, ok := e.Mask(); !ok || mask[0] != uint64(tc.depth) {
+			t.Fatalf("query %q: wrong entry mask %v", tc.query, mask)
+		}
+	}
+	// Other grammars never cross-hit.
+	if e, _ := c.Lookup("g2", []byte(`{"name": "alice"`)); e != nil {
+		t.Fatal("cross-grammar hit")
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestReserveSingleflight(t *testing.T) {
+	c := New(1 << 20)
+	if !c.Reserve("g", []byte("abc")) {
+		t.Fatal("first reserve failed")
+	}
+	if c.Reserve("g", []byte("abc")) {
+		t.Fatal("second reserve won a claimed key")
+	}
+	// Pending (reserved, unpublished) entries are invisible to Lookup.
+	if e, _ := c.Lookup("g", []byte("abcdef")); e != nil {
+		t.Fatal("lookup returned a pending entry")
+	}
+	c.Publish("g", []byte("abc"), nil, nil, maskcache.FillStats{})
+	if e, d := c.Lookup("g", []byte("abcdef")); e == nil || d != 3 {
+		t.Fatalf("published entry not found (depth %d)", d)
+	}
+	if c.Reserve("g", []byte("abc")) {
+		t.Fatal("reserve won a published key")
+	}
+	// Abandon releases the claim for someone else.
+	if !c.Reserve("g", []byte("xy")) {
+		t.Fatal("reserve xy failed")
+	}
+	c.Abandon("g", []byte("xy"))
+	if !c.Reserve("g", []byte("xy")) {
+		t.Fatal("reserve after abandon failed")
+	}
+}
+
+func TestBudgetEvictsLRU(t *testing.T) {
+	c := New(520) // room for exactly three of this test's 172-byte entries
+	keys := []string{"aaaa", "bbbb", "cccc"}
+	for _, k := range keys {
+		publish(t, c, "g", k)
+	}
+	// Touch aaaa and cccc so bbbb is the LRU victim.
+	for _, k := range []string{"aaaa", "cccc"} {
+		if e, _ := c.Lookup("g", []byte(k+"...")); e == nil {
+			t.Fatalf("lookup %q missed", k)
+		}
+	}
+	publish(t, c, "g", "dddd")
+	if e, _ := c.Lookup("g", []byte("bbbb...")); e != nil {
+		t.Fatal("LRU victim bbbb still present")
+	}
+	for _, k := range []string{"aaaa", "cccc", "dddd"} {
+		if e, _ := c.Lookup("g", []byte(k+"...")); e == nil {
+			t.Fatalf("%q evicted unexpectedly", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 || st.EvictedBytes == 0 {
+		t.Fatalf("eviction counters not bumped: %+v", st)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d over budget %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+func TestInvalidateGrammar(t *testing.T) {
+	c := New(1 << 20)
+	publish(t, c, "g1", "aaa")
+	publish(t, c, "g1", "aaabbb")
+	publish(t, c, "g2", "aaa")
+	if dropped := c.InvalidateGrammar("g1"); dropped <= 0 {
+		t.Fatal("invalidate dropped nothing")
+	}
+	if e, _ := c.Lookup("g1", []byte("aaabbbccc")); e != nil {
+		t.Fatal("g1 entry survived invalidation")
+	}
+	if e, _ := c.Lookup("g2", []byte("aaaxxx")); e == nil {
+		t.Fatal("g2 entry lost")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries %d after invalidate, want 1", st.Entries)
+	}
+	// Republishing under the invalidated grammar works.
+	if !publish(t, c, "g1", "aaa") {
+		t.Fatal("republish after invalidate failed")
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if e, _ := c.Lookup("g", []byte("abc")); e != nil {
+		t.Fatal("nil cache hit")
+	}
+	if c.Reserve("g", []byte("abc")) {
+		t.Fatal("nil cache reserved")
+	}
+	c.Publish("g", []byte("abc"), nil, nil, maskcache.FillStats{})
+	c.Abandon("g", []byte("abc"))
+	c.InvalidateGrammar("g")
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats %+v", st)
+	}
+	if New(0) != nil || New(-1) != nil {
+		t.Fatal("New with no budget should return the nil disabled cache")
+	}
+}
+
+// TestConcurrentAcquireReleaseEvict hammers lookup, reserve/publish/abandon,
+// and grammar invalidation from many goroutines; run under -race.
+func TestConcurrentAcquireReleaseEvict(t *testing.T) {
+	c := New(8 << 10) // small budget so eviction churns constantly
+	grammars := []string{"g0", "g1", "g2"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				g := grammars[rng.Intn(len(grammars))]
+				key := []byte(strings.Repeat("ab", 1+rng.Intn(20)) + fmt.Sprint(rng.Intn(8)))
+				switch rng.Intn(10) {
+				case 0:
+					c.InvalidateGrammar(g)
+				case 1, 2:
+					if c.Reserve(g, key) {
+						if rng.Intn(4) == 0 {
+							c.Abandon(g, key)
+						} else {
+							c.Publish(g, key, nil, []uint64{1, 2, 3}, maskcache.FillStats{})
+						}
+					}
+				default:
+					if e, depth := c.Lookup(g, key); e != nil {
+						if depth <= 0 || depth > len(key) {
+							panic("bad depth")
+						}
+						e.Mask()
+						e.Checkpoint()
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d over budget %d after churn", st.Bytes, st.MaxBytes)
+	}
+	if st.Entries < 0 || st.Bytes < 0 {
+		t.Fatalf("negative occupancy: %+v", st)
+	}
+}
+
+// FuzzRadixVsMap cross-checks radix insert/lookup against a naive map
+// reference: the deepest published key that prefixes the query.
+func FuzzRadixVsMap(f *testing.F) {
+	f.Add([]byte(`{"name": "|{"name": "al|{"id|{"name": "alice"`), byte(3))
+	f.Add([]byte("a|ab|abc|abd|b|query"), byte(5))
+	f.Add([]byte("||x"), byte(1))
+	f.Fuzz(func(t *testing.T, data []byte, nkeys byte) {
+		parts := strings.Split(string(data), "|")
+		if len(parts) < 2 {
+			return
+		}
+		query := []byte(parts[len(parts)-1])
+		keys := parts[:len(parts)-1]
+		if int(nkeys) < len(keys) {
+			keys = keys[:nkeys]
+		}
+		c := New(1 << 20)
+		ref := map[string]bool{}
+		for _, k := range keys {
+			if k == "" {
+				continue
+			}
+			if c.Reserve("g", []byte(k)) {
+				c.Publish("g", []byte(k), nil, nil, maskcache.FillStats{})
+				ref[k] = true
+			} else if !ref[k] {
+				t.Fatalf("reserve %q lost but key not present in reference", k)
+			}
+		}
+		wantDepth := 0
+		for i := 1; i <= len(query); i++ {
+			if ref[string(query[:i])] {
+				wantDepth = i
+			}
+		}
+		e, depth := c.Lookup("g", query)
+		if wantDepth == 0 {
+			if e != nil {
+				t.Fatalf("keys %q query %q: unexpected hit depth %d", keys, query, depth)
+			}
+			return
+		}
+		if e == nil || depth != wantDepth {
+			t.Fatalf("keys %q query %q: got depth %d want %d", keys, query, depth, wantDepth)
+		}
+	})
+}

@@ -66,9 +66,15 @@ func (sp *SessionPool) Acquire() *Session {
 	return s
 }
 
-// Release resets the session and returns it to the pool. The session must
+// Release resets the session and returns it to the pool. When the session
+// was acquired through an Acquirer, checkpoints captured during its replay
+// are published to the prefix cache first (publication rides on release so
+// capture cost never sits on a request's critical path). The session must
 // not be used afterwards.
 func (sp *SessionPool) Release(s *Session) {
+	s.publishPending()
+	s.base = s.base[:0]
+	s.baseSteps = 0
 	s.m.Reset()
 	s.terminated = false
 	s.dirty = true
@@ -124,6 +130,14 @@ type Session struct {
 	dirty      bool
 	lastStats  maskcache.FillStats
 	terminated bool
+	// Warm-start state, set when the session came through an Acquirer: acq
+	// publishes pending checkpoint captures at Release; base/baseSteps
+	// record the prefix the restored checkpoint stands in for, so Rollback
+	// can degrade past the fork point (see Rollback).
+	acq       *Acquirer
+	pending   []pendingPub
+	base      []byte
+	baseSteps int
 }
 
 // Step is the fused per-token hot path: accept the sampled token, probe the
@@ -271,13 +285,25 @@ func (s *Session) JumpForwardAppend(dst []byte) []byte {
 // Rollback undoes the last n Accept/AcceptString calls. Like the matcher's
 // rollback it is atomic: on error (n exceeds the retained history) the
 // session is unchanged.
+//
+// A warm-started session has one extra virtual step below its oldest real
+// checkpoint: the restored prefix itself (a cold session accepts the forced
+// prefix as a single AcceptString step, so parity requires the fork point to
+// be undoable too). Rolling back exactly across it degrades safely to a cold
+// reset — the matcher returns to the grammar start, precisely where the cold
+// session's equivalent rollback would land; the cache is not consulted.
 func (s *Session) Rollback(n int) error {
 	steps := n
 	if s.terminated && steps > 0 {
 		steps-- // undoing the terminating EOS costs no matcher step
 	}
 	if err := s.m.Rollback(steps); err != nil {
-		return err
+		if s.baseSteps == 0 || steps != s.m.HistoryLen()+s.baseSteps {
+			return err
+		}
+		s.m.Reset()
+		s.base = s.base[:0]
+		s.baseSteps = 0
 	}
 	if s.terminated && n > 0 {
 		s.terminated = false

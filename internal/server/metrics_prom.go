@@ -65,6 +65,20 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 	p.Counter("xgserve_store_quarantined_total", "Corrupt or stale blobs moved aside.", float64(st.Quarantined))
 	p.Gauge("xgserve_store_blobs", "Blobs currently in the grammar store.", float64(st.Blobs))
 
+	pm := s.prefixCacheMetrics()
+	p.Counter("xgserve_prefix_cache_hits_total", "Prefix-cache lookups that restored a checkpoint at any depth.", float64(pm.Hits))
+	p.Counter("xgserve_prefix_cache_misses_total", "Prefix-cache lookups with no usable checkpoint.", float64(pm.Misses))
+	p.Counter("xgserve_prefix_cache_evictions_total", "Checkpoint entries evicted for budget or grammar invalidation.", float64(pm.Evictions))
+	p.Counter("xgserve_prefix_cache_evicted_bytes_total", "Bytes released by prefix-cache evictions.", float64(pm.EvictedBytes))
+	p.Gauge("xgserve_prefix_cache_entries", "Checkpoint entries resident in the prefix cache.", float64(pm.Entries))
+	p.Gauge("xgserve_prefix_cache_bytes", "Estimated bytes held by the prefix cache.", float64(pm.Bytes))
+	p.Gauge("xgserve_prefix_cache_max_bytes", "Configured prefix-cache byte budget (0 when disabled).", float64(pm.MaxBytes))
+	p.Counter("xgserve_prefix_acquires_total", "Sessions that joined through the warm-start acquisition layer.", float64(pm.Acquires))
+	p.Counter("xgserve_prefix_warm_starts_total", "Acquisitions that restored a cached checkpoint.", float64(pm.WarmStarts))
+	p.Counter("xgserve_prefix_exact_hits_total", "Acquisitions whose whole forced prefix was cached.", float64(pm.ExactHits))
+	p.Counter("xgserve_prefix_bytes_reused_total", "Forced-prefix bytes skipped via cached checkpoints.", float64(pm.BytesReused))
+	p.Counter("xgserve_prefix_bytes_replayed_total", "Forced-prefix bytes replayed through the matcher.", float64(pm.BytesReplayed))
+
 	tm := s.b.tagMetrics()
 	p.Counter("xgserve_tag_requests_total", "Structural-tag (tool-calling) generate requests.", float64(tm.Requests))
 	p.Counter("xgserve_tag_segments_opened_total", "Constrained tag segments entered.", float64(tm.SegmentsOpened))

@@ -1,0 +1,144 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"xgrammar"
+	"xgrammar/internal/server"
+)
+
+// generateOnce posts one generate request and returns the decoded response.
+func generateOnce(t *testing.T, base string, req server.GenerateRequest) server.GenerateResponse {
+	t.Helper()
+	resp, body := postJSON(t, base+"/v1/generate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate: %d %s", resp.StatusCode, body)
+	}
+	var gen server.GenerateResponse
+	if err := json.Unmarshal(body, &gen); err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// TestPrefixCacheWarmRequests drives the templated-workload path end to end:
+// repeated generations sharing a forced prefix must produce byte-identical
+// output whether the prefix replays cold or warm-starts from a cached
+// checkpoint, and /metrics must account for the hits.
+func TestPrefixCacheWarmRequests(t *testing.T) {
+	warmTS, _, _ := gateway(t, "", false, server.Config{MaxInflight: 8, MaxTokens: 300},
+		xgrammar.WithPrefixCache(1<<20, 0, 0))
+	coldTS, _, _ := gateway(t, "", false, server.Config{MaxInflight: 8, MaxTokens: 300})
+
+	req := server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "json_schema", Source: testSchema},
+		Prefix:         `{"name": "`,
+		Seed:           7,
+	}
+	cold := generateOnce(t, coldTS.URL, req)
+	first := generateOnce(t, warmTS.URL, req)  // cold miss: populates the cache
+	second := generateOnce(t, warmTS.URL, req) // exact hit: checkpoint + memoized mask
+
+	if first.Text != cold.Text {
+		t.Fatalf("warm-capable gateway diverged from cold gateway:\ncold: %q\nwarm: %q", cold.Text, first.Text)
+	}
+	if second.Text != first.Text {
+		t.Fatalf("warm-start output diverged from cold replay:\nfirst:  %q\nsecond: %q", first.Text, second.Text)
+	}
+	if !strings.HasPrefix(first.Text, req.Prefix) {
+		t.Fatalf("output %q does not start with forced prefix %q", first.Text, req.Prefix)
+	}
+	assertValidInstance(t, second.Text)
+
+	m := getMetrics(t, warmTS.URL)
+	pc := m.PrefixCache
+	if !pc.Enabled {
+		t.Fatal("prefix cache not reported enabled")
+	}
+	if pc.Acquires < 2 {
+		t.Fatalf("acquires = %d, want >= 2", pc.Acquires)
+	}
+	if pc.WarmStarts < 1 || pc.ExactHits < 1 || pc.Hits < 1 {
+		t.Fatalf("warm_starts=%d exact_hits=%d hits=%d, want all >= 1", pc.WarmStarts, pc.ExactHits, pc.Hits)
+	}
+	if pc.BytesReused < int64(len(req.Prefix)) {
+		t.Fatalf("bytes_reused = %d, want >= %d", pc.BytesReused, len(req.Prefix))
+	}
+	if pc.Entries == 0 || pc.Bytes == 0 || pc.MaxBytes != 1<<20 {
+		t.Fatalf("occupancy entries=%d bytes=%d max=%d", pc.Entries, pc.Bytes, pc.MaxBytes)
+	}
+
+	// Disabled gateway: sessions still join through the acquisition layer
+	// (cold replay), but the cache itself reports disabled and empty.
+	mc := getMetrics(t, coldTS.URL)
+	if mc.PrefixCache.Enabled || mc.PrefixCache.Hits != 0 || mc.PrefixCache.Entries != 0 ||
+		mc.PrefixCache.WarmStarts != 0 || mc.PrefixCache.BytesReused != 0 {
+		t.Fatalf("cold gateway reports prefix cache activity: %+v", mc.PrefixCache)
+	}
+}
+
+// TestPrefixCacheProm checks the Prometheus rendering carries the
+// prefix-cache families.
+func TestPrefixCacheProm(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{MaxInflight: 4, MaxTokens: 200},
+		xgrammar.WithPrefixCache(1<<20, 0, 0))
+	generateOnce(t, ts.URL, server.GenerateRequest{
+		GrammarRequest: server.GrammarRequest{Kind: "json_schema", Source: testSchema},
+		Prefix:         `{"name": "`,
+		Seed:           3,
+	})
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"xgserve_prefix_cache_hits_total",
+		"xgserve_prefix_cache_misses_total",
+		"xgserve_prefix_cache_evicted_bytes_total",
+		"xgserve_prefix_cache_max_bytes 1.048576e+06",
+		"xgserve_prefix_acquires_total 1",
+		"xgserve_prefix_bytes_replayed_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestPrefixTagSessionsStayCold: structural-tag generations opt out of the
+// warm-start layer but must keep byte-identity for forced prefixes.
+func TestPrefixTagSessionsStayCold(t *testing.T) {
+	ts, _, _ := gateway(t, "", false, server.Config{MaxInflight: 4, MaxTokens: 300},
+		xgrammar.WithPrefixCache(1<<20, 0, 0))
+	req := server.GenerateRequest{
+		StructuralTags: []server.StructuralTagRequest{{
+			Begin:  `<tool_call name="get">`,
+			End:    `</tool_call>`,
+			Schema: json.RawMessage(testSchema),
+		}},
+		Prefix: "Sure, ",
+		Seed:   11,
+	}
+	first := generateOnce(t, ts.URL, req)
+	second := generateOnce(t, ts.URL, req)
+	if first.Text != second.Text {
+		t.Fatalf("tag-session output not deterministic:\nfirst:  %q\nsecond: %q", first.Text, second.Text)
+	}
+	if !strings.HasPrefix(first.Text, req.Prefix) {
+		t.Fatalf("output %q does not start with forced prefix %q", first.Text, req.Prefix)
+	}
+	m := getMetrics(t, ts.URL)
+	if m.PrefixCache.Acquires != 0 {
+		t.Fatalf("tag sessions joined the acquisition layer: acquires = %d", m.PrefixCache.Acquires)
+	}
+}

@@ -482,24 +482,42 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 
 	var sess *xgrammar.Session
 	if tagSet != nil {
+		// Structural-tag sessions opt out of the prefix cache (dispatcher
+		// state is not checkpointable) and replay the prefix cold — the
+		// byte-identity contract holds either way.
 		sess = s.eng.OpenTagSession(tagSet)
+		if req.Prefix != "" {
+			if err := sess.AcceptString(req.Prefix); err != nil {
+				sess.Close()
+				seq.Close()
+				fail(http.StatusBadRequest, "prefix: %v", err)
+				return
+			}
+			sess.Fill()
+		}
 	} else {
-		sess = s.eng.OpenSession(cg)
-	}
-	if req.Prefix != "" {
-		if err := sess.AcceptString(req.Prefix); err != nil {
-			sess.Close()
+		// Plain grammar sessions join through the warm-start acquisition
+		// layer: radix lookup, checkpoint restore, residual replay, and the
+		// first mask fill, traced as one prefix_lookup span.
+		tPrefix := time.Now()
+		var err error
+		sess, _, err = s.eng.AcquireSession(cg, req.Prefix)
+		if req.Prefix != "" {
+			tr.ObserveSince(obs.StagePrefixLookup, tPrefix)
+		}
+		if err != nil {
 			seq.Close()
 			fail(http.StatusBadRequest, "prefix: %v", err)
 			return
 		}
+	}
+	if req.Prefix != "" {
 		if !seq.ObserveForced(req.Prefix) {
 			sess.Close()
 			seq.Close()
 			fail(http.StatusUnprocessableEntity, "backend %s cannot absorb the prefix", bk.Name())
 			return
 		}
-		sess.Fill()
 	}
 	// Chunk capacity covers the worst case per committed token: the sampled
 	// chunk plus a jump-forward chunk, and for structural-tag sequences a
@@ -786,6 +804,7 @@ type Metrics struct {
 	Speculative    SpeculativeMetrics   `json:"speculative"`
 	StructuralTags StructuralTagMetrics `json:"structural_tags"`
 	CompileCache   CompileCacheMetrics  `json:"compile_cache"`
+	PrefixCache    PrefixCacheMetrics   `json:"prefix_cache"`
 	Store          StoreMetrics         `json:"store"`
 	// Backends breaks requests, backend errors, generated tokens, and
 	// request-latency percentiles down per model backend.
@@ -844,6 +863,29 @@ type CompileCacheMetrics struct {
 	Bytes     int64 `json:"bytes"`
 }
 
+// PrefixCacheMetrics reports the cross-request constraint-state prefix
+// cache: radix-cache lookup outcomes and occupancy plus the acquisition
+// layer's warm-start byte accounting. All zero when the cache is disabled.
+type PrefixCacheMetrics struct {
+	Enabled      bool    `json:"enabled"`
+	Hits         int64   `json:"hits"`
+	Misses       int64   `json:"misses"`
+	HitRate      float64 `json:"hit_rate"`
+	Evictions    int64   `json:"evictions"`
+	EvictedBytes int64   `json:"evicted_bytes"`
+	Entries      int     `json:"entries"`
+	Bytes        int64   `json:"bytes"`
+	MaxBytes     int64   `json:"max_bytes"`
+	// Acquisition-layer counters: sessions that joined through Acquire,
+	// those warm-started from a checkpoint, exact full-prefix hits, and the
+	// prefix bytes skipped versus replayed through the matcher.
+	Acquires      int64 `json:"acquires"`
+	WarmStarts    int64 `json:"warm_starts"`
+	ExactHits     int64 `json:"exact_hits"`
+	BytesReused   int64 `json:"bytes_reused"`
+	BytesReplayed int64 `json:"bytes_replayed"`
+}
+
 // StoreMetrics mirrors xgrammar.StoreStats on the wire.
 type StoreMetrics struct {
 	Attached    bool  `json:"attached"`
@@ -854,6 +896,27 @@ type StoreMetrics struct {
 	Quarantined int64 `json:"quarantined"`
 	Preloaded   int64 `json:"preloaded"`
 	Blobs       int   `json:"blobs"`
+}
+
+func (s *Server) prefixCacheMetrics() PrefixCacheMetrics {
+	pc := s.eng.PrefixCacheStats()
+	pa := s.eng.PrefixAcquireStats()
+	return PrefixCacheMetrics{
+		Enabled:       pc.MaxBytes > 0,
+		Hits:          pc.Hits,
+		Misses:        pc.Misses,
+		HitRate:       pc.HitRate(),
+		Evictions:     pc.Evictions,
+		EvictedBytes:  pc.EvictedBytes,
+		Entries:       pc.Entries,
+		Bytes:         pc.Bytes,
+		MaxBytes:      pc.MaxBytes,
+		Acquires:      pa.Acquires,
+		WarmStarts:    pa.WarmStarts,
+		ExactHits:     pa.ExactHits,
+		BytesReused:   pa.BytesReused,
+		BytesReplayed: pa.BytesReplayed,
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -895,6 +958,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Entries:   cc.Entries,
 			Bytes:     cc.Bytes,
 		},
+		PrefixCache: s.prefixCacheMetrics(),
 		Store: StoreMetrics{
 			Attached:    st.Attached,
 			Hits:        st.Hits,

@@ -28,7 +28,7 @@ func testInfo(t testing.TB) *xgrammar.TokenizerInfo {
 
 // gateway boots a gateway over a fresh compiler; storeDir == "" disables
 // persistence; warm runs WarmStart before serving.
-func gateway(t *testing.T, storeDir string, warm bool, cfg server.Config) (*httptest.Server, *server.Server, *xgrammar.Compiler) {
+func gateway(t *testing.T, storeDir string, warm bool, cfg server.Config, engOpts ...xgrammar.EngineOption) (*httptest.Server, *server.Server, *xgrammar.Compiler) {
 	t.Helper()
 	comp := xgrammar.NewCompiler(testInfo(t))
 	if storeDir != "" {
@@ -41,7 +41,7 @@ func gateway(t *testing.T, storeDir string, warm bool, cfg server.Config) (*http
 			t.Fatal(err)
 		}
 	}
-	cfg.Engine = xgrammar.NewEngine(comp)
+	cfg.Engine = xgrammar.NewEngine(comp, engOpts...)
 	srv := server.New(cfg)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() { ts.Close(); srv.Close() })

@@ -1,0 +1,143 @@
+package xgrammar
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAcquireSessionWarmStart exercises the public warm-start surface: a
+// second acquisition of the same forced prefix must restore a cached
+// checkpoint, reuse the memoized mask, and behave byte-identically to the
+// cold acquisition.
+func TestAcquireSessionWarmStart(t *testing.T) {
+	info := testTokenizer(t)
+	compiler := NewCompiler(info)
+	eng := NewEngine(compiler, WithPrefixCache(1<<20, 0, 0))
+	cg, err := compiler.CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.ID() == "" {
+		t.Fatal("cache-compiled grammar has no content-addressed ID")
+	}
+
+	prefix := `{"user": {"name": "`
+	cold, res, err := eng.AcquireSession(cg, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit {
+		t.Fatal("first acquisition reported a cache hit")
+	}
+	coldMask := append([]uint64(nil), cold.Mask()...)
+	cold.Close() // publishes the captured checkpoints
+
+	warm, res, err := eng.AcquireSession(cg, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	if !res.Hit || res.ReusedBytes != len(prefix) || res.ReplayedBytes != 0 {
+		t.Fatalf("second acquisition not an exact hit: %+v", res)
+	}
+	if !res.MaskReused {
+		t.Fatal("exact hit did not adopt the memoized mask")
+	}
+	if !masksEqual(warm.Mask(), coldMask) {
+		t.Fatal("warm mask differs from cold mask")
+	}
+
+	// The warm session must accept exactly the continuations a fresh
+	// matcher at the same point accepts.
+	m := NewMatcher(cg)
+	if err := m.AcceptString(prefix); err != nil {
+		t.Fatal(err)
+	}
+	suffix := `bob", "age": 3}`
+	if err := warm.AcceptString(suffix); err != nil {
+		t.Fatalf("warm session rejected valid suffix: %v", err)
+	}
+	if err := m.AcceptString(suffix); err != nil {
+		t.Fatal(err)
+	}
+	if warm.CanTerminate() != m.CanTerminate() {
+		t.Fatal("termination disagreement between warm session and fresh matcher")
+	}
+
+	st := eng.PrefixCacheStats()
+	if st.Hits < 1 || st.Entries == 0 {
+		t.Fatalf("cache stats: %+v", st)
+	}
+	as := eng.PrefixAcquireStats()
+	if as.Acquires != 2 || as.ExactHits != 1 || as.BytesReused != int64(len(prefix)) {
+		t.Fatalf("acquire stats: %+v", as)
+	}
+}
+
+// TestAcquireSessionInvalidPrefix: a prefix the grammar rejects returns an
+// error and no session.
+func TestAcquireSessionInvalidPrefix(t *testing.T) {
+	compiler := NewCompiler(testTokenizer(t))
+	eng := NewEngine(compiler, WithPrefixCache(1<<20, 0, 0))
+	cg, err := compiler.CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.AcquireSession(cg, `{"a": nope`); err == nil {
+		t.Fatal("invalid prefix accepted")
+	}
+}
+
+// TestSessionCheckpointRoundTrip: Checkpoint on a root Session captures the
+// constraint state, and OpenSessionAt resumes an independent session from it
+// with identical masks.
+func TestSessionCheckpointRoundTrip(t *testing.T) {
+	compiler := NewCompiler(testTokenizer(t))
+	eng := NewEngine(compiler)
+	cg, err := compiler.CompileBuiltinJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := eng.OpenSession(cg)
+	defer s.Close()
+	if err := s.AcceptString(`{"items": [1, 2, `); err != nil {
+		t.Fatal(err)
+	}
+	s.Fill()
+	cp, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]uint64(nil), s.Mask()...)
+
+	r := eng.OpenSessionAt(cg, cp)
+	defer r.Close()
+	if !masksEqual(r.Mask(), want) {
+		t.Fatal("resumed session mask differs from origin")
+	}
+	if err := r.AcceptString(`3]}`); err != nil {
+		t.Fatalf("resumed session rejected valid continuation: %v", err)
+	}
+	if !r.CanTerminate() {
+		t.Fatal("resumed session cannot terminate after complete document")
+	}
+}
+
+// TestTagSessionCheckpointUnsupported: structural-tag sessions refuse to
+// checkpoint (their dispatcher state is not portable).
+func TestTagSessionCheckpointUnsupported(t *testing.T) {
+	compiler := NewCompiler(testTokenizer(t))
+	eng := NewEngine(compiler)
+	tags, err := compiler.CompileStructuralTags(StructuralTags{
+		{Begin: "<t>", End: "</t>", Grammar: GrammarSpec{Kind: KindBuiltin, Source: "json"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := eng.OpenTagSession(tags)
+	defer ts.Close()
+	if _, err := ts.Checkpoint(); err == nil || !strings.Contains(err.Error(), "structural-tag") {
+		t.Fatalf("tag session checkpoint error = %v, want structural-tag refusal", err)
+	}
+}

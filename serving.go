@@ -1,9 +1,13 @@
 package xgrammar
 
 import (
+	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"xgrammar/internal/maskcache"
+	"xgrammar/internal/matcher"
+	"xgrammar/internal/prefixcache"
 	"xgrammar/internal/serve"
 	"xgrammar/internal/spec"
 	"xgrammar/internal/structtag"
@@ -40,13 +44,25 @@ type Engine struct {
 	// calls (mask already current) are not counted.
 	fills     atomic.Int64
 	fastFills atomic.Int64
+	// prefixCache holds cross-request constraint-state checkpoints keyed by
+	// (grammar ID, forced byte prefix); nil when warm-start is disabled.
+	// acquirers lazily maps each grammar to its acquisition layer.
+	prefixCache    *prefixcache.Cache
+	prefixMinDepth int
+	prefixStride   int
+	acqMu          sync.Mutex
+	acquirers      map[*CompiledGrammar]*serve.Acquirer
+	anonGrammars   atomic.Int64
 }
 
 // EngineOption configures an Engine.
 type EngineOption func(*engineConfig)
 
 type engineConfig struct {
-	workers int
+	workers        int
+	prefixBudget   int64
+	prefixMinDepth int
+	prefixStride   int
 }
 
 // WithFillWorkers gives the engine a dedicated batch-fill worker pool with n
@@ -58,6 +74,22 @@ func WithFillWorkers(n int) EngineOption {
 		if n <= 0 {
 			c.workers = -1
 		}
+	}
+}
+
+// WithPrefixCache enables the cross-request constraint-state prefix cache:
+// AcquireSession warm-starts sessions from cached matcher checkpoints keyed
+// by (grammar ID, forced byte prefix) instead of replaying the prefix cold.
+// budgetBytes bounds the cache (<= 0 disables it); minDepth is the shortest
+// prefix worth publishing (<= 0 uses the serve-layer default); stride > 0
+// additionally publishes intermediate checkpoints every stride bytes, so
+// requests sharing only part of a template's scaffold still warm-start.
+// Entries are invalidated when the compiled-grammar LRU evicts the grammar.
+func WithPrefixCache(budgetBytes int64, minDepth, stride int) EngineOption {
+	return func(c *engineConfig) {
+		c.prefixBudget = budgetBytes
+		c.prefixMinDepth = minDepth
+		c.prefixStride = stride
 	}
 }
 
@@ -78,6 +110,13 @@ func NewEngine(compiler *Compiler, opts ...EngineOption) *Engine {
 		e.ownPool = true
 	} else {
 		e.pool = serve.DefaultPool()
+	}
+	if cfg.prefixBudget > 0 {
+		e.prefixCache = prefixcache.New(cfg.prefixBudget)
+		e.prefixMinDepth = cfg.prefixMinDepth
+		e.prefixStride = cfg.prefixStride
+		e.acquirers = make(map[*CompiledGrammar]*serve.Acquirer)
+		compiler.onGrammarEvict(func(id string) { e.prefixCache.InvalidateGrammar(id) })
 	}
 	return e
 }
@@ -100,6 +139,97 @@ func (e *Engine) Close() {
 // memory is reclaimed when the compiled-grammar LRU evicts it.
 func (e *Engine) OpenSession(cg *CompiledGrammar) *Session {
 	s := cg.sessionPool().Acquire()
+	s.Fill()
+	return &Session{e: e, cg: cg, s: s}
+}
+
+// AcquireResult reports how warm one AcquireSession call was: how many of
+// the forced prefix's bytes were skipped by restoring a cached checkpoint,
+// how many were replayed, and whether the memoized first-step mask applied.
+type AcquireResult = serve.AcquireResult
+
+// PrefixCacheStats is a snapshot of the engine's prefix-cache counters.
+type PrefixCacheStats = prefixcache.Stats
+
+// PrefixAcquireStats is a snapshot of the engine's acquisition-layer
+// counters, aggregated across grammars.
+type PrefixAcquireStats = serve.AcquirerStats
+
+// acquirerFor returns (creating on first use) the grammar's warm-start
+// acquisition layer. With the prefix cache disabled the acquirer still
+// routes acquisition — every call just replays cold.
+func (e *Engine) acquirerFor(cg *CompiledGrammar) *serve.Acquirer {
+	e.acqMu.Lock()
+	defer e.acqMu.Unlock()
+	if e.acquirers == nil {
+		e.acquirers = make(map[*CompiledGrammar]*serve.Acquirer)
+	}
+	if a, ok := e.acquirers[cg]; ok {
+		return a
+	}
+	id := cg.ID()
+	if id == "" {
+		// Directly built grammar (no compile-cache identity): key it by an
+		// engine-local synthetic ID so distinct builds never share entries.
+		id = fmt.Sprintf("anon-%d", e.anonGrammars.Add(1))
+	}
+	a := serve.NewAcquirer(cg.sessionPool(), e.prefixCache, id, e.prefixMinDepth, e.prefixStride)
+	e.acquirers[cg] = a
+	return a
+}
+
+// AcquireSession is OpenSession through the warm-start acquisition layer:
+// the session comes back already positioned after forcedPrefix with its
+// first-step mask filled. With the prefix cache enabled (WithPrefixCache),
+// the deepest cached checkpoint covering the prefix is restored and only
+// the residual bytes are replayed; on an exact hit the memoized mask makes
+// the first fill free. Closing the session publishes checkpoints captured
+// during its replay, so the first request through a template warms every
+// request after it. Output is byte-identical to a cold session that
+// accepted the same prefix. An invalid prefix returns an error and no
+// session.
+func (e *Engine) AcquireSession(cg *CompiledGrammar, forcedPrefix string) (*Session, AcquireResult, error) {
+	a := e.acquirerFor(cg)
+	s, res, err := a.Acquire([]byte(forcedPrefix))
+	if err != nil {
+		return nil, res, err
+	}
+	return &Session{e: e, cg: cg, s: s}, res, nil
+}
+
+// PrefixCacheStats returns a snapshot of the prefix-cache counters; zero
+// when the cache is disabled.
+func (e *Engine) PrefixCacheStats() PrefixCacheStats { return e.prefixCache.Stats() }
+
+// PrefixAcquireStats aggregates the per-grammar acquisition counters.
+func (e *Engine) PrefixAcquireStats() PrefixAcquireStats {
+	e.acqMu.Lock()
+	defer e.acqMu.Unlock()
+	var out PrefixAcquireStats
+	for _, a := range e.acquirers {
+		st := a.Stats()
+		out.Acquires += st.Acquires
+		out.WarmStarts += st.WarmStarts
+		out.ExactHits += st.ExactHits
+		out.BytesReused += st.BytesReused
+		out.BytesReplayed += st.BytesReplayed
+	}
+	return out
+}
+
+// Checkpoint is a portable, immutable snapshot of a session's grammar
+// position — the cross-goroutine complement of a matcher fork. It can be
+// held indefinitely and restored into any session of the same compiled
+// grammar with OpenSessionAt.
+type Checkpoint = matcher.Checkpoint
+
+// OpenSessionAt is OpenSession starting from a checkpoint previously
+// captured with Session.Checkpoint instead of the grammar start state. The
+// session's mask is filled for the first decoding step. The checkpoint must
+// come from a session of the same compiled grammar.
+func (e *Engine) OpenSessionAt(cg *CompiledGrammar, cp *Checkpoint) *Session {
+	s := cg.sessionPool().Acquire()
+	s.RestoreCheckpoint(cp)
 	s.Fill()
 	return &Session{e: e, cg: cg, s: s}
 }
@@ -293,6 +423,20 @@ var ErrSpecWindowExceeded = spec.ErrWindowExceeded
 func (s *Session) SpeculativeStep(draft []int32, sample SpecSampler) (SpecResult, error) {
 	return spec.Step(s.s, func() { s.s.Fill() }, spec.SliceProposer(draft), sample, &s.specW,
 		spec.Options{MaxDraft: len(draft), EOS: s.e.compiler.info.EOSTokenID()})
+}
+
+// Checkpoint returns a portable snapshot of the session's current grammar
+// position, restorable into any session of the same compiled grammar via
+// Engine.OpenSessionAt — fork-style tree exploration across goroutines,
+// and the unit the engine's prefix cache stores. Structural-tag sessions
+// do not support checkpoints (the dispatcher's segment state is not
+// portable) and return an error.
+func (s *Session) Checkpoint() (*Checkpoint, error) {
+	ps, ok := s.s.(*serve.Session)
+	if !ok {
+		return nil, fmt.Errorf("xgrammar: structural-tag sessions do not support checkpoints")
+	}
+	return ps.Checkpoint(), nil
 }
 
 // CanTerminate reports whether the grammar permits stopping here.

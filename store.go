@@ -170,6 +170,7 @@ func (c *Compiler) WarmStart() (int, error) {
 		if !found || err != nil {
 			continue // miss, or quarantined by the store
 		}
+		cg.id = id
 		c.cache.Put(string(raw), cg, cg.memoryBytes())
 		loaded++
 	}
